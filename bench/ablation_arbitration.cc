@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation: dumb vs smart crossbar arbitration across buffer types
+ * and loads (blocking protocol).  Section 4.2 reports that the two
+ * barely differ below saturation; this bench quantifies that and
+ * also probes the region near saturation where fairness could
+ * matter most.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+int
+main()
+{
+    using namespace damq;
+    using namespace damq::bench;
+
+    banner("Ablation - dumb vs smart arbitration",
+           "64x64 Omega, blocking, uniform traffic, 4 slots");
+
+    TextTable table;
+    table.setHeader({"Buffer", "policy", "lat@0.30", "lat@0.45",
+                     "fairness@0.45", "worst-src@0.45", "saturated",
+                     "sat. throughput"});
+
+    for (const BufferType type : kAllBufferTypes) {
+        for (const ArbitrationPolicy policy :
+             {ArbitrationPolicy::Dumb, ArbitrationPolicy::Smart}) {
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.bufferType = type;
+            cfg.arbitration = policy;
+            cfg.measureCycles = 8000;
+
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            table.addCell(arbitrationPolicyName(policy));
+            table.addCell(formatFixed(latencyAtLoad(cfg, 0.30), 1));
+
+            NetworkConfig near = cfg;
+            near.offeredLoad = 0.45;
+            const NetworkResult at45 = NetworkSimulator(near).run();
+            table.addCell(
+                formatFixed(at45.latencyClocks.mean(), 1));
+            table.addCell(formatFixed(at45.latencyFairness, 3));
+            table.addCell(formatFixed(at45.worstSourceLatency, 1));
+
+            const SaturationSummary sat = measureSaturation(cfg);
+            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
+            table.addCell(formatFixed(sat.saturationThroughput, 3));
+        }
+    }
+    std::cout << table.render()
+              << "\nExpected shape (paper Section 4.2): dumb and "
+                 "smart arbitration perform nearly\nidentically "
+                 "below saturation for every buffer type; the "
+                 "smart policy's stale counts\nand held priority "
+                 "show up (mildly) in the fairness columns, not in "
+                 "throughput.\n";
+    return 0;
+}

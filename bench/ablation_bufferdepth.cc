@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Ablation: saturation throughput vs buffer depth, 2-16 slots per
+ * input port, for all four organizations (Table 5 extended).  The
+ * paper's conclusion — DAMQ's control logic buys more than FIFO's
+ * extra storage — should show up as DAMQ's curve starting high and
+ * flattening early while FIFO's creeps up slowly.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+int
+main()
+{
+    using namespace damq;
+    using namespace damq::bench;
+
+    banner("Ablation - saturation throughput vs buffer depth",
+           "64x64 Omega, blocking, smart arbitration, uniform "
+           "traffic; SAMQ/SAFC need slots divisible by 4");
+
+    const unsigned depths[] = {2, 3, 4, 6, 8, 12, 16};
+
+    TextTable table;
+    table.setHeader({"Slots", "FIFO", "DAMQ", "SAMQ", "SAFC"});
+    for (const unsigned slots : depths) {
+        table.startRow();
+        table.addCell(std::to_string(slots));
+        for (const BufferType type :
+             {BufferType::Fifo, BufferType::Damq, BufferType::Samq,
+              BufferType::Safc}) {
+            const bool partitioned = type == BufferType::Samq ||
+                                     type == BufferType::Safc;
+            if (partitioned && slots % 4 != 0) {
+                table.addCell("-");
+                continue;
+            }
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.bufferType = type;
+            cfg.slotsPerBuffer = slots;
+            cfg.measureCycles = 8000;
+            table.addCell(formatFixed(
+                measureSaturation(cfg).saturationThroughput, 3));
+        }
+    }
+    std::cout << table.render()
+              << "\nExpected shape: DAMQ starts high and flattens by "
+                 "~4-8 slots; FIFO climbs slowly\nand stays below "
+                 "even shallow DAMQ configurations.\n";
+    return 0;
+}

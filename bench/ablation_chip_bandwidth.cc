@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Ablation: sustained ComCoBB link bandwidth.  Section 3 claims the
+ * DAMQ buffer supports "packet transmission and reception at the
+ * rate of one byte per clock cycle" (20 Mbyte/s per 20 MHz port).
+ * This bench saturates one chip-to-chip link with back-to-back
+ * traffic in the byte/phase-accurate model and reports the
+ * steady-state payload rate, separating protocol overhead (start
+ * bit, header, length byte) from pipeline bubbles.
+ *
+ * Per-packet wire occupancy:
+ *   first-of-message: start + header + length + D data  (D+3 cycles)
+ *   continuation:     start + header + D data           (D+2 cycles)
+ * plus any re-arbitration gap between packets, which this bench
+ * measures.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "microarch/micro_network.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+using namespace damq::micro;
+
+struct BandwidthPoint
+{
+    double payloadBytesPerCycle = 0.0;
+    double wireBusyFraction = 0.0;
+};
+
+/** Saturate A->B with messages of @p msg_bytes; measure B's intake. */
+BandwidthPoint
+measure(unsigned msg_bytes, Cycle cycles)
+{
+    MicroNetwork net;
+    ComCobbChip &a = net.addChip("A");
+    ComCobbChip &b = net.addChip("B");
+    net.connect(a, 0, b, 0);
+    HostEndpoint host_a = net.attachHost(a);
+    HostEndpoint host_b = net.attachHost(b);
+    net.programCircuit(
+        {{&a, kProcessorPort, 0}, {&b, 0, kProcessorPort}}, 7);
+
+    // Keep the injector's queue deep enough to never run dry.
+    const unsigned messages =
+        static_cast<unsigned>(cycles / msg_bytes + 16);
+    for (unsigned m = 0; m < messages; ++m) {
+        host_a.injector->sendMessage(
+            7, std::vector<std::uint8_t>(msg_bytes, 0x55));
+    }
+
+    // Warm up, then count delivered payload bytes over a window.
+    net.run(200);
+    std::size_t bytes_before = 0;
+    for (const HostMessage &msg : host_b.collector->received())
+        bytes_before += msg.payload.size();
+
+    net.run(cycles);
+    std::size_t bytes_after = 0;
+    for (const HostMessage &msg : host_b.collector->received())
+        bytes_after += msg.payload.size();
+
+    BandwidthPoint point;
+    point.payloadBytesPerCycle =
+        static_cast<double>(bytes_after - bytes_before) /
+        static_cast<double>(cycles);
+
+    // Wire-busy fraction from first principles: every payload byte
+    // plus per-packet overhead occupies one cycle.
+    const unsigned packets_per_msg = (msg_bytes + 31) / 32;
+    const double overhead_per_msg =
+        3.0 + 2.0 * (packets_per_msg - 1); // start+hdr+len, start+hdr
+    point.wireBusyFraction =
+        point.payloadBytesPerCycle *
+        (1.0 + overhead_per_msg / msg_bytes);
+    return point;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace damq::bench;
+
+    banner("Ablation - sustained ComCoBB link bandwidth",
+           "byte/phase-accurate model; one saturated chip-to-chip "
+           "link; payload bytes per clock cycle (1.0 = 20 Mbyte/s)");
+
+    TextTable table;
+    table.setHeader({"message bytes", "packets/msg",
+                     "payload B/cycle", "wire busy",
+                     "protocol-bound payload B/cycle"});
+
+    for (const unsigned msg_bytes : {1u, 8u, 16u, 32u, 64u, 128u,
+                                     255u}) {
+        const BandwidthPoint point = measure(msg_bytes, 4000);
+        const unsigned packets = (msg_bytes + 31) / 32;
+        // If the pipeline had no bubbles at all, each message would
+        // occupy exactly payload + overhead cycles on the wire.
+        const double overhead = 3.0 + 2.0 * (packets - 1);
+        const double bound =
+            msg_bytes / (msg_bytes + overhead);
+
+        table.startRow();
+        table.addCell(std::to_string(msg_bytes));
+        table.addCell(std::to_string(packets));
+        table.addCell(formatFixed(point.payloadBytesPerCycle, 3));
+        table.addCell(formatFixed(point.wireBusyFraction, 3));
+        table.addCell(formatFixed(bound, 3));
+    }
+    std::cout << table.render()
+              << "\nReading: long messages approach the paper's "
+                 "one-byte-per-cycle claim (a 255-byte\nmessage is "
+                 "protocol-bound at 255/272 = 0.94); short packets "
+                 "pay the fixed start/\nheader/length overhead plus "
+                 "the crossbar re-arbitration gap between packets.\n";
+    return 0;
+}

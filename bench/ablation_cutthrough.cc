@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: virtual cut-through at network scale — undoing the
+ * paper's simulation simplification.  Section 4.2 merged the
+ * 8-clock transmission and 4-clock routing into synchronized
+ * 12-clock slots; this bench runs the clock-granularity simulator
+ * where the two are separate, and compares:
+ *
+ *  - virtual cut-through (what the DAMQ hardware supports, Table 1)
+ *  - store-and-forward
+ *
+ * for FIFO and DAMQ buffers.  Expected: VCT's unloaded latency is
+ * hops*R + W = 3*4 + 8 = 20 clocks versus ~32+ for S&F; the
+ * advantage shrinks as load grows (a classic Kermani-Kleinrock
+ * result) because fewer heads find idle outputs; and DAMQ cuts
+ * through more often than FIFO, whose cut-through requires the
+ * *entire* buffer to be empty.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/cutthrough_sim.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+
+CutThroughResult
+runPoint(BufferType type, SwitchingMode mode, double load)
+{
+    CutThroughConfig cfg;
+    cfg.bufferType = type;
+    cfg.mode = mode;
+    cfg.offeredLoad = load;
+    cfg.seed = 414;
+    cfg.warmupClocks = 10000;
+    cfg.measureClocks = 60000;
+    return CutThroughSimulator(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace damq::bench;
+
+    banner("Ablation - virtual cut-through vs store-and-forward",
+           "clock-granularity 64x64 Omega (W=8 transmit, R=4 route "
+           "clocks), blocking, 4 slots; latency in clocks, loads as "
+           "fraction of link capacity");
+
+    TextTable table;
+    table.setHeader({"Buffer", "mode", "lat@0.05", "lat@0.30",
+                     "lat@0.50", "cut-through %@0.30",
+                     "delivered@0.9 offered"});
+
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        for (const SwitchingMode mode :
+             {SwitchingMode::CutThrough,
+              SwitchingMode::StoreAndForward}) {
+            const CutThroughResult low = runPoint(type, mode, 0.05);
+            const CutThroughResult mid = runPoint(type, mode, 0.30);
+            const CutThroughResult high = runPoint(type, mode, 0.50);
+            const CutThroughResult sat = runPoint(type, mode, 0.90);
+
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            table.addCell(switchingModeName(mode));
+            table.addCell(formatFixed(low.latencyClocks.mean(), 1));
+            table.addCell(formatFixed(mid.latencyClocks.mean(), 1));
+            table.addCell(formatFixed(high.latencyClocks.mean(), 1));
+            table.addCell(
+                mode == SwitchingMode::CutThrough
+                    ? formatFixed(mid.cutThroughFraction * 100, 1)
+                    : std::string("-"));
+            table.addCell(formatFixed(sat.deliveredLoad, 3));
+        }
+    }
+    std::cout << table.render()
+              << "\nReference points: unloaded VCT floor = 3R + W = "
+                 "20 clocks; unloaded S&F floor =\n4W = 32 clocks "
+                 "(routing overlaps reception).  The synchronized "
+                 "model of Tables 4-6\ncharges 36 clocks — close to "
+                 "S&F.  Cut-through helps most at light load, and\n"
+                 "DAMQ cuts through more often than FIFO because a "
+                 "FIFO buffer must be completely\nempty for an "
+                 "arriving packet to overtake it.\n";
+    return 0;
+}

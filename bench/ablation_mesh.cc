@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: the multicomputer setting.  The DAMQ buffer was built
+ * for the ComCoBB communication coprocessor — a 5-port switch on a
+ * point-to-point network — and only evaluated in a multistage
+ * network "in that context" (Section 1).  This bench closes the
+ * loop: an 8x8 2D mesh of 5-port switches with XY routing, all
+ * four buffer organizations, uniform and transpose traffic.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/mesh_sim.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+
+MeshResult
+runPoint(BufferType type, const std::string &traffic, double load)
+{
+    MeshConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.bufferType = type;
+    cfg.slotsPerBuffer = 5; // one slot per port's worth
+    cfg.traffic = traffic;
+    cfg.offeredLoad = load;
+    cfg.seed = 99;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 10000;
+    return MeshSimulator(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace damq::bench;
+
+    banner("Ablation - 8x8 mesh multicomputer (5-port switches, "
+           "XY routing)",
+           "the ComCoBB's own deployment context; latency in "
+           "network cycles, blocking protocol");
+
+    for (const std::string traffic : {"uniform", "transpose"}) {
+        TextTable table;
+        table.setHeader({"Buffer", "lat@0.10", "lat@0.25",
+                         "lat@0.40", "sat. throughput"});
+        double fifo_sat = 0.0;
+        double damq_sat = 0.0;
+        for (const BufferType type : kAllBufferTypes) {
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            for (const double load : {0.10, 0.25, 0.40}) {
+                table.addCell(formatFixed(
+                    runPoint(type, traffic, load)
+                        .latencyCycles.mean(),
+                    2));
+            }
+            const double sat =
+                runPoint(type, traffic, 1.0).deliveredThroughput;
+            table.addCell(formatFixed(sat, 3));
+            if (type == BufferType::Fifo)
+                fifo_sat = sat;
+            if (type == BufferType::Damq)
+                damq_sat = sat;
+        }
+        std::cout << "\n" << traffic << " traffic:\n"
+                  << table.render() << "DAMQ/FIFO saturation = "
+                  << formatFixed(damq_sat / fifo_sat, 2) << "\n";
+    }
+
+    std::cout
+        << "\nExpected shape: on uniform traffic the DAMQ advantage "
+           "carries over from the Omega\nnetwork to the mesh "
+           "(smaller margin: 5-port switches with short XY routes "
+           "see less\nhead-of-line conflict).  Under the transpose "
+           "permutation FIFO and DAMQ coincide\nexactly — with XY "
+           "routing each input buffer only ever serves one output, "
+           "so the\nmulti-queue machinery is structurally idle; "
+           "likewise SAMQ equals SAFC.  Multi-queue\nbuffers pay "
+           "off when flows *mix* at the inputs, which permutations "
+           "avoid.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: switch radix.  The paper targets small n x n switches
+ * with 2 <= n <= 10; this bench builds 64-endpoint Omega networks
+ * from 2x2 (6 stages), 4x4 (3 stages), and 8x8 (2 stages) switches
+ * and compares FIFO vs DAMQ.  Wider switches concentrate more
+ * head-of-line conflicts per FIFO buffer, so DAMQ's advantage
+ * should grow with radix, while base latency falls with stage
+ * count.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+int
+main()
+{
+    using namespace damq;
+    using namespace damq::bench;
+
+    banner("Ablation - switch radix (2x2 / 4x4 / 8x8)",
+           "64 endpoints, blocking, smart arbitration, uniform "
+           "traffic, 1 slot per output's worth of storage (radix "
+           "slots per buffer)");
+
+    TextTable table;
+    table.setHeader({"Radix", "Stages", "Buffer", "lat@0.30",
+                     "saturated", "sat. throughput"});
+
+    for (const std::uint32_t radix : {2u, 4u, 8u}) {
+        double fifo_sat = 0.0;
+        double damq_sat = 0.0;
+        for (const BufferType type :
+             {BufferType::Fifo, BufferType::Damq}) {
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.radix = radix;
+            // Keep storage proportional to radix (one slot per
+            // output), as the paper does with 4 slots on a 4x4.
+            cfg.slotsPerBuffer = radix;
+            cfg.bufferType = type;
+            cfg.measureCycles = 8000;
+
+            table.startRow();
+            table.addCell(std::to_string(radix));
+            table.addCell(std::to_string(
+                NetworkSimulator(cfg).topology().numStages()));
+            table.addCell(bufferTypeName(type));
+            table.addCell(formatFixed(latencyAtLoad(cfg, 0.30), 1));
+            const SaturationSummary sat = measureSaturation(cfg);
+            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
+            table.addCell(formatFixed(sat.saturationThroughput, 3));
+            (type == BufferType::Fifo ? fifo_sat : damq_sat) =
+                sat.saturationThroughput;
+        }
+        std::cout << "radix " << radix << ": DAMQ/FIFO saturation = "
+                  << formatFixed(damq_sat / fifo_sat, 2) << "\n";
+    }
+    std::cout << table.render()
+              << "\nExpected shape: fewer stages -> lower base "
+                 "latency; DAMQ's relative advantage\npersists at "
+                 "every radix.\n";
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation: variable-length packets (Section 5's conjecture).  The
+ * paper evaluates only fixed-length packets but argues DAMQ "will
+ * outperform its competition by an even wider margin for the more
+ * realistic case of variable length packets".  This bench runs the
+ * multi-cycle-transfer simulator with 1-slot (fixed) packets and
+ * with a uniform 1-4 slot mix, for all four organizations at equal
+ * total storage (16 slots, so a static partition still fits one
+ * maximum packet), and reports how DAMQ's margin moves.
+ *
+ * Model notes (kept identical across organizations so the
+ * comparison is fair): transfers are store-and-forward with the
+ * full packet length reserved downstream at grant time; an L-slot
+ * packet holds its link for L network cycles.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/varlen_sim.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+
+VarLenConfig
+makeConfig(BufferType type, const LengthDistribution &lengths,
+           double load)
+{
+    VarLenConfig cfg;
+    cfg.numPorts = 64;
+    cfg.radix = 4;
+    cfg.bufferType = type;
+    cfg.slotsPerBuffer = 16; // partitions of 4 fit a max packet
+    cfg.arbitration = ArbitrationPolicy::Smart;
+    cfg.offeredSlotLoad = load;
+    cfg.lengths = lengths;
+    cfg.seed = 303;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 10000;
+    return cfg;
+}
+
+double
+saturation(BufferType type, const LengthDistribution &lengths)
+{
+    return VarLenNetworkSimulator(makeConfig(type, lengths, 1.0))
+        .run()
+        .deliveredSlotThroughput;
+}
+
+double
+latencyAt(BufferType type, const LengthDistribution &lengths,
+          double load)
+{
+    return VarLenNetworkSimulator(makeConfig(type, lengths, load))
+        .run()
+        .latencyClocks.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace damq::bench;
+
+    banner("Ablation - variable-length packets (Section 5 "
+           "conjecture)",
+           "64x64 Omega, blocking, 16 slots/buffer, store-and-"
+           "forward multi-cycle transfers; loads in slots/endpoint/"
+           "cycle");
+
+    const LengthDistribution fixed{{1.0}};
+    const LengthDistribution variable{{1.0, 1.0, 1.0, 1.0}};
+
+    TextTable table;
+    table.setHeader({"Packet mix", "Buffer", "lat@0.25",
+                     "sat. slot throughput", "DAMQ advantage"});
+
+    double sat[2][4] = {};
+    for (const bool is_fixed : {true, false}) {
+        const LengthDistribution &dist = is_fixed ? fixed : variable;
+        for (int t = 0; t < 4; ++t)
+            sat[is_fixed ? 0 : 1][t] =
+                saturation(kAllBufferTypes[t], dist);
+    }
+
+    for (const bool is_fixed : {true, false}) {
+        const LengthDistribution &dist = is_fixed ? fixed : variable;
+        const char *label = is_fixed ? "fixed (1 slot)" : "1-4 slots";
+        const int row = is_fixed ? 0 : 1;
+        const double damq_sat = sat[row][1]; // kAllBufferTypes[1]
+        for (int t = 0; t < 4; ++t) {
+            const BufferType type = kAllBufferTypes[t];
+            table.startRow();
+            table.addCell(label);
+            table.addCell(bufferTypeName(type));
+            table.addCell(formatFixed(latencyAt(type, dist, 0.25), 1));
+            table.addCell(formatFixed(sat[row][t], 3));
+            table.addCell(type == BufferType::Damq
+                              ? "-"
+                              : formatFixed(damq_sat / sat[row][t],
+                                            2) +
+                                    "x");
+        }
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nDAMQ saturation margin, fixed -> variable lengths:\n"
+        << "  vs FIFO: " << formatFixed(sat[0][1] / sat[0][0], 2)
+        << "x -> " << formatFixed(sat[1][1] / sat[1][0], 2) << "x\n"
+        << "  vs SAMQ: " << formatFixed(sat[0][1] / sat[0][2], 2)
+        << "x -> " << formatFixed(sat[1][1] / sat[1][2], 2) << "x\n"
+        << "  vs SAFC: " << formatFixed(sat[0][1] / sat[0][3], 2)
+        << "x -> " << formatFixed(sat[1][1] / sat[1][3], 2) << "x\n"
+        << "\nReading: DAMQ keeps a large advantage with variable "
+           "lengths.  Whether the margin\nwidens (the paper's "
+           "conjecture) depends on the competitor: against the "
+           "statically\npartitioned buffers the dynamic pool wins "
+           "more as packets vary; against FIFO the\nstore-and-"
+           "forward transfer model (no cut-through here) absorbs "
+           "part of the gain.\n";
+    return 0;
+}

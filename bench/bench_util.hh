@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Shared helpers for the bench harnesses: banner printing and the
+ * standard simulation settings used across the table benches.
+ */
+
+#ifndef DAMQ_BENCH_BENCH_UTIL_HH
+#define DAMQ_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "network/network_sim.hh"
+
+namespace damq {
+namespace bench {
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title, const std::string &subtitle)
+{
+    std::cout << "\n==================================================="
+                 "=========================\n"
+              << title << "\n"
+              << subtitle << "\n"
+              << "====================================================="
+                 "=======================\n";
+}
+
+/** The Omega-network settings shared by the Section 4.2 benches. */
+inline NetworkConfig
+paperNetworkConfig()
+{
+    NetworkConfig cfg;
+    cfg.numPorts = 64;
+    cfg.radix = 4;
+    cfg.slotsPerBuffer = 4;
+    cfg.protocol = FlowControl::Blocking;
+    cfg.arbitration = ArbitrationPolicy::Smart;
+    cfg.traffic = "uniform";
+    cfg.seed = 88;
+    cfg.warmupCycles = 2000;
+    cfg.measureCycles = 12000;
+    return cfg;
+}
+
+/** All four buffer organizations, in the paper's table order. */
+inline const BufferType kAllBufferTypes[4] = {
+    BufferType::Fifo, BufferType::Damq, BufferType::Samq,
+    BufferType::Safc};
+
+} // namespace bench
+} // namespace damq
+
+#endif // DAMQ_BENCH_BENCH_UTIL_HH

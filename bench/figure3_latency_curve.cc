@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces Figure 3: "FIFO and DAMQ Buffers with Four Slots,
+ * Uniform Traffic" — the latency-vs-throughput curves.  Both
+ * organizations show the Pfister/Norton shape (flat latency, then
+ * a near-vertical wall at saturation); the DAMQ wall sits ~40 %
+ * further right.  Prints the two series and an ASCII rendering.
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+
+/** Crude ASCII scatter: x = delivered throughput, y = latency. */
+std::string
+asciiPlot(const std::vector<SweepPoint> &fifo,
+          const std::vector<SweepPoint> &damq)
+{
+    const int width = 64;
+    const int height = 20;
+    const double max_latency = 200.0;
+    std::vector<std::string> canvas(
+        height, std::string(width, ' '));
+
+    auto plot = [&](const std::vector<SweepPoint> &curve, char mark) {
+        for (const SweepPoint &pt : curve) {
+            const int x = std::min(
+                width - 1,
+                static_cast<int>(pt.deliveredThroughput * width));
+            const double capped =
+                std::min(pt.avgLatencyClocks, max_latency);
+            const int y = std::min(
+                height - 1,
+                static_cast<int>(capped / max_latency * height));
+            canvas[height - 1 - y][x] = mark;
+        }
+    };
+    plot(fifo, 'F');
+    plot(damq, 'D');
+
+    std::string out;
+    out += "latency (clocks, capped at 200)\n";
+    for (int row = 0; row < height; ++row) {
+        const double y_value =
+            max_latency * (height - row) / height;
+        out += padLeft(formatFixed(y_value, 0), 5) + " |" +
+               canvas[row] + "\n";
+    }
+    out += "      +" + std::string(width, '-') + "\n";
+    out += "       0        delivered throughput              1.0\n";
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace damq::bench;
+
+    banner("Figure 3 - Latency vs throughput, FIFO vs DAMQ",
+           "64x64 Omega, 4 slots, blocking, smart arbitration, "
+           "uniform traffic");
+
+    std::vector<double> loads;
+    for (double p = 0.05; p <= 0.96; p += 0.05)
+        loads.push_back(p);
+    loads.push_back(1.0);
+
+    NetworkConfig cfg = paperNetworkConfig();
+    cfg.measureCycles = 8000;
+
+    cfg.bufferType = BufferType::Fifo;
+    const auto fifo = sweepLoads(cfg, loads);
+    cfg.bufferType = BufferType::Damq;
+    const auto damq = sweepLoads(cfg, loads);
+
+    TextTable table;
+    table.setHeader({"offered", "FIFO delivered", "FIFO latency",
+                     "DAMQ delivered", "DAMQ latency"});
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        table.startRow();
+        table.addCell(formatFixed(loads[i], 2));
+        table.addCell(formatFixed(fifo[i].deliveredThroughput, 3));
+        table.addCell(formatFixed(fifo[i].avgLatencyClocks, 1));
+        table.addCell(formatFixed(damq[i].deliveredThroughput, 3));
+        table.addCell(formatFixed(damq[i].avgLatencyClocks, 1));
+    }
+    std::cout << table.render() << "\n" << asciiPlot(fifo, damq);
+
+    std::cout
+        << "\nPaper reference (Figure 3, qualitative): both curves "
+           "flat near 41 clocks at low\nload; FIFO's latency wall at "
+           "~0.51 delivered, DAMQ's at ~0.70.\n";
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Data-structure microbenchmarks (google-benchmark): raw cost of
+ * buffer push/pop per organization, DAMQ's linked-list traffic,
+ * crossbar arbitration, one Omega-network cycle, and a small
+ * Markov solve.  These quantify the implementation-complexity
+ * trade-offs Section 2 discusses qualitatively.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "markov/switch2x2.hh"
+#include "network/network_sim.hh"
+#include "queueing/buffer_factory.hh"
+#include "switchsim/switch_model.hh"
+
+namespace {
+
+using namespace damq;
+
+Packet
+makePacket(PacketId id, PortId out)
+{
+    Packet p;
+    p.id = id;
+    p.outPort = out;
+    p.lengthSlots = 1;
+    return p;
+}
+
+void
+BM_BufferPushPop(benchmark::State &state)
+{
+    const auto type = static_cast<BufferType>(state.range(0));
+    auto buf = makeBuffer(type, 4, 8);
+    PacketId id = 0;
+    for (auto _ : state) {
+        const PortId out = static_cast<PortId>(id % 4);
+        if (buf->canAccept(out, 1))
+            buf->push(makePacket(id, out));
+        if (const Packet *head = buf->peek(out))
+            benchmark::DoNotOptimize(buf->pop(head->outPort));
+        ++id;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DamqMultiSlotChurn(benchmark::State &state)
+{
+    auto buf = makeBuffer(BufferType::Damq, 4, 16);
+    PacketId id = 0;
+    for (auto _ : state) {
+        const PortId out = static_cast<PortId>(id % 4);
+        const std::uint32_t len = 1 + id % 4;
+        if (buf->canAccept(out, len)) {
+            Packet p = makePacket(id, out);
+            p.lengthSlots = len;
+            buf->push(p);
+        }
+        if (buf->peek(out))
+            benchmark::DoNotOptimize(buf->pop(out));
+        ++id;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_Arbitrate(benchmark::State &state)
+{
+    const auto policy =
+        static_cast<ArbitrationPolicy>(state.range(0));
+    SwitchModel sw(4, BufferType::Damq, 8, policy);
+    Random rng(5);
+    // Preload a busy switch.
+    for (int i = 0; i < 24; ++i) {
+        sw.tryReceive(static_cast<PortId>(rng.below(4)),
+                      makePacket(i, static_cast<PortId>(rng.below(4))));
+    }
+    auto always = [](PortId, PortId, const Packet &) { return true; };
+    PacketId id = 100;
+    for (auto _ : state) {
+        const GrantList grants = sw.arbitrate(always);
+        const auto popped = sw.popGranted(grants);
+        benchmark::DoNotOptimize(popped.data());
+        for (const Packet &p : popped) {
+            Packet back = p;
+            back.id = id++;
+            sw.tryReceive(static_cast<PortId>(id % 4), back);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_NetworkCycle(benchmark::State &state)
+{
+    const auto type = static_cast<BufferType>(state.range(0));
+    NetworkConfig cfg;
+    cfg.bufferType = type;
+    cfg.offeredLoad = 0.5;
+    cfg.seed = 9;
+    NetworkSimulator sim(cfg);
+    for (Cycle c = 0; c < 500; ++c)
+        sim.step(); // warm the network
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations() * 64);
+    state.SetLabel("items = packets offered per 64-source cycle");
+}
+
+void
+BM_MarkovSolve(benchmark::State &state)
+{
+    const auto slots = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto result =
+            analyzeDiscarding2x2(BufferType::Damq, slots, 0.9);
+        benchmark::DoNotOptimize(result.discardProbability);
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_BufferPushPop)
+    ->Arg(static_cast<int>(BufferType::Fifo))
+    ->Arg(static_cast<int>(BufferType::Samq))
+    ->Arg(static_cast<int>(BufferType::Safc))
+    ->Arg(static_cast<int>(BufferType::Damq))
+    ->ArgName("type");
+BENCHMARK(BM_DamqMultiSlotChurn);
+BENCHMARK(BM_Arbitrate)
+    ->Arg(static_cast<int>(ArbitrationPolicy::Dumb))
+    ->Arg(static_cast<int>(ArbitrationPolicy::Smart))
+    ->ArgName("policy");
+BENCHMARK(BM_NetworkCycle)
+    ->Arg(static_cast<int>(BufferType::Fifo))
+    ->Arg(static_cast<int>(BufferType::Damq))
+    ->ArgName("type");
+BENCHMARK(BM_MarkovSolve)->Arg(2)->Arg(4)->ArgName("slots");
+
+BENCHMARK_MAIN();

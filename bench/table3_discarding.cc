@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Table 3: "Discarding switches. Percentage of packets
+ * discarded for given input throughput" — a 64x64 Omega network of
+ * 4x4 switches under the discarding protocol with uniform traffic
+ * and four slots per input buffer.
+ *
+ * Columns follow the paper: dumb arbitration at offered loads of
+ * 0.25 and 0.50 plus an over-capacity point (we use 0.75, where
+ * every organization is past saturation), then smart arbitration
+ * at 0.50.  "Over capacity" also reports the *output* throughput,
+ * which is visibly below the input throughput because of the
+ * discards.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+NetworkResult
+runPoint(BufferType type, ArbitrationPolicy arb, double load)
+{
+    NetworkConfig cfg = paperNetworkConfig();
+    cfg.protocol = FlowControl::Discarding;
+    cfg.bufferType = type;
+    cfg.arbitration = arb;
+    cfg.offeredLoad = load;
+    cfg.measureCycles = 20000;
+    return NetworkSimulator(cfg).run();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 3 - Discarding switches: % packets discarded",
+           "64x64 Omega of 4x4 switches, uniform traffic, 4 slots "
+           "per input buffer, over-capacity = 0.75 offered");
+
+    TextTable table;
+    table.setHeader({"Buffer", "dumb@0.25", "dumb@0.50",
+                     "dumb overcap %disc", "overcap out-thruput",
+                     "smart@0.50"});
+
+    for (const BufferType type : kAllBufferTypes) {
+        const NetworkResult d25 =
+            runPoint(type, ArbitrationPolicy::Dumb, 0.25);
+        const NetworkResult d50 =
+            runPoint(type, ArbitrationPolicy::Dumb, 0.50);
+        const NetworkResult over =
+            runPoint(type, ArbitrationPolicy::Dumb, 0.75);
+        const NetworkResult s50 =
+            runPoint(type, ArbitrationPolicy::Smart, 0.50);
+
+        table.startRow();
+        table.addCell(bufferTypeName(type));
+        table.addCell(formatFixed(d25.discardFraction * 100, 2));
+        table.addCell(formatFixed(d50.discardFraction * 100, 2));
+        table.addCell(formatFixed(over.discardFraction * 100, 2));
+        table.addCell(formatFixed(over.deliveredThroughput, 2));
+        table.addCell(formatFixed(s50.discardFraction * 100, 2));
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper reference (Table 3):\n"
+           "  buffer  dumb@0.25  dumb@0.50  overcap%  overthru  "
+           "smart@0.50\n"
+           "  FIFO      0.02       3.14      21.72      0.56      "
+           "3.17\n"
+           "  SAMQ      0.08       8.69      22.44      0.42      "
+           "8.63\n"
+           "  SAFC      0.07       8.05      20.55      0.44      "
+           "8.04\n"
+           "  DAMQ      0+         0.22       5.37      0.69      "
+           "0.22\n"
+        << "\nShape checks: DAMQ discards far less than the rest at "
+           "0.50 and over capacity;\nSAMQ/SAFC discard most; dumb "
+           "and smart arbitration are nearly identical at 0.50.\n";
+    return 0;
+}

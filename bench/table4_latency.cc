@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces Table 4: "Average Latencies for Given Throughput
+ * (four slots per buffer)" — blocking protocol, smart arbitration,
+ * uniform traffic.  Latency is in clock cycles (12 per network
+ * cycle, 36-clock unloaded floor for three stages); "saturated" is
+ * the mean latency under full offered load, and the saturation
+ * throughput is the delivered rate at that point.
+ *
+ * Headline claim: DAMQ's saturation throughput is ~40 % above
+ * FIFO's at equal storage (paper: 0.70 vs 0.51).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+int
+main()
+{
+    using namespace damq;
+    using namespace damq::bench;
+
+    banner("Table 4 - Average latency vs throughput (4 slots/buffer)",
+           "64x64 Omega, blocking protocol, smart arbitration, "
+           "uniform traffic; latency in clock cycles");
+
+    const double loads[] = {0.25, 0.30, 0.40, 0.50};
+
+    TextTable table;
+    table.setHeader({"Buffer", "0.25", "0.30", "0.40", "0.50",
+                     "saturated", "sat. throughput"});
+
+    double fifo_sat = 0.0;
+    double damq_sat = 0.0;
+    for (const BufferType type : kAllBufferTypes) {
+        NetworkConfig cfg = paperNetworkConfig();
+        cfg.bufferType = type;
+
+        table.startRow();
+        table.addCell(bufferTypeName(type));
+        for (const double load : loads)
+            table.addCell(formatFixed(latencyAtLoad(cfg, load), 2));
+
+        const SaturationSummary sat = measureSaturation(cfg);
+        table.addCell(formatFixed(sat.saturatedLatencyClocks, 2));
+        table.addCell(formatFixed(sat.saturationThroughput, 2));
+        if (type == BufferType::Fifo)
+            fifo_sat = sat.saturationThroughput;
+        if (type == BufferType::Damq)
+            damq_sat = sat.saturationThroughput;
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper reference (Table 4):\n"
+           "  buffer   0.25   0.30   0.40   0.50   saturated  "
+           "sat.thru\n"
+           "  FIFO    41.47  43.62  51.89  89.94    169.77     "
+           "0.51\n"
+           "  DAMQ    41.09  42.90  47.97  56.24    117.25     "
+           "0.70\n"
+           "  SAFC    42.59  45.02  52.33  63.71     82.12     "
+           "0.54\n"
+           "  SAMQ    43.62  46.82  57.39  75.61     94.62     "
+           "0.50\n";
+
+    std::cout << "\nHeadline: DAMQ saturation / FIFO saturation = "
+              << formatFixed(damq_sat / fifo_sat, 2)
+              << "  (paper: 0.70/0.51 = 1.37)\n";
+    return 0;
+}

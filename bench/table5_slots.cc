@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 5: "Average Latencies for Given Throughput,
+ * Varying Number of Slots" — FIFO and DAMQ with 3, 4, and 8 slots
+ * per input buffer.  The paper's point: adding storage moves DAMQ's
+ * saturation only slightly (0.63 / 0.70 / 0.74), so silicon is
+ * better spent on DAMQ's control than on more FIFO slots — even
+ * FIFO-8 (0.56) stays below DAMQ-3 (0.63).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "stats/text_table.hh"
+
+int
+main()
+{
+    using namespace damq;
+    using namespace damq::bench;
+
+    banner("Table 5 - Latency vs throughput, varying slots",
+           "64x64 Omega, blocking, smart arbitration, uniform "
+           "traffic; FIFO and DAMQ with 3/4/8 slots");
+
+    TextTable table;
+    table.setHeader({"Buffer", "Slots", "25%", "50%", "saturated",
+                     "sat. throughput"});
+
+    double damq3 = 0.0;
+    double fifo8 = 0.0;
+    for (const BufferType type : {BufferType::Fifo, BufferType::Damq}) {
+        for (const unsigned slots : {3u, 4u, 8u}) {
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.bufferType = type;
+            cfg.slotsPerBuffer = slots;
+
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            table.addCell(std::to_string(slots));
+            table.addCell(formatFixed(latencyAtLoad(cfg, 0.25), 1));
+            table.addCell(formatFixed(latencyAtLoad(cfg, 0.50), 1));
+            const SaturationSummary sat = measureSaturation(cfg);
+            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
+            table.addCell(formatFixed(sat.saturationThroughput, 2));
+
+            if (type == BufferType::Damq && slots == 3)
+                damq3 = sat.saturationThroughput;
+            if (type == BufferType::Fifo && slots == 8)
+                fifo8 = sat.saturationThroughput;
+        }
+    }
+    std::cout << table.render();
+
+    std::cout
+        << "\nPaper reference (Table 5):\n"
+           "  buffer slots  25%    50%   saturated  sat.thru\n"
+           "  FIFO     3   41.4   96.5    142.4      0.48\n"
+           "  FIFO     4   41.5   89.9    169.8      0.51\n"
+           "  FIFO     8   41.4   74.2    284.6      0.56\n"
+           "  DAMQ     3   41.1   57.3    109.9      0.63\n"
+           "  DAMQ     4   41.1   56.2    117.3      0.70\n"
+           "  DAMQ     8   41.1   56.2    108.5      0.74\n";
+
+    std::cout << "\nKey claim (DAMQ-3 saturates above FIFO-8): "
+              << (damq3 > fifo8 ? "PASS" : "FAIL") << " ("
+              << formatFixed(damq3, 2) << " vs "
+              << formatFixed(fifo8, 2) << ")\n";
+    return 0;
+}

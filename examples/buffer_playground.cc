@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Side-by-side buffer behaviour on one scripted arrival pattern —
+ * a compact illustration of Section 2's comparison (Figure 1).
+ *
+ * The script: four packets arrive at ONE input port, three of them
+ * for output 2 and one for output 0, and then output 2 goes busy.
+ * Watch what each organization can still do:
+ *
+ *  - FIFO: the head packet (for busy output 2) blocks everything;
+ *  - SAMQ/SAFC: the packet for output 0 flows, but the partition
+ *    for output 2 overflows and a packet is rejected;
+ *  - DAMQ: all packets accepted, and output 0 is served while the
+ *    output-2 queue waits.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/string_util.hh"
+#include "queueing/buffer_factory.hh"
+#include "stats/text_table.hh"
+
+using namespace damq;
+
+namespace {
+
+Packet
+makePacket(PacketId id, PortId out)
+{
+    Packet p;
+    p.id = id;
+    p.outPort = out;
+    p.lengthSlots = 1;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout
+        << "One input buffer, 4 slots, 4 outputs.  Arrivals: "
+           "packets 1,2,3 for output 2,\npacket 4 for output 0.  "
+           "Output 2 is busy; output 0 is idle.\n\n";
+
+    TextTable table;
+    table.setHeader({"Buffer", "accepted", "rejected",
+                     "can serve output 0?", "note"});
+
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Samq, BufferType::Safc,
+          BufferType::Damq, BufferType::DamqR}) {
+        auto buf = makeBuffer(type, 4, 4);
+
+        std::vector<PacketId> accepted;
+        std::vector<PacketId> rejected;
+        for (const Packet &p :
+             {makePacket(1, 2), makePacket(2, 2), makePacket(3, 2),
+              makePacket(4, 0)}) {
+            if (buf->canAccept(p.outPort, 1)) {
+                buf->push(p);
+                accepted.push_back(p.id);
+            } else {
+                rejected.push_back(p.id);
+            }
+        }
+
+        const Packet *head0 = buf->peek(0);
+        std::string note;
+        switch (type) {
+          case BufferType::Fifo:
+            note = "packet 4 is stuck behind the head of line";
+            break;
+          case BufferType::Samq:
+          case BufferType::Safc:
+            note = "output-2 partition (1 slot) overflowed";
+            break;
+          case BufferType::Damq:
+            note = "shared pool + per-output queues: no loss, no "
+                   "blocking";
+            break;
+          case BufferType::DamqR:
+            note = "burst trimmed: slots stay reserved for the "
+                   "quieter outputs";
+            break;
+        }
+
+        auto joined = [](const std::vector<PacketId> &ids) {
+            std::string out;
+            for (const PacketId id : ids) {
+                if (!out.empty())
+                    out += ",";
+                out += std::to_string(id);
+            }
+            return out.empty() ? std::string("-") : out;
+        };
+
+        table.startRow();
+        table.addCell(bufferTypeName(type));
+        table.addCell(joined(accepted));
+        table.addCell(joined(rejected));
+        table.addCell(head0 ? "yes (packet " +
+                                  std::to_string(head0->id) + ")"
+                            : "no");
+        table.addCell(note);
+    }
+    std::cout << table.render()
+              << "\nThis is the whole paper in one table: DAMQ "
+                 "combines the FIFO's storage\nflexibility with the "
+                 "SAFC's freedom from head-of-line blocking, using "
+                 "one\nread port and one shared pool.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Explore virtual cut-through interactively: run the
+ * clock-granularity Omega simulator in both switching modes at a
+ * chosen load and compare latency distributions — the experiment
+ * the paper's synchronized model (Section 4.2) deliberately
+ * skipped, and the behaviour its hardware (Table 1) exists to
+ * enable.
+ *
+ *   cutthrough_playground --buffer damq --load 0.3
+ */
+
+#include <iostream>
+
+#include "common/arg_parser.hh"
+#include "common/string_util.hh"
+#include "network/cutthrough_sim.hh"
+#include "stats/text_table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace damq;
+
+    ArgParser args("cutthrough_playground",
+                   "Virtual cut-through vs store-and-forward at "
+                   "clock granularity");
+    args.addOption("buffer", "damq", "fifo | samq | safc | damq");
+    args.addOption("load", "0.3",
+                   "offered load as a fraction of link capacity");
+    args.addOption("slots", "4", "slots per input buffer");
+    args.addOption("wire", "8", "clocks a packet occupies a wire");
+    args.addOption("route", "4", "clocks to route a packet header");
+    args.addOption("seed", "1", "random seed");
+    args.parse(argc, argv);
+
+    CutThroughConfig cfg;
+    cfg.bufferType = bufferTypeFromString(args.getString("buffer"));
+    cfg.offeredLoad = args.getDouble("load");
+    cfg.slotsPerBuffer =
+        static_cast<std::uint32_t>(args.getInt("slots"));
+    cfg.wireClocks = static_cast<std::uint32_t>(args.getInt("wire"));
+    cfg.routeClocks =
+        static_cast<std::uint32_t>(args.getInt("route"));
+    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.warmupClocks = 10000;
+    cfg.measureClocks = 60000;
+
+    std::cout << "64x64 Omega, " << bufferTypeName(cfg.bufferType)
+              << " buffers, W=" << cfg.wireClocks
+              << " R=" << cfg.routeClocks << ", offered "
+              << formatFixed(cfg.offeredLoad, 2)
+              << " of link capacity\n"
+              << "(unloaded floors: cut-through = 3R+W = "
+              << 3 * cfg.routeClocks + cfg.wireClocks
+              << " clocks, store-and-forward = 4W = "
+              << 4 * cfg.wireClocks << " clocks)\n\n";
+
+    TextTable table;
+    table.setHeader({"mode", "mean latency", "min", "max",
+                     "delivered load", "hops cut through"});
+    for (const SwitchingMode mode :
+         {SwitchingMode::CutThrough,
+          SwitchingMode::StoreAndForward}) {
+        cfg.mode = mode;
+        CutThroughSimulator sim(cfg);
+        const CutThroughResult r = sim.run();
+        table.startRow();
+        table.addCell(switchingModeName(mode));
+        table.addCell(formatFixed(r.latencyClocks.mean(), 1));
+        table.addCell(formatFixed(r.latencyClocks.min(), 0));
+        table.addCell(formatFixed(r.latencyClocks.max(), 0));
+        table.addCell(formatFixed(r.deliveredLoad, 3));
+        table.addCell(formatFixed(r.cutThroughFraction * 100, 1) +
+                      "%");
+    }
+    std::cout << table.render()
+              << "\nTry raising --load toward 1.0: the cut-through "
+                 "advantage melts away as fewer\nheads find idle "
+                 "outputs (Kermani & Kleinrock), while saturation "
+                 "throughput stays\na property of the buffer "
+                 "organization.\n";
+    return 0;
+}

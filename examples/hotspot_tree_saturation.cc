@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Watch tree saturation happen (Pfister & Norton, Section 4.2.1 of
+ * the paper).  With 5 % of traffic aimed at node 0, the switches
+ * on the paths to the hot sink fill up first at the last stage,
+ * then the stage before it, and so on back to the sources — a tree
+ * rooted at the hot spot.  This example samples per-stage buffer
+ * occupancy (split into switches on / off the hot tree) as the
+ * simulation runs, then shows that DAMQ and FIFO both cap at the
+ * same ~0.24 throughput.
+ *
+ *   hotspot_tree_saturation [--buffer damq] [--load 0.3]
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "common/arg_parser.hh"
+#include "common/string_util.hh"
+#include "network/network_sim.hh"
+#include "stats/text_table.hh"
+
+using namespace damq;
+
+namespace {
+
+/** Mean buffered packets per switch at one stage, hot tree only. */
+double
+stageOccupancy(NetworkSimulator &sim, std::uint32_t stage, bool hot)
+{
+    // The tree of switches leading to sink 0: at the last stage the
+    // single switch 0; one stage earlier every switch that feeds
+    // it, etc.  With the omega shuffle, switch s of stage k feeds
+    // switch (s*radix % perStage ... ) — rather than recompute the
+    // wiring here, classify by whether the switch can reach switch
+    // 0 of the next stage, walking backwards from the sink.
+    const auto &topo = sim.topology();
+    const std::uint32_t per_stage = topo.switchesPerStage();
+
+    // reachable[k] = set of switch indices at stage k on the tree.
+    std::vector<std::vector<bool>> on_tree(
+        topo.numStages(), std::vector<bool>(per_stage, false));
+    on_tree[topo.numStages() - 1][0] = true; // sink 0's switch
+    for (std::uint32_t k = topo.numStages() - 1; k > 0; --k) {
+        for (std::uint32_t s = 0; s < per_stage; ++s) {
+            for (PortId p = 0; p < topo.radix(); ++p) {
+                const StageCoord next =
+                    topo.nextStageInput(k - 1, s, p);
+                if (on_tree[k][next.switchIndex])
+                    on_tree[k - 1][s] = true;
+            }
+        }
+    }
+
+    double total = 0.0;
+    int count = 0;
+    for (std::uint32_t s = 0; s < per_stage; ++s) {
+        if (on_tree[stage][s] != hot)
+            continue;
+        total += sim.switchAt(stage, s).totalPackets();
+        ++count;
+    }
+    return count == 0 ? 0.0 : total / count;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("hotspot_tree_saturation",
+                   "Demonstrate hot-spot tree saturation");
+    args.addOption("buffer", "damq", "fifo | samq | safc | damq");
+    args.addOption("load", "0.30", "offered load (above the 0.24 "
+                                   "hot-spot cap to force "
+                                   "saturation)");
+    args.parse(argc, argv);
+
+    NetworkConfig cfg;
+    cfg.bufferType = bufferTypeFromString(args.getString("buffer"));
+    cfg.traffic = "hotspot";
+    cfg.offeredLoad = args.getDouble("load");
+    cfg.seed = 11;
+
+    std::cout << "Tree saturation with "
+              << bufferTypeName(cfg.bufferType) << " buffers at "
+              << formatFixed(cfg.offeredLoad, 2)
+              << " offered load, 5% of packets to node 0\n\n";
+
+    NetworkSimulator sim(cfg);
+    TextTable table;
+    table.setHeader({"cycle", "stage2 hot", "stage2 cold",
+                     "stage1 hot", "stage1 cold", "stage0 hot",
+                     "stage0 cold"});
+    for (int chunk = 0; chunk <= 10; ++chunk) {
+        table.startRow();
+        table.addCell(std::to_string(sim.now()));
+        for (int stage = 2; stage >= 0; --stage) {
+            table.addCell(formatFixed(
+                stageOccupancy(sim, stage, true), 1));
+            table.addCell(formatFixed(
+                stageOccupancy(sim, stage, false), 1));
+        }
+        for (int c = 0; c < 300; ++c)
+            sim.step();
+    }
+    std::cout << table.render()
+              << "\nReading the table: the hot columns fill to "
+                 "capacity stage by stage, back to\nfront (the "
+                 "saturation tree growing from the hot sink toward "
+                 "the sources), while\ncold switches stay nearly "
+                 "empty.\n\n";
+
+    // The punchline: buffer organization cannot fix tree
+    // saturation.
+    std::cout << "Delivered throughput at full offered load:\n";
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        NetworkConfig sat_cfg = cfg;
+        sat_cfg.bufferType = type;
+        sat_cfg.offeredLoad = 1.0;
+        sat_cfg.warmupCycles = 4000;
+        sat_cfg.measureCycles = 10000;
+        NetworkSimulator sat(sat_cfg);
+        std::cout << "  " << bufferTypeName(type) << ": "
+                  << formatFixed(sat.run().deliveredThroughput, 3)
+                  << "  (analytic hot-spot cap: 0.241)\n";
+    }
+    return 0;
+}

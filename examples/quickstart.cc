@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Quickstart: the DAMQ buffer and a 4x4 switch in a few dozen
+ * lines.
+ *
+ * Shows the core API: create a buffer, push routed packets, watch
+ * the per-output queues (no head-of-line blocking), then drive a
+ * whole 4x4 switch with an arbiter for a few cycles.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "queueing/damq_buffer.hh"
+#include "switchsim/switch_model.hh"
+
+using namespace damq;
+
+namespace {
+
+Packet
+makePacket(PacketId id, PortId out, std::uint32_t len = 1)
+{
+    Packet p;
+    p.id = id;
+    p.outPort = out; // normally the router sets this
+    p.lengthSlots = len;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    // ----------------------------------------------------------------
+    // 1. A DAMQ buffer: one shared pool, one queue per output port.
+    // ----------------------------------------------------------------
+    std::cout << "== DAMQ buffer ==\n";
+    DamqBuffer buffer(/*num_outputs=*/4, /*capacity_slots=*/4);
+
+    buffer.push(makePacket(1, /*out=*/2));
+    buffer.push(makePacket(2, /*out=*/0));
+    buffer.push(makePacket(3, /*out=*/2));
+
+    std::cout << "pushed packets 1->out2, 2->out0, 3->out2\n";
+    for (PortId out = 0; out < 4; ++out) {
+        std::cout << "  queue " << out << ": length "
+                  << buffer.queueLength(out);
+        if (const Packet *head = buffer.peek(out))
+            std::cout << ", head packet " << head->id;
+        std::cout << "\n";
+    }
+    std::cout << "free slots: " << buffer.freeSlotCount()
+              << " (all four slots came from one pool)\n";
+
+    // Unlike a FIFO, output 0 is not blocked behind packet 1:
+    std::cout << "pop(out=0) -> packet " << buffer.pop(0).id
+              << "  (no head-of-line blocking)\n";
+    std::cout << "pop(out=2) -> packet " << buffer.pop(2).id << "\n";
+
+    // ----------------------------------------------------------------
+    // 2. A whole 4x4 switch: buffers + crossbar + smart arbiter.
+    // ----------------------------------------------------------------
+    std::cout << "\n== 4x4 DAMQ switch, 3 cycles ==\n";
+    SwitchModel sw(4, BufferType::Damq, /*slots=*/4,
+                   ArbitrationPolicy::Smart);
+
+    // Two packets at input 0 for different outputs, plus a
+    // conflicting packet at input 1.
+    sw.tryReceive(0, makePacket(10, 1));
+    sw.tryReceive(0, makePacket(11, 3));
+    sw.tryReceive(1, makePacket(12, 1));
+
+    auto no_backpressure = [](PortId, PortId, const Packet &) {
+        return true;
+    };
+    for (int cycle = 1; cycle <= 3; ++cycle) {
+        const GrantList grants = sw.arbitrate(no_backpressure);
+        std::cout << "cycle " << cycle << ":";
+        for (const Packet &p : sw.popGranted(grants))
+            std::cout << "  packet " << p.id << " -> output "
+                      << p.outPort;
+        if (grants.empty())
+            std::cout << "  (idle)";
+        std::cout << "\n";
+    }
+    std::cout << "switch stats: received " << sw.stats().received
+              << ", transmitted " << sw.stats().transmitted
+              << ", discarded " << sw.stats().discarded << "\n";
+    return 0;
+}

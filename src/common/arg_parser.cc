@@ -1,0 +1,153 @@
+#include "common/arg_parser.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+ArgParser::ArgParser(std::string program, std::string summary)
+    : program(std::move(program)), summary(std::move(summary))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    options.push_back(Option{name, def, help, false});
+}
+
+void
+ArgParser::addFlag(const std::string &name, const std::string &help)
+{
+    options.push_back(Option{name, "0", help, true});
+}
+
+const ArgParser::Option &
+ArgParser::find(const std::string &name) const
+{
+    for (const auto &opt : options) {
+        if (opt.name == name)
+            return opt;
+    }
+    damq_panic("option '", name, "' was never declared");
+}
+
+ArgParser::Option &
+ArgParser::findMutable(const std::string &name)
+{
+    for (auto &opt : options) {
+        if (opt.name == name)
+            return opt;
+    }
+    damq_panic("option '", name, "' was never declared");
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            std::cout << usage();
+            std::exit(0);
+        }
+        if (arg.rfind("--", 0) != 0) {
+            std::cerr << "unexpected argument '" << arg << "'\n"
+                      << usage();
+            std::exit(1);
+        }
+        arg = arg.substr(2);
+
+        std::string name = arg;
+        std::string value;
+        bool have_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            have_value = true;
+        }
+
+        bool declared = false;
+        for (const auto &opt : options)
+            declared = declared || opt.name == name;
+        if (!declared) {
+            std::cerr << "unknown option '--" << name << "'\n" << usage();
+            std::exit(1);
+        }
+
+        Option &opt = findMutable(name);
+        if (opt.isFlag) {
+            opt.value = have_value ? value : "1";
+        } else {
+            if (!have_value) {
+                if (i + 1 >= argc) {
+                    std::cerr << "option '--" << name
+                              << "' needs a value\n" << usage();
+                    std::exit(1);
+                }
+                value = argv[++i];
+            }
+            opt.value = value;
+        }
+    }
+}
+
+std::string
+ArgParser::getString(const std::string &name) const
+{
+    return find(name).value;
+}
+
+std::int64_t
+ArgParser::getInt(const std::string &name) const
+{
+    const auto &opt = find(name);
+    char *end = nullptr;
+    const long long v = std::strtoll(opt.value.c_str(), &end, 0);
+    if (end == opt.value.c_str() || *end != '\0')
+        damq_fatal("option '--", name, "' expects an integer, got '",
+                   opt.value, "'");
+    return v;
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const auto &opt = find(name);
+    char *end = nullptr;
+    const double v = std::strtod(opt.value.c_str(), &end);
+    if (end == opt.value.c_str() || *end != '\0')
+        damq_fatal("option '--", name, "' expects a number, got '",
+                   opt.value, "'");
+    return v;
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    const auto &opt = find(name);
+    return opt.value != "0" && opt.value != "";
+}
+
+std::string
+ArgParser::usage() const
+{
+    std::ostringstream oss;
+    oss << program << " - " << summary << "\n\noptions:\n";
+    for (const auto &opt : options) {
+        oss << "  --" << opt.name;
+        if (!opt.isFlag)
+            oss << " <value>  (default: " << opt.value << ")";
+        oss << "\n      " << opt.help << "\n";
+    }
+    oss << "  --help\n      show this message\n";
+    return oss.str();
+}
+
+} // namespace damq

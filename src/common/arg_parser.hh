@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A minimal command-line option parser for the example programs and
+ * bench harnesses.  Supports `--name value` and `--name=value` forms
+ * plus boolean flags, with typed accessors and a generated usage
+ * string.
+ */
+
+#ifndef DAMQ_COMMON_ARG_PARSER_HH
+#define DAMQ_COMMON_ARG_PARSER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace damq {
+
+/**
+ * Declarative option table + parser.  Typical use:
+ *
+ * @code
+ * ArgParser args("omega_network", "Run a 64x64 Omega simulation");
+ * args.addOption("buffer", "damq", "buffer type: fifo|samq|safc|damq");
+ * args.addOption("load", "0.5", "offered load in [0,1]");
+ * args.addFlag("verbose", "print per-cycle events");
+ * args.parse(argc, argv);   // exits with usage on error or --help
+ * double load = args.getDouble("load");
+ * @endcode
+ */
+class ArgParser
+{
+  public:
+    /** @param program  name shown in the usage banner.
+     *  @param summary  one-line description of the program. */
+    ArgParser(std::string program, std::string summary);
+
+    /** Declare a value option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (defaults to false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse the command line.  Unknown options, malformed values, or
+     * `--help` print usage; `--help` exits 0, errors exit 1.
+     */
+    void parse(int argc, char **argv);
+
+    /** String value of option @p name (declared default if unset). */
+    std::string getString(const std::string &name) const;
+
+    /** Value of @p name parsed as a long integer. */
+    std::int64_t getInt(const std::string &name) const;
+
+    /** Value of @p name parsed as a double. */
+    double getDouble(const std::string &name) const;
+
+    /** True iff flag @p name was given. */
+    bool getFlag(const std::string &name) const;
+
+    /** Render the usage/help text. */
+    std::string usage() const;
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string value;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    const Option &find(const std::string &name) const;
+    Option &findMutable(const std::string &name);
+
+    std::string program;
+    std::string summary;
+    std::vector<Option> options;
+};
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_ARG_PARSER_HH

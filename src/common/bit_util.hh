@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small integer helpers used by topology math (radix digits, powers).
+ */
+
+#ifndef DAMQ_COMMON_BIT_UTIL_HH
+#define DAMQ_COMMON_BIT_UTIL_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+/** True iff @p x is a power of two. */
+constexpr bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(x); @p x must be positive. */
+constexpr unsigned
+floorLog2(std::uint64_t x)
+{
+    unsigned result = 0;
+    while (x > 1) {
+        x >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/**
+ * Number of base-@p radix digits needed to express values in
+ * [0, total); i.e., log_radix(total).  @p total must be an exact
+ * power of @p radix — the Omega network requires it.
+ */
+inline unsigned
+exactLogBase(std::uint64_t total, std::uint64_t radix)
+{
+    damq_assert(radix >= 2, "radix must be at least 2");
+    unsigned digits = 0;
+    std::uint64_t value = 1;
+    while (value < total) {
+        value *= radix;
+        ++digits;
+    }
+    damq_assert(value == total,
+                total, " is not an exact power of ", radix);
+    return digits;
+}
+
+/** Integer power: base^exp. */
+constexpr std::uint64_t
+ipow(std::uint64_t base, unsigned exp)
+{
+    std::uint64_t result = 1;
+    while (exp-- > 0)
+        result *= base;
+    return result;
+}
+
+/**
+ * Extract the base-@p radix digit of @p value at position @p pos,
+ * where position 0 is the *most significant* of @p ndigits digits.
+ * This is the order in which a multistage network consumes
+ * destination digits, one per stage.
+ */
+inline std::uint32_t
+radixDigitMsbFirst(std::uint64_t value, std::uint64_t radix,
+                   unsigned ndigits, unsigned pos)
+{
+    damq_assert(pos < ndigits, "digit position out of range");
+    const std::uint64_t shift = ipow(radix, ndigits - 1 - pos);
+    return static_cast<std::uint32_t>((value / shift) % radix);
+}
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_BIT_UTIL_HH

@@ -1,0 +1,49 @@
+#include "common/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace damq {
+namespace detail {
+
+namespace {
+
+/** Render one diagnostic line with a severity tag and location. */
+void
+emit(const char *tag, const char *file, int line,
+     const std::string &message)
+{
+    std::cerr << tag << ": " << message << "\n"
+              << "  at " << file << ":" << line << std::endl;
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    emit("panic", file, line, message);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    emit("fatal", file, line, message);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &message)
+{
+    emit("warn", file, line, message);
+}
+
+void
+informImpl(const std::string &message)
+{
+    std::cerr << "info: " << message << std::endl;
+}
+
+} // namespace detail
+} // namespace damq

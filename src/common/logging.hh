@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * The severity split follows the gem5 convention:
+ *   - panic():  an internal invariant was violated (a bug in this
+ *               library).  Aborts, so a debugger can catch it.
+ *   - fatal():  the *user* asked for something impossible (bad
+ *               configuration, invalid arguments).  Exits cleanly.
+ *   - warn():   something works but deserves the user's attention.
+ *   - inform(): neutral status output.
+ */
+
+#ifndef DAMQ_COMMON_LOGGING_HH
+#define DAMQ_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace damq {
+
+namespace detail {
+
+/** Terminate with an "internal error" banner; used by panic(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Terminate with a "user error" banner; used by fatal(). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+
+/** Print a warning banner to stderr. */
+void warnImpl(const char *file, int line, const std::string &message);
+
+/** Print an informational message to stderr. */
+void informImpl(const std::string &message);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace damq
+
+/**
+ * Report an internal inconsistency (a bug) and abort.
+ * Accepts any sequence of ostream-able values.
+ */
+#define damq_panic(...)                                                     \
+    ::damq::detail::panicImpl(__FILE__, __LINE__,                           \
+                              ::damq::detail::concat(__VA_ARGS__))
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define damq_fatal(...)                                                     \
+    ::damq::detail::fatalImpl(__FILE__, __LINE__,                           \
+                              ::damq::detail::concat(__VA_ARGS__))
+
+/** Print a warning that does not stop the program. */
+#define damq_warn(...)                                                      \
+    ::damq::detail::warnImpl(__FILE__, __LINE__,                            \
+                             ::damq::detail::concat(__VA_ARGS__))
+
+/** Print a status message. */
+#define damq_inform(...)                                                    \
+    ::damq::detail::informImpl(::damq::detail::concat(__VA_ARGS__))
+
+/**
+ * Check an invariant that must hold regardless of user input.
+ * Unlike assert(), this is active in release builds: the simulators'
+ * correctness claims rest on these checks.
+ */
+#define damq_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::damq::detail::panicImpl(                                      \
+                __FILE__, __LINE__,                                         \
+                ::damq::detail::concat("assertion '", #cond,                \
+                                       "' failed: ", ##__VA_ARGS__));       \
+        }                                                                   \
+    } while (0)
+
+#endif // DAMQ_COMMON_LOGGING_HH

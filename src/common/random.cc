@@ -1,0 +1,95 @@
+#include "common/random.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+/** Rotate @p x left by @p k bits. */
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto &word : state)
+        word = sm.next();
+}
+
+Xoshiro256StarStar::result_type
+Xoshiro256StarStar::operator()()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+double
+Random::uniform()
+{
+    // 53 high-quality bits -> double in [0, 1).
+    return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+bool
+Random::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Random::below(std::uint64_t bound)
+{
+    damq_assert(bound > 0, "Random::below needs a positive bound");
+    // Lemire's method: multiply-shift with a rejection zone that
+    // removes modulo bias.
+    std::uint64_t x = engine();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+        const std::uint64_t threshold = -bound % bound;
+        while (low < threshold) {
+            x = engine();
+            m = static_cast<__uint128_t>(x) * bound;
+            low = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t
+Random::range(std::int64_t lo, std::int64_t hi)
+{
+    damq_assert(lo <= hi, "Random::range needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+}
+
+} // namespace damq

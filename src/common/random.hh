@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulators.
+ *
+ * Every stochastic component in this repository draws from a
+ * @ref damq::Random instance seeded explicitly, so that every
+ * experiment is exactly reproducible from its command line.  The
+ * engine is xoshiro256** (public-domain, Blackman & Vigna), seeded
+ * through SplitMix64 as its authors recommend.
+ */
+
+#ifndef DAMQ_COMMON_RANDOM_HH
+#define DAMQ_COMMON_RANDOM_HH
+
+#include <array>
+#include <cstdint>
+
+namespace damq {
+
+/**
+ * SplitMix64: a tiny 64-bit generator used to expand a single seed
+ * word into the xoshiro state.  Also usable standalone for hashing.
+ */
+class SplitMix64
+{
+  public:
+    /** Construct from a seed word. */
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Produce the next 64-bit value. */
+    std::uint64_t next();
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * xoshiro256**: fast, high-quality 64-bit PRNG with 256 bits of
+ * state.  Satisfies the UniformRandomBitGenerator concept so it can
+ * also feed <random> distributions when needed.
+ */
+class Xoshiro256StarStar
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct with state expanded from @p seed via SplitMix64. */
+    explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Produce the next 64-bit value. */
+    result_type operator()();
+
+    /** Smallest value operator() can return. */
+    static constexpr result_type min() { return 0; }
+    /** Largest value operator() can return. */
+    static constexpr result_type max() { return ~result_type{0}; }
+
+  private:
+    std::array<std::uint64_t, 4> state;
+};
+
+/**
+ * Convenience façade over the raw engine offering the draws the
+ * simulators actually need: Bernoulli trials, uniform reals, and
+ * uniform integer ranges.
+ */
+class Random
+{
+  public:
+    /** Construct a generator with the given seed. */
+    explicit Random(std::uint64_t seed = 1) : engine(seed) {}
+
+    /** Uniform real in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial: true with probability @p p. */
+    bool bernoulli(double p);
+
+    /**
+     * Uniform integer in [0, bound).  @p bound must be positive.
+     * Uses Lemire's nearly-divisionless rejection method, so the
+     * result is exactly uniform.
+     */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in the inclusive range [lo, hi]. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Expose the raw engine (e.g., for std::shuffle). */
+    Xoshiro256StarStar &raw() { return engine; }
+
+  private:
+    Xoshiro256StarStar engine;
+};
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_RANDOM_HH

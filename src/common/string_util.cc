@@ -1,0 +1,67 @@
+#include "common/string_util.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace damq {
+
+std::string
+formatFixed(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatProbabilityPaperStyle(double p)
+{
+    if (p == 0.0)
+        return "0";
+    if (p < 0.0005)
+        return "0+";
+    return formatFixed(p, 3);
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+toLower(std::string text)
+{
+    for (char &c : text)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return text;
+}
+
+std::string
+padLeft(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return std::string(width - text.size(), ' ') + text;
+}
+
+std::string
+padRight(const std::string &text, std::size_t width)
+{
+    if (text.size() >= width)
+        return text;
+    return text + std::string(width - text.size(), ' ');
+}
+
+} // namespace damq

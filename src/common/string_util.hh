@@ -1,0 +1,39 @@
+/**
+ * @file
+ * String formatting helpers shared by the stats tables and examples.
+ */
+
+#ifndef DAMQ_COMMON_STRING_UTIL_HH
+#define DAMQ_COMMON_STRING_UTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace damq {
+
+/** Format @p value with @p decimals digits after the point. */
+std::string formatFixed(double value, int decimals);
+
+/**
+ * Format a probability the way Table 2 of the paper does: values
+ * that are positive but would round to 0 at three decimals print as
+ * "0+", an exact zero prints as "0", everything else prints with
+ * three decimals.
+ */
+std::string formatProbabilityPaperStyle(double p);
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Lower-case ASCII copy of @p text. */
+std::string toLower(std::string text);
+
+/** Pad @p text with spaces on the left to width @p width. */
+std::string padLeft(const std::string &text, std::size_t width);
+
+/** Pad @p text with spaces on the right to width @p width. */
+std::string padRight(const std::string &text, std::size_t width);
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_STRING_UTIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DAMQ library.
+ *
+ * The simulators in this repository operate at two time scales:
+ * raw clock cycles (the 20 MHz ComCoBB clock of the paper) and
+ * "network cycles" (the synchronized 12-clock-cycle packet transfer
+ * slots used by the Omega-network evaluation in Section 4.2 of the
+ * paper).  Both are counted in @ref damq::Cycle.
+ */
+
+#ifndef DAMQ_COMMON_TYPES_HH
+#define DAMQ_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace damq {
+
+/** Simulation time, in cycles (clock cycles or network cycles). */
+using Cycle = std::uint64_t;
+
+/** Index of a switch port (input or output) within one switch. */
+using PortId = std::uint32_t;
+
+/** Index of a network endpoint (processor or memory module). */
+using NodeId = std::uint32_t;
+
+/** Unique identifier assigned to each packet at generation time. */
+using PacketId = std::uint64_t;
+
+/** Index of a storage slot inside a buffer's slot pool. */
+using SlotId = std::uint32_t;
+
+/** Sentinel meaning "no port". */
+inline constexpr PortId kInvalidPort =
+    std::numeric_limits<PortId>::max();
+
+/** Sentinel meaning "no node". */
+inline constexpr NodeId kInvalidNode =
+    std::numeric_limits<NodeId>::max();
+
+/** Sentinel meaning "no slot" (null link in a slot linked list). */
+inline constexpr SlotId kNullSlot =
+    std::numeric_limits<SlotId>::max();
+
+/** Sentinel meaning "no packet". */
+inline constexpr PacketId kInvalidPacket =
+    std::numeric_limits<PacketId>::max();
+
+/**
+ * Number of clock cycles one synchronized packet transfer occupies in
+ * the paper's Omega-network simulation (8 cycles to transmit a packet
+ * plus 4 cycles to route it; see Section 4.2).
+ */
+inline constexpr Cycle kClocksPerNetworkCycle = 12;
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_TYPES_HH

@@ -1,0 +1,310 @@
+#include "markov/buffer_state.hh"
+
+#include <sstream>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace damq {
+
+// ---------------------------------------------------------------- FIFO
+
+FifoBufferState::FifoBufferState(unsigned slots) : capacity(slots)
+{
+    damq_assert(slots >= 1 && slots <= 30,
+                "FIFO Markov state supports 1..30 slots");
+}
+
+unsigned
+FifoBufferState::totalPackets(State s) const
+{
+    damq_assert(s >= 1, "invalid FIFO state 0");
+    return floorLog2(s);
+}
+
+bool
+FifoBufferState::hasPacket(State s, unsigned dest) const
+{
+    // Only the head of line (least significant bit) is visible.
+    return totalPackets(s) > 0 && (s & 1u) == dest;
+}
+
+unsigned
+FifoBufferState::queueLength(State s, unsigned dest) const
+{
+    // The whole buffer is one queue, owned by the head's dest.
+    return hasPacket(s, dest) ? totalPackets(s) : 0;
+}
+
+BufferStateModel::State
+FifoBufferState::removeHead(State s, unsigned dest) const
+{
+    damq_assert(hasPacket(s, dest), "removeHead: no head for ", dest);
+    return s >> 1;
+}
+
+bool
+FifoBufferState::canAdd(State s, unsigned) const
+{
+    return totalPackets(s) < capacity;
+}
+
+BufferStateModel::State
+FifoBufferState::add(State s, unsigned dest) const
+{
+    damq_assert(canAdd(s, dest), "add to a full FIFO state");
+    const unsigned len = totalPackets(s);
+    const State bits = s ^ (State{1} << len);
+    // New tail occupies bit position len; sentinel moves up one.
+    return (State{1} << (len + 1)) | bits |
+           (static_cast<State>(dest) << len);
+}
+
+std::string
+FifoBufferState::describe(State s) const
+{
+    std::ostringstream oss;
+    oss << "[";
+    const unsigned len = totalPackets(s);
+    for (unsigned i = 0; i < len; ++i)
+        oss << ((s >> i) & 1u); // head first
+    oss << "]";
+    return oss.str();
+}
+
+// ------------------------------------------------------- shared counts
+
+namespace {
+
+/** Pack (n0, n1) as n0 | n1 << 8 — capacities stay tiny. */
+constexpr std::uint32_t
+packCounts(unsigned n0, unsigned n1)
+{
+    return n0 | (n1 << 8);
+}
+
+constexpr unsigned
+count0(std::uint32_t s)
+{
+    return s & 0xffu;
+}
+
+constexpr unsigned
+count1(std::uint32_t s)
+{
+    return (s >> 8) & 0xffu;
+}
+
+constexpr unsigned
+countFor(std::uint32_t s, unsigned dest)
+{
+    return dest == 0 ? count0(s) : count1(s);
+}
+
+std::uint32_t
+adjust(std::uint32_t s, unsigned dest, int delta)
+{
+    unsigned n0 = count0(s);
+    unsigned n1 = count1(s);
+    if (dest == 0)
+        n0 = static_cast<unsigned>(static_cast<int>(n0) + delta);
+    else
+        n1 = static_cast<unsigned>(static_cast<int>(n1) + delta);
+    return packCounts(n0, n1);
+}
+
+} // namespace
+
+SharedCountBufferState::SharedCountBufferState(unsigned slots)
+    : capacity(slots)
+{
+    damq_assert(slots >= 1 && slots < 255,
+                "shared-count state supports 1..254 slots");
+}
+
+bool
+SharedCountBufferState::hasPacket(State s, unsigned dest) const
+{
+    return countFor(s, dest) > 0;
+}
+
+unsigned
+SharedCountBufferState::queueLength(State s, unsigned dest) const
+{
+    return countFor(s, dest);
+}
+
+BufferStateModel::State
+SharedCountBufferState::removeHead(State s, unsigned dest) const
+{
+    damq_assert(hasPacket(s, dest), "removeHead: queue ", dest,
+                " is empty");
+    return adjust(s, dest, -1);
+}
+
+bool
+SharedCountBufferState::canAdd(State s, unsigned) const
+{
+    return count0(s) + count1(s) < capacity;
+}
+
+BufferStateModel::State
+SharedCountBufferState::add(State s, unsigned dest) const
+{
+    damq_assert(canAdd(s, dest), "add to a full shared pool");
+    return adjust(s, dest, +1);
+}
+
+unsigned
+SharedCountBufferState::totalPackets(State s) const
+{
+    return count0(s) + count1(s);
+}
+
+std::string
+SharedCountBufferState::describe(State s) const
+{
+    std::ostringstream oss;
+    oss << "(" << count0(s) << "," << count1(s) << ")";
+    return oss.str();
+}
+
+// ------------------------------------------------- reserved-slot counts
+
+ReservedCountBufferState::ReservedCountBufferState(unsigned slots)
+    : capacity(slots)
+{
+    damq_assert(slots >= 2 && slots < 255,
+                "reserved-slot state needs 2..254 slots");
+}
+
+bool
+ReservedCountBufferState::hasPacket(State s, unsigned dest) const
+{
+    return countFor(s, dest) > 0;
+}
+
+unsigned
+ReservedCountBufferState::queueLength(State s, unsigned dest) const
+{
+    return countFor(s, dest);
+}
+
+BufferStateModel::State
+ReservedCountBufferState::removeHead(State s, unsigned dest) const
+{
+    damq_assert(hasPacket(s, dest), "removeHead: queue ", dest,
+                " is empty");
+    return adjust(s, dest, -1);
+}
+
+bool
+ReservedCountBufferState::canAdd(State s, unsigned dest) const
+{
+    const unsigned free = capacity - count0(s) - count1(s);
+    // One slot stays reserved for the other queue while it is
+    // empty.
+    const unsigned reserved_for_other =
+        countFor(s, 1 - dest) == 0 ? 1 : 0;
+    return free >= 1 + reserved_for_other;
+}
+
+BufferStateModel::State
+ReservedCountBufferState::add(State s, unsigned dest) const
+{
+    damq_assert(canAdd(s, dest), "add past the reserved slot");
+    return adjust(s, dest, +1);
+}
+
+unsigned
+ReservedCountBufferState::totalPackets(State s) const
+{
+    return count0(s) + count1(s);
+}
+
+std::string
+ReservedCountBufferState::describe(State s) const
+{
+    std::ostringstream oss;
+    oss << "(" << count0(s) << "," << count1(s) << ")r";
+    return oss.str();
+}
+
+// -------------------------------------------------- partitioned counts
+
+PartitionedCountBufferState::PartitionedCountBufferState(unsigned slots)
+    : perQueue(slots / 2)
+{
+    damq_assert(slots >= 2 && slots % 2 == 0,
+                "statically partitioned buffers need an even slot "
+                "count (got ", slots, ")");
+    damq_assert(perQueue < 255, "partition too large to encode");
+}
+
+bool
+PartitionedCountBufferState::hasPacket(State s, unsigned dest) const
+{
+    return countFor(s, dest) > 0;
+}
+
+unsigned
+PartitionedCountBufferState::queueLength(State s, unsigned dest) const
+{
+    return countFor(s, dest);
+}
+
+BufferStateModel::State
+PartitionedCountBufferState::removeHead(State s, unsigned dest) const
+{
+    damq_assert(hasPacket(s, dest), "removeHead: queue ", dest,
+                " is empty");
+    return adjust(s, dest, -1);
+}
+
+bool
+PartitionedCountBufferState::canAdd(State s, unsigned dest) const
+{
+    return countFor(s, dest) < perQueue;
+}
+
+BufferStateModel::State
+PartitionedCountBufferState::add(State s, unsigned dest) const
+{
+    damq_assert(canAdd(s, dest), "add to a full partition");
+    return adjust(s, dest, +1);
+}
+
+unsigned
+PartitionedCountBufferState::totalPackets(State s) const
+{
+    return count0(s) + count1(s);
+}
+
+std::string
+PartitionedCountBufferState::describe(State s) const
+{
+    std::ostringstream oss;
+    oss << "(" << count0(s) << "|" << count1(s) << ")";
+    return oss.str();
+}
+
+// --------------------------------------------------------------- factory
+
+std::unique_ptr<BufferStateModel>
+makeBufferStateModel(BufferType type, unsigned slots)
+{
+    switch (type) {
+      case BufferType::Fifo:
+        return std::make_unique<FifoBufferState>(slots);
+      case BufferType::Damq:
+        return std::make_unique<SharedCountBufferState>(slots);
+      case BufferType::DamqR:
+        return std::make_unique<ReservedCountBufferState>(slots);
+      case BufferType::Samq:
+      case BufferType::Safc:
+        return std::make_unique<PartitionedCountBufferState>(slots);
+    }
+    damq_panic("unknown BufferType ", static_cast<int>(type));
+}
+
+} // namespace damq

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Single-buffer state algebras for the 2x2 Markov models (Section
+ * 4.1 of the paper).
+ *
+ * With fixed-length packets and two destinations, each input
+ * buffer's state is finite and small:
+ *
+ *  - a FIFO buffer must remember the *order* of destinations in the
+ *    queue (the head controls what can leave), giving 2^(k+1)-1
+ *    states for k slots — encoded as an integer with a leading
+ *    sentinel bit, head at the least significant bit;
+ *  - a DAMQ buffer needs only the two queue occupancies (n0, n1)
+ *    with n0+n1 <= k (dynamic shared pool);
+ *  - SAMQ/SAFC need (n0, n1) with each bounded by its static
+ *    partition k/2.
+ *
+ * The chain builder composes two of these per switch and layers
+ * arbitration on top.
+ */
+
+#ifndef DAMQ_MARKOV_BUFFER_STATE_HH
+#define DAMQ_MARKOV_BUFFER_STATE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/**
+ * Operations on the state of one input buffer of a 2x2 switch.
+ * Destinations are 0 and 1.  States are opaque 32-bit values.
+ */
+class BufferStateModel
+{
+  public:
+    using State = std::uint32_t;
+
+    virtual ~BufferStateModel() = default;
+
+    /** The state of an empty buffer. */
+    virtual State emptyState() const = 0;
+
+    /**
+     * True iff a packet for destination @p dest is available for
+     * transmission (for FIFO: only the head-of-line packet is).
+     */
+    virtual bool hasPacket(State s, unsigned dest) const = 0;
+
+    /**
+     * Arbitration weight: length of the queue whose head serves
+     * @p dest (the paper's policy transmits from the longest
+     * queue).  Zero when hasPacket is false.
+     */
+    virtual unsigned queueLength(State s, unsigned dest) const = 0;
+
+    /** Remove the head packet for @p dest (hasPacket must hold). */
+    virtual State removeHead(State s, unsigned dest) const = 0;
+
+    /** Whether an arriving packet for @p dest fits. */
+    virtual bool canAdd(State s, unsigned dest) const = 0;
+
+    /** Append an arriving packet for @p dest (canAdd must hold). */
+    virtual State add(State s, unsigned dest) const = 0;
+
+    /** Packets stored in state @p s. */
+    virtual unsigned totalPackets(State s) const = 0;
+
+    /** Human-readable rendering for diagnostics. */
+    virtual std::string describe(State s) const = 0;
+};
+
+/** FIFO buffer state: ordered destination sequence, k slots. */
+class FifoBufferState final : public BufferStateModel
+{
+  public:
+    /** @param slots buffer capacity k (1..30). */
+    explicit FifoBufferState(unsigned slots);
+
+    State emptyState() const override { return 1; }
+    bool hasPacket(State s, unsigned dest) const override;
+    unsigned queueLength(State s, unsigned dest) const override;
+    State removeHead(State s, unsigned dest) const override;
+    bool canAdd(State s, unsigned dest) const override;
+    State add(State s, unsigned dest) const override;
+    unsigned totalPackets(State s) const override;
+    std::string describe(State s) const override;
+
+  private:
+    unsigned capacity;
+};
+
+/** DAMQ buffer state: per-destination counts over a shared pool. */
+class SharedCountBufferState final : public BufferStateModel
+{
+  public:
+    /** @param slots shared capacity k. */
+    explicit SharedCountBufferState(unsigned slots);
+
+    State emptyState() const override { return 0; }
+    bool hasPacket(State s, unsigned dest) const override;
+    unsigned queueLength(State s, unsigned dest) const override;
+    State removeHead(State s, unsigned dest) const override;
+    bool canAdd(State s, unsigned dest) const override;
+    State add(State s, unsigned dest) const override;
+    unsigned totalPackets(State s) const override;
+    std::string describe(State s) const override;
+
+  private:
+    unsigned capacity;
+};
+
+/**
+ * DAMQ-with-reserved-slots state: a shared pool like DAMQ's, but an
+ * arrival may not take the last slot usable by the *other* queue if
+ * that queue is empty (one slot stays reserved per empty queue).
+ */
+class ReservedCountBufferState final : public BufferStateModel
+{
+  public:
+    /** @param slots shared capacity k (>= 2 for two outputs). */
+    explicit ReservedCountBufferState(unsigned slots);
+
+    State emptyState() const override { return 0; }
+    bool hasPacket(State s, unsigned dest) const override;
+    unsigned queueLength(State s, unsigned dest) const override;
+    State removeHead(State s, unsigned dest) const override;
+    bool canAdd(State s, unsigned dest) const override;
+    State add(State s, unsigned dest) const override;
+    unsigned totalPackets(State s) const override;
+    std::string describe(State s) const override;
+
+  private:
+    unsigned capacity;
+};
+
+/** SAMQ/SAFC buffer state: counts with static k/2 partitions. */
+class PartitionedCountBufferState final : public BufferStateModel
+{
+  public:
+    /** @param slots total capacity k (must be even). */
+    explicit PartitionedCountBufferState(unsigned slots);
+
+    State emptyState() const override { return 0; }
+    bool hasPacket(State s, unsigned dest) const override;
+    unsigned queueLength(State s, unsigned dest) const override;
+    State removeHead(State s, unsigned dest) const override;
+    bool canAdd(State s, unsigned dest) const override;
+    State add(State s, unsigned dest) const override;
+    unsigned totalPackets(State s) const override;
+    std::string describe(State s) const override;
+
+  private:
+    unsigned perQueue;
+};
+
+/** Build the state algebra matching @p type with @p slots slots. */
+std::unique_ptr<BufferStateModel>
+makeBufferStateModel(BufferType type, unsigned slots);
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_BUFFER_STATE_HH

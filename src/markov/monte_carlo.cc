@@ -1,0 +1,172 @@
+#include "markov/monte_carlo.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "markov/buffer_state.hh"
+
+namespace damq {
+
+namespace {
+
+using State = BufferStateModel::State;
+
+/** Sampled departure step mirroring Switch2x2Chain's rules. */
+unsigned
+sampleDepartures(const BufferStateModel &model, BufferType type,
+                 State &a, State &b, Random &rng)
+{
+    const bool a0 = model.hasPacket(a, 0);
+    const bool a1 = model.hasPacket(a, 1);
+    const bool b0 = model.hasPacket(b, 0);
+    const bool b1 = model.hasPacket(b, 1);
+
+    if (type == BufferType::Safc) {
+        // Outputs arbitrate independently.
+        unsigned departures = 0;
+        for (unsigned dest = 0; dest < 2; ++dest) {
+            const bool from_a = model.hasPacket(a, dest);
+            const bool from_b = model.hasPacket(b, dest);
+            if (!from_a && !from_b)
+                continue;
+            bool pick_a;
+            if (from_a && from_b) {
+                const unsigned la = model.queueLength(a, dest);
+                const unsigned lb = model.queueLength(b, dest);
+                pick_a = la != lb ? la > lb : rng.bernoulli(0.5);
+            } else {
+                pick_a = from_a;
+            }
+            if (pick_a)
+                a = model.removeHead(a, dest);
+            else
+                b = model.removeHead(b, dest);
+            ++departures;
+        }
+        return departures;
+    }
+
+    const bool forward = a0 && b1;
+    const bool swapped = a1 && b0;
+
+    if (forward && swapped) {
+        auto prefer = [&rng](unsigned l0, unsigned l1) {
+            if (l0 != l1)
+                return l0 > l1 ? 0u : 1u;
+            return rng.bernoulli(0.5) ? 0u : 1u;
+        };
+        const unsigned pa =
+            prefer(model.queueLength(a, 0), model.queueLength(a, 1));
+        const unsigned pb =
+            prefer(model.queueLength(b, 0), model.queueLength(b, 1));
+        unsigned dest_a;
+        unsigned dest_b;
+        if (pa != pb) {
+            dest_a = pa;
+            dest_b = pb;
+        } else {
+            const unsigned la = model.queueLength(a, pa);
+            const unsigned lb = model.queueLength(b, pa);
+            const bool a_wins =
+                la != lb ? la > lb : rng.bernoulli(0.5);
+            dest_a = a_wins ? pa : 1 - pa;
+            dest_b = a_wins ? 1 - pa : pa;
+        }
+        a = model.removeHead(a, dest_a);
+        b = model.removeHead(b, dest_b);
+        return 2;
+    }
+    if (forward) {
+        a = model.removeHead(a, 0);
+        b = model.removeHead(b, 1);
+        return 2;
+    }
+    if (swapped) {
+        a = model.removeHead(a, 1);
+        b = model.removeHead(b, 0);
+        return 2;
+    }
+
+    struct Candidate
+    {
+        bool fromA;
+        unsigned dest;
+        unsigned len;
+    };
+    std::vector<Candidate> candidates;
+    if (a0)
+        candidates.push_back({true, 0, model.queueLength(a, 0)});
+    if (a1)
+        candidates.push_back({true, 1, model.queueLength(a, 1)});
+    if (b0)
+        candidates.push_back({false, 0, model.queueLength(b, 0)});
+    if (b1)
+        candidates.push_back({false, 1, model.queueLength(b, 1)});
+    if (candidates.empty())
+        return 0;
+
+    unsigned best = 0;
+    for (const Candidate &c : candidates)
+        best = std::max(best, c.len);
+    std::vector<Candidate> winners;
+    for (const Candidate &c : candidates)
+        if (c.len == best)
+            winners.push_back(c);
+    const Candidate &chosen =
+        winners[rng.below(winners.size())];
+    if (chosen.fromA)
+        a = model.removeHead(a, chosen.dest);
+    else
+        b = model.removeHead(b, chosen.dest);
+    return 1;
+}
+
+} // namespace
+
+MonteCarlo2x2Result
+simulateDiscarding2x2(BufferType type, unsigned slots, double traffic,
+                      std::uint64_t cycles, std::uint64_t warmup,
+                      std::uint64_t seed)
+{
+    const auto model = makeBufferStateModel(type, slots);
+    Random rng(seed);
+
+    State a = model->emptyState();
+    State b = model->emptyState();
+
+    MonteCarlo2x2Result result;
+    std::uint64_t departures = 0;
+
+    for (std::uint64_t cycle = 0; cycle < warmup + cycles; ++cycle) {
+        const bool measuring = cycle >= warmup;
+        const unsigned departed =
+            sampleDepartures(*model, type, a, b, rng);
+        if (measuring)
+            departures += departed;
+
+        for (State *buf : {&a, &b}) {
+            if (!rng.bernoulli(traffic))
+                continue;
+            const unsigned dest = rng.bernoulli(0.5) ? 1 : 0;
+            if (measuring)
+                ++result.arrivals;
+            if (model->canAdd(*buf, dest)) {
+                *buf = model->add(*buf, dest);
+            } else if (measuring) {
+                ++result.discards;
+            }
+        }
+    }
+
+    result.discardProbability =
+        result.arrivals == 0
+            ? 0.0
+            : static_cast<double>(result.discards) /
+                  static_cast<double>(result.arrivals);
+    result.throughput =
+        static_cast<double>(departures) / static_cast<double>(cycles);
+    return result;
+}
+
+} // namespace damq

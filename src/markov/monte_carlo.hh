@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Monte-Carlo simulator of the same 2x2 long-clock discarding
+ * switch the Markov chain models.  It reuses the exact same
+ * single-buffer state algebras and arbitration rules but resolves
+ * the randomness by sampling instead of enumeration, providing an
+ * independent cross-check of the analytic results (the test suite
+ * requires agreement within statistical error).
+ */
+
+#ifndef DAMQ_MARKOV_MONTE_CARLO_HH
+#define DAMQ_MARKOV_MONTE_CARLO_HH
+
+#include <cstdint>
+
+#include "common/random.hh"
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Sampled steady-state estimates. */
+struct MonteCarlo2x2Result
+{
+    double discardProbability = 0.0;
+    double throughput = 0.0; ///< departures per cycle
+    std::uint64_t arrivals = 0;
+    std::uint64_t discards = 0;
+};
+
+/**
+ * Simulate @p cycles long-clock cycles (after @p warmup) of a 2x2
+ * discarding switch with @p type buffers of @p slots slots under
+ * arrival probability @p traffic, using @p seed.
+ */
+MonteCarlo2x2Result simulateDiscarding2x2(BufferType type,
+                                          unsigned slots,
+                                          double traffic,
+                                          std::uint64_t cycles,
+                                          std::uint64_t warmup,
+                                          std::uint64_t seed);
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_MONTE_CARLO_HH

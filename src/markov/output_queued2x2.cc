@@ -1,0 +1,98 @@
+#include "markov/output_queued2x2.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+Markov2x2Result
+analyzeOutputQueued2x2(unsigned slots_per_output, double traffic,
+                       const PowerIterationOptions &options)
+{
+    damq_assert(slots_per_output >= 1, "queues need slots");
+    damq_assert(traffic >= 0.0 && traffic <= 1.0,
+                "traffic rate must be a probability");
+
+    const unsigned cap = slots_per_output;
+    const unsigned per_queue_states = cap + 1;
+    const std::size_t n =
+        static_cast<std::size_t>(per_queue_states) * per_queue_states;
+
+    auto index = [per_queue_states](unsigned q0, unsigned q1) {
+        return static_cast<std::uint32_t>(q0 * per_queue_states + q1);
+    };
+
+    const double p = traffic;
+    const double arrival_probs[3] = {1.0 - p, p / 2.0, p / 2.0};
+
+    TransitionMatrix matrix(n);
+    std::vector<double> discards_per_state(n, 0.0);
+    std::vector<double> departures_per_state(n, 0.0);
+    std::vector<unsigned> occupancy_per_state(n, 0);
+
+    for (unsigned q0 = 0; q0 <= cap; ++q0) {
+        for (unsigned q1 = 0; q1 <= cap; ++q1) {
+            const std::uint32_t s = index(q0, q1);
+            occupancy_per_state[s] = q0 + q1;
+
+            // Departures: every non-empty output sends one packet.
+            const unsigned d0 = q0 > 0 ? q0 - 1 : 0;
+            const unsigned d1 = q1 > 0 ? q1 - 1 : 0;
+            departures_per_state[s] =
+                static_cast<double>((q0 > 0 ? 1 : 0) +
+                                    (q1 > 0 ? 1 : 0));
+
+            // Arrivals: each input independently contributes
+            // nothing, a packet for output 0, or one for output 1.
+            for (int ea = 0; ea < 3; ++ea) {
+                for (int eb = 0; eb < 3; ++eb) {
+                    const double prob =
+                        arrival_probs[ea] * arrival_probs[eb];
+                    if (prob == 0.0)
+                        continue;
+                    unsigned n0 = d0;
+                    unsigned n1 = d1;
+                    unsigned discards = 0;
+                    for (const int event : {ea, eb}) {
+                        if (event == 0)
+                            continue;
+                        unsigned &queue = event == 1 ? n0 : n1;
+                        if (queue < cap)
+                            ++queue;
+                        else
+                            ++discards;
+                    }
+                    discards_per_state[s] +=
+                        prob * static_cast<double>(discards);
+                    matrix.addTransition(s, index(n0, n1), prob);
+                }
+            }
+        }
+    }
+    matrix.validateStochastic();
+
+    const StationaryResult stationary =
+        stationaryPowerIteration(matrix, options);
+
+    Markov2x2Result result;
+    result.numStates = n;
+    result.solverIterations = stationary.iterations;
+    result.solverResidual = stationary.residual;
+
+    double discards = 0.0;
+    double departures = 0.0;
+    double occupancy = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+        const double mass = stationary.distribution[s];
+        discards += mass * discards_per_state[s];
+        departures += mass * departures_per_state[s];
+        occupancy += mass * static_cast<double>(occupancy_per_state[s]);
+    }
+    const double expected_arrivals = 2.0 * traffic;
+    result.discardProbability =
+        expected_arrivals > 0.0 ? discards / expected_arrivals : 0.0;
+    result.throughput = departures;
+    result.meanOccupancy = occupancy;
+    return result;
+}
+
+} // namespace damq

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Exact Markov model of a 2x2 discarding switch with *output*
+ * queueing (Karol, Hluchyj & Morgan — reference 5 of the paper).
+ * Arrivals go straight to their output's queue (idealized write
+ * bandwidth: both inputs can deposit into the same queue in one
+ * cycle), each output transmits one packet per cycle, and a packet
+ * arriving at a full queue is discarded.
+ *
+ * This is the lower bound the input-buffered organizations chase:
+ * no head-of-line blocking, no read-port limit — only finite,
+ * statically partitioned space.
+ */
+
+#ifndef DAMQ_MARKOV_OUTPUT_QUEUED2X2_HH
+#define DAMQ_MARKOV_OUTPUT_QUEUED2X2_HH
+
+#include "markov/switch2x2.hh"
+
+namespace damq {
+
+/**
+ * Build and solve the output-queued chain.
+ * @param slots_per_output static capacity of each output queue.
+ * @param traffic          arrival probability p per input.
+ */
+Markov2x2Result analyzeOutputQueued2x2(
+    unsigned slots_per_output, double traffic,
+    const PowerIterationOptions &options = {});
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_OUTPUT_QUEUED2X2_HH

@@ -1,0 +1,118 @@
+#include "markov/stationary.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+/** Sum of absolute differences between two equal-length vectors. */
+double
+l1Difference(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += std::abs(a[i] - b[i]);
+    return total;
+}
+
+/** Scale @p v so its entries sum to one. */
+void
+normalize(std::vector<double> &v)
+{
+    double total = 0.0;
+    for (const double x : v)
+        total += x;
+    damq_assert(total > 0.0, "cannot normalize a zero vector");
+    for (double &x : v)
+        x /= total;
+}
+
+} // namespace
+
+double
+stationaryResidual(const TransitionMatrix &matrix,
+                   const std::vector<double> &pi)
+{
+    return l1Difference(pi, matrix.leftMultiply(pi));
+}
+
+StationaryResult
+stationaryPowerIteration(const TransitionMatrix &matrix,
+                         const PowerIterationOptions &options)
+{
+    const std::size_t n = matrix.numStates();
+    damq_assert(n > 0, "empty chain");
+
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    StationaryResult result;
+    for (std::size_t iter = 1; iter <= options.maxIterations; ++iter) {
+        std::vector<double> next = matrix.leftMultiply(pi);
+        normalize(next); // guard against rounding drift
+        const double change = l1Difference(pi, next);
+        pi.swap(next);
+        if (change <= options.tolerance) {
+            result.distribution = std::move(pi);
+            result.iterations = iter;
+            result.residual =
+                stationaryResidual(matrix, result.distribution);
+            return result;
+        }
+    }
+    damq_panic("power iteration failed to converge after ",
+               options.maxIterations, " iterations");
+}
+
+StationaryResult
+stationaryDirect(const TransitionMatrix &matrix)
+{
+    const std::size_t n = matrix.numStates();
+    damq_assert(n > 0, "empty chain");
+    damq_assert(n <= 4096,
+                "direct solve limited to small chains (", n, " states)");
+
+    // Build A = P^T - I, then replace the last equation with the
+    // normalization constraint sum(pi) = 1.
+    std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+    for (std::uint32_t from = 0; from < n; ++from) {
+        for (const auto &entry : matrix.row(from))
+            a[entry.to][from] += entry.prob;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        a[i][i] -= 1.0;
+    for (std::size_t j = 0; j < n; ++j)
+        a[n - 1][j] = 1.0;
+    a[n - 1][n] = 1.0;
+
+    // Gaussian elimination with partial pivoting.
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a[r][col]) > std::abs(a[pivot][col]))
+                pivot = r;
+        }
+        damq_assert(std::abs(a[pivot][col]) > 1e-14,
+                    "singular system: chain may be reducible");
+        std::swap(a[col], a[pivot]);
+        for (std::size_t r = 0; r < n; ++r) {
+            if (r == col || a[r][col] == 0.0)
+                continue;
+            const double factor = a[r][col] / a[col][col];
+            for (std::size_t c = col; c <= n; ++c)
+                a[r][c] -= factor * a[col][c];
+        }
+    }
+
+    StationaryResult result;
+    result.distribution.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        result.distribution[i] = a[i][n] / a[i][i];
+    normalize(result.distribution);
+    result.iterations = 0;
+    result.residual = stationaryResidual(matrix, result.distribution);
+    return result;
+}
+
+} // namespace damq

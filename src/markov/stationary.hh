@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Stationary-distribution solvers for DTMCs.
+ *
+ * Two independent methods are provided so the test suite can
+ * cross-validate them:
+ *
+ *  - power iteration (works at any size; the switch chains here are
+ *    aperiodic because the all-empty state has a self loop whenever
+ *    the arrival probability is below 1);
+ *  - a dense direct solve of pi (P - I) = 0 with the normalization
+ *    constraint, for small chains.
+ */
+
+#ifndef DAMQ_MARKOV_STATIONARY_HH
+#define DAMQ_MARKOV_STATIONARY_HH
+
+#include <vector>
+
+#include "markov/transition_matrix.hh"
+
+namespace damq {
+
+/** Options for the iterative solver. */
+struct PowerIterationOptions
+{
+    double tolerance = 1e-13;       ///< L1 change per step to stop at
+    std::size_t maxIterations = 500000;
+};
+
+/** Result of a stationary solve. */
+struct StationaryResult
+{
+    std::vector<double> distribution;
+    std::size_t iterations = 0; ///< 0 for the direct method
+    double residual = 0.0;      ///< L1 norm of pi - pi*P
+};
+
+/**
+ * Solve pi = pi * P by repeated multiplication from the uniform
+ * distribution.  Panics if the iteration fails to converge.
+ */
+StationaryResult stationaryPowerIteration(
+    const TransitionMatrix &matrix,
+    const PowerIterationOptions &options = {});
+
+/**
+ * Solve the linear system directly (Gaussian elimination on the
+ * dense (P^T - I) system with a normalization row).  Intended for
+ * chains of at most a few thousand states.
+ */
+StationaryResult stationaryDirect(const TransitionMatrix &matrix);
+
+/** L1 norm of pi - pi*P (how stationary @p pi really is). */
+double stationaryResidual(const TransitionMatrix &matrix,
+                          const std::vector<double> &pi);
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_STATIONARY_HH

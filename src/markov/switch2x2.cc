@@ -1,0 +1,362 @@
+#include "markov/switch2x2.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+/** Pack two buffer states into one joint key. */
+constexpr std::uint64_t
+jointKey(BufferStateModel::State a, BufferStateModel::State b)
+{
+    return static_cast<std::uint64_t>(a) |
+           (static_cast<std::uint64_t>(b) << 32);
+}
+
+constexpr BufferStateModel::State
+keyA(std::uint64_t key)
+{
+    return static_cast<BufferStateModel::State>(key & 0xffffffffu);
+}
+
+constexpr BufferStateModel::State
+keyB(std::uint64_t key)
+{
+    return static_cast<BufferStateModel::State>(key >> 32);
+}
+
+} // namespace
+
+Switch2x2Chain::Switch2x2Chain(BufferType type, unsigned slots,
+                               double traffic)
+    : bufferType(type), trafficRate(traffic),
+      model(makeBufferStateModel(type, slots))
+{
+    damq_assert(traffic >= 0.0 && traffic <= 1.0,
+                "traffic rate must be a probability");
+
+    const double p = trafficRate;
+    const double arrival_probs[3] = {1.0 - p, p / 2.0, p / 2.0};
+
+    // Seed with the empty switch and explore.
+    stateIndex(model->emptyState(), model->emptyState());
+    while (!pending.empty()) {
+        const std::uint32_t s = pending.back();
+        pending.pop_back();
+        const BufferStateModel::State a = keyA(stateKeys[s]);
+        const BufferStateModel::State b = keyB(stateKeys[s]);
+
+        double expected_discards = 0.0;
+        double expected_departures = 0.0;
+
+        for (const Branch &branch : departureBranches(a, b)) {
+            expected_departures +=
+                branch.prob * static_cast<double>(branch.departures);
+
+            // Arrivals: event 0 = none, 1 = packet for output 0,
+            // 2 = packet for output 1, independently per input.
+            for (int ea = 0; ea < 3; ++ea) {
+                for (int eb = 0; eb < 3; ++eb) {
+                    const double prob = branch.prob *
+                                        arrival_probs[ea] *
+                                        arrival_probs[eb];
+                    if (prob == 0.0)
+                        continue;
+
+                    BufferStateModel::State na = branch.a;
+                    BufferStateModel::State nb = branch.b;
+                    unsigned discards = 0;
+                    if (ea != 0) {
+                        const unsigned dest = ea - 1;
+                        if (model->canAdd(na, dest))
+                            na = model->add(na, dest);
+                        else
+                            ++discards;
+                    }
+                    if (eb != 0) {
+                        const unsigned dest = eb - 1;
+                        if (model->canAdd(nb, dest))
+                            nb = model->add(nb, dest);
+                        else
+                            ++discards;
+                    }
+                    expected_discards +=
+                        prob * static_cast<double>(discards);
+                    const std::uint32_t target = stateIndex(na, nb);
+                    transitions.addTransition(s, target, prob);
+                }
+            }
+        }
+
+        discardsPerState[s] = expected_discards;
+        departuresPerState[s] = expected_departures;
+    }
+
+    keyIndex.clear(); // only needed while building
+    transitions.validateStochastic();
+}
+
+std::uint32_t
+Switch2x2Chain::stateIndex(BufferStateModel::State a,
+                           BufferStateModel::State b)
+{
+    const std::uint64_t key = jointKey(a, b);
+    const auto found = keyIndex.find(key);
+    if (found != keyIndex.end())
+        return found->second;
+
+    const auto idx = static_cast<std::uint32_t>(stateKeys.size());
+    keyIndex.emplace(key, idx);
+    stateKeys.push_back(key);
+    discardsPerState.push_back(0.0);
+    departuresPerState.push_back(0.0);
+    occupancyPerState.push_back(model->totalPackets(a) +
+                                model->totalPackets(b));
+    transitions.ensureStates(stateKeys.size());
+    pending.push_back(idx);
+    return idx;
+}
+
+std::vector<Switch2x2Chain::Branch>
+Switch2x2Chain::departureBranches(BufferStateModel::State a,
+                                  BufferStateModel::State b) const
+{
+    if (bufferType == BufferType::Safc)
+        return fullyConnectedDepartures(a, b);
+    return singleReadDepartures(a, b);
+}
+
+std::vector<Switch2x2Chain::Branch>
+Switch2x2Chain::singleReadDepartures(BufferStateModel::State a,
+                                     BufferStateModel::State b) const
+{
+    std::vector<Branch> branches;
+
+    const bool a0 = model->hasPacket(a, 0);
+    const bool a1 = model->hasPacket(a, 1);
+    const bool b0 = model->hasPacket(b, 0);
+    const bool b1 = model->hasPacket(b, 1);
+
+    // The two ways of sending two packets through distinct outputs
+    // from distinct single-read-port buffers.
+    const bool forward = a0 && b1; // A -> 0, B -> 1
+    const bool swapped = a1 && b0; // A -> 1, B -> 0
+
+    auto emitPair = [&](unsigned dest_a, unsigned dest_b, double prob) {
+        branches.push_back(Branch{model->removeHead(a, dest_a),
+                                  model->removeHead(b, dest_b), prob,
+                                  2});
+    };
+
+    if (forward && swapped) {
+        // All four queues are non-empty: both assignments work, so
+        // serve each buffer's longest queue, flipping fair coins on
+        // ties.  Enumerate the (at most eight) coin outcomes.
+        const unsigned la0 = model->queueLength(a, 0);
+        const unsigned la1 = model->queueLength(a, 1);
+        const unsigned lb0 = model->queueLength(b, 0);
+        const unsigned lb1 = model->queueLength(b, 1);
+
+        struct Pref
+        {
+            unsigned dest;
+            double prob;
+        };
+        auto prefs = [](unsigned len0, unsigned len1) {
+            std::vector<Pref> out;
+            if (len0 > len1)
+                out.push_back(Pref{0, 1.0});
+            else if (len1 > len0)
+                out.push_back(Pref{1, 1.0});
+            else {
+                out.push_back(Pref{0, 0.5});
+                out.push_back(Pref{1, 0.5});
+            }
+            return out;
+        };
+
+        for (const Pref &pa : prefs(la0, la1)) {
+            for (const Pref &pb : prefs(lb0, lb1)) {
+                const double prob = pa.prob * pb.prob;
+                if (pa.dest != pb.dest) {
+                    emitPair(pa.dest, pb.dest, prob);
+                    continue;
+                }
+                // Both want the same output: the longer queue for
+                // that output wins it; the loser takes the other.
+                const unsigned d = pa.dest;
+                const unsigned len_a =
+                    model->queueLength(a, d);
+                const unsigned len_b =
+                    model->queueLength(b, d);
+                if (len_a > len_b) {
+                    emitPair(d, 1 - d, prob);
+                } else if (len_b > len_a) {
+                    emitPair(1 - d, d, prob);
+                } else {
+                    emitPair(d, 1 - d, prob / 2.0);
+                    emitPair(1 - d, d, prob / 2.0);
+                }
+            }
+        }
+        return branches;
+    }
+
+    if (forward) {
+        emitPair(0, 1, 1.0);
+        return branches;
+    }
+    if (swapped) {
+        emitPair(1, 0, 1.0);
+        return branches;
+    }
+
+    // At most one packet can leave: pick the longest queue among
+    // all (buffer, output) candidates, ties broken uniformly.
+    struct Candidate
+    {
+        bool fromA;
+        unsigned dest;
+        unsigned len;
+    };
+    std::vector<Candidate> candidates;
+    if (a0)
+        candidates.push_back({true, 0, model->queueLength(a, 0)});
+    if (a1)
+        candidates.push_back({true, 1, model->queueLength(a, 1)});
+    if (b0)
+        candidates.push_back({false, 0, model->queueLength(b, 0)});
+    if (b1)
+        candidates.push_back({false, 1, model->queueLength(b, 1)});
+
+    if (candidates.empty()) {
+        branches.push_back(Branch{a, b, 1.0, 0});
+        return branches;
+    }
+
+    unsigned best = 0;
+    for (const Candidate &c : candidates)
+        best = std::max(best, c.len);
+    std::vector<Candidate> winners;
+    for (const Candidate &c : candidates)
+        if (c.len == best)
+            winners.push_back(c);
+
+    const double prob = 1.0 / static_cast<double>(winners.size());
+    for (const Candidate &c : winners) {
+        if (c.fromA) {
+            branches.push_back(
+                Branch{model->removeHead(a, c.dest), b, prob, 1});
+        } else {
+            branches.push_back(
+                Branch{a, model->removeHead(b, c.dest), prob, 1});
+        }
+    }
+    return branches;
+}
+
+std::vector<Switch2x2Chain::Branch>
+Switch2x2Chain::fullyConnectedDepartures(BufferStateModel::State a,
+                                         BufferStateModel::State b) const
+{
+    // Outputs arbitrate independently; a buffer may serve both.
+    // For each output: no candidate, a forced winner, or a coin
+    // flip between equal queues.
+    struct Outcome
+    {
+        int winner; ///< -1 none, 0 from A, 1 from B
+        double prob;
+    };
+    auto outcomesFor = [&](unsigned dest) {
+        std::vector<Outcome> out;
+        const bool from_a = model->hasPacket(a, dest);
+        const bool from_b = model->hasPacket(b, dest);
+        if (!from_a && !from_b) {
+            out.push_back({-1, 1.0});
+        } else if (from_a && !from_b) {
+            out.push_back({0, 1.0});
+        } else if (!from_a && from_b) {
+            out.push_back({1, 1.0});
+        } else {
+            const unsigned len_a = model->queueLength(a, dest);
+            const unsigned len_b = model->queueLength(b, dest);
+            if (len_a > len_b)
+                out.push_back({0, 1.0});
+            else if (len_b > len_a)
+                out.push_back({1, 1.0});
+            else {
+                out.push_back({0, 0.5});
+                out.push_back({1, 0.5});
+            }
+        }
+        return out;
+    };
+
+    std::vector<Branch> branches;
+    for (const Outcome &o0 : outcomesFor(0)) {
+        for (const Outcome &o1 : outcomesFor(1)) {
+            BufferStateModel::State na = a;
+            BufferStateModel::State nb = b;
+            unsigned departures = 0;
+            if (o0.winner == 0) {
+                na = model->removeHead(na, 0);
+                ++departures;
+            } else if (o0.winner == 1) {
+                nb = model->removeHead(nb, 0);
+                ++departures;
+            }
+            if (o1.winner == 0) {
+                na = model->removeHead(na, 1);
+                ++departures;
+            } else if (o1.winner == 1) {
+                nb = model->removeHead(nb, 1);
+                ++departures;
+            }
+            branches.push_back(
+                Branch{na, nb, o0.prob * o1.prob, departures});
+        }
+    }
+    return branches;
+}
+
+Markov2x2Result
+Switch2x2Chain::solve(const PowerIterationOptions &options) const
+{
+    const StationaryResult stationary =
+        stationaryPowerIteration(transitions, options);
+
+    Markov2x2Result result;
+    result.numStates = numStates();
+    result.solverIterations = stationary.iterations;
+    result.solverResidual = stationary.residual;
+
+    double discards = 0.0;
+    double departures = 0.0;
+    double occupancy = 0.0;
+    for (std::uint32_t s = 0; s < numStates(); ++s) {
+        const double mass = stationary.distribution[s];
+        discards += mass * discardsPerState[s];
+        departures += mass * departuresPerState[s];
+        occupancy += mass * static_cast<double>(occupancyPerState[s]);
+    }
+
+    const double expected_arrivals = 2.0 * trafficRate;
+    result.discardProbability =
+        expected_arrivals > 0.0 ? discards / expected_arrivals : 0.0;
+    result.throughput = departures;
+    result.meanOccupancy = occupancy;
+    return result;
+}
+
+Markov2x2Result
+analyzeDiscarding2x2(BufferType type, unsigned slots, double traffic,
+                     const PowerIterationOptions &options)
+{
+    const Switch2x2Chain chain(type, slots, traffic);
+    return chain.solve(options);
+}
+
+} // namespace damq

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Exact Markov-chain model of one 2x2 *discarding* switch, as used
+ * for Table 2 of the paper.
+ *
+ * Model assumptions (Section 4.1, following Karol et al.):
+ *  - fixed-length packets and a "long clock": in every cycle a
+ *    packet either completely departs or completely arrives;
+ *  - each input receives a packet with probability p per cycle,
+ *    destined to either output with equal probability;
+ *  - departures precede arrivals within a cycle; a packet arriving
+ *    at a buffer with no room for it is discarded;
+ *  - arbitration "sends two packets if at all possible, or a packet
+ *    from the longest queue if not", with fair coin flips breaking
+ *    ties.  For SAFC the two outputs arbitrate independently (the
+ *    fully connected data path lets one buffer feed both outputs in
+ *    the same cycle); for FIFO/SAMQ/DAMQ a buffer can release only
+ *    one packet per cycle (single read port).
+ *
+ * The chain is built by breadth-first exploration from the empty
+ * switch, so only reachable states are enumerated (e.g. 16129
+ * states for two 6-slot FIFO buffers, 784 for two 6-slot DAMQs).
+ */
+
+#ifndef DAMQ_MARKOV_SWITCH2X2_HH
+#define DAMQ_MARKOV_SWITCH2X2_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/buffer_state.hh"
+#include "markov/stationary.hh"
+#include "markov/transition_matrix.hh"
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Steady-state figures extracted from the chain. */
+struct Markov2x2Result
+{
+    /** P(an arriving packet is discarded). */
+    double discardProbability = 0.0;
+
+    /** Expected departures per cycle (of a 2-packet maximum). */
+    double throughput = 0.0;
+
+    /** Expected packets buffered in the switch. */
+    double meanOccupancy = 0.0;
+
+    std::size_t numStates = 0;
+    std::size_t solverIterations = 0;
+    double solverResidual = 0.0;
+};
+
+/** The chain for one (buffer type, slots, traffic rate) point. */
+class Switch2x2Chain
+{
+  public:
+    /**
+     * Build the chain.
+     * @param type    buffer organization at each input.
+     * @param slots   slots per input buffer (even for SAMQ/SAFC).
+     * @param traffic arrival probability p per input per cycle.
+     */
+    Switch2x2Chain(BufferType type, unsigned slots, double traffic);
+
+    /** The transition matrix over reachable states. */
+    const TransitionMatrix &matrix() const { return transitions; }
+
+    /** Number of reachable states. */
+    std::size_t numStates() const { return transitions.numStates(); }
+
+    /** E[packets discarded in one cycle | state]. */
+    double expectedDiscards(std::uint32_t state) const
+    {
+        return discardsPerState[state];
+    }
+
+    /** E[packets departing in one cycle | state]. */
+    double expectedDepartures(std::uint32_t state) const
+    {
+        return departuresPerState[state];
+    }
+
+    /** Packets buffered in @p state. */
+    unsigned occupancy(std::uint32_t state) const
+    {
+        return occupancyPerState[state];
+    }
+
+    /** Solve for the stationary distribution and summarize. */
+    Markov2x2Result solve(
+        const PowerIterationOptions &options = {}) const;
+
+  private:
+    /** One probabilistic outcome of the departure step. */
+    struct Branch
+    {
+        BufferStateModel::State a;
+        BufferStateModel::State b;
+        double prob;
+        unsigned departures;
+    };
+
+    /** Enumerate the departure outcomes for joint state (a, b). */
+    std::vector<Branch> departureBranches(
+        BufferStateModel::State a, BufferStateModel::State b) const;
+
+    /** Single-read-port departure rule (FIFO/SAMQ/DAMQ). */
+    std::vector<Branch> singleReadDepartures(
+        BufferStateModel::State a, BufferStateModel::State b) const;
+
+    /** Independent-output departure rule (SAFC). */
+    std::vector<Branch> fullyConnectedDepartures(
+        BufferStateModel::State a, BufferStateModel::State b) const;
+
+    /** Index of joint state (a, b), allocating it if new. */
+    std::uint32_t stateIndex(BufferStateModel::State a,
+                             BufferStateModel::State b);
+
+    BufferType bufferType;
+    double trafficRate;
+    std::unique_ptr<BufferStateModel> model;
+
+    TransitionMatrix transitions;
+    std::vector<std::uint64_t> stateKeys;
+    std::vector<double> discardsPerState;
+    std::vector<double> departuresPerState;
+    std::vector<unsigned> occupancyPerState;
+    std::vector<std::uint32_t> pending; ///< BFS worklist (build time)
+    /** state key -> index map (only used during construction) */
+    std::unordered_map<std::uint64_t, std::uint32_t> keyIndex;
+};
+
+/** Convenience one-shot: build and solve a chain. */
+Markov2x2Result analyzeDiscarding2x2(
+    BufferType type, unsigned slots, double traffic,
+    const PowerIterationOptions &options = {});
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_SWITCH2X2_HH

@@ -1,0 +1,69 @@
+#include "markov/transition_matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+void
+TransitionMatrix::ensureStates(std::size_t n)
+{
+    if (rows.size() < n)
+        rows.resize(n);
+}
+
+void
+TransitionMatrix::addTransition(std::uint32_t from, std::uint32_t to,
+                                double prob)
+{
+    damq_assert(from < rows.size(), "addTransition: bad source state");
+    damq_assert(prob >= 0.0, "addTransition: negative probability");
+    if (prob == 0.0)
+        return;
+    for (Entry &entry : rows[from]) {
+        if (entry.to == to) {
+            entry.prob += prob;
+            return;
+        }
+    }
+    rows[from].push_back(Entry{to, prob});
+}
+
+double
+TransitionMatrix::rowSum(std::uint32_t from) const
+{
+    damq_assert(from < rows.size(), "rowSum: bad state");
+    double total = 0.0;
+    for (const Entry &entry : rows[from])
+        total += entry.prob;
+    return total;
+}
+
+void
+TransitionMatrix::validateStochastic(double tolerance) const
+{
+    for (std::uint32_t s = 0; s < rows.size(); ++s) {
+        const double sum = rowSum(s);
+        damq_assert(std::abs(sum - 1.0) <= tolerance,
+                    "row ", s, " sums to ", sum, ", not 1");
+    }
+}
+
+std::vector<double>
+TransitionMatrix::leftMultiply(const std::vector<double> &x) const
+{
+    damq_assert(x.size() == rows.size(),
+                "leftMultiply: dimension mismatch");
+    std::vector<double> y(rows.size(), 0.0);
+    for (std::uint32_t s = 0; s < rows.size(); ++s) {
+        const double mass = x[s];
+        if (mass == 0.0)
+            continue;
+        for (const Entry &entry : rows[s])
+            y[entry.to] += mass * entry.prob;
+    }
+    return y;
+}
+
+} // namespace damq

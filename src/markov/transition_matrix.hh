@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse row-stochastic transition matrix for discrete-time Markov
+ * chains.  Rows are built incrementally while exploring a state
+ * space; duplicate (from, to) contributions accumulate.
+ */
+
+#ifndef DAMQ_MARKOV_TRANSITION_MATRIX_HH
+#define DAMQ_MARKOV_TRANSITION_MATRIX_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace damq {
+
+/** Sparse DTMC transition matrix (row-major adjacency lists). */
+class TransitionMatrix
+{
+  public:
+    /** One outgoing edge. */
+    struct Entry
+    {
+        std::uint32_t to;
+        double prob;
+    };
+
+    TransitionMatrix() = default;
+
+    /** Construct with @p n states. */
+    explicit TransitionMatrix(std::size_t n) : rows(n) {}
+
+    /** Grow to at least @p n states. */
+    void ensureStates(std::size_t n);
+
+    /** Number of states. */
+    std::size_t numStates() const { return rows.size(); }
+
+    /**
+     * Add probability mass @p prob to the @p from -> @p to edge
+     * (accumulating with any existing mass).
+     */
+    void addTransition(std::uint32_t from, std::uint32_t to,
+                       double prob);
+
+    /** Outgoing edges of state @p from. */
+    const std::vector<Entry> &row(std::uint32_t from) const
+    {
+        return rows[from];
+    }
+
+    /** Total outgoing probability of state @p from. */
+    double rowSum(std::uint32_t from) const;
+
+    /**
+     * Panic unless every row sums to 1 within @p tolerance — the
+     * basic sanity check that a chain builder enumerated all of its
+     * randomness.
+     */
+    void validateStochastic(double tolerance = 1e-9) const;
+
+    /** y = x * P (left multiplication by a row vector). */
+    std::vector<double> leftMultiply(const std::vector<double> &x) const;
+
+  private:
+    std::vector<std::vector<Entry>> rows;
+};
+
+} // namespace damq
+
+#endif // DAMQ_MARKOV_TRANSITION_MATRIX_HH

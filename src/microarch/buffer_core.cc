@@ -1,0 +1,225 @@
+#include "microarch/buffer_core.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+BufferCore::BufferCore(PortId num_queues, unsigned num_slots,
+                       ChipBufferMode mode)
+    : bufferMode(mode), pool(num_slots), queueRegs(num_queues)
+{
+    damq_assert(num_queues > 0, "buffer core needs queues");
+    damq_assert(num_slots >= kMaxPacketSlots,
+                "buffer must hold at least one maximum packet");
+    for (SlotId s = 0; s < num_slots; ++s) {
+        pool[s].next = (s + 1 < num_slots) ? s + 1 : kNullSlot;
+    }
+    freeList.head = 0;
+    freeList.tail = num_slots - 1;
+    freeList.count = num_slots;
+}
+
+SlotId
+BufferCore::takeFreeSlot()
+{
+    damq_assert(freeList.head != kNullSlot,
+                "free list exhausted — flow control failed");
+    const SlotId slot = freeList.head;
+    freeList.head = pool[slot].next;
+    if (freeList.head == kNullSlot)
+        freeList.tail = kNullSlot;
+    --freeList.count;
+    pool[slot].next = kNullSlot;
+    pool[slot].isPacketHead = false;
+    pool[slot].packetMeta = PacketMeta{};
+    pool[slot].written = 0;
+    return slot;
+}
+
+void
+BufferCore::appendToQueue(ListRegs &queue, SlotId slot)
+{
+    if (queue.tail == kNullSlot) {
+        queue.head = slot;
+    } else {
+        pool[queue.tail].next = slot;
+    }
+    queue.tail = slot;
+    ++queue.count;
+}
+
+BufferCore::ListRegs &
+BufferCore::queueFor(PortId out)
+{
+    damq_assert(out < numQueues(), "bad queue ", out);
+    // FIFO mode keeps one strictly ordered list (stored at index
+    // 0); DAMQ mode keeps one list per output.
+    return bufferMode == ChipBufferMode::Fifo ? queueRegs[0]
+                                              : queueRegs[out];
+}
+
+const BufferCore::ListRegs &
+BufferCore::queueFor(PortId out) const
+{
+    damq_assert(out < numQueues(), "bad queue ", out);
+    return bufferMode == ChipBufferMode::Fifo ? queueRegs[0]
+                                              : queueRegs[out];
+}
+
+unsigned
+BufferCore::packetsQueued(PortId out) const
+{
+    damq_assert(out < numQueues(), "packetsQueued: bad queue ", out);
+    if (bufferMode == ChipBufferMode::Fifo) {
+        // Only the head of line is ever transmittable.
+        return !fifoOrder.empty() && fifoOrder.front() == out ? 1 : 0;
+    }
+    return queueRegs[out].packets;
+}
+
+SlotId
+BufferCore::headPacket(PortId out) const
+{
+    damq_assert(out < numQueues(), "headPacket: bad queue ", out);
+    if (bufferMode == ChipBufferMode::Fifo) {
+        if (fifoOrder.empty() || fifoOrder.front() != out)
+            return kNullSlot;
+        return queueRegs[0].head;
+    }
+    return queueRegs[out].head;
+}
+
+SlotId
+BufferCore::beginPacket(PortId out)
+{
+    damq_assert(out < numQueues(), "beginPacket: bad queue ", out);
+    const SlotId slot = takeFreeSlot();
+    pool[slot].isPacketHead = true;
+    pool[slot].packetMeta.outPort = out;
+    ListRegs &queue = queueFor(out);
+    appendToQueue(queue, slot);
+    ++queue.packets;
+    if (bufferMode == ChipBufferMode::Fifo)
+        fifoOrder.push_back(out);
+    return slot;
+}
+
+SlotId
+BufferCore::extendPacket(PortId out)
+{
+    damq_assert(out < numQueues(), "extendPacket: bad queue ", out);
+    ListRegs &queue = queueFor(out);
+    damq_assert(queue.tail != kNullSlot,
+                "extendPacket with no packet in the queue");
+    const SlotId slot = takeFreeSlot();
+    appendToQueue(queue, slot);
+    return slot;
+}
+
+void
+BufferCore::writeByte(SlotId slot, unsigned offset, std::uint8_t byte)
+{
+    damq_assert(slot < pool.size() && offset < kSlotBytes,
+                "writeByte out of range");
+    pool[slot].bytes[offset] = byte;
+    pool[slot].written |= static_cast<std::uint8_t>(1u << offset);
+}
+
+std::uint8_t
+BufferCore::readByte(SlotId slot, unsigned offset) const
+{
+    damq_assert(slot < pool.size() && offset < kSlotBytes,
+                "readByte out of range");
+    damq_assert(pool[slot].written & (1u << offset),
+                "read of a byte that was never written (slot ", slot,
+                " offset ", offset, ") — cut-through underrun");
+    return pool[slot].bytes[offset];
+}
+
+SlotId
+BufferCore::nextSlot(SlotId slot) const
+{
+    damq_assert(slot < pool.size(), "nextSlot out of range");
+    return pool[slot].next;
+}
+
+PacketMeta &
+BufferCore::meta(SlotId slot)
+{
+    damq_assert(slot < pool.size() && pool[slot].isPacketHead,
+                "meta of a non-head slot");
+    return pool[slot].packetMeta;
+}
+
+const PacketMeta &
+BufferCore::meta(SlotId slot) const
+{
+    damq_assert(slot < pool.size() && pool[slot].isPacketHead,
+                "meta of a non-head slot");
+    return pool[slot].packetMeta;
+}
+
+void
+BufferCore::popFrontSlot(PortId out, bool last_of_packet)
+{
+    damq_assert(out < numQueues(), "popFrontSlot: bad queue ", out);
+    ListRegs &queue = queueFor(out);
+    damq_assert(queue.head != kNullSlot, "popFrontSlot: empty queue");
+
+    const SlotId slot = queue.head;
+    queue.head = pool[slot].next;
+    if (queue.head == kNullSlot)
+        queue.tail = kNullSlot;
+    --queue.count;
+    if (last_of_packet) {
+        damq_assert(queue.packets > 0, "packet count underflow");
+        --queue.packets;
+        if (bufferMode == ChipBufferMode::Fifo) {
+            damq_assert(!fifoOrder.empty() &&
+                            fifoOrder.front() == out,
+                        "FIFO order bookkeeping drifted");
+            fifoOrder.pop_front();
+        }
+    }
+
+    pool[slot].next = kNullSlot;
+    pool[slot].isPacketHead = false;
+    pool[slot].written = 0;
+    if (freeList.tail == kNullSlot) {
+        freeList.head = slot;
+    } else {
+        pool[freeList.tail].next = slot;
+    }
+    freeList.tail = slot;
+    ++freeList.count;
+}
+
+void
+BufferCore::debugValidate() const
+{
+    std::vector<bool> seen(pool.size(), false);
+    auto walk = [&](const ListRegs &list) {
+        unsigned count = 0;
+        SlotId prev = kNullSlot;
+        for (SlotId s = list.head; s != kNullSlot; s = pool[s].next) {
+            damq_assert(s < pool.size(), "pointer register corrupt");
+            damq_assert(!seen[s], "slot ", s, " on two lists");
+            seen[s] = true;
+            ++count;
+            damq_assert(count <= pool.size(), "list cycle detected");
+            prev = s;
+        }
+        damq_assert(prev == list.tail, "tail register corrupt");
+        damq_assert(count == list.count, "list count drifted");
+    };
+
+    walk(freeList);
+    for (PortId out = 0; out < numQueues(); ++out)
+        walk(queueRegs[out]);
+    for (std::size_t s = 0; s < pool.size(); ++s)
+        damq_assert(seen[s], "slot ", s, " leaked");
+}
+
+} // namespace micro
+} // namespace damq

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The byte-level DAMQ buffer of one ComCoBB input port
+ * (Section 3.1-3.2.3 of the paper).
+ *
+ * Storage is an array of 8-byte slots (dual-ported static cells in
+ * the real chip, addressed by read/write shift registers).  Every
+ * slot carries a *pointer register* (the linked-list next pointer)
+ * and, when it is the first slot of a packet, a length register and
+ * a new-header register.  The lists are:
+ *
+ *  - the free list, and
+ *  - one queue per output port, whose head/tail registers chain
+ *    *slots* (a packet's slots sit consecutively in its queue).
+ *
+ * The receive FSM allocates the head slot of an arriving packet
+ * from the free list as soon as the router has picked its queue —
+ * before the data arrives — which is what makes the 4-cycle virtual
+ * cut-through possible: the transmit FSM can chase the receive FSM
+ * through the same slot.
+ */
+
+#ifndef DAMQ_MICROARCH_BUFFER_CORE_HH
+#define DAMQ_MICROARCH_BUFFER_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/types.hh"
+#include "microarch/defs.hh"
+
+namespace damq {
+namespace micro {
+
+/** Registers associated with a packet's first slot. */
+struct PacketMeta
+{
+    VcId newHeader = 0;        ///< header byte for the next hop
+    std::uint8_t msgLenByte = 0; ///< forwarded message-length byte
+    PortId outPort = kInvalidPort; ///< routed output port
+    bool firstOfMessage = false;
+    bool lengthKnown = false; ///< dataLength register loaded yet?
+    unsigned dataLength = 0;  ///< payload bytes of this packet
+};
+
+/**
+ * Byte-accurate buffer core.  In DAMQ mode (the ComCoBB design)
+ * slots are chained into one list per output; in FIFO mode a
+ * single strictly ordered list is kept and `packetsQueued(out)`
+ * reports only the head-of-line packet — byte-level head-of-line
+ * blocking on otherwise identical hardware.
+ */
+class BufferCore
+{
+  public:
+    /** @param num_queues  one queue per chip output port.
+     *  @param num_slots   slot count (default 12, Section 3.2.3).
+     *  @param mode        DAMQ (default) or FIFO organization. */
+    BufferCore(PortId num_queues, unsigned num_slots,
+               ChipBufferMode mode = ChipBufferMode::Damq);
+
+    /** Organization of this core. */
+    ChipBufferMode mode() const { return bufferMode; }
+
+    /** Queues (= chip output ports). */
+    PortId numQueues() const { return queueRegs.size(); }
+
+    /** Total slots. */
+    unsigned numSlots() const { return pool.size(); }
+
+    /** Slots currently on the free list. */
+    unsigned freeSlots() const { return freeList.count; }
+
+    /**
+     * Packets transmittable toward output @p out right now
+     * (including one still being received).  FIFO mode only ever
+     * exposes the head-of-line packet.
+     */
+    unsigned packetsQueued(PortId out) const;
+
+    /**
+     * Allocate the first slot of a new packet from the free list
+     * and append it to queue @p out.  Returns the slot id.
+     */
+    SlotId beginPacket(PortId out);
+
+    /**
+     * Allocate a continuation slot for the packet currently being
+     * received into queue @p out (appended at the queue tail).
+     */
+    SlotId extendPacket(PortId out);
+
+    /** Write one payload byte. */
+    void writeByte(SlotId slot, unsigned offset, std::uint8_t byte);
+
+    /** Read one payload byte (must have been written). */
+    std::uint8_t readByte(SlotId slot, unsigned offset) const;
+
+    /** The pointer register of @p slot (kNullSlot at a tail). */
+    SlotId nextSlot(SlotId slot) const;
+
+    /** First slot of the head packet of queue @p out (or kNullSlot). */
+    SlotId headPacket(PortId out) const;
+
+    /** Metadata registers of the packet headed by @p slot. */
+    PacketMeta &meta(SlotId slot);
+    const PacketMeta &meta(SlotId slot) const;
+
+    /**
+     * Pop the front slot of queue @p out and return it to the free
+     * list.  @p last_of_packet decrements the queue's packet count
+     * and must be true exactly on a packet's final slot.
+     */
+    void popFrontSlot(PortId out, bool last_of_packet);
+
+    /** Panic if any list invariant is broken (tests). */
+    void debugValidate() const;
+
+  private:
+    struct ListRegs
+    {
+        SlotId head = kNullSlot;
+        SlotId tail = kNullSlot;
+        unsigned count = 0;
+        unsigned packets = 0; ///< queues only
+    };
+
+    SlotId takeFreeSlot();
+    void appendToQueue(ListRegs &queue, SlotId slot);
+
+    /** The list feeding output @p out (shared list in FIFO mode). */
+    ListRegs &queueFor(PortId out);
+    const ListRegs &queueFor(PortId out) const;
+
+    struct Slot
+    {
+        SlotId next = kNullSlot;
+        bool isPacketHead = false;
+        PacketMeta packetMeta;
+        std::uint8_t bytes[kSlotBytes] = {};
+        std::uint8_t written = 0; ///< bitmap of written byte lanes
+    };
+
+    ChipBufferMode bufferMode;
+    std::vector<Slot> pool;
+    ListRegs freeList;
+    std::vector<ListRegs> queueRegs;
+    /** FIFO mode: routed outputs of queued packets, in order. */
+    std::deque<PortId> fifoOrder;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_BUFFER_CORE_HH

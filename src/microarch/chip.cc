@@ -1,0 +1,57 @@
+#include "microarch/chip.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+ComCobbChip::ComCobbChip(const std::string &chip_name, PortId num_ports,
+                         unsigned num_slots, Tracer *tracer,
+                         ChipBufferMode buffer_mode)
+    : chipName(chip_name), mode(buffer_mode), arbiter(num_ports)
+{
+    damq_assert(num_ports >= 2, "chip needs at least two ports");
+    ins.reserve(num_ports);
+    outs.reserve(num_ports);
+    for (PortId i = 0; i < num_ports; ++i) {
+        ins.emplace_back(chip_name, i, num_ports, num_slots, tracer,
+                         buffer_mode);
+        outs.emplace_back(chip_name, i, tracer);
+    }
+}
+
+void
+ComCobbChip::phase0(Cycle cycle)
+{
+    for (auto &port : ins)
+        port.phase0(cycle);
+    for (auto &port : outs)
+        port.phase0(cycle);
+}
+
+void
+ComCobbChip::phase1(Cycle cycle)
+{
+    arbiter.phase1(cycle, ins, outs);
+    for (auto &port : ins)
+        port.phase1(cycle);
+    for (auto &port : outs)
+        port.phase1(cycle);
+}
+
+void
+ComCobbChip::endCycle(Cycle cycle)
+{
+    for (auto &port : ins)
+        port.endCycle(cycle);
+}
+
+void
+ComCobbChip::debugValidate() const
+{
+    for (const auto &port : ins)
+        port.buffer().debugValidate();
+}
+
+} // namespace micro
+} // namespace damq

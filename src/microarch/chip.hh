@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The ComCoBB chip: n input ports (each with a DAMQ buffer and a
+ * router), n output ports, and a central crossbar arbiter.  The
+ * default geometry is the paper's: four network ports plus one
+ * processor-interface port, all connected by a 5x5 crossbar, every
+ * port autonomous so all can be active simultaneously.
+ *
+ * Per-cycle evaluation order (see Table 1's phase discipline):
+ *   phase 0: input ports (writes), then output ports (wire drive
+ *            and crossbar reads);
+ *   phase 1: arbiter (sees requests from the *previous* cycle),
+ *            then input ports (routing/enqueue), then output ports
+ *            (latches and FSM advance);
+ *   end of cycle: input ports sample their links and publish
+ *            flow-control credits.
+ */
+
+#ifndef DAMQ_MICROARCH_CHIP_HH
+#define DAMQ_MICROARCH_CHIP_HH
+
+#include <string>
+#include <vector>
+
+#include "microarch/crossbar_arbiter.hh"
+#include "microarch/defs.hh"
+#include "microarch/input_port.hh"
+#include "microarch/output_port.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+
+/** One communication-coprocessor chip. */
+class ComCobbChip
+{
+  public:
+    /**
+     * @param chip_name  name used in traces.
+     * @param num_ports  ports (default 5: 4 network + processor).
+     * @param num_slots  buffer slots per input port (default 12).
+     * @param tracer     trace sink (may be nullptr).
+     */
+    explicit ComCobbChip(const std::string &chip_name,
+                         PortId num_ports = kComCobbPorts,
+                         unsigned num_slots = kDefaultBufferSlots,
+                         Tracer *tracer = nullptr,
+                         ChipBufferMode mode = ChipBufferMode::Damq);
+
+    /** Buffer organization at this chip's input ports. */
+    ChipBufferMode bufferMode() const { return mode; }
+
+    ComCobbChip(const ComCobbChip &) = delete;
+    ComCobbChip &operator=(const ComCobbChip &) = delete;
+
+    /** Chip name. */
+    const std::string &name() const { return chipName; }
+
+    /** Port count. */
+    PortId numPorts() const { return static_cast<PortId>(ins.size()); }
+
+    /** Input port @p i. */
+    MicroInputPort &inputPort(PortId i) { return ins[i]; }
+
+    /** Output port @p i. */
+    MicroOutputPort &outputPort(PortId i) { return outs[i]; }
+
+    /** Router (virtual-circuit table) of input port @p i. */
+    RoutingTable &router(PortId i) { return ins[i].router(); }
+
+    /** Phase-0 evaluation. */
+    void phase0(Cycle cycle);
+
+    /** Phase-1 evaluation (arbiter first). */
+    void phase1(Cycle cycle);
+
+    /** End-of-cycle sampling. */
+    void endCycle(Cycle cycle);
+
+    /** Validate every input buffer (tests). */
+    void debugValidate() const;
+
+  private:
+    std::string chipName;
+    ChipBufferMode mode;
+    std::vector<MicroInputPort> ins;
+    std::vector<MicroOutputPort> outs;
+    CrossbarArbiter arbiter;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_CHIP_HH

@@ -1,0 +1,59 @@
+#include "microarch/crossbar_arbiter.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+CrossbarArbiter::CrossbarArbiter(PortId num_ports,
+                                 unsigned min_credit_slots)
+    : ports(num_ports), minCredits(min_credit_slots),
+      rrNext(num_ports, 0)
+{
+}
+
+void
+CrossbarArbiter::phase1(Cycle cycle,
+                        std::vector<MicroInputPort> &inputs,
+                        std::vector<MicroOutputPort> &outputs)
+{
+    damq_assert(inputs.size() == ports && outputs.size() == ports,
+                "arbiter geometry mismatch");
+
+    // Buffers already connected to some output (single read port).
+    std::vector<bool> input_busy(ports, false);
+    for (const MicroOutputPort &out : outputs) {
+        if (out.servingInput() != kInvalidPort)
+            input_busy[out.servingInput()] = true;
+    }
+
+    for (PortId out = 0; out < ports; ++out) {
+        MicroOutputPort &output = outputs[out];
+        if (!output.idle())
+            continue;
+
+        // Downstream flow control: do not start a packet unless the
+        // receiver advertises room for a whole maximum packet.
+        if (output.attachedLink() != nullptr &&
+            output.attachedLink()->creditView() < minCredits) {
+            continue;
+        }
+
+        for (PortId step = 0; step < ports; ++step) {
+            const PortId input = (rrNext[out] + step) % ports;
+            if (input_busy[input])
+                continue;
+            if (inputs[input].buffer().packetsQueued(out) == 0)
+                continue;
+
+            output.beginTransmission(&inputs[input].buffer(), input,
+                                     cycle);
+            input_busy[input] = true;
+            rrNext[out] = (input + 1) % ports;
+            break;
+        }
+    }
+}
+
+} // namespace micro
+} // namespace damq

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The ComCoBB's central crossbar arbiter (Section 3.2.2): each
+ * cycle it connects idle output ports to input buffers that hold
+ * (or are receiving) a packet for them, round-robin per output,
+ * respecting the single read port of each buffer and downstream
+ * flow-control credits.
+ */
+
+#ifndef DAMQ_MICROARCH_CROSSBAR_ARBITER_HH
+#define DAMQ_MICROARCH_CROSSBAR_ARBITER_HH
+
+#include <vector>
+
+#include "microarch/defs.hh"
+#include "microarch/input_port.hh"
+#include "microarch/output_port.hh"
+
+namespace damq {
+namespace micro {
+
+/** Central arbiter of one chip. */
+class CrossbarArbiter
+{
+  public:
+    /** @param num_ports chip port count.
+     *  @param min_credit_slots downstream free slots required
+     *         before a transmission may start (a whole maximum
+     *         packet by default — conservative, deadlock-free). */
+    explicit CrossbarArbiter(PortId num_ports,
+                             unsigned min_credit_slots =
+                                 kMaxPacketSlots);
+
+    /**
+     * Phase-1 arbitration: grant idle outputs to requesting
+     * buffers.  Runs before the input ports' phase 1, so a request
+     * raised in cycle t is first seen in cycle t+1 and the
+     * connection is live in t+2 — the timing of Table 1.
+     */
+    void phase1(Cycle cycle,
+                std::vector<MicroInputPort> &inputs,
+                std::vector<MicroOutputPort> &outputs);
+
+  private:
+    PortId ports;
+    unsigned minCredits;
+    std::vector<PortId> rrNext; ///< per-output round-robin pointer
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_CROSSBAR_ARBITER_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Constants and small types of the byte-accurate ComCoBB model
+ * (Section 3 of the paper).
+ *
+ * The model is *phase-accurate*: each 20 MHz clock cycle has two
+ * phases, and every component acts at the cycle/phase combinations
+ * the paper's Table 1 describes.  One simulated cycle moves at most
+ * one byte per link.
+ */
+
+#ifndef DAMQ_MICROARCH_DEFS_HH
+#define DAMQ_MICROARCH_DEFS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace damq {
+namespace micro {
+
+/** Bytes per buffer slot (the paper settles on eight). */
+inline constexpr unsigned kSlotBytes = 8;
+
+/** Maximum packet payload (32 bytes = 4 slots). */
+inline constexpr unsigned kMaxPacketBytes = 32;
+
+/** Slots the largest packet occupies. */
+inline constexpr unsigned kMaxPacketSlots =
+    kMaxPacketBytes / kSlotBytes;
+
+/** Default slots per input buffer (96 cells / 8 bytes, Sec 3.2.3). */
+inline constexpr unsigned kDefaultBufferSlots = 12;
+
+/** Ports of the ComCoBB chip: 4 network + 1 processor interface. */
+inline constexpr PortId kComCobbPorts = 5;
+
+/** Index of the processor-interface port. */
+inline constexpr PortId kProcessorPort = 4;
+
+/** Virtual-circuit identifier carried in the header byte. */
+using VcId = std::uint8_t;
+
+/**
+ * Buffer organization of a chip's input ports.  The ComCoBB uses
+ * DAMQ; the FIFO mode exists so the head-of-line blocking the
+ * paper's Section 2 describes can be demonstrated at byte level on
+ * otherwise identical hardware.
+ */
+enum class ChipBufferMode : std::uint8_t
+{
+    Damq, ///< per-output linked-list queues (the paper's design)
+    Fifo  ///< one strictly ordered queue per input port
+};
+
+/** The two phases of each clock cycle. */
+enum class Phase : std::uint8_t
+{
+    P0 = 0,
+    P1 = 1
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_DEFS_HH

@@ -1,0 +1,156 @@
+#include "microarch/host.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+HostInjector::HostInjector(const std::string &injector_name,
+                           Tracer *tracer)
+    : name(injector_name), tracerPtr(tracer)
+{
+}
+
+void
+HostInjector::sendMessage(VcId vc, std::vector<std::uint8_t> payload)
+{
+    damq_assert(!payload.empty() && payload.size() <= 255,
+                "host messages must be 1..255 bytes (got ",
+                payload.size(), ")");
+    HostMessage msg;
+    msg.vc = vc;
+    msg.payload = std::move(payload);
+    queue.push_back(std::move(msg));
+}
+
+void
+HostInjector::phase0(Cycle cycle)
+{
+    damq_assert(link != nullptr, name, ": no link attached");
+
+    switch (stage) {
+      case TxStage::Idle: {
+        if (queue.empty())
+            return;
+        // Conservative flow control, like the chip's own outputs:
+        // start a packet only when the receiving buffer has room
+        // for a whole maximum packet.
+        if (link->creditView() < kMaxPacketSlots)
+            return;
+        const HostMessage &msg = queue.front();
+        packetLeft = static_cast<unsigned>(
+            std::min<std::size_t>(msg.payload.size() - sentBytes,
+                                  kMaxPacketBytes));
+        link->driveStartBit();
+        stage = TxStage::Header;
+        if (tracerPtr)
+            tracerPtr->record(cycle, Phase::P0, name, "start bit");
+        return;
+      }
+
+      case TxStage::Header: {
+        const HostMessage &msg = queue.front();
+        link->driveData(msg.vc);
+        stage = sentBytes == 0 ? TxStage::Length : TxStage::Data;
+        return;
+      }
+
+      case TxStage::Length: {
+        const HostMessage &msg = queue.front();
+        link->driveData(
+            static_cast<std::uint8_t>(msg.payload.size()));
+        stage = TxStage::Data;
+        return;
+      }
+
+      case TxStage::Data: {
+        const HostMessage &msg = queue.front();
+        link->driveData(msg.payload[sentBytes]);
+        ++sentBytes;
+        --packetLeft;
+        if (packetLeft == 0) {
+            stage = TxStage::Idle;
+            if (sentBytes == msg.payload.size()) {
+                queue.pop_front();
+                sentBytes = 0;
+                ++messagesDone;
+                if (tracerPtr)
+                    tracerPtr->record(cycle, Phase::P0, name,
+                                      "message fully injected");
+            }
+        }
+        return;
+      }
+    }
+}
+
+HostCollector::HostCollector(const std::string &collector_name,
+                             Tracer *tracer)
+    : name(collector_name), tracerPtr(tracer)
+{
+}
+
+void
+HostCollector::endCycle(Cycle cycle)
+{
+    damq_assert(link != nullptr, name, ": no link attached");
+    const LinkSample sample = link->current();
+
+    switch (stage) {
+      case RxStage::Idle:
+        if (sample.startBit)
+            stage = RxStage::Header;
+        break;
+
+      case RxStage::Header:
+        damq_assert(sample.hasData, name, ": missing header byte");
+        currentVc = sample.data;
+        if (remaining[currentVc] == 0) {
+            stage = RxStage::Length;
+        } else {
+            packetLeft = std::min(remaining[currentVc],
+                                  kMaxPacketBytes);
+            stage = RxStage::Data;
+        }
+        break;
+
+      case RxStage::Length:
+        damq_assert(sample.hasData, name, ": missing length byte");
+        damq_assert(sample.data >= 1, name, ": zero-length message");
+        remaining[currentVc] = sample.data;
+        assembly[currentVc].clear();
+        packetLeft = std::min(remaining[currentVc], kMaxPacketBytes);
+        stage = RxStage::Data;
+        break;
+
+      case RxStage::Data:
+        damq_assert(sample.hasData, name, ": missing payload byte");
+        assembly[currentVc].push_back(sample.data);
+        --remaining[currentVc];
+        --packetLeft;
+        if (packetLeft == 0) {
+            if (remaining[currentVc] == 0) {
+                HostMessage msg;
+                msg.vc = currentVc;
+                msg.payload = std::move(assembly[currentVc]);
+                msg.deliveredAt = cycle;
+                assembly[currentVc].clear();
+                messages.push_back(std::move(msg));
+                if (tracerPtr)
+                    tracerPtr->record(cycle, Phase::P1, name,
+                                      "message reassembled");
+            }
+            stage = RxStage::Idle;
+        }
+        break;
+    }
+
+    // The host always has room.
+    link->publishCredits(~0u);
+}
+
+} // namespace micro
+} // namespace damq

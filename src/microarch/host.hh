@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Host-side models for the processor interface: an injector that
+ * drives a chip input port with the ComCoBB packet protocol
+ * (start bit, header, length byte on the first packet of a
+ * message, payload bytes), and a collector that parses the
+ * protocol back into messages.  Together they let examples and
+ * tests move whole messages across a network of chips.
+ */
+
+#ifndef DAMQ_MICROARCH_HOST_HH
+#define DAMQ_MICROARCH_HOST_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "microarch/defs.hh"
+#include "microarch/link.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+
+/** A message handed to an injector or produced by a collector. */
+struct HostMessage
+{
+    VcId vc = 0;
+    std::vector<std::uint8_t> payload;
+    Cycle deliveredAt = 0; ///< collector side only
+};
+
+/** Drives one link with packetized messages. */
+class HostInjector
+{
+  public:
+    /** @param injector_name trace name.
+     *  @param tracer        may be nullptr. */
+    HostInjector(const std::string &injector_name, Tracer *tracer);
+
+    /** The link this injector drives (a chip input port's link). */
+    void attachLink(Link *l) { link = l; }
+
+    /**
+     * Queue @p payload (1..255 bytes) for circuit @p vc.  Messages
+     * are sent in FIFO order, packetized into <=32-byte packets;
+     * only the first packet carries the length byte.
+     */
+    void sendMessage(VcId vc, std::vector<std::uint8_t> payload);
+
+    /** Drive the link for this cycle and advance the FSM. */
+    void phase0(Cycle cycle);
+
+    /** True iff nothing is queued or in flight. */
+    bool idle() const
+    {
+        return stage == TxStage::Idle && queue.empty();
+    }
+
+    /** Messages fully injected so far. */
+    std::uint64_t messagesSent() const { return messagesDone; }
+
+  private:
+    enum class TxStage
+    {
+        Idle,
+        Header,
+        Length,
+        Data
+    };
+
+    std::string name;
+    Tracer *tracerPtr;
+    Link *link = nullptr;
+
+    std::deque<HostMessage> queue;
+    TxStage stage = TxStage::Idle;
+    std::size_t sentBytes = 0;   ///< of the current message
+    unsigned packetLeft = 0;     ///< payload bytes left this packet
+    std::uint64_t messagesDone = 0;
+};
+
+/** Parses one link back into messages. */
+class HostCollector
+{
+  public:
+    /** @param collector_name trace name.
+     *  @param tracer         may be nullptr. */
+    HostCollector(const std::string &collector_name, Tracer *tracer);
+
+    /** The link this collector listens on. */
+    void attachLink(Link *l) { link = l; }
+
+    /** Sample the link at end of cycle and parse. */
+    void endCycle(Cycle cycle);
+
+    /** Messages fully reassembled so far. */
+    const std::vector<HostMessage> &received() const
+    {
+        return messages;
+    }
+
+    /** Drop collected messages (keeps circuit state). */
+    void clearReceived() { messages.clear(); }
+
+  private:
+    enum class RxStage
+    {
+        Idle,
+        Header,
+        Length,
+        Data
+    };
+
+    std::string name;
+    Tracer *tracerPtr;
+    Link *link = nullptr;
+
+    RxStage stage = RxStage::Idle;
+    VcId currentVc = 0;
+    unsigned packetLeft = 0;
+    std::array<unsigned, 256> remaining{};
+    std::array<std::vector<std::uint8_t>, 256> assembly;
+    std::vector<HostMessage> messages;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_HOST_HH

@@ -1,0 +1,160 @@
+#include "microarch/input_port.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+MicroInputPort::MicroInputPort(const std::string &chip_name,
+                               PortId index, PortId num_ports,
+                               unsigned num_slots, Tracer *tracer,
+                               ChipBufferMode mode)
+    : name(chip_name + ".in" + std::to_string(index)),
+      portIndex(index), tracerPtr(tracer),
+      core(num_ports, num_slots, mode)
+{
+}
+
+void
+MicroInputPort::trace(Cycle cycle, Phase phase, const std::string &what)
+{
+    if (tracerPtr)
+        tracerPtr->record(cycle, phase, name, what);
+}
+
+void
+MicroInputPort::phase0(Cycle cycle)
+{
+    switch (state) {
+      case RxState::Idle:
+        if (syncReg.startBit) {
+            // Start-bit detector: notify the FSM that a packet is
+            // arriving; the header is in the synchronizer now.
+            state = RxState::AwaitHeader;
+            trace(cycle, Phase::P0, "start bit detected");
+        }
+        break;
+
+      case RxState::AwaitHeader:
+        damq_assert(syncReg.hasData,
+                    name, ": header byte missing after start bit");
+        headerReg = syncReg.data;
+        headerFresh = true; // routed at phase 1
+        trace(cycle, Phase::P0,
+              "synchronizer releases header byte; header register "
+              "latches it");
+        break;
+
+      case RxState::AwaitLength:
+        damq_assert(syncReg.hasData,
+                    name, ": length byte missing after header");
+        lengthReg = syncReg.data;
+        lengthFresh = true; // decoded at phase 1
+        trace(cycle, Phase::P0,
+              "synchronizer releases length byte");
+        break;
+
+      case RxState::RecvData: {
+        damq_assert(syncReg.hasData,
+                    name, ": payload byte missing mid-packet");
+        damq_assert(writeCounter > 0, name, ": spurious payload byte");
+        if (writeOffset == kSlotBytes) {
+            // First slot filled: chain the next slot from the free
+            // list (Section 3.2.1).
+            writeSlot = core.extendPacket(routedOut);
+            writeOffset = 0;
+            trace(cycle, Phase::P0,
+                  "slot filled; next free-list slot chained in");
+        }
+        core.writeByte(writeSlot, writeOffset, syncReg.data);
+        ++writeOffset;
+        --writeCounter;
+        ++bytesDone;
+        if (writeCounter == 0) {
+            // Write counter signals EOP.
+            ++packetsDone;
+            state = RxState::Idle;
+            trace(cycle, Phase::P0,
+                  "payload byte written; write counter signals EOP");
+        } else {
+            trace(cycle, Phase::P0, "payload byte written to buffer");
+        }
+        break;
+      }
+    }
+}
+
+void
+MicroInputPort::phase1(Cycle cycle)
+{
+    if (headerFresh) {
+        headerFresh = false;
+        const RouteResult route = routes.route(headerReg);
+        damq_assert(route.outPort < core.numQueues(),
+                    name, ": routed to nonexistent port");
+        damq_assert(route.outPort != portIndex,
+                    name, ": packet routed back out of its own port");
+        routedOut = route.outPort;
+
+        // The first free-list slot becomes the packet's first slot
+        // and the packet joins its output queue immediately — this
+        // early linking is what enables the 4-cycle cut-through.
+        headSlot = core.beginPacket(routedOut);
+        writeSlot = headSlot;
+        writeOffset = 0;
+
+        PacketMeta &m = core.meta(headSlot);
+        m.newHeader = route.newHeader;
+        m.firstOfMessage = route.firstOfMessage;
+        if (route.firstOfMessage) {
+            state = RxState::AwaitLength;
+        } else {
+            m.dataLength = route.continuationLength;
+            m.lengthKnown = true;
+            routes.consumeContinuation(headerReg,
+                                       route.continuationLength);
+            writeCounter = route.continuationLength;
+            state = RxState::RecvData;
+        }
+        std::ostringstream oss;
+        oss << "router: output port " << route.outPort
+            << ", new header " << unsigned{route.newHeader}
+            << "; first slot allocated and queued; crossbar "
+               "request raised";
+        trace(cycle, Phase::P1, oss.str());
+    }
+
+    if (lengthFresh) {
+        lengthFresh = false;
+        damq_assert(lengthReg >= 1, name, ": zero-length message");
+        const unsigned packet_len =
+            routes.beginMessage(headerReg, lengthReg);
+        PacketMeta &m = core.meta(headSlot);
+        m.msgLenByte = lengthReg;
+        m.dataLength = packet_len;
+        m.lengthKnown = true;
+        writeCounter = packet_len;
+        state = RxState::RecvData;
+        std::ostringstream oss;
+        oss << "length decoder: " << packet_len
+            << " bytes latched into length register and write "
+               "counter";
+        trace(cycle, Phase::P1, oss.str());
+    }
+}
+
+void
+MicroInputPort::endCycle(Cycle)
+{
+    if (link != nullptr) {
+        syncReg = link->current();
+        link->publishCredits(core.freeSlots());
+    } else {
+        syncReg = LinkSample{};
+    }
+}
+
+} // namespace micro
+} // namespace damq

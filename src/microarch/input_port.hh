@@ -1,0 +1,131 @@
+/**
+ * @file
+ * One ComCoBB input port: start-bit detector, synchronizer, header
+ * register, router, length decoder, write counter, and the receive
+ * ("buffer manager") FSM filling the DAMQ buffer core — the left
+ * half of the paper's Figure 2.
+ *
+ * Receive timeline for a packet whose start bit is on the wire in
+ * cycle T (matching Table 1):
+ *
+ *   T    start bit on the wire (sampled at end of cycle)
+ *   T+1  p0: start-bit detector fires; header byte enters the
+ *        synchronizer during this cycle
+ *   T+2  p0: synchronizer releases the header; header register
+ *        latches it
+ *        p1: router yields (output port, new header); the packet's
+ *        first slot is taken from the free list and linked onto
+ *        its output queue; crossbar request raised
+ *   T+3  p0: length byte released (first packet of a message)
+ *        p1: length decoder loads the write counter and the slot's
+ *        length register
+ *   T+4+ p0: one payload byte written per cycle; a new slot is
+ *        chained in after every eighth byte; EOP when the write
+ *        counter reaches zero
+ *
+ * Continuation packets skip the length-byte cycle (the router's
+ * per-circuit table supplies the length), so their payload starts
+ * at T+3.
+ */
+
+#ifndef DAMQ_MICROARCH_INPUT_PORT_HH
+#define DAMQ_MICROARCH_INPUT_PORT_HH
+
+#include <string>
+
+#include "microarch/buffer_core.hh"
+#include "microarch/defs.hh"
+#include "microarch/link.hh"
+#include "microarch/routing_table.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+
+/** One input port of a ComCoBB chip. */
+class MicroInputPort
+{
+  public:
+    /**
+     * @param chip_name  owning chip's name (for traces).
+     * @param index      this port's index on the chip.
+     * @param num_ports  chip port count (queues in the buffer).
+     * @param num_slots  buffer slots.
+     * @param tracer     trace sink (may be nullptr).
+     */
+    MicroInputPort(const std::string &chip_name, PortId index,
+                   PortId num_ports, unsigned num_slots,
+                   Tracer *tracer,
+                   ChipBufferMode mode = ChipBufferMode::Damq);
+
+    /** The link this port listens on. */
+    void attachLink(Link *l) { link = l; }
+    Link *attachedLink() { return link; }
+
+    /** This port's virtual-circuit table. */
+    RoutingTable &router() { return routes; }
+    const RoutingTable &router() const { return routes; }
+
+    /** This port's DAMQ buffer. */
+    BufferCore &buffer() { return core; }
+    const BufferCore &buffer() const { return core; }
+
+    /** Phase-0 actions (latch released bytes, write payload). */
+    void phase0(Cycle cycle);
+
+    /** Phase-1 actions (routing, counters, list updates). */
+    void phase1(Cycle cycle);
+
+    /** End of cycle: sample the link, publish flow-control credits. */
+    void endCycle(Cycle cycle);
+
+    /** True while no packet is being received. */
+    bool receiverIdle() const { return state == RxState::Idle; }
+
+    /** Packets fully received so far (stats). */
+    std::uint64_t packetsReceived() const { return packetsDone; }
+
+    /** Payload bytes written into the buffer so far (stats). */
+    std::uint64_t bytesReceived() const { return bytesDone; }
+
+  private:
+    enum class RxState
+    {
+        Idle,        ///< waiting for a start bit
+        AwaitHeader, ///< header byte in the synchronizer
+        AwaitLength, ///< length byte in the synchronizer
+        RecvData     ///< payload streaming in
+    };
+
+    void trace(Cycle cycle, Phase phase, const std::string &what);
+
+    std::string name;
+    PortId portIndex;
+    Link *link = nullptr;
+    Tracer *tracerPtr = nullptr;
+
+    RoutingTable routes;
+    BufferCore core;
+
+    LinkSample syncReg;     ///< synchronizer output (1-cycle delay)
+    RxState state = RxState::Idle;
+
+    VcId headerReg = 0;     ///< latched header byte
+    bool headerFresh = false;
+    std::uint8_t lengthReg = 0;
+    bool lengthFresh = false;
+
+    PortId routedOut = kInvalidPort;
+    SlotId headSlot = kNullSlot; ///< first slot of current packet
+    SlotId writeSlot = kNullSlot;
+    unsigned writeOffset = 0;
+    unsigned writeCounter = 0;   ///< payload bytes still expected
+
+    std::uint64_t packetsDone = 0;
+    std::uint64_t bytesDone = 0;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_INPUT_PORT_HH

@@ -1,0 +1,26 @@
+#include "microarch/link.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+void
+Link::driveStartBit()
+{
+    damq_assert(!wire.startBit && !wire.hasData,
+                "link driven twice in one cycle");
+    wire.startBit = true;
+}
+
+void
+Link::driveData(std::uint8_t byte)
+{
+    damq_assert(!wire.startBit && !wire.hasData,
+                "link driven twice in one cycle");
+    wire.hasData = true;
+    wire.data = byte;
+}
+
+} // namespace micro
+} // namespace damq

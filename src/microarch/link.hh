@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A unidirectional chip-to-chip link: eight data wires plus a
+ * start-bit wire, carrying one byte per clock cycle (Section 3's
+ * single-cycle synchronized transmission), and a reverse
+ * flow-control channel reporting the downstream buffer's free slot
+ * count with one cycle of latency.
+ *
+ * Timing contract: the transmitter drives the link during phase 0;
+ * the receiver samples it at end of cycle (its synchronizer then
+ * releases the byte at phase 0 of the following cycle).
+ */
+
+#ifndef DAMQ_MICROARCH_LINK_HH
+#define DAMQ_MICROARCH_LINK_HH
+
+#include <cstdint>
+
+#include "microarch/defs.hh"
+
+namespace damq {
+namespace micro {
+
+/** What is on the wires during one cycle. */
+struct LinkSample
+{
+    bool startBit = false;
+    bool hasData = false;
+    std::uint8_t data = 0;
+};
+
+/** One unidirectional link. */
+class Link
+{
+  public:
+    /** Transmitter: put a start bit on the wire this cycle. */
+    void driveStartBit();
+
+    /** Transmitter: put a data byte on the wire this cycle. */
+    void driveData(std::uint8_t byte);
+
+    /** Receiver: what is on the wire this cycle. */
+    const LinkSample &current() const { return wire; }
+
+    /** Clear the wire at end of cycle. */
+    void endCycle() { wire = LinkSample{}; }
+
+    /**
+     * Receiver side: publish the receiving buffer's free-slot
+     * count (called at end of cycle, so the transmitter reads a
+     * one-cycle-old value — real flow-control latency).
+     */
+    void publishCredits(unsigned free_slots) { credits = free_slots; }
+
+    /** Transmitter side: last published downstream free slots. */
+    unsigned creditView() const { return credits; }
+
+  private:
+    LinkSample wire;
+    unsigned credits = ~0u; ///< unconnected links never block
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_LINK_HH

@@ -1,0 +1,107 @@
+#include "microarch/micro_network.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+MicroNetwork::MicroNetwork(Tracer *tracer) : tracerPtr(tracer)
+{
+}
+
+Link *
+MicroNetwork::newLink()
+{
+    links.push_back(std::make_unique<Link>());
+    return links.back().get();
+}
+
+ComCobbChip &
+MicroNetwork::addChip(const std::string &name, PortId num_ports,
+                      unsigned num_slots, ChipBufferMode mode)
+{
+    chips.push_back(std::make_unique<ComCobbChip>(
+        name, num_ports, num_slots, tracerPtr, mode));
+    ComCobbChip &chip = *chips.back();
+    for (PortId i = 0; i < num_ports; ++i) {
+        chip.inputPort(i).attachLink(newLink());
+        chip.outputPort(i).attachLink(newLink());
+    }
+    return chip;
+}
+
+void
+MicroNetwork::connect(ComCobbChip &a, PortId pa, ComCobbChip &b,
+                      PortId pb)
+{
+    a.outputPort(pa).attachLink(b.inputPort(pb).attachedLink());
+    b.outputPort(pb).attachLink(a.inputPort(pa).attachedLink());
+}
+
+HostEndpoint
+MicroNetwork::attachHost(ComCobbChip &chip, PortId port)
+{
+    injectors.push_back(std::make_unique<HostInjector>(
+        chip.name() + ".host_tx", tracerPtr));
+    injectors.back()->attachLink(chip.inputPort(port).attachedLink());
+
+    collectors.push_back(std::make_unique<HostCollector>(
+        chip.name() + ".host_rx", tracerPtr));
+    Link *collector_link = newLink();
+    chip.outputPort(port).attachLink(collector_link);
+    collectors.back()->attachLink(collector_link);
+
+    return HostEndpoint{injectors.back().get(),
+                        collectors.back().get()};
+}
+
+void
+MicroNetwork::programCircuit(const std::vector<CircuitHop> &hops,
+                             VcId vc)
+{
+    for (const CircuitHop &hop : hops) {
+        damq_assert(hop.chip != nullptr, "circuit hop without a chip");
+        hop.chip->router(hop.inPort).program(vc, hop.outPort, vc);
+    }
+}
+
+void
+MicroNetwork::tick()
+{
+    // Phase 0: hosts and chips drive wires and move bytes.
+    for (auto &injector : injectors)
+        injector->phase0(cycle);
+    for (auto &chip : chips)
+        chip->phase0(cycle);
+
+    // Phase 1: arbitration, routing, latches.
+    for (auto &chip : chips)
+        chip->phase1(cycle);
+
+    // End of cycle: receivers sample, wires clear.
+    for (auto &collector : collectors)
+        collector->endCycle(cycle);
+    for (auto &chip : chips)
+        chip->endCycle(cycle);
+    for (auto &link : links)
+        link->endCycle();
+
+    ++cycle;
+}
+
+void
+MicroNetwork::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        tick();
+}
+
+void
+MicroNetwork::debugValidate() const
+{
+    for (const auto &chip : chips)
+        chip->debugValidate();
+}
+
+} // namespace micro
+} // namespace damq

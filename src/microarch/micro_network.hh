@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A network of ComCoBB chips wired by point-to-point links — the
+ * multicomputer setting the chip was designed for (Section 1).
+ * Owns all chips, links, host injectors/collectors, and the global
+ * two-phase clock.
+ */
+
+#ifndef DAMQ_MICROARCH_MICRO_NETWORK_HH
+#define DAMQ_MICROARCH_MICRO_NETWORK_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "microarch/chip.hh"
+#include "microarch/host.hh"
+#include "microarch/link.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+
+/** Handle for one host attachment (injector + collector pair). */
+struct HostEndpoint
+{
+    HostInjector *injector = nullptr;
+    HostCollector *collector = nullptr;
+};
+
+/** One hop of a virtual circuit (for programCircuit). */
+struct CircuitHop
+{
+    ComCobbChip *chip = nullptr;
+    PortId inPort = 0;  ///< port the packet arrives on
+    PortId outPort = 0; ///< port it leaves through
+};
+
+/** A set of chips, links, and hosts under one clock. */
+class MicroNetwork
+{
+  public:
+    /** @param tracer trace sink shared by all components. */
+    explicit MicroNetwork(Tracer *tracer = nullptr);
+
+    /**
+     * Create a chip.  Every input port gets its own link; every
+     * output port initially drives a private unconnected link.
+     */
+    ComCobbChip &addChip(const std::string &name,
+                         PortId num_ports = kComCobbPorts,
+                         unsigned num_slots = kDefaultBufferSlots,
+                         ChipBufferMode mode = ChipBufferMode::Damq);
+
+    /**
+     * Wire chips together bidirectionally: a.out[pa] -> b.in[pb]
+     * and b.out[pb] -> a.in[pa] (the paper pairs input and output
+     * ports into two unidirectional links per neighbor).
+     */
+    void connect(ComCobbChip &a, PortId pa, ComCobbChip &b, PortId pb);
+
+    /**
+     * Attach a host to @p chip's processor-interface port: an
+     * injector feeding in[port] and a collector on out[port].
+     */
+    HostEndpoint attachHost(ComCobbChip &chip,
+                            PortId port = kProcessorPort);
+
+    /**
+     * Program circuit @p vc along @p hops (same header value kept
+     * at every hop).
+     */
+    void programCircuit(const std::vector<CircuitHop> &hops, VcId vc);
+
+    /** Advance one clock cycle (both phases). */
+    void tick();
+
+    /** Advance @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /** Current cycle (increments after each tick). */
+    Cycle now() const { return cycle; }
+
+    /** Validate every chip's buffers (tests). */
+    void debugValidate() const;
+
+  private:
+    Link *newLink();
+
+    Tracer *tracerPtr;
+    Cycle cycle = 0;
+    std::vector<std::unique_ptr<Link>> links;
+    std::vector<std::unique_ptr<ComCobbChip>> chips;
+    std::vector<std::unique_ptr<HostInjector>> injectors;
+    std::vector<std::unique_ptr<HostCollector>> collectors;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_MICRO_NETWORK_HH

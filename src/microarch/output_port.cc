@@ -1,0 +1,188 @@
+#include "microarch/output_port.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+MicroOutputPort::MicroOutputPort(const std::string &chip_name,
+                                 PortId index, Tracer *tracer)
+    : name(chip_name + ".out" + std::to_string(index)),
+      portIndex(index), tracerPtr(tracer)
+{
+}
+
+void
+MicroOutputPort::trace(Cycle cycle, Phase phase,
+                       const std::string &what)
+{
+    if (tracerPtr)
+        tracerPtr->record(cycle, phase, name, what);
+}
+
+void
+MicroOutputPort::beginTransmission(BufferCore *src, PortId input,
+                                   Cycle cycle)
+{
+    damq_assert(stage == TxStage::Inactive,
+                name, ": grant while busy");
+    damq_assert(src->packetsQueued(portIndex) > 0,
+                name, ": grant for an empty queue");
+    stage = TxStage::StartBit;
+    justGranted = true;
+    source = src;
+    sourceInput = input;
+    bytesRead = 0;
+    bytesDriven = 0;
+    readOffset = 0;
+    readSlot = kNullSlot;
+    std::ostringstream oss;
+    oss << "crossbar arbitration latched: connected to input buffer "
+        << input;
+    trace(cycle, Phase::P1, oss.str());
+}
+
+void
+MicroOutputPort::prepareDataByte(Cycle cycle)
+{
+    pendingByte = source->readByte(readSlot, readOffset);
+    pendingValid = true;
+    ++readOffset;
+    ++bytesRead;
+
+    const bool slot_done = readOffset == kSlotBytes;
+    const bool packet_done = bytesRead == dataLength;
+    if (slot_done || packet_done) {
+        const SlotId next = source->nextSlot(readSlot);
+        source->popFrontSlot(portIndex, packet_done);
+        readSlot = next;
+        readOffset = 0;
+        trace(cycle, Phase::P0,
+              packet_done ? "last payload byte across crossbar; "
+                            "slot returned to free list"
+                          : "slot drained and returned to free list");
+    }
+}
+
+void
+MicroOutputPort::phase0(Cycle cycle)
+{
+    switch (stage) {
+      case TxStage::Inactive:
+        return;
+
+      case TxStage::StartBit: {
+        damq_assert(link != nullptr, name, ": no link attached");
+        link->driveStartBit();
+        ++busyCount;
+
+        // The head packet's registers cross the crossbar with the
+        // new header.  The head slot will be recycled mid-packet,
+        // so copy what the rest of the transmission needs.
+        readSlot = source->headPacket(portIndex);
+        damq_assert(readSlot != kNullSlot,
+                    name, ": connected to an empty queue");
+        const PacketMeta &m = source->meta(readSlot);
+        damq_assert(m.lengthKnown,
+                    name, ": transmission before length decode");
+        headerByte = m.newHeader;
+        lengthByte = m.msgLenByte;
+        firstOfMessage = m.firstOfMessage;
+        dataLength = m.dataLength;
+        pendingByte = headerByte;
+        pendingValid = true;
+        trace(cycle, Phase::P0,
+              "start bit generated; new header crosses the crossbar");
+        return;
+      }
+
+      case TxStage::Header:
+        link->driveData(latchedByte);
+        ++busyCount;
+        if (firstOfMessage) {
+            pendingByte = lengthByte;
+            pendingValid = true;
+            trace(cycle, Phase::P0,
+                  "header byte on the wire; length byte crosses the "
+                  "crossbar and loads the read counter");
+        } else {
+            prepareDataByte(cycle);
+            trace(cycle, Phase::P0,
+                  "header byte on the wire; first payload byte "
+                  "crosses the crossbar");
+        }
+        return;
+
+      case TxStage::Length:
+        link->driveData(latchedByte);
+        ++busyCount;
+        prepareDataByte(cycle);
+        trace(cycle, Phase::P0,
+              "length byte on the wire; first payload byte crosses "
+              "the crossbar");
+        return;
+
+      case TxStage::Data:
+        link->driveData(latchedByte);
+        ++busyCount;
+        ++bytesDone;
+        ++bytesDriven;
+        if (bytesDriven < dataLength && bytesRead < dataLength)
+            prepareDataByte(cycle);
+        return;
+    }
+}
+
+void
+MicroOutputPort::phase1(Cycle cycle)
+{
+    if (justGranted) {
+        // Granted earlier in this same phase; the pipeline starts
+        // at the next phase 0.
+        justGranted = false;
+        return;
+    }
+
+    switch (stage) {
+      case TxStage::Inactive:
+        return;
+
+      case TxStage::StartBit:
+        latchedByte = pendingByte;
+        stage = TxStage::Header;
+        trace(cycle, Phase::P1, "output port latches the new header");
+        return;
+
+      case TxStage::Header:
+        latchedByte = pendingByte;
+        stage = firstOfMessage ? TxStage::Length : TxStage::Data;
+        trace(cycle, Phase::P1,
+              firstOfMessage
+                  ? "output port latches the packet length"
+                  : "output port latches the first payload byte");
+        return;
+
+      case TxStage::Length:
+        latchedByte = pendingByte;
+        stage = TxStage::Data;
+        return;
+
+      case TxStage::Data:
+        if (bytesDriven == dataLength) {
+            stage = TxStage::Inactive;
+            source = nullptr;
+            sourceInput = kInvalidPort;
+            pendingValid = false;
+            ++packetsDone;
+            trace(cycle, Phase::P1, "packet transmission complete");
+        } else {
+            latchedByte = pendingByte;
+        }
+        return;
+    }
+}
+
+} // namespace micro
+} // namespace damq

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * One ComCoBB output port: the crossbar-side latch, read counter,
+ * start-bit generator, and the transmission-manager FSM — the
+ * right half of the paper's Figure 2.
+ *
+ * Transmit timeline once the arbiter connects this output to an
+ * input buffer at phase 1 of cycle C-1 (matching Table 1 with
+ * C = T+4 for a cut-through):
+ *
+ *   C    p0: start bit on the outgoing wire; the new header byte
+ *        crosses the crossbar   p1: header latched
+ *   C+1  p0: header byte on the wire; the length byte crosses the
+ *        crossbar and loads the read counter (first packet of a
+ *        message; continuation packets send payload here instead)
+ *        p1: length latched
+ *   C+2+ p0: one payload byte on the wire per cycle, each having
+ *        crossed the crossbar in the previous cycle; slots return
+ *        to the free list as they drain
+ *
+ * Slot bookkeeping: a slot is popped from the queue (and returned
+ * to the free list) in the same phase its last byte is read across
+ * the crossbar.
+ */
+
+#ifndef DAMQ_MICROARCH_OUTPUT_PORT_HH
+#define DAMQ_MICROARCH_OUTPUT_PORT_HH
+
+#include <string>
+
+#include "microarch/buffer_core.hh"
+#include "microarch/defs.hh"
+#include "microarch/link.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+
+/** One output port of a ComCoBB chip. */
+class MicroOutputPort
+{
+  public:
+    /** @param chip_name owning chip (traces).
+     *  @param index     this port's index (= the queue it drains).
+     *  @param tracer    trace sink (may be nullptr). */
+    MicroOutputPort(const std::string &chip_name, PortId index,
+                    Tracer *tracer);
+
+    /** The link this port drives. */
+    void attachLink(Link *l) { link = l; }
+    Link *attachedLink() { return link; }
+
+    /** True iff no transmission is in progress or pending. */
+    bool idle() const { return stage == TxStage::Inactive; }
+
+    /** Input buffer currently being drained (kInvalidPort if idle). */
+    PortId servingInput() const { return sourceInput; }
+
+    /**
+     * Arbiter grant (phase 1): start draining queue `index` of
+     * @p source, which belongs to input port @p input.  The start
+     * bit goes out in the next cycle.
+     */
+    void beginTransmission(BufferCore *source, PortId input,
+                           Cycle cycle);
+
+    /** Phase-0 actions (drive wire, read across crossbar). */
+    void phase0(Cycle cycle);
+
+    /** Phase-1 actions (latch crossbar byte, advance the FSM). */
+    void phase1(Cycle cycle);
+
+    /** Packets fully transmitted (stats). */
+    std::uint64_t packetsSent() const { return packetsDone; }
+
+    /** Payload bytes driven on the wire (stats). */
+    std::uint64_t bytesSent() const { return bytesDone; }
+
+    /** Cycles this port drove its wire (stats). */
+    std::uint64_t busyCycles() const { return busyCount; }
+
+  private:
+    enum class TxStage
+    {
+        Inactive,
+        StartBit, ///< driving the start bit this cycle
+        Header,   ///< driving the header byte this cycle
+        Length,   ///< driving the length byte this cycle
+        Data      ///< driving payload bytes
+    };
+
+    void trace(Cycle cycle, Phase phase, const std::string &what);
+
+    /** Read the next payload byte across the crossbar. */
+    void prepareDataByte(Cycle cycle);
+
+    std::string name;
+    PortId portIndex;
+    Link *link = nullptr;
+    Tracer *tracerPtr = nullptr;
+
+    TxStage stage = TxStage::Inactive;
+    bool justGranted = false;
+
+    BufferCore *source = nullptr;
+    PortId sourceInput = kInvalidPort;
+
+    // Packet registers copied from the head slot's meta when the
+    // header crosses the crossbar (the head slot is recycled before
+    // the packet finishes draining).
+    VcId headerByte = 0;
+    std::uint8_t lengthByte = 0;
+    bool firstOfMessage = false;
+    unsigned dataLength = 0;
+
+    std::uint8_t latchedByte = 0;  ///< crossed the crossbar last cycle
+    std::uint8_t pendingByte = 0;  ///< crossing the crossbar now
+    bool pendingValid = false;
+
+    SlotId readSlot = kNullSlot;
+    unsigned readOffset = 0;
+    unsigned bytesRead = 0;   ///< payload bytes read across crossbar
+    unsigned bytesDriven = 0; ///< payload bytes put on the wire
+
+    std::uint64_t packetsDone = 0;
+    std::uint64_t bytesDone = 0;
+    std::uint64_t busyCount = 0;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_OUTPUT_PORT_HH

@@ -1,0 +1,63 @@
+#include "microarch/routing_table.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace micro {
+
+void
+RoutingTable::program(VcId vc, PortId out, VcId nvc)
+{
+    Entry &entry = entries[vc];
+    damq_assert(entry.remaining == 0,
+                "reprogramming circuit ", unsigned{vc},
+                " mid-message");
+    entry.valid = true;
+    entry.outPort = out;
+    entry.newHeader = nvc;
+}
+
+RouteResult
+RoutingTable::route(VcId vc) const
+{
+    const Entry &entry = entries[vc];
+    damq_assert(entry.valid, "packet on unprogrammed circuit ",
+                unsigned{vc});
+    RouteResult result;
+    result.outPort = entry.outPort;
+    result.newHeader = entry.newHeader;
+    result.firstOfMessage = entry.remaining == 0;
+    result.continuationLength =
+        std::min(entry.remaining, kMaxPacketBytes);
+    return result;
+}
+
+unsigned
+RoutingTable::beginMessage(VcId vc, unsigned message_bytes)
+{
+    Entry &entry = entries[vc];
+    damq_assert(entry.valid, "beginMessage on unprogrammed circuit");
+    damq_assert(entry.remaining == 0,
+                "length byte while circuit ", unsigned{vc},
+                " still expects ", entry.remaining, " bytes");
+    damq_assert(message_bytes >= 1, "empty message");
+    const unsigned this_packet =
+        std::min(message_bytes, kMaxPacketBytes);
+    entry.remaining = message_bytes - this_packet;
+    return this_packet;
+}
+
+void
+RoutingTable::consumeContinuation(VcId vc, unsigned payload_bytes)
+{
+    Entry &entry = entries[vc];
+    damq_assert(entry.valid && entry.remaining >= payload_bytes,
+                "continuation accounting out of sync on circuit ",
+                unsigned{vc});
+    entry.remaining -= payload_bytes;
+}
+
+} // namespace micro
+} // namespace damq

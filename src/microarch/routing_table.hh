@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The per-input-port router of the ComCoBB chip.
+ *
+ * The ComCoBB routes with virtual circuits: the header byte is a
+ * circuit id that indexes a local table yielding the local output
+ * port and the *new* header to use on the next hop (Section 3.2).
+ * The router also tracks, per circuit, how many message bytes are
+ * still expected, because only the first packet of a message
+ * carries a length byte — continuation packets derive their length
+ * from this table.
+ */
+
+#ifndef DAMQ_MICROARCH_ROUTING_TABLE_HH
+#define DAMQ_MICROARCH_ROUTING_TABLE_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hh"
+#include "microarch/defs.hh"
+
+namespace damq {
+namespace micro {
+
+/** Result of routing one header byte. */
+struct RouteResult
+{
+    PortId outPort = kInvalidPort;
+    VcId newHeader = 0;
+
+    /** True iff this packet starts a message (length byte next). */
+    bool firstOfMessage = true;
+
+    /**
+     * For continuation packets: payload bytes of this packet,
+     * derived from the circuit's remaining-byte counter.
+     */
+    unsigned continuationLength = 0;
+};
+
+/** Virtual-circuit routing table of one input port. */
+class RoutingTable
+{
+  public:
+    /** Program circuit @p vc to leave via @p out with header @p nvc. */
+    void program(VcId vc, PortId out, VcId nvc);
+
+    /** True iff circuit @p vc has been programmed. */
+    bool isProgrammed(VcId vc) const { return entries[vc].valid; }
+
+    /**
+     * Route the header byte of an arriving packet.  Must not be
+     * called for unprogrammed circuits (panic — a routing bug).
+     */
+    RouteResult route(VcId vc) const;
+
+    /**
+     * Record the message length from a first packet's length byte;
+     * returns this packet's payload length (<= 32 bytes).
+     */
+    unsigned beginMessage(VcId vc, unsigned message_bytes);
+
+    /**
+     * Account a continuation packet's payload against the
+     * circuit's remaining-byte counter.
+     */
+    void consumeContinuation(VcId vc, unsigned payload_bytes);
+
+    /** Bytes still expected on circuit @p vc (0 = idle circuit). */
+    unsigned remainingBytes(VcId vc) const
+    {
+        return entries[vc].remaining;
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        PortId outPort = kInvalidPort;
+        VcId newHeader = 0;
+        unsigned remaining = 0; ///< message bytes still expected
+    };
+
+    std::array<Entry, 256> entries;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_ROUTING_TABLE_HH

@@ -1,0 +1,38 @@
+#include "microarch/trace.hh"
+
+#include <sstream>
+
+namespace damq {
+namespace micro {
+
+void
+Tracer::record(Cycle cycle, Phase phase, const std::string &source,
+               const std::string &action)
+{
+    if (!recording)
+        return;
+    log.push_back(TraceEvent{cycle, phase, source, action});
+}
+
+std::string
+Tracer::render() const
+{
+    return render(0, ~Cycle{0});
+}
+
+std::string
+Tracer::render(Cycle first, Cycle last) const
+{
+    std::ostringstream oss;
+    for (const TraceEvent &event : log) {
+        if (event.cycle < first || event.cycle > last)
+            continue;
+        oss << "cycle " << event.cycle << " phase "
+            << (event.phase == Phase::P0 ? "0" : "1") << "  "
+            << event.source << ": " << event.action << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace micro
+} // namespace damq

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle/phase trace recorder.  Components report what they do and
+ * when; the Table 1 bench renders the records of a cut-through as
+ * the paper's phase-by-phase schedule.
+ */
+
+#ifndef DAMQ_MICROARCH_TRACE_HH
+#define DAMQ_MICROARCH_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "microarch/defs.hh"
+
+namespace damq {
+namespace micro {
+
+/** One recorded action. */
+struct TraceEvent
+{
+    Cycle cycle = 0;
+    Phase phase = Phase::P0;
+    std::string source; ///< component name, e.g. "in0.router"
+    std::string action;
+};
+
+/** Collects TraceEvents when enabled; otherwise free. */
+class Tracer
+{
+  public:
+    /** Start recording. */
+    void enable() { recording = true; }
+
+    /** Stop recording (events are kept). */
+    void disable() { recording = false; }
+
+    /** True while recording. */
+    bool enabled() const { return recording; }
+
+    /** Record one action (no-op when disabled). */
+    void record(Cycle cycle, Phase phase, const std::string &source,
+                const std::string &action);
+
+    /** All events recorded so far. */
+    const std::vector<TraceEvent> &events() const { return log; }
+
+    /** Drop all recorded events. */
+    void clear() { log.clear(); }
+
+    /** Render events as "cycle phase source: action" lines. */
+    std::string render() const;
+
+    /** Render only events within [first, last] cycles. */
+    std::string render(Cycle first, Cycle last) const;
+
+  private:
+    bool recording = false;
+    std::vector<TraceEvent> log;
+};
+
+} // namespace micro
+} // namespace damq
+
+#endif // DAMQ_MICROARCH_TRACE_HH

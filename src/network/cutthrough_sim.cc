@@ -1,0 +1,380 @@
+#include "network/cutthrough_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "queueing/buffer_factory.hh"
+
+namespace damq {
+
+const char *
+switchingModeName(SwitchingMode mode)
+{
+    switch (mode) {
+      case SwitchingMode::StoreAndForward: return "store-and-forward";
+      case SwitchingMode::CutThrough: return "cut-through";
+    }
+    damq_panic("unknown SwitchingMode ", static_cast<int>(mode));
+}
+
+CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
+    : cfg(config), topo(config.numPorts, config.radix),
+      rng(config.seed),
+      sourceQueues(config.numPorts),
+      sourceWireFreeAt(config.numPorts, 0)
+{
+    damq_assert(cfg.wireClocks >= 1 && cfg.routeClocks >= 1,
+                "wire and route times must be positive");
+    if (cfg.traffic == "hotspot") {
+        pattern = std::make_unique<HotSpotTraffic>(
+            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
+    } else {
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+    }
+
+    switches.resize(topo.numStages());
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t i = 0; i < topo.switchesPerStage(); ++i) {
+            SwitchState state;
+            for (PortId input = 0; input < cfg.radix; ++input) {
+                state.buffers.push_back(makeBuffer(
+                    cfg.bufferType, cfg.radix, cfg.slotsPerBuffer));
+                state.bufferPtrs.push_back(state.buffers.back().get());
+            }
+            state.arbiter =
+                makeArbiter(cfg.arbitration, cfg.radix, cfg.radix,
+                            cfg.staleThreshold);
+            state.outputFreeAt.assign(cfg.radix, 0);
+            state.readFreeAt.assign(
+                cfg.bufferType == BufferType::Safc
+                    ? static_cast<std::size_t>(cfg.radix) * cfg.radix
+                    : cfg.radix,
+                0);
+            switches[stage].push_back(std::move(state));
+        }
+    }
+}
+
+bool
+CutThroughSimulator::reserveNextHop(std::uint32_t stage,
+                                    std::uint32_t sw, PortId out,
+                                    const Packet &pkt)
+{
+    if (stage + 1 >= topo.numStages())
+        return true; // sinks always accept
+    const StageCoord next = topo.nextStageInput(stage, sw, out);
+    const PortId next_out = topo.outputPortFor(pkt.dest, stage + 1);
+    return switches[stage + 1][next.switchIndex]
+        .buffers[next.port]
+        ->reserve(next_out, pkt.lengthSlots);
+}
+
+void
+CutThroughSimulator::launch(std::uint32_t stage, std::uint32_t sw,
+                            PortId out, const Packet &pkt,
+                            bool from_cut_through)
+{
+    SwitchState &state = switches[stage][sw];
+    damq_assert(state.outputFreeAt[out] <= clock,
+                "launch on a busy wire");
+    state.outputFreeAt[out] = clock + cfg.wireClocks;
+
+    Flight flight;
+    flight.packet = pkt;
+    flight.headArrives = clock;
+    flight.reserved = cfg.protocol == FlowControl::Blocking;
+    if (stage + 1 == topo.numStages()) {
+        flight.toSink = true;
+        flight.sink = topo.sinkFor(sw, out);
+    } else {
+        flight.stage = stage + 1;
+        flight.at = topo.nextStageInput(stage, sw, out);
+        flight.packet.outPort =
+            topo.outputPortFor(pkt.dest, stage + 1);
+        ++flight.packet.hops;
+    }
+    flights.push_back(flight);
+    (from_cut_through ? hopsCut : hopsBuffered) += 1;
+}
+
+void
+CutThroughSimulator::processDecisions()
+{
+    // launch() appends the next hop's flight to `flights`, so move
+    // the current set aside before iterating.
+    std::vector<Flight> current;
+    current.swap(flights);
+
+    for (Flight &flight : current) {
+        // Sink deliveries complete when the tail lands.
+        if (flight.toSink) {
+            if (flight.headArrives + cfg.wireClocks > clock) {
+                flights.push_back(flight);
+                continue;
+            }
+            damq_assert(flight.packet.dest == flight.sink,
+                        "cut-through sim misrouted a packet");
+            ++delivered;
+            if (measuring) {
+                ++windowDelivered;
+                latencyClocks.add(static_cast<double>(
+                    clock - flight.packet.injectedAt));
+            }
+            continue;
+        }
+
+        // Routing completes R clocks after the head arrives.
+        if (flight.headArrives + cfg.routeClocks > clock) {
+            flights.push_back(flight);
+            continue;
+        }
+
+        SwitchState &state = switches[flight.stage][flight.at.switchIndex];
+        BufferModel &buffer = *state.buffers[flight.at.port];
+        const PortId out = flight.packet.outPort;
+
+        // Can this packet cut through?  The output wire must be
+        // idle, the buffer's path to it unoccupied, and — for a
+        // FIFO buffer — the *whole* buffer empty, since overtaking
+        // stored packets would break FIFO order.  (This is exactly
+        // why FIFO switches cut through less often.)
+        const bool queue_clear =
+            cfg.bufferType == BufferType::Fifo
+                ? buffer.empty()
+                : buffer.queueLength(out) == 0;
+        const std::size_t read_idx =
+            cfg.bufferType == BufferType::Safc
+                ? flight.at.port * cfg.radix + out
+                : flight.at.port;
+        const bool can_cut =
+            cfg.mode == SwitchingMode::CutThrough && queue_clear &&
+            state.outputFreeAt[out] <= clock &&
+            state.readFreeAt[read_idx] <= clock;
+
+        if (can_cut && (cfg.protocol == FlowControl::Discarding ||
+                        reserveNextHop(flight.stage,
+                                       flight.at.switchIndex, out,
+                                       flight.packet))) {
+            // Forward immediately; the slot reserved here (if any)
+            // is no longer needed.
+            if (flight.reserved) {
+                buffer.cancelReservation(out,
+                                         flight.packet.lengthSlots);
+            }
+            state.readFreeAt[read_idx] = clock + cfg.wireClocks;
+            launch(flight.stage, flight.at.switchIndex, out,
+                   flight.packet, /*from_cut_through=*/true);
+            continue;
+        }
+
+        // Must be buffered.  Under blocking the slot was reserved
+        // before the packet was sent; under discarding grab one now
+        // or drop the packet.
+        if (!flight.reserved) {
+            if (!buffer.reserve(out, flight.packet.lengthSlots)) {
+                ++discarded;
+                if (measuring)
+                    ++windowDiscarded;
+                continue;
+            }
+            flight.reserved = true;
+        }
+        // Fully received once the tail lands; commit then.
+        Flight pending = flight;
+        pending.headArrives += cfg.wireClocks; // = commit clock
+        storing.push_back(pending);
+    }
+
+    // Commit packets whose tails have fully arrived.
+    std::vector<Flight> still_storing;
+    still_storing.reserve(storing.size());
+    for (Flight &pending : storing) {
+        if (pending.headArrives > clock) {
+            still_storing.push_back(pending);
+            continue;
+        }
+        switches[pending.stage][pending.at.switchIndex]
+            .buffers[pending.at.port]
+            ->pushReserved(pending.packet);
+    }
+    storing.swap(still_storing);
+}
+
+void
+CutThroughSimulator::arbitrateBuffered()
+{
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            SwitchState &state = switches[stage][idx];
+
+            auto can_send = [&](PortId input, PortId out,
+                                const Packet &pkt) {
+                if (state.outputFreeAt[out] > clock)
+                    return false;
+                const std::size_t read_idx =
+                    cfg.bufferType == BufferType::Safc
+                        ? input * cfg.radix + out
+                        : input;
+                if (state.readFreeAt[read_idx] > clock)
+                    return false;
+                if (cfg.protocol == FlowControl::Discarding)
+                    return true;
+                if (stage + 1 == topo.numStages())
+                    return true;
+                const StageCoord next =
+                    topo.nextStageInput(stage, idx, out);
+                const PortId next_out =
+                    topo.outputPortFor(pkt.dest, stage + 1);
+                return switches[stage + 1][next.switchIndex]
+                    .buffers[next.port]
+                    ->canAccept(next_out, pkt.lengthSlots);
+            };
+
+            const GrantList grants =
+                state.arbiter->arbitrate(state.bufferPtrs, can_send);
+            for (const Grant &g : grants) {
+                Packet pkt = state.buffers[g.input]->pop(g.output);
+                if (cfg.protocol == FlowControl::Blocking) {
+                    const bool ok =
+                        reserveNextHop(stage, idx, g.output, pkt);
+                    damq_assert(ok, "reservation failed after a "
+                                    "successful back-pressure check");
+                }
+                const std::size_t read_idx =
+                    cfg.bufferType == BufferType::Safc
+                        ? g.input * cfg.radix + g.output
+                        : g.input;
+                state.readFreeAt[read_idx] = clock + cfg.wireClocks;
+                launch(stage, idx, g.output, pkt,
+                       /*from_cut_through=*/false);
+            }
+        }
+    }
+}
+
+void
+CutThroughSimulator::injectSources()
+{
+    const double per_clock =
+        cfg.offeredLoad / static_cast<double>(cfg.wireClocks);
+    for (NodeId src = 0; src < cfg.numPorts; ++src) {
+        if (rng.bernoulli(per_clock)) {
+            Packet pkt;
+            pkt.id = nextPacketId++;
+            pkt.source = src;
+            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.lengthSlots = 1;
+            pkt.generatedAt = clock;
+            sourceQueues[src].push_back(pkt);
+            ++generated;
+            if (measuring)
+                ++windowGenerated;
+        }
+
+        if (sourceQueues[src].empty() ||
+            sourceWireFreeAt[src] > clock) {
+            continue;
+        }
+        Packet &head = sourceQueues[src].front();
+        const StageCoord coord = topo.firstStageInput(src);
+        const PortId out = topo.outputPortFor(head.dest, 0);
+
+        if (cfg.protocol == FlowControl::Blocking) {
+            // Reserve the landing slot before occupying the wire.
+            if (!switches[0][coord.switchIndex]
+                     .buffers[coord.port]
+                     ->reserve(out, head.lengthSlots)) {
+                continue;
+            }
+        }
+
+        Packet pkt = head;
+        sourceQueues[src].pop_front();
+        pkt.outPort = out;
+        pkt.injectedAt = clock;
+        sourceWireFreeAt[src] = clock + cfg.wireClocks;
+
+        Flight flight;
+        flight.packet = pkt;
+        flight.stage = 0;
+        flight.at = coord;
+        flight.headArrives = clock;
+        flight.reserved = cfg.protocol == FlowControl::Blocking;
+        flights.push_back(flight);
+    }
+}
+
+void
+CutThroughSimulator::step()
+{
+    ++clock;
+    processDecisions();
+    arbitrateBuffered();
+    injectSources();
+}
+
+CutThroughResult
+CutThroughSimulator::run()
+{
+    for (Cycle c = 0; c < cfg.warmupClocks; ++c)
+        step();
+
+    measuring = true;
+    windowGenerated = 0;
+    windowDelivered = 0;
+    windowDiscarded = 0;
+    latencyClocks.reset();
+    const std::uint64_t cut_before = hopsCut;
+    const std::uint64_t buffered_before = hopsBuffered;
+    for (Cycle c = 0; c < cfg.measureClocks; ++c)
+        step();
+    measuring = false;
+
+    CutThroughResult result;
+    result.generated = windowGenerated;
+    result.delivered = windowDelivered;
+    result.discarded = windowDiscarded;
+    result.measuredClocks = cfg.measureClocks;
+    // Link capacity is one packet per W clocks per endpoint.
+    result.deliveredLoad =
+        static_cast<double>(windowDelivered) *
+        static_cast<double>(cfg.wireClocks) /
+        (static_cast<double>(cfg.numPorts) *
+         static_cast<double>(cfg.measureClocks));
+    result.latencyClocks = latencyClocks;
+    const std::uint64_t cut = hopsCut - cut_before;
+    const std::uint64_t buffered = hopsBuffered - buffered_before;
+    result.cutThroughFraction =
+        cut + buffered == 0
+            ? 0.0
+            : static_cast<double>(cut) /
+                  static_cast<double>(cut + buffered);
+    return result;
+}
+
+std::uint64_t
+CutThroughSimulator::packetsEverywhere() const
+{
+    std::uint64_t total = flights.size() + storing.size();
+    for (const auto &stage : switches) {
+        for (const auto &state : stage) {
+            for (const auto &buffer : state.buffers)
+                total += buffer->totalPackets();
+        }
+    }
+    for (const auto &q : sourceQueues)
+        total += q.size();
+    return total;
+}
+
+void
+CutThroughSimulator::debugValidate() const
+{
+    for (const auto &stage : switches)
+        for (const auto &state : stage)
+            for (const auto &buffer : state.buffers)
+                buffer->debugValidate();
+}
+
+} // namespace damq

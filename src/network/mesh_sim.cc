@@ -1,0 +1,238 @@
+#include "network/mesh_sim.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+MeshSimulator::MeshSimulator(const MeshConfig &config)
+    : cfg(config), rng(config.seed),
+      sourceQueues(config.width * config.height)
+{
+    damq_assert(cfg.width >= 2 && cfg.height >= 2,
+                "mesh needs at least 2x2 nodes");
+    const std::uint32_t n = numNodes();
+    if (cfg.traffic == "hotspot") {
+        pattern = std::make_unique<HotSpotTraffic>(
+            n, cfg.hotSpotFraction, NodeId{0});
+    } else if (cfg.traffic == "transpose") {
+        damq_assert(cfg.width == cfg.height,
+                    "transpose traffic needs a square mesh");
+        pattern = std::make_unique<TransposeTraffic>(cfg.width);
+    } else {
+        pattern = makeTraffic(cfg.traffic, n, cfg.seed);
+    }
+
+    nodes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        nodes.push_back(std::make_unique<SwitchModel>(
+            kMeshPorts, cfg.bufferType, cfg.slotsPerBuffer,
+            cfg.arbitration, cfg.staleThreshold));
+    }
+}
+
+PortId
+MeshSimulator::routeFrom(NodeId node, NodeId dest) const
+{
+    // Dimension-order: correct X first, then Y, then deliver.
+    const std::int64_t x = node % cfg.width;
+    const std::int64_t y = node / cfg.width;
+    const std::int64_t tx = dest % cfg.width;
+    const std::int64_t ty = dest / cfg.width;
+    if (tx > x)
+        return kEast;
+    if (tx < x)
+        return kWest;
+    if (ty > y)
+        return kNorth;
+    if (ty < y)
+        return kSouth;
+    return kLocal;
+}
+
+std::pair<NodeId, PortId>
+MeshSimulator::neighbor(NodeId node, PortId out) const
+{
+    const std::uint32_t x = node % cfg.width;
+    const std::uint32_t y = node / cfg.width;
+    switch (out) {
+      case kEast:
+        damq_assert(x + 1 < cfg.width, "routed off the east edge");
+        return {node + 1, kWest};
+      case kWest:
+        damq_assert(x > 0, "routed off the west edge");
+        return {node - 1, kEast};
+      case kNorth:
+        damq_assert(y + 1 < cfg.height, "routed off the north edge");
+        return {node + cfg.width, kSouth};
+      case kSouth:
+        damq_assert(y > 0, "routed off the south edge");
+        return {node - cfg.width, kNorth};
+      default:
+        damq_panic("neighbor() of the local port");
+    }
+}
+
+void
+MeshSimulator::step()
+{
+    ++currentCycle;
+    moveTrafficForward();
+    generateAndInject();
+}
+
+void
+MeshSimulator::moveTrafficForward()
+{
+    struct Move
+    {
+        NodeId node;
+        Packet packet;
+    };
+    std::vector<Move> moves;
+
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        auto can_send = [&](PortId, PortId out, const Packet &pkt) {
+            if (out == kLocal)
+                return true; // the host always consumes
+            if (cfg.protocol == FlowControl::Discarding)
+                return true;
+            const auto [next, in_port] = neighbor(node, out);
+            const PortId next_out = routeFrom(next, pkt.dest);
+            return nodes[next]->canAccept(in_port, next_out,
+                                          pkt.lengthSlots);
+        };
+        for (Packet &pkt : nodes[node]->transmit(can_send))
+            moves.push_back(Move{node, pkt});
+    }
+
+    for (Move &move : moves) {
+        if (move.packet.outPort == kLocal) {
+            deliver(move.packet, move.node);
+            continue;
+        }
+        const auto [next, in_port] =
+            neighbor(move.node, move.packet.outPort);
+        Packet pkt = move.packet;
+        pkt.outPort = routeFrom(next, pkt.dest);
+        ++pkt.hops;
+        if (!nodes[next]->tryReceive(in_port, pkt)) {
+            damq_assert(cfg.protocol == FlowControl::Discarding,
+                        "blocking mesh transmitted into a full "
+                        "buffer");
+            ++counters.discardedInternal;
+        }
+    }
+}
+
+void
+MeshSimulator::generateAndInject()
+{
+    for (NodeId src = 0; src < numNodes(); ++src) {
+        if (rng.bernoulli(cfg.offeredLoad)) {
+            Packet pkt;
+            pkt.id = nextPacketId++;
+            pkt.source = src;
+            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.lengthSlots = 1;
+            pkt.generatedAt = currentCycle;
+            ++counters.generated;
+            if (cfg.protocol == FlowControl::Blocking) {
+                sourceQueues[src].push_back(pkt);
+            } else if (!tryInject(src, pkt)) {
+                ++counters.discardedAtEntry;
+            }
+        }
+        if (cfg.protocol == FlowControl::Blocking &&
+            !sourceQueues[src].empty()) {
+            if (tryInject(src, sourceQueues[src].front()))
+                sourceQueues[src].pop_front();
+        }
+    }
+}
+
+bool
+MeshSimulator::tryInject(NodeId src, Packet pkt)
+{
+    pkt.outPort = routeFrom(src, pkt.dest);
+    pkt.injectedAt = currentCycle;
+    if (!nodes[src]->canAccept(kLocal, pkt.outPort, pkt.lengthSlots))
+        return false;
+    const bool accepted = nodes[src]->tryReceive(kLocal, pkt);
+    damq_assert(accepted, "canAccept/tryReceive disagree");
+    ++counters.injected;
+    return true;
+}
+
+void
+MeshSimulator::deliver(const Packet &pkt, NodeId node)
+{
+    if (pkt.dest != node) {
+        ++counters.misrouted;
+        damq_panic("mesh packet ", pkt.id, " for node ", pkt.dest,
+                   " delivered at node ", node);
+    }
+    ++counters.delivered;
+    if (measuring) {
+        latencyCycles.add(
+            static_cast<double>(currentCycle - pkt.injectedAt));
+        hopSamples.add(static_cast<double>(pkt.hops));
+    }
+}
+
+MeshResult
+MeshSimulator::run()
+{
+    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+        step();
+    const NetworkCounters at_start = counters;
+    measuring = true;
+    latencyCycles.reset();
+    hopSamples.reset();
+    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+        step();
+    measuring = false;
+
+    MeshResult result;
+    result.window = counters - at_start;
+    result.measuredCycles = cfg.measureCycles;
+    result.offeredLoad = cfg.offeredLoad;
+    result.deliveredThroughput =
+        static_cast<double>(result.window.delivered) /
+        (static_cast<double>(numNodes()) *
+         static_cast<double>(cfg.measureCycles));
+    result.discardFraction =
+        result.window.generated == 0
+            ? 0.0
+            : static_cast<double>(result.window.discarded()) /
+                  static_cast<double>(result.window.generated);
+    result.latencyCycles = latencyCycles;
+    result.avgHops = hopSamples.mean();
+    return result;
+}
+
+std::uint64_t
+MeshSimulator::packetsInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &node : nodes)
+        total += node->totalPackets();
+    return total;
+}
+
+std::uint64_t
+MeshSimulator::packetsAtSources() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : sourceQueues)
+        total += q.size();
+    return total;
+}
+
+void
+MeshSimulator::debugValidate() const
+{
+    for (const auto &node : nodes)
+        node->debugValidate();
+}
+
+} // namespace damq

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A 2D-mesh point-to-point network of n x n switches — the
+ * multicomputer setting the ComCoBB coprocessor was built for
+ * (Section 1: "communication through point-to-point dedicated
+ * links in multicomputers relies on communication coprocessors
+ * with a small number of ports").
+ *
+ * Every node is a 5-port switch (four mesh directions plus a local
+ * host port, mirroring the ComCoBB's 4+1 geometry) with the chosen
+ * input-buffer organization.  Routing is dimension-order (XY),
+ * which is deadlock-free on a mesh under the blocking protocol.
+ * Time advances in synchronized cycles like the Omega simulator:
+ * one packet per link per cycle.
+ *
+ * Latency is counted in cycles from entering the source node's
+ * local input buffer to being delivered through the destination's
+ * local output port: a packet at Manhattan distance d takes d + 1
+ * cycles unloaded.
+ */
+
+#ifndef DAMQ_NETWORK_MESH_SIM_HH
+#define DAMQ_NETWORK_MESH_SIM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "network/network_sim.hh"
+#include "network/traffic.hh"
+#include "stats/running_stats.hh"
+#include "switchsim/switch_model.hh"
+
+namespace damq {
+
+/** Ports of a mesh node. */
+enum MeshPort : PortId
+{
+    kEast = 0,
+    kWest = 1,
+    kNorth = 2,
+    kSouth = 3,
+    kLocal = 4,
+    kMeshPorts = 5
+};
+
+/** Configuration of a mesh run. */
+struct MeshConfig
+{
+    std::uint32_t width = 8;
+    std::uint32_t height = 8;
+    BufferType bufferType = BufferType::Damq;
+    std::uint32_t slotsPerBuffer = 5; ///< divisible by 5 for SAMQ/SAFC
+    FlowControl protocol = FlowControl::Blocking;
+    ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
+    std::uint32_t staleThreshold = 8;
+    std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
+    double hotSpotFraction = 0.05;
+    double offeredLoad = 0.3; ///< packets/cycle/node
+    std::uint64_t seed = 1;
+    Cycle warmupCycles = 1000;
+    Cycle measureCycles = 10000;
+};
+
+/** Results of one mesh run. */
+struct MeshResult
+{
+    NetworkCounters window;
+    Cycle measuredCycles = 0;
+    double deliveredThroughput = 0.0; ///< packets/cycle/node
+    double offeredLoad = 0.0;
+    double discardFraction = 0.0;
+    RunningStats latencyCycles; ///< in network cycles
+    double avgHops = 0.0;
+};
+
+/** The mesh simulator. */
+class MeshSimulator
+{
+  public:
+    /** Build the mesh for @p config (input buffering only). */
+    explicit MeshSimulator(const MeshConfig &config);
+
+    /** Advance one cycle. */
+    void step();
+
+    /** Warm up, measure, summarize. */
+    MeshResult run();
+
+    /** Current cycle. */
+    Cycle now() const { return currentCycle; }
+
+    /** Node count. */
+    std::uint32_t numNodes() const { return cfg.width * cfg.height; }
+
+    /** Switch of node @p node (test access). */
+    SwitchModel &switchAt(NodeId node) { return *nodes[node]; }
+
+    /** Lifetime counters. */
+    const NetworkCounters &lifetime() const { return counters; }
+
+    /** Packets buffered inside switches. */
+    std::uint64_t packetsInFlight() const;
+
+    /** Packets waiting at sources. */
+    std::uint64_t packetsAtSources() const;
+
+    /** Validate all buffers. */
+    void debugValidate() const;
+
+    /** XY-routing decision: output port at @p node for @p dest. */
+    PortId routeFrom(NodeId node, NodeId dest) const;
+
+    /** Neighbor of @p node through @p out, and its input port. */
+    std::pair<NodeId, PortId> neighbor(NodeId node, PortId out) const;
+
+  private:
+    void moveTrafficForward();
+    void generateAndInject();
+    bool tryInject(NodeId src, Packet pkt);
+    void deliver(const Packet &pkt, NodeId node);
+
+    MeshConfig cfg;
+    Random rng;
+    std::unique_ptr<TrafficPattern> pattern;
+    std::vector<std::unique_ptr<SwitchModel>> nodes;
+    std::vector<std::deque<Packet>> sourceQueues;
+
+    Cycle currentCycle = 0;
+    PacketId nextPacketId = 0;
+    NetworkCounters counters;
+
+    bool measuring = false;
+    RunningStats latencyCycles;
+    RunningStats hopSamples;
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_MESH_SIM_HH

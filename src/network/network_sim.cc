@@ -1,0 +1,384 @@
+#include "network/network_sim.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+const char *
+flowControlName(FlowControl protocol)
+{
+    switch (protocol) {
+      case FlowControl::Discarding: return "discarding";
+      case FlowControl::Blocking: return "blocking";
+    }
+    damq_panic("unknown FlowControl ", static_cast<int>(protocol));
+}
+
+FlowControl
+flowControlFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "discarding" || lower == "discard")
+        return FlowControl::Discarding;
+    if (lower == "blocking" || lower == "block")
+        return FlowControl::Blocking;
+    damq_fatal("unknown flow control '", name,
+               "' (expected discarding|blocking)");
+}
+
+NetworkCounters
+NetworkCounters::operator-(const NetworkCounters &rhs) const
+{
+    NetworkCounters out;
+    out.generated = generated - rhs.generated;
+    out.injected = injected - rhs.injected;
+    out.delivered = delivered - rhs.delivered;
+    out.discardedAtEntry = discardedAtEntry - rhs.discardedAtEntry;
+    out.discardedInternal = discardedInternal - rhs.discardedInternal;
+    out.misrouted = misrouted - rhs.misrouted;
+    return out;
+}
+
+NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
+    : cfg(config), topo(config.numPorts, config.radix),
+      rng(config.seed),
+      sourceQueues(config.numPorts),
+      perSourceLatency(config.numPorts),
+      sourceOn(config.numPorts, false)
+{
+    damq_assert(cfg.burstiness >= 1.0,
+                "burstiness must be at least 1");
+    if (cfg.burstiness > 1.0 &&
+        cfg.offeredLoad * cfg.burstiness > 1.0) {
+        damq_fatal("offeredLoad * burstiness must not exceed 1 "
+                   "(peak rate is a probability); got ",
+                   cfg.offeredLoad * cfg.burstiness);
+    }
+    if (cfg.traffic == "hotspot") {
+        pattern = std::make_unique<HotSpotTraffic>(
+            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
+    } else {
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+    }
+
+    switches.resize(topo.numStages());
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        switches[stage].reserve(topo.switchesPerStage());
+        for (std::uint32_t i = 0; i < topo.switchesPerStage(); ++i) {
+            switches[stage].push_back(makeSwitchUnit(
+                cfg.placement, cfg.radix, cfg.bufferType,
+                cfg.slotsPerBuffer, cfg.arbitration,
+                cfg.staleThreshold));
+        }
+    }
+}
+
+SwitchUnit &
+NetworkSimulator::switchAt(std::uint32_t stage, std::uint32_t index)
+{
+    damq_assert(stage < switches.size(), "bad stage ", stage);
+    damq_assert(index < switches[stage].size(), "bad switch ", index);
+    return *switches[stage][index];
+}
+
+void
+NetworkSimulator::step()
+{
+    ++currentCycle;
+    moveTrafficForward();
+    generateAndInject();
+
+    if (measuring) {
+        std::uint64_t queued = 0;
+        for (const auto &q : sourceQueues)
+            queued += q.size();
+        sourceQueueSamples.add(static_cast<double>(queued) /
+                               static_cast<double>(cfg.numPorts));
+
+        std::uint64_t buffered = 0;
+        std::uint64_t switch_count = 0;
+        for (const auto &stage : switches) {
+            for (const auto &sw : stage) {
+                buffered += sw->totalPackets();
+                ++switch_count;
+            }
+        }
+        switchOccupancySamples.add(static_cast<double>(buffered) /
+                                   static_cast<double>(switch_count));
+    }
+}
+
+void
+NetworkSimulator::moveTrafficForward()
+{
+    const std::uint32_t last_stage = topo.numStages() - 1;
+
+    // Steps 1+2: every switch decides and pops its departures.
+    // Back-pressure tests only look *downstream*, and deliveries
+    // are deferred until every switch has transmitted, so the
+    // decisions are made against a consistent start-of-cycle
+    // snapshot even though the pops are interleaved.
+    struct Move
+    {
+        std::uint32_t stage;
+        std::uint32_t switchIndex;
+        Packet packet; ///< outPort = local output it left through
+    };
+    // With per-input buffers, each downstream buffer has exactly
+    // one upstream writer, so a start-of-cycle space check cannot
+    // be invalidated.  The central pool and output queues are
+    // shared across inputs, and several switches can commit into
+    // the same downstream structure in one cycle — so the blocking
+    // back-pressure test also counts the arrivals already granted
+    // this cycle.  (Two outputs of one switch can never reach the
+    // same downstream switch through the shuffle, so accounting
+    // between transmit() calls is exact.)
+    const bool shared_structures =
+        cfg.placement != BufferPlacement::Input;
+    std::unordered_map<std::uint64_t, std::uint32_t> pending;
+    auto pending_key = [&](std::uint32_t stage, std::uint32_t sw,
+                           PortId out) {
+        const std::uint64_t structure =
+            cfg.placement == BufferPlacement::Output ? out : 0;
+        return (static_cast<std::uint64_t>(stage) *
+                    topo.switchesPerStage() +
+                sw) *
+                   topo.radix() +
+               structure;
+    };
+
+    std::vector<Move> moves;
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            auto can_send = [&, stage](PortId, PortId out,
+                                       const Packet &pkt) {
+                if (cfg.protocol == FlowControl::Discarding)
+                    return true; // transmit blindly; receiver may drop
+                if (stage == last_stage)
+                    return true; // sinks always accept
+                const StageCoord next =
+                    topo.nextStageInput(stage, idx, out);
+                const PortId next_out =
+                    topo.outputPortFor(pkt.dest, stage + 1);
+                std::uint32_t held = 0;
+                if (shared_structures) {
+                    const auto found = pending.find(pending_key(
+                        stage + 1, next.switchIndex, next_out));
+                    if (found != pending.end())
+                        held = found->second;
+                }
+                return switches[stage + 1][next.switchIndex]->canAccept(
+                    next.port, next_out, pkt.lengthSlots + held);
+            };
+            for (Packet &pkt :
+                 switches[stage][idx]->transmit(can_send)) {
+                if (shared_structures && stage != last_stage) {
+                    const StageCoord next = topo.nextStageInput(
+                        stage, idx, pkt.outPort);
+                    const PortId next_out =
+                        topo.outputPortFor(pkt.dest, stage + 1);
+                    pending[pending_key(stage + 1, next.switchIndex,
+                                        next_out)] +=
+                        pkt.lengthSlots;
+                }
+                moves.push_back(Move{stage, idx, pkt});
+            }
+        }
+    }
+
+    for (Move &move : moves) {
+        const PortId left_through = move.packet.outPort;
+        if (move.stage == last_stage) {
+            deliver(move.packet,
+                    topo.sinkFor(move.switchIndex, left_through));
+            continue;
+        }
+        const StageCoord next =
+            topo.nextStageInput(move.stage, move.switchIndex,
+                                left_through);
+        Packet pkt = move.packet;
+        pkt.outPort = topo.outputPortFor(pkt.dest, move.stage + 1);
+        ++pkt.hops;
+        SwitchUnit &target = *switches[move.stage + 1][next.switchIndex];
+        const bool accepted = target.tryReceive(next.port, pkt);
+        if (!accepted) {
+            damq_assert(cfg.protocol == FlowControl::Discarding,
+                        "blocking protocol transmitted into a full "
+                        "buffer — back-pressure check is broken");
+            ++counters.discardedInternal;
+        }
+    }
+}
+
+void
+NetworkSimulator::generateAndInject()
+{
+    for (NodeId src = 0; src < cfg.numPorts; ++src) {
+        double gen_prob = cfg.offeredLoad;
+        if (cfg.burstiness > 1.0) {
+            // Two-state on/off source: on a fraction 1/B of the
+            // time, generating at rate offered * B while on.
+            const double mean_on =
+                static_cast<double>(cfg.meanBurstCycles);
+            const double mean_off = mean_on * (cfg.burstiness - 1.0);
+            if (sourceOn[src]) {
+                if (rng.bernoulli(1.0 / mean_on))
+                    sourceOn[src] = false;
+            } else {
+                if (rng.bernoulli(1.0 / mean_off))
+                    sourceOn[src] = true;
+            }
+            gen_prob = sourceOn[src]
+                           ? cfg.offeredLoad * cfg.burstiness
+                           : 0.0;
+        }
+        if (rng.bernoulli(gen_prob)) {
+            Packet pkt;
+            pkt.id = nextPacketId++;
+            pkt.source = src;
+            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.lengthSlots = 1;
+            pkt.generatedAt = currentCycle;
+            ++counters.generated;
+
+            if (cfg.protocol == FlowControl::Blocking) {
+                sourceQueues[src].push_back(pkt);
+            } else if (!tryInject(src, pkt)) {
+                ++counters.discardedAtEntry;
+            }
+        }
+
+        if (cfg.protocol == FlowControl::Blocking &&
+            !sourceQueues[src].empty()) {
+            // The link from the source delivers at most one packet
+            // per cycle, and only the head may try.
+            if (tryInject(src, sourceQueues[src].front()))
+                sourceQueues[src].pop_front();
+        }
+    }
+}
+
+bool
+NetworkSimulator::tryInject(NodeId src, Packet pkt)
+{
+    const StageCoord coord = topo.firstStageInput(src);
+    pkt.outPort = topo.outputPortFor(pkt.dest, 0);
+    pkt.injectedAt = currentCycle;
+    SwitchUnit &first = *switches[0][coord.switchIndex];
+    if (!first.canAccept(coord.port, pkt.outPort, pkt.lengthSlots))
+        return false;
+    const bool accepted = first.tryReceive(coord.port, pkt);
+    damq_assert(accepted, "canAccept/tryReceive disagree");
+    ++counters.injected;
+    return true;
+}
+
+void
+NetworkSimulator::deliver(const Packet &pkt, NodeId sink)
+{
+    if (pkt.dest != sink) {
+        ++counters.misrouted;
+        damq_panic("packet ", pkt.id, " for node ", pkt.dest,
+                   " delivered to node ", sink,
+                   " — omega routing is broken");
+    }
+    ++counters.delivered;
+    if (measuring) {
+        const double latency =
+            static_cast<double>(currentCycle - pkt.injectedAt) *
+            static_cast<double>(kClocksPerNetworkCycle);
+        latencyClocks.add(latency);
+        perSourceLatency[pkt.source].add(latency);
+    }
+}
+
+NetworkResult
+NetworkSimulator::run()
+{
+    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+        step();
+
+    const NetworkCounters at_start = counters;
+    measuring = true;
+    latencyClocks.reset();
+    sourceQueueSamples.reset();
+    switchOccupancySamples.reset();
+    for (auto &stats : perSourceLatency)
+        stats.reset();
+
+    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+        step();
+    measuring = false;
+
+    NetworkResult result;
+    result.window = counters - at_start;
+    result.measuredCycles = cfg.measureCycles;
+    result.offeredLoad = cfg.offeredLoad;
+    const double denom = static_cast<double>(cfg.numPorts) *
+                         static_cast<double>(cfg.measureCycles);
+    result.deliveredThroughput =
+        static_cast<double>(result.window.delivered) / denom;
+    result.discardFraction =
+        result.window.generated == 0
+            ? 0.0
+            : static_cast<double>(result.window.discarded()) /
+                  static_cast<double>(result.window.generated);
+    result.latencyClocks = latencyClocks;
+    result.avgSourceQueueLen = sourceQueueSamples.mean();
+    result.avgSwitchOccupancy = switchOccupancySamples.mean();
+
+    // Jain fairness over the per-source mean latencies.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t active = 0;
+    double worst = 0.0;
+    for (const RunningStats &stats : perSourceLatency) {
+        if (stats.count() == 0)
+            continue;
+        const double mean = stats.mean();
+        sum += mean;
+        sum_sq += mean * mean;
+        worst = std::max(worst, mean);
+        ++active;
+    }
+    result.latencyFairness =
+        active == 0 || sum_sq == 0.0
+            ? 1.0
+            : sum * sum / (static_cast<double>(active) * sum_sq);
+    result.worstSourceLatency = worst;
+    return result;
+}
+
+std::uint64_t
+NetworkSimulator::packetsInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &stage : switches)
+        for (const auto &sw : stage)
+            total += sw->totalPackets();
+    return total;
+}
+
+std::uint64_t
+NetworkSimulator::packetsAtSources() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : sourceQueues)
+        total += q.size();
+    return total;
+}
+
+void
+NetworkSimulator::debugValidate() const
+{
+    for (const auto &stage : switches)
+        for (const auto &sw : stage)
+            sw->debugValidate();
+}
+
+} // namespace damq

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * The synchronized Omega-network simulator of Section 4.2.
+ *
+ * Time advances in *network cycles*; one cycle corresponds to the
+ * paper's twelve clock cycles (eight to transmit a fixed-length
+ * packet, four to route it), and a packet crosses at most one stage
+ * per cycle.  Each cycle proceeds in four steps:
+ *
+ *  1. every switch arbitrates its crossbar against a globally
+ *     consistent start-of-cycle snapshot (for the blocking protocol
+ *     the back-pressure test also uses that snapshot — flow-control
+ *     status crosses a link with one cycle of latency);
+ *  2. granted packets leave their buffers;
+ *  3. granted packets arrive: into the next stage's input buffer
+ *     (re-routed for that stage), or at their sink if they left the
+ *     last stage.  Under the discarding protocol an arrival that
+ *     finds its buffer full — after this cycle's departures — is
+ *     dropped;
+ *  4. sources generate new packets (Bernoulli process at the
+ *     offered load) and inject: under blocking through an
+ *     unbounded source queue that retries its head each cycle,
+ *     under discarding by immediate attempt-and-drop.
+ *
+ * Latency is measured in clock cycles from entering the first-stage
+ * buffer to leaving the last-stage switch, so the unloaded 3-stage
+ * minimum is 36 clocks — matching the scale of Tables 4-6.
+ */
+
+#ifndef DAMQ_NETWORK_NETWORK_SIM_HH
+#define DAMQ_NETWORK_NETWORK_SIM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "network/omega_topology.hh"
+#include "network/traffic.hh"
+#include "queueing/buffer_model.hh"
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "switchsim/switch_unit.hh"
+
+namespace damq {
+
+/** How a full downstream buffer is handled (Section 4). */
+enum class FlowControl
+{
+    Discarding, ///< packets entering a full buffer are dropped
+    Blocking    ///< the transmitter is held off by back-pressure
+};
+
+/** Human-readable protocol name. */
+const char *flowControlName(FlowControl protocol);
+
+/** Parse a case-insensitive protocol name; fatal on bad input. */
+FlowControl flowControlFromString(const std::string &name);
+
+/** Everything that defines one simulation run. */
+struct NetworkConfig
+{
+    std::uint32_t numPorts = 64;     ///< endpoints per side
+    std::uint32_t radix = 4;         ///< switch degree
+    BufferPlacement placement = BufferPlacement::Input;
+    BufferType bufferType = BufferType::Damq; ///< input placement only
+    std::uint32_t slotsPerBuffer = 4; ///< per input port's worth
+    FlowControl protocol = FlowControl::Blocking;
+    ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
+    std::uint32_t staleThreshold = 8;
+    std::string traffic = "uniform"; ///< pattern name (see makeTraffic)
+    double hotSpotFraction = 0.05;   ///< used when traffic == "hotspot"
+    double offeredLoad = 0.5;        ///< packets/cycle/source
+
+    /**
+     * Burstiness factor B >= 1 (two-state on/off sources).  Each
+     * source is "on" a fraction 1/B of the time and generates at
+     * rate offeredLoad * B while on, so the average rate is
+     * unchanged but arrivals clump.  B = 1 is the paper's plain
+     * Bernoulli process.  Requires offeredLoad * B <= 1.
+     */
+    double burstiness = 1.0;
+
+    /** Mean burst ("on" period) length in cycles when B > 1. */
+    Cycle meanBurstCycles = 8;
+
+    std::uint64_t seed = 1;
+    Cycle warmupCycles = 1000;
+    Cycle measureCycles = 10000;
+};
+
+/** Monotone event counters (lifetime totals). */
+struct NetworkCounters
+{
+    std::uint64_t generated = 0;        ///< packets created by sources
+    std::uint64_t injected = 0;         ///< entered a stage-0 buffer
+    std::uint64_t delivered = 0;        ///< reached their sink
+    std::uint64_t discardedAtEntry = 0; ///< dropped entering stage 0
+    std::uint64_t discardedInternal = 0;///< dropped at a later stage
+    std::uint64_t misrouted = 0;        ///< delivered to wrong sink (bug!)
+
+    /** Element-wise difference (for measurement windows). */
+    NetworkCounters operator-(const NetworkCounters &rhs) const;
+
+    /** All discards. */
+    std::uint64_t discarded() const
+    {
+        return discardedAtEntry + discardedInternal;
+    }
+};
+
+/** Results of one measured run. */
+struct NetworkResult
+{
+    NetworkCounters window;  ///< counters within the window
+    Cycle measuredCycles = 0;
+
+    /** Delivered packets per endpoint per network cycle. */
+    double deliveredThroughput = 0.0;
+
+    /** Offered packets per endpoint per network cycle (echo). */
+    double offeredLoad = 0.0;
+
+    /** Fraction of generated packets discarded (both kinds). */
+    double discardFraction = 0.0;
+
+    /** In-network latency statistics, in clock cycles. */
+    RunningStats latencyClocks;
+
+    /** Mean source-queue length sampled each cycle (blocking). */
+    double avgSourceQueueLen = 0.0;
+
+    /** Mean buffered packets per switch sampled each cycle. */
+    double avgSwitchOccupancy = 0.0;
+
+    /**
+     * Jain fairness index over the per-source mean latencies
+     * (1 = perfectly fair, 1/n = one source gets all the service).
+     */
+    double latencyFairness = 1.0;
+
+    /** Largest per-source mean latency (clocks). */
+    double worstSourceLatency = 0.0;
+};
+
+/**
+ * The simulator.  Construct, then either call run() for a complete
+ * warmup+measure experiment or drive step() manually (tests).
+ */
+class NetworkSimulator
+{
+  public:
+    /** Build all switches and sources for @p config. */
+    explicit NetworkSimulator(const NetworkConfig &config);
+
+    /** Advance one network cycle. */
+    void step();
+
+    /** Warm up, measure, and summarize. */
+    NetworkResult run();
+
+    /** Current network cycle. */
+    Cycle now() const { return currentCycle; }
+
+    /** Topology in use. */
+    const OmegaTopology &topology() const { return topo; }
+
+    /** Configuration in use. */
+    const NetworkConfig &config() const { return cfg; }
+
+    /** Switch @p index of stage @p stage (test access). */
+    SwitchUnit &switchAt(std::uint32_t stage, std::uint32_t index);
+
+    /** Lifetime counters since construction. */
+    const NetworkCounters &lifetime() const { return counters; }
+
+    /** Packets currently buffered inside switches. */
+    std::uint64_t packetsInFlight() const;
+
+    /** Packets currently waiting in source queues. */
+    std::uint64_t packetsAtSources() const;
+
+    /** Validate every buffer's invariants (tests). */
+    void debugValidate() const;
+
+  private:
+    /** Steps 1-3: arbitrate, pop, deliver. */
+    void moveTrafficForward();
+
+    /** Step 4: generate and inject at the sources. */
+    void generateAndInject();
+
+    /** Offer @p pkt to stage 0; returns true if accepted. */
+    bool tryInject(NodeId src, Packet pkt);
+
+    /** Record a packet leaving the last stage. */
+    void deliver(const Packet &pkt, NodeId sink);
+
+    NetworkConfig cfg;
+    OmegaTopology topo;
+    Random rng;
+    std::unique_ptr<TrafficPattern> pattern;
+
+    /** switches[stage][index] */
+    std::vector<std::vector<std::unique_ptr<SwitchUnit>>> switches;
+
+    /** Per-source backlog (used by the blocking protocol only). */
+    std::vector<std::deque<Packet>> sourceQueues;
+
+    Cycle currentCycle = 0;
+    PacketId nextPacketId = 0;
+    NetworkCounters counters;
+
+    bool measuring = false;
+    RunningStats latencyClocks;
+    RunningStats sourceQueueSamples;
+    RunningStats switchOccupancySamples;
+    std::vector<RunningStats> perSourceLatency;
+    std::vector<bool> sourceOn; ///< bursty sources: in a burst now?
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_NETWORK_SIM_HH

@@ -1,0 +1,61 @@
+#include "network/omega_topology.hh"
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+
+namespace damq {
+
+OmegaTopology::OmegaTopology(std::uint32_t num_ports, std::uint32_t radix)
+    : ports(num_ports), degree(radix),
+      stages(exactLogBase(num_ports, radix))
+{
+    damq_assert(radix >= 2, "omega radix must be at least 2");
+    damq_assert(num_ports >= radix, "omega needs at least one switch");
+}
+
+std::uint32_t
+OmegaTopology::shuffle(std::uint32_t line) const
+{
+    damq_assert(line < ports, "shuffle: line out of range");
+    // Left-rotate the base-r digits: the most significant digit
+    // becomes the least significant one.
+    const std::uint32_t msd_weight = ports / degree;
+    return (line % msd_weight) * degree + line / msd_weight;
+}
+
+StageCoord
+OmegaTopology::firstStageInput(NodeId src) const
+{
+    damq_assert(src < ports, "firstStageInput: bad source");
+    const std::uint32_t line = shuffle(src);
+    return StageCoord{line / degree, line % degree};
+}
+
+StageCoord
+OmegaTopology::nextStageInput(std::uint32_t stage,
+                              std::uint32_t switch_index,
+                              PortId port) const
+{
+    damq_assert(stage + 1 < stages, "nextStageInput past the last stage");
+    damq_assert(switch_index < switchesPerStage(), "bad switch index");
+    damq_assert(port < degree, "bad port");
+    const std::uint32_t line = shuffle(switch_index * degree + port);
+    return StageCoord{line / degree, line % degree};
+}
+
+NodeId
+OmegaTopology::sinkFor(std::uint32_t switch_index, PortId port) const
+{
+    damq_assert(switch_index < switchesPerStage(), "bad switch index");
+    damq_assert(port < degree, "bad port");
+    return switch_index * degree + port;
+}
+
+PortId
+OmegaTopology::outputPortFor(NodeId dest, std::uint32_t stage) const
+{
+    damq_assert(dest < ports, "outputPortFor: bad destination");
+    return radixDigitMsbFirst(dest, degree, stages, stage);
+}
+
+} // namespace damq

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Omega multistage interconnection network topology (Lawrie, 1975):
+ * N inputs and N outputs connected through log_r(N) stages of r x r
+ * switches, with a perfect-shuffle interconnection in front of each
+ * stage.  Routing is digit-controlled: at stage k the switch output
+ * port equals the k-th most significant base-r digit of the
+ * destination address.
+ *
+ * Line numbering: within a stage, the N "lines" are numbered
+ * 0..N-1; switch s owns lines s*r .. s*r+r-1 (line = s*r + port).
+ * The perfect shuffle rotates the base-r digits of a line number
+ * left by one position.
+ */
+
+#ifndef DAMQ_NETWORK_OMEGA_TOPOLOGY_HH
+#define DAMQ_NETWORK_OMEGA_TOPOLOGY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** A (switch, port) coordinate inside one stage. */
+struct StageCoord
+{
+    std::uint32_t switchIndex = 0;
+    PortId port = 0;
+};
+
+/** Immutable description of an N x N radix-r Omega network. */
+class OmegaTopology
+{
+  public:
+    /**
+     * @param num_ports N (must be an exact power of @p radix).
+     * @param radix     switch degree r.
+     */
+    OmegaTopology(std::uint32_t num_ports, std::uint32_t radix);
+
+    /** Endpoints on each side. */
+    std::uint32_t numPorts() const { return ports; }
+
+    /** Switch degree. */
+    std::uint32_t radix() const { return degree; }
+
+    /** Number of switch stages, log_r(N). */
+    std::uint32_t numStages() const { return stages; }
+
+    /** Switches per stage, N / r. */
+    std::uint32_t switchesPerStage() const { return ports / degree; }
+
+    /** Perfect shuffle of line @p line (base-r left digit rotation). */
+    std::uint32_t shuffle(std::uint32_t line) const;
+
+    /** Where source @p src enters stage 0 (through one shuffle). */
+    StageCoord firstStageInput(NodeId src) const;
+
+    /**
+     * Where output @p port of switch @p switch_index in stage
+     * @p stage lands in stage+1 (through one shuffle).  @p stage
+     * must not be the last stage.
+     */
+    StageCoord nextStageInput(std::uint32_t stage,
+                              std::uint32_t switch_index,
+                              PortId port) const;
+
+    /** Endpoint fed by output @p port of last-stage switch. */
+    NodeId sinkFor(std::uint32_t switch_index, PortId port) const;
+
+    /**
+     * Output port a packet for destination @p dest takes at stage
+     * @p stage (the stage-th most significant base-r digit).
+     */
+    PortId outputPortFor(NodeId dest, std::uint32_t stage) const;
+
+  private:
+    std::uint32_t ports;
+    std::uint32_t degree;
+    std::uint32_t stages;
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_OMEGA_TOPOLOGY_HH

@@ -1,0 +1,51 @@
+#include "network/saturation.hh"
+
+namespace damq {
+
+std::vector<SweepPoint>
+sweepLoads(const NetworkConfig &config, const std::vector<double> &loads)
+{
+    std::vector<SweepPoint> curve;
+    curve.reserve(loads.size());
+    for (const double load : loads) {
+        NetworkConfig point = config;
+        point.offeredLoad = load;
+        NetworkSimulator sim(point);
+        const NetworkResult result = sim.run();
+
+        SweepPoint sp;
+        sp.offeredLoad = load;
+        sp.deliveredThroughput = result.deliveredThroughput;
+        sp.avgLatencyClocks = result.latencyClocks.mean();
+        sp.p99LatencyClocks = result.latencyClocks.mean() +
+                              2.33 * result.latencyClocks.stddev();
+        sp.discardFraction = result.discardFraction;
+        curve.push_back(sp);
+    }
+    return curve;
+}
+
+SaturationSummary
+measureSaturation(const NetworkConfig &config)
+{
+    NetworkConfig full = config;
+    full.offeredLoad = 1.0;
+    NetworkSimulator sim(full);
+    const NetworkResult result = sim.run();
+
+    SaturationSummary summary;
+    summary.saturationThroughput = result.deliveredThroughput;
+    summary.saturatedLatencyClocks = result.latencyClocks.mean();
+    return summary;
+}
+
+double
+latencyAtLoad(const NetworkConfig &config, double load)
+{
+    NetworkConfig point = config;
+    point.offeredLoad = load;
+    NetworkSimulator sim(point);
+    return sim.run().latencyClocks.mean();
+}
+
+} // namespace damq

@@ -1,0 +1,111 @@
+#include "network/traffic.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/bit_util.hh"
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+UniformTraffic::UniformTraffic(std::uint32_t num_nodes)
+    : nodes(num_nodes)
+{
+    damq_assert(num_nodes > 0, "uniform traffic needs nodes");
+}
+
+NodeId
+UniformTraffic::destinationFor(NodeId, Random &rng)
+{
+    return static_cast<NodeId>(rng.below(nodes));
+}
+
+HotSpotTraffic::HotSpotTraffic(std::uint32_t num_nodes,
+                               double hot_fraction, NodeId hot_node)
+    : nodes(num_nodes), fraction(hot_fraction), hot(hot_node)
+{
+    damq_assert(num_nodes > 0, "hot-spot traffic needs nodes");
+    damq_assert(hot_node < num_nodes, "hot node outside the network");
+    damq_assert(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                "hot fraction must be a probability");
+}
+
+NodeId
+HotSpotTraffic::destinationFor(NodeId, Random &rng)
+{
+    if (rng.bernoulli(fraction))
+        return hot;
+    return static_cast<NodeId>(rng.below(nodes));
+}
+
+BitReversalTraffic::BitReversalTraffic(std::uint32_t num_nodes)
+    : nodes(num_nodes), bits(floorLog2(num_nodes))
+{
+    damq_assert(isPow2(num_nodes),
+                "bit-reversal needs a power-of-two network");
+}
+
+NodeId
+BitReversalTraffic::destinationFor(NodeId src, Random &)
+{
+    NodeId reversed = 0;
+    for (unsigned b = 0; b < bits; ++b) {
+        if (src & (NodeId{1} << b))
+            reversed |= NodeId{1} << (bits - 1 - b);
+    }
+    return reversed;
+}
+
+TransposeTraffic::TransposeTraffic(std::uint32_t side) : side(side)
+{
+    damq_assert(side > 0, "transpose traffic needs a grid");
+}
+
+NodeId
+TransposeTraffic::destinationFor(NodeId src, Random &)
+{
+    const NodeId x = src % side;
+    const NodeId y = src / side;
+    damq_assert(y < side, "source outside the square grid");
+    return x * side + y;
+}
+
+PermutationTraffic::PermutationTraffic(std::uint32_t num_nodes,
+                                       std::uint64_t seed)
+    : mapping(num_nodes)
+{
+    damq_assert(num_nodes > 0, "permutation traffic needs nodes");
+    std::iota(mapping.begin(), mapping.end(), NodeId{0});
+    Random rng(seed);
+    // Fisher-Yates with our own RNG for reproducibility.
+    for (std::size_t i = mapping.size(); i > 1; --i) {
+        const std::size_t j = rng.below(i);
+        std::swap(mapping[i - 1], mapping[j]);
+    }
+}
+
+NodeId
+PermutationTraffic::destinationFor(NodeId src, Random &)
+{
+    return mapping.at(src);
+}
+
+std::unique_ptr<TrafficPattern>
+makeTraffic(const std::string &name, std::uint32_t num_nodes,
+            std::uint64_t seed)
+{
+    const std::string lower = toLower(name);
+    if (lower == "uniform")
+        return std::make_unique<UniformTraffic>(num_nodes);
+    if (lower == "hotspot")
+        return std::make_unique<HotSpotTraffic>(num_nodes, 0.05, 0);
+    if (lower == "bitrev")
+        return std::make_unique<BitReversalTraffic>(num_nodes);
+    if (lower == "permutation")
+        return std::make_unique<PermutationTraffic>(num_nodes, seed);
+    damq_fatal("unknown traffic pattern '", name,
+               "' (expected uniform|hotspot|bitrev|permutation)");
+}
+
+} // namespace damq

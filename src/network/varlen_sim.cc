@@ -1,0 +1,299 @@
+#include "network/varlen_sim.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+std::uint32_t
+LengthDistribution::sample(Random &rng) const
+{
+    damq_assert(!weights.empty(), "empty length distribution");
+    double total = 0.0;
+    for (const double w : weights)
+        total += w;
+    damq_assert(total > 0.0, "length distribution has no mass");
+    double draw = rng.uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return static_cast<std::uint32_t>(i + 1);
+    }
+    return static_cast<std::uint32_t>(weights.size());
+}
+
+double
+LengthDistribution::mean() const
+{
+    double total = 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        total += weights[i];
+        weighted += weights[i] * static_cast<double>(i + 1);
+    }
+    damq_assert(total > 0.0, "length distribution has no mass");
+    return weighted / total;
+}
+
+VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
+    : cfg(config), topo(config.numPorts, config.radix),
+      rng(config.seed),
+      sourceQueues(config.numPorts),
+      sourceLinkBusyUntil(config.numPorts, 0)
+{
+    if (cfg.traffic == "hotspot") {
+        pattern = std::make_unique<HotSpotTraffic>(
+            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
+    } else {
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+    }
+
+    // offeredSlotLoad = P(generate) * E[length]; invert for the
+    // per-cycle packet generation probability.
+    packetGenProbability =
+        std::min(1.0, cfg.offeredSlotLoad / cfg.lengths.mean());
+
+    switches.resize(topo.numStages());
+    linkState.resize(topo.numStages());
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t i = 0; i < topo.switchesPerStage(); ++i) {
+            switches[stage].push_back(std::make_unique<SwitchModel>(
+                cfg.radix, cfg.bufferType, cfg.slotsPerBuffer,
+                cfg.arbitration, cfg.staleThreshold));
+            SwitchLinkState state;
+            state.outputBusyUntil.assign(cfg.radix, 0);
+            state.readBusyUntil.assign(cfg.radix, 0);
+            state.queueReadBusyUntil.assign(
+                static_cast<std::size_t>(cfg.radix) * cfg.radix, 0);
+            linkState[stage].push_back(std::move(state));
+        }
+    }
+}
+
+bool
+VarLenNetworkSimulator::readPortFree(std::uint32_t stage,
+                                     std::uint32_t sw, PortId input,
+                                     PortId out) const
+{
+    const SwitchLinkState &state = linkState[stage][sw];
+    if (cfg.bufferType == BufferType::Safc) {
+        // SAFC has an independent read path per queue.
+        return state.queueReadBusyUntil[input * cfg.radix + out] <=
+               currentCycle;
+    }
+    return state.readBusyUntil[input] <= currentCycle;
+}
+
+void
+VarLenNetworkSimulator::markReadBusy(std::uint32_t stage,
+                                     std::uint32_t sw, PortId input,
+                                     PortId out, Cycle until)
+{
+    SwitchLinkState &state = linkState[stage][sw];
+    if (cfg.bufferType == BufferType::Safc) {
+        state.queueReadBusyUntil[input * cfg.radix + out] = until;
+    } else {
+        state.readBusyUntil[input] = until;
+    }
+}
+
+void
+VarLenNetworkSimulator::step()
+{
+    ++currentCycle;
+    completeTransfers();
+    arbitrateAndLaunch();
+    generateAndInject();
+}
+
+void
+VarLenNetworkSimulator::completeTransfers()
+{
+    auto finished = [this](const Transfer &t) {
+        return t.completesAt <= currentCycle;
+    };
+    for (Transfer &t : inFlight) {
+        if (!finished(t))
+            continue;
+        if (t.toSink) {
+            damq_assert(t.packet.dest == t.sink,
+                        "varlen: misrouted packet");
+            ++delivered;
+            deliveredSlotsTotal += t.packet.lengthSlots;
+            if (measuring) {
+                ++windowDeliveredPackets;
+                windowDeliveredSlots += t.packet.lengthSlots;
+                latencyClocks.add(
+                    static_cast<double>(currentCycle -
+                                        t.packet.injectedAt) *
+                    static_cast<double>(kClocksPerNetworkCycle));
+            }
+        } else {
+            SwitchModel &target = *switches[t.stage][t.dest.switchIndex];
+            target.buffer(t.dest.port).pushReserved(t.packet);
+        }
+    }
+    inFlight.erase(std::remove_if(inFlight.begin(), inFlight.end(),
+                                  finished),
+                   inFlight.end());
+}
+
+void
+VarLenNetworkSimulator::arbitrateAndLaunch()
+{
+    const std::uint32_t last_stage = topo.numStages() - 1;
+
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            SwitchModel &sw = *switches[stage][idx];
+            SwitchLinkState &links = linkState[stage][idx];
+
+            auto can_send = [&](PortId input, PortId out,
+                                const Packet &pkt) {
+                if (links.outputBusyUntil[out] > currentCycle)
+                    return false;
+                if (!readPortFree(stage, idx, input, out))
+                    return false;
+                if (stage == last_stage)
+                    return true;
+                const StageCoord next =
+                    topo.nextStageInput(stage, idx, out);
+                const PortId next_out =
+                    topo.outputPortFor(pkt.dest, stage + 1);
+                return switches[stage + 1][next.switchIndex]->canAccept(
+                    next.port, next_out, pkt.lengthSlots);
+            };
+
+            const GrantList grants = sw.arbitrate(can_send);
+            for (const Grant &g : grants) {
+                Packet pkt = sw.buffer(g.input).pop(g.output);
+                const Cycle busy_until =
+                    currentCycle + pkt.lengthSlots;
+                links.outputBusyUntil[g.output] = busy_until;
+                markReadBusy(stage, idx, g.input, g.output,
+                             busy_until);
+
+                Transfer t;
+                t.completesAt = busy_until;
+                t.packet = pkt;
+                if (stage == last_stage) {
+                    t.toSink = true;
+                    t.sink = topo.sinkFor(idx, g.output);
+                } else {
+                    t.toSink = false;
+                    t.stage = stage + 1;
+                    t.dest = topo.nextStageInput(stage, idx, g.output);
+                    t.packet.outPort =
+                        topo.outputPortFor(pkt.dest, stage + 1);
+                    ++t.packet.hops;
+                    const bool reserved =
+                        switches[t.stage][t.dest.switchIndex]
+                            ->buffer(t.dest.port)
+                            .reserve(t.packet.outPort,
+                                     t.packet.lengthSlots);
+                    damq_assert(reserved,
+                                "varlen: reservation failed after a "
+                                "successful back-pressure check");
+                }
+                inFlight.push_back(t);
+            }
+        }
+    }
+}
+
+void
+VarLenNetworkSimulator::generateAndInject()
+{
+    for (NodeId src = 0; src < cfg.numPorts; ++src) {
+        if (rng.bernoulli(packetGenProbability)) {
+            Packet pkt;
+            pkt.id = nextPacketId++;
+            pkt.source = src;
+            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.lengthSlots = cfg.lengths.sample(rng);
+            pkt.generatedAt = currentCycle;
+            sourceQueues[src].push_back(pkt);
+            ++generated;
+            if (measuring)
+                ++windowGenerated;
+        }
+
+        if (sourceQueues[src].empty() ||
+            sourceLinkBusyUntil[src] > currentCycle) {
+            continue;
+        }
+        Packet &head = sourceQueues[src].front();
+        const StageCoord coord = topo.firstStageInput(src);
+        const PortId out = topo.outputPortFor(head.dest, 0);
+        BufferModel &buffer =
+            switches[0][coord.switchIndex]->buffer(coord.port);
+        if (!buffer.reserve(out, head.lengthSlots))
+            continue;
+
+        Packet pkt = head;
+        sourceQueues[src].pop_front();
+        pkt.outPort = out;
+        pkt.injectedAt = currentCycle;
+        sourceLinkBusyUntil[src] = currentCycle + pkt.lengthSlots;
+
+        Transfer t;
+        t.completesAt = currentCycle + pkt.lengthSlots;
+        t.toSink = false;
+        t.stage = 0;
+        t.dest = coord;
+        t.packet = pkt;
+        inFlight.push_back(t);
+    }
+}
+
+VarLenResult
+VarLenNetworkSimulator::run()
+{
+    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+        step();
+
+    measuring = true;
+    windowDeliveredPackets = 0;
+    windowDeliveredSlots = 0;
+    windowGenerated = 0;
+    latencyClocks.reset();
+    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+        step();
+    measuring = false;
+
+    VarLenResult result;
+    result.generatedPackets = windowGenerated;
+    result.deliveredPackets = windowDeliveredPackets;
+    result.deliveredSlots = windowDeliveredSlots;
+    result.measuredCycles = cfg.measureCycles;
+    result.deliveredSlotThroughput =
+        static_cast<double>(windowDeliveredSlots) /
+        (static_cast<double>(cfg.numPorts) *
+         static_cast<double>(cfg.measureCycles));
+    result.latencyClocks = latencyClocks;
+    return result;
+}
+
+std::uint64_t
+VarLenNetworkSimulator::packetsEverywhere() const
+{
+    std::uint64_t total = inFlight.size();
+    for (const auto &stage : switches)
+        for (const auto &sw : stage)
+            total += sw->totalPackets();
+    for (const auto &q : sourceQueues)
+        total += q.size();
+    return total;
+}
+
+void
+VarLenNetworkSimulator::debugValidate() const
+{
+    for (const auto &stage : switches)
+        for (const auto &sw : stage)
+            sw->debugValidate();
+}
+
+} // namespace damq

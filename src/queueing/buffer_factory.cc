@@ -1,0 +1,31 @@
+#include "queueing/buffer_factory.hh"
+
+#include "common/logging.hh"
+#include "queueing/damq_buffer.hh"
+#include "queueing/damq_reserved_buffer.hh"
+#include "queueing/fifo_buffer.hh"
+#include "queueing/partitioned_buffer.hh"
+
+namespace damq {
+
+std::unique_ptr<BufferModel>
+makeBuffer(BufferType type, PortId num_outputs,
+           std::uint32_t capacity_slots)
+{
+    switch (type) {
+      case BufferType::Fifo:
+        return std::make_unique<FifoBuffer>(num_outputs, capacity_slots);
+      case BufferType::Samq:
+        return std::make_unique<SamqBuffer>(num_outputs, capacity_slots);
+      case BufferType::Safc:
+        return std::make_unique<SafcBuffer>(num_outputs, capacity_slots);
+      case BufferType::Damq:
+        return std::make_unique<DamqBuffer>(num_outputs, capacity_slots);
+      case BufferType::DamqR:
+        return std::make_unique<DamqReservedBuffer>(num_outputs,
+                                                    capacity_slots);
+    }
+    damq_panic("unknown BufferType ", static_cast<int>(type));
+}
+
+} // namespace damq

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Factory producing any of the four buffer organizations.
+ */
+
+#ifndef DAMQ_QUEUEING_BUFFER_FACTORY_HH
+#define DAMQ_QUEUEING_BUFFER_FACTORY_HH
+
+#include <memory>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/**
+ * Construct a buffer of the given organization.  For SAMQ/SAFC the
+ * slot count must divide evenly by @p num_outputs (fatal otherwise,
+ * matching the paper's "even number of slots" restriction).
+ */
+std::unique_ptr<BufferModel> makeBuffer(BufferType type,
+                                        PortId num_outputs,
+                                        std::uint32_t capacity_slots);
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_BUFFER_FACTORY_HH

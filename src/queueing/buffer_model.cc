@@ -1,0 +1,88 @@
+#include "queueing/buffer_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+const char *
+bufferTypeName(BufferType type)
+{
+    switch (type) {
+      case BufferType::Fifo: return "FIFO";
+      case BufferType::Samq: return "SAMQ";
+      case BufferType::Safc: return "SAFC";
+      case BufferType::Damq: return "DAMQ";
+      case BufferType::DamqR: return "DAMQR";
+    }
+    damq_panic("unknown BufferType ", static_cast<int>(type));
+}
+
+BufferType
+bufferTypeFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "fifo")
+        return BufferType::Fifo;
+    if (lower == "samq")
+        return BufferType::Samq;
+    if (lower == "safc")
+        return BufferType::Safc;
+    if (lower == "damq")
+        return BufferType::Damq;
+    if (lower == "damqr")
+        return BufferType::DamqR;
+    damq_fatal("unknown buffer type '", name,
+               "' (expected fifo|samq|safc|damq|damqr)");
+}
+
+BufferModel::BufferModel(PortId num_outputs, std::uint32_t capacity_slots)
+    : outputs(num_outputs), capacity(capacity_slots),
+      reservedPerOut(num_outputs, 0)
+{
+    damq_assert(num_outputs > 0, "buffer needs at least one output queue");
+    damq_assert(capacity_slots > 0, "buffer needs at least one slot");
+}
+
+bool
+BufferModel::reserve(PortId out, std::uint32_t len)
+{
+    damq_assert(out < outputs, "reserve: bad output ", out);
+    if (!canAccept(out, len))
+        return false;
+    reservedPerOut[out] += len;
+    reservedTotal += len;
+    return true;
+}
+
+void
+BufferModel::pushReserved(const Packet &pkt)
+{
+    damq_assert(pkt.outPort < outputs, "pushReserved: bad output port");
+    damq_assert(reservedPerOut[pkt.outPort] >= pkt.lengthSlots,
+                "pushReserved without a matching reserve");
+    reservedPerOut[pkt.outPort] -= pkt.lengthSlots;
+    reservedTotal -= pkt.lengthSlots;
+    push(pkt);
+}
+
+void
+BufferModel::cancelReservation(PortId out, std::uint32_t len)
+{
+    damq_assert(out < outputs, "cancelReservation: bad output ", out);
+    damq_assert(reservedPerOut[out] >= len,
+                "cancelReservation without a matching reserve");
+    reservedPerOut[out] -= len;
+    reservedTotal -= len;
+}
+
+void
+BufferModel::clear()
+{
+    std::fill(reservedPerOut.begin(), reservedPerOut.end(), 0);
+    reservedTotal = 0;
+}
+
+} // namespace damq

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The common interface of the four input-buffer organizations the
+ * paper compares (Section 2, Figure 1): FIFO, SAMQ, SAFC and DAMQ.
+ *
+ * A buffer sits at one input port of an n x n switch and holds
+ * packets that have already been routed, i.e., whose local output
+ * port is known.  The interface exposes exactly what the crossbar
+ * arbiter of Section 4 needs:
+ *
+ *   - admission control (`canAccept` / `push`), including space
+ *     *reservations* for packets still in flight on a multi-cycle
+ *     link (used by the variable-length extension);
+ *   - per-output visibility (`peek` / `queueLength`) — the paper's
+ *     arbitration policy transmits "from the longest queue";
+ *   - the read-port constraint (`maxReadsPerCycle`) that
+ *     distinguishes SAFC (fully connected, n reads) from the
+ *     single-read-port FIFO/SAMQ/DAMQ organizations.
+ */
+
+#ifndef DAMQ_QUEUEING_BUFFER_MODEL_HH
+#define DAMQ_QUEUEING_BUFFER_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "queueing/packet.hh"
+
+namespace damq {
+
+/** The four buffer organizations evaluated in the paper. */
+enum class BufferType
+{
+    Fifo, ///< single first-in-first-out queue, shared pool
+    Samq, ///< statically allocated multi-queue, single read port
+    Safc, ///< statically allocated fully connected, n read ports
+    Damq, ///< dynamically allocated multi-queue (the contribution)
+    /**
+     * DAMQ with one reserved slot per output queue — the 1992
+     * follow-up fix for the hot-spot monopolization Section 4.2.1
+     * reports.
+     */
+    DamqR
+};
+
+/** Human-readable name ("FIFO", "SAMQ", ...). */
+const char *bufferTypeName(BufferType type);
+
+/** Parse a case-insensitive buffer-type name; fatal on bad input. */
+BufferType bufferTypeFromString(const std::string &name);
+
+/**
+ * Abstract input-port buffer.  See the file comment for the role of
+ * each operation.  All sizes are measured in slots.
+ */
+class BufferModel
+{
+  public:
+    /** @param num_outputs   queues the buffer distinguishes.
+     *  @param capacity_slots total storage, in slots. */
+    BufferModel(PortId num_outputs, std::uint32_t capacity_slots);
+
+    virtual ~BufferModel() = default;
+
+    BufferModel(const BufferModel &) = delete;
+    BufferModel &operator=(const BufferModel &) = delete;
+
+    /** Number of output-port queues. */
+    PortId numOutputs() const { return outputs; }
+
+    /** Total storage in slots. */
+    std::uint32_t capacitySlots() const { return capacity; }
+
+    /** Slots holding committed packets. */
+    virtual std::uint32_t usedSlots() const = 0;
+
+    /** Slots held by not-yet-committed reservations (all queues). */
+    std::uint32_t reservedSlotsTotal() const { return reservedTotal; }
+
+    /** Committed packets currently stored. */
+    virtual std::uint32_t totalPackets() const = 0;
+
+    /** True iff no committed packets are stored. */
+    bool empty() const { return totalPackets() == 0; }
+
+    /**
+     * Whether a packet of @p len slots routed to output @p out could
+     * be accepted right now (reservations count as occupied).
+     */
+    virtual bool canAccept(PortId out, std::uint32_t len) const = 0;
+
+    /**
+     * Store @p pkt (whose outPort and lengthSlots must be set).
+     * Callers must check canAccept first; violating that is a bug.
+     */
+    virtual void push(const Packet &pkt) = 0;
+
+    /**
+     * Hold space for a packet of @p len slots bound for @p out that
+     * is still arriving (multi-cycle transfer).  Returns false if
+     * the space is not available.  Matched by pushReserved().
+     */
+    bool reserve(PortId out, std::uint32_t len);
+
+    /** Commit a packet whose space was previously reserve()d. */
+    void pushReserved(const Packet &pkt);
+
+    /** Drop a reservation (e.g., the in-flight packet was killed). */
+    void cancelReservation(PortId out, std::uint32_t len);
+
+    /**
+     * The packet that would be transmitted next to output @p out,
+     * or nullptr if none is visible.  For a FIFO buffer only the
+     * head-of-line packet is ever visible — this is precisely the
+     * head-of-line blocking the DAMQ design removes.
+     */
+    virtual const Packet *peek(PortId out) const = 0;
+
+    /**
+     * Arbitration weight for output @p out: the length, in packets,
+     * of the queue the candidate head belongs to (0 when peek(out)
+     * is null).  The paper's arbiter serves the longest queue.
+     */
+    virtual std::uint32_t queueLength(PortId out) const = 0;
+
+    /** Remove and return the head packet for @p out (must exist). */
+    virtual Packet pop(PortId out) = 0;
+
+    /**
+     * Packets the buffer can emit in a single cycle: 1 for the
+     * single-read-port organizations, numOutputs() for SAFC.
+     */
+    virtual std::uint32_t maxReadsPerCycle() const { return 1; }
+
+    /** Organization implemented by this object. */
+    virtual BufferType type() const = 0;
+
+    /** Short name for tables and traces. */
+    std::string name() const { return bufferTypeName(type()); }
+
+    /** Discard all contents and reservations. */
+    virtual void clear();
+
+    /**
+     * Verify internal invariants (slot conservation, list sanity).
+     * Used by the test suite; panics on violation.
+     */
+    virtual void debugValidate() const {}
+
+  protected:
+    /** Reserved slots bound for @p out. */
+    std::uint32_t reservedFor(PortId out) const
+    {
+        return reservedPerOut[out];
+    }
+
+  private:
+    PortId outputs;
+    std::uint32_t capacity;
+    std::vector<std::uint32_t> reservedPerOut;
+    std::uint32_t reservedTotal = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_BUFFER_MODEL_HH

@@ -1,0 +1,186 @@
+#include "queueing/damq_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+DamqBuffer::DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots)
+    : BufferModel(num_outputs, capacity_slots),
+      pool(capacity_slots),
+      queues(num_outputs)
+{
+    // Thread every slot onto the free list, in index order.
+    for (SlotId s = 0; s < capacity_slots; ++s)
+        appendTail(freeList, s);
+}
+
+SlotId
+DamqBuffer::removeHead(ListRegs &list)
+{
+    damq_assert(list.head != kNullSlot, "removeHead from empty list");
+    const SlotId s = list.head;
+    list.head = pool[s].next;
+    if (list.head == kNullSlot)
+        list.tail = kNullSlot;
+    pool[s].next = kNullSlot;
+    --list.slots;
+    return s;
+}
+
+void
+DamqBuffer::appendTail(ListRegs &list, SlotId s)
+{
+    pool[s].next = kNullSlot;
+    if (list.tail == kNullSlot) {
+        list.head = s;
+    } else {
+        pool[list.tail].next = s;
+    }
+    list.tail = s;
+    ++list.slots;
+}
+
+bool
+DamqBuffer::canAccept(PortId out, std::uint32_t len) const
+{
+    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    // Dynamic allocation: any free slot can hold any packet, so the
+    // only constraint is total free space net of reservations.
+    return freeList.slots >= len + reservedSlotsTotal();
+}
+
+void
+DamqBuffer::push(const Packet &pkt)
+{
+    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
+    damq_assert(freeList.slots >= pkt.lengthSlots + reservedSlotsTotal(),
+                "push into a full DAMQ buffer");
+
+    ListRegs &queue = queues[pkt.outPort];
+    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+        const SlotId s = removeHead(freeList);
+        pool[s].headOfPacket = (i == 0);
+        if (i == 0)
+            pool[s].packet = pkt;
+        appendTail(queue, s);
+    }
+    ++queue.packets;
+    ++packetCount;
+}
+
+const Packet *
+DamqBuffer::peek(PortId out) const
+{
+    damq_assert(out < numOutputs(), "peek: bad output ", out);
+    const ListRegs &queue = queues[out];
+    if (queue.head == kNullSlot)
+        return nullptr;
+    const Slot &slot = pool[queue.head];
+    damq_assert(slot.headOfPacket,
+                "queue head register does not point at a packet head");
+    return &slot.packet;
+}
+
+std::uint32_t
+DamqBuffer::queueLength(PortId out) const
+{
+    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
+    return queues[out].packets;
+}
+
+Packet
+DamqBuffer::pop(PortId out)
+{
+    const Packet *head = peek(out);
+    damq_assert(head != nullptr, "pop(", out, ") from empty queue");
+    const Packet pkt = *head;
+
+    ListRegs &queue = queues[out];
+    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+        const SlotId s = removeHead(queue);
+        damq_assert((i == 0) == pool[s].headOfPacket,
+                    "packet slot chain corrupted");
+        pool[s].headOfPacket = false;
+        appendTail(freeList, s);
+    }
+    --queue.packets;
+    --packetCount;
+    return pkt;
+}
+
+void
+DamqBuffer::clear()
+{
+    BufferModel::clear();
+    freeList = ListRegs{};
+    for (auto &queue : queues)
+        queue = ListRegs{};
+    for (auto &slot : pool)
+        slot = Slot{};
+    for (SlotId s = 0; s < capacitySlots(); ++s)
+        appendTail(freeList, s);
+    packetCount = 0;
+}
+
+std::vector<Packet>
+DamqBuffer::snapshotQueue(PortId out) const
+{
+    damq_assert(out < numOutputs(), "snapshotQueue: bad output ", out);
+    std::vector<Packet> result;
+    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
+        if (pool[s].headOfPacket)
+            result.push_back(pool[s].packet);
+    }
+    return result;
+}
+
+void
+DamqBuffer::debugValidate() const
+{
+    std::vector<bool> seen(pool.size(), false);
+
+    auto walk = [&](const ListRegs &list, bool is_free) {
+        std::uint32_t slots = 0;
+        std::uint32_t heads = 0;
+        SlotId prev = kNullSlot;
+        for (SlotId s = list.head; s != kNullSlot; s = pool[s].next) {
+            damq_assert(s < pool.size(), "pointer register out of range");
+            damq_assert(!seen[s], "slot ", s, " linked into two lists");
+            seen[s] = true;
+            ++slots;
+            if (is_free) {
+                damq_assert(!pool[s].headOfPacket,
+                            "free slot still marked as a packet head");
+            } else if (pool[s].headOfPacket) {
+                ++heads;
+            }
+            prev = s;
+            damq_assert(slots <= pool.size(),
+                        "cycle detected in slot list");
+        }
+        damq_assert(prev == list.tail,
+                    "tail register does not point at the last slot");
+        damq_assert(slots == list.slots, "list slot counter drifted");
+        return heads;
+    };
+
+    walk(freeList, true);
+    std::uint32_t total_packets = 0;
+    std::uint32_t total_used = 0;
+    for (PortId out = 0; out < numOutputs(); ++out) {
+        const std::uint32_t heads = walk(queues[out], false);
+        damq_assert(heads == queues[out].packets,
+                    "queue packet counter drifted");
+        total_packets += heads;
+        total_used += queues[out].slots;
+    }
+    for (std::size_t s = 0; s < pool.size(); ++s)
+        damq_assert(seen[s], "slot ", s, " leaked from every list");
+    damq_assert(total_packets == packetCount,
+                "buffer packet counter drifted");
+    damq_assert(total_used + freeList.slots == capacitySlots(),
+                "slot conservation violated");
+}
+
+} // namespace damq

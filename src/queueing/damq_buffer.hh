@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The dynamically allocated multi-queue (DAMQ) buffer — the paper's
+ * contribution (Section 3).
+ *
+ * Storage is a pool of fixed-size slots.  Every slot has a *pointer
+ * register* naming the next slot of its list; lists are threaded
+ * through the pool exactly as in the hardware:
+ *
+ *   - one **free list** of unused slots, and
+ *   - one FIFO list **per output port**, each addressed by a pair of
+ *     head/tail registers.
+ *
+ * A packet of L slots occupies L chained entries of its output's
+ * list.  On push, slots are taken from the front of the free list
+ * and appended at the tail of the destination list; on pop they are
+ * returned to the back of the free list.  This mirrors the paper's
+ * receive/transmit sequences (Sections 3.1-3.2) and gives dynamic
+ * allocation — *any* free slot can serve *any* output — combined
+ * with per-output FIFO order and a single read port.
+ *
+ * This class is the behavioral model used by the switch/network
+ * simulators; the byte- and phase-accurate version with shift
+ * register addressing lives in src/microarch.
+ */
+
+#ifndef DAMQ_QUEUEING_DAMQ_BUFFER_HH
+#define DAMQ_QUEUEING_DAMQ_BUFFER_HH
+
+#include <vector>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Dynamically allocated multi-queue input buffer. */
+class DamqBuffer final : public BufferModel
+{
+  public:
+    /** See BufferModel::BufferModel. */
+    DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots);
+
+    std::uint32_t usedSlots() const override
+    {
+        return capacitySlots() - freeList.slots;
+    }
+    std::uint32_t totalPackets() const override { return packetCount; }
+
+    bool canAccept(PortId out, std::uint32_t len) const override;
+    void push(const Packet &pkt) override;
+    const Packet *peek(PortId out) const override;
+    std::uint32_t queueLength(PortId out) const override;
+    Packet pop(PortId out) override;
+
+    BufferType type() const override { return BufferType::Damq; }
+
+    void clear() override;
+    void debugValidate() const override;
+
+    /** Packets queued for output @p out, oldest first (testing aid). */
+    std::vector<Packet> snapshotQueue(PortId out) const;
+
+    /** Free slots currently on the free list. */
+    std::uint32_t freeSlotCount() const { return freeList.slots; }
+
+  private:
+    /**
+     * Per-slot register file entry.  `next` is the hardware pointer
+     * register; the packet metadata stands in for the per-slot
+     * length / new-header registers of the real design and is only
+     * meaningful in the first slot of a packet.
+     */
+    struct Slot
+    {
+        SlotId next = kNullSlot;
+        bool headOfPacket = false;
+        Packet packet; ///< valid iff headOfPacket
+    };
+
+    /** Head/tail register pair plus occupancy counters. */
+    struct ListRegs
+    {
+        SlotId head = kNullSlot;
+        SlotId tail = kNullSlot;
+        std::uint32_t slots = 0;
+        std::uint32_t packets = 0;
+    };
+
+    /** Detach the first slot of @p list (must be non-empty). */
+    SlotId removeHead(ListRegs &list);
+
+    /** Append slot @p s at the tail of @p list. */
+    void appendTail(ListRegs &list, SlotId s);
+
+    std::vector<Slot> pool;
+    ListRegs freeList;
+    std::vector<ListRegs> queues;
+    std::uint32_t packetCount = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_DAMQ_BUFFER_HH

@@ -1,0 +1,45 @@
+#include "queueing/damq_reserved_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+DamqReservedBuffer::DamqReservedBuffer(PortId num_outputs,
+                                       std::uint32_t capacity_slots)
+    : BufferModel(num_outputs, capacity_slots),
+      inner(num_outputs, capacity_slots)
+{
+    if (capacity_slots < num_outputs) {
+        damq_fatal("a reserved-slot DAMQ needs at least one slot "
+                   "per output (got ", capacity_slots, " slots for ",
+                   num_outputs, " outputs)");
+    }
+}
+
+bool
+DamqReservedBuffer::canAccept(PortId out, std::uint32_t len) const
+{
+    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+
+    // Count the *other* queues that are empty: one slot must stay
+    // available for each of them.
+    std::uint32_t reserved_for_others = 0;
+    for (PortId o = 0; o < numOutputs(); ++o) {
+        if (o != out && inner.queueLength(o) == 0)
+            ++reserved_for_others;
+    }
+    const std::uint32_t free = inner.freeSlotCount();
+    // Reservations made through the base-class API (varlen
+    // transfers) also hold space.
+    const std::uint32_t held = reservedSlotsTotal();
+    return free >= len + held + reserved_for_others;
+}
+
+void
+DamqReservedBuffer::clear()
+{
+    BufferModel::clear();
+    inner.clear();
+}
+
+} // namespace damq

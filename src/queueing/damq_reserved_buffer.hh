@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DAMQ with reserved slots — the follow-up fix for the hot-spot
+ * weakness the paper itself reports.
+ *
+ * Section 4.2.1 observes that under hot-spot traffic a plain DAMQ
+ * "fills up with hot spot traffic and, once that happens, the DAMQ
+ * is tree saturated and behaves just like a FIFO switch": the
+ * dynamically shared pool lets one congested destination monopolize
+ * every slot.  Tamir & Frazier's 1992 journal follow-up solves this
+ * by *reserving* one slot per output queue out of the shared pool,
+ * so no queue can ever be completely squeezed out.
+ *
+ * Admission rule: a packet for output `o` may take a free slot as
+ * long as, afterwards, there is still at least one slot available
+ * for every *other* output whose queue is currently empty.
+ * Equivalently, the usable free space for `o` is
+ *
+ *     freeSlots - (number of other empty queues)
+ *
+ * which degrades gracefully to plain DAMQ behaviour when all queues
+ * are busy.  Requires capacity >= number of outputs.
+ */
+
+#ifndef DAMQ_QUEUEING_DAMQ_RESERVED_BUFFER_HH
+#define DAMQ_QUEUEING_DAMQ_RESERVED_BUFFER_HH
+
+#include "queueing/damq_buffer.hh"
+
+namespace damq {
+
+/** DAMQ buffer with one reserved slot per output queue. */
+class DamqReservedBuffer final : public BufferModel
+{
+  public:
+    /** See BufferModel::BufferModel; capacity must cover one
+     *  reserved slot per output. */
+    DamqReservedBuffer(PortId num_outputs,
+                       std::uint32_t capacity_slots);
+
+    std::uint32_t usedSlots() const override
+    {
+        return inner.usedSlots();
+    }
+    std::uint32_t totalPackets() const override
+    {
+        return inner.totalPackets();
+    }
+
+    bool canAccept(PortId out, std::uint32_t len) const override;
+    void push(const Packet &pkt) override { inner.push(pkt); }
+    const Packet *peek(PortId out) const override
+    {
+        return inner.peek(out);
+    }
+    std::uint32_t queueLength(PortId out) const override
+    {
+        return inner.queueLength(out);
+    }
+    Packet pop(PortId out) override { return inner.pop(out); }
+
+    BufferType type() const override { return BufferType::DamqR; }
+
+    void clear() override;
+    void debugValidate() const override { inner.debugValidate(); }
+
+  private:
+    DamqBuffer inner;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_DAMQ_RESERVED_BUFFER_HH

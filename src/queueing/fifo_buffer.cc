@@ -1,0 +1,84 @@
+#include "queueing/fifo_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+FifoBuffer::FifoBuffer(PortId num_outputs, std::uint32_t capacity_slots)
+    : BufferModel(num_outputs, capacity_slots)
+{
+}
+
+bool
+FifoBuffer::canAccept(PortId out, std::uint32_t len) const
+{
+    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    return used + reservedSlotsTotal() + len <= capacitySlots();
+}
+
+void
+FifoBuffer::push(const Packet &pkt)
+{
+    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
+                    capacitySlots(),
+                "push into a full FIFO buffer");
+    queue.push_back(pkt);
+    used += pkt.lengthSlots;
+}
+
+const Packet *
+FifoBuffer::peek(PortId out) const
+{
+    damq_assert(out < numOutputs(), "peek: bad output ", out);
+    if (queue.empty() || queue.front().outPort != out)
+        return nullptr;
+    return &queue.front();
+}
+
+std::uint32_t
+FifoBuffer::queueLength(PortId out) const
+{
+    // The whole buffer is one queue; it only counts toward the
+    // output its head-of-line packet is routed to.
+    if (!peek(out))
+        return 0;
+    return totalPackets();
+}
+
+Packet
+FifoBuffer::pop(PortId out)
+{
+    const Packet *head = peek(out);
+    damq_assert(head != nullptr,
+                "pop(", out, ") but head-of-line is elsewhere");
+    Packet pkt = *head;
+    queue.pop_front();
+    used -= pkt.lengthSlots;
+    return pkt;
+}
+
+void
+FifoBuffer::clear()
+{
+    BufferModel::clear();
+    queue.clear();
+    used = 0;
+}
+
+void
+FifoBuffer::debugValidate() const
+{
+    std::uint32_t slots = 0;
+    for (const auto &pkt : queue) {
+        damq_assert(pkt.valid(), "invalid packet stored in FIFO");
+        damq_assert(pkt.outPort < numOutputs(),
+                    "stored packet has bad output port");
+        slots += pkt.lengthSlots;
+    }
+    damq_assert(slots == used, "FIFO slot accounting drifted");
+    damq_assert(used + reservedSlotsTotal() <= capacitySlots(),
+                "FIFO over capacity");
+}
+
+} // namespace damq

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * FIFO input buffer: the "control" design of the paper's evaluation.
+ *
+ * A single queue over a shared slot pool.  Adapts well to any
+ * traffic mix (all slots serve all destinations) but suffers
+ * head-of-line blocking: only the oldest packet is ever a candidate
+ * for transmission, so one packet bound for a busy output can idle
+ * every other output the buffer has traffic for.
+ */
+
+#ifndef DAMQ_QUEUEING_FIFO_BUFFER_HH
+#define DAMQ_QUEUEING_FIFO_BUFFER_HH
+
+#include <deque>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Single-queue, shared-pool input buffer. */
+class FifoBuffer final : public BufferModel
+{
+  public:
+    /** See BufferModel::BufferModel. */
+    FifoBuffer(PortId num_outputs, std::uint32_t capacity_slots);
+
+    std::uint32_t usedSlots() const override { return used; }
+    std::uint32_t totalPackets() const override
+    {
+        return static_cast<std::uint32_t>(queue.size());
+    }
+
+    bool canAccept(PortId out, std::uint32_t len) const override;
+    void push(const Packet &pkt) override;
+    const Packet *peek(PortId out) const override;
+    std::uint32_t queueLength(PortId out) const override;
+    Packet pop(PortId out) override;
+
+    BufferType type() const override { return BufferType::Fifo; }
+
+    void clear() override;
+    void debugValidate() const override;
+
+  private:
+    std::deque<Packet> queue;
+    std::uint32_t used = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_FIFO_BUFFER_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The packet record that flows through the switch-level simulators.
+ *
+ * At this level of abstraction a packet is pure metadata: the data
+ * bytes themselves are only modeled in the byte-accurate microarch
+ * library.  A packet occupies @ref lengthSlots buffer slots; the
+ * paper's fixed-length evaluation uses one slot per packet, the
+ * variable-length ablation uses one to four (matching the 8-byte
+ * slots holding 1-32 byte packets in the ComCoBB design).
+ */
+
+#ifndef DAMQ_QUEUEING_PACKET_HH
+#define DAMQ_QUEUEING_PACKET_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** Metadata for one packet traversing the network. */
+struct Packet
+{
+    /** Unique id assigned at generation. */
+    PacketId id = kInvalidPacket;
+
+    /** Generating endpoint. */
+    NodeId source = kInvalidNode;
+
+    /** Final destination endpoint. */
+    NodeId dest = kInvalidNode;
+
+    /**
+     * Output port at the switch currently buffering the packet.
+     * Assigned by the router when the packet enters each switch.
+     */
+    PortId outPort = kInvalidPort;
+
+    /** Buffer slots this packet occupies (>= 1). */
+    std::uint32_t lengthSlots = 1;
+
+    /** Network cycle at which the source generated the packet. */
+    Cycle generatedAt = 0;
+
+    /** Network cycle at which it entered the first-stage buffer. */
+    Cycle injectedAt = 0;
+
+    /** Switches traversed so far. */
+    std::uint32_t hops = 0;
+
+    /** True iff this record refers to a real packet. */
+    bool valid() const { return id != kInvalidPacket; }
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_PACKET_HH

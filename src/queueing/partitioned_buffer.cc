@@ -1,0 +1,108 @@
+#include "queueing/partitioned_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+StaticallyPartitionedBuffer::StaticallyPartitionedBuffer(
+    PortId num_outputs, std::uint32_t capacity_slots)
+    : BufferModel(num_outputs, capacity_slots),
+      perQueueCapacity(capacity_slots / num_outputs),
+      queues(num_outputs),
+      usedPerQueue(num_outputs, 0)
+{
+    if (capacity_slots % num_outputs != 0) {
+        damq_fatal("statically partitioned buffers need a slot count "
+                   "divisible by the number of outputs (got ",
+                   capacity_slots, " slots for ", num_outputs,
+                   " outputs)");
+    }
+}
+
+bool
+StaticallyPartitionedBuffer::canAccept(PortId out,
+                                       std::uint32_t len) const
+{
+    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    return usedPerQueue[out] + reservedFor(out) + len <= perQueueCapacity;
+}
+
+void
+StaticallyPartitionedBuffer::push(const Packet &pkt)
+{
+    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    damq_assert(usedPerQueue[pkt.outPort] + reservedFor(pkt.outPort) +
+                    pkt.lengthSlots <= perQueueCapacity,
+                "push into a full ", name(), " partition");
+    queues[pkt.outPort].push_back(pkt);
+    usedPerQueue[pkt.outPort] += pkt.lengthSlots;
+    used += pkt.lengthSlots;
+    ++packets;
+}
+
+const Packet *
+StaticallyPartitionedBuffer::peek(PortId out) const
+{
+    damq_assert(out < numOutputs(), "peek: bad output ", out);
+    if (queues[out].empty())
+        return nullptr;
+    return &queues[out].front();
+}
+
+std::uint32_t
+StaticallyPartitionedBuffer::queueLength(PortId out) const
+{
+    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
+    return static_cast<std::uint32_t>(queues[out].size());
+}
+
+Packet
+StaticallyPartitionedBuffer::pop(PortId out)
+{
+    damq_assert(out < numOutputs(), "pop: bad output ", out);
+    damq_assert(!queues[out].empty(), "pop from empty queue ", out);
+    Packet pkt = queues[out].front();
+    queues[out].pop_front();
+    usedPerQueue[out] -= pkt.lengthSlots;
+    used -= pkt.lengthSlots;
+    --packets;
+    return pkt;
+}
+
+void
+StaticallyPartitionedBuffer::clear()
+{
+    BufferModel::clear();
+    for (auto &q : queues)
+        q.clear();
+    std::fill(usedPerQueue.begin(), usedPerQueue.end(), 0);
+    used = 0;
+    packets = 0;
+}
+
+void
+StaticallyPartitionedBuffer::debugValidate() const
+{
+    std::uint32_t total_slots = 0;
+    std::uint32_t total_packets = 0;
+    for (PortId out = 0; out < numOutputs(); ++out) {
+        std::uint32_t q_slots = 0;
+        for (const auto &pkt : queues[out]) {
+            damq_assert(pkt.valid(), "invalid packet in ", name());
+            damq_assert(pkt.outPort == out,
+                        "packet queued under the wrong output");
+            q_slots += pkt.lengthSlots;
+        }
+        damq_assert(q_slots == usedPerQueue[out],
+                    "per-queue slot accounting drifted");
+        damq_assert(q_slots + reservedFor(out) <= perQueueCapacity,
+                    "partition over capacity");
+        total_slots += q_slots;
+        total_packets += static_cast<std::uint32_t>(queues[out].size());
+    }
+    damq_assert(total_slots == used, "total slot accounting drifted");
+    damq_assert(total_packets == packets,
+                "packet count accounting drifted");
+}
+
+} // namespace damq

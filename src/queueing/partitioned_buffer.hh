@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The two statically partitioned buffer organizations: SAMQ and SAFC.
+ *
+ * Both divide the slot pool into numOutputs() fixed partitions, one
+ * per output port, and keep a FIFO queue in each.  They differ only
+ * in read bandwidth:
+ *
+ *  - SAMQ (statically allocated multi-queue): one read port, so the
+ *    whole buffer emits at most one packet per cycle, through the
+ *    switch's single crossbar (Figure 1c of the paper).
+ *  - SAFC (statically allocated fully connected): a separate path
+ *    from every queue to its output port — n 4-by-1 switches in the
+ *    paper's Figure 1b — so every queue can emit simultaneously.
+ *
+ * Static partitioning wastes storage under non-uniform traffic: a
+ * packet can be rejected while slots reserved for other outputs sit
+ * empty.  That effect is exactly what Tables 2-5 quantify.
+ */
+
+#ifndef DAMQ_QUEUEING_PARTITIONED_BUFFER_HH
+#define DAMQ_QUEUEING_PARTITIONED_BUFFER_HH
+
+#include <deque>
+#include <vector>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Shared implementation of SAMQ and SAFC. */
+class StaticallyPartitionedBuffer : public BufferModel
+{
+  public:
+    /**
+     * @param num_outputs    queues (= partitions).
+     * @param capacity_slots total slots; must divide evenly by
+     *                       @p num_outputs (the paper's Markov
+     *                       tables only list even sizes for this
+     *                       reason).
+     */
+    StaticallyPartitionedBuffer(PortId num_outputs,
+                                std::uint32_t capacity_slots);
+
+    /** Slots statically assigned to each queue. */
+    std::uint32_t partitionSlots() const { return perQueueCapacity; }
+
+    std::uint32_t usedSlots() const override { return used; }
+    std::uint32_t totalPackets() const override { return packets; }
+
+    bool canAccept(PortId out, std::uint32_t len) const override;
+    void push(const Packet &pkt) override;
+    const Packet *peek(PortId out) const override;
+    std::uint32_t queueLength(PortId out) const override;
+    Packet pop(PortId out) override;
+
+    void clear() override;
+    void debugValidate() const override;
+
+  private:
+    std::uint32_t perQueueCapacity;
+    std::vector<std::deque<Packet>> queues;
+    std::vector<std::uint32_t> usedPerQueue;
+    std::uint32_t used = 0;
+    std::uint32_t packets = 0;
+};
+
+/** Statically allocated multi-queue buffer: one read port. */
+class SamqBuffer final : public StaticallyPartitionedBuffer
+{
+  public:
+    using StaticallyPartitionedBuffer::StaticallyPartitionedBuffer;
+
+    BufferType type() const override { return BufferType::Samq; }
+};
+
+/**
+ * Statically allocated fully connected buffer: every queue can emit
+ * in the same cycle.
+ */
+class SafcBuffer final : public StaticallyPartitionedBuffer
+{
+  public:
+    using StaticallyPartitionedBuffer::StaticallyPartitionedBuffer;
+
+    std::uint32_t maxReadsPerCycle() const override
+    {
+        return numOutputs();
+    }
+
+    BufferType type() const override { return BufferType::Safc; }
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_PARTITIONED_BUFFER_HH

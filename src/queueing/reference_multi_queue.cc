@@ -1,0 +1,70 @@
+#include "queueing/reference_multi_queue.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+ReferenceMultiQueue::ReferenceMultiQueue(PortId num_outputs,
+                                         std::uint32_t capacity_slots)
+    : BufferModel(num_outputs, capacity_slots), queues(num_outputs)
+{
+}
+
+bool
+ReferenceMultiQueue::canAccept(PortId out, std::uint32_t len) const
+{
+    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    return used + reservedSlotsTotal() + len <= capacitySlots();
+}
+
+void
+ReferenceMultiQueue::push(const Packet &pkt)
+{
+    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
+                    capacitySlots(),
+                "push into a full reference buffer");
+    queues[pkt.outPort].push_back(pkt);
+    used += pkt.lengthSlots;
+    ++packets;
+}
+
+const Packet *
+ReferenceMultiQueue::peek(PortId out) const
+{
+    damq_assert(out < numOutputs(), "peek: bad output ", out);
+    if (queues[out].empty())
+        return nullptr;
+    return &queues[out].front();
+}
+
+std::uint32_t
+ReferenceMultiQueue::queueLength(PortId out) const
+{
+    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
+    return static_cast<std::uint32_t>(queues[out].size());
+}
+
+Packet
+ReferenceMultiQueue::pop(PortId out)
+{
+    damq_assert(out < numOutputs(), "pop: bad output ", out);
+    damq_assert(!queues[out].empty(), "pop from empty queue ", out);
+    Packet pkt = queues[out].front();
+    queues[out].pop_front();
+    used -= pkt.lengthSlots;
+    --packets;
+    return pkt;
+}
+
+void
+ReferenceMultiQueue::clear()
+{
+    BufferModel::clear();
+    for (auto &q : queues)
+        q.clear();
+    used = 0;
+    packets = 0;
+}
+
+} // namespace damq

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * A deliberately simple multi-queue oracle used by the property
+ * tests: per-output std::deque queues over one shared slot budget.
+ * Behaviorally it must match DamqBuffer operation for operation;
+ * the tests drive both with identical random streams and compare.
+ */
+
+#ifndef DAMQ_QUEUEING_REFERENCE_MULTI_QUEUE_HH
+#define DAMQ_QUEUEING_REFERENCE_MULTI_QUEUE_HH
+
+#include <deque>
+#include <vector>
+
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+
+/** Oracle implementation of the DAMQ semantics. */
+class ReferenceMultiQueue final : public BufferModel
+{
+  public:
+    /** See BufferModel::BufferModel. */
+    ReferenceMultiQueue(PortId num_outputs, std::uint32_t capacity_slots);
+
+    std::uint32_t usedSlots() const override { return used; }
+    std::uint32_t totalPackets() const override { return packets; }
+
+    bool canAccept(PortId out, std::uint32_t len) const override;
+    void push(const Packet &pkt) override;
+    const Packet *peek(PortId out) const override;
+    std::uint32_t queueLength(PortId out) const override;
+    Packet pop(PortId out) override;
+
+    BufferType type() const override { return BufferType::Damq; }
+
+    void clear() override;
+
+  private:
+    std::vector<std::deque<Packet>> queues;
+    std::uint32_t used = 0;
+    std::uint32_t packets = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_REFERENCE_MULTI_QUEUE_HH

@@ -1,0 +1,87 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+Histogram::Histogram(double bin_width, std::size_t num_bins)
+    : binWidth(bin_width), bins(num_bins, 0)
+{
+    damq_assert(bin_width > 0.0, "histogram bin width must be positive");
+    damq_assert(num_bins > 0, "histogram needs at least one bin");
+}
+
+void
+Histogram::add(double sample)
+{
+    ++total;
+    if (sample < 0.0)
+        sample = 0.0;
+    const auto idx = static_cast<std::size_t>(sample / binWidth);
+    if (idx >= bins.size())
+        ++overflow;
+    else
+        ++bins[idx];
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(total);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        const double next = cumulative + static_cast<double>(bins[i]);
+        if (next >= target && bins[i] > 0) {
+            const double frac =
+                (target - cumulative) / static_cast<double>(bins[i]);
+            return binLowerEdge(i) + frac * binWidth;
+        }
+        cumulative = next;
+    }
+    // Target falls in the overflow bin; report its lower edge.
+    return binLowerEdge(bins.size());
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins.begin(), bins.end(), 0);
+    overflow = 0;
+    total = 0;
+}
+
+std::string
+Histogram::renderAscii(std::size_t max_width) const
+{
+    std::uint64_t peak = overflow;
+    for (auto c : bins)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        return "(empty histogram)\n";
+
+    std::ostringstream oss;
+    for (std::size_t i = 0; i < bins.size(); ++i) {
+        if (bins[i] == 0)
+            continue;
+        const auto width = static_cast<std::size_t>(
+            static_cast<double>(bins[i]) / static_cast<double>(peak) *
+            static_cast<double>(max_width));
+        oss << padLeft(formatFixed(binLowerEdge(i), 1), 10) << " | "
+            << std::string(std::max<std::size_t>(width, 1), '#') << " "
+            << bins[i] << "\n";
+    }
+    if (overflow > 0)
+        oss << padLeft(">=" + formatFixed(binLowerEdge(bins.size()), 1), 10)
+            << " | " << overflow << " (overflow)\n";
+    return oss.str();
+}
+
+} // namespace damq

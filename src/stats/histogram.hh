@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-width-bin histogram for latency distributions.
+ */
+
+#ifndef DAMQ_STATS_HISTOGRAM_HH
+#define DAMQ_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace damq {
+
+/**
+ * Histogram over [0, binWidth * numBins) with an overflow bin.
+ * Values are binned by truncation; percentile queries interpolate
+ * within a bin.
+ */
+class Histogram
+{
+  public:
+    /** @param bin_width  width of each bin (must be positive).
+     *  @param num_bins   number of regular bins (overflow is extra). */
+    Histogram(double bin_width, std::size_t num_bins);
+
+    /** Record one sample (negative samples clamp to bin 0). */
+    void add(double sample);
+
+    /** Total samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Count in regular bin @p i. */
+    std::uint64_t binCount(std::size_t i) const { return bins.at(i); }
+
+    /** Count of samples beyond the last regular bin. */
+    std::uint64_t overflowCount() const { return overflow; }
+
+    /** Number of regular bins. */
+    std::size_t numBins() const { return bins.size(); }
+
+    /** Lower edge of bin @p i. */
+    double binLowerEdge(std::size_t i) const
+    {
+        return binWidth * static_cast<double>(i);
+    }
+
+    /**
+     * Approximate @p q-quantile (q in [0,1]) by linear interpolation
+     * within the containing bin.  Returns 0 for an empty histogram.
+     */
+    double quantile(double q) const;
+
+    /** Remove all samples. */
+    void reset();
+
+    /**
+     * Render a simple ASCII bar chart, one line per non-empty bin —
+     * handy for the examples.  @p max_width is the widest bar.
+     */
+    std::string renderAscii(std::size_t max_width = 50) const;
+
+  private:
+    double binWidth;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_STATS_HISTOGRAM_HH

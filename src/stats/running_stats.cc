@@ -1,0 +1,67 @@
+#include "stats/running_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace damq {
+
+void
+RunningStats::add(double sample)
+{
+    ++n;
+    const double delta = sample - runningMean;
+    runningMean += delta / static_cast<double>(n);
+    m2 += delta * (sample - runningMean);
+    minValue = std::min(minValue, sample);
+    maxValue = std::max(maxValue, sample);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    const double delta = other.runningMean - runningMean;
+    const double total = na + nb;
+    runningMean += delta * nb / total;
+    m2 += other.m2 + delta * delta * na * nb / total;
+    n += other.n;
+    minValue = std::min(minValue, other.minValue);
+    maxValue = std::max(maxValue, other.maxValue);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+RunningStats::sampleVariance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace damq

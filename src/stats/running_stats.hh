@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Streaming scalar statistics (count/mean/variance/min/max) using
+ * Welford's numerically stable update.
+ */
+
+#ifndef DAMQ_STATS_RUNNING_STATS_HH
+#define DAMQ_STATS_RUNNING_STATS_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace damq {
+
+/**
+ * Accumulates samples one at a time and reports mean, variance,
+ * standard deviation, min and max without storing the samples.
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double sample);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    /** Remove all samples. */
+    void reset();
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return n ? runningMean : 0.0; }
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample (Bessel-corrected) variance. */
+    double sampleVariance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample (+inf if empty). */
+    double min() const { return minValue; }
+
+    /** Largest sample (-inf if empty). */
+    double max() const { return maxValue; }
+
+    /** Sum of all samples. */
+    double sum() const { return runningMean * static_cast<double>(n); }
+
+  private:
+    std::uint64_t n = 0;
+    double runningMean = 0.0;
+    double m2 = 0.0;
+    double minValue = std::numeric_limits<double>::infinity();
+    double maxValue = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace damq
+
+#endif // DAMQ_STATS_RUNNING_STATS_HH

@@ -1,0 +1,99 @@
+#include "stats/text_table.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+void
+TextTable::setHeader(std::vector<std::string> names)
+{
+    header = std::move(names);
+}
+
+void
+TextTable::startRow()
+{
+    rows.emplace_back();
+}
+
+void
+TextTable::addCell(std::string text)
+{
+    damq_assert(!rows.empty(), "startRow() before addCell()");
+    rows.back().push_back(std::move(text));
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::size_t columns = header.size();
+    for (const auto &row : rows)
+        columns = std::max(columns, row.size());
+    if (columns == 0)
+        return "";
+
+    std::vector<std::size_t> widths(columns, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    account(header);
+    for (const auto &row : rows)
+        account(row);
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t i = 0; i < columns; ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            line += " " + padLeft(cell, widths[i]) + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (std::size_t i = 0; i < columns; ++i)
+        rule += std::string(widths[i] + 2, '-') + "+";
+    rule += "\n";
+
+    std::ostringstream oss;
+    oss << rule;
+    if (!header.empty()) {
+        oss << renderRow(header) << rule;
+    }
+    for (const auto &row : rows)
+        oss << renderRow(row);
+    oss << rule;
+    return oss.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream oss;
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i > 0)
+                oss << ",";
+            oss << row[i];
+        }
+        oss << "\n";
+    };
+    if (!header.empty())
+        renderRow(header);
+    for (const auto &row : rows)
+        renderRow(row);
+    return oss.str();
+}
+
+} // namespace damq

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Plain-text table rendering used by the bench harnesses to print
+ * the paper's tables in a recognizable layout.
+ */
+
+#ifndef DAMQ_STATS_TEXT_TABLE_HH
+#define DAMQ_STATS_TEXT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace damq {
+
+/**
+ * A rectangular table of strings with a header row, rendered with
+ * column alignment and separators.  Cells added via addCell/addRow.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row (also fixes the number of columns). */
+    void setHeader(std::vector<std::string> names);
+
+    /** Begin a new data row. */
+    void startRow();
+
+    /** Append one cell to the current row. */
+    void addCell(std::string text);
+
+    /** Append a whole row at once. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with box-drawing separators; ends with a newline. */
+    std::string render() const;
+
+    /** Render as comma-separated values (for machine consumption). */
+    std::string renderCsv() const;
+
+    /** Number of data rows so far. */
+    std::size_t numRows() const { return rows.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace damq
+
+#endif // DAMQ_STATS_TEXT_TABLE_HH

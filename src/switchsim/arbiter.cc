@@ -1,0 +1,210 @@
+#include "switchsim/arbiter.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+const char *
+arbitrationPolicyName(ArbitrationPolicy policy)
+{
+    switch (policy) {
+      case ArbitrationPolicy::Dumb: return "dumb";
+      case ArbitrationPolicy::Smart: return "smart";
+    }
+    damq_panic("unknown ArbitrationPolicy ", static_cast<int>(policy));
+}
+
+ArbitrationPolicy
+arbitrationPolicyFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "dumb")
+        return ArbitrationPolicy::Dumb;
+    if (lower == "smart")
+        return ArbitrationPolicy::Smart;
+    damq_fatal("unknown arbitration policy '", name,
+               "' (expected dumb|smart)");
+}
+
+Arbiter::Arbiter(PortId num_inputs, PortId num_outputs)
+    : inputs(num_inputs), outputs(num_outputs),
+      outputTaken(num_outputs, false)
+{
+    damq_assert(num_inputs > 0 && num_outputs > 0,
+                "arbiter needs ports");
+}
+
+GrantList
+Arbiter::serveRoundRobin(
+    const std::vector<BufferModel *> &buffers,
+    const CanSendFn &can_send, PortId start,
+    const std::function<PortId(PortId, const std::vector<PortId> &,
+                               const BufferModel &)> &select)
+{
+    damq_assert(buffers.size() == inputs,
+                "arbiter geometry mismatch: ", buffers.size(),
+                " buffers for ", inputs, " inputs");
+
+    std::fill(outputTaken.begin(), outputTaken.end(), false);
+    GrantList grants;
+
+    for (PortId step = 0; step < inputs; ++step) {
+        const PortId input = (start + step) % inputs;
+        BufferModel &buffer = *buffers[input];
+        std::uint32_t reads_left = buffer.maxReadsPerCycle();
+
+        // A fully connected (SAFC) buffer keeps transmitting from
+        // this input while it has read bandwidth; the others stop
+        // after one grant.
+        while (reads_left > 0) {
+            std::vector<PortId> eligible;
+            for (PortId out = 0; out < outputs; ++out) {
+                if (outputTaken[out])
+                    continue;
+                const Packet *head = buffer.peek(out);
+                if (!head)
+                    continue;
+                if (!can_send(input, out, *head))
+                    continue;
+                eligible.push_back(out);
+            }
+            if (eligible.empty())
+                break;
+
+            const PortId chosen = select(input, eligible, buffer);
+            if (chosen == kInvalidPort)
+                break;
+            damq_assert(std::find(eligible.begin(), eligible.end(),
+                                  chosen) != eligible.end(),
+                        "selector picked an ineligible output");
+
+            outputTaken[chosen] = true;
+            grants.push_back(Grant{input, chosen});
+            --reads_left;
+        }
+    }
+    return grants;
+}
+
+DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs)
+    : Arbiter(num_inputs, num_outputs)
+{
+}
+
+GrantList
+DumbArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
+                       const CanSendFn &can_send)
+{
+    auto longest_queue = [](PortId, const std::vector<PortId> &eligible,
+                            const BufferModel &buffer) {
+        PortId best = eligible.front();
+        for (const PortId out : eligible) {
+            if (buffer.queueLength(out) > buffer.queueLength(best))
+                best = out;
+        }
+        return best;
+    };
+
+    GrantList grants =
+        serveRoundRobin(buffers, can_send, rrStart, longest_queue);
+
+    // Dumb policy: the priority position advances every cycle,
+    // whether or not the buffer holding it transmitted.
+    rrStart = (rrStart + 1) % numInputs();
+    return grants;
+}
+
+SmartArbiter::SmartArbiter(PortId num_inputs, PortId num_outputs,
+                           std::uint32_t stale_threshold)
+    : Arbiter(num_inputs, num_outputs),
+      staleThreshold(stale_threshold),
+      staleCounts(static_cast<std::size_t>(num_inputs) * num_outputs, 0)
+{
+}
+
+GrantList
+SmartArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
+                        const CanSendFn &can_send)
+{
+    auto select = [this](PortId input,
+                         const std::vector<PortId> &eligible,
+                         const BufferModel &buffer) {
+        // Stale queues get precedence over long ones: pick the
+        // stalest queue at or above the threshold, falling back to
+        // the longest queue otherwise.
+        PortId stalest = kInvalidPort;
+        std::uint32_t best_stale = 0;
+        for (const PortId out : eligible) {
+            const std::uint32_t stale = staleCount(input, out);
+            if (stale >= staleThreshold && stale >= best_stale) {
+                stalest = out;
+                best_stale = stale;
+            }
+        }
+        if (stalest != kInvalidPort)
+            return stalest;
+
+        PortId best = eligible.front();
+        for (const PortId out : eligible) {
+            if (buffer.queueLength(out) > buffer.queueLength(best))
+                best = out;
+        }
+        return best;
+    };
+
+    GrantList grants =
+        serveRoundRobin(buffers, can_send, rrStart, select);
+
+    // Update stale counts: a non-empty queue that did not transmit
+    // ages by one; a served queue resets.
+    std::vector<bool> served(staleCounts.size(), false);
+    for (const Grant &g : grants)
+        served[g.input * numOutputs() + g.output] = true;
+    for (PortId input = 0; input < numInputs(); ++input) {
+        for (PortId out = 0; out < numOutputs(); ++out) {
+            const std::size_t idx = input * numOutputs() + out;
+            if (served[idx]) {
+                staleCounts[idx] = 0;
+            } else if (buffers[input]->queueLength(out) > 0) {
+                ++staleCounts[idx];
+            } else {
+                staleCounts[idx] = 0;
+            }
+        }
+    }
+
+    // Smart policy: only advance priority past a buffer whose turn
+    // was actually useful.
+    bool start_transmitted = false;
+    for (const Grant &g : grants)
+        start_transmitted = start_transmitted || g.input == rrStart;
+    if (start_transmitted)
+        rrStart = (rrStart + 1) % numInputs();
+    return grants;
+}
+
+void
+SmartArbiter::reset()
+{
+    rrStart = 0;
+    std::fill(staleCounts.begin(), staleCounts.end(), 0);
+}
+
+std::unique_ptr<Arbiter>
+makeArbiter(ArbitrationPolicy policy, PortId num_inputs,
+            PortId num_outputs, std::uint32_t stale_threshold)
+{
+    switch (policy) {
+      case ArbitrationPolicy::Dumb:
+        return std::make_unique<DumbArbiter>(num_inputs, num_outputs);
+      case ArbitrationPolicy::Smart:
+        return std::make_unique<SmartArbiter>(num_inputs, num_outputs,
+                                              stale_threshold);
+    }
+    damq_panic("unknown ArbitrationPolicy ", static_cast<int>(policy));
+}
+
+} // namespace damq

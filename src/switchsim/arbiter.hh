@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Crossbar arbitration policies from Section 4.2 of the paper.
+ *
+ * Both policies examine the input buffers one at a time in a
+ * priority order and let the current buffer transmit from its
+ * longest queue that is not blocked (output already claimed this
+ * cycle, or downstream back-pressure).  They differ in how the
+ * priority order evolves:
+ *
+ *  - **Dumb**: plain round-robin — the starting buffer advances
+ *    every cycle no matter what.
+ *  - **Smart**: the starting position advances only when the
+ *    priority buffer actually transmitted, i.e., fruitless turns
+ *    are not "counted" against a buffer.  In addition a per-queue
+ *    *stale count* tracks how long a non-empty queue has gone
+ *    without transmitting; queues whose stale count crosses a
+ *    threshold take precedence over longer queues, keeping traffic
+ *    inside a buffer fair.
+ */
+
+#ifndef DAMQ_SWITCHSIM_ARBITER_HH
+#define DAMQ_SWITCHSIM_ARBITER_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "queueing/buffer_model.hh"
+#include "switchsim/grant.hh"
+
+namespace damq {
+
+/** Which arbitration policy a switch uses. */
+enum class ArbitrationPolicy
+{
+    Dumb, ///< plain round-robin priority rotation
+    Smart ///< rotation on service only, plus stale counts
+};
+
+/** Human-readable policy name. */
+const char *arbitrationPolicyName(ArbitrationPolicy policy);
+
+/** Parse a case-insensitive policy name; fatal on bad input. */
+ArbitrationPolicy arbitrationPolicyFromString(const std::string &name);
+
+/**
+ * Per-candidate back-pressure test supplied by the network layer:
+ * may input @p input transmit packet @p pkt to output @p out this
+ * cycle?  (Blocking protocol: is there downstream space; discarding
+ * protocol: always true.)
+ */
+using CanSendFn =
+    std::function<bool(PortId input, PortId out, const Packet &pkt)>;
+
+/**
+ * Stateful per-switch arbiter.  Produces a conflict-free grant set:
+ * at most one grant per output port and at most
+ * `maxReadsPerCycle()` grants per input buffer.
+ */
+class Arbiter
+{
+  public:
+    /** @param num_inputs / @param num_outputs  switch geometry. */
+    Arbiter(PortId num_inputs, PortId num_outputs);
+
+    virtual ~Arbiter() = default;
+
+    Arbiter(const Arbiter &) = delete;
+    Arbiter &operator=(const Arbiter &) = delete;
+
+    /**
+     * Compute this cycle's crossbar schedule.
+     *
+     * @param buffers   the switch's input buffers (size numInputs).
+     * @param can_send  back-pressure test (see CanSendFn).
+     * @return conflict-free grant list.
+     */
+    virtual GrantList arbitrate(
+        const std::vector<BufferModel *> &buffers,
+        const CanSendFn &can_send) = 0;
+
+    /** Policy implemented by this arbiter. */
+    virtual ArbitrationPolicy policy() const = 0;
+
+    /** Forget all fairness state. */
+    virtual void reset() = 0;
+
+    PortId numInputs() const { return inputs; }
+    PortId numOutputs() const { return outputs; }
+
+  protected:
+    /**
+     * Shared core: serve buffers in the order start, start+1, ...
+     * (mod numInputs), granting each buffer its best eligible
+     * queue(s).  @p select picks the queue to serve for a buffer
+     * given the eligible outputs, enabling the stale-count override;
+     * it returns kInvalidPort to skip the buffer.
+     */
+    GrantList serveRoundRobin(
+        const std::vector<BufferModel *> &buffers,
+        const CanSendFn &can_send, PortId start,
+        const std::function<PortId(PortId input,
+                                   const std::vector<PortId> &eligible,
+                                   const BufferModel &buffer)> &select);
+
+  private:
+    PortId inputs;
+    PortId outputs;
+
+  protected:
+    /** Scratch: outputs already claimed this cycle. */
+    std::vector<bool> outputTaken;
+};
+
+/** Round-robin arbiter that rotates unconditionally. */
+class DumbArbiter final : public Arbiter
+{
+  public:
+    /** See Arbiter::Arbiter. */
+    DumbArbiter(PortId num_inputs, PortId num_outputs);
+
+    GrantList arbitrate(const std::vector<BufferModel *> &buffers,
+                        const CanSendFn &can_send) override;
+
+    ArbitrationPolicy policy() const override
+    {
+        return ArbitrationPolicy::Dumb;
+    }
+
+    void reset() override { rrStart = 0; }
+
+  private:
+    PortId rrStart = 0;
+};
+
+/**
+ * Round-robin arbiter that only advances priority past a buffer
+ * that transmitted, with per-queue stale counts for intra-buffer
+ * fairness.
+ */
+class SmartArbiter final : public Arbiter
+{
+  public:
+    /**
+     * @param stale_threshold  cycles a waiting queue tolerates
+     *        before it preempts longer queues.
+     */
+    SmartArbiter(PortId num_inputs, PortId num_outputs,
+                 std::uint32_t stale_threshold = 8);
+
+    GrantList arbitrate(const std::vector<BufferModel *> &buffers,
+                        const CanSendFn &can_send) override;
+
+    ArbitrationPolicy policy() const override
+    {
+        return ArbitrationPolicy::Smart;
+    }
+
+    void reset() override;
+
+    /** Stale count of queue (@p input, @p out) — test visibility. */
+    std::uint32_t staleCount(PortId input, PortId out) const
+    {
+        return staleCounts[input * numOutputs() + out];
+    }
+
+  private:
+    PortId rrStart = 0;
+    std::uint32_t staleThreshold;
+    std::vector<std::uint32_t> staleCounts;
+};
+
+/** Construct an arbiter implementing @p policy. */
+std::unique_ptr<Arbiter> makeArbiter(ArbitrationPolicy policy,
+                                     PortId num_inputs,
+                                     PortId num_outputs,
+                                     std::uint32_t stale_threshold = 8);
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_ARBITER_HH

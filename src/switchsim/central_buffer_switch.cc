@@ -1,0 +1,102 @@
+#include "switchsim/central_buffer_switch.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+CentralBufferSwitch::CentralBufferSwitch(PortId num_ports,
+                                         std::uint32_t total_slots)
+    : ports(num_ports), capacity(total_slots), queues(num_ports),
+      usedByInput(num_ports, 0)
+{
+    damq_assert(num_ports > 0, "switch needs ports");
+    damq_assert(total_slots > 0, "pool needs slots");
+}
+
+bool
+CentralBufferSwitch::canAccept(PortId input, PortId,
+                               std::uint32_t len) const
+{
+    damq_assert(input < ports, "canAccept: bad input ", input);
+    // First come, first served on the shared pool: no per-input or
+    // per-output reservation — this is exactly what lets a busy
+    // input hog the memory.
+    return used + len <= capacity;
+}
+
+bool
+CentralBufferSwitch::tryReceive(PortId input, const Packet &pkt)
+{
+    damq_assert(input < ports, "tryReceive: bad input ", input);
+    damq_assert(pkt.outPort < ports, "tryReceive: unrouted packet");
+    if (used + pkt.lengthSlots > capacity) {
+        ++stats.discarded;
+        return false;
+    }
+    queues[pkt.outPort].push_back(Stored{pkt, input});
+    used += pkt.lengthSlots;
+    usedByInput[input] += pkt.lengthSlots;
+    ++packets;
+    ++stats.received;
+    return true;
+}
+
+std::vector<Packet>
+CentralBufferSwitch::transmit(const CanSendFn &can_send)
+{
+    std::vector<Packet> sent;
+    for (PortId out = 0; out < ports; ++out) {
+        if (queues[out].empty())
+            continue;
+        const Stored &head = queues[out].front();
+        // The pool has a packet for every output simultaneously
+        // available (idealized read bandwidth).
+        if (!can_send(head.arrivedOn, out, head.packet))
+            continue;
+        Packet pkt = head.packet;
+        used -= pkt.lengthSlots;
+        usedByInput[head.arrivedOn] -= pkt.lengthSlots;
+        --packets;
+        ++stats.transmitted;
+        queues[out].pop_front();
+        sent.push_back(pkt);
+    }
+    return sent;
+}
+
+void
+CentralBufferSwitch::reset()
+{
+    for (auto &q : queues)
+        q.clear();
+    std::fill(usedByInput.begin(), usedByInput.end(), 0);
+    used = 0;
+    packets = 0;
+    stats.reset();
+}
+
+void
+CentralBufferSwitch::debugValidate() const
+{
+    std::uint32_t slot_total = 0;
+    std::uint32_t packet_total = 0;
+    std::vector<std::uint32_t> by_input(ports, 0);
+    for (PortId out = 0; out < ports; ++out) {
+        for (const Stored &s : queues[out]) {
+            damq_assert(s.packet.valid(), "invalid stored packet");
+            damq_assert(s.packet.outPort == out,
+                        "packet queued under the wrong output");
+            slot_total += s.packet.lengthSlots;
+            by_input[s.arrivedOn] += s.packet.lengthSlots;
+            ++packet_total;
+        }
+    }
+    damq_assert(slot_total == used, "pool slot accounting drifted");
+    damq_assert(packet_total == packets, "packet count drifted");
+    damq_assert(used <= capacity, "pool over capacity");
+    for (PortId i = 0; i < ports; ++i)
+        damq_assert(by_input[i] == usedByInput[i],
+                    "per-input accounting drifted");
+}
+
+} // namespace damq

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A switch with one centralized buffer pool (Section 2's first
+ * rejected alternative).  All arrivals draw slots from a single
+ * shared pool; internally the pool keeps one FIFO queue per output
+ * (so there is no head-of-line blocking — the pool is a DAMQ
+ * "stretched" across the whole switch).  Memory bandwidth is
+ * idealized: all n inputs can write and all n outputs can read in
+ * the same cycle, which the paper argues is not implementable —
+ * this model isolates the *space* behaviour, in particular
+ * Fujimoto's hogging: one busy input can fill the pool and starve
+ * the others, because admission is first-come first-served with no
+ * per-input reservation.
+ *
+ * Per-input occupancy is tracked so experiments can observe the
+ * hogging directly.
+ */
+
+#ifndef DAMQ_SWITCHSIM_CENTRAL_BUFFER_SWITCH_HH
+#define DAMQ_SWITCHSIM_CENTRAL_BUFFER_SWITCH_HH
+
+#include <deque>
+#include <vector>
+
+#include "switchsim/switch_unit.hh"
+
+namespace damq {
+
+/** Shared-pool switch. */
+class CentralBufferSwitch final : public SwitchUnit
+{
+  public:
+    /** @param num_ports   n.
+     *  @param total_slots pool size (compare with n per-input
+     *                     buffers of total_slots / n each). */
+    CentralBufferSwitch(PortId num_ports, std::uint32_t total_slots);
+
+    PortId numPorts() const override { return ports; }
+    bool canAccept(PortId input, PortId out,
+                   std::uint32_t len) const override;
+    bool tryReceive(PortId input, const Packet &pkt) override;
+    std::vector<Packet> transmit(const CanSendFn &can_send) override;
+    std::uint32_t totalPackets() const override { return packets; }
+    std::uint32_t totalUsedSlots() const override { return used; }
+    const SwitchUnitStats &unitStats() const override { return stats; }
+    void reset() override;
+    void debugValidate() const override;
+
+    /** Pool capacity. */
+    std::uint32_t capacitySlots() const { return capacity; }
+
+    /** Slots currently occupied by packets that entered @p input. */
+    std::uint32_t usedSlotsByInput(PortId input) const
+    {
+        return usedByInput[input];
+    }
+
+  private:
+    /** A stored packet remembers which input brought it in. */
+    struct Stored
+    {
+        Packet packet;
+        PortId arrivedOn;
+    };
+
+    PortId ports;
+    std::uint32_t capacity;
+    std::vector<std::deque<Stored>> queues; ///< per output
+    std::vector<std::uint32_t> usedByInput;
+    std::uint32_t used = 0;
+    std::uint32_t packets = 0;
+    SwitchUnitStats stats;
+};
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_CENTRAL_BUFFER_SWITCH_HH

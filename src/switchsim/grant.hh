@@ -1,0 +1,28 @@
+/**
+ * @file
+ * A crossbar grant: "input buffer I transmits its head packet for
+ * output O this cycle".
+ */
+
+#ifndef DAMQ_SWITCHSIM_GRANT_HH
+#define DAMQ_SWITCHSIM_GRANT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** One input-to-output crossbar connection for the current cycle. */
+struct Grant
+{
+    PortId input = kInvalidPort;
+    PortId output = kInvalidPort;
+};
+
+/** The set of connections established in one cycle. */
+using GrantList = std::vector<Grant>;
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_GRANT_HH

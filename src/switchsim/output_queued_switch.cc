@@ -1,0 +1,100 @@
+#include "switchsim/output_queued_switch.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+OutputQueuedSwitch::OutputQueuedSwitch(PortId num_ports,
+                                       std::uint32_t slots_per_output)
+    : ports(num_ports), perOutput(slots_per_output),
+      queues(num_ports), usedPerOutput(num_ports, 0)
+{
+    damq_assert(num_ports > 0, "switch needs ports");
+    damq_assert(slots_per_output > 0, "output queues need slots");
+}
+
+bool
+OutputQueuedSwitch::canAccept(PortId input, PortId out,
+                              std::uint32_t len) const
+{
+    damq_assert(input < ports && out < ports,
+                "canAccept: bad ports");
+    return usedPerOutput[out] + len <= perOutput;
+}
+
+bool
+OutputQueuedSwitch::tryReceive(PortId input, const Packet &pkt)
+{
+    damq_assert(input < ports, "tryReceive: bad input ", input);
+    damq_assert(pkt.outPort < ports, "tryReceive: unrouted packet");
+    if (usedPerOutput[pkt.outPort] + pkt.lengthSlots > perOutput) {
+        ++stats.discarded;
+        return false;
+    }
+    queues[pkt.outPort].push_back(pkt);
+    usedPerOutput[pkt.outPort] += pkt.lengthSlots;
+    used += pkt.lengthSlots;
+    ++packets;
+    ++stats.received;
+    return true;
+}
+
+std::vector<Packet>
+OutputQueuedSwitch::transmit(const CanSendFn &can_send)
+{
+    std::vector<Packet> sent;
+    for (PortId out = 0; out < ports; ++out) {
+        if (queues[out].empty())
+            continue;
+        const Packet &head = queues[out].front();
+        // The input argument is moot for output queueing; pass the
+        // packet's source-agnostic 0.  (The network layer's
+        // back-pressure test only uses the output and packet.)
+        if (!can_send(0, out, head))
+            continue;
+        Packet pkt = head;
+        queues[out].pop_front();
+        usedPerOutput[out] -= pkt.lengthSlots;
+        used -= pkt.lengthSlots;
+        --packets;
+        ++stats.transmitted;
+        sent.push_back(pkt);
+    }
+    return sent;
+}
+
+void
+OutputQueuedSwitch::reset()
+{
+    for (auto &q : queues)
+        q.clear();
+    std::fill(usedPerOutput.begin(), usedPerOutput.end(), 0);
+    used = 0;
+    packets = 0;
+    stats.reset();
+}
+
+void
+OutputQueuedSwitch::debugValidate() const
+{
+    std::uint32_t slot_total = 0;
+    std::uint32_t packet_total = 0;
+    for (PortId out = 0; out < ports; ++out) {
+        std::uint32_t q_slots = 0;
+        for (const Packet &pkt : queues[out]) {
+            damq_assert(pkt.valid(), "invalid stored packet");
+            damq_assert(pkt.outPort == out,
+                        "packet queued under the wrong output");
+            q_slots += pkt.lengthSlots;
+        }
+        damq_assert(q_slots == usedPerOutput[out],
+                    "per-output accounting drifted");
+        damq_assert(q_slots <= perOutput, "queue over capacity");
+        slot_total += q_slots;
+        packet_total += static_cast<std::uint32_t>(queues[out].size());
+    }
+    damq_assert(slot_total == used, "slot accounting drifted");
+    damq_assert(packet_total == packets, "packet count drifted");
+}
+
+} // namespace damq

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A switch with buffers at the output ports (Section 2's second
+ * rejected alternative, after Karol, Hluchyj & Morgan).  Arrivals
+ * are routed straight into their output's FIFO queue, so there is
+ * no head-of-line blocking at all and mean queue lengths are the
+ * shortest of any organization — but the write path is idealized:
+ * all n inputs may deposit into the same output queue in one cycle,
+ * which is precisely the multi-write-port memory the paper argues
+ * is too expensive for a single-chip switch.  Storage is statically
+ * split per output, so the organization also inherits SAMQ/SAFC's
+ * space inflexibility.
+ */
+
+#ifndef DAMQ_SWITCHSIM_OUTPUT_QUEUED_SWITCH_HH
+#define DAMQ_SWITCHSIM_OUTPUT_QUEUED_SWITCH_HH
+
+#include <deque>
+#include <vector>
+
+#include "switchsim/switch_unit.hh"
+
+namespace damq {
+
+/** Output-queued switch. */
+class OutputQueuedSwitch final : public SwitchUnit
+{
+  public:
+    /** @param num_ports        n.
+     *  @param slots_per_output static capacity of each output
+     *                          queue. */
+    OutputQueuedSwitch(PortId num_ports,
+                       std::uint32_t slots_per_output);
+
+    PortId numPorts() const override { return ports; }
+    bool canAccept(PortId input, PortId out,
+                   std::uint32_t len) const override;
+    bool tryReceive(PortId input, const Packet &pkt) override;
+    std::vector<Packet> transmit(const CanSendFn &can_send) override;
+    std::uint32_t totalPackets() const override { return packets; }
+    std::uint32_t totalUsedSlots() const override { return used; }
+    const SwitchUnitStats &unitStats() const override { return stats; }
+    void reset() override;
+    void debugValidate() const override;
+
+    /** Static capacity of each output queue. */
+    std::uint32_t perOutputCapacity() const { return perOutput; }
+
+    /** Occupancy of one output queue, in slots. */
+    std::uint32_t usedSlotsAtOutput(PortId out) const
+    {
+        return usedPerOutput[out];
+    }
+
+  private:
+    PortId ports;
+    std::uint32_t perOutput;
+    std::vector<std::deque<Packet>> queues;
+    std::vector<std::uint32_t> usedPerOutput;
+    std::uint32_t used = 0;
+    std::uint32_t packets = 0;
+    SwitchUnitStats stats;
+};
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_OUTPUT_QUEUED_SWITCH_HH

@@ -1,0 +1,106 @@
+#include "switchsim/switch_model.hh"
+
+#include "common/logging.hh"
+#include "queueing/buffer_factory.hh"
+
+namespace damq {
+
+SwitchModel::SwitchModel(PortId num_ports, BufferType buffer_type,
+                         std::uint32_t slots_per_buffer,
+                         ArbitrationPolicy arbitration,
+                         std::uint32_t stale_threshold)
+    : ports(num_ports), type(buffer_type),
+      arbiter(makeArbiter(arbitration, num_ports, num_ports,
+                          stale_threshold))
+{
+    damq_assert(num_ports > 0, "switch needs at least one port");
+    buffers.reserve(num_ports);
+    for (PortId input = 0; input < num_ports; ++input) {
+        buffers.push_back(
+            makeBuffer(buffer_type, num_ports, slots_per_buffer));
+        bufferPtrs.push_back(buffers.back().get());
+    }
+}
+
+bool
+SwitchModel::canAccept(PortId input, PortId out, std::uint32_t len) const
+{
+    damq_assert(input < ports, "canAccept: bad input port ", input);
+    return buffers[input]->canAccept(out, len);
+}
+
+bool
+SwitchModel::tryReceive(PortId input, const Packet &pkt)
+{
+    damq_assert(input < ports, "tryReceive: bad input port ", input);
+    damq_assert(pkt.outPort < ports, "tryReceive: unrouted packet");
+    if (!buffers[input]->canAccept(pkt.outPort, pkt.lengthSlots)) {
+        ++switchStats.discarded;
+        return false;
+    }
+    buffers[input]->push(pkt);
+    ++switchStats.received;
+    return true;
+}
+
+GrantList
+SwitchModel::arbitrate(const CanSendFn &can_send)
+{
+    return arbiter->arbitrate(bufferPtrs, can_send);
+}
+
+std::vector<Packet>
+SwitchModel::popGranted(const GrantList &grants)
+{
+    std::vector<Packet> popped;
+    popped.reserve(grants.size());
+    for (const Grant &g : grants) {
+        damq_assert(g.input < ports && g.output < ports,
+                    "grant outside switch geometry");
+        popped.push_back(buffers[g.input]->pop(g.output));
+        ++switchStats.transmitted;
+    }
+    return popped;
+}
+
+std::vector<Packet>
+SwitchModel::transmit(const CanSendFn &can_send)
+{
+    return popGranted(arbitrate(can_send));
+}
+
+std::uint32_t
+SwitchModel::totalUsedSlots() const
+{
+    std::uint32_t total = 0;
+    for (const auto &buf : buffers)
+        total += buf->usedSlots();
+    return total;
+}
+
+std::uint32_t
+SwitchModel::totalPackets() const
+{
+    std::uint32_t total = 0;
+    for (const auto &buf : buffers)
+        total += buf->totalPackets();
+    return total;
+}
+
+void
+SwitchModel::reset()
+{
+    for (auto &buf : buffers)
+        buf->clear();
+    arbiter->reset();
+    switchStats.reset();
+}
+
+void
+SwitchModel::debugValidate() const
+{
+    for (const auto &buf : buffers)
+        buf->debugValidate();
+}
+
+} // namespace damq

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * An n x n switch with per-input buffers, a crossbar, and an
+ * arbiter — the building block of the Omega-network evaluation.
+ *
+ * The switch is passive with respect to time: the network simulator
+ * drives it once per network cycle (arbitrate -> pop -> receive),
+ * which matches the synchronized "long clock" model of Section 4.2.
+ */
+
+#ifndef DAMQ_SWITCHSIM_SWITCH_MODEL_HH
+#define DAMQ_SWITCHSIM_SWITCH_MODEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hh"
+#include "queueing/buffer_model.hh"
+#include "switchsim/arbiter.hh"
+#include "switchsim/grant.hh"
+#include "switchsim/switch_unit.hh"
+
+namespace damq {
+
+/** Aggregate per-switch event counters. */
+using SwitchStats = SwitchUnitStats;
+
+/**
+ * One n x n switch: n input buffers of a chosen organization plus a
+ * stateful arbiter.  This is the input-buffered organization; the
+ * central-pool and output-queued alternatives implement the same
+ * SwitchUnit interface.
+ */
+class SwitchModel final : public SwitchUnit
+{
+  public:
+    /**
+     * @param num_ports        n (inputs = outputs = n).
+     * @param buffer_type      organization of each input buffer.
+     * @param slots_per_buffer storage per input buffer, in slots.
+     * @param arbitration      crossbar arbitration policy.
+     * @param stale_threshold  smart-arbitration stale threshold.
+     */
+    SwitchModel(PortId num_ports, BufferType buffer_type,
+                std::uint32_t slots_per_buffer,
+                ArbitrationPolicy arbitration,
+                std::uint32_t stale_threshold = 8);
+
+    /** Number of ports (inputs and outputs). */
+    PortId numPorts() const override { return ports; }
+
+    /** Buffer organization used at every input. */
+    BufferType bufferType() const { return type; }
+
+    /** The buffer at input @p input. */
+    BufferModel &buffer(PortId input) { return *buffers[input]; }
+    const BufferModel &buffer(PortId input) const
+    {
+        return *buffers[input];
+    }
+
+    /**
+     * Whether input @p input can accept a packet of @p len slots
+     * routed to local output @p out (used for blocking-protocol
+     * back-pressure and discard decisions).
+     */
+    bool canAccept(PortId input, PortId out,
+                   std::uint32_t len) const override;
+
+    /**
+     * Offer a packet to input @p input (pkt.outPort must already be
+     * set by routing).  Returns true and stores it if space allows;
+     * returns false (and counts a discard) otherwise.
+     */
+    bool tryReceive(PortId input, const Packet &pkt) override;
+
+    /** Compute this cycle's crossbar schedule. */
+    GrantList arbitrate(const CanSendFn &can_send);
+
+    /** Remove the granted head packets, in grant order. */
+    std::vector<Packet> popGranted(const GrantList &grants);
+
+    /** SwitchUnit: arbitrate + pop in one step. */
+    std::vector<Packet> transmit(const CanSendFn &can_send) override;
+
+    /** Slots in use across all input buffers. */
+    std::uint32_t totalUsedSlots() const override;
+
+    /** Packets buffered across all input buffers. */
+    std::uint32_t totalPackets() const override;
+
+    /** Event counters. */
+    const SwitchStats &stats() const { return switchStats; }
+
+    /** SwitchUnit: same counters. */
+    const SwitchUnitStats &unitStats() const override
+    {
+        return switchStats;
+    }
+
+    /** Clear buffers, arbiter fairness state, and counters. */
+    void reset() override;
+
+    /** Run every buffer's invariant checker. */
+    void debugValidate() const override;
+
+  private:
+    PortId ports;
+    BufferType type;
+    std::vector<std::unique_ptr<BufferModel>> buffers;
+    std::vector<BufferModel *> bufferPtrs;
+    std::unique_ptr<Arbiter> arbiter;
+    SwitchStats switchStats;
+};
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_SWITCH_MODEL_HH

@@ -1,0 +1,59 @@
+#include "switchsim/switch_unit.hh"
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "switchsim/central_buffer_switch.hh"
+#include "switchsim/output_queued_switch.hh"
+#include "switchsim/switch_model.hh"
+
+namespace damq {
+
+const char *
+bufferPlacementName(BufferPlacement placement)
+{
+    switch (placement) {
+      case BufferPlacement::Input: return "input";
+      case BufferPlacement::Central: return "central";
+      case BufferPlacement::Output: return "output";
+    }
+    damq_panic("unknown BufferPlacement ",
+               static_cast<int>(placement));
+}
+
+BufferPlacement
+bufferPlacementFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "input")
+        return BufferPlacement::Input;
+    if (lower == "central")
+        return BufferPlacement::Central;
+    if (lower == "output")
+        return BufferPlacement::Output;
+    damq_fatal("unknown buffer placement '", name,
+               "' (expected input|central|output)");
+}
+
+std::unique_ptr<SwitchUnit>
+makeSwitchUnit(BufferPlacement placement, PortId num_ports,
+               BufferType buffer_type, std::uint32_t slots_per_input,
+               ArbitrationPolicy arbitration,
+               std::uint32_t stale_threshold)
+{
+    switch (placement) {
+      case BufferPlacement::Input:
+        return std::make_unique<SwitchModel>(
+            num_ports, buffer_type, slots_per_input, arbitration,
+            stale_threshold);
+      case BufferPlacement::Central:
+        return std::make_unique<CentralBufferSwitch>(
+            num_ports, num_ports * slots_per_input);
+      case BufferPlacement::Output:
+        return std::make_unique<OutputQueuedSwitch>(
+            num_ports, slots_per_input);
+    }
+    damq_panic("unknown BufferPlacement ",
+               static_cast<int>(placement));
+}
+
+} // namespace damq

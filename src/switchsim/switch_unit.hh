@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The abstract switch interface the network simulator drives, and
+ * the three buffer *placements* Section 2 of the paper weighs:
+ *
+ *  - input buffering (one buffer per input port) — the paper's
+ *    choice, with the four buffer organizations of Figure 1;
+ *  - a centralized buffer pool shared by the whole switch, which
+ *    is space-optimal in queueing theory but suffers Fujimoto's
+ *    "hogging" (a busy input can starve the others) and needs
+ *    impractical memory bandwidth;
+ *  - output-port buffering (Karol et al.), which eliminates
+ *    head-of-line blocking entirely but requires the buffers to
+ *    absorb n simultaneous writes.
+ *
+ * The latter two are modeled with idealized memory bandwidth so
+ * the *space* behaviour — the thing the DAMQ design competes on —
+ * is isolated.
+ */
+
+#ifndef DAMQ_SWITCHSIM_SWITCH_UNIT_HH
+#define DAMQ_SWITCHSIM_SWITCH_UNIT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "queueing/buffer_model.hh"
+#include "switchsim/arbiter.hh"
+
+namespace damq {
+
+/** Where a switch keeps its packets. */
+enum class BufferPlacement
+{
+    Input,   ///< per-input buffers (paper's design space)
+    Central, ///< one shared pool for the whole switch
+    Output   ///< per-output queues fed directly by arrivals
+};
+
+/** Human-readable placement name. */
+const char *bufferPlacementName(BufferPlacement placement);
+
+/** Parse a case-insensitive placement name; fatal on bad input. */
+BufferPlacement bufferPlacementFromString(const std::string &name);
+
+/** Counters shared by every switch organization. */
+struct SwitchUnitStats
+{
+    std::uint64_t received = 0;
+    std::uint64_t discarded = 0;
+    std::uint64_t transmitted = 0;
+
+    void reset() { *this = SwitchUnitStats{}; }
+};
+
+/**
+ * One switch, as the network simulator sees it: packets offered to
+ * input ports, packets emitted from output ports once per cycle.
+ */
+class SwitchUnit
+{
+  public:
+    virtual ~SwitchUnit() = default;
+
+    /** Number of ports (inputs = outputs). */
+    virtual PortId numPorts() const = 0;
+
+    /**
+     * Whether a packet of @p len slots routed to local output
+     * @p out could be accepted at input @p input right now (the
+     * blocking protocol's back-pressure test).
+     */
+    virtual bool canAccept(PortId input, PortId out,
+                           std::uint32_t len) const = 0;
+
+    /**
+     * Offer a packet (pkt.outPort set).  Stores it and returns
+     * true, or counts a discard and returns false.
+     */
+    virtual bool tryReceive(PortId input, const Packet &pkt) = 0;
+
+    /**
+     * Emit this cycle's departures: at most one packet per output,
+     * each cleared by @p can_send.  Returned packets carry the
+     * local output they left through in `outPort`.
+     */
+    virtual std::vector<Packet> transmit(const CanSendFn &can_send) = 0;
+
+    /** Packets currently stored. */
+    virtual std::uint32_t totalPackets() const = 0;
+
+    /** Slots currently occupied. */
+    virtual std::uint32_t totalUsedSlots() const = 0;
+
+    /** Event counters. */
+    virtual const SwitchUnitStats &unitStats() const = 0;
+
+    /** Drop all contents and state. */
+    virtual void reset() = 0;
+
+    /** Check internal invariants (tests). */
+    virtual void debugValidate() const = 0;
+};
+
+/**
+ * Build a switch:
+ *  - Input placement: @p buffer_type at each input with
+ *    @p slots_per_input slots, arbitration per @p arbitration;
+ *  - Central placement: one pool of n * slots_per_input slots
+ *    (equal total storage) with per-output queues;
+ *  - Output placement: per-output queues of @p slots_per_input
+ *    slots each (equal total storage).
+ * @p buffer_type and @p arbitration are ignored for the non-input
+ * placements.
+ */
+std::unique_ptr<SwitchUnit> makeSwitchUnit(
+    BufferPlacement placement, PortId num_ports,
+    BufferType buffer_type, std::uint32_t slots_per_input,
+    ArbitrationPolicy arbitration, std::uint32_t stale_threshold = 8);
+
+} // namespace damq
+
+#endif // DAMQ_SWITCHSIM_SWITCH_UNIT_HH

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Unit tests for the common library: RNG quality and determinism,
+ * bit utilities, string helpers, and the argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/arg_parser.hh"
+#include "common/bit_util.hh"
+#include "common/random.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic)
+{
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge)
+{
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Xoshiro256StarStar::min() == 0);
+    static_assert(Xoshiro256StarStar::max() == ~std::uint64_t{0});
+    Xoshiro256StarStar gen(7);
+    // Consecutive outputs should not repeat trivially.
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(gen());
+    EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Random, UniformStaysInUnitInterval)
+{
+    Random rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Random, UniformMeanIsAboutHalf)
+{
+    Random rng(11);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Random, BernoulliMatchesProbability)
+{
+    Random rng(5);
+    const int n = 200000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Random, BernoulliEdgesAreExact)
+{
+    Random rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Random, BelowCoversRangeUniformly)
+{
+    Random rng(17);
+    std::vector<int> counts(7, 0);
+    const int n = 70000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.below(7)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, n / 7, n / 7 / 5); // within 20 %
+}
+
+TEST(Random, RangeIsInclusive)
+{
+    Random rng(23);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo = saw_lo || v == -2;
+        saw_hi = saw_hi || v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, SameSeedSameStream)
+{
+    Random a(99);
+    Random b(99);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.below(1000000), b.below(1000000));
+}
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_FALSE(isPow2(96));
+}
+
+TEST(BitUtil, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(64), 6u);
+    EXPECT_EQ(floorLog2(127), 6u);
+}
+
+TEST(BitUtil, ExactLogBase)
+{
+    EXPECT_EQ(exactLogBase(64, 4), 3u);
+    EXPECT_EQ(exactLogBase(64, 2), 6u);
+    EXPECT_EQ(exactLogBase(64, 8), 2u);
+    EXPECT_EQ(exactLogBase(1, 4), 0u);
+}
+
+TEST(BitUtil, Ipow)
+{
+    EXPECT_EQ(ipow(4, 0), 1u);
+    EXPECT_EQ(ipow(4, 3), 64u);
+    EXPECT_EQ(ipow(2, 10), 1024u);
+}
+
+TEST(BitUtil, RadixDigitMsbFirst)
+{
+    // 27 in base 4 over 3 digits is 1 2 3 (MSB first).
+    EXPECT_EQ(radixDigitMsbFirst(27, 4, 3, 0), 1u);
+    EXPECT_EQ(radixDigitMsbFirst(27, 4, 3, 1), 2u);
+    EXPECT_EQ(radixDigitMsbFirst(27, 4, 3, 2), 3u);
+}
+
+TEST(StringUtil, FormatFixed)
+{
+    EXPECT_EQ(formatFixed(1.23456, 2), "1.23");
+    EXPECT_EQ(formatFixed(0.0, 3), "0.000");
+}
+
+TEST(StringUtil, PaperStyleProbabilityFormatting)
+{
+    EXPECT_EQ(formatProbabilityPaperStyle(0.0), "0");
+    EXPECT_EQ(formatProbabilityPaperStyle(0.0001), "0+");
+    EXPECT_EQ(formatProbabilityPaperStyle(0.00049), "0+");
+    EXPECT_EQ(formatProbabilityPaperStyle(0.074), "0.074");
+    EXPECT_EQ(formatProbabilityPaperStyle(0.242), "0.242");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields)
+{
+    const auto fields = split("a,,b", ',');
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "");
+    EXPECT_EQ(fields[2], "b");
+}
+
+TEST(StringUtil, Padding)
+{
+    EXPECT_EQ(padLeft("x", 3), "  x");
+    EXPECT_EQ(padRight("x", 3), "x  ");
+    EXPECT_EQ(padLeft("long", 2), "long");
+}
+
+TEST(ArgParser, DefaultsAndOverrides)
+{
+    ArgParser args("prog", "test");
+    args.addOption("load", "0.5", "offered load");
+    args.addOption("buffer", "damq", "buffer type");
+    args.addFlag("verbose", "talk more");
+
+    const char *argv[] = {"prog", "--load", "0.75", "--verbose"};
+    args.parse(4, const_cast<char **>(argv));
+
+    EXPECT_DOUBLE_EQ(args.getDouble("load"), 0.75);
+    EXPECT_EQ(args.getString("buffer"), "damq");
+    EXPECT_TRUE(args.getFlag("verbose"));
+}
+
+TEST(ArgParser, EqualsSyntax)
+{
+    ArgParser args("prog", "test");
+    args.addOption("slots", "4", "slots per buffer");
+    const char *argv[] = {"prog", "--slots=8"};
+    args.parse(2, const_cast<char **>(argv));
+    EXPECT_EQ(args.getInt("slots"), 8);
+}
+
+TEST(ArgParser, UsageMentionsOptions)
+{
+    ArgParser args("prog", "summary text");
+    args.addOption("seed", "1", "rng seed");
+    const std::string usage = args.usage();
+    EXPECT_NE(usage.find("--seed"), std::string::npos);
+    EXPECT_NE(usage.find("rng seed"), std::string::npos);
+    EXPECT_NE(usage.find("summary text"), std::string::npos);
+}
+
+} // namespace
+} // namespace damq

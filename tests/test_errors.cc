@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Error-path tests: the library's contract is that user mistakes
+ * hit damq_fatal (clean exit 1) and internal invariant violations
+ * hit damq_panic (abort).  These death tests pin the guard rails
+ * that the other suites rely on never firing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "microarch/routing_table.hh"
+#include "network/network_sim.hh"
+#include "network/omega_topology.hh"
+#include "queueing/buffer_factory.hh"
+#include "queueing/damq_buffer.hh"
+#include "queueing/fifo_buffer.hh"
+
+namespace damq {
+namespace {
+
+using ExitWithError = ::testing::ExitedWithCode;
+
+TEST(ErrorPaths, UnknownBufferNameIsFatal)
+{
+    EXPECT_EXIT(bufferTypeFromString("damqq"), ExitWithError(1),
+                "unknown buffer type");
+}
+
+TEST(ErrorPaths, UnknownProtocolIsFatal)
+{
+    EXPECT_EXIT(flowControlFromString("drop"), ExitWithError(1),
+                "unknown flow control");
+}
+
+TEST(ErrorPaths, IndivisiblePartitionIsFatal)
+{
+    EXPECT_EXIT(makeBuffer(BufferType::Samq, 4, 6), ExitWithError(1),
+                "divisible");
+}
+
+TEST(ErrorPaths, PopFromEmptyQueuePanics)
+{
+    DamqBuffer buf(4, 4);
+    EXPECT_DEATH(buf.pop(1), "pop");
+}
+
+TEST(ErrorPaths, FifoPopForWrongOutputPanics)
+{
+    FifoBuffer buf(4, 4);
+    Packet p;
+    p.id = 1;
+    p.outPort = 2;
+    p.lengthSlots = 1;
+    buf.push(p);
+    EXPECT_DEATH(buf.pop(1), "head-of-line is elsewhere");
+}
+
+TEST(ErrorPaths, OverfillPanics)
+{
+    DamqBuffer buf(2, 1);
+    Packet p;
+    p.id = 1;
+    p.outPort = 0;
+    p.lengthSlots = 1;
+    buf.push(p);
+    EXPECT_DEATH(buf.push(p), "full");
+}
+
+TEST(ErrorPaths, MismatchedReservationPanics)
+{
+    DamqBuffer buf(2, 4);
+    Packet p;
+    p.id = 1;
+    p.outPort = 0;
+    p.lengthSlots = 1;
+    EXPECT_DEATH(buf.pushReserved(p), "without a matching reserve");
+}
+
+TEST(ErrorPaths, NonPowerNetworkIsRejected)
+{
+    EXPECT_DEATH(OmegaTopology(60, 4), "not an exact power");
+}
+
+TEST(ErrorPaths, ExcessiveBurstinessIsFatal)
+{
+    NetworkConfig cfg;
+    cfg.offeredLoad = 0.6;
+    cfg.burstiness = 2.0; // peak 1.2 > 1
+    EXPECT_EXIT(NetworkSimulator sim(cfg), ExitWithError(1),
+                "must not exceed 1");
+}
+
+TEST(ErrorPaths, UnprogrammedCircuitPanics)
+{
+    micro::RoutingTable table;
+    EXPECT_DEATH(table.route(9), "unprogrammed circuit");
+}
+
+TEST(ErrorPaths, ReprogrammingMidMessagePanics)
+{
+    micro::RoutingTable table;
+    table.program(3, 1, 3);
+    table.beginMessage(3, 100);
+    EXPECT_DEATH(table.program(3, 2, 3), "mid-message");
+}
+
+} // namespace
+} // namespace damq

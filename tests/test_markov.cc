@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Tests for the Markov machinery: matrix stochasticity, solver
+ * agreement (power iteration vs direct elimination), the buffer
+ * state algebras, reachable-state-space sizes, and qualitative
+ * properties of the Table 2 numbers (monotonicity, DAMQ dominance).
+ */
+
+#include <gtest/gtest.h>
+
+#include "markov/buffer_state.hh"
+#include "markov/stationary.hh"
+#include "markov/switch2x2.hh"
+#include "markov/transition_matrix.hh"
+
+namespace damq {
+namespace {
+
+TEST(TransitionMatrix, AccumulatesDuplicateEdges)
+{
+    TransitionMatrix m(2);
+    m.addTransition(0, 1, 0.25);
+    m.addTransition(0, 1, 0.75);
+    m.addTransition(1, 1, 1.0);
+    EXPECT_DOUBLE_EQ(m.rowSum(0), 1.0);
+    EXPECT_EQ(m.row(0).size(), 1u);
+    m.validateStochastic();
+}
+
+TEST(TransitionMatrix, LeftMultiply)
+{
+    TransitionMatrix m(2);
+    m.addTransition(0, 0, 0.5);
+    m.addTransition(0, 1, 0.5);
+    m.addTransition(1, 0, 1.0);
+    const auto y = m.leftMultiply({1.0, 0.0});
+    EXPECT_DOUBLE_EQ(y[0], 0.5);
+    EXPECT_DOUBLE_EQ(y[1], 0.5);
+}
+
+TEST(Stationary, TwoStateChainHasKnownSolution)
+{
+    // P = [[1-a, a], [b, 1-b]] has pi = (b, a)/(a+b).
+    const double a = 0.3;
+    const double b = 0.1;
+    TransitionMatrix m(2);
+    m.addTransition(0, 0, 1 - a);
+    m.addTransition(0, 1, a);
+    m.addTransition(1, 0, b);
+    m.addTransition(1, 1, 1 - b);
+
+    const auto power = stationaryPowerIteration(m);
+    EXPECT_NEAR(power.distribution[0], b / (a + b), 1e-10);
+    EXPECT_NEAR(power.distribution[1], a / (a + b), 1e-10);
+    EXPECT_LT(power.residual, 1e-10);
+
+    const auto direct = stationaryDirect(m);
+    EXPECT_NEAR(direct.distribution[0], b / (a + b), 1e-12);
+    EXPECT_LT(direct.residual, 1e-12);
+}
+
+TEST(Stationary, SolversAgreeOnSwitchChains)
+{
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq, BufferType::Samq,
+          BufferType::Safc}) {
+        const Switch2x2Chain chain(type, 2, 0.6);
+        const auto power = stationaryPowerIteration(chain.matrix());
+        const auto direct = stationaryDirect(chain.matrix());
+        ASSERT_EQ(power.distribution.size(),
+                  direct.distribution.size());
+        for (std::size_t i = 0; i < power.distribution.size(); ++i) {
+            EXPECT_NEAR(power.distribution[i], direct.distribution[i],
+                        1e-8)
+                << bufferTypeName(type) << " state " << i;
+        }
+    }
+}
+
+// ------------------------------------------------------- state algebras
+
+TEST(FifoState, EncodesOrderedQueues)
+{
+    FifoBufferState model(3);
+    auto s = model.emptyState();
+    EXPECT_EQ(model.totalPackets(s), 0u);
+    EXPECT_FALSE(model.hasPacket(s, 0));
+
+    s = model.add(s, 1); // queue: [1]
+    s = model.add(s, 0); // queue: [1, 0]
+    EXPECT_EQ(model.totalPackets(s), 2u);
+    EXPECT_TRUE(model.hasPacket(s, 1));  // head is 1
+    EXPECT_FALSE(model.hasPacket(s, 0)); // 0 is blocked behind it
+    EXPECT_EQ(model.queueLength(s, 1), 2u);
+
+    s = model.removeHead(s, 1); // queue: [0]
+    EXPECT_TRUE(model.hasPacket(s, 0));
+    EXPECT_EQ(model.totalPackets(s), 1u);
+
+    s = model.add(s, 1);
+    s = model.add(s, 1);
+    EXPECT_FALSE(model.canAdd(s, 0)); // full at 3
+}
+
+TEST(FifoState, OrderIsPreservedThroughLongSequences)
+{
+    FifoBufferState model(6);
+    auto s = model.emptyState();
+    const unsigned pattern[] = {1, 0, 0, 1, 1, 0};
+    for (const unsigned d : pattern)
+        s = model.add(s, d);
+    for (const unsigned d : pattern) {
+        ASSERT_TRUE(model.hasPacket(s, d));
+        s = model.removeHead(s, d);
+    }
+    EXPECT_EQ(model.totalPackets(s), 0u);
+}
+
+TEST(SharedCountState, PoolIsShared)
+{
+    SharedCountBufferState model(4);
+    auto s = model.emptyState();
+    for (int i = 0; i < 4; ++i)
+        s = model.add(s, 1);
+    EXPECT_EQ(model.queueLength(s, 1), 4u);
+    EXPECT_FALSE(model.canAdd(s, 0)); // pool exhausted
+    s = model.removeHead(s, 1);
+    EXPECT_TRUE(model.canAdd(s, 0)); // freed slot serves any queue
+}
+
+TEST(PartitionedCountState, PartitionsAreSeparate)
+{
+    PartitionedCountBufferState model(4); // 2 per destination
+    auto s = model.emptyState();
+    s = model.add(s, 0);
+    s = model.add(s, 0);
+    EXPECT_FALSE(model.canAdd(s, 0));
+    EXPECT_TRUE(model.canAdd(s, 1)); // other partition empty
+}
+
+TEST(StateModels, BothQueuesVisibleInMultiQueueStates)
+{
+    SharedCountBufferState model(4);
+    auto s = model.emptyState();
+    s = model.add(s, 0);
+    s = model.add(s, 1);
+    EXPECT_TRUE(model.hasPacket(s, 0));
+    EXPECT_TRUE(model.hasPacket(s, 1)); // no head-of-line blocking
+}
+
+// -------------------------------------------------------- chain shapes
+
+TEST(Switch2x2Chain, ReachableStateCounts)
+{
+    // The chain enumerates states *reachable from empty*.  For
+    // small buffers that is the full product space — FIFO with k
+    // slots has (2^(k+1) - 1)^2 joint states, DAMQ-2 has
+    // ((k+1)(k+2)/2)^2 = 36 — but for larger buffers the most
+    // congested corners are unreachable (departures precede
+    // arrivals, so a buffer can never gain a packet in a cycle in
+    // which it was forced to transmit).  The exact reachable counts
+    // below are regression anchors; their correctness is backed by
+    // the Monte-Carlo cross-check suite.
+    EXPECT_EQ(Switch2x2Chain(BufferType::Fifo, 2, 0.5).numStates(),
+              49u);
+    EXPECT_EQ(Switch2x2Chain(BufferType::Fifo, 3, 0.5).numStates(),
+              225u);
+    EXPECT_EQ(Switch2x2Chain(BufferType::Damq, 2, 0.5).numStates(),
+              36u);
+    EXPECT_EQ(Switch2x2Chain(BufferType::Damq, 6, 0.5).numStates(),
+              604u);
+    EXPECT_EQ(Switch2x2Chain(BufferType::Samq, 2, 0.5).numStates(),
+              15u);
+    EXPECT_EQ(Switch2x2Chain(BufferType::Safc, 6, 0.5).numStates(),
+              128u);
+}
+
+TEST(Switch2x2Chain, ZeroTrafficMeansNoDiscards)
+{
+    const auto result = analyzeDiscarding2x2(BufferType::Fifo, 2, 0.0);
+    EXPECT_DOUBLE_EQ(result.discardProbability, 0.0);
+    EXPECT_DOUBLE_EQ(result.throughput, 0.0);
+}
+
+TEST(Switch2x2Chain, DiscardsIncreaseWithTraffic)
+{
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq, BufferType::Samq,
+          BufferType::Safc}) {
+        double prev = -1.0;
+        for (const double p : {0.25, 0.5, 0.75, 0.9, 0.99}) {
+            const auto r = analyzeDiscarding2x2(type, 4, p);
+            EXPECT_GE(r.discardProbability, prev)
+                << bufferTypeName(type) << " at p=" << p;
+            prev = r.discardProbability;
+        }
+    }
+}
+
+TEST(Switch2x2Chain, DiscardsDecreaseWithMoreSlots)
+{
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        double prev = 1.0;
+        for (const unsigned k : {2u, 3u, 4u, 5u, 6u}) {
+            const auto r = analyzeDiscarding2x2(type, k, 0.9);
+            EXPECT_LE(r.discardProbability, prev + 1e-12)
+                << bufferTypeName(type) << " k=" << k;
+            prev = r.discardProbability;
+        }
+    }
+}
+
+TEST(Switch2x2Chain, DamqDominatesEverythingAtEqualStorage)
+{
+    // Table 2's central claim.
+    for (const double p : {0.5, 0.75, 0.9, 0.99}) {
+        for (const unsigned k : {2u, 4u, 6u}) {
+            const double damq =
+                analyzeDiscarding2x2(BufferType::Damq, k, p)
+                    .discardProbability;
+            for (const BufferType other :
+                 {BufferType::Fifo, BufferType::Samq,
+                  BufferType::Safc}) {
+                const double them =
+                    analyzeDiscarding2x2(other, k, p)
+                        .discardProbability;
+                EXPECT_LE(damq, them + 1e-12)
+                    << "DAMQ vs " << bufferTypeName(other) << " at p="
+                    << p << " k=" << k;
+            }
+        }
+    }
+}
+
+TEST(Switch2x2Chain, SafcNeverWorseThanSamq)
+{
+    // The fully connected data path can only help.
+    for (const double p : {0.5, 0.75, 0.9, 0.99}) {
+        for (const unsigned k : {2u, 4u, 6u}) {
+            const double samq =
+                analyzeDiscarding2x2(BufferType::Samq, k, p)
+                    .discardProbability;
+            const double safc =
+                analyzeDiscarding2x2(BufferType::Safc, k, p)
+                    .discardProbability;
+            EXPECT_LE(safc, samq + 1e-9)
+                << "p=" << p << " k=" << k;
+        }
+    }
+}
+
+TEST(Switch2x2Chain, Damq3BeatsFifo6)
+{
+    // The paper highlights that DAMQ with 3 slots discards no more
+    // than FIFO with 6 at every traffic level (half the storage).
+    for (const double p :
+         {0.25, 0.5, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99}) {
+        const double damq3 =
+            analyzeDiscarding2x2(BufferType::Damq, 3, p)
+                .discardProbability;
+        const double fifo6 =
+            analyzeDiscarding2x2(BufferType::Fifo, 6, p)
+                .discardProbability;
+        EXPECT_LE(damq3, fifo6 + 5e-3) << "p=" << p;
+    }
+}
+
+TEST(Switch2x2Chain, LightTrafficFavorsSharedPools)
+{
+    // At 25 % load with 2 slots, FIFO (shared pool) beats the
+    // statically partitioned buffers — the paper calls this out.
+    const double fifo =
+        analyzeDiscarding2x2(BufferType::Fifo, 2, 0.25)
+            .discardProbability;
+    const double samq =
+        analyzeDiscarding2x2(BufferType::Samq, 2, 0.25)
+            .discardProbability;
+    EXPECT_LT(fifo, samq);
+}
+
+TEST(Switch2x2Chain, ThroughputIsBoundedByDemand)
+{
+    const auto r = analyzeDiscarding2x2(BufferType::Damq, 4, 0.8);
+    // Expected departures can't exceed expected accepted arrivals.
+    EXPECT_LE(r.throughput, 2.0 * 0.8 + 1e-9);
+    EXPECT_GT(r.throughput, 0.0);
+    EXPECT_GT(r.meanOccupancy, 0.0);
+}
+
+TEST(Switch2x2Chain, OccupancyGrowsWithTraffic)
+{
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        double prev = -1.0;
+        for (const double p : {0.25, 0.5, 0.75, 0.9}) {
+            const auto r = analyzeDiscarding2x2(type, 4, p);
+            EXPECT_GT(r.meanOccupancy, prev)
+                << bufferTypeName(type) << " p=" << p;
+            prev = r.meanOccupancy;
+        }
+    }
+}
+
+TEST(Switch2x2Chain, FifoHoldsMorePacketsThanDamqWhenSaturated)
+{
+    // Head-of-line blocking keeps packets stuck in FIFO buffers:
+    // higher occupancy, lower throughput.
+    const auto fifo = analyzeDiscarding2x2(BufferType::Fifo, 4, 0.95);
+    const auto damq = analyzeDiscarding2x2(BufferType::Damq, 4, 0.95);
+    EXPECT_GT(fifo.meanOccupancy, damq.meanOccupancy);
+    EXPECT_LT(fifo.throughput, damq.throughput);
+}
+
+TEST(Switch2x2Chain, ThroughputPlusDiscardsBalanceArrivals)
+{
+    // Flow conservation in steady state: accepted arrivals leave
+    // eventually, so E[departures] = E[arrivals] - E[discards].
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Samq, BufferType::Safc,
+          BufferType::Damq}) {
+        const double p = 0.9;
+        const auto r = analyzeDiscarding2x2(type, 4, p);
+        const double arrivals = 2.0 * p;
+        EXPECT_NEAR(r.throughput,
+                    arrivals * (1.0 - r.discardProbability), 1e-6)
+            << bufferTypeName(type);
+    }
+}
+
+TEST(Switch2x2Chain, SolverDiagnosticsAreHealthy)
+{
+    const auto r = analyzeDiscarding2x2(BufferType::Fifo, 4, 0.75);
+    EXPECT_GT(r.solverIterations, 0u);
+    EXPECT_LT(r.solverResidual, 1e-10);
+}
+
+} // namespace
+} // namespace damq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cross-validation: the exact Markov analysis and the Monte-Carlo
+ * simulator implement the same 2x2 long-clock switch, so their
+ * discard probabilities and throughputs must agree within
+ * statistical error.  This guards both the chain builder's
+ * enumeration of randomness and the arbitration rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "markov/monte_carlo.hh"
+#include "markov/switch2x2.hh"
+
+namespace damq {
+namespace {
+
+class CrossCheck
+    : public ::testing::TestWithParam<
+          std::tuple<BufferType, unsigned, double>>
+{
+};
+
+TEST_P(CrossCheck, MarkovMatchesMonteCarlo)
+{
+    const auto [type, slots, traffic] = GetParam();
+
+    const Markov2x2Result exact =
+        analyzeDiscarding2x2(type, slots, traffic);
+    const MonteCarlo2x2Result sampled = simulateDiscarding2x2(
+        type, slots, traffic, /*cycles=*/400000, /*warmup=*/10000,
+        /*seed=*/2024);
+
+    // Discard probabilities: absolute tolerance scaled to the
+    // binomial standard error plus a little slack.
+    const double tolerance = 0.004;
+    EXPECT_NEAR(exact.discardProbability, sampled.discardProbability,
+                tolerance)
+        << bufferTypeName(type) << " slots=" << slots
+        << " p=" << traffic;
+
+    EXPECT_NEAR(exact.throughput, sampled.throughput, 0.01)
+        << bufferTypeName(type) << " slots=" << slots
+        << " p=" << traffic;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossCheck,
+    ::testing::Values(
+        std::make_tuple(BufferType::Fifo, 2, 0.75),
+        std::make_tuple(BufferType::Fifo, 4, 0.90),
+        std::make_tuple(BufferType::Fifo, 6, 0.99),
+        std::make_tuple(BufferType::Damq, 2, 0.75),
+        std::make_tuple(BufferType::Damq, 4, 0.90),
+        std::make_tuple(BufferType::Damq, 6, 0.99),
+        std::make_tuple(BufferType::Samq, 2, 0.75),
+        std::make_tuple(BufferType::Samq, 4, 0.90),
+        std::make_tuple(BufferType::Samq, 6, 0.99),
+        std::make_tuple(BufferType::Safc, 2, 0.75),
+        std::make_tuple(BufferType::Safc, 4, 0.90),
+        std::make_tuple(BufferType::Safc, 6, 0.99),
+        std::make_tuple(BufferType::Fifo, 3, 0.50),
+        std::make_tuple(BufferType::Damq, 5, 0.85)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<BufferType, unsigned, double>> &info) {
+        return std::string(bufferTypeName(std::get<0>(info.param))) +
+               "_k" + std::to_string(std::get<1>(info.param)) +
+               "_p" +
+               std::to_string(
+                   static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+} // namespace
+} // namespace damq

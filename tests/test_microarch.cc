@@ -1,0 +1,444 @@
+/**
+ * @file
+ * Tests for the byte/phase-accurate ComCoBB model: buffer-core
+ * linked lists, the virtual-circuit router, end-to-end message
+ * delivery across chips, multi-packet messages, byte integrity,
+ * flow control under pressure, and the paper's 4-cycle virtual
+ * cut-through (Table 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "microarch/buffer_core.hh"
+#include "microarch/chip.hh"
+#include "microarch/host.hh"
+#include "microarch/micro_network.hh"
+#include "microarch/routing_table.hh"
+#include "microarch/trace.hh"
+
+namespace damq {
+namespace micro {
+namespace {
+
+// ----------------------------------------------------------- BufferCore
+
+TEST(BufferCore, FreshCoreHasEverythingFree)
+{
+    BufferCore core(5, 12);
+    EXPECT_EQ(core.freeSlots(), 12u);
+    EXPECT_EQ(core.numSlots(), 12u);
+    for (PortId q = 0; q < 5; ++q) {
+        EXPECT_EQ(core.packetsQueued(q), 0u);
+        EXPECT_EQ(core.headPacket(q), kNullSlot);
+    }
+    core.debugValidate();
+}
+
+TEST(BufferCore, BeginExtendPopRoundTrip)
+{
+    BufferCore core(5, 12);
+    const SlotId head = core.beginPacket(2);
+    EXPECT_EQ(core.packetsQueued(2), 1u);
+    EXPECT_EQ(core.headPacket(2), head);
+    EXPECT_EQ(core.freeSlots(), 11u);
+
+    const SlotId second = core.extendPacket(2);
+    EXPECT_EQ(core.nextSlot(head), second);
+    EXPECT_EQ(core.freeSlots(), 10u);
+    core.debugValidate();
+
+    core.popFrontSlot(2, false);
+    core.popFrontSlot(2, true);
+    EXPECT_EQ(core.packetsQueued(2), 0u);
+    EXPECT_EQ(core.freeSlots(), 12u);
+    core.debugValidate();
+}
+
+TEST(BufferCore, BytesRoundTripThroughSlots)
+{
+    BufferCore core(5, 12);
+    const SlotId slot = core.beginPacket(0);
+    for (unsigned i = 0; i < kSlotBytes; ++i)
+        core.writeByte(slot, i, static_cast<std::uint8_t>(0xA0 + i));
+    for (unsigned i = 0; i < kSlotBytes; ++i)
+        EXPECT_EQ(core.readByte(slot, i), 0xA0 + i);
+}
+
+TEST(BufferCore, MetaLivesOnTheHeadSlot)
+{
+    BufferCore core(5, 12);
+    const SlotId head = core.beginPacket(1);
+    core.meta(head).newHeader = 42;
+    core.meta(head).dataLength = 20;
+    core.meta(head).lengthKnown = true;
+    EXPECT_EQ(core.meta(head).newHeader, 42u);
+    EXPECT_EQ(core.meta(head).dataLength, 20u);
+}
+
+TEST(BufferCore, QueuesInterleaveWithoutInterference)
+{
+    BufferCore core(5, 12);
+    const SlotId a = core.beginPacket(0);
+    const SlotId b = core.beginPacket(3);
+    const SlotId a2 = core.extendPacket(0);
+    EXPECT_EQ(core.nextSlot(a), a2);
+    EXPECT_EQ(core.headPacket(3), b);
+    EXPECT_EQ(core.packetsQueued(0), 1u);
+    EXPECT_EQ(core.packetsQueued(3), 1u);
+    core.debugValidate();
+}
+
+TEST(BufferCore, SlotsRecycleInFifoOrder)
+{
+    BufferCore core(2, 4);
+    const SlotId first = core.beginPacket(0);
+    core.popFrontSlot(0, true);
+    // The freed slot went to the back of the free list, so the next
+    // allocation takes a different slot.
+    const SlotId second = core.beginPacket(0);
+    EXPECT_NE(first, second);
+    core.debugValidate();
+}
+
+// --------------------------------------------------------- RoutingTable
+
+TEST(RoutingTable, ProgramAndRoute)
+{
+    RoutingTable table;
+    EXPECT_FALSE(table.isProgrammed(7));
+    table.program(7, 2, 9);
+    ASSERT_TRUE(table.isProgrammed(7));
+    const RouteResult r = table.route(7);
+    EXPECT_EQ(r.outPort, 2u);
+    EXPECT_EQ(r.newHeader, 9u);
+    EXPECT_TRUE(r.firstOfMessage);
+}
+
+TEST(RoutingTable, MessageLengthAccounting)
+{
+    RoutingTable table;
+    table.program(3, 1, 3);
+    // 70-byte message: packets of 32, 32, 6.
+    EXPECT_EQ(table.beginMessage(3, 70), 32u);
+    EXPECT_EQ(table.remainingBytes(3), 38u);
+
+    RouteResult r = table.route(3);
+    EXPECT_FALSE(r.firstOfMessage);
+    EXPECT_EQ(r.continuationLength, 32u);
+    table.consumeContinuation(3, 32);
+    EXPECT_EQ(table.remainingBytes(3), 6u);
+
+    r = table.route(3);
+    EXPECT_EQ(r.continuationLength, 6u);
+    table.consumeContinuation(3, 6);
+    EXPECT_EQ(table.remainingBytes(3), 0u);
+    // Circuit is idle again: the next packet starts a new message.
+    EXPECT_TRUE(table.route(3).firstOfMessage);
+}
+
+TEST(RoutingTable, ShortMessageFitsOnePacket)
+{
+    RoutingTable table;
+    table.program(1, 0, 1);
+    EXPECT_EQ(table.beginMessage(1, 5), 5u);
+    EXPECT_EQ(table.remainingBytes(1), 0u);
+}
+
+// ----------------------------------------------------------------- Link
+
+TEST(Link, CarriesOneBytePerCycle)
+{
+    Link link;
+    link.driveData(0x5A);
+    EXPECT_TRUE(link.current().hasData);
+    EXPECT_EQ(link.current().data, 0x5A);
+    link.endCycle();
+    EXPECT_FALSE(link.current().hasData);
+}
+
+TEST(Link, CreditsDefaultToUnlimited)
+{
+    Link link;
+    EXPECT_GE(link.creditView(), kMaxPacketSlots);
+    link.publishCredits(2);
+    EXPECT_EQ(link.creditView(), 2u);
+}
+
+// --------------------------------------------------------------- Tracer
+
+TEST(Tracer, RecordsOnlyWhenEnabled)
+{
+    Tracer tracer;
+    tracer.record(1, Phase::P0, "x", "ignored");
+    EXPECT_TRUE(tracer.events().empty());
+    tracer.enable();
+    tracer.record(2, Phase::P1, "y", "kept");
+    ASSERT_EQ(tracer.events().size(), 1u);
+    EXPECT_EQ(tracer.events()[0].cycle, 2u);
+    EXPECT_NE(tracer.render().find("kept"), std::string::npos);
+}
+
+// --------------------------------------------------------- end to end
+
+/** Two chips wired port0 <-> port0, with a host on each. */
+struct TwoChipRig
+{
+    TwoChipRig()
+        : net(&tracer),
+          a(net.addChip("A")),
+          b(net.addChip("B")),
+          hostA(net.attachHost(a)),
+          hostB(net.attachHost(b))
+    {
+        net.connect(a, 0, b, 0);
+        // Circuit 5: A.host -> A.out0 -> B.in0 -> B.host.
+        net.programCircuit({{&a, kProcessorPort, 0},
+                            {&b, 0, kProcessorPort}},
+                           5);
+        // Circuit 6: the reverse direction.
+        net.programCircuit({{&b, kProcessorPort, 0},
+                            {&a, 0, kProcessorPort}},
+                           6);
+    }
+
+    Tracer tracer;
+    MicroNetwork net;
+    ComCobbChip &a;
+    ComCobbChip &b;
+    HostEndpoint hostA;
+    HostEndpoint hostB;
+};
+
+TEST(MicroNetwork, SinglePacketMessageDelivered)
+{
+    TwoChipRig rig;
+    const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+    rig.hostA.injector->sendMessage(5, payload);
+    rig.net.run(100);
+    rig.net.debugValidate();
+
+    ASSERT_EQ(rig.hostB.collector->received().size(), 1u);
+    const HostMessage &msg = rig.hostB.collector->received()[0];
+    EXPECT_EQ(msg.vc, 5u);
+    EXPECT_EQ(msg.payload, payload);
+}
+
+TEST(MicroNetwork, MultiPacketMessageReassembles)
+{
+    TwoChipRig rig;
+    std::vector<std::uint8_t> payload(100);
+    std::iota(payload.begin(), payload.end(),
+              static_cast<std::uint8_t>(0));
+    rig.hostA.injector->sendMessage(5, payload);
+    rig.net.run(400);
+
+    ASSERT_EQ(rig.hostB.collector->received().size(), 1u);
+    EXPECT_EQ(rig.hostB.collector->received()[0].payload, payload);
+}
+
+TEST(MicroNetwork, FullDuplexTrafficBothWays)
+{
+    TwoChipRig rig;
+    const std::vector<std::uint8_t> to_b = {0xB};
+    const std::vector<std::uint8_t> to_a = {0xA, 0xA};
+    rig.hostA.injector->sendMessage(5, to_b);
+    rig.hostB.injector->sendMessage(6, to_a);
+    rig.net.run(100);
+
+    ASSERT_EQ(rig.hostB.collector->received().size(), 1u);
+    ASSERT_EQ(rig.hostA.collector->received().size(), 1u);
+    EXPECT_EQ(rig.hostB.collector->received()[0].payload, to_b);
+    EXPECT_EQ(rig.hostA.collector->received()[0].payload, to_a);
+}
+
+TEST(MicroNetwork, ManyMessagesSurviveFlowControl)
+{
+    TwoChipRig rig;
+    // 20 maximum-size messages back to back: far more than the
+    // 12-slot buffer holds, so upstream must throttle on credits.
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (int m = 0; m < 20; ++m) {
+        std::vector<std::uint8_t> p(32);
+        for (int i = 0; i < 32; ++i)
+            p[i] = static_cast<std::uint8_t>(m * 32 + i);
+        payloads.push_back(p);
+        rig.hostA.injector->sendMessage(5, p);
+    }
+    rig.net.run(3000);
+    rig.net.debugValidate();
+
+    ASSERT_EQ(rig.hostB.collector->received().size(), payloads.size());
+    for (std::size_t m = 0; m < payloads.size(); ++m)
+        EXPECT_EQ(rig.hostB.collector->received()[m].payload,
+                  payloads[m]);
+}
+
+TEST(MicroNetwork, RandomPayloadsAreBitExactAcrossTwoHops)
+{
+    // Three chips in a line: A -> B -> C, message relayed by B.
+    Tracer tracer;
+    MicroNetwork net(&tracer);
+    ComCobbChip &a = net.addChip("A");
+    ComCobbChip &b = net.addChip("B");
+    ComCobbChip &c = net.addChip("C");
+    net.connect(a, 0, b, 0);
+    net.connect(b, 1, c, 1);
+    HostEndpoint hostA = net.attachHost(a);
+    HostEndpoint hostC = net.attachHost(c);
+    net.programCircuit({{&a, kProcessorPort, 0},
+                        {&b, 0, 1},
+                        {&c, 1, kProcessorPort}},
+                       9);
+
+    Random rng(42);
+    std::vector<std::vector<std::uint8_t>> payloads;
+    for (int m = 0; m < 8; ++m) {
+        std::vector<std::uint8_t> p(1 + rng.below(255));
+        for (auto &byte : p)
+            byte = static_cast<std::uint8_t>(rng.below(256));
+        payloads.push_back(p);
+        hostA.injector->sendMessage(9, p);
+    }
+    net.run(6000);
+    net.debugValidate();
+
+    ASSERT_EQ(hostC.collector->received().size(), payloads.size());
+    for (std::size_t m = 0; m < payloads.size(); ++m)
+        EXPECT_EQ(hostC.collector->received()[m].payload, payloads[m]);
+}
+
+TEST(MicroNetwork, ContentionOnOneOutputSerializes)
+{
+    // A and B both relay into C's host port; C's single output to
+    // the host must serialize them without loss.
+    Tracer tracer;
+    MicroNetwork net(&tracer);
+    ComCobbChip &a = net.addChip("A");
+    ComCobbChip &b = net.addChip("B");
+    ComCobbChip &c = net.addChip("C");
+    net.connect(a, 0, c, 0);
+    net.connect(b, 0, c, 1);
+    HostEndpoint hostA = net.attachHost(a);
+    HostEndpoint hostB = net.attachHost(b);
+    HostEndpoint hostC = net.attachHost(c);
+    net.programCircuit({{&a, kProcessorPort, 0},
+                        {&c, 0, kProcessorPort}},
+                       1);
+    net.programCircuit({{&b, kProcessorPort, 0},
+                        {&c, 1, kProcessorPort}},
+                       2);
+
+    for (int m = 0; m < 5; ++m) {
+        hostA.injector->sendMessage(
+            1, std::vector<std::uint8_t>(32, 0xAA));
+        hostB.injector->sendMessage(
+            2, std::vector<std::uint8_t>(32, 0xBB));
+    }
+    net.run(2500);
+
+    EXPECT_EQ(hostC.collector->received().size(), 10u);
+}
+
+// --------------------------------------------------- virtual cut-through
+
+/** Cycle at which the tracer saw @p needle from @p source. */
+Cycle
+findEvent(const Tracer &tracer, const std::string &source,
+          const std::string &needle)
+{
+    for (const TraceEvent &event : tracer.events()) {
+        if (event.source == source &&
+            event.action.find(needle) != std::string::npos) {
+            return event.cycle;
+        }
+    }
+    return ~Cycle{0};
+}
+
+TEST(CutThrough, TurnaroundIsFourCycles)
+{
+    TwoChipRig rig;
+    rig.tracer.enable();
+    rig.hostA.injector->sendMessage(
+        5, std::vector<std::uint8_t>(32, 0x77));
+    rig.net.run(60);
+
+    // The start bit leaves the injector in cycle T and must leave
+    // A's output port in cycle T+4 (Table 1).
+    const Cycle t_in = findEvent(rig.tracer, "A.host_tx", "start bit");
+    const Cycle t_out =
+        findEvent(rig.tracer, "A.out0", "start bit generated");
+    ASSERT_NE(t_in, ~Cycle{0});
+    ASSERT_NE(t_out, ~Cycle{0});
+    EXPECT_EQ(t_out, t_in + 4);
+}
+
+TEST(CutThrough, TraceMatchesTableOneSchedule)
+{
+    TwoChipRig rig;
+    rig.tracer.enable();
+    rig.hostA.injector->sendMessage(
+        5, std::vector<std::uint8_t>(16, 0x11));
+    rig.net.run(60);
+
+    const Cycle t = findEvent(rig.tracer, "A.host_tx", "start bit");
+    const std::string in = "A.in" + std::to_string(kProcessorPort);
+
+    // Table 1 rows, relative to the start-bit cycle T.
+    EXPECT_EQ(findEvent(rig.tracer, in, "start bit detected"), t + 1);
+    EXPECT_EQ(findEvent(rig.tracer, in, "releases header"), t + 2);
+    EXPECT_EQ(findEvent(rig.tracer, in, "router: output port"), t + 2);
+    EXPECT_EQ(findEvent(rig.tracer, in, "releases length"), t + 3);
+    EXPECT_EQ(findEvent(rig.tracer, in, "length decoder"), t + 3);
+    EXPECT_EQ(findEvent(rig.tracer, "A.out0", "crossbar arbitration"),
+              t + 3);
+    EXPECT_EQ(findEvent(rig.tracer, "A.out0", "start bit generated"),
+              t + 4);
+    EXPECT_EQ(findEvent(rig.tracer, in, "payload byte written"),
+              t + 4);
+    EXPECT_EQ(findEvent(rig.tracer, "A.out0",
+                        "header byte on the wire"),
+              t + 5);
+}
+
+TEST(CutThrough, BusyOutputFallsBackToStoreAndForward)
+{
+    TwoChipRig rig;
+    // First message occupies A.out0; the second must wait in the
+    // buffer and still arrive intact.
+    rig.hostA.injector->sendMessage(
+        5, std::vector<std::uint8_t>(32, 0x01));
+    rig.hostA.injector->sendMessage(
+        5, std::vector<std::uint8_t>(32, 0x02));
+    rig.net.run(400);
+    ASSERT_EQ(rig.hostB.collector->received().size(), 2u);
+    EXPECT_EQ(rig.hostB.collector->received()[0].payload[0], 0x01);
+    EXPECT_EQ(rig.hostB.collector->received()[1].payload[0], 0x02);
+}
+
+TEST(MicroNetwork, BuffersAreCleanAfterTrafficDrains)
+{
+    TwoChipRig rig;
+    for (int m = 0; m < 6; ++m) {
+        rig.hostA.injector->sendMessage(
+            5, std::vector<std::uint8_t>(20, 0x3C));
+    }
+    rig.net.run(2000);
+    // Everything delivered: every buffer back to all-slots-free.
+    for (PortId i = 0; i < rig.a.numPorts(); ++i) {
+        EXPECT_EQ(rig.a.inputPort(i).buffer().freeSlots(),
+                  kDefaultBufferSlots);
+        EXPECT_EQ(rig.b.inputPort(i).buffer().freeSlots(),
+                  kDefaultBufferSlots);
+    }
+    rig.net.debugValidate();
+}
+
+} // namespace
+} // namespace micro
+} // namespace damq

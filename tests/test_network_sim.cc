@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Integration tests for the Omega-network simulator: packet
+ * conservation, latency floors, protocol semantics, determinism,
+ * and the qualitative ordering the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/network_sim.hh"
+#include "network/saturation.hh"
+
+namespace damq {
+namespace {
+
+NetworkConfig
+baseConfig()
+{
+    NetworkConfig cfg;
+    cfg.numPorts = 64;
+    cfg.radix = 4;
+    cfg.bufferType = BufferType::Damq;
+    cfg.slotsPerBuffer = 4;
+    cfg.protocol = FlowControl::Blocking;
+    cfg.arbitration = ArbitrationPolicy::Smart;
+    cfg.traffic = "uniform";
+    cfg.offeredLoad = 0.3;
+    cfg.seed = 12345;
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 1000;
+    return cfg;
+}
+
+class ConservationTest
+    : public ::testing::TestWithParam<std::tuple<BufferType,
+                                                 FlowControl>>
+{
+};
+
+TEST_P(ConservationTest, NoPacketIsCreatedOrLost)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.bufferType = std::get<0>(GetParam());
+    cfg.protocol = std::get<1>(GetParam());
+    cfg.offeredLoad = 0.6; // stress it
+    NetworkSimulator sim(cfg);
+    for (int i = 0; i < 500; ++i)
+        sim.step();
+    sim.debugValidate();
+
+    const NetworkCounters &c = sim.lifetime();
+    // Every generated packet is delivered, discarded, buffered in a
+    // switch, or still waiting at its source.
+    EXPECT_EQ(c.generated, c.delivered + c.discarded() +
+                               sim.packetsInFlight() +
+                               sim.packetsAtSources());
+    // Injected = delivered + internal discards + in flight.
+    EXPECT_EQ(c.injected, c.delivered + c.discardedInternal +
+                              sim.packetsInFlight());
+    EXPECT_EQ(c.misrouted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TypesAndProtocols, ConservationTest,
+    ::testing::Combine(::testing::Values(BufferType::Fifo,
+                                         BufferType::Samq,
+                                         BufferType::Safc,
+                                         BufferType::Damq),
+                       ::testing::Values(FlowControl::Blocking,
+                                         FlowControl::Discarding)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<BufferType, FlowControl>> &info) {
+        return std::string(bufferTypeName(std::get<0>(info.param))) +
+               "_" + flowControlName(std::get<1>(info.param));
+    });
+
+TEST(NetworkSim, BlockingNeverDiscards)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.95;
+    cfg.bufferType = BufferType::Fifo; // most congested
+    NetworkSimulator sim(cfg);
+    for (int i = 0; i < 1000; ++i)
+        sim.step();
+    EXPECT_EQ(sim.lifetime().discarded(), 0u);
+}
+
+TEST(NetworkSim, DiscardingNeverQueuesAtSources)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.protocol = FlowControl::Discarding;
+    cfg.offeredLoad = 0.9;
+    NetworkSimulator sim(cfg);
+    for (int i = 0; i < 500; ++i)
+        sim.step();
+    EXPECT_EQ(sim.packetsAtSources(), 0u);
+    EXPECT_GT(sim.lifetime().discarded(), 0u); // 0.9 is over capacity
+}
+
+TEST(NetworkSim, MinimumLatencyIsThreeHops)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.01; // nearly empty network
+    cfg.measureCycles = 3000;
+    NetworkSimulator sim(cfg);
+    const NetworkResult result = sim.run();
+    ASSERT_GT(result.latencyClocks.count(), 0u);
+    // 3 stages x 12 clocks with almost no queueing.
+    EXPECT_DOUBLE_EQ(result.latencyClocks.min(), 36.0);
+    EXPECT_LT(result.latencyClocks.mean(), 40.0);
+}
+
+TEST(NetworkSim, LatencyGrowsWithLoad)
+{
+    NetworkConfig cfg = baseConfig();
+    const double low = latencyAtLoad(cfg, 0.1);
+    const double high = latencyAtLoad(cfg, 0.6);
+    EXPECT_GT(high, low);
+}
+
+TEST(NetworkSim, SameSeedSameResult)
+{
+    NetworkConfig cfg = baseConfig();
+    NetworkSimulator a(cfg);
+    NetworkSimulator b(cfg);
+    const NetworkResult ra = a.run();
+    const NetworkResult rb = b.run();
+    EXPECT_EQ(ra.window.delivered, rb.window.delivered);
+    EXPECT_EQ(ra.window.generated, rb.window.generated);
+    EXPECT_DOUBLE_EQ(ra.latencyClocks.mean(),
+                     rb.latencyClocks.mean());
+}
+
+TEST(NetworkSim, DifferentSeedsDiffer)
+{
+    NetworkConfig cfg = baseConfig();
+    NetworkSimulator a(cfg);
+    cfg.seed = 999;
+    NetworkSimulator b(cfg);
+    EXPECT_NE(a.run().window.generated, b.run().window.generated);
+}
+
+TEST(NetworkSim, DeliveredMatchesOfferedBelowSaturation)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.25;
+    cfg.measureCycles = 4000;
+    NetworkSimulator sim(cfg);
+    const NetworkResult result = sim.run();
+    EXPECT_NEAR(result.deliveredThroughput, 0.25, 0.02);
+}
+
+TEST(NetworkSim, DamqSaturatesWellAboveFifo)
+{
+    // The paper's headline: ~40 % higher saturation throughput with
+    // four slots per buffer.  Use short runs; the gap is large.
+    NetworkConfig cfg = baseConfig();
+    cfg.warmupCycles = 400;
+    cfg.measureCycles = 2500;
+
+    cfg.bufferType = BufferType::Fifo;
+    const double fifo = measureSaturation(cfg).saturationThroughput;
+    cfg.bufferType = BufferType::Damq;
+    const double damq = measureSaturation(cfg).saturationThroughput;
+
+    EXPECT_GT(damq, fifo * 1.2);
+}
+
+TEST(NetworkSim, HotSpotTreeSaturationCapsThroughput)
+{
+    // With 5 % hot-spot traffic the asymptotic cap is
+    // 1 / (64 * (0.05 + 0.95/64)) ~ 0.24 regardless of buffers.
+    NetworkConfig cfg = baseConfig();
+    cfg.traffic = "hotspot";
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 3000;
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        cfg.bufferType = type;
+        const double sat = measureSaturation(cfg).saturationThroughput;
+        EXPECT_LT(sat, 0.30) << bufferTypeName(type);
+        EXPECT_GT(sat, 0.15) << bufferTypeName(type);
+    }
+}
+
+TEST(NetworkSim, PermutationTrafficDeliversEverything)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.traffic = "bitrev";
+    cfg.offeredLoad = 0.2;
+    NetworkSimulator sim(cfg);
+    const NetworkResult result = sim.run();
+    EXPECT_GT(result.window.delivered, 0u);
+    EXPECT_EQ(result.window.misrouted, 0u);
+}
+
+TEST(NetworkSim, SmallRadixNetworksWork)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.radix = 2;
+    cfg.slotsPerBuffer = 4;
+    NetworkSimulator sim(cfg); // 6 stages of 2x2
+    EXPECT_EQ(sim.topology().numStages(), 6u);
+    const NetworkResult result = sim.run();
+    EXPECT_GT(result.window.delivered, 0u);
+    // 6 stages -> 72-clock floor.
+    EXPECT_GE(result.latencyClocks.min(), 72.0);
+}
+
+TEST(NetworkSim, BurstySourcesKeepTheAverageRate)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.25;
+    cfg.burstiness = 3.0;
+    cfg.meanBurstCycles = 8;
+    cfg.measureCycles = 20000;
+    NetworkSimulator sim(cfg);
+    const NetworkResult r = sim.run();
+    const double gen_rate =
+        static_cast<double>(r.window.generated) /
+        (static_cast<double>(cfg.numPorts) * cfg.measureCycles);
+    EXPECT_NEAR(gen_rate, 0.25, 0.015);
+}
+
+TEST(NetworkSim, BurstinessRaisesLatencyAtFixedLoad)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.3;
+    cfg.measureCycles = 8000;
+    const double smooth = NetworkSimulator(cfg).run()
+                              .latencyClocks.mean();
+    cfg.burstiness = 3.0;
+    const double bursty = NetworkSimulator(cfg).run()
+                              .latencyClocks.mean();
+    EXPECT_GT(bursty, smooth);
+}
+
+TEST(NetworkSim, FairnessIndexNearOneUnderUniformTraffic)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.3;
+    cfg.measureCycles = 8000;
+    const NetworkResult r = NetworkSimulator(cfg).run();
+    EXPECT_GT(r.latencyFairness, 0.95);
+    EXPECT_GE(r.worstSourceLatency, r.latencyClocks.mean());
+}
+
+TEST(NetworkSim, LittlesLawHoldsInSteadyState)
+{
+    // L = lambda * W: average packets buffered per switch must
+    // equal (arrival rate into the network) * (time spent inside)
+    // divided across the switches.  This ties together three
+    // independently computed statistics, so it catches accounting
+    // bugs in any of them.
+    NetworkConfig cfg = baseConfig();
+    cfg.offeredLoad = 0.4;
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 20000;
+    NetworkSimulator sim(cfg);
+    const NetworkResult r = sim.run();
+
+    const double lambda =
+        r.deliveredThroughput * cfg.numPorts; // packets per cycle
+    const double mean_cycles_inside =
+        r.latencyClocks.mean() / kClocksPerNetworkCycle;
+    const double num_switches =
+        sim.topology().numStages() * sim.topology().switchesPerStage();
+    const double expected_per_switch =
+        lambda * mean_cycles_inside / num_switches;
+
+    EXPECT_NEAR(r.avgSwitchOccupancy, expected_per_switch,
+                expected_per_switch * 0.05);
+}
+
+TEST(NetworkSim, SweepProducesMonotoneDeliveredThroughput)
+{
+    NetworkConfig cfg = baseConfig();
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 800;
+    const auto curve =
+        sweepLoads(cfg, {0.1, 0.2, 0.3, 0.4});
+    ASSERT_EQ(curve.size(), 4u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_GT(curve[i].deliveredThroughput,
+                  curve[i - 1].deliveredThroughput * 0.9);
+    }
+}
+
+} // namespace
+} // namespace damq

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Topology tests: the perfect shuffle is a permutation, and for
+ * every (source, destination) pair, walking the digit-controlled
+ * route through the Omega wiring lands at the right sink — for
+ * radices 2, 4, and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "network/omega_topology.hh"
+
+namespace damq {
+namespace {
+
+TEST(OmegaTopology, GeometryOfThePapersNetwork)
+{
+    const OmegaTopology topo(64, 4);
+    EXPECT_EQ(topo.numPorts(), 64u);
+    EXPECT_EQ(topo.radix(), 4u);
+    EXPECT_EQ(topo.numStages(), 3u);
+    EXPECT_EQ(topo.switchesPerStage(), 16u);
+}
+
+TEST(OmegaTopology, ShuffleIsAPermutation)
+{
+    const OmegaTopology topo(64, 4);
+    std::set<std::uint32_t> image;
+    for (std::uint32_t line = 0; line < 64; ++line)
+        image.insert(topo.shuffle(line));
+    EXPECT_EQ(image.size(), 64u);
+}
+
+TEST(OmegaTopology, ShuffleRotatesDigits)
+{
+    const OmegaTopology topo(64, 4);
+    // Line (d2 d1 d0) in base 4 maps to (d1 d0 d2).
+    // 0b digits: 39 = 2*16 + 1*4 + 3 -> (1 3 2) = 16+12+2 = 30.
+    EXPECT_EQ(topo.shuffle(39), 30u);
+    EXPECT_EQ(topo.shuffle(0), 0u);
+    EXPECT_EQ(topo.shuffle(63), 63u);
+}
+
+/** Walk the network as the simulator does; return the sink. */
+NodeId
+routeWalk(const OmegaTopology &topo, NodeId src, NodeId dest)
+{
+    StageCoord at = topo.firstStageInput(src);
+    for (std::uint32_t stage = 0;; ++stage) {
+        const PortId out = topo.outputPortFor(dest, stage);
+        if (stage == topo.numStages() - 1)
+            return topo.sinkFor(at.switchIndex, out);
+        at = topo.nextStageInput(stage, at.switchIndex, out);
+    }
+}
+
+class OmegaRoutingTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(OmegaRoutingTest, EveryPairRoutesCorrectly)
+{
+    const auto [ports, radix] = GetParam();
+    const OmegaTopology topo(ports, radix);
+    for (NodeId src = 0; src < ports; ++src) {
+        for (NodeId dest = 0; dest < ports; ++dest) {
+            ASSERT_EQ(routeWalk(topo, src, dest), dest)
+                << "src=" << src << " dest=" << dest;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Radices, OmegaRoutingTest,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{64, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{64, 2},
+                      std::pair<std::uint32_t, std::uint32_t>{64, 8},
+                      std::pair<std::uint32_t, std::uint32_t>{16, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{16, 2},
+                      std::pair<std::uint32_t, std::uint32_t>{256, 4}),
+    [](const ::testing::TestParamInfo<
+        std::pair<std::uint32_t, std::uint32_t>> &info) {
+        return "N" + std::to_string(info.param.first) + "_r" +
+               std::to_string(info.param.second);
+    });
+
+TEST(OmegaTopology, DistinctOutputsReachDistinctPlaces)
+{
+    const OmegaTopology topo(64, 4);
+    // Within one stage transition, the 64 output lines must map to
+    // 64 distinct (switch, port) inputs.
+    std::set<std::uint64_t> targets;
+    for (std::uint32_t sw = 0; sw < 16; ++sw) {
+        for (PortId p = 0; p < 4; ++p) {
+            const StageCoord c = topo.nextStageInput(0, sw, p);
+            targets.insert(static_cast<std::uint64_t>(c.switchIndex) *
+                               64 +
+                           c.port);
+        }
+    }
+    EXPECT_EQ(targets.size(), 64u);
+}
+
+TEST(OmegaTopology, SinkNumbering)
+{
+    const OmegaTopology topo(64, 4);
+    EXPECT_EQ(topo.sinkFor(0, 0), 0u);
+    EXPECT_EQ(topo.sinkFor(0, 3), 3u);
+    EXPECT_EQ(topo.sinkFor(15, 3), 63u);
+}
+
+} // namespace
+} // namespace damq

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for the stats library: RunningStats, Histogram, and
+ * the text table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/histogram.hh"
+#include "stats/running_stats.hh"
+#include "stats/text_table.hh"
+
+namespace damq {
+namespace {
+
+TEST(RunningStats, EmptyIsSane)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBessel)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all;
+    RunningStats a;
+    RunningStats b;
+    for (int i = 0; i < 100; ++i) {
+        const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+        all.add(x);
+        (i % 2 == 0 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a;
+    a.add(5.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(RunningStats, ResetClearsEverything)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, BinsByTruncation)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(49.0);
+    h.add(50.0); // overflow
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram h(1.0, 4);
+    h.add(-3.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+}
+
+TEST(Histogram, QuantileInterpolates)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1.0);
+}
+
+TEST(Histogram, ResetEmpties)
+{
+    Histogram h(1.0, 4);
+    h.add(1.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.binCount(1), 0u);
+}
+
+TEST(Histogram, AsciiRenderingMentionsCounts)
+{
+    Histogram h(1.0, 4);
+    h.add(0.5);
+    h.add(0.6);
+    const std::string art = h.renderAscii();
+    EXPECT_NE(art.find("#"), std::string::npos);
+    EXPECT_NE(art.find("2"), std::string::npos);
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| alpha |"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    // All lines between rules have the same width.
+    std::size_t width = 0;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::size_t eol = out.find('\n', pos);
+        const std::size_t len = eol - pos;
+        if (width == 0)
+            width = len;
+        EXPECT_EQ(len, width);
+        pos = eol + 1;
+    }
+}
+
+TEST(TextTable, IncrementalRowConstruction)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.startRow();
+    t.addCell("1");
+    t.addCell("2");
+    EXPECT_EQ(t.numRows(), 1u);
+    const std::string csv = t.renderCsv();
+    EXPECT_EQ(csv, "a,b\n1,2\n");
+}
+
+TEST(TextTable, EmptyTableRendersNothing)
+{
+    TextTable t;
+    EXPECT_EQ(t.render(), "");
+}
+
+} // namespace
+} // namespace damq

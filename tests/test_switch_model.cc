@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for SwitchModel: reception/discard accounting, grant
+ * execution, statistics, and reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "switchsim/switch_model.hh"
+
+namespace damq {
+namespace {
+
+Packet
+makePacket(PacketId id, PortId out)
+{
+    Packet p;
+    p.id = id;
+    p.outPort = out;
+    p.lengthSlots = 1;
+    return p;
+}
+
+CanSendFn
+alwaysSend()
+{
+    return [](PortId, PortId, const Packet &) { return true; };
+}
+
+TEST(SwitchModel, ReceiveStoresAndCounts)
+{
+    SwitchModel sw(4, BufferType::Damq, 4, ArbitrationPolicy::Dumb);
+    EXPECT_TRUE(sw.tryReceive(0, makePacket(1, 2)));
+    EXPECT_EQ(sw.stats().received, 1u);
+    EXPECT_EQ(sw.buffer(0).totalPackets(), 1u);
+    EXPECT_EQ(sw.totalPackets(), 1u);
+    EXPECT_EQ(sw.totalUsedSlots(), 1u);
+}
+
+TEST(SwitchModel, FullBufferDiscards)
+{
+    SwitchModel sw(4, BufferType::Damq, 2, ArbitrationPolicy::Dumb);
+    EXPECT_TRUE(sw.tryReceive(0, makePacket(1, 2)));
+    EXPECT_TRUE(sw.tryReceive(0, makePacket(2, 2)));
+    EXPECT_FALSE(sw.tryReceive(0, makePacket(3, 2)));
+    EXPECT_EQ(sw.stats().discarded, 1u);
+    // A different input has its own buffer and still has room.
+    EXPECT_TRUE(sw.tryReceive(1, makePacket(4, 2)));
+}
+
+TEST(SwitchModel, CanAcceptMatchesTryReceive)
+{
+    SwitchModel sw(4, BufferType::Samq, 4, ArbitrationPolicy::Dumb);
+    EXPECT_TRUE(sw.canAccept(0, 1, 1));
+    EXPECT_TRUE(sw.tryReceive(0, makePacket(1, 1)));
+    // SAMQ partition for output 1 (1 slot) is now full.
+    EXPECT_FALSE(sw.canAccept(0, 1, 1));
+    EXPECT_TRUE(sw.canAccept(0, 2, 1));
+}
+
+TEST(SwitchModel, ArbitrateAndPopMoveTraffic)
+{
+    SwitchModel sw(4, BufferType::Damq, 4, ArbitrationPolicy::Smart);
+    sw.tryReceive(0, makePacket(1, 2));
+    sw.tryReceive(1, makePacket(2, 3));
+
+    const GrantList grants = sw.arbitrate(alwaysSend());
+    EXPECT_EQ(grants.size(), 2u);
+    const auto popped = sw.popGranted(grants);
+    EXPECT_EQ(popped.size(), 2u);
+    EXPECT_EQ(sw.stats().transmitted, 2u);
+    EXPECT_EQ(sw.totalPackets(), 0u);
+}
+
+TEST(SwitchModel, ResetClearsEverything)
+{
+    SwitchModel sw(4, BufferType::Fifo, 4, ArbitrationPolicy::Smart);
+    sw.tryReceive(0, makePacket(1, 1));
+    sw.reset();
+    EXPECT_EQ(sw.totalPackets(), 0u);
+    EXPECT_EQ(sw.stats().received, 0u);
+    EXPECT_EQ(sw.stats().discarded, 0u);
+    sw.debugValidate();
+}
+
+TEST(SwitchModel, GeometryAccessors)
+{
+    SwitchModel sw(4, BufferType::Safc, 8, ArbitrationPolicy::Dumb);
+    EXPECT_EQ(sw.numPorts(), 4u);
+    EXPECT_EQ(sw.bufferType(), BufferType::Safc);
+    EXPECT_EQ(sw.buffer(0).maxReadsPerCycle(), 4u);
+}
+
+} // namespace
+} // namespace damq

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the traffic patterns: distributional checks for
+ * the stochastic ones, algebraic checks for the permutations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/random.hh"
+#include "network/traffic.hh"
+
+namespace damq {
+namespace {
+
+TEST(UniformTraffic, CoversAllDestinationsEvenly)
+{
+    UniformTraffic pattern(16);
+    Random rng(1);
+    std::vector<int> counts(16, 0);
+    const int n = 160000;
+    for (int i = 0; i < n; ++i)
+        ++counts[pattern.destinationFor(3, rng)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, n / 16, n / 16 / 10); // within 10 %
+}
+
+TEST(HotSpotTraffic, HotNodeGetsItsFraction)
+{
+    HotSpotTraffic pattern(64, 0.05, 0);
+    Random rng(2);
+    const int n = 400000;
+    int hot = 0;
+    for (int i = 0; i < n; ++i)
+        hot += pattern.destinationFor(7, rng) == 0 ? 1 : 0;
+    // P(dest 0) = 0.05 + 0.95/64 ~ 0.0648.
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.0648, 0.003);
+}
+
+TEST(HotSpotTraffic, ZeroFractionDegeneratesToUniform)
+{
+    HotSpotTraffic pattern(64, 0.0, 0);
+    Random rng(3);
+    const int n = 200000;
+    int hot = 0;
+    for (int i = 0; i < n; ++i)
+        hot += pattern.destinationFor(7, rng) == 0 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hot) / n, 1.0 / 64, 0.003);
+}
+
+TEST(BitReversalTraffic, IsAnInvolution)
+{
+    BitReversalTraffic pattern(64);
+    Random rng(4);
+    for (NodeId src = 0; src < 64; ++src) {
+        const NodeId once = pattern.destinationFor(src, rng);
+        EXPECT_EQ(pattern.destinationFor(once, rng), src);
+    }
+}
+
+TEST(BitReversalTraffic, KnownValues)
+{
+    BitReversalTraffic pattern(64); // 6 bits
+    Random rng(4);
+    EXPECT_EQ(pattern.destinationFor(0, rng), 0u);
+    EXPECT_EQ(pattern.destinationFor(1, rng), 32u);  // 000001 -> 100000
+    EXPECT_EQ(pattern.destinationFor(63, rng), 63u);
+    EXPECT_EQ(pattern.destinationFor(0b101100, rng), 0b001101u);
+}
+
+TEST(PermutationTraffic, IsABijection)
+{
+    PermutationTraffic pattern(64, 7);
+    Random rng(5);
+    std::set<NodeId> image;
+    for (NodeId src = 0; src < 64; ++src)
+        image.insert(pattern.destinationFor(src, rng));
+    EXPECT_EQ(image.size(), 64u);
+}
+
+TEST(PermutationTraffic, SeedSelectsThePermutation)
+{
+    PermutationTraffic a(64, 7);
+    PermutationTraffic b(64, 7);
+    PermutationTraffic c(64, 8);
+    Random rng(6);
+    bool any_diff = false;
+    for (NodeId src = 0; src < 64; ++src) {
+        EXPECT_EQ(a.destinationFor(src, rng),
+                  b.destinationFor(src, rng));
+        any_diff = any_diff || a.destinationFor(src, rng) !=
+                                   c.destinationFor(src, rng);
+    }
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(TransposeTraffic, SwapsCoordinates)
+{
+    TransposeTraffic pattern(8);
+    Random rng(7);
+    // (x, y) = (3, 5) is node 43 on an 8-wide grid; its transpose
+    // (5, 3) is node 29.
+    EXPECT_EQ(pattern.destinationFor(5 * 8 + 3, rng),
+              static_cast<NodeId>(3 * 8 + 5));
+    // Diagonal nodes map to themselves.
+    EXPECT_EQ(pattern.destinationFor(2 * 8 + 2, rng), 18u);
+    // Involution.
+    for (NodeId src = 0; src < 64; ++src) {
+        const NodeId once = pattern.destinationFor(src, rng);
+        EXPECT_EQ(pattern.destinationFor(once, rng), src);
+    }
+}
+
+TEST(TrafficFactory, BuildsByName)
+{
+    EXPECT_EQ(makeTraffic("uniform", 64)->name(), "uniform");
+    EXPECT_EQ(makeTraffic("hotspot", 64)->name(), "hotspot");
+    EXPECT_EQ(makeTraffic("bitrev", 64)->name(), "bitrev");
+    EXPECT_EQ(makeTraffic("permutation", 64, 3)->name(),
+              "permutation");
+}
+
+} // namespace
+} // namespace damq
