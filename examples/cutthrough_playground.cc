@@ -35,7 +35,15 @@ main(int argc, char **argv)
     args.parse(argc, argv);
 
     CutThroughConfig cfg;
-    cfg.bufferType = bufferTypeFromString(args.getString("buffer"));
+    const auto buffer_type =
+        tryBufferTypeFromString(args.getString("buffer"));
+    if (!buffer_type) {
+        std::cerr << "cutthrough_playground: unknown buffer type '"
+                  << args.getString("buffer") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.bufferType = *buffer_type;
     cfg.offeredLoad = args.getDouble("load");
     cfg.slotsPerBuffer =
         static_cast<std::uint32_t>(args.getInt("slots"));

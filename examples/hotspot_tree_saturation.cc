@@ -77,7 +77,15 @@ main(int argc, char **argv)
     args.parse(argc, argv);
 
     NetworkConfig cfg;
-    cfg.bufferType = bufferTypeFromString(args.getString("buffer"));
+    const auto buffer_type =
+        tryBufferTypeFromString(args.getString("buffer"));
+    if (!buffer_type) {
+        std::cerr << "hotspot_tree_saturation: unknown buffer type '"
+                  << args.getString("buffer") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.bufferType = *buffer_type;
     cfg.traffic = "hotspot";
     cfg.offeredLoad = args.getDouble("load");
     cfg.seed = 11;

@@ -45,13 +45,36 @@ main(int argc, char **argv)
     args.addOption("warmup", "2000", "warm-up network cycles");
     args.addOption("cycles", "12000", "measured network cycles");
     args.addOption("seed", "1", "random seed");
+    args.addOption("fault-drop", "0",
+                   "per-link packet-drop probability");
+    args.addOption("fault-corrupt", "0",
+                   "per-link header bit-flip probability");
+    args.addOption("fault-stuck", "0",
+                   "per-switch arbiter-stuck probability");
+    args.addOption("fault-leak", "0",
+                   "per-switch buffer slot-leak probability");
+    args.addOption("fault-credit", "0",
+                   "per-switch delayed-credit probability");
+    args.addOption("fault-seed", "1", "fault-plan random seed");
+    args.addOption("audit-every", "0",
+                   "invariant-audit period in cycles (0 = off)");
+    args.addOption("watchdog", "0",
+                   "deadlock-watchdog stall threshold (0 = off)");
     args.addFlag("csv", "emit one CSV line instead of the report");
     args.parse(argc, argv);
 
     NetworkConfig cfg;
     cfg.numPorts = static_cast<std::uint32_t>(args.getInt("ports"));
     cfg.radix = static_cast<std::uint32_t>(args.getInt("radix"));
-    cfg.bufferType = bufferTypeFromString(args.getString("buffer"));
+    const auto buffer_type =
+        tryBufferTypeFromString(args.getString("buffer"));
+    if (!buffer_type) {
+        std::cerr << "omega_network: unknown buffer type '"
+                  << args.getString("buffer") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.bufferType = *buffer_type;
     cfg.placement =
         bufferPlacementFromString(args.getString("placement"));
     cfg.slotsPerBuffer =
@@ -66,6 +89,17 @@ main(int argc, char **argv)
     cfg.warmupCycles = static_cast<Cycle>(args.getInt("warmup"));
     cfg.measureCycles = static_cast<Cycle>(args.getInt("cycles"));
     cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.faults.packetDropRate = args.getDouble("fault-drop");
+    cfg.faults.headerBitFlipRate = args.getDouble("fault-corrupt");
+    cfg.faults.arbiterStuckRate = args.getDouble("fault-stuck");
+    cfg.faults.slotLeakRate = args.getDouble("fault-leak");
+    cfg.faults.creditDelayRate = args.getDouble("fault-credit");
+    cfg.faults.seed =
+        static_cast<std::uint64_t>(args.getInt("fault-seed"));
+    cfg.auditEveryCycles =
+        static_cast<Cycle>(args.getInt("audit-every"));
+    cfg.watchdogStallCycles =
+        static_cast<Cycle>(args.getInt("watchdog"));
 
     NetworkSimulator sim(cfg);
     const NetworkResult r = sim.run();
@@ -123,6 +157,11 @@ main(int argc, char **argv)
     if (r.avgSourceQueueLen > 1.0) {
         std::cout << "\nnote: source queues are growing — the "
                      "network is saturated at this load.\n";
+    }
+
+    if (cfg.faults.anyEnabled() || cfg.auditEveryCycles > 0 ||
+        cfg.watchdogStallCycles > 0) {
+        std::cout << "\n" << sim.faultReport().summaryText();
     }
     return 0;
 }

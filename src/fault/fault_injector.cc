@@ -1,0 +1,162 @@
+#include "fault/fault_injector.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+FaultInjector::FaultInjector(const FaultConfig &config)
+    : config(config), rng(config.seed)
+{
+    damq_assert(config.headerBitFlipRate >= 0.0 &&
+                    config.headerBitFlipRate <= 1.0,
+                "headerBitFlipRate out of [0,1]");
+    damq_assert(config.packetDropRate >= 0.0 &&
+                    config.packetDropRate <= 1.0,
+                "packetDropRate out of [0,1]");
+    damq_assert(config.arbiterStuckRate >= 0.0 &&
+                    config.arbiterStuckRate <= 1.0,
+                "arbiterStuckRate out of [0,1]");
+    damq_assert(config.slotLeakRate >= 0.0 &&
+                    config.slotLeakRate <= 1.0,
+                "slotLeakRate out of [0,1]");
+    damq_assert(config.creditDelayRate >= 0.0 &&
+                    config.creditDelayRate <= 1.0,
+                "creditDelayRate out of [0,1]");
+}
+
+std::size_t
+FaultInjector::addComponent(const std::string &name)
+{
+    components.push_back(ComponentState{name, 0, kNeverRolled, 0,
+                                        kNeverRolled});
+    return components.size() - 1;
+}
+
+const std::string &
+FaultInjector::componentName(std::size_t comp) const
+{
+    damq_assert(comp < components.size(),
+                "componentName: unregistered component ", comp);
+    return components[comp].name;
+}
+
+bool
+FaultInjector::dropOnLink(std::size_t comp, Cycle now,
+                          const Packet &pkt)
+{
+    if (config.packetDropRate <= 0.0)
+        return false;
+    if (!rng.bernoulli(config.packetDropRate))
+        return false;
+    recordFault(FaultKind::PacketDrop, comp, now,
+                detail::concat("packet ", pkt.id, " (", pkt.source,
+                               "->", pkt.dest, ")"));
+    return true;
+}
+
+bool
+FaultInjector::corruptOnLink(std::size_t comp, Cycle now, Packet &pkt)
+{
+    if (config.headerBitFlipRate <= 0.0)
+        return false;
+    if (!rng.bernoulli(config.headerBitFlipRate))
+        return false;
+
+    // Flip one bit of a checksummed header field.  The checksum is
+    // deliberately NOT resealed: the receiver must notice.
+    const std::uint64_t field = rng.below(3);
+    const std::uint32_t mask =
+        std::uint32_t{1} << static_cast<std::uint32_t>(rng.below(32));
+    const char *field_name = nullptr;
+    switch (field) {
+      case 0: pkt.dest ^= mask; field_name = "dest"; break;
+      case 1: pkt.seq ^= mask; field_name = "seq"; break;
+      default: pkt.source ^= mask; field_name = "source"; break;
+    }
+    recordFault(FaultKind::HeaderBitFlip, comp, now,
+                detail::concat("packet ", pkt.id, " ", field_name,
+                               " bit flipped"));
+    return true;
+}
+
+bool
+FaultInjector::arbiterStuck(std::size_t comp, Cycle now)
+{
+    if (config.arbiterStuckRate <= 0.0)
+        return false;
+    damq_assert(comp < components.size(),
+                "arbiterStuck: unregistered component ", comp);
+    ComponentState &state = components[comp];
+    if (state.stuckRolledAt != now) {
+        state.stuckRolledAt = now;
+        if (now >= state.stuckUntil &&
+            rng.bernoulli(config.arbiterStuckRate)) {
+            state.stuckUntil = now + config.arbiterStuckCycles;
+            recordFault(FaultKind::ArbiterStuck, comp, now,
+                        detail::concat("grants jammed for ",
+                                       config.arbiterStuckCycles,
+                                       " cycles"));
+        }
+    }
+    return now < state.stuckUntil;
+}
+
+bool
+FaultInjector::creditDelayed(std::size_t comp, Cycle now)
+{
+    if (config.creditDelayRate <= 0.0)
+        return false;
+    damq_assert(comp < components.size(),
+                "creditDelayed: unregistered component ", comp);
+    ComponentState &state = components[comp];
+    if (state.delayRolledAt != now) {
+        state.delayRolledAt = now;
+        if (now >= state.delayUntil &&
+            rng.bernoulli(config.creditDelayRate)) {
+            state.delayUntil = now + config.creditDelayCycles;
+            recordFault(FaultKind::CreditDelay, comp, now,
+                        detail::concat("credits stalled for ",
+                                       config.creditDelayCycles,
+                                       " cycles"));
+        }
+    }
+    return now < state.delayUntil;
+}
+
+bool
+FaultInjector::rollSlotLeak(std::size_t comp, Cycle now)
+{
+    (void)comp;
+    (void)now;
+    if (config.slotLeakRate <= 0.0)
+        return false;
+    return rng.bernoulli(config.slotLeakRate);
+}
+
+void
+FaultInjector::recordFault(FaultKind kind, std::size_t comp, Cycle now,
+                           const std::string &detail)
+{
+    ++injected[static_cast<std::size_t>(kind)];
+    if (events.size() < kMaxLoggedEvents) {
+        events.push_back(FaultEvent{
+            now, kind,
+            comp < components.size() ? components[comp].name
+                                     : std::string("?"),
+            detail});
+    }
+}
+
+void
+FaultInjector::fillReport(FaultReport &report) const
+{
+    report.seed = config.seed;
+    report.injected = injected;
+    report.corruptionsDetected = corruptionsDetected;
+    report.packetsDroppedByFaults =
+        injected[static_cast<std::size_t>(FaultKind::PacketDrop)] +
+        corruptionsDetected;
+    report.events = events;
+}
+
+} // namespace damq

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault injection for the switch and
+ * network simulators.
+ *
+ * The injector owns its own PRNG, separate from the traffic
+ * generator's, and every hook is a plain branch when its rate is
+ * zero — so a run with faults disabled consumes *no* random draws
+ * and is bit-identical to a build without the fault subsystem.
+ * With faults enabled, the same seed always produces the same fault
+ * plan: the simulators query the hooks in a fixed order (component
+ * registration order, once per cycle), which makes every failure
+ * reproducible from its command line.
+ *
+ * Fault model (one class per FaultKind):
+ *  - HeaderBitFlip: one bit of an immutable header field flips while
+ *    the packet crosses a link; the sealed checksum lets the
+ *    receiver *detect* the damage instead of mis-delivering.
+ *  - PacketDrop: the packet vanishes from the link; end-to-end
+ *    accounting charges it to the fault counter.
+ *  - ArbiterStuck: a switch's arbiter issues no grants for a few
+ *    consecutive cycles (a stuck grant latch); traffic must resume
+ *    afterwards, and the watchdog distinguishes this from deadlock.
+ *  - SlotLeak: one buffer slot falls out of every linked list, as
+ *    if its pointer register latched garbage; the periodic invariant
+ *    audit reports the leak with the owning component and cycle.
+ *  - CreditDelay: the back-pressure/credit path reports "full" for
+ *    a few cycles even though space exists, delaying transfers
+ *    without losing packets.
+ */
+
+#ifndef DAMQ_FAULT_FAULT_INJECTOR_HH
+#define DAMQ_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "fault/fault_report.hh"
+#include "queueing/packet.hh"
+
+namespace damq {
+
+/** Rates and episode lengths for each fault class. */
+struct FaultConfig
+{
+    /** Seed for the injector's private PRNG. */
+    std::uint64_t seed = 1;
+
+    /** Probability a moving packet's header loses a bit, per hop. */
+    double headerBitFlipRate = 0.0;
+
+    /** Probability a moving packet is dropped, per hop. */
+    double packetDropRate = 0.0;
+
+    /** Probability per component-cycle an arbiter jams. */
+    double arbiterStuckRate = 0.0;
+    /** Cycles an arbiter-stuck episode lasts. */
+    std::uint32_t arbiterStuckCycles = 4;
+
+    /** Probability per component-cycle one buffer slot leaks. */
+    double slotLeakRate = 0.0;
+
+    /** Probability per component-cycle credits stall. */
+    double creditDelayRate = 0.0;
+    /** Cycles a credit-delay episode lasts. */
+    std::uint32_t creditDelayCycles = 2;
+
+    /** Whether any fault class has a nonzero rate. */
+    bool anyEnabled() const
+    {
+        return headerBitFlipRate > 0.0 || packetDropRate > 0.0 ||
+               arbiterStuckRate > 0.0 || slotLeakRate > 0.0 ||
+               creditDelayRate > 0.0;
+    }
+};
+
+/** Seed-driven fault plan shared by one simulator instance. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &config);
+
+    /** Whether any hook can ever fire. */
+    bool enabled() const { return config.anyEnabled(); }
+
+    /** The configuration this plan was built from. */
+    const FaultConfig &configuration() const { return config; }
+
+    /**
+     * Register a fault site (one switch, node, or arbiter).  The
+     * returned handle indexes per-component episode state; hooks
+     * must be queried in a deterministic order across components.
+     */
+    std::size_t addComponent(const std::string &name);
+
+    /** Name given to addComponent. */
+    const std::string &componentName(std::size_t comp) const;
+
+    /** Number of registered fault sites. */
+    std::size_t numComponents() const { return components.size(); }
+
+    /**
+     * Roll a per-hop drop fault for a packet leaving @p comp.
+     * Returns true when the packet must vanish (already recorded).
+     */
+    bool dropOnLink(std::size_t comp, Cycle now, const Packet &pkt);
+
+    /**
+     * Roll a per-hop header corruption for a packet leaving
+     * @p comp; on a hit, flips one bit of a checksummed header
+     * field in place and records the event.  Returns whether the
+     * packet was corrupted.
+     */
+    bool corruptOnLink(std::size_t comp, Cycle now, Packet &pkt);
+
+    /**
+     * Whether @p comp's arbiter is jammed this cycle.  At most one
+     * episode roll per component-cycle (memoized), so repeated
+     * queries in the same cycle are free and draw-neutral.
+     */
+    bool arbiterStuck(std::size_t comp, Cycle now);
+
+    /**
+     * Whether @p comp's credit/back-pressure path lies "full" this
+     * cycle.  Memoized like arbiterStuck().
+     */
+    bool creditDelayed(std::size_t comp, Cycle now);
+
+    /**
+     * Roll the per-cycle slot-leak fault for @p comp.  Returns true
+     * when the caller should leak one slot; the caller then reports
+     * the outcome through recordFault() only if a slot was actually
+     * lost (the buffer may be empty).
+     */
+    bool rollSlotLeak(std::size_t comp, Cycle now);
+
+    /** Record an injected fault in the report counters. */
+    void recordFault(FaultKind kind, std::size_t comp, Cycle now,
+                     const std::string &detail = std::string());
+
+    /** Record a checksum catching a corrupted header. */
+    void recordDetectedCorruption() { ++corruptionsDetected; }
+
+    /** Injected count for one fault kind so far. */
+    std::uint64_t injectedCount(FaultKind kind) const
+    {
+        return injected[static_cast<std::size_t>(kind)];
+    }
+
+    /** Copy counters and the event log into @p report. */
+    void fillReport(FaultReport &report) const;
+
+  private:
+    /** Per-component episode state. */
+    struct ComponentState
+    {
+        std::string name;
+        Cycle stuckUntil = 0;       ///< arbiter jammed while now < this
+        Cycle stuckRolledAt = kNeverRolled;
+        Cycle delayUntil = 0;       ///< credits stalled while now < this
+        Cycle delayRolledAt = kNeverRolled;
+    };
+
+    static constexpr Cycle kNeverRolled = ~Cycle{0};
+
+    /** Cap on events kept verbatim (counters are never capped). */
+    static constexpr std::size_t kMaxLoggedEvents = 64;
+
+    FaultConfig config;
+    Random rng;
+    std::vector<ComponentState> components;
+    std::array<std::uint64_t, kNumFaultKinds> injected{};
+    std::uint64_t corruptionsDetected = 0;
+    std::vector<FaultEvent> events;
+};
+
+} // namespace damq
+
+#endif // DAMQ_FAULT_FAULT_INJECTOR_HH

@@ -1,0 +1,58 @@
+#include "fault/fault_report.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::HeaderBitFlip: return "header-bit-flip";
+      case FaultKind::PacketDrop: return "packet-drop";
+      case FaultKind::ArbiterStuck: return "arbiter-stuck";
+      case FaultKind::SlotLeak: return "slot-leak";
+      case FaultKind::CreditDelay: return "credit-delay";
+    }
+    damq_panic("unknown FaultKind ", static_cast<int>(kind));
+}
+
+std::uint64_t
+FaultReport::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t count : injected)
+        total += count;
+    return total;
+}
+
+std::string
+FaultReport::summaryText() const
+{
+    std::ostringstream out;
+    out << "fault report (seed " << seed << ")\n";
+    for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+        if (injected[k] == 0)
+            continue;
+        out << "  injected " << faultKindName(static_cast<FaultKind>(k))
+            << ": " << injected[k] << "\n";
+    }
+    out << "  corruptions detected: " << corruptionsDetected << "\n"
+        << "  packets removed by faults: " << packetsDroppedByFaults
+        << "\n"
+        << "  audits run: " << auditsRun << ", violations: "
+        << auditViolations << "\n";
+    for (const std::string &sample : violationSamples)
+        out << "    e.g. " << sample << "\n";
+    if (watchdogFired) {
+        out << "  watchdog fired at cycle " << watchdogFiredAt << "\n"
+            << watchdogDiagnostic;
+    } else {
+        out << "  watchdog: quiet\n";
+    }
+    return out.str();
+}
+
+} // namespace damq

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fault taxonomy and the report every fault-mode experiment ends
+ * with.
+ *
+ * The robustness question for a buffered switch is not "does it
+ * never fail" but "when a register latches garbage, is the failure
+ * *detected and accounted for* rather than silently corrupting
+ * results".  Every fault the injector introduces is recorded here,
+ * and every detection (checksum mismatch, invariant violation,
+ * watchdog trip) is recorded next to it, so a run can be audited
+ * end to end: injected = delivered + dropped + in flight, with no
+ * packet unaccounted for.
+ */
+
+#ifndef DAMQ_FAULT_FAULT_REPORT_HH
+#define DAMQ_FAULT_FAULT_REPORT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** The fault classes the injector can introduce. */
+enum class FaultKind : std::uint8_t
+{
+    HeaderBitFlip, ///< one header bit flipped while a packet moves
+    PacketDrop,    ///< a packet vanishes from a link
+    ArbiterStuck,  ///< an arbiter grants nothing for a few cycles
+    SlotLeak,      ///< a buffer slot drops out of every list
+    CreditDelay,   ///< back-pressure stuck at "full" for a few cycles
+};
+
+/** Number of distinct FaultKind values. */
+inline constexpr std::size_t kNumFaultKinds = 5;
+
+/** Human-readable fault-kind name. */
+const char *faultKindName(FaultKind kind);
+
+/** One injected fault, for the event log. */
+struct FaultEvent
+{
+    Cycle cycle = 0;
+    FaultKind kind = FaultKind::HeaderBitFlip;
+    std::string component;
+    std::string detail;
+};
+
+/**
+ * Everything a fault-mode run learned: what was injected, what was
+ * detected, and whether the accounting closed.
+ */
+struct FaultReport
+{
+    std::uint64_t seed = 0;
+
+    /** Injection counts, indexed by FaultKind. */
+    std::array<std::uint64_t, kNumFaultKinds> injected{};
+
+    /** Header corruptions caught by the checksum before delivery. */
+    std::uint64_t corruptionsDetected = 0;
+
+    /** Packets removed from the network by faults (drops plus
+     *  detected corruptions); the sims fold this into their
+     *  conservation identity. */
+    std::uint64_t packetsDroppedByFaults = 0;
+
+    /** Invariant audits performed and violations they found. */
+    std::uint64_t auditsRun = 0;
+    std::uint64_t auditViolations = 0;
+    std::vector<std::string> violationSamples;
+
+    /** Deadlock watchdog outcome. */
+    bool watchdogFired = false;
+    Cycle watchdogFiredAt = 0;
+    std::string watchdogDiagnostic;
+
+    /** First few injected faults, for diagnostics. */
+    std::vector<FaultEvent> events;
+
+    /** Total faults injected across all kinds. */
+    std::uint64_t totalInjected() const;
+
+    /** Injection count for one kind. */
+    std::uint64_t injectedOf(FaultKind kind) const
+    {
+        return injected[static_cast<std::size_t>(kind)];
+    }
+
+    /** Multi-line human-readable summary. */
+    std::string summaryText() const;
+};
+
+} // namespace damq
+
+#endif // DAMQ_FAULT_FAULT_REPORT_HH

@@ -1,0 +1,61 @@
+#include "fault/invariant_auditor.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+void
+InvariantAuditor::record(Cycle cycle, const std::string &component,
+                         const std::vector<std::string> &found)
+{
+    for (const std::string &v : found) {
+        ++violations;
+        if (sampleLog.size() < kMaxSamples)
+            sampleLog.push_back(detail::concat("cycle ", cycle, " ",
+                                               component, ": ", v));
+    }
+}
+
+void
+InvariantAuditor::fillReport(FaultReport &report) const
+{
+    report.auditsRun = audits;
+    report.auditViolations = violations;
+    report.violationSamples = sampleLog;
+}
+
+std::vector<std::string>
+auditGrantLegality(const GrantList &grants, PortId num_inputs,
+                   PortId num_outputs,
+                   std::uint32_t max_reads_per_input)
+{
+    std::vector<std::string> violations;
+    std::vector<std::uint32_t> per_input(num_inputs, 0);
+    std::vector<std::uint32_t> per_output(num_outputs, 0);
+    for (const Grant &g : grants) {
+        if (g.input >= num_inputs || g.output >= num_outputs) {
+            violations.push_back(detail::concat(
+                "grant outside switch geometry (", g.input, " -> ",
+                g.output, ")"));
+            continue;
+        }
+        ++per_input[g.input];
+        ++per_output[g.output];
+    }
+    for (PortId in = 0; in < num_inputs; ++in) {
+        if (per_input[in] > max_reads_per_input)
+            violations.push_back(detail::concat(
+                "input ", in, " granted ", per_input[in],
+                " reads in one cycle (read bandwidth ",
+                max_reads_per_input, ")"));
+    }
+    for (PortId out = 0; out < num_outputs; ++out) {
+        if (per_output[out] > 1)
+            violations.push_back(detail::concat(
+                "output ", out, " granted ", per_output[out],
+                " times in one cycle"));
+    }
+    return violations;
+}
+
+} // namespace damq

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Periodic, non-fatal structural auditing of buffers and grants.
+ *
+ * The buffer models each know how to check their own invariants
+ * (BufferModel::checkInvariants / SwitchUnit::checkInvariants);
+ * this class decides *when* to run those checks during a simulation
+ * and collects what they find, without aborting — a fault-mode run
+ * must detect corruption, count it, and keep going.
+ *
+ * Audit points (every `auditEveryCycles` network cycles):
+ *  - slot conservation per buffer: no slot leaked from every list,
+ *    none owned by two lists, per-output FIFO chains intact;
+ *  - partition bounds for the statically allocated organizations;
+ *  - the reserved-slot guarantee for DAMQR;
+ *  - grant legality for the cycle's crossbar schedule (at most one
+ *    grant per output, per-input grants within the buffer's read
+ *    bandwidth);
+ *  - the end-to-end packet conservation identity, which the
+ *    simulators phrase as a violation string when it breaks.
+ */
+
+#ifndef DAMQ_FAULT_INVARIANT_AUDITOR_HH
+#define DAMQ_FAULT_INVARIANT_AUDITOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fault/fault_report.hh"
+#include "switchsim/grant.hh"
+
+namespace damq {
+
+/** Schedules invariant checks and accumulates their findings. */
+class InvariantAuditor
+{
+  public:
+    /** @param audit_every_cycles check period; 0 disables audits. */
+    explicit InvariantAuditor(Cycle audit_every_cycles = 0)
+        : every(audit_every_cycles)
+    {
+    }
+
+    /** Whether audits ever run. */
+    bool enabled() const { return every > 0; }
+
+    /** Whether an audit is due at @p now. */
+    bool due(Cycle now) const
+    {
+        return every > 0 && now > 0 && now % every == 0;
+    }
+
+    /** Count one completed audit sweep. */
+    void beginAudit() { ++audits; }
+
+    /**
+     * File @p violations found in @p component at @p cycle.  The
+     * first few are kept verbatim (prefixed "cycle C component: ");
+     * all are counted.
+     */
+    void record(Cycle cycle, const std::string &component,
+                const std::vector<std::string> &violations);
+
+    /** Audit sweeps performed. */
+    std::uint64_t auditsRun() const { return audits; }
+
+    /** Total violations recorded. */
+    std::uint64_t violationCount() const { return violations; }
+
+    /** First few violations, verbatim. */
+    const std::vector<std::string> &samples() const
+    {
+        return sampleLog;
+    }
+
+    /** Copy audit counters into @p report. */
+    void fillReport(FaultReport &report) const;
+
+  private:
+    static constexpr std::size_t kMaxSamples = 32;
+
+    Cycle every;
+    std::uint64_t audits = 0;
+    std::uint64_t violations = 0;
+    std::vector<std::string> sampleLog;
+};
+
+/**
+ * Check one cycle's crossbar schedule: every grant inside the
+ * switch geometry, at most one grant per output, and at most
+ * @p max_reads_per_input grants per input (1 for single-read-port
+ * buffers, n for SAFC).  Returns violation strings, empty if legal.
+ */
+std::vector<std::string> auditGrantLegality(
+    const GrantList &grants, PortId num_inputs, PortId num_outputs,
+    std::uint32_t max_reads_per_input = 1);
+
+} // namespace damq
+
+#endif // DAMQ_FAULT_INVARIANT_AUDITOR_HH

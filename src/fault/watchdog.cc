@@ -1,0 +1,71 @@
+#include "fault/watchdog.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+std::size_t
+DeadlockWatchdog::addComponent(const std::string &name)
+{
+    components.push_back(State{name, 0, false});
+    return components.size() - 1;
+}
+
+void
+DeadlockWatchdog::observe(std::size_t comp, Cycle now, bool has_work,
+                          bool moved)
+{
+    if (!enabled())
+        return;
+    damq_assert(comp < components.size(),
+                "observe: unregistered component ", comp);
+    State &state = components[comp];
+    state.hasWork = has_work;
+    // An idle component is not stalled: restart its clock so a
+    // packet arriving later gets the full threshold to move.
+    if (moved || !has_work)
+        state.lastMove = now;
+}
+
+bool
+DeadlockWatchdog::check(Cycle now,
+                        const std::function<std::string()> &snapshot)
+{
+    if (!enabled() || hasFired)
+        return false;
+
+    std::vector<const State *> stalled;
+    for (const State &state : components) {
+        if (state.hasWork && now >= state.lastMove &&
+            now - state.lastMove >= threshold)
+            stalled.push_back(&state);
+    }
+    if (stalled.empty())
+        return false;
+
+    hasFired = true;
+    tripCycle = now;
+    std::ostringstream out;
+    out << "  watchdog: no forward progress for " << threshold
+        << " cycles at cycle " << now << "\n";
+    for (const State *state : stalled) {
+        out << "    " << state->name
+            << ": holds packets, none moved since cycle "
+            << state->lastMove << "\n";
+    }
+    out << snapshot();
+    report = out.str();
+    return true;
+}
+
+void
+DeadlockWatchdog::fillReport(FaultReport &fault_report) const
+{
+    fault_report.watchdogFired = hasFired;
+    fault_report.watchdogFiredAt = tripCycle;
+    fault_report.watchdogDiagnostic = report;
+}
+
+} // namespace damq

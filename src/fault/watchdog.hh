@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deadlock/livelock watchdog for the network simulators.
+ *
+ * A blocking-flow-control network can wedge: a stuck arbiter, a
+ * leaked slot, or a back-pressure cycle can leave packets buffered
+ * with nothing moving.  The watchdog observes every component once
+ * per cycle ("does it hold work? did it move a packet?") and fires
+ * when some component has held work without moving anything for a
+ * configurable number of cycles.  Firing is a diagnosis, not an
+ * abort: it captures a deterministic snapshot (stable component
+ * order, seed echoed) so the wedge can be reproduced and read.
+ */
+
+#ifndef DAMQ_FAULT_WATCHDOG_HH
+#define DAMQ_FAULT_WATCHDOG_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "fault/fault_report.hh"
+
+namespace damq {
+
+/** No-forward-progress detector. */
+class DeadlockWatchdog
+{
+  public:
+    /** @param stall_threshold cycles of no movement (while holding
+     *  work) before firing; 0 disables the watchdog. */
+    explicit DeadlockWatchdog(Cycle stall_threshold = 0)
+        : threshold(stall_threshold)
+    {
+    }
+
+    /** Whether the watchdog is armed. */
+    bool enabled() const { return threshold > 0; }
+
+    /** Register a component; call in a fixed order so the snapshot
+     *  ordering is stable across runs. */
+    std::size_t addComponent(const std::string &name);
+
+    /**
+     * Per-cycle observation for one component.  @p has_work is
+     * whether it currently buffers packets; @p moved is whether it
+     * transmitted (or delivered) at least one packet this cycle.
+     * Idle components are never considered stalled.
+     */
+    void observe(std::size_t comp, Cycle now, bool has_work,
+                 bool moved);
+
+    /**
+     * Evaluate the stall condition at @p now.  On the first trip,
+     * records the diagnostic — the stalled components in
+     * registration order plus @p snapshot() — and returns true.
+     * Subsequent trips of the same wedge return false (one report
+     * per run keeps logs readable).
+     */
+    bool check(Cycle now,
+               const std::function<std::string()> &snapshot);
+
+    /** Whether the watchdog has fired. */
+    bool fired() const { return hasFired; }
+
+    /** Cycle of the (first) trip. */
+    Cycle firedAt() const { return tripCycle; }
+
+    /** The recorded diagnostic, empty until fired. */
+    const std::string &diagnostic() const { return report; }
+
+    /** Copy watchdog outcome into @p fault_report. */
+    void fillReport(FaultReport &fault_report) const;
+
+  private:
+    /** Per-component movement history. */
+    struct State
+    {
+        std::string name;
+        Cycle lastMove = 0;
+        bool hasWork = false;
+    };
+
+    Cycle threshold;
+    std::vector<State> components;
+    bool hasFired = false;
+    Cycle tripCycle = 0;
+    std::string report;
+};
+
+} // namespace damq
+
+#endif // DAMQ_FAULT_WATCHDOG_HH

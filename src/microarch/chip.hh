@@ -68,6 +68,9 @@ class ComCobbChip
     /** Router (virtual-circuit table) of input port @p i. */
     RoutingTable &router(PortId i) { return ins[i].router(); }
 
+    /** Crossbar arbiter (fault hooks / tests). */
+    CrossbarArbiter &crossbarArbiter() { return arbiter; }
+
     /** Phase-0 evaluation. */
     void phase0(Cycle cycle);
 

@@ -20,6 +20,9 @@ CrossbarArbiter::phase1(Cycle cycle,
     damq_assert(inputs.size() == ports && outputs.size() == ports,
                 "arbiter geometry mismatch");
 
+    if (jammed(cycle))
+        return;
+
     // Buffers already connected to some output (single read port).
     std::vector<bool> input_busy(ports, false);
     for (const MicroOutputPort &out : outputs) {

@@ -41,9 +41,20 @@ class CrossbarArbiter
                 std::vector<MicroInputPort> &inputs,
                 std::vector<MicroOutputPort> &outputs);
 
+    /**
+     * Fault hook: issue no new grants until @p until.  In-flight
+     * transmissions finish normally; the arbiter just sits idle,
+     * modeling a stuck grant generator.
+     */
+    void jamUntil(Cycle until) { jammedUntil = until; }
+
+    /** True while a jamUntil() episode is active. */
+    bool jammed(Cycle cycle) const { return cycle < jammedUntil; }
+
   private:
     PortId ports;
     unsigned minCredits;
+    Cycle jammedUntil = 0; ///< fault hook: no grants before this
     std::vector<PortId> rrNext; ///< per-output round-robin pointer
 };
 

@@ -42,6 +42,14 @@ class Link
     /** Receiver: what is on the wire this cycle. */
     const LinkSample &current() const { return wire; }
 
+    /**
+     * Fault hook: XOR @p mask onto whatever data byte is on the
+     * wire this cycle, modeling a transient upset on the eight
+     * data wires.  The start bit is untouched, so the receiver
+     * still clocks the (now wrong) byte in.
+     */
+    void injectDataFault(std::uint8_t mask) { wire.data ^= mask; }
+
     /** Clear the wire at end of cycle. */
     void endCycle() { wire = LinkSample{}; }
 

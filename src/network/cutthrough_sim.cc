@@ -21,7 +21,10 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
     : cfg(config), topo(config.numPorts, config.radix),
       rng(config.seed),
       sourceQueues(config.numPorts),
-      sourceWireFreeAt(config.numPorts, 0)
+      sourceWireFreeAt(config.numPorts, 0),
+      injector(config.faults),
+      auditor(config.auditEveryClocks),
+      nextSeq(config.numPorts, 0)
 {
     damq_assert(cfg.wireClocks >= 1 && cfg.routeClocks >= 1,
                 "wire and route times must be positive");
@@ -51,8 +54,15 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
                     : cfg.radix,
                 0);
             switches[stage].push_back(std::move(state));
+            const std::size_t comp = injector.addComponent(
+                detail::concat("stage", stage, ".sw", i));
+            damq_assert(comp == static_cast<std::size_t>(stage) *
+                                        topo.switchesPerStage() +
+                                    i,
+                        "component registration order broken");
         }
     }
+    sinkComponent = injector.addComponent("sink-links");
 }
 
 bool
@@ -112,6 +122,8 @@ CutThroughSimulator::processDecisions()
                 flights.push_back(flight);
                 continue;
             }
+            if (flightLost(flight, sinkComponent))
+                continue;
             damq_assert(flight.packet.dest == flight.sink,
                         "cut-through sim misrouted a packet");
             ++delivered;
@@ -128,6 +140,15 @@ CutThroughSimulator::processDecisions()
             flights.push_back(flight);
             continue;
         }
+
+        // The link fault window closes when routing completes: a
+        // dropped or corrupted-and-detected packet frees any slot
+        // it reserved and leaves the network here.
+        if (flightLost(flight,
+                       static_cast<std::size_t>(flight.stage) *
+                               topo.switchesPerStage() +
+                           flight.at.switchIndex))
+            continue;
 
         SwitchState &state = switches[flight.stage][flight.at.switchIndex];
         BufferModel &buffer = *state.buffers[flight.at.port];
@@ -266,6 +287,8 @@ CutThroughSimulator::injectSources()
             pkt.dest = pattern->destinationFor(src, rng);
             pkt.lengthSlots = 1;
             pkt.generatedAt = clock;
+            pkt.seq = nextSeq[src]++;
+            sealHeader(pkt);
             sourceQueues[src].push_back(pkt);
             ++generated;
             if (measuring)
@@ -309,9 +332,11 @@ void
 CutThroughSimulator::step()
 {
     ++clock;
+    injectStructuralFaults();
     processDecisions();
     arbitrateBuffered();
     injectSources();
+    runAudit();
 }
 
 CutThroughResult
@@ -375,6 +400,100 @@ CutThroughSimulator::debugValidate() const
         for (const auto &state : stage)
             for (const auto &buffer : state.buffers)
                 buffer->debugValidate();
+}
+
+bool
+CutThroughSimulator::flightLost(Flight &flight, std::size_t comp)
+{
+    const bool dropped =
+        injector.dropOnLink(comp, clock, flight.packet);
+    if (!dropped) {
+        injector.corruptOnLink(comp, clock, flight.packet);
+        if (!injector.enabled() || headerIntact(flight.packet))
+            return false;
+        injector.recordDetectedCorruption();
+    }
+    ++faultDropped;
+    // A blocking-protocol flight holds a slot at its destination
+    // buffer; give it back or the space is lost forever.
+    if (flight.reserved && !flight.toSink) {
+        switches[flight.stage][flight.at.switchIndex]
+            .buffers[flight.at.port]
+            ->cancelReservation(flight.packet.outPort,
+                                flight.packet.lengthSlots);
+    }
+    return true;
+}
+
+void
+CutThroughSimulator::injectStructuralFaults()
+{
+    if (!injector.enabled())
+        return;
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            const std::size_t comp =
+                static_cast<std::size_t>(stage) *
+                    topo.switchesPerStage() +
+                idx;
+            if (!injector.rollSlotLeak(comp, clock))
+                continue;
+            const PortId input =
+                static_cast<PortId>(clock % cfg.radix);
+            if (switches[stage][idx].buffers[input]->faultLeakSlot()) {
+                injector.recordFault(
+                    FaultKind::SlotLeak, comp, clock,
+                    detail::concat("slot lost in input ", input,
+                                   " buffer"));
+            }
+        }
+    }
+}
+
+void
+CutThroughSimulator::runAudit()
+{
+    if (!auditor.due(clock))
+        return;
+    auditor.beginAudit();
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            const std::size_t comp =
+                static_cast<std::size_t>(stage) *
+                    topo.switchesPerStage() +
+                idx;
+            const SwitchState &state = switches[stage][idx];
+            for (PortId input = 0; input < cfg.radix; ++input) {
+                auditor.record(
+                    clock,
+                    detail::concat(injector.componentName(comp),
+                                   ".in", input),
+                    state.buffers[input]->checkInvariants());
+            }
+        }
+    }
+    const std::uint64_t accounted =
+        delivered + discarded + faultDropped + packetsEverywhere();
+    if (generated != accounted) {
+        auditor.record(
+            clock, "network",
+            {detail::concat("packet accounting broken: generated ",
+                            generated, " != delivered ", delivered,
+                            " + discarded ", discarded,
+                            " + fault-dropped ", faultDropped,
+                            " + elsewhere ", packetsEverywhere())});
+    }
+}
+
+FaultReport
+CutThroughSimulator::faultReport() const
+{
+    FaultReport report;
+    injector.fillReport(report);
+    auditor.fillReport(report);
+    return report;
 }
 
 } // namespace damq

@@ -41,6 +41,8 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_auditor.hh"
 #include "network/network_sim.hh"
 #include "network/omega_topology.hh"
 #include "network/traffic.hh"
@@ -83,6 +85,14 @@ struct CutThroughConfig
     std::uint64_t seed = 1;
     Cycle warmupClocks = 20000;
     Cycle measureClocks = 100000;
+
+    /** Fault plan; link faults hit whole packet flights here.  The
+     *  episode-style faults (arbiter-stuck, credit-delay) are
+     *  modeled only by the synchronized simulators. */
+    FaultConfig faults;
+
+    /** Invariant audit period in clocks (0 = off). */
+    Cycle auditEveryClocks = 0;
 };
 
 /** Results of one run. */
@@ -123,12 +133,16 @@ class CutThroughSimulator
     std::uint64_t lifetimeGenerated() const { return generated; }
     std::uint64_t lifetimeDelivered() const { return delivered; }
     std::uint64_t lifetimeDiscarded() const { return discarded; }
+    std::uint64_t lifetimeFaultDropped() const { return faultDropped; }
 
     /** Packets anywhere in the system (tests). */
     std::uint64_t packetsEverywhere() const;
 
     /** Validate buffer invariants (tests). */
     void debugValidate() const;
+
+    /** Injection/detection/audit summary so far. */
+    FaultReport faultReport() const;
 
   private:
     /** A packet whose head is on a wire toward a switch or sink. */
@@ -154,9 +168,19 @@ class CutThroughSimulator
         /** Packets fully buffered and waiting (inside buffers). */
     };
 
+    void injectStructuralFaults();
     void processDecisions();
     void arbitrateBuffered();
     void injectSources();
+    void runAudit();
+
+    /**
+     * Link faults for one in-flight packet: returns true when the
+     * flight must be removed (dropped, or corrupted and caught by
+     * the receiver's checksum), cancelling any slot reservation it
+     * holds at its destination.
+     */
+    bool flightLost(Flight &flight, std::size_t comp);
 
     /** Start a wire transfer out of (stage, sw) through @p out. */
     void launch(std::uint32_t stage, std::uint32_t sw, PortId out,
@@ -177,11 +201,17 @@ class CutThroughSimulator
     std::vector<Flight> flights;         ///< heads in the air
     std::vector<Flight> storing;         ///< being written to a buffer
 
+    FaultInjector injector;
+    InvariantAuditor auditor;
+    std::vector<std::uint32_t> nextSeq;
+    std::size_t sinkComponent = 0; ///< pseudo-component for sink links
+
     Cycle clock = 0;
     PacketId nextPacketId = 0;
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
     std::uint64_t discarded = 0;
+    std::uint64_t faultDropped = 0;
     std::uint64_t hopsCut = 0;
     std::uint64_t hopsBuffered = 0;
 

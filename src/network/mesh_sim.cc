@@ -1,12 +1,18 @@
 #include "network/mesh_sim.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace damq {
 
 MeshSimulator::MeshSimulator(const MeshConfig &config)
     : cfg(config), rng(config.seed),
-      sourceQueues(config.width * config.height)
+      sourceQueues(config.width * config.height),
+      injector(config.faults),
+      auditor(config.auditEveryCycles),
+      watchdog(config.watchdogStallCycles),
+      nextSeq(config.width * config.height, 0)
 {
     damq_assert(cfg.width >= 2 && cfg.height >= 2,
                 "mesh needs at least 2x2 nodes");
@@ -27,7 +33,14 @@ MeshSimulator::MeshSimulator(const MeshConfig &config)
         nodes.push_back(std::make_unique<SwitchModel>(
             kMeshPorts, cfg.bufferType, cfg.slotsPerBuffer,
             cfg.arbitration, cfg.staleThreshold));
+        const std::size_t comp =
+            injector.addComponent(detail::concat("node", i));
+        const std::size_t wcomp =
+            watchdog.addComponent(detail::concat("node", i));
+        damq_assert(comp == i && wcomp == i,
+                    "component registration order broken");
     }
+    prevTransmitted.assign(n, 0);
 }
 
 PortId
@@ -76,8 +89,11 @@ void
 MeshSimulator::step()
 {
     ++currentCycle;
+    injectStructuralFaults();
     moveTrafficForward();
     generateAndInject();
+    runAudit();
+    watchdogCheck();
 }
 
 void
@@ -91,21 +107,52 @@ MeshSimulator::moveTrafficForward()
     std::vector<Move> moves;
 
     for (NodeId node = 0; node < numNodes(); ++node) {
+        if (injector.arbiterStuck(node, currentCycle))
+            continue;
         auto can_send = [&](PortId, PortId out, const Packet &pkt) {
             if (out == kLocal)
                 return true; // the host always consumes
             if (cfg.protocol == FlowControl::Discarding)
                 return true;
             const auto [next, in_port] = neighbor(node, out);
+            if (injector.creditDelayed(next, currentCycle))
+                return false;
             const PortId next_out = routeFrom(next, pkt.dest);
             return nodes[next]->canAccept(in_port, next_out,
                                           pkt.lengthSlots);
         };
-        for (Packet &pkt : nodes[node]->transmit(can_send))
+        std::vector<Packet> sent;
+        if (auditor.due(currentCycle)) {
+            const GrantList grants = nodes[node]->arbitrate(can_send);
+            auditor.record(
+                currentCycle, injector.componentName(node),
+                auditGrantLegality(
+                    grants, kMeshPorts, kMeshPorts,
+                    nodes[node]->buffer(0).maxReadsPerCycle()));
+            sent = nodes[node]->popGranted(grants);
+        } else {
+            sent = nodes[node]->transmit(can_send);
+        }
+        for (Packet &pkt : sent)
             moves.push_back(Move{node, pkt});
     }
 
     for (Move &move : moves) {
+        // Link faults happen between switches (and on the local
+        // delivery path); the receiver verifies the header seal
+        // before routing, so corruption can never steer a packet
+        // off the mesh.
+        if (injector.dropOnLink(move.node, currentCycle,
+                                move.packet)) {
+            ++counters.faultDropped;
+            continue;
+        }
+        injector.corruptOnLink(move.node, currentCycle, move.packet);
+        if (injector.enabled() && !headerIntact(move.packet)) {
+            injector.recordDetectedCorruption();
+            ++counters.faultDropped;
+            continue;
+        }
         if (move.packet.outPort == kLocal) {
             deliver(move.packet, move.node);
             continue;
@@ -128,13 +175,15 @@ void
 MeshSimulator::generateAndInject()
 {
     for (NodeId src = 0; src < numNodes(); ++src) {
-        if (rng.bernoulli(cfg.offeredLoad)) {
+        if (!draining && rng.bernoulli(cfg.offeredLoad)) {
             Packet pkt;
             pkt.id = nextPacketId++;
             pkt.source = src;
             pkt.dest = pattern->destinationFor(src, rng);
             pkt.lengthSlots = 1;
             pkt.generatedAt = currentCycle;
+            pkt.seq = nextSeq[src]++;
+            sealHeader(pkt);
             ++counters.generated;
             if (cfg.protocol == FlowControl::Blocking) {
                 sourceQueues[src].push_back(pkt);
@@ -233,6 +282,117 @@ MeshSimulator::debugValidate() const
 {
     for (const auto &node : nodes)
         node->debugValidate();
+}
+
+void
+MeshSimulator::injectStructuralFaults()
+{
+    if (!injector.enabled())
+        return;
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        if (!injector.rollSlotLeak(node, currentCycle))
+            continue;
+        const PortId input =
+            static_cast<PortId>(currentCycle % kMeshPorts);
+        if (nodes[node]->faultLeakSlot(input)) {
+            injector.recordFault(
+                FaultKind::SlotLeak, node, currentCycle,
+                detail::concat("slot lost via input ", input));
+        }
+    }
+}
+
+void
+MeshSimulator::runAudit()
+{
+    if (!auditor.due(currentCycle))
+        return;
+    auditor.beginAudit();
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        auditor.record(currentCycle, injector.componentName(node),
+                       nodes[node]->checkInvariants());
+    }
+    const std::uint64_t accounted =
+        counters.delivered + counters.discardedInternal +
+        counters.faultDropped + packetsInFlight();
+    if (counters.injected != accounted) {
+        auditor.record(
+            currentCycle, "mesh",
+            {detail::concat(
+                "packet accounting broken: injected ",
+                counters.injected, " != delivered ",
+                counters.delivered, " + discarded ",
+                counters.discardedInternal, " + fault-dropped ",
+                counters.faultDropped, " + in-flight ",
+                packetsInFlight())});
+    }
+}
+
+void
+MeshSimulator::watchdogCheck()
+{
+    if (!watchdog.enabled())
+        return;
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const std::uint64_t transmitted =
+            nodes[node]->unitStats().transmitted;
+        const bool moved = transmitted != prevTransmitted[node];
+        prevTransmitted[node] = transmitted;
+        watchdog.observe(node, currentCycle,
+                         nodes[node]->totalPackets() > 0, moved);
+    }
+    if (watchdog.check(currentCycle,
+                       [this] { return snapshotText(); })) {
+        damq_warn("deadlock watchdog fired:\n",
+                  watchdog.diagnostic());
+    }
+}
+
+bool
+MeshSimulator::drain(Cycle max_cycles)
+{
+    draining = true;
+    for (Cycle c = 0; c < max_cycles; ++c) {
+        if (packetsInFlight() == 0 && packetsAtSources() == 0)
+            break;
+        step();
+    }
+    draining = false;
+    return packetsInFlight() == 0 && packetsAtSources() == 0;
+}
+
+FaultReport
+MeshSimulator::faultReport() const
+{
+    FaultReport report;
+    injector.fillReport(report);
+    auditor.fillReport(report);
+    watchdog.fillReport(report);
+    return report;
+}
+
+std::string
+MeshSimulator::snapshotText() const
+{
+    std::ostringstream out;
+    out << "    snapshot at cycle " << currentCycle << " (seed "
+        << cfg.seed << ", fault seed " << cfg.faults.seed << ")\n";
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const SwitchModel &sw = *nodes[node];
+        if (sw.totalPackets() == 0)
+            continue; // keep the snapshot readable on big meshes
+        out << "    node" << node << ": " << sw.totalPackets()
+            << " packets in " << sw.totalUsedSlots() << " slots";
+        for (PortId in = 0; in < sw.numPorts(); ++in) {
+            for (PortId o = 0; o < sw.numPorts(); ++o) {
+                if (const Packet *head = sw.buffer(in).peek(o))
+                    out << " in" << in << "->out" << o
+                        << " head dest " << head->dest;
+            }
+        }
+        out << "\n";
+    }
+    return out.str();
 }
 
 } // namespace damq

@@ -30,6 +30,9 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_auditor.hh"
+#include "fault/watchdog.hh"
 #include "network/network_sim.hh"
 #include "network/traffic.hh"
 #include "stats/running_stats.hh"
@@ -64,6 +67,15 @@ struct MeshConfig
     std::uint64_t seed = 1;
     Cycle warmupCycles = 1000;
     Cycle measureCycles = 10000;
+
+    /** Fault plan (all rates zero = bit-identical to no faults). */
+    FaultConfig faults;
+
+    /** Invariant audit period in cycles (0 = off). */
+    Cycle auditEveryCycles = 0;
+
+    /** Watchdog stall threshold in cycles (0 = off). */
+    Cycle watchdogStallCycles = 0;
 };
 
 /** Results of one mesh run. */
@@ -112,6 +124,15 @@ class MeshSimulator
     /** Validate all buffers. */
     void debugValidate() const;
 
+    /** Stop generating and step until empty (or give up). */
+    bool drain(Cycle max_cycles);
+
+    /** Injection/detection/audit/watchdog summary so far. */
+    FaultReport faultReport() const;
+
+    /** Deterministic per-node occupancy snapshot. */
+    std::string snapshotText() const;
+
     /** XY-routing decision: output port at @p node for @p dest. */
     PortId routeFrom(NodeId node, NodeId dest) const;
 
@@ -119,10 +140,13 @@ class MeshSimulator
     std::pair<NodeId, PortId> neighbor(NodeId node, PortId out) const;
 
   private:
+    void injectStructuralFaults();
     void moveTrafficForward();
     void generateAndInject();
     bool tryInject(NodeId src, Packet pkt);
     void deliver(const Packet &pkt, NodeId node);
+    void runAudit();
+    void watchdogCheck();
 
     MeshConfig cfg;
     Random rng;
@@ -130,10 +154,17 @@ class MeshSimulator
     std::vector<std::unique_ptr<SwitchModel>> nodes;
     std::vector<std::deque<Packet>> sourceQueues;
 
+    FaultInjector injector;
+    InvariantAuditor auditor;
+    DeadlockWatchdog watchdog;
+    std::vector<std::uint64_t> prevTransmitted;
+    std::vector<std::uint32_t> nextSeq;
+
     Cycle currentCycle = 0;
     PacketId nextPacketId = 0;
     NetworkCounters counters;
 
+    bool draining = false;
     bool measuring = false;
     RunningStats latencyCycles;
     RunningStats hopSamples;

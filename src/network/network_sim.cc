@@ -1,10 +1,12 @@
 #include "network/network_sim.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/string_util.hh"
+#include "switchsim/switch_model.hh"
 
 namespace damq {
 
@@ -40,6 +42,7 @@ NetworkCounters::operator-(const NetworkCounters &rhs) const
     out.discardedAtEntry = discardedAtEntry - rhs.discardedAtEntry;
     out.discardedInternal = discardedInternal - rhs.discardedInternal;
     out.misrouted = misrouted - rhs.misrouted;
+    out.faultDropped = faultDropped - rhs.faultDropped;
     return out;
 }
 
@@ -47,6 +50,10 @@ NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
     : cfg(config), topo(config.numPorts, config.radix),
       rng(config.seed),
       sourceQueues(config.numPorts),
+      injector(config.faults),
+      auditor(config.auditEveryCycles),
+      watchdog(config.watchdogStallCycles),
+      nextSeq(config.numPorts, 0),
       perSourceLatency(config.numPorts),
       sourceOn(config.numPorts, false)
 {
@@ -73,8 +80,22 @@ NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
                 cfg.placement, cfg.radix, cfg.bufferType,
                 cfg.slotsPerBuffer, cfg.arbitration,
                 cfg.staleThreshold));
+            // Registration order defines both the fault-plan
+            // component handles and the watchdog's stable snapshot
+            // order.
+            const std::size_t comp = injector.addComponent(
+                detail::concat("stage", stage, ".sw", i));
+            const std::size_t wcomp = watchdog.addComponent(
+                detail::concat("stage", stage, ".sw", i));
+            damq_assert(comp == componentOf(stage, i) &&
+                            wcomp == comp,
+                        "component registration order broken");
         }
     }
+    prevTransmitted.assign(
+        static_cast<std::size_t>(topo.numStages()) *
+            topo.switchesPerStage(),
+        0);
 }
 
 SwitchUnit &
@@ -89,8 +110,11 @@ void
 NetworkSimulator::step()
 {
     ++currentCycle;
+    injectStructuralFaults();
     moveTrafficForward();
     generateAndInject();
+    runAudit();
+    watchdogCheck();
 
     if (measuring) {
         std::uint64_t queued = 0;
@@ -155,6 +179,10 @@ NetworkSimulator::moveTrafficForward()
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
         for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
              ++idx) {
+            // A stuck arbiter issues no grants at all this cycle.
+            if (injector.arbiterStuck(componentOf(stage, idx),
+                                      currentCycle))
+                continue;
             auto can_send = [&, stage](PortId, PortId out,
                                        const Packet &pkt) {
                 if (cfg.protocol == FlowControl::Discarding)
@@ -163,6 +191,13 @@ NetworkSimulator::moveTrafficForward()
                     return true; // sinks always accept
                 const StageCoord next =
                     topo.nextStageInput(stage, idx, out);
+                // A delayed credit makes the downstream switch
+                // report "full" even when space exists: transfers
+                // stall but no packet is lost.
+                if (injector.creditDelayed(
+                        componentOf(stage + 1, next.switchIndex),
+                        currentCycle))
+                    return false;
                 const PortId next_out =
                     topo.outputPortFor(pkt.dest, stage + 1);
                 std::uint32_t held = 0;
@@ -175,8 +210,26 @@ NetworkSimulator::moveTrafficForward()
                 return switches[stage + 1][next.switchIndex]->canAccept(
                     next.port, next_out, pkt.lengthSlots + held);
             };
-            for (Packet &pkt :
-                 switches[stage][idx]->transmit(can_send)) {
+            // When a grant-legality audit is due, split the
+            // input-buffered switch's transmit into arbitrate +
+            // pop so the schedule itself can be checked.
+            std::vector<Packet> sent;
+            if (cfg.placement == BufferPlacement::Input &&
+                auditor.due(currentCycle)) {
+                auto *sm = static_cast<SwitchModel *>(
+                    switches[stage][idx].get());
+                const GrantList grants = sm->arbitrate(can_send);
+                auditor.record(
+                    currentCycle,
+                    injector.componentName(componentOf(stage, idx)),
+                    auditGrantLegality(
+                        grants, cfg.radix, cfg.radix,
+                        sm->buffer(0).maxReadsPerCycle()));
+                sent = sm->popGranted(grants);
+            } else {
+                sent = switches[stage][idx]->transmit(can_send);
+            }
+            for (Packet &pkt : sent) {
                 if (shared_structures && stage != last_stage) {
                     const StageCoord next = topo.nextStageInput(
                         stage, idx, pkt.outPort);
@@ -193,6 +246,23 @@ NetworkSimulator::moveTrafficForward()
 
     for (Move &move : moves) {
         const PortId left_through = move.packet.outPort;
+        const std::size_t from =
+            componentOf(move.stage, move.switchIndex);
+        // Link faults: the packet can vanish or arrive with a
+        // flipped header bit.  The receiving side verifies the
+        // sealed checksum before using any header field, so a
+        // corrupted packet is detected and discarded — never
+        // misrouted or silently delivered.
+        if (injector.dropOnLink(from, currentCycle, move.packet)) {
+            ++counters.faultDropped;
+            continue;
+        }
+        injector.corruptOnLink(from, currentCycle, move.packet);
+        if (injector.enabled() && !headerIntact(move.packet)) {
+            injector.recordDetectedCorruption();
+            ++counters.faultDropped;
+            continue;
+        }
         if (move.stage == last_stage) {
             deliver(move.packet,
                     topo.sinkFor(move.switchIndex, left_through));
@@ -219,6 +289,15 @@ void
 NetworkSimulator::generateAndInject()
 {
     for (NodeId src = 0; src < cfg.numPorts; ++src) {
+        if (draining) {
+            // Drain mode: no new traffic, but blocked source
+            // queues keep retrying below.
+            if (cfg.protocol == FlowControl::Blocking &&
+                !sourceQueues[src].empty() &&
+                tryInject(src, sourceQueues[src].front()))
+                sourceQueues[src].pop_front();
+            continue;
+        }
         double gen_prob = cfg.offeredLoad;
         if (cfg.burstiness > 1.0) {
             // Two-state on/off source: on a fraction 1/B of the
@@ -244,6 +323,8 @@ NetworkSimulator::generateAndInject()
             pkt.dest = pattern->destinationFor(src, rng);
             pkt.lengthSlots = 1;
             pkt.generatedAt = currentCycle;
+            pkt.seq = nextSeq[src]++;
+            sealHeader(pkt);
             ++counters.generated;
 
             if (cfg.protocol == FlowControl::Blocking) {
@@ -379,6 +460,142 @@ NetworkSimulator::debugValidate() const
     for (const auto &stage : switches)
         for (const auto &sw : stage)
             sw->debugValidate();
+}
+
+void
+NetworkSimulator::injectStructuralFaults()
+{
+    if (!injector.enabled())
+        return;
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            const std::size_t comp = componentOf(stage, idx);
+            if (!injector.rollSlotLeak(comp, currentCycle))
+                continue;
+            // Deterministic target without an extra draw.
+            const PortId input =
+                static_cast<PortId>(currentCycle % cfg.radix);
+            if (switches[stage][idx]->faultLeakSlot(input)) {
+                injector.recordFault(
+                    FaultKind::SlotLeak, comp, currentCycle,
+                    detail::concat("slot lost via input ", input));
+            }
+        }
+    }
+}
+
+void
+NetworkSimulator::runAudit()
+{
+    if (!auditor.due(currentCycle))
+        return;
+    auditor.beginAudit();
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            auditor.record(
+                currentCycle,
+                injector.componentName(componentOf(stage, idx)),
+                switches[stage][idx]->checkInvariants());
+        }
+    }
+    // End-to-end conservation: every packet that entered stage 0
+    // must be delivered, discarded, removed by a fault, or still
+    // buffered — nothing may vanish unaccounted.
+    const std::uint64_t accounted =
+        counters.delivered + counters.discardedInternal +
+        counters.faultDropped + packetsInFlight();
+    if (counters.injected != accounted) {
+        auditor.record(
+            currentCycle, "network",
+            {detail::concat(
+                "packet accounting broken: injected ",
+                counters.injected, " != delivered ",
+                counters.delivered, " + discarded ",
+                counters.discardedInternal, " + fault-dropped ",
+                counters.faultDropped, " + in-flight ",
+                packetsInFlight())});
+    }
+}
+
+void
+NetworkSimulator::watchdogCheck()
+{
+    if (!watchdog.enabled())
+        return;
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            const std::size_t comp = componentOf(stage, idx);
+            const std::uint64_t transmitted =
+                switches[stage][idx]->unitStats().transmitted;
+            const bool moved = transmitted != prevTransmitted[comp];
+            prevTransmitted[comp] = transmitted;
+            watchdog.observe(comp, currentCycle,
+                             switches[stage][idx]->totalPackets() > 0,
+                             moved);
+        }
+    }
+    if (watchdog.check(currentCycle,
+                       [this] { return snapshotText(); })) {
+        damq_warn("deadlock watchdog fired:\n",
+                  watchdog.diagnostic());
+    }
+}
+
+bool
+NetworkSimulator::drain(Cycle max_cycles)
+{
+    draining = true;
+    for (Cycle c = 0; c < max_cycles; ++c) {
+        if (packetsInFlight() == 0 && packetsAtSources() == 0)
+            break;
+        step();
+    }
+    draining = false;
+    return packetsInFlight() == 0 && packetsAtSources() == 0;
+}
+
+FaultReport
+NetworkSimulator::faultReport() const
+{
+    FaultReport report;
+    injector.fillReport(report);
+    auditor.fillReport(report);
+    watchdog.fillReport(report);
+    return report;
+}
+
+std::string
+NetworkSimulator::snapshotText() const
+{
+    std::ostringstream out;
+    out << "    snapshot at cycle " << currentCycle << " (seed "
+        << cfg.seed << ", fault seed " << cfg.faults.seed << ")\n";
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            const SwitchUnit &sw = *switches[stage][idx];
+            out << "    stage" << stage << ".sw" << idx << ": "
+                << sw.totalPackets() << " packets in "
+                << sw.totalUsedSlots() << " slots";
+            if (cfg.placement == BufferPlacement::Input) {
+                const auto *sm =
+                    static_cast<const SwitchModel *>(&sw);
+                for (PortId in = 0; in < sm->numPorts(); ++in) {
+                    for (PortId o = 0; o < sm->numPorts(); ++o) {
+                        if (const Packet *head =
+                                sm->buffer(in).peek(o))
+                            out << " in" << in << "->out" << o
+                                << " head dest " << head->dest;
+                    }
+                }
+            }
+            out << "\n";
+        }
+    }
+    return out.str();
 }
 
 } // namespace damq

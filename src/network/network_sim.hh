@@ -38,6 +38,9 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_auditor.hh"
+#include "fault/watchdog.hh"
 #include "network/omega_topology.hh"
 #include "network/traffic.hh"
 #include "queueing/buffer_model.hh"
@@ -90,6 +93,21 @@ struct NetworkConfig
     std::uint64_t seed = 1;
     Cycle warmupCycles = 1000;
     Cycle measureCycles = 10000;
+
+    /**
+     * Fault plan (all rates default to zero).  The injector owns a
+     * PRNG separate from the traffic generator's, so a run with all
+     * rates zero is bit-identical to one without the fault
+     * subsystem.
+     */
+    FaultConfig faults;
+
+    /** Run the invariant audit every this many cycles (0 = off). */
+    Cycle auditEveryCycles = 0;
+
+    /** Watchdog threshold: cycles of buffered-but-motionless
+     *  traffic before it fires (0 = off). */
+    Cycle watchdogStallCycles = 0;
 };
 
 /** Monotone event counters (lifetime totals). */
@@ -101,6 +119,8 @@ struct NetworkCounters
     std::uint64_t discardedAtEntry = 0; ///< dropped entering stage 0
     std::uint64_t discardedInternal = 0;///< dropped at a later stage
     std::uint64_t misrouted = 0;        ///< delivered to wrong sink (bug!)
+    std::uint64_t faultDropped = 0;     ///< removed by injected faults
+                                        ///  (drops + detected corruptions)
 
     /** Element-wise difference (for measurement windows). */
     NetworkCounters operator-(const NetworkCounters &rhs) const;
@@ -186,12 +206,48 @@ class NetworkSimulator
     /** Validate every buffer's invariants (tests). */
     void debugValidate() const;
 
+    /**
+     * Stop generating and step until the network and source queues
+     * are empty, or @p max_cycles pass.  Returns true when fully
+     * drained — at which point the blocking protocol must satisfy
+     * injected == delivered + faultDropped exactly.
+     */
+    bool drain(Cycle max_cycles);
+
+    /** Injection/detection/audit/watchdog summary so far. */
+    FaultReport faultReport() const;
+
+    /**
+     * Deterministic diagnostic snapshot: per-switch occupancy and
+     * head-of-line destinations in stable (stage, index) order,
+     * with both seeds echoed.
+     */
+    std::string snapshotText() const;
+
   private:
+    /** Per-cycle structural faults (slot leaks). */
+    void injectStructuralFaults();
+
     /** Steps 1-3: arbitrate, pop, deliver. */
     void moveTrafficForward();
 
     /** Step 4: generate and inject at the sources. */
     void generateAndInject();
+
+    /** Periodic invariant + accounting audit. */
+    void runAudit();
+
+    /** Per-cycle watchdog bookkeeping and trip check. */
+    void watchdogCheck();
+
+    /** Injector/watchdog handle of switch (stage, index). */
+    std::size_t componentOf(std::uint32_t stage,
+                            std::uint32_t index) const
+    {
+        return static_cast<std::size_t>(stage) *
+                   topo.switchesPerStage() +
+               index;
+    }
 
     /** Offer @p pkt to stage 0; returns true if accepted. */
     bool tryInject(NodeId src, Packet pkt);
@@ -210,10 +266,17 @@ class NetworkSimulator
     /** Per-source backlog (used by the blocking protocol only). */
     std::vector<std::deque<Packet>> sourceQueues;
 
+    FaultInjector injector;
+    InvariantAuditor auditor;
+    DeadlockWatchdog watchdog;
+    std::vector<std::uint64_t> prevTransmitted; ///< per component
+    std::vector<std::uint32_t> nextSeq;         ///< per source
+
     Cycle currentCycle = 0;
     PacketId nextPacketId = 0;
     NetworkCounters counters;
 
+    bool draining = false;
     bool measuring = false;
     RunningStats latencyClocks;
     RunningStats sourceQueueSamples;

@@ -20,8 +20,8 @@ bufferTypeName(BufferType type)
     damq_panic("unknown BufferType ", static_cast<int>(type));
 }
 
-BufferType
-bufferTypeFromString(const std::string &name)
+std::optional<BufferType>
+tryBufferTypeFromString(const std::string &name)
 {
     const std::string lower = toLower(name);
     if (lower == "fifo")
@@ -34,6 +34,14 @@ bufferTypeFromString(const std::string &name)
         return BufferType::Damq;
     if (lower == "damqr")
         return BufferType::DamqR;
+    return std::nullopt;
+}
+
+BufferType
+bufferTypeFromString(const std::string &name)
+{
+    if (const auto type = tryBufferTypeFromString(name))
+        return *type;
     damq_fatal("unknown buffer type '", name,
                "' (expected fifo|samq|safc|damq|damqr)");
 }
@@ -83,6 +91,15 @@ BufferModel::clear()
 {
     std::fill(reservedPerOut.begin(), reservedPerOut.end(), 0);
     reservedTotal = 0;
+}
+
+void
+BufferModel::debugValidate() const
+{
+    const std::vector<std::string> violations = checkInvariants();
+    if (!violations.empty())
+        damq_panic(name(), " invariant violated: ", violations.front(),
+                   violations.size() > 1 ? " (and more)" : "");
 }
 
 } // namespace damq

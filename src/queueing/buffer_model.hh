@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,14 @@ enum class BufferType
 
 /** Human-readable name ("FIFO", "SAMQ", ...). */
 const char *bufferTypeName(BufferType type);
+
+/**
+ * Parse a case-insensitive buffer-type name.  Returns std::nullopt
+ * on an unknown name so command-line front-ends can print their own
+ * usage text and exit cleanly.
+ */
+std::optional<BufferType> tryBufferTypeFromString(
+    const std::string &name);
 
 /** Parse a case-insensitive buffer-type name; fatal on bad input. */
 BufferType bufferTypeFromString(const std::string &name);
@@ -145,10 +154,34 @@ class BufferModel
     virtual void clear();
 
     /**
-     * Verify internal invariants (slot conservation, list sanity).
-     * Used by the test suite; panics on violation.
+     * Non-fatal invariant audit: verify slot conservation, list
+     * sanity, per-output FIFO structure, and counter consistency,
+     * returning one description per violation (empty when healthy).
+     * The fault subsystem's InvariantAuditor calls this every K
+     * cycles so deliberately corrupted state is *reported* instead
+     * of aborting the simulation.
      */
-    virtual void debugValidate() const {}
+    virtual std::vector<std::string> checkInvariants() const
+    {
+        return {};
+    }
+
+    /**
+     * Verify internal invariants (slot conservation, list sanity).
+     * Used by the test suite; panics on the first violation that
+     * checkInvariants() reports.
+     */
+    void debugValidate() const;
+
+    /**
+     * Fault hook: deliberately lose one storage slot, modeling a
+     * pointer register that latched garbage (DAMQ free-list slot
+     * abandoned) or a stuck occupancy counter (partitioned buffers
+     * gain a phantom slot).  Returns true if a slot was actually
+     * leaked; checkInvariants() must detect the damage afterwards.
+     * Organizations that cannot express the fault return false.
+     */
+    virtual bool faultLeakSlot() { return false; }
 
   protected:
     /** Reserved slots bound for @p out. */

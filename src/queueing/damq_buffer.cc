@@ -135,52 +135,120 @@ DamqBuffer::snapshotQueue(PortId out) const
     return result;
 }
 
-void
-DamqBuffer::debugValidate() const
+bool
+DamqBuffer::faultLeakSlot()
 {
+    if (freeList.slots == 0)
+        return false;
+    removeHead(freeList);
+    return true;
+}
+
+void
+DamqBuffer::testCorruptNextPointer(SlotId s, SlotId next)
+{
+    damq_assert(s < pool.size(),
+                "testCorruptNextPointer: slot out of range");
+    pool[s].next = next;
+}
+
+std::vector<std::string>
+DamqBuffer::checkInvariants() const
+{
+    std::vector<std::string> violations;
+    const auto report = [&violations](auto &&...parts) {
+        violations.push_back(detail::concat(parts...));
+    };
+
     std::vector<bool> seen(pool.size(), false);
 
-    auto walk = [&](const ListRegs &list, bool is_free) {
+    // Walk one list defensively: a corrupted pointer register must
+    // yield a report, never a crash or an endless loop.  Returns the
+    // number of packet heads encountered.
+    const auto walk = [&](const ListRegs &list, const std::string &label,
+                          bool is_free) {
         std::uint32_t slots = 0;
         std::uint32_t heads = 0;
+        std::uint32_t tail_of_packet = 0; ///< body slots still owed
         SlotId prev = kNullSlot;
         for (SlotId s = list.head; s != kNullSlot; s = pool[s].next) {
-            damq_assert(s < pool.size(), "pointer register out of range");
-            damq_assert(!seen[s], "slot ", s, " linked into two lists");
+            if (s >= pool.size()) {
+                report(label, ": pointer register out of range (slot ",
+                       s, ")");
+                return heads;
+            }
+            if (seen[s]) {
+                report(label, ": slot ", s, " linked into two lists");
+                return heads;
+            }
             seen[s] = true;
             ++slots;
             if (is_free) {
-                damq_assert(!pool[s].headOfPacket,
-                            "free slot still marked as a packet head");
+                if (pool[s].headOfPacket)
+                    report(label, ": free slot ", s,
+                           " still marked as a packet head");
             } else if (pool[s].headOfPacket) {
+                if (tail_of_packet != 0)
+                    report(label, ": packet slot chain truncated at "
+                           "slot ", s, " (", tail_of_packet,
+                           " body slots missing)");
+                if (pool[s].packet.outPort >= numOutputs())
+                    report(label, ": stored packet has bad output "
+                           "port ", pool[s].packet.outPort);
+                tail_of_packet = pool[s].packet.lengthSlots - 1;
                 ++heads;
+            } else {
+                // Body slot: must be owed to the preceding head —
+                // this is what keeps per-output FIFO order intact.
+                if (tail_of_packet == 0)
+                    report(label, ": slot ", s,
+                           " belongs to no packet (FIFO chain "
+                           "broken)");
+                else
+                    --tail_of_packet;
             }
             prev = s;
-            damq_assert(slots <= pool.size(),
-                        "cycle detected in slot list");
+            if (slots > pool.size()) {
+                report(label, ": cycle detected in slot list");
+                return heads;
+            }
         }
-        damq_assert(prev == list.tail,
-                    "tail register does not point at the last slot");
-        damq_assert(slots == list.slots, "list slot counter drifted");
+        if (tail_of_packet != 0)
+            report(label, ": last packet is missing ", tail_of_packet,
+                   " of its body slots");
+        if (prev != list.tail)
+            report(label,
+                   ": tail register does not point at the last slot");
+        if (slots != list.slots)
+            report(label, ": list slot counter drifted (walked ", slots,
+                   ", register holds ", list.slots, ")");
         return heads;
     };
 
-    walk(freeList, true);
+    walk(freeList, "free list", true);
     std::uint32_t total_packets = 0;
     std::uint32_t total_used = 0;
     for (PortId out = 0; out < numOutputs(); ++out) {
-        const std::uint32_t heads = walk(queues[out], false);
-        damq_assert(heads == queues[out].packets,
-                    "queue packet counter drifted");
+        const std::string label = detail::concat("queue ", out);
+        const std::uint32_t heads = walk(queues[out], label, false);
+        if (heads != queues[out].packets)
+            report(label, ": packet counter drifted (walked ", heads,
+                   ", register holds ", queues[out].packets, ")");
         total_packets += heads;
         total_used += queues[out].slots;
     }
-    for (std::size_t s = 0; s < pool.size(); ++s)
-        damq_assert(seen[s], "slot ", s, " leaked from every list");
-    damq_assert(total_packets == packetCount,
-                "buffer packet counter drifted");
-    damq_assert(total_used + freeList.slots == capacitySlots(),
-                "slot conservation violated");
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+        if (!seen[s])
+            report("slot ", s, " leaked from every list");
+    }
+    if (total_packets != packetCount)
+        report("buffer packet counter drifted (", total_packets,
+               " walked, ", packetCount, " counted)");
+    if (total_used + freeList.slots != capacitySlots())
+        report("slot conservation violated (", total_used, " used + ",
+               freeList.slots, " free != ", capacitySlots(),
+               " capacity)");
+    return violations;
 }
 
 } // namespace damq

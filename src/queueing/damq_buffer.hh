@@ -55,7 +55,23 @@ class DamqBuffer final : public BufferModel
     BufferType type() const override { return BufferType::Damq; }
 
     void clear() override;
-    void debugValidate() const override;
+    std::vector<std::string> checkInvariants() const override;
+
+    /**
+     * Fault hook: detach the head free slot and abandon it, exactly
+     * as if its pointer register latched garbage — the slot is then
+     * linked into no list and checkInvariants() reports it as
+     * leaked.  Returns false when the free list is empty.
+     */
+    bool faultLeakSlot() override;
+
+    /**
+     * Test-only hook: overwrite slot @p s's pointer register with
+     * @p next, corrupting the linked structure (double-ownership,
+     * cycles, dangling tails).  Exists so the invariant tests can
+     * prove checkInvariants() detects each corruption class.
+     */
+    void testCorruptNextPointer(SlotId s, SlotId next);
 
     /** Packets queued for output @p out, oldest first (testing aid). */
     std::vector<Packet> snapshotQueue(PortId out) const;

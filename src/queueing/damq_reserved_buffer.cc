@@ -42,4 +42,23 @@ DamqReservedBuffer::clear()
     inner.clear();
 }
 
+std::vector<std::string>
+DamqReservedBuffer::checkInvariants() const
+{
+    std::vector<std::string> violations = inner.checkInvariants();
+
+    std::uint32_t empty_queues = 0;
+    for (PortId out = 0; out < numOutputs(); ++out) {
+        if (inner.queueLength(out) == 0)
+            ++empty_queues;
+    }
+    if (inner.freeSlotCount() < empty_queues) {
+        violations.push_back(detail::concat(
+            "reserved-slot guarantee violated: ", empty_queues,
+            " empty queues but only ", inner.freeSlotCount(),
+            " free slots"));
+    }
+    return violations;
+}
+
 } // namespace damq

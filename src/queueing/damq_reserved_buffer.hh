@@ -62,7 +62,16 @@ class DamqReservedBuffer final : public BufferModel
     BufferType type() const override { return BufferType::DamqR; }
 
     void clear() override;
-    void debugValidate() const override { inner.debugValidate(); }
+
+    /**
+     * Inner DAMQ structural checks plus this organization's extra
+     * guarantee: every currently-empty output queue must still be
+     * able to claim a free slot, so hot-spot traffic can never
+     * squeeze a destination out entirely.
+     */
+    std::vector<std::string> checkInvariants() const override;
+
+    bool faultLeakSlot() override { return inner.faultLeakSlot(); }
 
   private:
     DamqBuffer inner;

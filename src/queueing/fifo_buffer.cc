@@ -66,19 +66,38 @@ FifoBuffer::clear()
     used = 0;
 }
 
-void
-FifoBuffer::debugValidate() const
+std::vector<std::string>
+FifoBuffer::checkInvariants() const
 {
+    std::vector<std::string> violations;
     std::uint32_t slots = 0;
     for (const auto &pkt : queue) {
-        damq_assert(pkt.valid(), "invalid packet stored in FIFO");
-        damq_assert(pkt.outPort < numOutputs(),
-                    "stored packet has bad output port");
+        if (!pkt.valid())
+            violations.push_back(detail::concat(
+                "invalid packet ", pkt.id, " stored in FIFO"));
+        if (pkt.outPort >= numOutputs())
+            violations.push_back(detail::concat(
+                "stored packet has bad output port ", pkt.outPort));
         slots += pkt.lengthSlots;
     }
-    damq_assert(slots == used, "FIFO slot accounting drifted");
-    damq_assert(used + reservedSlotsTotal() <= capacitySlots(),
-                "FIFO over capacity");
+    if (slots != used)
+        violations.push_back(detail::concat(
+            "FIFO slot accounting drifted (", slots, " stored, ",
+            used, " counted)"));
+    if (used + reservedSlotsTotal() > capacitySlots())
+        violations.push_back(detail::concat(
+            "FIFO over capacity (", used, " used + ",
+            reservedSlotsTotal(), " reserved > ", capacitySlots(), ")"));
+    return violations;
+}
+
+bool
+FifoBuffer::faultLeakSlot()
+{
+    if (used >= capacitySlots())
+        return false;
+    ++used;
+    return true;
 }
 
 } // namespace damq

@@ -40,7 +40,14 @@ class FifoBuffer final : public BufferModel
     BufferType type() const override { return BufferType::Fifo; }
 
     void clear() override;
-    void debugValidate() const override;
+    std::vector<std::string> checkInvariants() const override;
+
+    /**
+     * Fault hook: bump the occupancy counter without storing a
+     * packet, modelling a slot whose bookkeeping latched garbage.
+     * checkInvariants() reports the drift.
+     */
+    bool faultLeakSlot() override;
 
   private:
     std::deque<Packet> queue;

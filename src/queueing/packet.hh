@@ -49,9 +49,65 @@ struct Packet
     /** Switches traversed so far. */
     std::uint32_t hops = 0;
 
+    /**
+     * Per-source sequence number, assigned consecutively at
+     * generation.  Together with @ref source it identifies the
+     * packet end-to-end, which the fault subsystem's accounting
+     * (injected = delivered + dropped + in-flight) relies on.
+     */
+    std::uint32_t seq = 0;
+
+    /**
+     * Checksum over the end-to-end header fields (id, source, dest,
+     * seq, lengthSlots), sealed once at generation by sealHeader().
+     * Receivers verify it with headerIntact() so a link fault that
+     * flips a header bit is *detected* instead of silently routing
+     * the packet to the wrong sink.  Mutable per-hop fields
+     * (outPort, hops, timestamps) are excluded.  32 bits: a
+     * fault-rate sweep injects ~10^5 flips per bench run, so a
+     * 16-bit seal would collide (and misroute) about once per
+     * sweep.
+     */
+    std::uint32_t headerCheck = 0;
+
     /** True iff this record refers to a real packet. */
     bool valid() const { return id != kInvalidPacket; }
 };
+
+/** Checksum over the immutable header fields of @p pkt. */
+inline std::uint32_t
+headerChecksum(const Packet &pkt)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    const auto mix = [&h](std::uint64_t v) {
+        h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    };
+    mix(pkt.id);
+    mix(pkt.source);
+    mix(pkt.dest);
+    mix(pkt.seq);
+    mix(pkt.lengthSlots);
+    return static_cast<std::uint32_t>(h ^ (h >> 32));
+}
+
+/** Stamp the header checksum (call once, after filling the header). */
+inline void
+sealHeader(Packet &pkt)
+{
+    pkt.headerCheck = headerChecksum(pkt);
+}
+
+/**
+ * Whether the sealed header survived transit unmodified.  Packets
+ * that predate sealing (headerCheck left 0) are only "intact" if
+ * their checksum happens to be 0, so simulators seal every packet
+ * they generate.
+ */
+inline bool
+headerIntact(const Packet &pkt)
+{
+    return pkt.headerCheck == headerChecksum(pkt);
+}
 
 } // namespace damq
 

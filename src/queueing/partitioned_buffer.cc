@@ -80,29 +80,55 @@ StaticallyPartitionedBuffer::clear()
     packets = 0;
 }
 
-void
-StaticallyPartitionedBuffer::debugValidate() const
+std::vector<std::string>
+StaticallyPartitionedBuffer::checkInvariants() const
 {
+    std::vector<std::string> violations;
     std::uint32_t total_slots = 0;
     std::uint32_t total_packets = 0;
     for (PortId out = 0; out < numOutputs(); ++out) {
         std::uint32_t q_slots = 0;
         for (const auto &pkt : queues[out]) {
-            damq_assert(pkt.valid(), "invalid packet in ", name());
-            damq_assert(pkt.outPort == out,
-                        "packet queued under the wrong output");
+            if (!pkt.valid())
+                violations.push_back(detail::concat(
+                    "invalid packet ", pkt.id, " in partition ", out));
+            if (pkt.outPort != out)
+                violations.push_back(detail::concat(
+                    "packet ", pkt.id, " queued under output ", out,
+                    " but routed to ", pkt.outPort));
             q_slots += pkt.lengthSlots;
         }
-        damq_assert(q_slots == usedPerQueue[out],
-                    "per-queue slot accounting drifted");
-        damq_assert(q_slots + reservedFor(out) <= perQueueCapacity,
-                    "partition over capacity");
+        if (q_slots != usedPerQueue[out])
+            violations.push_back(detail::concat(
+                "partition ", out, " slot accounting drifted (",
+                q_slots, " stored, ", usedPerQueue[out], " counted)"));
+        if (usedPerQueue[out] + reservedFor(out) > perQueueCapacity)
+            violations.push_back(detail::concat(
+                "partition ", out, " over its static bound (",
+                usedPerQueue[out], " used + ", reservedFor(out),
+                " reserved > ", perQueueCapacity, ")"));
         total_slots += q_slots;
         total_packets += static_cast<std::uint32_t>(queues[out].size());
     }
-    damq_assert(total_slots == used, "total slot accounting drifted");
-    damq_assert(total_packets == packets,
-                "packet count accounting drifted");
+    if (used != total_slots)
+        violations.push_back(detail::concat(
+            "total slot accounting drifted (", total_slots,
+            " stored, ", used, " counted)"));
+    if (total_packets != packets)
+        violations.push_back(detail::concat(
+            "packet count accounting drifted (", total_packets,
+            " stored, ", packets, " counted)"));
+    return violations;
+}
+
+bool
+StaticallyPartitionedBuffer::faultLeakSlot()
+{
+    if (usedPerQueue[0] >= perQueueCapacity)
+        return false;
+    ++usedPerQueue[0];
+    ++used;
+    return true;
 }
 
 } // namespace damq

@@ -55,7 +55,14 @@ class StaticallyPartitionedBuffer : public BufferModel
     Packet pop(PortId out) override;
 
     void clear() override;
-    void debugValidate() const override;
+    std::vector<std::string> checkInvariants() const override;
+
+    /**
+     * Fault hook: bump partition 0's occupancy counter without
+     * storing a packet; checkInvariants() reports the drift as a
+     * per-queue accounting violation.
+     */
+    bool faultLeakSlot() override;
 
   private:
     std::uint32_t perQueueCapacity;

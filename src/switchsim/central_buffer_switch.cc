@@ -75,28 +75,57 @@ CentralBufferSwitch::reset()
     stats.reset();
 }
 
-void
-CentralBufferSwitch::debugValidate() const
+std::vector<std::string>
+CentralBufferSwitch::checkInvariants() const
 {
+    std::vector<std::string> violations;
     std::uint32_t slot_total = 0;
     std::uint32_t packet_total = 0;
     std::vector<std::uint32_t> by_input(ports, 0);
     for (PortId out = 0; out < ports; ++out) {
         for (const Stored &s : queues[out]) {
-            damq_assert(s.packet.valid(), "invalid stored packet");
-            damq_assert(s.packet.outPort == out,
-                        "packet queued under the wrong output");
+            if (!s.packet.valid())
+                violations.push_back(detail::concat(
+                    "invalid packet ", s.packet.id, " in pool queue ",
+                    out));
+            if (s.packet.outPort != out)
+                violations.push_back(detail::concat(
+                    "packet ", s.packet.id, " queued under output ",
+                    out, " but routed to ", s.packet.outPort));
             slot_total += s.packet.lengthSlots;
             by_input[s.arrivedOn] += s.packet.lengthSlots;
             ++packet_total;
         }
     }
-    damq_assert(slot_total == used, "pool slot accounting drifted");
-    damq_assert(packet_total == packets, "packet count drifted");
-    damq_assert(used <= capacity, "pool over capacity");
-    for (PortId i = 0; i < ports; ++i)
-        damq_assert(by_input[i] == usedByInput[i],
-                    "per-input accounting drifted");
+    if (slot_total != used)
+        violations.push_back(detail::concat(
+            "pool slot accounting drifted (", slot_total, " stored, ",
+            used, " counted)"));
+    if (packet_total != packets)
+        violations.push_back(detail::concat(
+            "packet count drifted (", packet_total, " stored, ",
+            packets, " counted)"));
+    if (used > capacity)
+        violations.push_back(detail::concat(
+            "pool over capacity (", used, " > ", capacity, ")"));
+    for (PortId i = 0; i < ports; ++i) {
+        if (by_input[i] != usedByInput[i])
+            violations.push_back(detail::concat(
+                "input ", i, " accounting drifted (", by_input[i],
+                " stored, ", usedByInput[i], " counted)"));
+    }
+    return violations;
+}
+
+bool
+CentralBufferSwitch::faultLeakSlot(PortId input)
+{
+    damq_assert(input < ports, "faultLeakSlot: bad input ", input);
+    if (used >= capacity)
+        return false;
+    ++used;
+    ++usedByInput[input];
+    return true;
 }
 
 } // namespace damq

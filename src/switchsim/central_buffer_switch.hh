@@ -44,7 +44,8 @@ class CentralBufferSwitch final : public SwitchUnit
     std::uint32_t totalUsedSlots() const override { return used; }
     const SwitchUnitStats &unitStats() const override { return stats; }
     void reset() override;
-    void debugValidate() const override;
+    std::vector<std::string> checkInvariants() const override;
+    bool faultLeakSlot(PortId input) override;
 
     /** Pool capacity. */
     std::uint32_t capacitySlots() const { return capacity; }

@@ -74,27 +74,57 @@ OutputQueuedSwitch::reset()
     stats.reset();
 }
 
-void
-OutputQueuedSwitch::debugValidate() const
+std::vector<std::string>
+OutputQueuedSwitch::checkInvariants() const
 {
+    std::vector<std::string> violations;
     std::uint32_t slot_total = 0;
     std::uint32_t packet_total = 0;
     for (PortId out = 0; out < ports; ++out) {
         std::uint32_t q_slots = 0;
         for (const Packet &pkt : queues[out]) {
-            damq_assert(pkt.valid(), "invalid stored packet");
-            damq_assert(pkt.outPort == out,
-                        "packet queued under the wrong output");
+            if (!pkt.valid())
+                violations.push_back(detail::concat(
+                    "invalid packet ", pkt.id, " at output ", out));
+            if (pkt.outPort != out)
+                violations.push_back(detail::concat(
+                    "packet ", pkt.id, " queued under output ", out,
+                    " but routed to ", pkt.outPort));
             q_slots += pkt.lengthSlots;
         }
-        damq_assert(q_slots == usedPerOutput[out],
-                    "per-output accounting drifted");
-        damq_assert(q_slots <= perOutput, "queue over capacity");
+        if (q_slots != usedPerOutput[out])
+            violations.push_back(detail::concat(
+                "output ", out, " accounting drifted (", q_slots,
+                " stored, ", usedPerOutput[out], " counted)"));
+        if (usedPerOutput[out] > perOutput)
+            violations.push_back(detail::concat(
+                "output ", out, " queue over capacity (",
+                usedPerOutput[out], " > ", perOutput, ")"));
         slot_total += q_slots;
         packet_total += static_cast<std::uint32_t>(queues[out].size());
     }
-    damq_assert(slot_total == used, "slot accounting drifted");
-    damq_assert(packet_total == packets, "packet count drifted");
+    if (slot_total != used)
+        violations.push_back(detail::concat(
+            "slot accounting drifted (", slot_total, " stored, ",
+            used, " counted)"));
+    if (packet_total != packets)
+        violations.push_back(detail::concat(
+            "packet count drifted (", packet_total, " stored, ",
+            packets, " counted)"));
+    return violations;
+}
+
+bool
+OutputQueuedSwitch::faultLeakSlot(PortId input)
+{
+    damq_assert(input < ports, "faultLeakSlot: bad input ", input);
+    // Output-queued storage has no per-input buffer; leak from the
+    // same-numbered output queue instead.
+    if (usedPerOutput[input] >= perOutput)
+        return false;
+    ++usedPerOutput[input];
+    ++used;
+    return true;
 }
 
 } // namespace damq

@@ -41,7 +41,8 @@ class OutputQueuedSwitch final : public SwitchUnit
     std::uint32_t totalUsedSlots() const override { return used; }
     const SwitchUnitStats &unitStats() const override { return stats; }
     void reset() override;
-    void debugValidate() const override;
+    std::vector<std::string> checkInvariants() const override;
+    bool faultLeakSlot(PortId input) override;
 
     /** Static capacity of each output queue. */
     std::uint32_t perOutputCapacity() const { return perOutput; }

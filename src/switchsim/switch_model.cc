@@ -96,11 +96,22 @@ SwitchModel::reset()
     switchStats.reset();
 }
 
-void
-SwitchModel::debugValidate() const
+std::vector<std::string>
+SwitchModel::checkInvariants() const
 {
-    for (const auto &buf : buffers)
-        buf->debugValidate();
+    std::vector<std::string> violations;
+    for (PortId input = 0; input < ports; ++input) {
+        for (const std::string &v : buffers[input]->checkInvariants())
+            violations.push_back(detail::concat("in", input, ": ", v));
+    }
+    return violations;
+}
+
+bool
+SwitchModel::faultLeakSlot(PortId input)
+{
+    damq_assert(input < ports, "faultLeakSlot: bad input ", input);
+    return buffers[input]->faultLeakSlot();
 }
 
 } // namespace damq

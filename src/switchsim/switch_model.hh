@@ -102,8 +102,11 @@ class SwitchModel final : public SwitchUnit
     /** Clear buffers, arbiter fairness state, and counters. */
     void reset() override;
 
-    /** Run every buffer's invariant checker. */
-    void debugValidate() const override;
+    /** Every buffer's violations, prefixed with its input port. */
+    std::vector<std::string> checkInvariants() const override;
+
+    /** Leak a slot from input @p input's buffer. */
+    bool faultLeakSlot(PortId input) override;
 
   private:
     PortId ports;

@@ -34,6 +34,15 @@ bufferPlacementFromString(const std::string &name)
                "' (expected input|central|output)");
 }
 
+void
+SwitchUnit::debugValidate() const
+{
+    const std::vector<std::string> violations = checkInvariants();
+    if (!violations.empty())
+        damq_panic("switch invariant violated: ", violations.front(),
+                   violations.size() > 1 ? " (and more)" : "");
+}
+
 std::unique_ptr<SwitchUnit>
 makeSwitchUnit(BufferPlacement placement, PortId num_ports,
                BufferType buffer_type, std::uint32_t slots_per_input,

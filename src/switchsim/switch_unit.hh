@@ -100,8 +100,24 @@ class SwitchUnit
     /** Drop all contents and state. */
     virtual void reset() = 0;
 
-    /** Check internal invariants (tests). */
-    virtual void debugValidate() const = 0;
+    /**
+     * Check internal invariants without aborting: returns one
+     * human-readable description per violation, empty when healthy.
+     * The fault auditor calls this periodically; tests call it
+     * directly.
+     */
+    virtual std::vector<std::string> checkInvariants() const = 0;
+
+    /** Panic on the first invariant violation (tests). */
+    void debugValidate() const;
+
+    /**
+     * Fault hook: corrupt the bookkeeping of the buffer reached
+     * through input @p input as if one slot's state latched garbage.
+     * Returns false when the targeted storage has no slot to lose.
+     * The damage is intentionally detectable by checkInvariants().
+     */
+    virtual bool faultLeakSlot(PortId input) = 0;
 };
 
 /**
