@@ -5,53 +5,84 @@
  * barely differ below saturation; this bench quantifies that and
  * also probes the region near saturation where fairness could
  * matter most.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_ablation_arbitration.json and
+ * a PERF_ablation_arbitration.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
+#include "switchsim/arbiter.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq;
     using namespace damq::bench;
 
+    SweepRunner runner(parseThreads(argc, argv));
+
     banner("Ablation - dumb vs smart arbitration",
            "64x64 Omega, blocking, uniform traffic, 4 slots");
+
+    const ArbitrationPolicy kPolicies[] = {ArbitrationPolicy::Dumb,
+                                           ArbitrationPolicy::Smart};
+
+    std::vector<NetworkTask> tasks;
+    for (const BufferType type : kAllBufferTypes) {
+        for (const ArbitrationPolicy policy : kPolicies) {
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.bufferType = type;
+            cfg.arbitration = policy;
+            cfg.measureCycles = 8000;
+            const std::string stem = detail::concat(
+                bufferTypeName(type), "/",
+                arbitrationPolicyName(policy));
+            tasks.push_back(
+                {detail::concat(stem, "@0.30"), atLoad(cfg, 0.30)});
+            tasks.push_back(
+                {detail::concat(stem, "@0.45"), atLoad(cfg, 0.45)});
+            tasks.push_back({detail::concat(stem, "@saturation"),
+                             atLoad(cfg, 1.0)});
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
 
     TextTable table;
     table.setHeader({"Buffer", "policy", "lat@0.30", "lat@0.45",
                      "fairness@0.45", "worst-src@0.45", "saturated",
                      "sat. throughput"});
 
+    std::size_t next = 0;
     for (const BufferType type : kAllBufferTypes) {
-        for (const ArbitrationPolicy policy :
-             {ArbitrationPolicy::Dumb, ArbitrationPolicy::Smart}) {
-            NetworkConfig cfg = paperNetworkConfig();
-            cfg.bufferType = type;
-            cfg.arbitration = policy;
-            cfg.measureCycles = 8000;
+        for (const ArbitrationPolicy policy : kPolicies) {
+            const NetworkResult &at30 = results[next++];
+            const NetworkResult &at45 = results[next++];
+            const NetworkResult &sat = results[next++];
 
             table.startRow();
             table.addCell(bufferTypeName(type));
             table.addCell(arbitrationPolicyName(policy));
-            table.addCell(formatFixed(latencyAtLoad(cfg, 0.30), 1));
-
-            NetworkConfig near = cfg;
-            near.offeredLoad = 0.45;
-            const NetworkResult at45 = NetworkSimulator(near).run();
+            table.addCell(
+                formatFixed(at30.latencyClocks.mean(), 1));
             table.addCell(
                 formatFixed(at45.latencyClocks.mean(), 1));
             table.addCell(formatFixed(at45.latencyFairness, 3));
-            table.addCell(formatFixed(at45.worstSourceLatency, 1));
-
-            const SaturationSummary sat = measureSaturation(cfg);
-            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
-            table.addCell(formatFixed(sat.saturationThroughput, 3));
+            table.addCell(
+                formatFixed(at45.worstSourceLatency, 1));
+            table.addCell(
+                formatFixed(sat.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(sat.deliveredThroughput, 3));
         }
     }
     std::cout << table.render()
@@ -61,5 +92,40 @@ main()
                  "smart policy's stale counts\nand held priority "
                  "show up (mildly) in the fairness columns, not in "
                  "throughput.\n";
+
+    {
+        BenchJsonFile out("ablation_arbitration");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json, paperNetworkConfig());
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const BufferType type : kAllBufferTypes) {
+            for (const ArbitrationPolicy policy : kPolicies) {
+                const NetworkResult &at30 = results[at++];
+                const NetworkResult &at45 = results[at++];
+                const NetworkResult &sat = results[at++];
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("arbitration",
+                           arbitrationPolicyName(policy));
+                json.field("latency30",
+                           at30.latencyClocks.mean());
+                json.field("latency45",
+                           at45.latencyClocks.mean());
+                json.field("fairness45", at45.latencyFairness);
+                json.field("worstSourceLatency45",
+                           at45.worstSourceLatency);
+                json.field("saturatedLatencyClocks",
+                           sat.latencyClocks.mean());
+                json.field("saturationThroughput",
+                           sat.deliveredThroughput);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("ablation_arbitration", runner,
+                     taskLabels(tasks));
     return 0;
 }

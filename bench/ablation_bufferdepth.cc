@@ -5,52 +5,112 @@
  * paper's conclusion — DAMQ's control logic buys more than FIFO's
  * extra storage — should show up as DAMQ's curve starting high and
  * flattening early while FIFO's creeps up slowly.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_ablation_bufferdepth.json and
+ * a PERF_ablation_bufferdepth.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
-int
-main()
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+const unsigned kDepths[] = {2, 3, 4, 6, 8, 12, 16};
+const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq,
+                             BufferType::Samq, BufferType::Safc};
+
+/** SAMQ/SAFC partition storage statically; slots must split by 4. */
+bool
+configurable(BufferType type, unsigned slots)
 {
-    using namespace damq;
-    using namespace damq::bench;
+    const bool partitioned =
+        type == BufferType::Samq || type == BufferType::Safc;
+    return !partitioned || slots % 4 == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Ablation - saturation throughput vs buffer depth",
            "64x64 Omega, blocking, smart arbitration, uniform "
            "traffic; SAMQ/SAFC need slots divisible by 4");
 
-    const unsigned depths[] = {2, 3, 4, 6, 8, 12, 16};
-
-    TextTable table;
-    table.setHeader({"Slots", "FIFO", "DAMQ", "SAMQ", "SAFC"});
-    for (const unsigned slots : depths) {
-        table.startRow();
-        table.addCell(std::to_string(slots));
-        for (const BufferType type :
-             {BufferType::Fifo, BufferType::Damq, BufferType::Samq,
-              BufferType::Safc}) {
-            const bool partitioned = type == BufferType::Samq ||
-                                     type == BufferType::Safc;
-            if (partitioned && slots % 4 != 0) {
-                table.addCell("-");
+    std::vector<NetworkTask> tasks;
+    for (const unsigned slots : kDepths) {
+        for (const BufferType type : kTypes) {
+            if (!configurable(type, slots))
                 continue;
-            }
             NetworkConfig cfg = paperNetworkConfig();
             cfg.bufferType = type;
             cfg.slotsPerBuffer = slots;
             cfg.measureCycles = 8000;
+            tasks.push_back({detail::concat(bufferTypeName(type),
+                                            "-", slots,
+                                            "@saturation"),
+                             atLoad(cfg, 1.0)});
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
+
+    TextTable table;
+    table.setHeader({"Slots", "FIFO", "DAMQ", "SAMQ", "SAFC"});
+    std::size_t next = 0;
+    for (const unsigned slots : kDepths) {
+        table.startRow();
+        table.addCell(std::to_string(slots));
+        for (const BufferType type : kTypes) {
+            if (!configurable(type, slots)) {
+                table.addCell("-");
+                continue;
+            }
             table.addCell(formatFixed(
-                measureSaturation(cfg).saturationThroughput, 3));
+                results[next++].deliveredThroughput, 3));
         }
     }
     std::cout << table.render()
               << "\nExpected shape: DAMQ starts high and flattens by "
                  "~4-8 slots; FIFO climbs slowly\nand stays below "
                  "even shallow DAMQ configurations.\n";
+
+    {
+        BenchJsonFile out("ablation_bufferdepth");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json, paperNetworkConfig());
+        json.key("points");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const unsigned slots : kDepths) {
+            for (const BufferType type : kTypes) {
+                if (!configurable(type, slots))
+                    continue;
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("slots",
+                           static_cast<std::uint64_t>(slots));
+                json.field("saturationThroughput",
+                           results[at++].deliveredThroughput);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("ablation_bufferdepth", runner,
+                     taskLabels(tasks));
     return 0;
 }

@@ -11,13 +11,20 @@
  * aimed at one output overflows its partition while the rest of
  * the buffer sits empty — while DAMQ's shared pool absorbs bursts;
  * FIFO shares storage but clogs on head-of-line blocking.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_ablation_bursty.json and a
+ * PERF_ablation_bursty.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/network_sim.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 namespace {
@@ -25,8 +32,10 @@ namespace {
 using namespace damq;
 using namespace damq::bench;
 
-NetworkResult
-runPoint(BufferType type, double burstiness, FlowControl protocol)
+const double kBurstFactors[] = {1.0, 2.0, 3.0};
+
+NetworkConfig
+pointConfig(BufferType type, double burstiness, FlowControl protocol)
 {
     NetworkConfig cfg = paperNetworkConfig();
     cfg.bufferType = type;
@@ -35,31 +44,50 @@ runPoint(BufferType type, double burstiness, FlowControl protocol)
     cfg.burstiness = burstiness;
     cfg.meanBurstCycles = 8;
     cfg.measureCycles = 16000;
-    return NetworkSimulator(cfg).run();
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(parseThreads(argc, argv));
+
     banner("Ablation - bursty sources (on/off, fixed average load)",
            "64x64 Omega, 4 slots, offered 0.30 average; burst "
            "factor B = peak/average");
 
+    std::vector<NetworkTask> tasks;
+    for (const FlowControl protocol :
+         {FlowControl::Blocking, FlowControl::Discarding}) {
+        for (const BufferType type : kAllBufferTypes) {
+            for (const double b : kBurstFactors) {
+                tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    flowControlName(protocol), "@B=",
+                                    formatFixed(b, 0)),
+                     pointConfig(type, b, protocol)});
+            }
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
+
+    std::size_t next = 0;
     TextTable latency;
     latency.setHeader({"Buffer", "B=1 latency", "B=2 latency",
                        "B=3 latency", "B=3 worst-source"});
     for (const BufferType type : kAllBufferTypes) {
         latency.startRow();
         latency.addCell(bufferTypeName(type));
-        NetworkResult last;
-        for (const double b : {1.0, 2.0, 3.0}) {
-            last = runPoint(type, b, FlowControl::Blocking);
+        const NetworkResult *last = nullptr;
+        for (std::size_t b = 0; b < 3; ++b) {
+            last = &results[next++];
             latency.addCell(
-                formatFixed(last.latencyClocks.mean(), 1));
+                formatFixed(last->latencyClocks.mean(), 1));
         }
-        latency.addCell(formatFixed(last.worstSourceLatency, 1));
+        latency.addCell(formatFixed(last->worstSourceLatency, 1));
     }
     std::cout << "\nBlocking protocol, mean latency (clocks):\n"
               << latency.render();
@@ -70,10 +98,9 @@ main()
     for (const BufferType type : kAllBufferTypes) {
         loss.startRow();
         loss.addCell(bufferTypeName(type));
-        for (const double b : {1.0, 2.0, 3.0}) {
-            const NetworkResult r =
-                runPoint(type, b, FlowControl::Discarding);
-            loss.addCell(formatFixed(r.discardFraction * 100, 2));
+        for (std::size_t b = 0; b < 3; ++b) {
+            loss.addCell(formatFixed(
+                results[next++].discardFraction * 100, 2));
         }
     }
     std::cout << "\nDiscarding protocol, % packets discarded:\n"
@@ -84,5 +111,43 @@ main()
                  "idle), and\nDAMQ's dynamically shared pool holds "
                  "its advantage — the 'variations in traffic\n"
                  "patterns' claim of the paper's abstract.\n";
+
+    {
+        BenchJsonFile out("ablation_bursty");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(
+            json, pointConfig(BufferType::Fifo, 1.0,
+                              FlowControl::Blocking));
+        json.key("burstFactors");
+        json.beginArray();
+        for (const double b : kBurstFactors)
+            json.value(b);
+        json.endArray();
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const FlowControl protocol :
+             {FlowControl::Blocking, FlowControl::Discarding}) {
+            for (const BufferType type : kAllBufferTypes) {
+                for (const double b : kBurstFactors) {
+                    const NetworkResult &r = results[at++];
+                    json.beginObject();
+                    json.field("buffer", bufferTypeName(type));
+                    json.field("protocol",
+                               flowControlName(protocol));
+                    json.field("burstFactor", b);
+                    json.field("meanLatencyClocks",
+                               r.latencyClocks.mean());
+                    json.field("worstSourceLatency",
+                               r.worstSourceLatency);
+                    json.field("discardFraction",
+                               r.discardFraction);
+                    json.endObject();
+                }
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("ablation_bursty", runner, taskLabels(tasks));
     return 0;
 }

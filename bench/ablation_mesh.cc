@@ -6,21 +6,32 @@
  * network "in that context" (Section 1).  This bench closes the
  * loop: an 8x8 2D mesh of 5-port switches with XY routing, all
  * four buffer organizations, uniform and transpose traffic.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_ablation_mesh.json and a
+ * PERF_ablation_mesh.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
 #include "network/mesh_sim.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 namespace {
 
 using namespace damq;
+using namespace damq::bench;
 
-MeshResult
-runPoint(BufferType type, const std::string &traffic, double load)
+const double kLoads[] = {0.10, 0.25, 0.40};
+
+MeshConfig
+meshConfig(BufferType type, const std::string &traffic)
 {
     MeshConfig cfg;
     cfg.width = 8;
@@ -28,26 +39,47 @@ runPoint(BufferType type, const std::string &traffic, double load)
     cfg.bufferType = type;
     cfg.slotsPerBuffer = 5; // one slot per port's worth
     cfg.traffic = traffic;
-    cfg.offeredLoad = load;
     cfg.seed = 99;
     cfg.warmupCycles = 2000;
     cfg.measureCycles = 10000;
-    return MeshSimulator(cfg).run();
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace damq::bench;
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Ablation - 8x8 mesh multicomputer (5-port switches, "
            "XY routing)",
            "the ComCoBB's own deployment context; latency in "
            "network cycles, blocking protocol");
 
-    for (const std::string traffic : {"uniform", "transpose"}) {
+    const std::string kTraffics[] = {"uniform", "transpose"};
+
+    std::vector<MeshTask> tasks;
+    for (const std::string &traffic : kTraffics) {
+        for (const BufferType type : kAllBufferTypes) {
+            const MeshConfig cfg = meshConfig(type, traffic);
+            for (const double load : kLoads)
+                tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    traffic, "@",
+                                    formatFixed(load, 2)),
+                     atLoad(cfg, load)});
+            tasks.push_back(
+                {detail::concat(bufferTypeName(type), "/", traffic,
+                                "@saturation"),
+                 atLoad(cfg, 1.0)});
+        }
+    }
+    const std::vector<MeshResult> results =
+        runMeshSweep(runner, tasks);
+
+    std::size_t next = 0;
+    for (const std::string &traffic : kTraffics) {
         TextTable table;
         table.setHeader({"Buffer", "lat@0.10", "lat@0.25",
                          "lat@0.40", "sat. throughput"});
@@ -56,14 +88,12 @@ main()
         for (const BufferType type : kAllBufferTypes) {
             table.startRow();
             table.addCell(bufferTypeName(type));
-            for (const double load : {0.10, 0.25, 0.40}) {
+            for (std::size_t l = 0; l < 3; ++l) {
                 table.addCell(formatFixed(
-                    runPoint(type, traffic, load)
-                        .latencyCycles.mean(),
-                    2));
+                    results[next++].latencyCycles.mean(), 2));
             }
             const double sat =
-                runPoint(type, traffic, 1.0).deliveredThroughput;
+                results[next++].deliveredThroughput;
             table.addCell(formatFixed(sat, 3));
             if (type == BufferType::Fifo)
                 fifo_sat = sat;
@@ -86,5 +116,45 @@ main()
            "likewise SAMQ equals SAFC.  Multi-queue\nbuffers pay "
            "off when flows *mix* at the inputs, which permutations "
            "avoid.\n";
+
+    {
+        BenchJsonFile out("ablation_mesh");
+        JsonWriter &json = out.json();
+        const MeshConfig base =
+            meshConfig(BufferType::Fifo, "uniform");
+        json.key("config");
+        json.beginObject();
+        json.field("width", static_cast<std::uint64_t>(base.width));
+        json.field("height",
+                   static_cast<std::uint64_t>(base.height));
+        json.field("slotsPerBuffer",
+                   static_cast<std::uint64_t>(base.slotsPerBuffer));
+        json.field("seed", base.seed);
+        json.field("warmupCycles",
+                   static_cast<std::uint64_t>(base.warmupCycles));
+        json.field("measureCycles",
+                   static_cast<std::uint64_t>(base.measureCycles));
+        json.endObject();
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const std::string &traffic : kTraffics) {
+            for (const BufferType type : kAllBufferTypes) {
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("traffic", traffic);
+                json.key("latencyCycles");
+                json.beginArray();
+                for (std::size_t l = 0; l < 3; ++l)
+                    json.value(results[at++].latencyCycles.mean());
+                json.endArray();
+                json.field("saturationThroughput",
+                           results[at++].deliveredThroughput);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("ablation_mesh", runner, taskLabels(tasks));
     return 0;
 }

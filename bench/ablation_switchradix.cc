@@ -7,54 +7,96 @@
  * head-of-line conflicts per FIFO buffer, so DAMQ's advantage
  * should grow with radix, while base latency falls with stage
  * count.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_ablation_switchradix.json and
+ * a PERF_ablation_switchradix.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
-int
-main()
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+const std::uint32_t kRadixes[] = {2u, 4u, 8u};
+const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq};
+
+NetworkConfig
+radixConfig(std::uint32_t radix, BufferType type)
 {
-    using namespace damq;
-    using namespace damq::bench;
+    NetworkConfig cfg = paperNetworkConfig();
+    cfg.radix = radix;
+    // Keep storage proportional to radix (one slot per output), as
+    // the paper does with 4 slots on a 4x4.
+    cfg.slotsPerBuffer = radix;
+    cfg.bufferType = type;
+    cfg.measureCycles = 8000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Ablation - switch radix (2x2 / 4x4 / 8x8)",
            "64 endpoints, blocking, smart arbitration, uniform "
            "traffic, 1 slot per output's worth of storage (radix "
            "slots per buffer)");
 
+    std::vector<NetworkTask> tasks;
+    for (const std::uint32_t radix : kRadixes) {
+        for (const BufferType type : kTypes) {
+            const NetworkConfig cfg = radixConfig(radix, type);
+            const std::string stem = detail::concat(
+                bufferTypeName(type), "-r", radix);
+            tasks.push_back(
+                {detail::concat(stem, "@0.30"), atLoad(cfg, 0.30)});
+            tasks.push_back({detail::concat(stem, "@saturation"),
+                             atLoad(cfg, 1.0)});
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
+
     TextTable table;
     table.setHeader({"Radix", "Stages", "Buffer", "lat@0.30",
                      "saturated", "sat. throughput"});
 
-    for (const std::uint32_t radix : {2u, 4u, 8u}) {
+    std::size_t next = 0;
+    for (const std::uint32_t radix : kRadixes) {
         double fifo_sat = 0.0;
         double damq_sat = 0.0;
-        for (const BufferType type :
-             {BufferType::Fifo, BufferType::Damq}) {
-            NetworkConfig cfg = paperNetworkConfig();
-            cfg.radix = radix;
-            // Keep storage proportional to radix (one slot per
-            // output), as the paper does with 4 slots on a 4x4.
-            cfg.slotsPerBuffer = radix;
-            cfg.bufferType = type;
-            cfg.measureCycles = 8000;
+        for (const BufferType type : kTypes) {
+            const NetworkConfig cfg = radixConfig(radix, type);
+            const NetworkResult &at30 = results[next++];
+            const NetworkResult &sat = results[next++];
 
             table.startRow();
             table.addCell(std::to_string(radix));
             table.addCell(std::to_string(
                 NetworkSimulator(cfg).topology().numStages()));
             table.addCell(bufferTypeName(type));
-            table.addCell(formatFixed(latencyAtLoad(cfg, 0.30), 1));
-            const SaturationSummary sat = measureSaturation(cfg);
-            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
-            table.addCell(formatFixed(sat.saturationThroughput, 3));
+            table.addCell(
+                formatFixed(at30.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(sat.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(sat.deliveredThroughput, 3));
             (type == BufferType::Fifo ? fifo_sat : damq_sat) =
-                sat.saturationThroughput;
+                sat.deliveredThroughput;
         }
         std::cout << "radix " << radix << ": DAMQ/FIFO saturation = "
                   << formatFixed(damq_sat / fifo_sat, 2) << "\n";
@@ -63,5 +105,39 @@ main()
               << "\nExpected shape: fewer stages -> lower base "
                  "latency; DAMQ's relative advantage\npersists at "
                  "every radix.\n";
+
+    {
+        BenchJsonFile out("ablation_switchradix");
+        JsonWriter &json = out.json();
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const std::uint32_t radix : kRadixes) {
+            for (const BufferType type : kTypes) {
+                const NetworkConfig cfg = radixConfig(radix, type);
+                const NetworkResult &at30 = results[at++];
+                const NetworkResult &sat = results[at++];
+                json.beginObject();
+                json.field("radix",
+                           static_cast<std::uint64_t>(radix));
+                json.field(
+                    "stages",
+                    static_cast<std::uint64_t>(
+                        NetworkSimulator(cfg).topology()
+                            .numStages()));
+                json.field("buffer", bufferTypeName(type));
+                json.field("latency30",
+                           at30.latencyClocks.mean());
+                json.field("saturatedLatencyClocks",
+                           sat.latencyClocks.mean());
+                json.field("saturationThroughput",
+                           sat.deliveredThroughput);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("ablation_switchradix", runner,
+                     taskLabels(tasks));
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "network/network_sim.hh"
+#include "runner/table_benches.hh"
 
 namespace damq {
 namespace bench {
@@ -31,17 +32,9 @@ banner(const std::string &title, const std::string &subtitle)
 inline NetworkConfig
 paperNetworkConfig()
 {
-    NetworkConfig cfg;
-    cfg.numPorts = 64;
-    cfg.radix = 4;
-    cfg.slotsPerBuffer = 4;
-    cfg.protocol = FlowControl::Blocking;
-    cfg.arbitration = ArbitrationPolicy::Smart;
-    cfg.traffic = "uniform";
-    cfg.seed = 88;
-    cfg.warmupCycles = 2000;
-    cfg.measureCycles = 12000;
-    return cfg;
+    // Defined beside the runner's Table 4 sweep so the bench
+    // executables and the runner tests agree on the experiment.
+    return paperOmegaConfig();
 }
 
 /** All four buffer organizations, in the paper's table order. */

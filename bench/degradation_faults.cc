@@ -11,56 +11,113 @@
  *
  * At rate 0 the numbers are bit-identical to the fault-free
  * simulator — the hooks draw no random numbers when disabled.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_degradation_faults.json and a
+ * PERF_degradation_faults.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
-int
-main()
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+const double kRates[] = {0.0, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2};
+const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq,
+                             BufferType::DamqR};
+
+/** Everything one fault-sweep point reports. */
+struct FaultRun
 {
-    using namespace damq;
-    using namespace damq::bench;
+    NetworkResult result;
+    std::uint64_t faultDropped = 0;
+    FaultReport report;
+};
+
+NetworkConfig
+pointConfig(BufferType type, double rate)
+{
+    NetworkConfig cfg = paperNetworkConfig();
+    cfg.bufferType = type;
+    cfg.offeredLoad = 0.5;
+    cfg.faults.packetDropRate = rate;
+    cfg.faults.headerBitFlipRate = rate;
+    cfg.faults.seed = 1988;
+    cfg.auditEveryCycles = 500;
+    return cfg;
+}
+
+std::uint64_t
+faultRunCycles(const FaultRun &run)
+{
+    return run.result.measuredCycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Degradation under link faults",
            "64x64 Omega, blocking, smart arbitration, 4 slots, "
            "uniform traffic at 0.5 offered load; per-link drop and "
            "header-corruption probability swept together");
 
-    const double kRates[] = {0.0, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2};
+    std::vector<NetworkConfig> configs;
+    std::vector<std::string> labels;
+    for (const BufferType type : kTypes) {
+        for (const double rate : kRates) {
+            configs.push_back(pointConfig(type, rate));
+            labels.push_back(detail::concat(bufferTypeName(type),
+                                            "@rate=",
+                                            formatFixed(rate, 4)));
+        }
+    }
 
-    for (const BufferType type :
-         {BufferType::Fifo, BufferType::Damq, BufferType::DamqR}) {
+    const std::vector<FaultRun> runs = runner.map(
+        configs.size(),
+        [&configs](std::size_t i) {
+            NetworkSimulator sim(configs[i]);
+            FaultRun run;
+            run.result = sim.run();
+            run.faultDropped = sim.lifetime().faultDropped;
+            run.report = sim.faultReport();
+            return run;
+        },
+        &faultRunCycles);
+
+    std::size_t next = 0;
+    for (const BufferType type : kTypes) {
         TextTable table;
         table.setHeader({"fault rate", "throughput", "latency",
                          "dropped", "corrupt detected", "audits",
                          "violations"});
         for (const double rate : kRates) {
-            NetworkConfig cfg = paperNetworkConfig();
-            cfg.bufferType = type;
-            cfg.offeredLoad = 0.5;
-            cfg.faults.packetDropRate = rate;
-            cfg.faults.headerBitFlipRate = rate;
-            cfg.faults.seed = 1988;
-            cfg.auditEveryCycles = 500;
-
-            NetworkSimulator sim(cfg);
-            const NetworkResult r = sim.run();
-            const FaultReport report = sim.faultReport();
-
+            const FaultRun &run = runs[next++];
             table.startRow();
             table.addCell(formatFixed(rate, 4));
-            table.addCell(formatFixed(r.deliveredThroughput, 3));
-            table.addCell(formatFixed(r.latencyClocks.mean(), 2));
             table.addCell(
-                std::to_string(sim.lifetime().faultDropped));
+                formatFixed(run.result.deliveredThroughput, 3));
             table.addCell(
-                std::to_string(report.corruptionsDetected));
-            table.addCell(std::to_string(report.auditsRun));
-            table.addCell(std::to_string(report.auditViolations));
+                formatFixed(run.result.latencyClocks.mean(), 2));
+            table.addCell(std::to_string(run.faultDropped));
+            table.addCell(
+                std::to_string(run.report.corruptionsDetected));
+            table.addCell(std::to_string(run.report.auditsRun));
+            table.addCell(
+                std::to_string(run.report.auditViolations));
         }
         std::cout << "\n" << bufferTypeName(type) << " buffers:\n"
                   << table.render();
@@ -70,5 +127,41 @@ main()
         << "\nEvery row's audits ran with zero violations: the "
            "packet-accounting identity holds at every fault rate, "
            "so dropped packets are counted, never silently lost.\n";
+
+    {
+        BenchJsonFile out("degradation_faults");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json,
+                               pointConfig(BufferType::Fifo, 0.0));
+        json.key("faultRates");
+        json.beginArray();
+        for (const double rate : kRates)
+            json.value(rate);
+        json.endArray();
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const BufferType type : kTypes) {
+            for (const double rate : kRates) {
+                const FaultRun &run = runs[at++];
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("faultRate", rate);
+                json.field("deliveredThroughput",
+                           run.result.deliveredThroughput);
+                json.field("meanLatencyClocks",
+                           run.result.latencyClocks.mean());
+                json.field("faultDropped", run.faultDropped);
+                json.field("corruptionsDetected",
+                           run.report.corruptionsDetected);
+                json.field("auditsRun", run.report.auditsRun);
+                json.field("auditViolations",
+                           run.report.auditViolations);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("degradation_faults", runner, labels);
     return 0;
 }

@@ -5,20 +5,44 @@
  * organizations show the Pfister/Norton shape (flat latency, then
  * a near-vertical wall at saturation); the DAMQ wall sits ~40 %
  * further right.  Prints the two series and an ASCII rendering.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_figure3_latency_curve.json, a
+ * flat figure3_latency_curve.csv of the two series, and a
+ * PERF_figure3_latency_curve.json timing sidecar.
  */
 
 #include <algorithm>
+#include <fstream>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
 #include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/csv_writer.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 namespace {
 
 using namespace damq;
+
+/** Project a simulation result onto the figure's sweep point. */
+SweepPoint
+toSweepPoint(double load, const NetworkResult &result)
+{
+    SweepPoint sp;
+    sp.offeredLoad = load;
+    sp.deliveredThroughput = result.deliveredThroughput;
+    sp.avgLatencyClocks = result.latencyClocks.mean();
+    sp.p99LatencyClocks = result.latencyClocks.mean() +
+                          2.33 * result.latencyClocks.stddev();
+    sp.discardFraction = result.discardFraction;
+    return sp;
+}
 
 /** Crude ASCII scatter: x = delivered throughput, y = latency. */
 std::string
@@ -60,12 +84,33 @@ asciiPlot(const std::vector<SweepPoint> &fifo,
     return out;
 }
 
+/** Serialize one curve as a JSON array field named @p key. */
+void
+writeCurveJson(JsonWriter &json, const std::string &key,
+               const std::vector<SweepPoint> &curve)
+{
+    json.key(key);
+    json.beginArray();
+    for (const SweepPoint &pt : curve) {
+        json.beginObject();
+        json.field("offeredLoad", pt.offeredLoad);
+        json.field("deliveredThroughput", pt.deliveredThroughput);
+        json.field("avgLatencyClocks", pt.avgLatencyClocks);
+        json.field("p99LatencyClocks", pt.p99LatencyClocks);
+        json.field("discardFraction", pt.discardFraction);
+        json.endObject();
+    }
+    json.endArray();
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq::bench;
+
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Figure 3 - Latency vs throughput, FIFO vs DAMQ",
            "64x64 Omega, 4 slots, blocking, smart arbitration, "
@@ -79,10 +124,27 @@ main()
     NetworkConfig cfg = paperNetworkConfig();
     cfg.measureCycles = 8000;
 
-    cfg.bufferType = BufferType::Fifo;
-    const auto fifo = sweepLoads(cfg, loads);
-    cfg.bufferType = BufferType::Damq;
-    const auto damq = sweepLoads(cfg, loads);
+    const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq};
+    std::vector<NetworkTask> tasks;
+    for (const BufferType type : kTypes) {
+        NetworkConfig typed = cfg;
+        typed.bufferType = type;
+        for (const double load : loads)
+            tasks.push_back({detail::concat(bufferTypeName(type),
+                                            "@",
+                                            formatFixed(load, 2)),
+                             atLoad(typed, load)});
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
+
+    std::vector<SweepPoint> fifo;
+    std::vector<SweepPoint> damq;
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        fifo.push_back(toSweepPoint(loads[i], results[i]));
+    for (std::size_t i = 0; i < loads.size(); ++i)
+        damq.push_back(
+            toSweepPoint(loads[i], results[loads.size() + i]));
 
     TextTable table;
     table.setHeader({"offered", "FIFO delivered", "FIFO latency",
@@ -101,5 +163,37 @@ main()
         << "\nPaper reference (Figure 3, qualitative): both curves "
            "flat near 41 clocks at low\nload; FIFO's latency wall at "
            "~0.51 delivered, DAMQ's at ~0.70.\n";
+
+    {
+        BenchJsonFile out("figure3_latency_curve");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json, cfg);
+        writeCurveJson(json, "fifo", fifo);
+        writeCurveJson(json, "damq", damq);
+    }
+
+    {
+        const std::string csv_path = "figure3_latency_curve.csv";
+        std::ofstream file(csv_path);
+        CsvWriter csv(file);
+        csv.header({"buffer", "offeredLoad", "deliveredThroughput",
+                    "avgLatencyClocks", "p99LatencyClocks",
+                    "discardFraction"});
+        auto emit = [&](const char *name,
+                        const std::vector<SweepPoint> &curve) {
+            for (const SweepPoint &pt : curve)
+                csv.row({name, formatJsonNumber(pt.offeredLoad),
+                         formatJsonNumber(pt.deliveredThroughput),
+                         formatJsonNumber(pt.avgLatencyClocks),
+                         formatJsonNumber(pt.p99LatencyClocks),
+                         formatJsonNumber(pt.discardFraction)});
+        };
+        emit("FIFO", fifo);
+        emit("DAMQ", damq);
+        std::cerr << "wrote " << csv_path << "\n";
+    }
+
+    writePerfSidecar("figure3_latency_curve", runner,
+                     taskLabels(tasks));
     return 0;
 }

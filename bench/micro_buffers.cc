@@ -5,7 +5,17 @@
  * crossbar arbitration, one Omega-network cycle, and a small
  * Markov solve.  These quantify the implementation-complexity
  * trade-offs Section 2 discusses qualitatively.
+ *
+ * Unless the caller passes its own --benchmark_out, results are
+ * also written to BENCH_micro_buffers.json in the working
+ * directory (google-benchmark's JSON format), giving the repo a
+ * saved machine-readable throughput baseline to compare hot-path
+ * changes against.
  */
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -140,4 +150,28 @@ BENCHMARK(BM_NetworkCycle)
     ->ArgName("type");
 BENCHMARK(BM_MarkovSolve)->Arg(2)->Arg(4)->ArgName("slots");
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_out",
+                         std::strlen("--benchmark_out")) == 0)
+            has_out = true;
+    }
+    // Mutable storage: google-benchmark expects argv-style char*.
+    std::string out_flag = "--benchmark_out=BENCH_micro_buffers.json";
+    std::string format_flag = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+    int count = static_cast<int>(args.size());
+    benchmark::Initialize(&count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

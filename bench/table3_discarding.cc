@@ -11,54 +11,89 @@
  * at 0.50.  "Over capacity" also reports the *output* throughput,
  * which is visibly below the input throughput because of the
  * discards.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_table3_discarding.json and a
+ * PERF_table3_discarding.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
+#include "switchsim/arbiter.hh"
 
 namespace {
 
 using namespace damq;
 using namespace damq::bench;
 
-NetworkResult
-runPoint(BufferType type, ArbitrationPolicy arb, double load)
+/** One measured cell of the table. */
+struct Point
+{
+    ArbitrationPolicy arbitration;
+    double offeredLoad;
+};
+
+const Point kPoints[] = {{ArbitrationPolicy::Dumb, 0.25},
+                         {ArbitrationPolicy::Dumb, 0.50},
+                         {ArbitrationPolicy::Dumb, 0.75},
+                         {ArbitrationPolicy::Smart, 0.50}};
+
+NetworkConfig
+pointConfig(BufferType type, const Point &point)
 {
     NetworkConfig cfg = paperNetworkConfig();
     cfg.protocol = FlowControl::Discarding;
     cfg.bufferType = type;
-    cfg.arbitration = arb;
-    cfg.offeredLoad = load;
+    cfg.arbitration = point.arbitration;
+    cfg.offeredLoad = point.offeredLoad;
     cfg.measureCycles = 20000;
-    return NetworkSimulator(cfg).run();
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    SweepRunner runner(parseThreads(argc, argv));
+
     banner("Table 3 - Discarding switches: % packets discarded",
            "64x64 Omega of 4x4 switches, uniform traffic, 4 slots "
            "per input buffer, over-capacity = 0.75 offered");
+
+    std::vector<NetworkTask> tasks;
+    for (const BufferType type : kAllBufferTypes) {
+        for (const Point &point : kPoints) {
+            tasks.push_back(
+                {detail::concat(bufferTypeName(type), "/",
+                                arbitrationPolicyName(
+                                    point.arbitration),
+                                "@", formatFixed(point.offeredLoad,
+                                                 2)),
+                 pointConfig(type, point)});
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
 
     TextTable table;
     table.setHeader({"Buffer", "dumb@0.25", "dumb@0.50",
                      "dumb overcap %disc", "overcap out-thruput",
                      "smart@0.50"});
 
+    std::size_t next = 0;
     for (const BufferType type : kAllBufferTypes) {
-        const NetworkResult d25 =
-            runPoint(type, ArbitrationPolicy::Dumb, 0.25);
-        const NetworkResult d50 =
-            runPoint(type, ArbitrationPolicy::Dumb, 0.50);
-        const NetworkResult over =
-            runPoint(type, ArbitrationPolicy::Dumb, 0.75);
-        const NetworkResult s50 =
-            runPoint(type, ArbitrationPolicy::Smart, 0.50);
+        const NetworkResult &d25 = results[next++];
+        const NetworkResult &d50 = results[next++];
+        const NetworkResult &over = results[next++];
+        const NetworkResult &s50 = results[next++];
 
         table.startRow();
         table.addCell(bufferTypeName(type));
@@ -85,5 +120,37 @@ main()
         << "\nShape checks: DAMQ discards far less than the rest at "
            "0.50 and over capacity;\nSAMQ/SAFC discard most; dumb "
            "and smart arbitration are nearly identical at 0.50.\n";
+
+    {
+        BenchJsonFile out("table3_discarding");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(
+            json, pointConfig(BufferType::Fifo, kPoints[0]));
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const BufferType type : kAllBufferTypes) {
+            json.beginObject();
+            json.field("buffer", bufferTypeName(type));
+            json.key("points");
+            json.beginArray();
+            for (const Point &point : kPoints) {
+                const NetworkResult &r = results[at++];
+                json.beginObject();
+                json.field("arbitration",
+                           arbitrationPolicyName(point.arbitration));
+                json.field("offeredLoad", point.offeredLoad);
+                json.field("discardFraction", r.discardFraction);
+                json.field("deliveredThroughput",
+                           r.deliveredThroughput);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
+        json.endArray();
+    }
+
+    writePerfSidecar("table3_discarding", runner, taskLabels(tasks));
     return 0;
 }

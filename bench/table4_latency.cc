@@ -9,51 +9,33 @@
  *
  * Headline claim: DAMQ's saturation throughput is ~40 % above
  * FIFO's at equal storage (paper: 0.70 vs 0.51).
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_table4_latency.json and a
+ * PERF_table4_latency.json timing sidecar beside the text table.
  */
 
 #include <iostream>
 
 #include "bench_util.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
-#include "stats/text_table.hh"
+#include "runner/bench_output.hh"
+#include "runner/table_benches.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq;
     using namespace damq::bench;
+
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Table 4 - Average latency vs throughput (4 slots/buffer)",
            "64x64 Omega, blocking protocol, smart arbitration, "
            "uniform traffic; latency in clock cycles");
 
-    const double loads[] = {0.25, 0.30, 0.40, 0.50};
-
-    TextTable table;
-    table.setHeader({"Buffer", "0.25", "0.30", "0.40", "0.50",
-                     "saturated", "sat. throughput"});
-
-    double fifo_sat = 0.0;
-    double damq_sat = 0.0;
-    for (const BufferType type : kAllBufferTypes) {
-        NetworkConfig cfg = paperNetworkConfig();
-        cfg.bufferType = type;
-
-        table.startRow();
-        table.addCell(bufferTypeName(type));
-        for (const double load : loads)
-            table.addCell(formatFixed(latencyAtLoad(cfg, load), 2));
-
-        const SaturationSummary sat = measureSaturation(cfg);
-        table.addCell(formatFixed(sat.saturatedLatencyClocks, 2));
-        table.addCell(formatFixed(sat.saturationThroughput, 2));
-        if (type == BufferType::Fifo)
-            fifo_sat = sat.saturationThroughput;
-        if (type == BufferType::Damq)
-            damq_sat = sat.saturationThroughput;
-    }
-    std::cout << table.render();
+    const Table4Data data = runTable4(runner, Table4Options{});
+    std::cout << renderTable4Text(data);
 
     std::cout
         << "\nPaper reference (Table 4):\n"
@@ -69,7 +51,15 @@ main()
            "0.50\n";
 
     std::cout << "\nHeadline: DAMQ saturation / FIFO saturation = "
-              << formatFixed(damq_sat / fifo_sat, 2)
+              << formatFixed(data.saturationOf(BufferType::Damq) /
+                                 data.saturationOf(BufferType::Fifo),
+                             2)
               << "  (paper: 0.70/0.51 = 1.37)\n";
+
+    {
+        BenchJsonFile out("table4_latency");
+        writeTable4Json(out.json(), data);
+    }
+    writePerfSidecar("table4_latency", runner, data.taskLabels);
     return 0;
 }

@@ -6,24 +6,55 @@
  * saturation only slightly (0.63 / 0.70 / 0.74), so silicon is
  * better spent on DAMQ's control than on more FIFO slots — even
  * FIFO-8 (0.56) stays below DAMQ-3 (0.63).
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_table5_slots.json and a
+ * PERF_table5_slots.json timing sidecar.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq;
     using namespace damq::bench;
 
+    SweepRunner runner(parseThreads(argc, argv));
+
     banner("Table 5 - Latency vs throughput, varying slots",
            "64x64 Omega, blocking, smart arbitration, uniform "
            "traffic; FIFO and DAMQ with 3/4/8 slots");
+
+    const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq};
+    const unsigned kSlots[] = {3u, 4u, 8u};
+
+    std::vector<NetworkTask> tasks;
+    for (const BufferType type : kTypes) {
+        for (const unsigned slots : kSlots) {
+            NetworkConfig cfg = paperNetworkConfig();
+            cfg.bufferType = type;
+            cfg.slotsPerBuffer = slots;
+            const std::string stem = detail::concat(
+                bufferTypeName(type), "-", slots);
+            tasks.push_back(
+                {detail::concat(stem, "@0.25"), atLoad(cfg, 0.25)});
+            tasks.push_back(
+                {detail::concat(stem, "@0.50"), atLoad(cfg, 0.50)});
+            tasks.push_back({detail::concat(stem, "@saturation"),
+                             atLoad(cfg, 1.0)});
+        }
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
 
     TextTable table;
     table.setHeader({"Buffer", "Slots", "25%", "50%", "saturated",
@@ -31,25 +62,29 @@ main()
 
     double damq3 = 0.0;
     double fifo8 = 0.0;
-    for (const BufferType type : {BufferType::Fifo, BufferType::Damq}) {
-        for (const unsigned slots : {3u, 4u, 8u}) {
-            NetworkConfig cfg = paperNetworkConfig();
-            cfg.bufferType = type;
-            cfg.slotsPerBuffer = slots;
+    std::size_t next = 0;
+    for (const BufferType type : kTypes) {
+        for (const unsigned slots : kSlots) {
+            const NetworkResult &at25 = results[next++];
+            const NetworkResult &at50 = results[next++];
+            const NetworkResult &sat = results[next++];
 
             table.startRow();
             table.addCell(bufferTypeName(type));
             table.addCell(std::to_string(slots));
-            table.addCell(formatFixed(latencyAtLoad(cfg, 0.25), 1));
-            table.addCell(formatFixed(latencyAtLoad(cfg, 0.50), 1));
-            const SaturationSummary sat = measureSaturation(cfg);
-            table.addCell(formatFixed(sat.saturatedLatencyClocks, 1));
-            table.addCell(formatFixed(sat.saturationThroughput, 2));
+            table.addCell(
+                formatFixed(at25.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(at50.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(sat.latencyClocks.mean(), 1));
+            table.addCell(
+                formatFixed(sat.deliveredThroughput, 2));
 
             if (type == BufferType::Damq && slots == 3)
-                damq3 = sat.saturationThroughput;
+                damq3 = sat.deliveredThroughput;
             if (type == BufferType::Fifo && slots == 8)
-                fifo8 = sat.saturationThroughput;
+                fifo8 = sat.deliveredThroughput;
         }
     }
     std::cout << table.render();
@@ -68,5 +103,36 @@ main()
               << (damq3 > fifo8 ? "PASS" : "FAIL") << " ("
               << formatFixed(damq3, 2) << " vs "
               << formatFixed(fifo8, 2) << ")\n";
+
+    {
+        BenchJsonFile out("table5_slots");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json, paperNetworkConfig());
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const BufferType type : kTypes) {
+            for (const unsigned slots : kSlots) {
+                const NetworkResult &at25 = results[at++];
+                const NetworkResult &at50 = results[at++];
+                const NetworkResult &sat = results[at++];
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("slots",
+                           static_cast<std::uint64_t>(slots));
+                json.field("latency25",
+                           at25.latencyClocks.mean());
+                json.field("latency50",
+                           at50.latencyClocks.mean());
+                json.field("saturatedLatencyClocks",
+                           sat.latencyClocks.mean());
+                json.field("saturationThroughput",
+                           sat.deliveredThroughput);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("table5_slots", runner, taskLabels(tasks));
     return 0;
 }

@@ -6,24 +6,83 @@
  * buffer organization at the same ~0.24 throughput — buffer type
  * does not matter under hot spots, which is the paper's argument
  * for a separate combining network in machines like the RP3.
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_table6_hotspot.json and a
+ * PERF_table6_hotspot.json timing sidecar.
  */
 
+#include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
+#include "common/logging.hh"
 #include "common/string_util.hh"
-#include "network/saturation.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
-int
-main()
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+NetworkConfig
+hotspotConfig(BufferType type)
 {
-    using namespace damq;
-    using namespace damq::bench;
+    NetworkConfig cfg = paperNetworkConfig();
+    cfg.bufferType = type;
+    cfg.traffic = "hotspot";
+    cfg.warmupCycles = 4000; // tree saturation builds slowly
+    cfg.measureCycles = 16000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SweepRunner runner(parseThreads(argc, argv));
 
     banner("Table 6 - 5% hot-spot traffic",
            "64x64 Omega, blocking, smart arbitration, 4 slots; all "
            "organizations tree-saturate near 0.24");
+
+    std::vector<NetworkTask> tasks;
+    for (const BufferType type : kAllBufferTypes) {
+        const NetworkConfig cfg = hotspotConfig(type);
+        tasks.push_back({detail::concat(bufferTypeName(type),
+                                        "@0.125"),
+                         atLoad(cfg, 0.125)});
+        tasks.push_back({detail::concat(bufferTypeName(type),
+                                        "@0.20"),
+                         atLoad(cfg, 0.20)});
+        tasks.push_back({detail::concat(bufferTypeName(type),
+                                        "@saturation"),
+                         atLoad(cfg, 1.0)});
+    }
+    // Extension: the authors' own 1992 follow-up reserves one slot
+    // per queue so hot-spot traffic cannot monopolize the pool.
+    // The tree-saturation cap is a bisection limit, so total
+    // saturation cannot move — but in-network latency near the cap
+    // can.
+    const BufferType kExtensionTypes[] = {BufferType::Damq,
+                                          BufferType::DamqR};
+    for (const BufferType type : kExtensionTypes) {
+        const NetworkConfig cfg = hotspotConfig(type);
+        tasks.push_back({detail::concat("ext-",
+                                        bufferTypeName(type),
+                                        "@0.20"),
+                         atLoad(cfg, 0.20)});
+        tasks.push_back({detail::concat("ext-",
+                                        bufferTypeName(type),
+                                        "@saturation"),
+                         atLoad(cfg, 1.0)});
+    }
+    const std::vector<NetworkResult> results =
+        runNetworkSweep(runner, tasks);
 
     TextTable table;
     table.setHeader({"Buffer", "12.5%", "20.0%", "saturated",
@@ -31,22 +90,20 @@ main()
 
     double min_sat = 1.0;
     double max_sat = 0.0;
+    std::size_t next = 0;
     for (const BufferType type : kAllBufferTypes) {
-        NetworkConfig cfg = paperNetworkConfig();
-        cfg.bufferType = type;
-        cfg.traffic = "hotspot";
-        cfg.warmupCycles = 4000; // tree saturation builds slowly
-        cfg.measureCycles = 16000;
+        const NetworkResult &at125 = results[next++];
+        const NetworkResult &at20 = results[next++];
+        const NetworkResult &sat = results[next++];
 
         table.startRow();
         table.addCell(bufferTypeName(type));
-        table.addCell(formatFixed(latencyAtLoad(cfg, 0.125), 2));
-        table.addCell(formatFixed(latencyAtLoad(cfg, 0.20), 2));
-        const SaturationSummary sat = measureSaturation(cfg);
-        table.addCell(formatFixed(sat.saturatedLatencyClocks, 2));
-        table.addCell(formatFixed(sat.saturationThroughput, 2));
-        min_sat = std::min(min_sat, sat.saturationThroughput);
-        max_sat = std::max(max_sat, sat.saturationThroughput);
+        table.addCell(formatFixed(at125.latencyClocks.mean(), 2));
+        table.addCell(formatFixed(at20.latencyClocks.mean(), 2));
+        table.addCell(formatFixed(sat.latencyClocks.mean(), 2));
+        table.addCell(formatFixed(sat.deliveredThroughput, 2));
+        min_sat = std::min(min_sat, sat.deliveredThroughput);
+        max_sat = std::max(max_sat, sat.deliveredThroughput);
     }
     std::cout << table.render();
 
@@ -63,30 +120,60 @@ main()
               << " (expect < ~0.05); asymptotic hot-spot cap is "
                  "1/(64*(0.05+0.95/64)) = 0.241\n";
 
-    // Extension: the authors' own 1992 follow-up reserves one slot
-    // per queue so hot-spot traffic cannot monopolize the pool.
-    // The tree-saturation cap is a bisection limit, so total
-    // saturation cannot move — but in-network latency near the cap
-    // can.
     TextTable ext;
     ext.setHeader({"Buffer", "lat@0.20", "saturated",
                    "sat. throughput"});
-    for (const BufferType type : {BufferType::Damq,
-                                  BufferType::DamqR}) {
-        NetworkConfig cfg = paperNetworkConfig();
-        cfg.bufferType = type;
-        cfg.traffic = "hotspot";
-        cfg.warmupCycles = 4000;
-        cfg.measureCycles = 16000;
+    for (const BufferType type : kExtensionTypes) {
+        const NetworkResult &at20 = results[next++];
+        const NetworkResult &sat = results[next++];
         ext.startRow();
         ext.addCell(bufferTypeName(type));
-        ext.addCell(formatFixed(latencyAtLoad(cfg, 0.20), 2));
-        const SaturationSummary sat = measureSaturation(cfg);
-        ext.addCell(formatFixed(sat.saturatedLatencyClocks, 2));
-        ext.addCell(formatFixed(sat.saturationThroughput, 2));
+        ext.addCell(formatFixed(at20.latencyClocks.mean(), 2));
+        ext.addCell(formatFixed(sat.latencyClocks.mean(), 2));
+        ext.addCell(formatFixed(sat.deliveredThroughput, 2));
     }
     std::cout << "\nExtension - DAMQ with reserved slots (Tamir & "
                  "Frazier 1992):\n"
               << ext.render();
+
+    {
+        BenchJsonFile out("table6_hotspot");
+        JsonWriter &json = out.json();
+        writeNetworkConfigJson(json, hotspotConfig(BufferType::Fifo));
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const BufferType type : kAllBufferTypes) {
+            const NetworkResult &at125 = results[at++];
+            const NetworkResult &at20 = results[at++];
+            const NetworkResult &sat = results[at++];
+            json.beginObject();
+            json.field("buffer", bufferTypeName(type));
+            json.field("latency125", at125.latencyClocks.mean());
+            json.field("latency20", at20.latencyClocks.mean());
+            json.field("saturatedLatencyClocks",
+                       sat.latencyClocks.mean());
+            json.field("saturationThroughput",
+                       sat.deliveredThroughput);
+            json.endObject();
+        }
+        json.endArray();
+        json.key("extensionRows");
+        json.beginArray();
+        for (const BufferType type : kExtensionTypes) {
+            const NetworkResult &at20 = results[at++];
+            const NetworkResult &sat = results[at++];
+            json.beginObject();
+            json.field("buffer", bufferTypeName(type));
+            json.field("latency20", at20.latencyClocks.mean());
+            json.field("saturatedLatencyClocks",
+                       sat.latencyClocks.mean());
+            json.field("saturationThroughput",
+                       sat.deliveredThroughput);
+            json.endObject();
+        }
+        json.endArray();
+    }
+    writePerfSidecar("table6_hotspot", runner, taskLabels(tasks));
     return 0;
 }

@@ -24,6 +24,18 @@ SplitMix64::next()
     return z ^ (z >> 31);
 }
 
+std::uint64_t
+deriveTaskSeed(std::uint64_t base_seed, std::uint64_t task_index)
+{
+    // Decorrelate (base, index) pairs by pushing both words through
+    // SplitMix64: seeding with base XOR a golden-ratio multiple of
+    // the index keeps nearby indices far apart in the output space.
+    SplitMix64 sm(base_seed ^
+                  (task_index + 1) * 0x9e3779b97f4a7c15ULL);
+    sm.next();
+    return sm.next();
+}
+
 Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed)
 {
     SplitMix64 sm(seed);

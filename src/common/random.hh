@@ -60,6 +60,18 @@ class Xoshiro256StarStar
 };
 
 /**
+ * Derive an independent per-task seed from a base seed and a task
+ * index.  The sweep runner hands every replication in a parallel
+ * sweep the seed deriveTaskSeed(baseSeed, taskIndex), where the
+ * index comes from the sweep's fixed enumeration order — so the
+ * stream a task draws depends only on its position in the sweep,
+ * never on which worker thread claimed it, and a parallel run is
+ * bit-identical to the sequential one.
+ */
+std::uint64_t deriveTaskSeed(std::uint64_t base_seed,
+                             std::uint64_t task_index);
+
+/**
  * Convenience façade over the raw engine offering the draws the
  * simulators actually need: Bernoulli trials, uniform reals, and
  * uniform integer ranges.

@@ -1,5 +1,7 @@
 #include "fault/invariant_auditor.hh"
 
+#include <unordered_map>
+
 #include "common/logging.hh"
 
 namespace damq {
@@ -54,6 +56,32 @@ auditGrantLegality(const GrantList &grants, PortId num_inputs,
             violations.push_back(detail::concat(
                 "output ", out, " granted ", per_output[out],
                 " times in one cycle"));
+    }
+    return violations;
+}
+
+std::vector<std::string>
+auditQueueFifoOrder(const BufferModel &buffer)
+{
+    std::vector<std::string> violations;
+    std::unordered_map<NodeId, std::uint32_t> last_seq;
+    for (PortId out = 0; out < buffer.numOutputs(); ++out) {
+        last_seq.clear();
+        buffer.forEachInQueue(out, [&](const Packet &pkt) {
+            if (pkt.outPort != out) {
+                violations.push_back(detail::concat(
+                    "queue ", out, ": packet ", pkt.id,
+                    " routed to output ", pkt.outPort));
+            }
+            const auto found = last_seq.find(pkt.source);
+            if (found != last_seq.end() && pkt.seq <= found->second) {
+                violations.push_back(detail::concat(
+                    "queue ", out, ": source ", pkt.source,
+                    " out of FIFO order (seq ", pkt.seq,
+                    " queued behind seq ", found->second, ")"));
+            }
+            last_seq[pkt.source] = pkt.seq;
+        });
     }
     return violations;
 }

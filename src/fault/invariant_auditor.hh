@@ -29,6 +29,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_report.hh"
+#include "queueing/buffer_model.hh"
 #include "switchsim/grant.hh"
 
 namespace damq {
@@ -96,6 +97,18 @@ class InvariantAuditor
 std::vector<std::string> auditGrantLegality(
     const GrantList &grants, PortId num_inputs, PortId num_outputs,
     std::uint32_t max_reads_per_input = 1);
+
+/**
+ * Check per-output FIFO delivery order inside @p buffer: within any
+ * one queue, packets from the same source must appear in strictly
+ * increasing sequence order (the per-source `seq` stamped at
+ * generation).  This holds for every healthy buffer organization
+ * under both omega and mesh XY routing, because any two packets
+ * from one source that meet in a queue travelled the same path
+ * prefix.  Walks the queues in place via forEachInQueue — no
+ * packet is copied.  Returns violation strings, empty when intact.
+ */
+std::vector<std::string> auditQueueFifoOrder(const BufferModel &buffer);
 
 } // namespace damq
 

@@ -41,6 +41,8 @@ MeshSimulator::MeshSimulator(const MeshConfig &config)
                     "component registration order broken");
     }
     prevTransmitted.assign(n, 0);
+    moveScratch.reserve(n * kMeshPorts);
+    sentScratch.reserve(kMeshPorts);
 }
 
 PortId
@@ -99,12 +101,9 @@ MeshSimulator::step()
 void
 MeshSimulator::moveTrafficForward()
 {
-    struct Move
-    {
-        NodeId node;
-        Packet packet;
-    };
-    std::vector<Move> moves;
+    std::vector<Move> &moves = moveScratch;
+    moves.clear();
+    std::vector<Packet> &sent = sentScratch;
 
     for (NodeId node = 0; node < numNodes(); ++node) {
         if (injector.arbiterStuck(node, currentCycle))
@@ -121,7 +120,6 @@ MeshSimulator::moveTrafficForward()
             return nodes[next]->canAccept(in_port, next_out,
                                           pkt.lengthSlots);
         };
-        std::vector<Packet> sent;
         if (auditor.due(currentCycle)) {
             const GrantList grants = nodes[node]->arbitrate(can_send);
             auditor.record(
@@ -131,7 +129,7 @@ MeshSimulator::moveTrafficForward()
                     nodes[node]->buffer(0).maxReadsPerCycle()));
             sent = nodes[node]->popGranted(grants);
         } else {
-            sent = nodes[node]->transmit(can_send);
+            nodes[node]->transmitInto(can_send, sent);
         }
         for (Packet &pkt : sent)
             moves.push_back(Move{node, pkt});
@@ -311,6 +309,11 @@ MeshSimulator::runAudit()
     for (NodeId node = 0; node < numNodes(); ++node) {
         auditor.record(currentCycle, injector.componentName(node),
                        nodes[node]->checkInvariants());
+        for (PortId in = 0; in < kMeshPorts; ++in) {
+            auditor.record(
+                currentCycle, injector.componentName(node),
+                auditQueueFifoOrder(nodes[node]->buffer(in)));
+        }
     }
     const std::uint64_t accounted =
         counters.delivered + counters.discardedInternal +

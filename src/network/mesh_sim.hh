@@ -164,6 +164,19 @@ class MeshSimulator
     PacketId nextPacketId = 0;
     NetworkCounters counters;
 
+    /** One in-flight hop: the packet and the node it left. */
+    struct Move
+    {
+        NodeId node;
+        Packet packet; ///< outPort = mesh port it left through
+    };
+
+    // Per-cycle scratch storage, reused every moveTrafficForward()
+    // call so the steady-state cycle loop never touches the
+    // allocator (reserved at construction).
+    std::vector<Move> moveScratch;
+    std::vector<Packet> sentScratch;
+
     bool draining = false;
     bool measuring = false;
     RunningStats latencyCycles;

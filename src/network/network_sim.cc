@@ -96,6 +96,14 @@ NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
         static_cast<std::size_t>(topo.numStages()) *
             topo.switchesPerStage(),
         0);
+
+    // Size every per-cycle scratch structure up front: at most one
+    // departure per switch output exists at once, so these bounds
+    // hold for the simulation's whole lifetime.
+    moveScratch.reserve(static_cast<std::size_t>(topo.numStages()) *
+                        cfg.numPorts);
+    sentScratch.reserve(cfg.radix);
+    pendingScratch.reserve(cfg.numPorts);
 }
 
 SwitchUnit &
@@ -146,12 +154,7 @@ NetworkSimulator::moveTrafficForward()
     // are deferred until every switch has transmitted, so the
     // decisions are made against a consistent start-of-cycle
     // snapshot even though the pops are interleaved.
-    struct Move
-    {
-        std::uint32_t stage;
-        std::uint32_t switchIndex;
-        Packet packet; ///< outPort = local output it left through
-    };
+    //
     // With per-input buffers, each downstream buffer has exactly
     // one upstream writer, so a start-of-cycle space check cannot
     // be invalidated.  The central pool and output queues are
@@ -163,7 +166,9 @@ NetworkSimulator::moveTrafficForward()
     // between transmit() calls is exact.)
     const bool shared_structures =
         cfg.placement != BufferPlacement::Input;
-    std::unordered_map<std::uint64_t, std::uint32_t> pending;
+    std::unordered_map<std::uint64_t, std::uint32_t> &pending =
+        pendingScratch;
+    pending.clear();
     auto pending_key = [&](std::uint32_t stage, std::uint32_t sw,
                            PortId out) {
         const std::uint64_t structure =
@@ -175,7 +180,8 @@ NetworkSimulator::moveTrafficForward()
                structure;
     };
 
-    std::vector<Move> moves;
+    std::vector<Move> &moves = moveScratch;
+    moves.clear();
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
         for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
              ++idx) {
@@ -213,7 +219,7 @@ NetworkSimulator::moveTrafficForward()
             // When a grant-legality audit is due, split the
             // input-buffered switch's transmit into arbitrate +
             // pop so the schedule itself can be checked.
-            std::vector<Packet> sent;
+            std::vector<Packet> &sent = sentScratch;
             if (cfg.placement == BufferPlacement::Input &&
                 auditor.due(currentCycle)) {
                 auto *sm = static_cast<SwitchModel *>(
@@ -227,7 +233,7 @@ NetworkSimulator::moveTrafficForward()
                         sm->buffer(0).maxReadsPerCycle()));
                 sent = sm->popGranted(grants);
             } else {
-                sent = switches[stage][idx]->transmit(can_send);
+                switches[stage][idx]->transmitInto(can_send, sent);
             }
             for (Packet &pkt : sent) {
                 if (shared_structures && stage != last_stage) {
@@ -498,6 +504,18 @@ NetworkSimulator::runAudit()
                 currentCycle,
                 injector.componentName(componentOf(stage, idx)),
                 switches[stage][idx]->checkInvariants());
+            if (cfg.placement != BufferPlacement::Input)
+                continue;
+            // Per-source FIFO delivery order, walked in place via
+            // forEachInQueue — no queue snapshot is copied.
+            const auto *sm = static_cast<const SwitchModel *>(
+                switches[stage][idx].get());
+            for (PortId in = 0; in < sm->numPorts(); ++in) {
+                auditor.record(
+                    currentCycle,
+                    injector.componentName(componentOf(stage, idx)),
+                    auditQueueFifoOrder(sm->buffer(in)));
+            }
         }
     }
     // End-to-end conservation: every packet that entered stage 0

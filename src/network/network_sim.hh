@@ -34,6 +34,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.hh"
@@ -275,6 +276,21 @@ class NetworkSimulator
     Cycle currentCycle = 0;
     PacketId nextPacketId = 0;
     NetworkCounters counters;
+
+    /** One in-flight hop: the packet and the switch it left. */
+    struct Move
+    {
+        std::uint32_t stage;
+        std::uint32_t switchIndex;
+        Packet packet; ///< outPort = local output it left through
+    };
+
+    // Per-cycle scratch storage, reused every moveTrafficForward()
+    // call so the steady-state cycle loop never touches the
+    // allocator (reserved at construction).
+    std::vector<Move> moveScratch;
+    std::vector<Packet> sentScratch;
+    std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;
 
     bool draining = false;
     bool measuring = false;

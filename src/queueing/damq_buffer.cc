@@ -14,32 +14,6 @@ DamqBuffer::DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots)
         appendTail(freeList, s);
 }
 
-SlotId
-DamqBuffer::removeHead(ListRegs &list)
-{
-    damq_assert(list.head != kNullSlot, "removeHead from empty list");
-    const SlotId s = list.head;
-    list.head = pool[s].next;
-    if (list.head == kNullSlot)
-        list.tail = kNullSlot;
-    pool[s].next = kNullSlot;
-    --list.slots;
-    return s;
-}
-
-void
-DamqBuffer::appendTail(ListRegs &list, SlotId s)
-{
-    pool[s].next = kNullSlot;
-    if (list.tail == kNullSlot) {
-        list.head = s;
-    } else {
-        pool[list.tail].next = s;
-    }
-    list.tail = s;
-    ++list.slots;
-}
-
 bool
 DamqBuffer::canAccept(PortId out, std::uint32_t len) const
 {
@@ -92,7 +66,7 @@ DamqBuffer::queueLength(PortId out) const
 Packet
 DamqBuffer::pop(PortId out)
 {
-    const Packet *head = peek(out);
+    const Packet *head = DamqBuffer::peek(out);
     damq_assert(head != nullptr, "pop(", out, ") from empty queue");
     const Packet pkt = *head;
 
@@ -123,15 +97,23 @@ DamqBuffer::clear()
     packetCount = 0;
 }
 
+void
+DamqBuffer::forEachInQueue(PortId out, const PacketVisitor &visit) const
+{
+    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
+    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
+        if (pool[s].headOfPacket)
+            visit(pool[s].packet);
+    }
+}
+
 std::vector<Packet>
 DamqBuffer::snapshotQueue(PortId out) const
 {
-    damq_assert(out < numOutputs(), "snapshotQueue: bad output ", out);
     std::vector<Packet> result;
-    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
-        if (pool[s].headOfPacket)
-            result.push_back(pool[s].packet);
-    }
+    result.reserve(queues[out].packets);
+    forEachInQueue(out,
+                   [&result](const Packet &pkt) { result.push_back(pkt); });
     return result;
 }
 

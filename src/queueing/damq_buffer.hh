@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "queueing/buffer_model.hh"
+#include "queueing/slot_pool.hh"
 
 namespace damq {
 
@@ -51,6 +52,8 @@ class DamqBuffer final : public BufferModel
     const Packet *peek(PortId out) const override;
     std::uint32_t queueLength(PortId out) const override;
     Packet pop(PortId out) override;
+    void forEachInQueue(PortId out,
+                        const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Damq; }
 
@@ -93,20 +96,26 @@ class DamqBuffer final : public BufferModel
         Packet packet; ///< valid iff headOfPacket
     };
 
-    /** Head/tail register pair plus occupancy counters. */
-    struct ListRegs
+    /**
+     * Head/tail register pair (shared slot-list primitive) plus a
+     * packet counter for the queue-length arbitration weight.
+     */
+    struct ListRegs : SlotListRegs
     {
-        SlotId head = kNullSlot;
-        SlotId tail = kNullSlot;
-        std::uint32_t slots = 0;
         std::uint32_t packets = 0;
     };
 
     /** Detach the first slot of @p list (must be non-empty). */
-    SlotId removeHead(ListRegs &list);
+    SlotId removeHead(ListRegs &list)
+    {
+        return slotListRemoveHead(pool, list);
+    }
 
     /** Append slot @p s at the tail of @p list. */
-    void appendTail(ListRegs &list, SlotId s);
+    void appendTail(ListRegs &list, SlotId s)
+    {
+        slotListAppendTail(pool, list, s);
+    }
 
     std::vector<Slot> pool;
     ListRegs freeList;

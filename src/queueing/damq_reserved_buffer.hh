@@ -58,6 +58,11 @@ class DamqReservedBuffer final : public BufferModel
         return inner.queueLength(out);
     }
     Packet pop(PortId out) override { return inner.pop(out); }
+    void forEachInQueue(PortId out,
+                        const PacketVisitor &visit) const override
+    {
+        inner.forEachInQueue(out, visit);
+    }
 
     BufferType type() const override { return BufferType::DamqR; }
 

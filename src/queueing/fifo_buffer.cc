@@ -41,7 +41,7 @@ FifoBuffer::queueLength(PortId out) const
 {
     // The whole buffer is one queue; it only counts toward the
     // output its head-of-line packet is routed to.
-    if (!peek(out))
+    if (!FifoBuffer::peek(out))
         return 0;
     return totalPackets();
 }
@@ -49,13 +49,25 @@ FifoBuffer::queueLength(PortId out) const
 Packet
 FifoBuffer::pop(PortId out)
 {
-    const Packet *head = peek(out);
+    const Packet *head = FifoBuffer::peek(out);
     damq_assert(head != nullptr,
                 "pop(", out, ") but head-of-line is elsewhere");
     Packet pkt = *head;
     queue.pop_front();
     used -= pkt.lengthSlots;
     return pkt;
+}
+
+void
+FifoBuffer::forEachInQueue(PortId out, const PacketVisitor &visit) const
+{
+    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
+    // One shared queue: the packets "queued for out" are the stored
+    // packets routed to it, in arrival order.
+    for (const Packet &pkt : queue) {
+        if (pkt.outPort == out)
+            visit(pkt);
+    }
 }
 
 void

@@ -36,6 +36,8 @@ class FifoBuffer final : public BufferModel
     const Packet *peek(PortId out) const override;
     std::uint32_t queueLength(PortId out) const override;
     Packet pop(PortId out) override;
+    void forEachInQueue(PortId out,
+                        const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Fifo; }
 

@@ -8,8 +8,10 @@ StaticallyPartitionedBuffer::StaticallyPartitionedBuffer(
     PortId num_outputs, std::uint32_t capacity_slots)
     : BufferModel(num_outputs, capacity_slots),
       perQueueCapacity(capacity_slots / num_outputs),
+      pool(capacity_slots),
+      freeLists(num_outputs),
       queues(num_outputs),
-      usedPerQueue(num_outputs, 0)
+      packetsPerQueue(num_outputs, 0)
 {
     if (capacity_slots % num_outputs != 0) {
         damq_fatal("statically partitioned buffers need a slot count "
@@ -17,6 +19,17 @@ StaticallyPartitionedBuffer::StaticallyPartitionedBuffer(
                    capacity_slots, " slots for ", num_outputs,
                    " outputs)");
     }
+    for (PortId q = 0; q < num_outputs; ++q)
+        threadPartitionFreeList(q);
+    freeTotal = capacity_slots;
+}
+
+void
+StaticallyPartitionedBuffer::threadPartitionFreeList(PortId q)
+{
+    const SlotId base = q * perQueueCapacity;
+    for (SlotId s = base; s < base + perQueueCapacity; ++s)
+        slotListAppendTail(pool, freeLists[q], s);
 }
 
 bool
@@ -24,19 +37,30 @@ StaticallyPartitionedBuffer::canAccept(PortId out,
                                        std::uint32_t len) const
 {
     damq_assert(out < numOutputs(), "canAccept: bad output ", out);
-    return usedPerQueue[out] + reservedFor(out) + len <= perQueueCapacity;
+    return freeLists[out].slots >= len + reservedFor(out);
 }
 
 void
 StaticallyPartitionedBuffer::push(const Packet &pkt)
 {
     damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
-    damq_assert(usedPerQueue[pkt.outPort] + reservedFor(pkt.outPort) +
-                    pkt.lengthSlots <= perQueueCapacity,
+    damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
+    SlotListRegs &free = freeLists[pkt.outPort];
+    damq_assert(free.slots >= pkt.lengthSlots + reservedFor(pkt.outPort),
                 "push into a full ", name(), " partition");
-    queues[pkt.outPort].push_back(pkt);
-    usedPerQueue[pkt.outPort] += pkt.lengthSlots;
-    used += pkt.lengthSlots;
+
+    SlotListRegs &queue = queues[pkt.outPort];
+    const SlotId head = slotListRemoveHead(pool, free);
+    pool[head].headOfPacket = true;
+    pool[head].packet = pkt;
+    slotListAppendTail(pool, queue, head);
+    for (std::uint32_t i = 1; i < pkt.lengthSlots; ++i) {
+        const SlotId s = slotListRemoveHead(pool, free);
+        pool[s].headOfPacket = false;
+        slotListAppendTail(pool, queue, s);
+    }
+    freeTotal -= pkt.lengthSlots;
+    ++packetsPerQueue[pkt.outPort];
     ++packets;
 }
 
@@ -44,39 +68,70 @@ const Packet *
 StaticallyPartitionedBuffer::peek(PortId out) const
 {
     damq_assert(out < numOutputs(), "peek: bad output ", out);
-    if (queues[out].empty())
+    const SlotListRegs &queue = queues[out];
+    if (queue.head == kNullSlot)
         return nullptr;
-    return &queues[out].front();
+    const Slot &slot = pool[queue.head];
+    damq_assert(slot.headOfPacket,
+                "queue head register does not point at a packet head");
+    return &slot.packet;
 }
 
 std::uint32_t
 StaticallyPartitionedBuffer::queueLength(PortId out) const
 {
     damq_assert(out < numOutputs(), "queueLength: bad output ", out);
-    return static_cast<std::uint32_t>(queues[out].size());
+    return packetsPerQueue[out];
 }
 
 Packet
 StaticallyPartitionedBuffer::pop(PortId out)
 {
-    damq_assert(out < numOutputs(), "pop: bad output ", out);
-    damq_assert(!queues[out].empty(), "pop from empty queue ", out);
-    Packet pkt = queues[out].front();
-    queues[out].pop_front();
-    usedPerQueue[out] -= pkt.lengthSlots;
-    used -= pkt.lengthSlots;
+    // Qualified call: keeps the lookup direct (and inlinable)
+    // instead of re-dispatching through the vtable.
+    const Packet *head = StaticallyPartitionedBuffer::peek(out);
+    damq_assert(head != nullptr, "pop from empty queue ", out);
+    const Packet pkt = *head;
+
+    SlotListRegs &queue = queues[out];
+    SlotListRegs &free = freeLists[out];
+    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+        const SlotId s = slotListRemoveHead(pool, queue);
+        damq_assert((i == 0) == pool[s].headOfPacket,
+                    "packet slot chain corrupted");
+        pool[s].headOfPacket = false;
+        slotListAppendTail(pool, free, s);
+    }
+    freeTotal += pkt.lengthSlots;
+    --packetsPerQueue[out];
     --packets;
     return pkt;
+}
+
+void
+StaticallyPartitionedBuffer::forEachInQueue(
+    PortId out, const PacketVisitor &visit) const
+{
+    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
+    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
+        if (pool[s].headOfPacket)
+            visit(pool[s].packet);
+    }
 }
 
 void
 StaticallyPartitionedBuffer::clear()
 {
     BufferModel::clear();
-    for (auto &q : queues)
-        q.clear();
-    std::fill(usedPerQueue.begin(), usedPerQueue.end(), 0);
-    used = 0;
+    for (auto &slot : pool)
+        slot = Slot{};
+    for (PortId q = 0; q < numOutputs(); ++q) {
+        freeLists[q] = SlotListRegs{};
+        queues[q] = SlotListRegs{};
+        threadPartitionFreeList(q);
+    }
+    std::fill(packetsPerQueue.begin(), packetsPerQueue.end(), 0);
+    freeTotal = capacitySlots();
     packets = 0;
 }
 
@@ -84,50 +139,124 @@ std::vector<std::string>
 StaticallyPartitionedBuffer::checkInvariants() const
 {
     std::vector<std::string> violations;
-    std::uint32_t total_slots = 0;
-    std::uint32_t total_packets = 0;
-    for (PortId out = 0; out < numOutputs(); ++out) {
-        std::uint32_t q_slots = 0;
-        for (const auto &pkt : queues[out]) {
-            if (!pkt.valid())
-                violations.push_back(detail::concat(
-                    "invalid packet ", pkt.id, " in partition ", out));
-            if (pkt.outPort != out)
-                violations.push_back(detail::concat(
-                    "packet ", pkt.id, " queued under output ", out,
-                    " but routed to ", pkt.outPort));
-            q_slots += pkt.lengthSlots;
+    const auto report = [&violations](auto &&...parts) {
+        violations.push_back(detail::concat(parts...));
+    };
+
+    std::vector<bool> seen(pool.size(), false);
+
+    // Walk one partition's list defensively: a corrupted pointer
+    // register must yield a report, never a crash or an endless
+    // loop.  Returns the number of packet heads encountered.
+    const auto walk = [&](const SlotListRegs &list,
+                          const std::string &label, PortId partition,
+                          bool is_free) {
+        const SlotId lo = partition * perQueueCapacity;
+        const SlotId hi = lo + perQueueCapacity;
+        std::uint32_t slots = 0;
+        std::uint32_t heads = 0;
+        std::uint32_t tail_of_packet = 0; ///< body slots still owed
+        SlotId prev = kNullSlot;
+        for (SlotId s = list.head; s != kNullSlot; s = pool[s].next) {
+            if (s >= pool.size()) {
+                report(label, ": pointer register out of range (slot ",
+                       s, ")");
+                return heads;
+            }
+            if (s < lo || s >= hi) {
+                report(label, ": slot ", s,
+                       " belongs to another partition");
+                return heads;
+            }
+            if (seen[s]) {
+                report(label, ": slot ", s, " linked into two lists");
+                return heads;
+            }
+            seen[s] = true;
+            ++slots;
+            if (is_free) {
+                if (pool[s].headOfPacket)
+                    report(label, ": free slot ", s,
+                           " still marked as a packet head");
+            } else if (pool[s].headOfPacket) {
+                if (tail_of_packet != 0)
+                    report(label, ": packet slot chain truncated at "
+                           "slot ", s, " (", tail_of_packet,
+                           " body slots missing)");
+                if (pool[s].packet.outPort != partition)
+                    report(label, ": packet ", pool[s].packet.id,
+                           " queued under output ", partition,
+                           " but routed to ", pool[s].packet.outPort);
+                if (!pool[s].packet.valid())
+                    report(label, ": invalid packet ",
+                           pool[s].packet.id, " in partition ",
+                           partition);
+                tail_of_packet = pool[s].packet.lengthSlots - 1;
+                ++heads;
+            } else {
+                if (tail_of_packet == 0)
+                    report(label, ": slot ", s,
+                           " belongs to no packet (FIFO chain "
+                           "broken)");
+                else
+                    --tail_of_packet;
+            }
+            prev = s;
+            if (slots > perQueueCapacity) {
+                report(label, ": cycle detected in slot list");
+                return heads;
+            }
         }
-        if (q_slots != usedPerQueue[out])
-            violations.push_back(detail::concat(
-                "partition ", out, " slot accounting drifted (",
-                q_slots, " stored, ", usedPerQueue[out], " counted)"));
-        if (usedPerQueue[out] + reservedFor(out) > perQueueCapacity)
-            violations.push_back(detail::concat(
-                "partition ", out, " over its static bound (",
-                usedPerQueue[out], " used + ", reservedFor(out),
-                " reserved > ", perQueueCapacity, ")"));
-        total_slots += q_slots;
-        total_packets += static_cast<std::uint32_t>(queues[out].size());
+        if (tail_of_packet != 0)
+            report(label, ": last packet is missing ", tail_of_packet,
+                   " of its body slots");
+        if (prev != list.tail)
+            report(label,
+                   ": tail register does not point at the last slot");
+        if (slots != list.slots)
+            report(label, ": list slot counter drifted (walked ", slots,
+                   ", register holds ", list.slots, ")");
+        return heads;
+    };
+
+    std::uint32_t total_packets = 0;
+    std::uint32_t total_free = 0;
+    for (PortId out = 0; out < numOutputs(); ++out) {
+        walk(freeLists[out],
+             detail::concat("partition ", out, " free list"), out,
+             true);
+        const std::string label = detail::concat("queue ", out);
+        const std::uint32_t heads = walk(queues[out], label, out, false);
+        if (heads != packetsPerQueue[out])
+            report(label, ": packet counter drifted (walked ", heads,
+                   ", register holds ", packetsPerQueue[out], ")");
+        if (queues[out].slots + reservedFor(out) > perQueueCapacity)
+            report("partition ", out, " over its static bound (",
+                   queues[out].slots, " used + ", reservedFor(out),
+                   " reserved > ", perQueueCapacity, ")");
+        total_packets += heads;
+        total_free += freeLists[out].slots;
     }
-    if (used != total_slots)
-        violations.push_back(detail::concat(
-            "total slot accounting drifted (", total_slots,
-            " stored, ", used, " counted)"));
+    for (std::size_t s = 0; s < pool.size(); ++s) {
+        if (!seen[s])
+            report("slot ", s, " leaked from every list");
+    }
     if (total_packets != packets)
-        violations.push_back(detail::concat(
-            "packet count accounting drifted (", total_packets,
-            " stored, ", packets, " counted)"));
+        report("packet count accounting drifted (", total_packets,
+               " stored, ", packets, " counted)");
+    if (total_free != freeTotal)
+        report("free slot accounting drifted (", total_free,
+               " on the lists, ", freeTotal, " counted)");
     return violations;
 }
 
 bool
 StaticallyPartitionedBuffer::faultLeakSlot()
 {
-    if (usedPerQueue[0] >= perQueueCapacity)
+    if (freeLists[0].slots == 0)
         return false;
-    ++usedPerQueue[0];
-    ++used;
+    slotListRemoveHead(pool, freeLists[0]);
+    --freeTotal;
     return true;
 }
 

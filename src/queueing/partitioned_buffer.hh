@@ -13,18 +13,23 @@
  *    from every queue to its output port — n 4-by-1 switches in the
  *    paper's Figure 1b — so every queue can emit simultaneously.
  *
- * Static partitioning wastes storage under non-uniform traffic: a
- * packet can be rejected while slots reserved for other outputs sit
- * empty.  That effect is exactly what Tables 2-5 quantify.
+ * Storage is one contiguous pool of slots threaded into per-partition
+ * free and FIFO lists through per-slot pointer registers, the same
+ * structure DamqBuffer uses — partition q simply owns the fixed index
+ * range [q * partitionSlots(), (q + 1) * partitionSlots()), so slots
+ * never migrate between outputs.  That fixed ownership is the whole
+ * difference from the DAMQ: a packet can be rejected while slots
+ * assigned to other outputs sit empty, which is exactly the waste
+ * Tables 2-5 quantify.
  */
 
 #ifndef DAMQ_QUEUEING_PARTITIONED_BUFFER_HH
 #define DAMQ_QUEUEING_PARTITIONED_BUFFER_HH
 
-#include <deque>
 #include <vector>
 
 #include "queueing/buffer_model.hh"
+#include "queueing/slot_pool.hh"
 
 namespace damq {
 
@@ -45,7 +50,10 @@ class StaticallyPartitionedBuffer : public BufferModel
     /** Slots statically assigned to each queue. */
     std::uint32_t partitionSlots() const { return perQueueCapacity; }
 
-    std::uint32_t usedSlots() const override { return used; }
+    std::uint32_t usedSlots() const override
+    {
+        return capacitySlots() - freeTotal;
+    }
     std::uint32_t totalPackets() const override { return packets; }
 
     bool canAccept(PortId out, std::uint32_t len) const override;
@@ -53,22 +61,42 @@ class StaticallyPartitionedBuffer : public BufferModel
     const Packet *peek(PortId out) const override;
     std::uint32_t queueLength(PortId out) const override;
     Packet pop(PortId out) override;
+    void forEachInQueue(PortId out,
+                        const PacketVisitor &visit) const override;
 
     void clear() override;
     std::vector<std::string> checkInvariants() const override;
 
     /**
-     * Fault hook: bump partition 0's occupancy counter without
-     * storing a packet; checkInvariants() reports the drift as a
-     * per-queue accounting violation.
+     * Fault hook: detach partition 0's head free slot and abandon
+     * it, as if its pointer register latched garbage; the slot then
+     * belongs to no list and checkInvariants() reports it as leaked.
+     * Returns false when partition 0 has no free slot.
      */
     bool faultLeakSlot() override;
 
   private:
+    /**
+     * Per-slot register file entry: the pointer register plus the
+     * packet metadata, meaningful only in the first slot of a
+     * packet (same layout DamqBuffer uses).
+     */
+    struct Slot
+    {
+        SlotId next = kNullSlot;
+        bool headOfPacket = false;
+        Packet packet; ///< valid iff headOfPacket
+    };
+
+    /** Thread partition @p q's slot range onto its free list. */
+    void threadPartitionFreeList(PortId q);
+
     std::uint32_t perQueueCapacity;
-    std::vector<std::deque<Packet>> queues;
-    std::vector<std::uint32_t> usedPerQueue;
-    std::uint32_t used = 0;
+    std::vector<Slot> pool;
+    std::vector<SlotListRegs> freeLists; ///< one per partition
+    std::vector<SlotListRegs> queues;    ///< one FIFO per partition
+    std::vector<std::uint32_t> packetsPerQueue;
+    std::uint32_t freeTotal = 0;
     std::uint32_t packets = 0;
 };
 

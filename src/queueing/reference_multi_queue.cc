@@ -6,8 +6,11 @@ namespace damq {
 
 ReferenceMultiQueue::ReferenceMultiQueue(PortId num_outputs,
                                          std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots), queues(num_outputs)
+    : BufferModel(num_outputs, capacity_slots), nodes(capacity_slots),
+      queues(num_outputs)
 {
+    for (SlotId n = 0; n < capacity_slots; ++n)
+        slotListAppendTail(nodes, freeNodes, n);
 }
 
 bool
@@ -24,7 +27,9 @@ ReferenceMultiQueue::push(const Packet &pkt)
     damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
                     capacitySlots(),
                 "push into a full reference buffer");
-    queues[pkt.outPort].push_back(pkt);
+    const SlotId n = slotListRemoveHead(nodes, freeNodes);
+    nodes[n].packet = pkt;
+    slotListAppendTail(nodes, queues[pkt.outPort], n);
     used += pkt.lengthSlots;
     ++packets;
 }
@@ -33,36 +38,52 @@ const Packet *
 ReferenceMultiQueue::peek(PortId out) const
 {
     damq_assert(out < numOutputs(), "peek: bad output ", out);
-    if (queues[out].empty())
+    if (queues[out].head == kNullSlot)
         return nullptr;
-    return &queues[out].front();
+    return &nodes[queues[out].head].packet;
 }
 
 std::uint32_t
 ReferenceMultiQueue::queueLength(PortId out) const
 {
     damq_assert(out < numOutputs(), "queueLength: bad output ", out);
-    return static_cast<std::uint32_t>(queues[out].size());
+    return queues[out].slots;
 }
 
 Packet
 ReferenceMultiQueue::pop(PortId out)
 {
     damq_assert(out < numOutputs(), "pop: bad output ", out);
-    damq_assert(!queues[out].empty(), "pop from empty queue ", out);
-    Packet pkt = queues[out].front();
-    queues[out].pop_front();
+    damq_assert(queues[out].head != kNullSlot,
+                "pop from empty queue ", out);
+    const SlotId n = slotListRemoveHead(nodes, queues[out]);
+    const Packet pkt = nodes[n].packet;
+    slotListAppendTail(nodes, freeNodes, n);
     used -= pkt.lengthSlots;
     --packets;
     return pkt;
 }
 
 void
+ReferenceMultiQueue::forEachInQueue(PortId out,
+                                    const PacketVisitor &visit) const
+{
+    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
+    for (SlotId n = queues[out].head; n != kNullSlot; n = nodes[n].next)
+        visit(nodes[n].packet);
+}
+
+void
 ReferenceMultiQueue::clear()
 {
     BufferModel::clear();
-    for (auto &q : queues)
-        q.clear();
+    for (auto &node : nodes)
+        node = Node{};
+    freeNodes = SlotListRegs{};
+    for (auto &queue : queues)
+        queue = SlotListRegs{};
+    for (SlotId n = 0; n < capacitySlots(); ++n)
+        slotListAppendTail(nodes, freeNodes, n);
     used = 0;
     packets = 0;
 }

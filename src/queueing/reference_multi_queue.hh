@@ -1,18 +1,25 @@
 /**
  * @file
  * A deliberately simple multi-queue oracle used by the property
- * tests: per-output std::deque queues over one shared slot budget.
+ * tests: per-output FIFO queues over one shared slot budget.
  * Behaviorally it must match DamqBuffer operation for operation;
  * the tests drive both with identical random streams and compare.
+ *
+ * Storage is a pool of per-*packet* nodes threaded into one free
+ * list and one list per output — intentionally a different shape
+ * from DamqBuffer's per-*slot* chains (where an L-slot packet
+ * occupies L linked entries), so the oracle stays structurally
+ * independent of the implementation it checks while avoiding the
+ * allocation churn of std::deque.
  */
 
 #ifndef DAMQ_QUEUEING_REFERENCE_MULTI_QUEUE_HH
 #define DAMQ_QUEUEING_REFERENCE_MULTI_QUEUE_HH
 
-#include <deque>
 #include <vector>
 
 #include "queueing/buffer_model.hh"
+#include "queueing/slot_pool.hh"
 
 namespace damq {
 
@@ -31,13 +38,25 @@ class ReferenceMultiQueue final : public BufferModel
     const Packet *peek(PortId out) const override;
     std::uint32_t queueLength(PortId out) const override;
     Packet pop(PortId out) override;
+    void forEachInQueue(PortId out,
+                        const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Damq; }
 
     void clear() override;
 
   private:
-    std::vector<std::deque<Packet>> queues;
+    /** One queued packet (every packet is >= 1 slot, so
+     *  capacitySlots() nodes always suffice). */
+    struct Node
+    {
+        SlotId next = kNullSlot;
+        Packet packet;
+    };
+
+    std::vector<Node> nodes;
+    SlotListRegs freeNodes;
+    std::vector<SlotListRegs> queues; ///< .slots counts packets
     std::uint32_t used = 0;
     std::uint32_t packets = 0;
 };

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Index-linked slot-list primitives shared by the buffer models.
+ *
+ * The DAMQ hardware threads its storage slots into singly linked
+ * lists through per-slot *pointer registers*; a list is addressed
+ * by a head/tail register pair (Section 3.1 of the paper).  The
+ * same structure turns out to be the fastest software
+ * representation as well — no allocation ever happens after
+ * construction, every slot lives in one contiguous pool, and a
+ * push or pop is a handful of register updates — so the statically
+ * partitioned organizations and the reference oracle use it too.
+ *
+ * A *node* type only needs a `SlotId next` member; everything else
+ * (packet metadata, head-of-packet marks) is the owner's business.
+ */
+
+#ifndef DAMQ_QUEUEING_SLOT_POOL_HH
+#define DAMQ_QUEUEING_SLOT_POOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace damq {
+
+/** Head/tail register pair plus a node occupancy counter. */
+struct SlotListRegs
+{
+    SlotId head = kNullSlot;
+    SlotId tail = kNullSlot;
+    std::uint32_t slots = 0;
+};
+
+/** Detach and return the first node of @p list (must be non-empty). */
+template <typename Node>
+inline SlotId
+slotListRemoveHead(std::vector<Node> &pool, SlotListRegs &list)
+{
+    damq_assert(list.head != kNullSlot, "removeHead from empty list");
+    const SlotId s = list.head;
+    list.head = pool[s].next;
+    if (list.head == kNullSlot)
+        list.tail = kNullSlot;
+    pool[s].next = kNullSlot;
+    --list.slots;
+    return s;
+}
+
+/** Append node @p s at the tail of @p list. */
+template <typename Node>
+inline void
+slotListAppendTail(std::vector<Node> &pool, SlotListRegs &list, SlotId s)
+{
+    pool[s].next = kNullSlot;
+    if (list.tail == kNullSlot) {
+        list.head = s;
+    } else {
+        pool[list.tail].next = s;
+    }
+    list.tail = s;
+    ++list.slots;
+}
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_SLOT_POOL_HH

@@ -1,0 +1,92 @@
+#include "runner/bench_output.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <string_view>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+unsigned
+parseThreads(int argc, char **argv)
+{
+    const auto parse = [](const std::string &text) {
+        char *end = nullptr;
+        const long value = std::strtol(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0' || value < 1 ||
+            value > 4096) {
+            damq_fatal("--threads wants an integer in [1, 4096], "
+                       "got '", text, "'");
+        }
+        return static_cast<unsigned>(value);
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--threads=", 0) == 0)
+            return parse(std::string(arg.substr(10)));
+        if (arg == "--threads") {
+            if (i + 1 >= argc)
+                damq_fatal("--threads needs a value");
+            return parse(argv[i + 1]);
+        }
+    }
+    return 1;
+}
+
+BenchJsonFile::BenchJsonFile(const std::string &bench)
+    : path("BENCH_" + bench + ".json"), file(path), writer(file)
+{
+    if (!file)
+        damq_fatal("cannot open ", path, " for writing");
+    writer.beginObject();
+    writer.field("schema", "damq-bench-v1");
+    writer.field("bench", bench);
+}
+
+BenchJsonFile::~BenchJsonFile()
+{
+    writer.endObject();
+    file.close();
+    // Stderr, so saved stdout golden files stay byte-identical.
+    std::cerr << "wrote " << path << "\n";
+}
+
+void
+writePerfSidecar(const std::string &bench, const SweepRunner &runner,
+                 const std::vector<std::string> &labels)
+{
+    const std::vector<TaskPerf> &perf = runner.taskPerf();
+    damq_assert(labels.size() == perf.size(),
+                "perf sidecar: ", labels.size(), " labels for ",
+                perf.size(), " tasks");
+
+    const std::string path = "PERF_" + bench + ".json";
+    std::ofstream file(path);
+    if (!file)
+        damq_fatal("cannot open ", path, " for writing");
+
+    JsonWriter json(file);
+    json.beginObject();
+    json.field("schema", "damq-perf-v1");
+    json.field("bench", bench);
+    json.field("threads", static_cast<std::uint64_t>(runner.threads()));
+    json.field("wallSeconds", runner.wallSeconds());
+    json.key("tasks");
+    json.beginArray();
+    for (std::size_t i = 0; i < perf.size(); ++i) {
+        json.beginObject();
+        json.field("index", static_cast<std::uint64_t>(i));
+        json.field("label", labels[i]);
+        json.field("wallSeconds", perf[i].wallSeconds);
+        json.field("simCycles", perf[i].simCycles);
+        json.field("simCyclesPerSecond", perf[i].cyclesPerSecond);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    std::cerr << "wrote " << path << "\n";
+}
+
+} // namespace damq

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared plumbing for the bench executables' machine-readable
+ * output: the --threads flag, the BENCH_<name>.json result files,
+ * and the PERF_<name>.json timing sidecars.
+ *
+ * Two invariants the benches rely on:
+ *
+ *  - stdout carries exactly the text tables it always carried, so
+ *    saved golden outputs keep matching byte for byte; everything
+ *    this header adds (file-written notices) goes to stderr.
+ *  - BENCH_<name>.json holds only simulation outputs — fully
+ *    deterministic, identical at any --threads value.  Wall-clock
+ *    data lives in the PERF_<name>.json sidecar, which is expected
+ *    to differ run to run.
+ */
+
+#ifndef DAMQ_RUNNER_BENCH_OUTPUT_HH
+#define DAMQ_RUNNER_BENCH_OUTPUT_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runner/json_writer.hh"
+#include "runner/sweep_runner.hh"
+
+namespace damq {
+
+/**
+ * Parse `--threads=N` (or `--threads N`) from the command line;
+ * defaults to 1 so a bare invocation reproduces the historical
+ * sequential runs.  Fatal on malformed values.
+ */
+unsigned parseThreads(int argc, char **argv);
+
+/**
+ * One BENCH_<name>.json document being written.  Opens
+ * `BENCH_<bench>.json` in the working directory, emits the shared
+ * preamble (`schema`, `bench`), and leaves the root object open
+ * for the bench's own fields; the destructor closes the root
+ * object and prints a notice on stderr.
+ */
+class BenchJsonFile
+{
+  public:
+    /** Start BENCH_<bench>.json; fatal if the file can't open. */
+    explicit BenchJsonFile(const std::string &bench);
+
+    /** Close the root object and the file (destructor calls it). */
+    ~BenchJsonFile();
+
+    /** The writer, positioned inside the root object. */
+    JsonWriter &json() { return writer; }
+
+  private:
+    std::string path;
+    std::ofstream file;
+    JsonWriter writer;
+};
+
+/**
+ * Write PERF_<bench>.json from @p runner's counters for its last
+ * sweep: thread count, sweep wall seconds, and per-task wall
+ * seconds / simulated cycles / cycles-per-second, labelled by
+ * @p labels (same order as the tasks).
+ */
+void writePerfSidecar(const std::string &bench,
+                      const SweepRunner &runner,
+                      const std::vector<std::string> &labels);
+
+} // namespace damq
+
+#endif // DAMQ_RUNNER_BENCH_OUTPUT_HH

@@ -1,0 +1,52 @@
+#include "runner/csv_writer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+CsvWriter::CsvWriter(std::ostream &out) : out(out) {}
+
+void
+CsvWriter::header(const std::vector<std::string> &columns)
+{
+    damq_assert(!wroteHeader, "CSV header written twice");
+    columns_ = columns.size();
+    wroteHeader = true;
+    line(columns);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    damq_assert(wroteHeader, "CSV row before header");
+    damq_assert(fields.size() == columns_, "CSV row has ",
+                fields.size(), " fields, header has ", columns_);
+    line(fields);
+}
+
+void
+CsvWriter::line(const std::vector<std::string> &fields)
+{
+    bool first = true;
+    for (const std::string &field : fields) {
+        if (!first)
+            out << ',';
+        first = false;
+        const bool needs_quotes =
+            field.find_first_of(",\"\n\r") != std::string::npos;
+        if (!needs_quotes) {
+            out << field;
+            continue;
+        }
+        out << '"';
+        for (const char c : field) {
+            if (c == '"')
+                out << '"';
+            out << c;
+        }
+        out << '"';
+    }
+    out << '\n';
+}
+
+} // namespace damq

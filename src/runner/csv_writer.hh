@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal CSV result sink for the sweep runner.
+ *
+ * Some downstream tooling (spreadsheets, pandas one-liners) wants
+ * flat tables rather than the nested BENCH_*.json documents.  The
+ * writer emits RFC-4180-style CSV: a header row, then one row per
+ * record, fields quoted only when they contain a comma, quote, or
+ * newline.  Numbers are formatted by the caller so the CSV spelling
+ * matches the JSON spelling exactly.
+ */
+
+#ifndef DAMQ_RUNNER_CSV_WRITER_HH
+#define DAMQ_RUNNER_CSV_WRITER_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace damq {
+
+/** Streams one CSV table to an ostream. */
+class CsvWriter
+{
+  public:
+    /** Write to @p out; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream &out);
+
+    /** Emit the header row (call once, first). */
+    void header(const std::vector<std::string> &columns);
+
+    /** Emit one data row; must match the header's column count. */
+    void row(const std::vector<std::string> &fields);
+
+  private:
+    /** Emit one line, quoting fields as needed. */
+    void line(const std::vector<std::string> &fields);
+
+    std::ostream &out;
+    std::size_t columns_ = 0;
+    bool wroteHeader = false;
+};
+
+} // namespace damq
+
+#endif // DAMQ_RUNNER_CSV_WRITER_HH

@@ -1,0 +1,219 @@
+#include "runner/json_writer.hh"
+
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+std::string
+formatJsonNumber(double number)
+{
+    if (!std::isfinite(number))
+        return "null";
+    std::ostringstream text;
+    text << std::setprecision(
+                std::numeric_limits<double>::max_digits10)
+         << number;
+    return text.str();
+}
+
+JsonWriter::JsonWriter(std::ostream &out) : out(out) {}
+
+void
+JsonWriter::beforeValue()
+{
+    damq_assert(!finished, "JSON document already finished");
+    if (stack.empty())
+        return;
+    if (stack.back() == Scope::Object) {
+        damq_assert(keyPending,
+                    "JSON object values need a key() first");
+        keyPending = false;
+        return;
+    }
+    if (hasItems.back())
+        out << ',';
+    hasItems.back() = true;
+    newline();
+}
+
+void
+JsonWriter::newline()
+{
+    out << '\n';
+    for (std::size_t i = 0; i < stack.size(); ++i)
+        out << "  ";
+}
+
+void
+JsonWriter::quoted(std::string_view text)
+{
+    out << '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          case '\r':
+            out << "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::ostringstream esc;
+                esc << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c);
+                out << esc.str();
+            } else {
+                out << c;
+            }
+        }
+    }
+    out << '"';
+}
+
+void
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out << '{';
+    stack.push_back(Scope::Object);
+    hasItems.push_back(false);
+}
+
+void
+JsonWriter::endObject()
+{
+    damq_assert(!stack.empty() && stack.back() == Scope::Object,
+                "endObject outside an object");
+    damq_assert(!keyPending, "dangling key at endObject");
+    const bool items = hasItems.back();
+    stack.pop_back();
+    hasItems.pop_back();
+    if (items)
+        newline();
+    out << '}';
+    if (stack.empty())
+        finish();
+}
+
+void
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out << '[';
+    stack.push_back(Scope::Array);
+    hasItems.push_back(false);
+}
+
+void
+JsonWriter::endArray()
+{
+    damq_assert(!stack.empty() && stack.back() == Scope::Array,
+                "endArray outside an array");
+    const bool items = hasItems.back();
+    stack.pop_back();
+    hasItems.pop_back();
+    if (items)
+        newline();
+    out << ']';
+    if (stack.empty())
+        finish();
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    damq_assert(!stack.empty() && stack.back() == Scope::Object,
+                "key() outside an object");
+    damq_assert(!keyPending, "two keys in a row");
+    if (hasItems.back())
+        out << ',';
+    hasItems.back() = true;
+    newline();
+    quoted(name);
+    out << ": ";
+    keyPending = true;
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    beforeValue();
+    quoted(text);
+}
+
+void
+JsonWriter::value(const char *text)
+{
+    value(std::string_view(text));
+}
+
+void
+JsonWriter::value(double number)
+{
+    if (!std::isfinite(number)) {
+        null();
+        return;
+    }
+    beforeValue();
+    out << formatJsonNumber(number);
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    beforeValue();
+    out << number;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    beforeValue();
+    out << number;
+}
+
+void
+JsonWriter::value(int number)
+{
+    value(static_cast<std::int64_t>(number));
+}
+
+void
+JsonWriter::value(bool flag)
+{
+    beforeValue();
+    out << (flag ? "true" : "false");
+}
+
+void
+JsonWriter::null()
+{
+    beforeValue();
+    out << "null";
+}
+
+void
+JsonWriter::finish()
+{
+    if (finished)
+        return;
+    damq_assert(stack.empty(), "finish() inside an open scope");
+    out << '\n';
+    finished = true;
+}
+
+} // namespace damq

@@ -1,0 +1,82 @@
+#include "runner/network_sweep.hh"
+
+namespace damq {
+
+namespace {
+
+std::uint64_t
+networkCycles(const NetworkResult &result)
+{
+    return result.measuredCycles;
+}
+
+std::uint64_t
+meshCycles(const MeshResult &result)
+{
+    return result.measuredCycles;
+}
+
+} // namespace
+
+std::vector<NetworkResult>
+runNetworkSweep(SweepRunner &runner,
+                const std::vector<NetworkTask> &tasks)
+{
+    return runner.map(
+        tasks.size(),
+        [&tasks](std::size_t i) {
+            NetworkSimulator sim(tasks[i].config);
+            return sim.run();
+        },
+        &networkCycles);
+}
+
+std::vector<MeshResult>
+runMeshSweep(SweepRunner &runner, const std::vector<MeshTask> &tasks)
+{
+    return runner.map(
+        tasks.size(),
+        [&tasks](std::size_t i) {
+            MeshSimulator sim(tasks[i].config);
+            return sim.run();
+        },
+        &meshCycles);
+}
+
+NetworkConfig
+atLoad(const NetworkConfig &base, double load)
+{
+    NetworkConfig cfg = base;
+    cfg.offeredLoad = load;
+    return cfg;
+}
+
+MeshConfig
+atLoad(const MeshConfig &base, double load)
+{
+    MeshConfig cfg = base;
+    cfg.offeredLoad = load;
+    return cfg;
+}
+
+std::vector<std::string>
+taskLabels(const std::vector<NetworkTask> &tasks)
+{
+    std::vector<std::string> labels;
+    labels.reserve(tasks.size());
+    for (const NetworkTask &task : tasks)
+        labels.push_back(task.label);
+    return labels;
+}
+
+std::vector<std::string>
+taskLabels(const std::vector<MeshTask> &tasks)
+{
+    std::vector<std::string> labels;
+    labels.reserve(tasks.size());
+    for (const MeshTask &task : tasks)
+        labels.push_back(task.label);
+    return labels;
+}
+
+} // namespace damq

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sweep-task adapters between the simulators and the SweepRunner.
+ *
+ * A bench describes its work as a flat, ordered list of tasks —
+ * each one full simulator configuration (offered load, buffer
+ * type, seed, … already baked in) plus a human-readable label for
+ * the perf sidecar.  The adapters fan the list across the runner's
+ * threads and hand back the results in task order, so a bench's
+ * rendering code consumes them exactly as the old sequential loops
+ * did.  Every task constructs its own simulator from its own
+ * config; nothing is shared, which is what makes the parallel run
+ * bit-identical to the sequential one.
+ */
+
+#ifndef DAMQ_RUNNER_NETWORK_SWEEP_HH
+#define DAMQ_RUNNER_NETWORK_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "network/mesh_sim.hh"
+#include "network/network_sim.hh"
+#include "runner/sweep_runner.hh"
+
+namespace damq {
+
+/** One Omega-network replication of a sweep. */
+struct NetworkTask
+{
+    std::string label; ///< e.g. "FIFO@0.25" (perf sidecar only)
+    NetworkConfig config;
+};
+
+/** One mesh replication of a sweep. */
+struct MeshTask
+{
+    std::string label;
+    MeshConfig config;
+};
+
+/**
+ * Run every task on @p runner; results come back in task order.
+ * The runner's per-task perf counters report the task's measured
+ * network cycles (warmup excluded) as simCycles.
+ */
+std::vector<NetworkResult> runNetworkSweep(
+    SweepRunner &runner, const std::vector<NetworkTask> &tasks);
+
+/** Mesh flavor of runNetworkSweep. */
+std::vector<MeshResult> runMeshSweep(
+    SweepRunner &runner, const std::vector<MeshTask> &tasks);
+
+/** Shorthand: @p base with offeredLoad set to @p load. */
+NetworkConfig atLoad(const NetworkConfig &base, double load);
+
+/** Shorthand: @p base with offeredLoad set to @p load. */
+MeshConfig atLoad(const MeshConfig &base, double load);
+
+/** The labels of @p tasks, in order (for the perf sidecar). */
+std::vector<std::string> taskLabels(
+    const std::vector<NetworkTask> &tasks);
+
+/** The labels of @p tasks, in order (for the perf sidecar). */
+std::vector<std::string> taskLabels(
+    const std::vector<MeshTask> &tasks);
+
+} // namespace damq
+
+#endif // DAMQ_RUNNER_NETWORK_SWEEP_HH

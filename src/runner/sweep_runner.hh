@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Parallel execution of independent simulation replications.
+ *
+ * A Section 4.2 bench is a *sweep*: the cross product of offered
+ * loads, buffer organizations, and (sometimes) seeds, where every
+ * point is one self-contained NetworkSimulator/MeshSimulator run.
+ * The points share no state, so they can execute on any number of
+ * worker threads — as long as the *results* come back in the
+ * sweep's enumeration order and every task derives its randomness
+ * from its index (see deriveTaskSeed), the output is bit-identical
+ * to a sequential run regardless of thread count or scheduling.
+ *
+ * SweepRunner implements exactly that contract: map(count, fn)
+ * claims indices from an atomic counter, runs fn(i) on a fixed-size
+ * pool of std::threads, stores each result at slot i, and rethrows
+ * the first task exception after the pool drains.  Per-task
+ * wall-clock timings (and simulated-cycles-per-second rates, when
+ * the caller reports cycle counts) are collected on the side so the
+ * perf sidecar files never influence the deterministic outputs.
+ */
+
+#ifndef DAMQ_RUNNER_SWEEP_RUNNER_HH
+#define DAMQ_RUNNER_SWEEP_RUNNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+/** Wall-clock and throughput counters for one sweep task. */
+struct TaskPerf
+{
+    /** Wall-clock seconds spent inside the task body. */
+    double wallSeconds = 0.0;
+
+    /** Simulated network cycles the task reported (0 = unknown). */
+    std::uint64_t simCycles = 0;
+
+    /** simCycles / wallSeconds (0 when either is unknown). */
+    double cyclesPerSecond = 0.0;
+};
+
+/** Executes the independent tasks of one sweep on a thread pool. */
+class SweepRunner
+{
+  public:
+    /** @param num_threads worker count; 1 runs tasks inline. */
+    explicit SweepRunner(unsigned num_threads = 1)
+        : numThreads(num_threads == 0 ? 1 : num_threads)
+    {
+    }
+
+    /** Worker threads this runner fans tasks across. */
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Run @p fn(index) for every index in [0, @p count) and return
+     * the results ordered by index.  @p fn must be callable
+     * concurrently from multiple threads and must not share mutable
+     * state across indices.  The optional @p cycles_of extracts a
+     * simulated-cycle count from a result for the perf counters.
+     * The first exception any task throws is rethrown here once all
+     * workers have stopped.
+     */
+    template <typename Fn,
+              typename R = decltype(std::declval<Fn &>()(std::size_t{0}))>
+    std::vector<R> map(std::size_t count, Fn &&fn,
+                       std::uint64_t (*cycles_of)(const R &) = nullptr)
+    {
+        const auto sweep_start = std::chrono::steady_clock::now();
+        std::vector<std::optional<R>> slots(count);
+        perf.assign(count, TaskPerf{});
+
+        std::atomic<std::size_t> next{0};
+        std::exception_ptr first_error;
+        std::mutex error_mutex;
+
+        const auto worker = [&]() {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                try {
+                    const auto t0 = std::chrono::steady_clock::now();
+                    slots[i].emplace(fn(i));
+                    const auto t1 = std::chrono::steady_clock::now();
+                    TaskPerf &p = perf[i];
+                    p.wallSeconds =
+                        std::chrono::duration<double>(t1 - t0).count();
+                    if (cycles_of != nullptr) {
+                        p.simCycles = cycles_of(*slots[i]);
+                        if (p.wallSeconds > 0.0)
+                            p.cyclesPerSecond =
+                                static_cast<double>(p.simCycles) /
+                                p.wallSeconds;
+                    }
+                } catch (...) {
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (!first_error)
+                        first_error = std::current_exception();
+                    // Let the remaining workers drain the queue; the
+                    // tasks are independent, so one failure does not
+                    // poison the others.
+                }
+            }
+        };
+
+        if (numThreads == 1 || count <= 1) {
+            worker();
+        } else {
+            const unsigned spawn =
+                numThreads > count ? static_cast<unsigned>(count)
+                                   : numThreads;
+            std::vector<std::thread> pool;
+            pool.reserve(spawn);
+            for (unsigned t = 0; t < spawn; ++t)
+                pool.emplace_back(worker);
+            for (std::thread &t : pool)
+                t.join();
+        }
+
+        const auto sweep_end = std::chrono::steady_clock::now();
+        wallSeconds_ =
+            std::chrono::duration<double>(sweep_end - sweep_start)
+                .count();
+
+        if (first_error)
+            std::rethrow_exception(first_error);
+
+        std::vector<R> results;
+        results.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            damq_assert(slots[i].has_value(),
+                        "sweep task ", i, " produced no result");
+            results.push_back(std::move(*slots[i]));
+        }
+        return results;
+    }
+
+    /** Per-task perf counters of the last map() call, by index. */
+    const std::vector<TaskPerf> &taskPerf() const { return perf; }
+
+    /** Wall-clock seconds of the last map() call, fan-out included. */
+    double wallSeconds() const { return wallSeconds_; }
+
+  private:
+    unsigned numThreads;
+    std::vector<TaskPerf> perf;
+    double wallSeconds_ = 0.0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_RUNNER_SWEEP_RUNNER_HH

@@ -37,19 +37,21 @@ Arbiter::Arbiter(PortId num_inputs, PortId num_outputs)
                 "arbiter needs ports");
 }
 
-GrantList
+void
 Arbiter::serveRoundRobin(
     const std::vector<BufferModel *> &buffers,
     const CanSendFn &can_send, PortId start,
     const std::function<PortId(PortId, const std::vector<PortId> &,
-                               const BufferModel &)> &select)
+                               const BufferModel &)> &select,
+    GrantList &grants)
 {
     damq_assert(buffers.size() == inputs,
                 "arbiter geometry mismatch: ", buffers.size(),
                 " buffers for ", inputs, " inputs");
 
     std::fill(outputTaken.begin(), outputTaken.end(), false);
-    GrantList grants;
+    grants.clear();
+    std::vector<PortId> &eligible = eligibleScratch;
 
     for (PortId step = 0; step < inputs; ++step) {
         const PortId input = (start + step) % inputs;
@@ -60,7 +62,7 @@ Arbiter::serveRoundRobin(
         // this input while it has read bandwidth; the others stop
         // after one grant.
         while (reads_left > 0) {
-            std::vector<PortId> eligible;
+            eligible.clear();
             for (PortId out = 0; out < outputs; ++out) {
                 if (outputTaken[out])
                     continue;
@@ -86,7 +88,6 @@ Arbiter::serveRoundRobin(
             --reads_left;
         }
     }
-    return grants;
 }
 
 DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs)
@@ -94,9 +95,9 @@ DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs)
 {
 }
 
-GrantList
-DumbArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
-                       const CanSendFn &can_send)
+void
+DumbArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
+                           const CanSendFn &can_send, GrantList &grants)
 {
     auto longest_queue = [](PortId, const std::vector<PortId> &eligible,
                             const BufferModel &buffer) {
@@ -108,13 +109,11 @@ DumbArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
         return best;
     };
 
-    GrantList grants =
-        serveRoundRobin(buffers, can_send, rrStart, longest_queue);
+    serveRoundRobin(buffers, can_send, rrStart, longest_queue, grants);
 
     // Dumb policy: the priority position advances every cycle,
     // whether or not the buffer holding it transmitted.
     rrStart = (rrStart + 1) % numInputs();
-    return grants;
 }
 
 SmartArbiter::SmartArbiter(PortId num_inputs, PortId num_outputs,
@@ -125,9 +124,9 @@ SmartArbiter::SmartArbiter(PortId num_inputs, PortId num_outputs,
 {
 }
 
-GrantList
-SmartArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
-                        const CanSendFn &can_send)
+void
+SmartArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
+                            const CanSendFn &can_send, GrantList &grants)
 {
     auto select = [this](PortId input,
                          const std::vector<PortId> &eligible,
@@ -155,12 +154,12 @@ SmartArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
         return best;
     };
 
-    GrantList grants =
-        serveRoundRobin(buffers, can_send, rrStart, select);
+    serveRoundRobin(buffers, can_send, rrStart, select, grants);
 
     // Update stale counts: a non-empty queue that did not transmit
     // ages by one; a served queue resets.
-    std::vector<bool> served(staleCounts.size(), false);
+    std::vector<bool> &served = servedScratch;
+    served.assign(staleCounts.size(), false);
     for (const Grant &g : grants)
         served[g.input * numOutputs() + g.output] = true;
     for (PortId input = 0; input < numInputs(); ++input) {
@@ -183,7 +182,6 @@ SmartArbiter::arbitrate(const std::vector<BufferModel *> &buffers,
         start_transmitted = start_transmitted || g.input == rrStart;
     if (start_transmitted)
         rrStart = (rrStart + 1) % numInputs();
-    return grants;
 }
 
 void

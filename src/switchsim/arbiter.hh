@@ -72,15 +72,27 @@ class Arbiter
     Arbiter &operator=(const Arbiter &) = delete;
 
     /**
-     * Compute this cycle's crossbar schedule.
+     * Compute this cycle's crossbar schedule into @p grants
+     * (replacing its contents).  Taking the caller's list lets the
+     * switch hand the same vector back every cycle, so arbitration
+     * allocates nothing in steady state.
      *
      * @param buffers   the switch's input buffers (size numInputs).
      * @param can_send  back-pressure test (see CanSendFn).
-     * @return conflict-free grant list.
+     * @param grants    receives the conflict-free grant list.
      */
-    virtual GrantList arbitrate(
+    virtual void arbitrateInto(
         const std::vector<BufferModel *> &buffers,
-        const CanSendFn &can_send) = 0;
+        const CanSendFn &can_send, GrantList &grants) = 0;
+
+    /** Convenience wrapper: arbitrateInto a fresh list. */
+    GrantList arbitrate(const std::vector<BufferModel *> &buffers,
+                        const CanSendFn &can_send)
+    {
+        GrantList grants;
+        arbitrateInto(buffers, can_send, grants);
+        return grants;
+    }
 
     /** Policy implemented by this arbiter. */
     virtual ArbitrationPolicy policy() const = 0;
@@ -95,16 +107,18 @@ class Arbiter
     /**
      * Shared core: serve buffers in the order start, start+1, ...
      * (mod numInputs), granting each buffer its best eligible
-     * queue(s).  @p select picks the queue to serve for a buffer
-     * given the eligible outputs, enabling the stale-count override;
-     * it returns kInvalidPort to skip the buffer.
+     * queue(s) into @p grants (replacing its contents).  @p select
+     * picks the queue to serve for a buffer given the eligible
+     * outputs, enabling the stale-count override; it returns
+     * kInvalidPort to skip the buffer.
      */
-    GrantList serveRoundRobin(
+    void serveRoundRobin(
         const std::vector<BufferModel *> &buffers,
         const CanSendFn &can_send, PortId start,
         const std::function<PortId(PortId input,
                                    const std::vector<PortId> &eligible,
-                                   const BufferModel &buffer)> &select);
+                                   const BufferModel &buffer)> &select,
+        GrantList &grants);
 
   private:
     PortId inputs;
@@ -113,6 +127,9 @@ class Arbiter
   protected:
     /** Scratch: outputs already claimed this cycle. */
     std::vector<bool> outputTaken;
+
+    /** Scratch: the current buffer's eligible outputs. */
+    std::vector<PortId> eligibleScratch;
 };
 
 /** Round-robin arbiter that rotates unconditionally. */
@@ -122,8 +139,9 @@ class DumbArbiter final : public Arbiter
     /** See Arbiter::Arbiter. */
     DumbArbiter(PortId num_inputs, PortId num_outputs);
 
-    GrantList arbitrate(const std::vector<BufferModel *> &buffers,
-                        const CanSendFn &can_send) override;
+    void arbitrateInto(const std::vector<BufferModel *> &buffers,
+                       const CanSendFn &can_send,
+                       GrantList &grants) override;
 
     ArbitrationPolicy policy() const override
     {
@@ -151,8 +169,9 @@ class SmartArbiter final : public Arbiter
     SmartArbiter(PortId num_inputs, PortId num_outputs,
                  std::uint32_t stale_threshold = 8);
 
-    GrantList arbitrate(const std::vector<BufferModel *> &buffers,
-                        const CanSendFn &can_send) override;
+    void arbitrateInto(const std::vector<BufferModel *> &buffers,
+                       const CanSendFn &can_send,
+                       GrantList &grants) override;
 
     ArbitrationPolicy policy() const override
     {
@@ -171,6 +190,7 @@ class SmartArbiter final : public Arbiter
     PortId rrStart = 0;
     std::uint32_t staleThreshold;
     std::vector<std::uint32_t> staleCounts;
+    std::vector<bool> servedScratch; ///< queues granted this cycle
 };
 
 /** Construct an arbiter implementing @p policy. */

@@ -45,6 +45,15 @@ std::vector<Packet>
 CentralBufferSwitch::transmit(const CanSendFn &can_send)
 {
     std::vector<Packet> sent;
+    transmitInto(can_send, sent);
+    return sent;
+}
+
+void
+CentralBufferSwitch::transmitInto(const CanSendFn &can_send,
+                                  std::vector<Packet> &sent)
+{
+    sent.clear();
     for (PortId out = 0; out < ports; ++out) {
         if (queues[out].empty())
             continue;
@@ -61,7 +70,6 @@ CentralBufferSwitch::transmit(const CanSendFn &can_send)
         queues[out].pop_front();
         sent.push_back(pkt);
     }
-    return sent;
 }
 
 void

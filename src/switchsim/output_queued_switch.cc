@@ -43,6 +43,15 @@ std::vector<Packet>
 OutputQueuedSwitch::transmit(const CanSendFn &can_send)
 {
     std::vector<Packet> sent;
+    transmitInto(can_send, sent);
+    return sent;
+}
+
+void
+OutputQueuedSwitch::transmitInto(const CanSendFn &can_send,
+                                 std::vector<Packet> &sent)
+{
+    sent.clear();
     for (PortId out = 0; out < ports; ++out) {
         if (queues[out].empty())
             continue;
@@ -60,7 +69,6 @@ OutputQueuedSwitch::transmit(const CanSendFn &can_send)
         ++stats.transmitted;
         sent.push_back(pkt);
     }
-    return sent;
 }
 
 void

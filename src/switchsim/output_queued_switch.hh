@@ -37,6 +37,8 @@ class OutputQueuedSwitch final : public SwitchUnit
                    std::uint32_t len) const override;
     bool tryReceive(PortId input, const Packet &pkt) override;
     std::vector<Packet> transmit(const CanSendFn &can_send) override;
+    void transmitInto(const CanSendFn &can_send,
+                      std::vector<Packet> &sent) override;
     std::uint32_t totalPackets() const override { return packets; }
     std::uint32_t totalUsedSlots() const override { return used; }
     const SwitchUnitStats &unitStats() const override { return stats; }

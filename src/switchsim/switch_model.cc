@@ -46,7 +46,9 @@ SwitchModel::tryReceive(PortId input, const Packet &pkt)
 GrantList
 SwitchModel::arbitrate(const CanSendFn &can_send)
 {
-    return arbiter->arbitrate(bufferPtrs, can_send);
+    GrantList grants;
+    arbiter->arbitrateInto(bufferPtrs, can_send, grants);
+    return grants;
 }
 
 std::vector<Packet>
@@ -66,7 +68,23 @@ SwitchModel::popGranted(const GrantList &grants)
 std::vector<Packet>
 SwitchModel::transmit(const CanSendFn &can_send)
 {
-    return popGranted(arbitrate(can_send));
+    std::vector<Packet> sent;
+    transmitInto(can_send, sent);
+    return sent;
+}
+
+void
+SwitchModel::transmitInto(const CanSendFn &can_send,
+                          std::vector<Packet> &sent)
+{
+    arbiter->arbitrateInto(bufferPtrs, can_send, grantScratch);
+    sent.clear();
+    for (const Grant &g : grantScratch) {
+        damq_assert(g.input < ports && g.output < ports,
+                    "grant outside switch geometry");
+        sent.push_back(buffers[g.input]->pop(g.output));
+        ++switchStats.transmitted;
+    }
 }
 
 std::uint32_t

@@ -84,6 +84,11 @@ class SwitchModel final : public SwitchUnit
     /** SwitchUnit: arbitrate + pop in one step. */
     std::vector<Packet> transmit(const CanSendFn &can_send) override;
 
+    /** SwitchUnit: arbitrate + pop reusing @p sent and an internal
+     *  grant scratch list — no per-cycle allocation. */
+    void transmitInto(const CanSendFn &can_send,
+                      std::vector<Packet> &sent) override;
+
     /** Slots in use across all input buffers. */
     std::uint32_t totalUsedSlots() const override;
 
@@ -115,6 +120,7 @@ class SwitchModel final : public SwitchUnit
     std::vector<BufferModel *> bufferPtrs;
     std::unique_ptr<Arbiter> arbiter;
     SwitchStats switchStats;
+    GrantList grantScratch; ///< reused by transmitInto every cycle
 };
 
 } // namespace damq

@@ -88,6 +88,18 @@ class SwitchUnit
      */
     virtual std::vector<Packet> transmit(const CanSendFn &can_send) = 0;
 
+    /**
+     * Allocation-free variant of transmit(): replace the contents
+     * of @p sent with this cycle's departures.  The simulators keep
+     * one scratch vector per switch and hand it back every cycle,
+     * so steady-state operation never touches the allocator.
+     */
+    virtual void transmitInto(const CanSendFn &can_send,
+                              std::vector<Packet> &sent)
+    {
+        sent = transmit(can_send);
+    }
+
     /** Packets currently stored. */
     virtual std::uint32_t totalPackets() const = 0;
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Perf smoke test (`ctest -L perf`): one scaled-down Table 4 sweep
+ * on two worker threads, asserting it finishes quickly and that the
+ * runner's throughput counters report plausible numbers.  This is a
+ * canary for gross hot-path regressions, not a benchmark — the
+ * real numbers live in bench/micro_buffers and the PERF_*.json
+ * sidecars.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runner/sweep_runner.hh"
+#include "runner/table_benches.hh"
+
+namespace damq {
+namespace {
+
+TEST(PerfSmoke, SmallSweepFinishesFastWithSaneCounters)
+{
+    Table4Options options;
+    options.base.numPorts = 16;
+    options.base.warmupCycles = 200;
+    options.base.measureCycles = 2000;
+    options.loads = {0.25, 0.50};
+    options.types = {BufferType::Fifo, BufferType::Damq};
+
+    SweepRunner runner(2);
+    const Table4Data data = runTable4(runner, options);
+    ASSERT_EQ(data.rows.size(), 2u);
+
+    // 6 simulations of 2200 cycles on a 16-port network: seconds at
+    // worst, even on a loaded shared machine.
+    EXPECT_LT(runner.wallSeconds(), 10.0);
+
+    ASSERT_EQ(runner.taskPerf().size(), data.taskLabels.size());
+    for (const TaskPerf &perf : runner.taskPerf()) {
+        EXPECT_EQ(perf.simCycles, 2000u);
+        EXPECT_GT(perf.cyclesPerSecond, 0.0);
+    }
+}
+
+} // namespace
+} // namespace damq
