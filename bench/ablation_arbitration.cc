@@ -28,7 +28,12 @@ main(int argc, char **argv)
     using namespace damq;
     using namespace damq::bench;
 
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("ablation_arbitration",
+                   "Compare dumb and smart arbitration across "
+                   "buffer organizations");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - dumb vs smart arbitration",
            "64x64 Omega, blocking, uniform traffic, 4 slots");
@@ -42,7 +47,7 @@ main(int argc, char **argv)
             NetworkConfig cfg = paperNetworkConfig();
             cfg.bufferType = type;
             cfg.arbitration = policy;
-            cfg.measureCycles = 8000;
+            cfg.common.measureCycles = 8000;
             const std::string stem = detail::concat(
                 bufferTypeName(type), "/",
                 arbitrationPolicyName(policy));
@@ -54,6 +59,9 @@ main(int argc, char **argv)
                              atLoad(cfg, 1.0)});
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_arbitration");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

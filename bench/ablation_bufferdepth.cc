@@ -44,7 +44,11 @@ configurable(BufferType type, unsigned slots)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("ablation_bufferdepth",
+                   "Saturation throughput as buffer depth grows");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - saturation throughput vs buffer depth",
            "64x64 Omega, blocking, smart arbitration, uniform "
@@ -58,13 +62,16 @@ main(int argc, char **argv)
             NetworkConfig cfg = paperNetworkConfig();
             cfg.bufferType = type;
             cfg.slotsPerBuffer = slots;
-            cfg.measureCycles = 8000;
+            cfg.common.measureCycles = 8000;
             tasks.push_back({detail::concat(bufferTypeName(type),
                                             "-", slots,
                                             "@saturation"),
                              atLoad(cfg, 1.0)});
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_bufferdepth");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

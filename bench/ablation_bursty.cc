@@ -43,7 +43,7 @@ pointConfig(BufferType type, double burstiness, FlowControl protocol)
     cfg.offeredLoad = 0.30;
     cfg.burstiness = burstiness;
     cfg.meanBurstCycles = 8;
-    cfg.measureCycles = 16000;
+    cfg.common.measureCycles = 16000;
     return cfg;
 }
 
@@ -52,7 +52,12 @@ pointConfig(BufferType type, double burstiness, FlowControl protocol)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("ablation_bursty",
+                   "Buffer organizations under bursty on/off "
+                   "sources");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - bursty sources (on/off, fixed average load)",
            "64x64 Omega, 4 slots, offered 0.30 average; burst "
@@ -71,6 +76,9 @@ main(int argc, char **argv)
             }
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_bursty");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

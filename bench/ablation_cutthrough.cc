@@ -18,55 +18,88 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/string_util.hh"
 #include "network/cutthrough_sim.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 namespace {
 
 using namespace damq;
 
-CutThroughResult
-runPoint(BufferType type, SwitchingMode mode, double load)
+CutThroughConfig
+pointConfig(BufferType type, SwitchingMode mode, double load)
 {
     CutThroughConfig cfg;
     cfg.bufferType = type;
     cfg.mode = mode;
     cfg.offeredLoad = load;
-    cfg.seed = 414;
-    cfg.warmupClocks = 10000;
-    cfg.measureClocks = 60000;
-    return CutThroughSimulator(cfg).run();
+    cfg.common.seed = 414;
+    cfg.common.warmupCycles = 10000;
+    cfg.common.measureCycles = 60000;
+    return cfg;
 }
+
+const double kLoads[] = {0.05, 0.30, 0.50, 0.90};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq::bench;
+
+    ArgParser args("ablation_cutthrough",
+                   "Virtual cut-through vs store-and-forward at "
+                   "clock granularity");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - virtual cut-through vs store-and-forward",
            "clock-granularity 64x64 Omega (W=8 transmit, R=4 route "
            "clocks), blocking, 4 slots; latency in clocks, loads as "
            "fraction of link capacity");
 
-    TextTable table;
-    table.setHeader({"Buffer", "mode", "lat@0.05", "lat@0.30",
-                     "lat@0.50", "cut-through %@0.30",
-                     "delivered@0.9 offered"});
-
+    std::vector<CutThroughTask> tasks;
     for (const BufferType type :
          {BufferType::Fifo, BufferType::Damq}) {
         for (const SwitchingMode mode :
              {SwitchingMode::CutThrough,
               SwitchingMode::StoreAndForward}) {
-            const CutThroughResult low = runPoint(type, mode, 0.05);
-            const CutThroughResult mid = runPoint(type, mode, 0.30);
-            const CutThroughResult high = runPoint(type, mode, 0.50);
-            const CutThroughResult sat = runPoint(type, mode, 0.90);
+            for (const double load : kLoads) {
+                tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    switchingModeName(mode), "@",
+                                    formatFixed(load, 2)),
+                     pointConfig(type, mode, load)});
+            }
+        }
+    }
+    for (CutThroughTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_cutthrough");
+    const std::vector<CutThroughResult> results =
+        runSimSweep(runner, tasks);
+
+    TextTable table;
+    table.setHeader({"Buffer", "mode", "lat@0.05", "lat@0.30",
+                     "lat@0.50", "cut-through %@0.30",
+                     "delivered@0.9 offered"});
+
+    std::size_t next = 0;
+    for (const BufferType type :
+         {BufferType::Fifo, BufferType::Damq}) {
+        for (const SwitchingMode mode :
+             {SwitchingMode::CutThrough,
+              SwitchingMode::StoreAndForward}) {
+            const CutThroughResult &low = results[next++];
+            const CutThroughResult &mid = results[next++];
+            const CutThroughResult &high = results[next++];
+            const CutThroughResult &sat = results[next++];
 
             table.startRow();
             table.addCell(bufferTypeName(type));

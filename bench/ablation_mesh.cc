@@ -39,9 +39,9 @@ meshConfig(BufferType type, const std::string &traffic)
     cfg.bufferType = type;
     cfg.slotsPerBuffer = 5; // one slot per port's worth
     cfg.traffic = traffic;
-    cfg.seed = 99;
-    cfg.warmupCycles = 2000;
-    cfg.measureCycles = 10000;
+    cfg.common.seed = 99;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 10000;
     return cfg;
 }
 
@@ -50,7 +50,12 @@ meshConfig(BufferType type, const std::string &traffic)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("ablation_mesh",
+                   "Buffer organizations on an 8x8 mesh "
+                   "multicomputer");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - 8x8 mesh multicomputer (5-port switches, "
            "XY routing)",
@@ -75,6 +80,9 @@ main(int argc, char **argv)
                  atLoad(cfg, 1.0)});
         }
     }
+    for (MeshTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_mesh");
     const std::vector<MeshResult> results =
         runMeshSweep(runner, tasks);
 
@@ -129,11 +137,11 @@ main(int argc, char **argv)
                    static_cast<std::uint64_t>(base.height));
         json.field("slotsPerBuffer",
                    static_cast<std::uint64_t>(base.slotsPerBuffer));
-        json.field("seed", base.seed);
+        json.field("seed", base.common.seed);
         json.field("warmupCycles",
-                   static_cast<std::uint64_t>(base.warmupCycles));
+                   static_cast<std::uint64_t>(base.common.warmupCycles));
         json.field("measureCycles",
-                   static_cast<std::uint64_t>(base.measureCycles));
+                   static_cast<std::uint64_t>(base.common.measureCycles));
         json.endObject();
         json.key("rows");
         json.beginArray();

@@ -175,7 +175,7 @@ main()
         NetworkConfig cfg = paperNetworkConfig();
         cfg.placement = row.placement;
         cfg.bufferType = row.type;
-        cfg.measureCycles = 8000;
+        cfg.common.measureCycles = 8000;
         const SaturationSummary sat = measureSaturation(cfg);
         net.startRow();
         net.addCell(row.label);

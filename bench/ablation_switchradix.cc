@@ -40,7 +40,7 @@ radixConfig(std::uint32_t radix, BufferType type)
     // the paper does with 4 slots on a 4x4.
     cfg.slotsPerBuffer = radix;
     cfg.bufferType = type;
-    cfg.measureCycles = 8000;
+    cfg.common.measureCycles = 8000;
     return cfg;
 }
 
@@ -49,7 +49,11 @@ radixConfig(std::uint32_t radix, BufferType type)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("ablation_switchradix",
+                   "Latency and saturation across switch radices");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - switch radix (2x2 / 4x4 / 8x8)",
            "64 endpoints, blocking, smart arbitration, uniform "
@@ -68,6 +72,9 @@ main(int argc, char **argv)
                              atLoad(cfg, 1.0)});
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_switchradix");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

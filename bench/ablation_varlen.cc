@@ -16,10 +16,12 @@
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/string_util.hh"
 #include "network/varlen_sim.hh"
+#include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
 namespace {
@@ -38,35 +40,25 @@ makeConfig(BufferType type, const LengthDistribution &lengths,
     cfg.arbitration = ArbitrationPolicy::Smart;
     cfg.offeredSlotLoad = load;
     cfg.lengths = lengths;
-    cfg.seed = 303;
-    cfg.warmupCycles = 2000;
-    cfg.measureCycles = 10000;
+    cfg.common.seed = 303;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 10000;
     return cfg;
-}
-
-double
-saturation(BufferType type, const LengthDistribution &lengths)
-{
-    return VarLenNetworkSimulator(makeConfig(type, lengths, 1.0))
-        .run()
-        .deliveredSlotThroughput;
-}
-
-double
-latencyAt(BufferType type, const LengthDistribution &lengths,
-          double load)
-{
-    return VarLenNetworkSimulator(makeConfig(type, lengths, load))
-        .run()
-        .latencyClocks.mean();
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace damq::bench;
+
+    ArgParser args("ablation_varlen",
+                   "DAMQ's margin with variable-length packets "
+                   "(Section 5 conjecture)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Ablation - variable-length packets (Section 5 "
            "conjecture)",
@@ -77,20 +69,43 @@ main()
     const LengthDistribution fixed{{1.0}};
     const LengthDistribution variable{{1.0, 1.0, 1.0, 1.0}};
 
+    // Task order: the 8 saturation points, then the 8 latency
+    // points — fixed-length mix first, buffer types in table order.
+    std::vector<VarLenTask> tasks;
+    for (const double load : {1.0, 0.25}) {
+        for (const bool is_fixed : {true, false}) {
+            const LengthDistribution &dist =
+                is_fixed ? fixed : variable;
+            for (const BufferType type : kAllBufferTypes) {
+                tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    is_fixed ? "fixed" : "varlen",
+                                    "@", formatFixed(load, 2)),
+                     makeConfig(type, dist, load)});
+            }
+        }
+    }
+    for (VarLenTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "ablation_varlen");
+    const std::vector<VarLenResult> results =
+        runSimSweep(runner, tasks);
+
+    double sat[2][4] = {};
+    double lat[2][4] = {};
+    std::size_t next = 0;
+    for (int row = 0; row < 2; ++row)
+        for (int t = 0; t < 4; ++t)
+            sat[row][t] = results[next++].deliveredSlotThroughput;
+    for (int row = 0; row < 2; ++row)
+        for (int t = 0; t < 4; ++t)
+            lat[row][t] = results[next++].latencyClocks.mean();
+
     TextTable table;
     table.setHeader({"Packet mix", "Buffer", "lat@0.25",
                      "sat. slot throughput", "DAMQ advantage"});
 
-    double sat[2][4] = {};
     for (const bool is_fixed : {true, false}) {
-        const LengthDistribution &dist = is_fixed ? fixed : variable;
-        for (int t = 0; t < 4; ++t)
-            sat[is_fixed ? 0 : 1][t] =
-                saturation(kAllBufferTypes[t], dist);
-    }
-
-    for (const bool is_fixed : {true, false}) {
-        const LengthDistribution &dist = is_fixed ? fixed : variable;
         const char *label = is_fixed ? "fixed (1 slot)" : "1-4 slots";
         const int row = is_fixed ? 0 : 1;
         const double damq_sat = sat[row][1]; // kAllBufferTypes[1]
@@ -99,7 +114,7 @@ main()
             table.startRow();
             table.addCell(label);
             table.addCell(bufferTypeName(type));
-            table.addCell(formatFixed(latencyAt(type, dist, 0.25), 1));
+            table.addCell(formatFixed(lat[row][t], 1));
             table.addCell(formatFixed(sat[row][t], 3));
             table.addCell(type == BufferType::Damq
                               ? "-"

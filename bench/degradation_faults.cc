@@ -50,10 +50,10 @@ pointConfig(BufferType type, double rate)
     NetworkConfig cfg = paperNetworkConfig();
     cfg.bufferType = type;
     cfg.offeredLoad = 0.5;
-    cfg.faults.packetDropRate = rate;
-    cfg.faults.headerBitFlipRate = rate;
-    cfg.faults.seed = 1988;
-    cfg.auditEveryCycles = 500;
+    cfg.common.faults.packetDropRate = rate;
+    cfg.common.faults.headerBitFlipRate = rate;
+    cfg.common.faults.seed = 1988;
+    cfg.common.auditEveryCycles = 500;
     return cfg;
 }
 
@@ -68,7 +68,12 @@ faultRunCycles(const FaultRun &run)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("degradation_faults",
+                   "Throughput/latency degradation under injected "
+                   "link faults");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Degradation under link faults",
            "64x64 Omega, blocking, smart arbitration, 4 slots, "
@@ -83,6 +88,18 @@ main(int argc, char **argv)
             labels.push_back(detail::concat(bufferTypeName(type),
                                             "@rate=",
                                             formatFixed(rate, 4)));
+        }
+    }
+
+    // This bench runs runner.map directly (it extracts fault
+    // reports from the simulator, not just the result), so it
+    // suffixes telemetry prefixes itself the way runSimSweep does.
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        applyCommonSimFlags(args, configs[i].common,
+                            "degradation_faults");
+        if (configs[i].common.telemetry.enabled()) {
+            configs[i].common.telemetry.outputPrefix +=
+                "." + sanitizeFileToken(labels[i]);
         }
     }
 

@@ -22,7 +22,7 @@
 #include "common/string_util.hh"
 #include "network/saturation.hh"
 #include "runner/bench_output.hh"
-#include "runner/csv_writer.hh"
+#include "common/csv_writer.hh"
 #include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 
@@ -110,7 +110,12 @@ main(int argc, char **argv)
 {
     using namespace damq::bench;
 
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("figure3_latency_curve",
+                   "Reproduce Figure 3 (latency/throughput curves "
+                   "for FIFO and DAMQ)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Figure 3 - Latency vs throughput, FIFO vs DAMQ",
            "64x64 Omega, 4 slots, blocking, smart arbitration, "
@@ -122,7 +127,7 @@ main(int argc, char **argv)
     loads.push_back(1.0);
 
     NetworkConfig cfg = paperNetworkConfig();
-    cfg.measureCycles = 8000;
+    cfg.common.measureCycles = 8000;
 
     const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq};
     std::vector<NetworkTask> tasks;
@@ -135,6 +140,9 @@ main(int argc, char **argv)
                                             formatFixed(load, 2)),
                              atLoad(typed, load)});
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "figure3_latency_curve");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

@@ -110,7 +110,7 @@ BM_NetworkCycle(benchmark::State &state)
     NetworkConfig cfg;
     cfg.bufferType = type;
     cfg.offeredLoad = 0.5;
-    cfg.seed = 9;
+    cfg.common.seed = 9;
     NetworkSimulator sim(cfg);
     for (Cycle c = 0; c < 500; ++c)
         sim.step(); // warm the network

@@ -53,7 +53,7 @@ pointConfig(BufferType type, const Point &point)
     cfg.bufferType = type;
     cfg.arbitration = point.arbitration;
     cfg.offeredLoad = point.offeredLoad;
-    cfg.measureCycles = 20000;
+    cfg.common.measureCycles = 20000;
     return cfg;
 }
 
@@ -62,7 +62,12 @@ pointConfig(BufferType type, const Point &point)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("table3_discarding",
+                   "Reproduce Table 3 (discarding-protocol "
+                   "discard rates)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Table 3 - Discarding switches: % packets discarded",
            "64x64 Omega of 4x4 switches, uniform traffic, 4 slots "
@@ -80,6 +85,9 @@ main(int argc, char **argv)
                  pointConfig(type, point)});
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "table3_discarding");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

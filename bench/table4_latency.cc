@@ -20,6 +20,7 @@
 #include "bench_util.hh"
 #include "common/string_util.hh"
 #include "runner/bench_output.hh"
+#include "runner/sim_flags.hh"
 #include "runner/table_benches.hh"
 
 int
@@ -28,13 +29,20 @@ main(int argc, char **argv)
     using namespace damq;
     using namespace damq::bench;
 
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("table4_latency",
+                   "Reproduce Table 4 (latency vs throughput at "
+                   "four slots per buffer)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Table 4 - Average latency vs throughput (4 slots/buffer)",
            "64x64 Omega, blocking protocol, smart arbitration, "
            "uniform traffic; latency in clock cycles");
 
-    const Table4Data data = runTable4(runner, Table4Options{});
+    Table4Options options;
+    applyCommonSimFlags(args, options.base.common, "table4_latency");
+    const Table4Data data = runTable4(runner, options);
     std::cout << renderTable4Text(data);
 
     std::cout

@@ -28,7 +28,12 @@ main(int argc, char **argv)
     using namespace damq;
     using namespace damq::bench;
 
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("table5_slots",
+                   "Reproduce Table 5 (latency vs throughput at "
+                   "3/4/8 slots per buffer)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Table 5 - Latency vs throughput, varying slots",
            "64x64 Omega, blocking, smart arbitration, uniform "
@@ -53,6 +58,8 @@ main(int argc, char **argv)
                              atLoad(cfg, 1.0)});
         }
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common, "table5_slots");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

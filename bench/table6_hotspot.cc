@@ -34,8 +34,8 @@ hotspotConfig(BufferType type)
     NetworkConfig cfg = paperNetworkConfig();
     cfg.bufferType = type;
     cfg.traffic = "hotspot";
-    cfg.warmupCycles = 4000; // tree saturation builds slowly
-    cfg.measureCycles = 16000;
+    cfg.common.warmupCycles = 4000; // tree saturation builds slowly
+    cfg.common.measureCycles = 16000;
     return cfg;
 }
 
@@ -44,7 +44,12 @@ hotspotConfig(BufferType type)
 int
 main(int argc, char **argv)
 {
-    SweepRunner runner(parseThreads(argc, argv));
+    ArgParser args("table6_hotspot",
+                   "Reproduce Table 6 (5% hot-spot traffic and "
+                   "tree saturation)");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
 
     banner("Table 6 - 5% hot-spot traffic",
            "64x64 Omega, blocking, smart arbitration, 4 slots; all "
@@ -81,6 +86,9 @@ main(int argc, char **argv)
                                         "@saturation"),
                          atLoad(cfg, 1.0)});
     }
+    for (NetworkTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common,
+                            "table6_hotspot");
     const std::vector<NetworkResult> results =
         runNetworkSweep(runner, tasks);
 

@@ -1,0 +1,41 @@
+# Telemetry-off bit-identity check: run a bench binary and compare
+# its stdout byte-for-byte against a saved baseline.  The PR-2
+# baseline tables are a contract — the telemetry hooks must compile
+# down to branch-on-null, so a bare bench invocation (no --trace, no
+# --metrics-every) prints exactly the bytes it printed before the
+# observability layer existed.
+#
+# Usage (as a ctest command):
+#   cmake -DBENCH=<binary> -DBASELINE=<file> -DWORKDIR=<dir>
+#         [-DTHREADS=<n>] -P compare_stdout.cmake
+#
+# THREADS exercises the parallel sweep runner; results are identical
+# at any thread count, so the comparison doubles as a determinism
+# check.  On mismatch the actual output is saved next to the run for
+# `diff`-ing.
+
+foreach(var BENCH BASELINE WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "compare_stdout.cmake: ${var} not set")
+    endif()
+endforeach()
+if(NOT DEFINED THREADS)
+    set(THREADS 1)
+endif()
+
+file(MAKE_DIRECTORY "${WORKDIR}")
+execute_process(COMMAND "${BENCH}" --threads ${THREADS}
+                WORKING_DIRECTORY "${WORKDIR}"
+                OUTPUT_VARIABLE actual
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with status ${rc}")
+endif()
+
+file(READ "${BASELINE}" expected)
+if(NOT actual STREQUAL expected)
+    file(WRITE "${WORKDIR}/actual_stdout.txt" "${actual}")
+    message(FATAL_ERROR
+        "stdout differs from baseline ${BASELINE}\n"
+        "actual output saved to ${WORKDIR}/actual_stdout.txt")
+endif()

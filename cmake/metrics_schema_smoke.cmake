@@ -1,0 +1,54 @@
+# Metrics-output schema smoke test: run a bench with
+# `--metrics-every` on a short schedule and assert the emitted
+# metrics files carry the stable "damq-metrics-v1" schema — the
+# contract downstream plotting scripts parse.
+#
+# Usage (as a ctest command):
+#   cmake -DBENCH=<binary> -DWORKDIR=<dir> -P metrics_schema_smoke.cmake
+
+foreach(var BENCH WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "metrics_schema_smoke.cmake: ${var} not set")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+execute_process(COMMAND "${BENCH}" --threads 4
+                        --warmup 200 --measure 2000
+                        --metrics-every 100 --telemetry-out smoke
+                WORKING_DIRECTORY "${WORKDIR}"
+                RESULT_VARIABLE rc
+                OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} exited with status ${rc}")
+endif()
+
+# One metrics file per sweep task, prefix "smoke.<task label>".
+file(GLOB json_files "${WORKDIR}/smoke.*.metrics.json")
+file(GLOB csv_files "${WORKDIR}/smoke.*.metrics.csv")
+if(NOT json_files)
+    message(FATAL_ERROR "no smoke.*.metrics.json written in ${WORKDIR}")
+endif()
+if(NOT csv_files)
+    message(FATAL_ERROR "no smoke.*.metrics.csv written in ${WORKDIR}")
+endif()
+
+list(GET json_files 0 json_file)
+file(READ "${json_file}" body)
+foreach(needle "\"schema\": \"damq-metrics-v1\"" "\"sampleStride\""
+        "\"counters\"" "\"gauges\"" "\"histograms\"" "\"series\"")
+    string(FIND "${body}" "${needle}" at)
+    if(at EQUAL -1)
+        message(FATAL_ERROR
+            "${json_file} is missing '${needle}' — the "
+            "damq-metrics-v1 schema changed without a version bump")
+    endif()
+endforeach()
+
+list(GET csv_files 0 csv_file)
+file(READ "${csv_file}" csv)
+if(NOT csv MATCHES "^cycle,")
+    message(FATAL_ERROR
+        "${csv_file} does not start with the 'cycle,...' header")
+endif()

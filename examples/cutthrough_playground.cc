@@ -50,9 +50,9 @@ main(int argc, char **argv)
     cfg.wireClocks = static_cast<std::uint32_t>(args.getInt("wire"));
     cfg.routeClocks =
         static_cast<std::uint32_t>(args.getInt("route"));
-    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-    cfg.warmupClocks = 10000;
-    cfg.measureClocks = 60000;
+    cfg.common.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.common.warmupCycles = 10000;
+    cfg.common.measureCycles = 60000;
 
     std::cout << "64x64 Omega, " << bufferTypeName(cfg.bufferType)
               << " buffers, W=" << cfg.wireClocks

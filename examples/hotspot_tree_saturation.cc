@@ -88,7 +88,7 @@ main(int argc, char **argv)
     cfg.bufferType = *buffer_type;
     cfg.traffic = "hotspot";
     cfg.offeredLoad = args.getDouble("load");
-    cfg.seed = 11;
+    cfg.common.seed = 11;
 
     std::cout << "Tree saturation with "
               << bufferTypeName(cfg.bufferType) << " buffers at "
@@ -127,8 +127,8 @@ main(int argc, char **argv)
         NetworkConfig sat_cfg = cfg;
         sat_cfg.bufferType = type;
         sat_cfg.offeredLoad = 1.0;
-        sat_cfg.warmupCycles = 4000;
-        sat_cfg.measureCycles = 10000;
+        sat_cfg.common.warmupCycles = 4000;
+        sat_cfg.common.measureCycles = 10000;
         NetworkSimulator sat(sat_cfg);
         std::cout << "  " << bufferTypeName(type) << ": "
                   << formatFixed(sat.run().deliveredThroughput, 3)

@@ -75,30 +75,52 @@ main(int argc, char **argv)
         return 1;
     }
     cfg.bufferType = *buffer_type;
-    cfg.placement =
-        bufferPlacementFromString(args.getString("placement"));
+    const auto placement =
+        tryBufferPlacementFromString(args.getString("placement"));
+    if (!placement) {
+        std::cerr << "omega_network: unknown buffer placement '"
+                  << args.getString("placement") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.placement = *placement;
     cfg.slotsPerBuffer =
         static_cast<std::uint32_t>(args.getInt("slots"));
-    cfg.protocol = flowControlFromString(args.getString("protocol"));
-    cfg.arbitration =
-        arbitrationPolicyFromString(args.getString("arbitration"));
+    const auto protocol =
+        tryFlowControlFromString(args.getString("protocol"));
+    if (!protocol) {
+        std::cerr << "omega_network: unknown flow control '"
+                  << args.getString("protocol") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.protocol = *protocol;
+    const auto arbitration =
+        tryArbitrationPolicyFromString(args.getString("arbitration"));
+    if (!arbitration) {
+        std::cerr << "omega_network: unknown arbitration policy '"
+                  << args.getString("arbitration") << "'\n\n"
+                  << args.usage();
+        return 1;
+    }
+    cfg.arbitration = *arbitration;
     cfg.traffic = args.getString("traffic");
     cfg.hotSpotFraction = args.getDouble("hotfraction");
     cfg.offeredLoad = args.getDouble("load");
     cfg.burstiness = args.getDouble("burstiness");
-    cfg.warmupCycles = static_cast<Cycle>(args.getInt("warmup"));
-    cfg.measureCycles = static_cast<Cycle>(args.getInt("cycles"));
-    cfg.seed = static_cast<std::uint64_t>(args.getInt("seed"));
-    cfg.faults.packetDropRate = args.getDouble("fault-drop");
-    cfg.faults.headerBitFlipRate = args.getDouble("fault-corrupt");
-    cfg.faults.arbiterStuckRate = args.getDouble("fault-stuck");
-    cfg.faults.slotLeakRate = args.getDouble("fault-leak");
-    cfg.faults.creditDelayRate = args.getDouble("fault-credit");
-    cfg.faults.seed =
+    cfg.common.warmupCycles = static_cast<Cycle>(args.getInt("warmup"));
+    cfg.common.measureCycles = static_cast<Cycle>(args.getInt("cycles"));
+    cfg.common.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    cfg.common.faults.packetDropRate = args.getDouble("fault-drop");
+    cfg.common.faults.headerBitFlipRate = args.getDouble("fault-corrupt");
+    cfg.common.faults.arbiterStuckRate = args.getDouble("fault-stuck");
+    cfg.common.faults.slotLeakRate = args.getDouble("fault-leak");
+    cfg.common.faults.creditDelayRate = args.getDouble("fault-credit");
+    cfg.common.faults.seed =
         static_cast<std::uint64_t>(args.getInt("fault-seed"));
-    cfg.auditEveryCycles =
+    cfg.common.auditEveryCycles =
         static_cast<Cycle>(args.getInt("audit-every"));
-    cfg.watchdogStallCycles =
+    cfg.common.watchdogStallCycles =
         static_cast<Cycle>(args.getInt("watchdog"));
 
     NetworkSimulator sim(cfg);
@@ -159,8 +181,8 @@ main(int argc, char **argv)
                      "network is saturated at this load.\n";
     }
 
-    if (cfg.faults.anyEnabled() || cfg.auditEveryCycles > 0 ||
-        cfg.watchdogStallCycles > 0) {
+    if (cfg.common.faults.anyEnabled() || cfg.common.auditEveryCycles > 0 ||
+        cfg.common.watchdogStallCycles > 0) {
         std::cout << "\n" << sim.faultReport().summaryText();
     }
     return 0;

@@ -82,6 +82,7 @@ ArgParser::parse(int argc, char **argv)
         }
 
         Option &opt = findMutable(name);
+        opt.set = true;
         if (opt.isFlag) {
             opt.value = have_value ? value : "1";
         } else {
@@ -126,6 +127,12 @@ ArgParser::getDouble(const std::string &name) const
         damq_fatal("option '--", name, "' expects a number, got '",
                    opt.value, "'");
     return v;
+}
+
+bool
+ArgParser::wasSet(const std::string &name) const
+{
+    return find(name).set;
 }
 
 bool

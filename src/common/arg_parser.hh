@@ -59,6 +59,14 @@ class ArgParser
     /** True iff flag @p name was given. */
     bool getFlag(const std::string &name) const;
 
+    /**
+     * True iff @p name appeared on the parsed command line (as
+     * opposed to holding its declared default).  Lets callers layer
+     * CLI overrides on top of per-program defaults: apply the value
+     * only when the user actually typed the option.
+     */
+    bool wasSet(const std::string &name) const;
+
     /** Render the usage/help text. */
     std::string usage() const;
 
@@ -69,6 +77,7 @@ class ArgParser
         std::string value;
         std::string help;
         bool isFlag = false;
+        bool set = false; ///< appeared on the command line
     };
 
     const Option &find(const std::string &name) const;

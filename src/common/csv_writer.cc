@@ -1,4 +1,4 @@
-#include "runner/csv_writer.hh"
+#include "common/csv_writer.hh"
 
 #include "common/logging.hh"
 

@@ -10,8 +10,8 @@
  * matches the JSON spelling exactly.
  */
 
-#ifndef DAMQ_RUNNER_CSV_WRITER_HH
-#define DAMQ_RUNNER_CSV_WRITER_HH
+#ifndef DAMQ_COMMON_CSV_WRITER_HH
+#define DAMQ_COMMON_CSV_WRITER_HH
 
 #include <ostream>
 #include <string>
@@ -43,4 +43,4 @@ class CsvWriter
 
 } // namespace damq
 
-#endif // DAMQ_RUNNER_CSV_WRITER_HH
+#endif // DAMQ_COMMON_CSV_WRITER_HH

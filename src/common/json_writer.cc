@@ -1,4 +1,4 @@
-#include "runner/json_writer.hh"
+#include "common/json_writer.hh"
 
 #include <cmath>
 #include <iomanip>
@@ -204,6 +204,13 @@ JsonWriter::null()
 {
     beforeValue();
     out << "null";
+}
+
+void
+JsonWriter::rawValue(std::string_view text)
+{
+    beforeValue();
+    out << text;
 }
 
 void

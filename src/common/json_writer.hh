@@ -17,8 +17,8 @@
  *  - two-space indentation, keys in the order written.
  */
 
-#ifndef DAMQ_RUNNER_JSON_WRITER_HH
-#define DAMQ_RUNNER_JSON_WRITER_HH
+#ifndef DAMQ_COMMON_JSON_WRITER_HH
+#define DAMQ_COMMON_JSON_WRITER_HH
 
 #include <cstdint>
 #include <ostream>
@@ -74,6 +74,13 @@ class JsonWriter
     /** Emit a null value. */
     void null();
 
+    /**
+     * Emit @p text verbatim as a value.  The caller guarantees it is
+     * one complete, valid JSON value (the packet tracer uses this to
+     * splice preformatted `args` objects into trace events).
+     */
+    void rawValue(std::string_view text);
+
     /** key() + value() in one call. */
     template <typename V>
     void field(std::string_view name, V &&v)
@@ -106,4 +113,4 @@ class JsonWriter
 
 } // namespace damq
 
-#endif // DAMQ_RUNNER_JSON_WRITER_HH
+#endif // DAMQ_COMMON_JSON_WRITER_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/string_util.hh"
 #include "queueing/buffer_factory.hh"
 
 namespace damq {
@@ -17,13 +18,37 @@ switchingModeName(SwitchingMode mode)
     damq_panic("unknown SwitchingMode ", static_cast<int>(mode));
 }
 
+std::optional<SwitchingMode>
+trySwitchingModeFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "cut-through" || lower == "cutthrough" ||
+        lower == "cut") {
+        return SwitchingMode::CutThrough;
+    }
+    if (lower == "store-and-forward" || lower == "saf" ||
+        lower == "store") {
+        return SwitchingMode::StoreAndForward;
+    }
+    return std::nullopt;
+}
+
+SwitchingMode
+switchingModeFromString(const std::string &name)
+{
+    if (const auto mode = trySwitchingModeFromString(name))
+        return *mode;
+    damq_fatal("unknown switching mode '", name,
+               "' (expected cut-through|store-and-forward)");
+}
+
 CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
     : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.seed),
+      rng(config.common.seed),
       sourceQueues(config.numPorts),
       sourceWireFreeAt(config.numPorts, 0),
-      injector(config.faults),
-      auditor(config.auditEveryClocks),
+      injector(config.common.faults),
+      auditor(config.common.auditEveryCycles),
       nextSeq(config.numPorts, 0)
 {
     damq_assert(cfg.wireClocks >= 1 && cfg.routeClocks >= 1,
@@ -32,7 +57,7 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
         pattern = std::make_unique<HotSpotTraffic>(
             cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
     } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
     }
 
     switches.resize(topo.numStages());
@@ -63,6 +88,64 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
         }
     }
     sinkComponent = injector.addComponent("sink-links");
+
+    setupTelemetry();
+}
+
+void
+CutThroughSimulator::setupTelemetry()
+{
+    if (!cfg.common.telemetry.enabled())
+        return;
+    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
+
+    endpointPid = static_cast<std::int64_t>(topo.numStages());
+    obs::PacketTracer *tracer = telemetry->trace();
+    if (tracer) {
+        for (std::uint32_t stage = 0; stage < topo.numStages();
+             ++stage)
+            tracer->setProcessName(stage,
+                                   detail::concat("stage", stage));
+        tracer->setProcessName(endpointPid, "endpoints");
+    }
+
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            SwitchState &state = switches[stage][idx];
+            for (PortId port = 0; port < cfg.radix; ++port) {
+                const std::int64_t tid =
+                    static_cast<std::int64_t>(idx) * cfg.radix +
+                    port;
+                telemetry->attachProbe(
+                    *state.buffers[port],
+                    detail::concat("s", stage, ".sw", idx, ".in",
+                                   port),
+                    stage, tid);
+                if (tracer)
+                    tracer->setThreadName(
+                        stage, tid,
+                        detail::concat("sw", idx, ".in", port));
+            }
+        }
+    }
+
+    telemetry->addSampleHook([this]() {
+        obs::MetricRegistry &m = telemetry->metrics();
+        m.gauge("net.generated")
+            .set(static_cast<double>(generated));
+        m.gauge("net.delivered")
+            .set(static_cast<double>(delivered));
+        m.gauge("net.discarded")
+            .set(static_cast<double>(discarded));
+        m.gauge("net.faultDropped")
+            .set(static_cast<double>(faultDropped));
+        m.gauge("net.inFlight")
+            .set(static_cast<double>(packetsEverywhere()));
+        m.gauge("net.hopsCut").set(static_cast<double>(hopsCut));
+        m.gauge("net.hopsBuffered")
+            .set(static_cast<double>(hopsBuffered));
+    });
 }
 
 bool
@@ -127,6 +210,11 @@ CutThroughSimulator::processDecisions()
             damq_assert(flight.packet.dest == flight.sink,
                         "cut-through sim misrouted a packet");
             ++delivered;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->asyncEnd("pkt", "pkt", flight.packet.id,
+                                 clock, endpointPid, flight.sink);
+            }
             if (measuring) {
                 ++windowDelivered;
                 latencyClocks.add(static_cast<double>(
@@ -317,6 +405,13 @@ CutThroughSimulator::injectSources()
         pkt.outPort = out;
         pkt.injectedAt = clock;
         sourceWireFreeAt[src] = clock + cfg.wireClocks;
+        if (telemetry) {
+            if (obs::PacketTracer *tr = telemetry->trace())
+                tr->asyncBegin(
+                    "pkt", "pkt", pkt.id, clock, endpointPid, src,
+                    detail::concat("{\"src\": ", pkt.source,
+                                   ", \"dest\": ", pkt.dest, "}"));
+        }
 
         Flight flight;
         flight.packet = pkt;
@@ -332,17 +427,21 @@ void
 CutThroughSimulator::step()
 {
     ++clock;
+    if (telemetry)
+        telemetry->beginCycle(clock);
     injectStructuralFaults();
     processDecisions();
     arbitrateBuffered();
     injectSources();
     runAudit();
+    if (telemetry)
+        telemetry->endCycle();
 }
 
 CutThroughResult
 CutThroughSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.warmupClocks; ++c)
+    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
         step();
 
     measuring = true;
@@ -352,7 +451,7 @@ CutThroughSimulator::run()
     latencyClocks.reset();
     const std::uint64_t cut_before = hopsCut;
     const std::uint64_t buffered_before = hopsBuffered;
-    for (Cycle c = 0; c < cfg.measureClocks; ++c)
+    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
         step();
     measuring = false;
 
@@ -360,13 +459,13 @@ CutThroughSimulator::run()
     result.generated = windowGenerated;
     result.delivered = windowDelivered;
     result.discarded = windowDiscarded;
-    result.measuredClocks = cfg.measureClocks;
+    result.measuredClocks = cfg.common.measureCycles;
     // Link capacity is one packet per W clocks per endpoint.
     result.deliveredLoad =
         static_cast<double>(windowDelivered) *
         static_cast<double>(cfg.wireClocks) /
         (static_cast<double>(cfg.numPorts) *
-         static_cast<double>(cfg.measureClocks));
+         static_cast<double>(cfg.common.measureCycles));
     result.latencyClocks = latencyClocks;
     const std::uint64_t cut = hopsCut - cut_before;
     const std::uint64_t buffered = hopsBuffered - buffered_before;
@@ -375,6 +474,9 @@ CutThroughSimulator::run()
             ? 0.0
             : static_cast<double>(cut) /
                   static_cast<double>(cut + buffered);
+
+    if (telemetry)
+        telemetry->writeFiles();
     return result;
 }
 

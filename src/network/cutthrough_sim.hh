@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -45,7 +46,9 @@
 #include "fault/invariant_auditor.hh"
 #include "network/network_sim.hh"
 #include "network/omega_topology.hh"
+#include "network/sim_common.hh"
 #include "network/traffic.hh"
+#include "obs/telemetry.hh"
 #include "queueing/buffer_model.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/arbiter.hh"
@@ -61,6 +64,13 @@ enum class SwitchingMode
 
 /** Human-readable mode name. */
 const char *switchingModeName(SwitchingMode mode);
+
+/** Parse a case-insensitive mode name; nullopt on bad input. */
+std::optional<SwitchingMode> trySwitchingModeFromString(
+    const std::string &name);
+
+/** Parse a case-insensitive mode name; fatal on bad input. */
+SwitchingMode switchingModeFromString(const std::string &name);
 
 /** Configuration of a clock-granularity run. */
 struct CutThroughConfig
@@ -82,17 +92,15 @@ struct CutThroughConfig
     std::uint32_t wireClocks = 8;  ///< W: clocks a packet holds a wire
     std::uint32_t routeClocks = 4; ///< R: head-to-decision latency
 
-    std::uint64_t seed = 1;
-    Cycle warmupClocks = 20000;
-    Cycle measureClocks = 100000;
-
-    /** Fault plan; link faults hit whole packet flights here.  The
-     *  episode-style faults (arbiter-stuck, credit-delay) are
-     *  modeled only by the synchronized simulators. */
-    FaultConfig faults;
-
-    /** Invariant audit period in clocks (0 = off). */
-    Cycle auditEveryClocks = 0;
+    /**
+     * Shared harness knobs.  This simulator counts *clocks*:
+     * common.warmupCycles/measureCycles are clock counts here, and
+     * the audit period is in clocks.  The watchdog field is unused
+     * (no watchdog at clock granularity); the fault plan covers link
+     * faults only — the episode-style faults (arbiter-stuck,
+     * credit-delay) are modeled by the synchronized simulators.
+     */
+    SimCommonConfig common = simCommonWithSchedule(20000, 100000);
 };
 
 /** Results of one run. */
@@ -144,6 +152,13 @@ class CutThroughSimulator
     /** Injection/detection/audit summary so far. */
     FaultReport faultReport() const;
 
+    /** The telemetry bundle, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    const obs::Telemetry *telemetryOrNull() const
+    {
+        return telemetry.get();
+    }
+
   private:
     /** A packet whose head is on a wire toward a switch or sink. */
     struct Flight
@@ -168,6 +183,7 @@ class CutThroughSimulator
         /** Packets fully buffered and waiting (inside buffers). */
     };
 
+    void setupTelemetry();
     void injectStructuralFaults();
     void processDecisions();
     void arbitrateBuffered();
@@ -214,6 +230,11 @@ class CutThroughSimulator
     std::uint64_t faultDropped = 0;
     std::uint64_t hopsCut = 0;
     std::uint64_t hopsBuffered = 0;
+
+    /** Telemetry bundle, or nullptr when disabled (see
+     *  NetworkSimulator::telemetry). */
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::int64_t endpointPid = 0; ///< trace pid of sources/sinks
 
     bool measuring = false;
     std::uint64_t windowGenerated = 0;

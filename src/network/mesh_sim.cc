@@ -7,11 +7,11 @@
 namespace damq {
 
 MeshSimulator::MeshSimulator(const MeshConfig &config)
-    : cfg(config), rng(config.seed),
+    : cfg(config), rng(config.common.seed),
       sourceQueues(config.width * config.height),
-      injector(config.faults),
-      auditor(config.auditEveryCycles),
-      watchdog(config.watchdogStallCycles),
+      injector(config.common.faults),
+      auditor(config.common.auditEveryCycles),
+      watchdog(config.common.watchdogStallCycles),
       nextSeq(config.width * config.height, 0)
 {
     damq_assert(cfg.width >= 2 && cfg.height >= 2,
@@ -25,7 +25,7 @@ MeshSimulator::MeshSimulator(const MeshConfig &config)
                     "transpose traffic needs a square mesh");
         pattern = std::make_unique<TransposeTraffic>(cfg.width);
     } else {
-        pattern = makeTraffic(cfg.traffic, n, cfg.seed);
+        pattern = makeTraffic(cfg.traffic, n, cfg.common.seed);
     }
 
     nodes.reserve(n);
@@ -43,6 +43,85 @@ MeshSimulator::MeshSimulator(const MeshConfig &config)
     prevTransmitted.assign(n, 0);
     moveScratch.reserve(n * kMeshPorts);
     sentScratch.reserve(kMeshPorts);
+
+    setupTelemetry();
+}
+
+void
+MeshSimulator::setupTelemetry()
+{
+    if (!cfg.common.telemetry.enabled())
+        return;
+    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
+
+    // Trace row layout: one process per mesh node, one thread per
+    // input port, plus a pseudo-process for the hosts.
+    static const char *const kPortName[kMeshPorts] = {
+        "east", "west", "north", "south", "local"};
+    endpointPid = static_cast<std::int64_t>(numNodes());
+    obs::PacketTracer *tracer = telemetry->trace();
+    if (tracer)
+        tracer->setProcessName(endpointPid, "hosts");
+
+    for (NodeId node = 0; node < numNodes(); ++node) {
+        const std::uint32_t x = node % cfg.width;
+        const std::uint32_t y = node / cfg.width;
+        if (tracer)
+            tracer->setProcessName(
+                node, detail::concat("node", x, ",", y));
+        nodes[node]->forEachBuffer(
+            [&](PortId port, BufferModel &buffer) {
+                telemetry->attachProbe(
+                    buffer,
+                    detail::concat("n", x, ",", y, ".",
+                                   kPortName[port]),
+                    node, port);
+                if (tracer)
+                    tracer->setThreadName(node, port,
+                                          kPortName[port]);
+            });
+    }
+
+    telemetry->addSampleHook([this]() {
+        obs::MetricRegistry &m = telemetry->metrics();
+        m.gauge("net.generated")
+            .set(static_cast<double>(counters.generated));
+        m.gauge("net.injected")
+            .set(static_cast<double>(counters.injected));
+        m.gauge("net.delivered")
+            .set(static_cast<double>(counters.delivered));
+        m.gauge("net.discarded")
+            .set(static_cast<double>(counters.discarded()));
+        m.gauge("net.faultDropped")
+            .set(static_cast<double>(counters.faultDropped));
+        m.gauge("net.inFlight")
+            .set(static_cast<double>(packetsInFlight()));
+        m.gauge("net.sourceQueued")
+            .set(static_cast<double>(packetsAtSources()));
+
+        std::uint64_t grants = 0;
+        std::uint64_t stale = 0;
+        for (const auto &node : nodes) {
+            grants += node->arbiterStats().grantsIssued;
+            stale += node->arbiterStats().staleOverrides;
+        }
+        m.gauge("arb.grants").set(static_cast<double>(grants));
+        m.gauge("arb.staleOverrides")
+            .set(static_cast<double>(stale));
+    });
+}
+
+void
+MeshSimulator::traceLoss(const Packet &pkt, const char *why)
+{
+    if (!telemetry)
+        return;
+    obs::PacketTracer *tr = telemetry->trace();
+    if (!tr)
+        return;
+    tr->instant(why, "pkt", currentCycle, endpointPid, pkt.source);
+    tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle, endpointPid,
+                 pkt.source);
 }
 
 PortId
@@ -91,11 +170,15 @@ void
 MeshSimulator::step()
 {
     ++currentCycle;
+    if (telemetry)
+        telemetry->beginCycle(currentCycle);
     injectStructuralFaults();
     moveTrafficForward();
     generateAndInject();
     runAudit();
     watchdogCheck();
+    if (telemetry)
+        telemetry->endCycle();
 }
 
 void
@@ -143,12 +226,14 @@ MeshSimulator::moveTrafficForward()
         if (injector.dropOnLink(move.node, currentCycle,
                                 move.packet)) {
             ++counters.faultDropped;
+            traceLoss(move.packet, "drop@fault");
             continue;
         }
         injector.corruptOnLink(move.node, currentCycle, move.packet);
         if (injector.enabled() && !headerIntact(move.packet)) {
             injector.recordDetectedCorruption();
             ++counters.faultDropped;
+            traceLoss(move.packet, "drop@corrupt");
             continue;
         }
         if (move.packet.outPort == kLocal) {
@@ -165,6 +250,7 @@ MeshSimulator::moveTrafficForward()
                         "blocking mesh transmitted into a full "
                         "buffer");
             ++counters.discardedInternal;
+            traceLoss(pkt, "drop@internal");
         }
     }
 }
@@ -183,10 +269,20 @@ MeshSimulator::generateAndInject()
             pkt.seq = nextSeq[src]++;
             sealHeader(pkt);
             ++counters.generated;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->instant("gen", "pkt", currentCycle,
+                                endpointPid, src);
+            }
             if (cfg.protocol == FlowControl::Blocking) {
                 sourceQueues[src].push_back(pkt);
             } else if (!tryInject(src, pkt)) {
                 ++counters.discardedAtEntry;
+                if (telemetry) {
+                    if (obs::PacketTracer *tr = telemetry->trace())
+                        tr->instant("drop@entry", "pkt",
+                                    currentCycle, endpointPid, src);
+                }
             }
         }
         if (cfg.protocol == FlowControl::Blocking &&
@@ -207,6 +303,14 @@ MeshSimulator::tryInject(NodeId src, Packet pkt)
     const bool accepted = nodes[src]->tryReceive(kLocal, pkt);
     damq_assert(accepted, "canAccept/tryReceive disagree");
     ++counters.injected;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncBegin("pkt", "pkt", pkt.id, currentCycle,
+                           endpointPid, src,
+                           detail::concat("{\"src\": ", pkt.source,
+                                          ", \"dest\": ", pkt.dest,
+                                          "}"));
+    }
     return true;
 }
 
@@ -219,6 +323,11 @@ MeshSimulator::deliver(const Packet &pkt, NodeId node)
                    " delivered at node ", node);
     }
     ++counters.delivered;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle,
+                         endpointPid, node);
+    }
     if (measuring) {
         latencyCycles.add(
             static_cast<double>(currentCycle - pkt.injectedAt));
@@ -229,24 +338,24 @@ MeshSimulator::deliver(const Packet &pkt, NodeId node)
 MeshResult
 MeshSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
         step();
     const NetworkCounters at_start = counters;
     measuring = true;
     latencyCycles.reset();
     hopSamples.reset();
-    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
         step();
     measuring = false;
 
     MeshResult result;
     result.window = counters - at_start;
-    result.measuredCycles = cfg.measureCycles;
+    result.measuredCycles = cfg.common.measureCycles;
     result.offeredLoad = cfg.offeredLoad;
     result.deliveredThroughput =
         static_cast<double>(result.window.delivered) /
         (static_cast<double>(numNodes()) *
-         static_cast<double>(cfg.measureCycles));
+         static_cast<double>(cfg.common.measureCycles));
     result.discardFraction =
         result.window.generated == 0
             ? 0.0
@@ -254,6 +363,9 @@ MeshSimulator::run()
                   static_cast<double>(result.window.generated);
     result.latencyCycles = latencyCycles;
     result.avgHops = hopSamples.mean();
+
+    if (telemetry)
+        telemetry->writeFiles();
     return result;
 }
 
@@ -379,7 +491,7 @@ MeshSimulator::snapshotText() const
 {
     std::ostringstream out;
     out << "    snapshot at cycle " << currentCycle << " (seed "
-        << cfg.seed << ", fault seed " << cfg.faults.seed << ")\n";
+        << cfg.common.seed << ", fault seed " << cfg.common.faults.seed << ")\n";
     for (NodeId node = 0; node < numNodes(); ++node) {
         const SwitchModel &sw = *nodes[node];
         if (sw.totalPackets() == 0)

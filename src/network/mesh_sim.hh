@@ -34,7 +34,9 @@
 #include "fault/invariant_auditor.hh"
 #include "fault/watchdog.hh"
 #include "network/network_sim.hh"
+#include "network/sim_common.hh"
 #include "network/traffic.hh"
+#include "obs/telemetry.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/switch_model.hh"
 
@@ -64,18 +66,9 @@ struct MeshConfig
     std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
     double hotSpotFraction = 0.05;
     double offeredLoad = 0.3; ///< packets/cycle/node
-    std::uint64_t seed = 1;
-    Cycle warmupCycles = 1000;
-    Cycle measureCycles = 10000;
 
-    /** Fault plan (all rates zero = bit-identical to no faults). */
-    FaultConfig faults;
-
-    /** Invariant audit period in cycles (0 = off). */
-    Cycle auditEveryCycles = 0;
-
-    /** Watchdog stall threshold in cycles (0 = off). */
-    Cycle watchdogStallCycles = 0;
+    /** Seed, warmup/measure schedule, faults, telemetry. */
+    SimCommonConfig common;
 };
 
 /** Results of one mesh run. */
@@ -130,6 +123,13 @@ class MeshSimulator
     /** Injection/detection/audit/watchdog summary so far. */
     FaultReport faultReport() const;
 
+    /** The telemetry bundle, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    const obs::Telemetry *telemetryOrNull() const
+    {
+        return telemetry.get();
+    }
+
     /** Deterministic per-node occupancy snapshot. */
     std::string snapshotText() const;
 
@@ -140,6 +140,8 @@ class MeshSimulator
     std::pair<NodeId, PortId> neighbor(NodeId node, PortId out) const;
 
   private:
+    void setupTelemetry();
+    void traceLoss(const Packet &pkt, const char *why);
     void injectStructuralFaults();
     void moveTrafficForward();
     void generateAndInject();
@@ -176,6 +178,11 @@ class MeshSimulator
     // allocator (reserved at construction).
     std::vector<Move> moveScratch;
     std::vector<Packet> sentScratch;
+
+    /** Telemetry bundle, or nullptr when disabled (see
+     *  NetworkSimulator::telemetry). */
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::int64_t endpointPid = 0; ///< trace pid of the hosts
 
     bool draining = false;
     bool measuring = false;

@@ -20,14 +20,22 @@ flowControlName(FlowControl protocol)
     damq_panic("unknown FlowControl ", static_cast<int>(protocol));
 }
 
-FlowControl
-flowControlFromString(const std::string &name)
+std::optional<FlowControl>
+tryFlowControlFromString(const std::string &name)
 {
     const std::string lower = toLower(name);
     if (lower == "discarding" || lower == "discard")
         return FlowControl::Discarding;
     if (lower == "blocking" || lower == "block")
         return FlowControl::Blocking;
+    return std::nullopt;
+}
+
+FlowControl
+flowControlFromString(const std::string &name)
+{
+    if (const auto protocol = tryFlowControlFromString(name))
+        return *protocol;
     damq_fatal("unknown flow control '", name,
                "' (expected discarding|blocking)");
 }
@@ -48,11 +56,11 @@ NetworkCounters::operator-(const NetworkCounters &rhs) const
 
 NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
     : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.seed),
+      rng(config.common.seed),
       sourceQueues(config.numPorts),
-      injector(config.faults),
-      auditor(config.auditEveryCycles),
-      watchdog(config.watchdogStallCycles),
+      injector(config.common.faults),
+      auditor(config.common.auditEveryCycles),
+      watchdog(config.common.watchdogStallCycles),
       nextSeq(config.numPorts, 0),
       perSourceLatency(config.numPorts),
       sourceOn(config.numPorts, false)
@@ -69,7 +77,7 @@ NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
         pattern = std::make_unique<HotSpotTraffic>(
             cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
     } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
     }
 
     switches.resize(topo.numStages());
@@ -104,6 +112,88 @@ NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
                         cfg.numPorts);
     sentScratch.reserve(cfg.radix);
     pendingScratch.reserve(cfg.numPorts);
+
+    setupTelemetry();
+}
+
+void
+NetworkSimulator::setupTelemetry()
+{
+    if (!cfg.common.telemetry.enabled())
+        return;
+    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
+
+    // Trace row layout: one process per pipeline stage plus a
+    // pseudo-process for the endpoints (sources and sinks); one
+    // thread per input buffer within a stage.
+    endpointPid = static_cast<std::int64_t>(topo.numStages());
+    obs::PacketTracer *tracer = telemetry->trace();
+    if (tracer) {
+        for (std::uint32_t stage = 0; stage < topo.numStages();
+             ++stage)
+            tracer->setProcessName(stage,
+                                   detail::concat("stage", stage));
+        tracer->setProcessName(endpointPid, "endpoints");
+    }
+
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            switches[stage][idx]->forEachBuffer(
+                [&](PortId port, BufferModel &buffer) {
+                    const std::int64_t tid =
+                        static_cast<std::int64_t>(idx) * cfg.radix +
+                        port;
+                    telemetry->attachProbe(
+                        buffer,
+                        detail::concat("s", stage, ".sw", idx, ".in",
+                                       port),
+                        stage, tid);
+                    if (tracer)
+                        tracer->setThreadName(
+                            stage, tid,
+                            detail::concat("sw", idx, ".in", port));
+                });
+        }
+    }
+
+    // The time series tracks the lifetime counters plus the live
+    // occupancy; gauges register on the first sample (the hooks run
+    // before the row is taken) and are refreshed only when due.
+    telemetry->addSampleHook([this]() {
+        obs::MetricRegistry &m = telemetry->metrics();
+        m.gauge("net.generated")
+            .set(static_cast<double>(counters.generated));
+        m.gauge("net.injected")
+            .set(static_cast<double>(counters.injected));
+        m.gauge("net.delivered")
+            .set(static_cast<double>(counters.delivered));
+        m.gauge("net.discarded")
+            .set(static_cast<double>(counters.discarded()));
+        m.gauge("net.faultDropped")
+            .set(static_cast<double>(counters.faultDropped));
+        m.gauge("net.inFlight")
+            .set(static_cast<double>(packetsInFlight()));
+        m.gauge("net.sourceQueued")
+            .set(static_cast<double>(packetsAtSources()));
+
+        std::uint64_t grants = 0;
+        std::uint64_t stale = 0;
+        if (cfg.placement == BufferPlacement::Input) {
+            for (const auto &stage : switches) {
+                for (const auto &sw : stage) {
+                    const auto &stats =
+                        static_cast<const SwitchModel &>(*sw)
+                            .arbiterStats();
+                    grants += stats.grantsIssued;
+                    stale += stats.staleOverrides;
+                }
+            }
+        }
+        m.gauge("arb.grants").set(static_cast<double>(grants));
+        m.gauge("arb.staleOverrides")
+            .set(static_cast<double>(stale));
+    });
 }
 
 SwitchUnit &
@@ -118,11 +208,15 @@ void
 NetworkSimulator::step()
 {
     ++currentCycle;
+    if (telemetry)
+        telemetry->beginCycle(currentCycle);
     injectStructuralFaults();
     moveTrafficForward();
     generateAndInject();
     runAudit();
     watchdogCheck();
+    if (telemetry)
+        telemetry->endCycle();
 
     if (measuring) {
         std::uint64_t queued = 0;
@@ -261,12 +355,14 @@ NetworkSimulator::moveTrafficForward()
         // misrouted or silently delivered.
         if (injector.dropOnLink(from, currentCycle, move.packet)) {
             ++counters.faultDropped;
+            traceLoss(move.packet, "drop@fault");
             continue;
         }
         injector.corruptOnLink(from, currentCycle, move.packet);
         if (injector.enabled() && !headerIntact(move.packet)) {
             injector.recordDetectedCorruption();
             ++counters.faultDropped;
+            traceLoss(move.packet, "drop@corrupt");
             continue;
         }
         if (move.stage == last_stage) {
@@ -287,8 +383,22 @@ NetworkSimulator::moveTrafficForward()
                         "blocking protocol transmitted into a full "
                         "buffer — back-pressure check is broken");
             ++counters.discardedInternal;
+            traceLoss(pkt, "drop@internal");
         }
     }
+}
+
+void
+NetworkSimulator::traceLoss(const Packet &pkt, const char *why)
+{
+    if (!telemetry)
+        return;
+    obs::PacketTracer *tr = telemetry->trace();
+    if (!tr)
+        return;
+    tr->instant(why, "pkt", currentCycle, endpointPid, pkt.source);
+    tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle, endpointPid,
+                 pkt.source);
 }
 
 void
@@ -332,11 +442,21 @@ NetworkSimulator::generateAndInject()
             pkt.seq = nextSeq[src]++;
             sealHeader(pkt);
             ++counters.generated;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->instant("gen", "pkt", currentCycle,
+                                endpointPid, src);
+            }
 
             if (cfg.protocol == FlowControl::Blocking) {
                 sourceQueues[src].push_back(pkt);
             } else if (!tryInject(src, pkt)) {
                 ++counters.discardedAtEntry;
+                if (telemetry) {
+                    if (obs::PacketTracer *tr = telemetry->trace())
+                        tr->instant("drop@entry", "pkt",
+                                    currentCycle, endpointPid, src);
+                }
             }
         }
 
@@ -362,6 +482,14 @@ NetworkSimulator::tryInject(NodeId src, Packet pkt)
     const bool accepted = first.tryReceive(coord.port, pkt);
     damq_assert(accepted, "canAccept/tryReceive disagree");
     ++counters.injected;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncBegin("pkt", "pkt", pkt.id, currentCycle,
+                           endpointPid, src,
+                           detail::concat("{\"src\": ", pkt.source,
+                                          ", \"dest\": ", pkt.dest,
+                                          "}"));
+    }
     return true;
 }
 
@@ -375,6 +503,11 @@ NetworkSimulator::deliver(const Packet &pkt, NodeId sink)
                    " — omega routing is broken");
     }
     ++counters.delivered;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle,
+                         endpointPid, sink);
+    }
     if (measuring) {
         const double latency =
             static_cast<double>(currentCycle - pkt.injectedAt) *
@@ -387,7 +520,7 @@ NetworkSimulator::deliver(const Packet &pkt, NodeId sink)
 NetworkResult
 NetworkSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
         step();
 
     const NetworkCounters at_start = counters;
@@ -398,16 +531,16 @@ NetworkSimulator::run()
     for (auto &stats : perSourceLatency)
         stats.reset();
 
-    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
         step();
     measuring = false;
 
     NetworkResult result;
     result.window = counters - at_start;
-    result.measuredCycles = cfg.measureCycles;
+    result.measuredCycles = cfg.common.measureCycles;
     result.offeredLoad = cfg.offeredLoad;
     const double denom = static_cast<double>(cfg.numPorts) *
-                         static_cast<double>(cfg.measureCycles);
+                         static_cast<double>(cfg.common.measureCycles);
     result.deliveredThroughput =
         static_cast<double>(result.window.delivered) / denom;
     result.discardFraction =
@@ -438,6 +571,9 @@ NetworkSimulator::run()
             ? 1.0
             : sum * sum / (static_cast<double>(active) * sum_sq);
     result.worstSourceLatency = worst;
+
+    if (telemetry)
+        telemetry->writeFiles();
     return result;
 }
 
@@ -590,7 +726,7 @@ NetworkSimulator::snapshotText() const
 {
     std::ostringstream out;
     out << "    snapshot at cycle " << currentCycle << " (seed "
-        << cfg.seed << ", fault seed " << cfg.faults.seed << ")\n";
+        << cfg.common.seed << ", fault seed " << cfg.common.faults.seed << ")\n";
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
         for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
              ++idx) {

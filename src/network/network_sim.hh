@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -43,7 +44,9 @@
 #include "fault/invariant_auditor.hh"
 #include "fault/watchdog.hh"
 #include "network/omega_topology.hh"
+#include "network/sim_common.hh"
 #include "network/traffic.hh"
+#include "obs/telemetry.hh"
 #include "queueing/buffer_model.hh"
 #include "stats/histogram.hh"
 #include "stats/running_stats.hh"
@@ -60,6 +63,10 @@ enum class FlowControl
 
 /** Human-readable protocol name. */
 const char *flowControlName(FlowControl protocol);
+
+/** Parse a case-insensitive protocol name; nullopt on bad input. */
+std::optional<FlowControl> tryFlowControlFromString(
+    const std::string &name);
 
 /** Parse a case-insensitive protocol name; fatal on bad input. */
 FlowControl flowControlFromString(const std::string &name);
@@ -91,24 +98,8 @@ struct NetworkConfig
     /** Mean burst ("on" period) length in cycles when B > 1. */
     Cycle meanBurstCycles = 8;
 
-    std::uint64_t seed = 1;
-    Cycle warmupCycles = 1000;
-    Cycle measureCycles = 10000;
-
-    /**
-     * Fault plan (all rates default to zero).  The injector owns a
-     * PRNG separate from the traffic generator's, so a run with all
-     * rates zero is bit-identical to one without the fault
-     * subsystem.
-     */
-    FaultConfig faults;
-
-    /** Run the invariant audit every this many cycles (0 = off). */
-    Cycle auditEveryCycles = 0;
-
-    /** Watchdog threshold: cycles of buffered-but-motionless
-     *  traffic before it fires (0 = off). */
-    Cycle watchdogStallCycles = 0;
+    /** Seed, warmup/measure schedule, faults, telemetry. */
+    SimCommonConfig common;
 };
 
 /** Monotone event counters (lifetime totals). */
@@ -218,6 +209,13 @@ class NetworkSimulator
     /** Injection/detection/audit/watchdog summary so far. */
     FaultReport faultReport() const;
 
+    /** The telemetry bundle, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    const obs::Telemetry *telemetryOrNull() const
+    {
+        return telemetry.get();
+    }
+
     /**
      * Deterministic diagnostic snapshot: per-switch occupancy and
      * head-of-line destinations in stable (stage, index) order,
@@ -226,6 +224,12 @@ class NetworkSimulator
     std::string snapshotText() const;
 
   private:
+    /** Build the telemetry bundle when the config enables it. */
+    void setupTelemetry();
+
+    /** Trace a packet lost in flight: close its flow, mark @p why. */
+    void traceLoss(const Packet &pkt, const char *why);
+
     /** Per-cycle structural faults (slot leaks). */
     void injectStructuralFaults();
 
@@ -291,6 +295,14 @@ class NetworkSimulator
     std::vector<Move> moveScratch;
     std::vector<Packet> sentScratch;
     std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;
+
+    /**
+     * Telemetry bundle, or nullptr when cfg.common.telemetry is
+     * disabled — every hook below is a branch on this pointer, so
+     * the disabled hot path is unchanged.
+     */
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::int64_t endpointPid = 0; ///< trace pid of the sources/sinks
 
     bool draining = false;
     bool measuring = false;

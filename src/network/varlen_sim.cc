@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/string_util.hh"
 
 namespace damq {
 
@@ -38,7 +39,7 @@ LengthDistribution::mean() const
 
 VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
     : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.seed),
+      rng(config.common.seed),
       sourceQueues(config.numPorts),
       sourceLinkBusyUntil(config.numPorts, 0)
 {
@@ -46,7 +47,7 @@ VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
         pattern = std::make_unique<HotSpotTraffic>(
             cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
     } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.seed);
+        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
     }
 
     // offeredSlotLoad = P(generate) * E[length]; invert for the
@@ -69,6 +70,74 @@ VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
             linkState[stage].push_back(std::move(state));
         }
     }
+
+    setupTelemetry();
+}
+
+void
+VarLenNetworkSimulator::setupTelemetry()
+{
+    if (!cfg.common.telemetry.enabled())
+        return;
+    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
+
+    // Same trace row layout as NetworkSimulator: one process per
+    // stage plus an "endpoints" pseudo-process.
+    endpointPid = static_cast<std::int64_t>(topo.numStages());
+    obs::PacketTracer *tracer = telemetry->trace();
+    if (tracer) {
+        for (std::uint32_t stage = 0; stage < topo.numStages();
+             ++stage)
+            tracer->setProcessName(stage,
+                                   detail::concat("stage", stage));
+        tracer->setProcessName(endpointPid, "endpoints");
+    }
+
+    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
+        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
+             ++idx) {
+            switches[stage][idx]->forEachBuffer(
+                [&](PortId port, BufferModel &buffer) {
+                    const std::int64_t tid =
+                        static_cast<std::int64_t>(idx) * cfg.radix +
+                        port;
+                    telemetry->attachProbe(
+                        buffer,
+                        detail::concat("s", stage, ".sw", idx, ".in",
+                                       port),
+                        stage, tid);
+                    if (tracer)
+                        tracer->setThreadName(
+                            stage, tid,
+                            detail::concat("sw", idx, ".in", port));
+                });
+        }
+    }
+
+    telemetry->addSampleHook([this]() {
+        obs::MetricRegistry &m = telemetry->metrics();
+        m.gauge("net.generated")
+            .set(static_cast<double>(generated));
+        m.gauge("net.delivered")
+            .set(static_cast<double>(delivered));
+        m.gauge("net.deliveredSlots")
+            .set(static_cast<double>(deliveredSlotsTotal));
+        m.gauge("net.inFlight")
+            .set(static_cast<double>(packetsEverywhere()));
+
+        std::uint64_t grants = 0;
+        std::uint64_t stale = 0;
+        for (const auto &stage : switches) {
+            for (const auto &sw : stage) {
+                const ArbiterStats &stats = sw->arbiterStats();
+                grants += stats.grantsIssued;
+                stale += stats.staleOverrides;
+            }
+        }
+        m.gauge("arb.grants").set(static_cast<double>(grants));
+        m.gauge("arb.staleOverrides")
+            .set(static_cast<double>(stale));
+    });
 }
 
 bool
@@ -102,9 +171,13 @@ void
 VarLenNetworkSimulator::step()
 {
     ++currentCycle;
+    if (telemetry)
+        telemetry->beginCycle(currentCycle);
     completeTransfers();
     arbitrateAndLaunch();
     generateAndInject();
+    if (telemetry)
+        telemetry->endCycle();
 }
 
 void
@@ -121,6 +194,11 @@ VarLenNetworkSimulator::completeTransfers()
                         "varlen: misrouted packet");
             ++delivered;
             deliveredSlotsTotal += t.packet.lengthSlots;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->asyncEnd("pkt", "pkt", t.packet.id,
+                                 currentCycle, endpointPid, t.sink);
+            }
             if (measuring) {
                 ++windowDeliveredPackets;
                 windowDeliveredSlots += t.packet.lengthSlots;
@@ -218,6 +296,11 @@ VarLenNetworkSimulator::generateAndInject()
             ++generated;
             if (measuring)
                 ++windowGenerated;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->instant("gen", "pkt", currentCycle,
+                                endpointPid, src);
+            }
         }
 
         if (sourceQueues[src].empty() ||
@@ -237,6 +320,16 @@ VarLenNetworkSimulator::generateAndInject()
         pkt.outPort = out;
         pkt.injectedAt = currentCycle;
         sourceLinkBusyUntil[src] = currentCycle + pkt.lengthSlots;
+        if (telemetry) {
+            if (obs::PacketTracer *tr = telemetry->trace())
+                tr->asyncBegin(
+                    "pkt", "pkt", pkt.id, currentCycle, endpointPid,
+                    src,
+                    detail::concat("{\"src\": ", pkt.source,
+                                   ", \"dest\": ", pkt.dest,
+                                   ", \"slots\": ", pkt.lengthSlots,
+                                   "}"));
+        }
 
         Transfer t;
         t.completesAt = currentCycle + pkt.lengthSlots;
@@ -251,7 +344,7 @@ VarLenNetworkSimulator::generateAndInject()
 VarLenResult
 VarLenNetworkSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.warmupCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
         step();
 
     measuring = true;
@@ -259,7 +352,7 @@ VarLenNetworkSimulator::run()
     windowDeliveredSlots = 0;
     windowGenerated = 0;
     latencyClocks.reset();
-    for (Cycle c = 0; c < cfg.measureCycles; ++c)
+    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
         step();
     measuring = false;
 
@@ -267,12 +360,15 @@ VarLenNetworkSimulator::run()
     result.generatedPackets = windowGenerated;
     result.deliveredPackets = windowDeliveredPackets;
     result.deliveredSlots = windowDeliveredSlots;
-    result.measuredCycles = cfg.measureCycles;
+    result.measuredCycles = cfg.common.measureCycles;
     result.deliveredSlotThroughput =
         static_cast<double>(windowDeliveredSlots) /
         (static_cast<double>(cfg.numPorts) *
-         static_cast<double>(cfg.measureCycles));
+         static_cast<double>(cfg.common.measureCycles));
     result.latencyClocks = latencyClocks;
+
+    if (telemetry)
+        telemetry->writeFiles();
     return result;
 }
 

@@ -35,7 +35,9 @@
 #include "common/types.hh"
 #include "network/network_sim.hh"
 #include "network/omega_topology.hh"
+#include "network/sim_common.hh"
 #include "network/traffic.hh"
+#include "obs/telemetry.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/switch_model.hh"
 
@@ -73,9 +75,12 @@ struct VarLenConfig
     double offeredSlotLoad = 0.5;
 
     LengthDistribution lengths{{1.0, 1.0, 1.0, 1.0}}; ///< 1-4 slots
-    std::uint64_t seed = 1;
-    Cycle warmupCycles = 2000;
-    Cycle measureCycles = 20000;
+
+    /**
+     * Shared harness knobs.  This simulator models neither faults
+     * nor audits nor a watchdog — those fields are unused here.
+     */
+    SimCommonConfig common = simCommonWithSchedule(2000, 20000);
 };
 
 /** Results of one variable-length run. */
@@ -119,6 +124,13 @@ class VarLenNetworkSimulator
     /** Validate all buffer invariants (tests). */
     void debugValidate() const;
 
+    /** The telemetry bundle, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    const obs::Telemetry *telemetryOrNull() const
+    {
+        return telemetry.get();
+    }
+
   private:
     /** One in-progress link transfer. */
     struct Transfer
@@ -131,6 +143,7 @@ class VarLenNetworkSimulator
         Packet packet;
     };
 
+    void setupTelemetry();
     void completeTransfers();
     void arbitrateAndLaunch();
     void generateAndInject();
@@ -165,6 +178,11 @@ class VarLenNetworkSimulator
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
     std::uint64_t deliveredSlotsTotal = 0;
+
+    /** Telemetry bundle, or nullptr when disabled (see
+     *  NetworkSimulator::telemetry). */
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::int64_t endpointPid = 0; ///< trace pid of sources/sinks
 
     bool measuring = false;
     std::uint64_t windowDeliveredPackets = 0;

@@ -1,0 +1,180 @@
+#include "obs/metric_registry.hh"
+
+#include "common/csv_writer.hh"
+#include "common/logging.hh"
+
+namespace damq {
+namespace obs {
+
+MetricRegistry::MetricRegistry(Cycle sample_stride)
+    : stride(sample_stride)
+{
+}
+
+Counter &
+MetricRegistry::counter(const std::string &name)
+{
+    for (auto &named : counters) {
+        if (named.name == name)
+            return *named.metric;
+    }
+    damq_assert(columns.empty(),
+                "counter '", name,
+                "' registered after the first time-series sample");
+    counters.push_back({name, std::make_unique<Counter>()});
+    return *counters.back().metric;
+}
+
+Gauge &
+MetricRegistry::gauge(const std::string &name)
+{
+    for (auto &named : gauges) {
+        if (named.name == name)
+            return *named.metric;
+    }
+    damq_assert(columns.empty(),
+                "gauge '", name,
+                "' registered after the first time-series sample");
+    gauges.push_back({name, std::make_unique<Gauge>()});
+    return *gauges.back().metric;
+}
+
+Histogram &
+MetricRegistry::histogram(const std::string &name, double bin_width,
+                          std::size_t num_bins)
+{
+    for (auto &named : histograms) {
+        if (named.name == name) {
+            damq_assert(named.metric->numBins() == num_bins,
+                        "histogram '", name,
+                        "' re-registered with a different geometry");
+            return *named.metric;
+        }
+    }
+    histograms.push_back(
+        {name, std::make_unique<Histogram>(bin_width, num_bins)});
+    return *histograms.back().metric;
+}
+
+void
+MetricRegistry::sample(Cycle now)
+{
+    if (columns.empty()) {
+        columns.reserve(counters.size() + gauges.size());
+        for (const auto &named : counters)
+            columns.push_back(named.name);
+        for (const auto &named : gauges)
+            columns.push_back(named.name);
+    }
+    damq_assert(columns.size() == counters.size() + gauges.size(),
+                "metric registered after the first sample");
+    std::vector<double> row;
+    row.reserve(columns.size());
+    for (const auto &named : counters)
+        row.push_back(static_cast<double>(named.metric->value()));
+    for (const auto &named : gauges)
+        row.push_back(named.metric->value());
+    cycles.push_back(now);
+    rows.push_back(std::move(row));
+}
+
+std::uint64_t
+MetricRegistry::counterValue(const std::string &name) const
+{
+    for (const auto &named : counters) {
+        if (named.name == name)
+            return named.metric->value();
+    }
+    return 0;
+}
+
+void
+MetricRegistry::writeJson(std::ostream &out) const
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("schema", "damq-metrics-v1");
+    json.field("sampleStride", static_cast<std::uint64_t>(stride));
+
+    json.key("counters");
+    json.beginObject();
+    for (const auto &named : counters)
+        json.field(named.name, named.metric->value());
+    json.endObject();
+
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &named : gauges)
+        json.field(named.name, named.metric->value());
+    json.endObject();
+
+    json.key("histograms");
+    json.beginArray();
+    for (const auto &named : histograms) {
+        const Histogram &hist = *named.metric;
+        json.beginObject();
+        json.field("name", named.name);
+        json.field("binWidth", hist.binLowerEdge(1));
+        json.field("count", hist.count());
+        json.field("overflow", hist.overflowCount());
+        json.field("p50", hist.quantile(0.50));
+        json.field("p90", hist.quantile(0.90));
+        json.field("p99", hist.quantile(0.99));
+        json.key("bins");
+        json.beginArray();
+        // Trailing empty bins are elided so sparse histograms stay
+        // small; the bin index is implicit in the position.
+        std::size_t last = hist.numBins();
+        while (last > 0 && hist.binCount(last - 1) == 0)
+            --last;
+        for (std::size_t i = 0; i < last; ++i)
+            json.value(hist.binCount(i));
+        json.endArray();
+        json.endObject();
+    }
+    json.endArray();
+
+    json.key("series");
+    json.beginObject();
+    json.key("columns");
+    json.beginArray();
+    for (const std::string &name : columns)
+        json.value(name);
+    json.endArray();
+    json.key("rows");
+    json.beginArray();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        json.beginArray();
+        json.value(static_cast<std::uint64_t>(cycles[i]));
+        for (const double v : rows[i])
+            json.value(v);
+        json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+
+    json.endObject();
+    json.finish();
+}
+
+void
+MetricRegistry::writeCsv(std::ostream &out) const
+{
+    CsvWriter csv(out);
+    std::vector<std::string> header;
+    header.reserve(columns.size() + 1);
+    header.push_back("cycle");
+    for (const std::string &name : columns)
+        header.push_back(name);
+    csv.header(header);
+    std::vector<std::string> fields(header.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        fields[0] = std::to_string(cycles[i]);
+        for (std::size_t c = 0; c < rows[i].size(); ++c)
+            fields[c + 1] = formatJsonNumber(rows[i][c]);
+        csv.row(fields);
+    }
+}
+
+} // namespace obs
+} // namespace damq

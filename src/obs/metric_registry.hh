@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Named metrics with per-cycle time-series sampling.
+ *
+ * A MetricRegistry holds three metric kinds:
+ *
+ *  - **counters**: monotone 64-bit event totals (packets generated,
+ *    grants issued, ...);
+ *  - **gauges**: instantaneous doubles set by the owner right
+ *    before a sample (buffered packets, mean source-queue length);
+ *  - **histograms**: stats::Histogram distributions (per-queue
+ *    occupancy, waiting times) — summarized at the end of a run,
+ *    not sampled over time.
+ *
+ * Counters and gauges form the columns of a *time series*: every
+ * @c sampleStride cycles the registry appends one row with the
+ * current value of every column, in registration order.  The series
+ * serializes to CSV (one row per sample) and to the metrics JSON
+ * document; both spell doubles via formatJsonNumber so the output
+ * is bit-reproducible.
+ *
+ * The registry is deliberately allocation-light but not lock-free:
+ * one simulator owns one registry, and sweep tasks never share one.
+ */
+
+#ifndef DAMQ_OBS_METRIC_REGISTRY_HH
+#define DAMQ_OBS_METRIC_REGISTRY_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json_writer.hh"
+#include "common/types.hh"
+#include "stats/histogram.hh"
+
+namespace damq {
+namespace obs {
+
+/** Monotone event counter. */
+class Counter
+{
+  public:
+    /** Add @p delta events (default one). */
+    void inc(std::uint64_t delta = 1) { count += delta; }
+
+    /** Events so far. */
+    std::uint64_t value() const { return count; }
+
+  private:
+    std::uint64_t count = 0;
+};
+
+/** Instantaneous value, set by the owner before each sample. */
+class Gauge
+{
+  public:
+    /** Record the current level. */
+    void set(double v) { level = v; }
+
+    /** Last recorded level. */
+    double value() const { return level; }
+
+  private:
+    double level = 0.0;
+};
+
+/** Named counters/gauges/histograms plus their time series. */
+class MetricRegistry
+{
+  public:
+    /** @param sample_stride  cycles between time-series samples
+     *                        (0 = no time series). */
+    explicit MetricRegistry(Cycle sample_stride = 0);
+
+    MetricRegistry(const MetricRegistry &) = delete;
+    MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+    /** Find-or-create the counter @p name. */
+    Counter &counter(const std::string &name);
+
+    /** Find-or-create the gauge @p name. */
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create the histogram @p name with the given geometry.
+     * Asking for an existing name with a different geometry is a
+     * bug (panics).
+     */
+    Histogram &histogram(const std::string &name, double bin_width,
+                         std::size_t num_bins);
+
+    /** Cycles between samples (0 = time series disabled). */
+    Cycle sampleStride() const { return stride; }
+
+    /** True when @p now lands on the sampling stride. */
+    bool sampleDue(Cycle now) const
+    {
+        return stride != 0 && now % stride == 0;
+    }
+
+    /**
+     * Append one time-series row for cycle @p now: the value of
+     * every counter and gauge, in registration order.  All columns
+     * must be registered before the first sample — the column set
+     * is frozen then, so every row has the same shape.
+     */
+    void sample(Cycle now);
+
+    /** Column names of the time series (counters, then gauges). */
+    const std::vector<std::string> &seriesColumns() const
+    {
+        return columns;
+    }
+
+    /** Sampled cycle numbers, one per row. */
+    const std::vector<Cycle> &seriesCycles() const { return cycles; }
+
+    /** Row @p i of the time series (seriesColumns() order). */
+    const std::vector<double> &seriesRow(std::size_t i) const
+    {
+        return rows[i];
+    }
+
+    /** Number of time-series rows recorded. */
+    std::size_t seriesRowCount() const { return rows.size(); }
+
+    /** Value of counter @p name (0 when absent) — test access. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /**
+     * Write the whole registry as one JSON document:
+     * `{schema, sampleStride, counters, gauges, histograms, series}`.
+     * The schema tag is "damq-metrics-v1"; the smoke tests pin it.
+     */
+    void writeJson(std::ostream &out) const;
+
+    /** Write the time series as CSV: `cycle,<col>,...` rows. */
+    void writeCsv(std::ostream &out) const;
+
+  private:
+    template <typename T>
+    struct Named
+    {
+        std::string name;
+        std::unique_ptr<T> metric; ///< stable address across growth
+    };
+
+    Cycle stride;
+    std::vector<Named<Counter>> counters;
+    std::vector<Named<Gauge>> gauges;
+    std::vector<Named<Histogram>> histograms;
+
+    std::vector<std::string> columns; ///< frozen at first sample
+    std::vector<Cycle> cycles;
+    std::vector<std::vector<double>> rows;
+};
+
+} // namespace obs
+} // namespace damq
+
+#endif // DAMQ_OBS_METRIC_REGISTRY_HH

@@ -1,0 +1,120 @@
+#include "obs/packet_tracer.hh"
+
+#include <utility>
+
+#include "common/json_writer.hh"
+
+namespace damq {
+namespace obs {
+
+PacketTracer::PacketTracer(std::uint64_t max_events)
+    : maxEvents(max_events)
+{
+}
+
+void
+PacketTracer::setProcessName(std::int64_t pid, const std::string &name)
+{
+    names.push_back({false, pid, 0, name});
+}
+
+void
+PacketTracer::setThreadName(std::int64_t pid, std::int64_t tid,
+                            const std::string &name)
+{
+    names.push_back({true, pid, tid, name});
+}
+
+void
+PacketTracer::record(Event event)
+{
+    if (events.size() >= maxEvents) {
+        ++dropped;
+        return;
+    }
+    events.push_back(std::move(event));
+}
+
+void
+PacketTracer::instant(const std::string &name, const char *category,
+                      Cycle ts, std::int64_t pid, std::int64_t tid,
+                      const std::string &args_json)
+{
+    record({name, category, 'i', ts, 0, pid, tid, 0, args_json});
+}
+
+void
+PacketTracer::complete(const std::string &name, const char *category,
+                       Cycle ts, Cycle dur, std::int64_t pid,
+                       std::int64_t tid, const std::string &args_json)
+{
+    record({name, category, 'X', ts, dur, pid, tid, 0, args_json});
+}
+
+void
+PacketTracer::asyncBegin(const std::string &name, const char *category,
+                         std::uint64_t id, Cycle ts, std::int64_t pid,
+                         std::int64_t tid, const std::string &args_json)
+{
+    record({name, category, 'b', ts, 0, pid, tid, id, args_json});
+}
+
+void
+PacketTracer::asyncEnd(const std::string &name, const char *category,
+                       std::uint64_t id, Cycle ts, std::int64_t pid,
+                       std::int64_t tid)
+{
+    record({name, category, 'e', ts, 0, pid, tid, id, ""});
+}
+
+void
+PacketTracer::writeChromeTrace(std::ostream &out) const
+{
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("displayTimeUnit", "ms");
+    json.key("traceEvents");
+    json.beginArray();
+
+    for (const NameMeta &meta : names) {
+        json.beginObject();
+        json.field("name",
+                   meta.thread ? "thread_name" : "process_name");
+        json.field("ph", "M");
+        json.field("pid", meta.pid);
+        if (meta.thread)
+            json.field("tid", meta.tid);
+        json.key("args");
+        json.beginObject();
+        json.field("name", meta.name);
+        json.endObject();
+        json.endObject();
+    }
+
+    for (const Event &event : events) {
+        json.beginObject();
+        json.field("name", event.name);
+        json.field("cat", event.category);
+        const char phase[2] = {event.phase, '\0'};
+        json.field("ph", phase);
+        json.field("ts", static_cast<std::uint64_t>(event.ts));
+        if (event.phase == 'X')
+            json.field("dur", static_cast<std::uint64_t>(event.dur));
+        json.field("pid", event.pid);
+        json.field("tid", event.tid);
+        if (event.phase == 'b' || event.phase == 'e')
+            json.field("id", event.id);
+        if (!event.args.empty()) {
+            json.key("args");
+            json.rawValue(event.args);
+        }
+        json.endObject();
+    }
+
+    json.endArray();
+    json.endObject();
+    json.finish();
+}
+
+} // namespace obs
+} // namespace damq

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-packet lifecycle recorder with Chrome-trace-format export.
+ *
+ * The tracer collects discrete events (packet generated, injected,
+ * buffered at a hop, granted/dequeued, delivered, discarded) and
+ * serializes them as Chrome trace JSON — the `{"traceEvents": [...]}`
+ * document that chrome://tracing and https://ui.perfetto.dev open
+ * directly.  Timestamps are simulation cycles (the viewer's "us"
+ * unit reads as cycles); rows are organized with the standard
+ * pid/tid hierarchy, named via metadata events:
+ *
+ *  - one *process* per pipeline stage (Omega) or node (mesh);
+ *  - one *thread* per input buffer, so a buffer's packet
+ *    residencies appear as 'X' (complete) spans on its own row;
+ *  - one async 'b'/'e' pair per packet (id = packet id) spanning
+ *    injection to delivery, which perfetto draws as a flow.
+ *
+ * Event storage is bounded by @c max_events: once the cap is hit
+ * new events are counted as dropped instead of stored, so tracing a
+ * saturated sweep cannot exhaust memory.
+ */
+
+#ifndef DAMQ_OBS_PACKET_TRACER_HH
+#define DAMQ_OBS_PACKET_TRACER_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace damq {
+namespace obs {
+
+/** Records trace events and writes Chrome trace JSON. */
+class PacketTracer
+{
+  public:
+    /** @param max_events  storage cap; further events are dropped
+     *                     (and counted). */
+    explicit PacketTracer(std::uint64_t max_events = 1'000'000);
+
+    PacketTracer(const PacketTracer &) = delete;
+    PacketTracer &operator=(const PacketTracer &) = delete;
+
+    /** Name the trace row group @p pid ("stage0", "node3,1", ...). */
+    void setProcessName(std::int64_t pid, const std::string &name);
+
+    /** Name row @p tid of group @p pid ("sw2.in1", ...). */
+    void setThreadName(std::int64_t pid, std::int64_t tid,
+                       const std::string &name);
+
+    /**
+     * Instant event ('i') at cycle @p ts.  @p args_json, when
+     * non-empty, must be one complete JSON object ("{...}") and is
+     * spliced into the event verbatim.
+     */
+    void instant(const std::string &name, const char *category,
+                 Cycle ts, std::int64_t pid, std::int64_t tid,
+                 const std::string &args_json = "");
+
+    /** Complete event ('X'): a span of @p dur cycles from @p ts. */
+    void complete(const std::string &name, const char *category,
+                  Cycle ts, Cycle dur, std::int64_t pid,
+                  std::int64_t tid,
+                  const std::string &args_json = "");
+
+    /** Async begin ('b') for flow @p id (e.g. a packet id). */
+    void asyncBegin(const std::string &name, const char *category,
+                    std::uint64_t id, Cycle ts, std::int64_t pid,
+                    std::int64_t tid,
+                    const std::string &args_json = "");
+
+    /** Async end ('e') matching an asyncBegin with the same id. */
+    void asyncEnd(const std::string &name, const char *category,
+                  std::uint64_t id, Cycle ts, std::int64_t pid,
+                  std::int64_t tid);
+
+    /** Events stored (metadata events excluded). */
+    std::uint64_t eventCount() const { return events.size(); }
+
+    /** Events discarded after the cap was reached. */
+    std::uint64_t droppedEvents() const { return dropped; }
+
+    /** Write the `{"traceEvents": [...]}` document. */
+    void writeChromeTrace(std::ostream &out) const;
+
+  private:
+    struct Event
+    {
+        std::string name;
+        const char *category;  ///< static string
+        char phase;            ///< 'i', 'X', 'b', 'e'
+        Cycle ts;
+        Cycle dur;             ///< 'X' only
+        std::int64_t pid;
+        std::int64_t tid;
+        std::uint64_t id;      ///< 'b'/'e' only
+        std::string args;      ///< preformatted JSON object or empty
+    };
+
+    struct NameMeta
+    {
+        bool thread;           ///< thread_name vs process_name
+        std::int64_t pid;
+        std::int64_t tid;
+        std::string name;
+    };
+
+    /** Append @p event unless the cap is hit. */
+    void record(Event event);
+
+    std::uint64_t maxEvents;
+    std::uint64_t dropped = 0;
+    std::vector<Event> events;
+    std::vector<NameMeta> names;
+};
+
+} // namespace obs
+} // namespace damq
+
+#endif // DAMQ_OBS_PACKET_TRACER_HH

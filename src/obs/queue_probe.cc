@@ -1,0 +1,70 @@
+#include "obs/queue_probe.hh"
+
+#include <string>
+
+namespace damq {
+namespace obs {
+
+namespace {
+
+/** Waiting-time histogram range; longer waits hit the overflow bin. */
+constexpr std::size_t kWaitBins = 1024;
+
+} // namespace
+
+QueueProbe::QueueProbe(MetricRegistry &registry, const Cycle *clock,
+                       const BufferModel &buffer,
+                       const std::string &label, PacketTracer *tracer,
+                       std::int64_t pid, std::int64_t tid)
+    : clock(clock), tag(label),
+      occupancy(registry.histogram("occ:" + label, 1.0,
+                                   buffer.capacitySlots() + 1)),
+      waiting(registry.histogram("wait:" + label, 1.0, kWaitBins)),
+      enqueues(registry.counter("buf.enqueues")),
+      dequeues(registry.counter("buf.dequeues")),
+      tracer(tracer), pid(pid), tid(tid)
+{
+}
+
+void
+QueueProbe::onEnqueue(const BufferModel &buffer, const Packet &pkt)
+{
+    enqueues.inc();
+    occupancy.add(static_cast<double>(buffer.usedSlots()));
+    pendingSince.emplace(pkt.id, *clock);
+}
+
+void
+QueueProbe::onDequeue(const BufferModel &buffer, PortId out,
+                      const Packet &pkt)
+{
+    dequeues.inc();
+    occupancy.add(static_cast<double>(buffer.usedSlots()));
+
+    Cycle entered = *clock;
+    if (const auto it = pendingSince.find(pkt.id);
+        it != pendingSince.end()) {
+        entered = it->second;
+        pendingSince.erase(it);
+    }
+    const Cycle wait = *clock - entered;
+    waiting.add(static_cast<double>(wait));
+
+    if (tracer) {
+        tracer->complete("p" + std::to_string(pkt.id), "queue",
+                         entered, wait, pid, tid,
+                         "{\"pkt\": " + std::to_string(pkt.id) +
+                             ", \"out\": " + std::to_string(out) +
+                             ", \"wait\": " + std::to_string(wait) +
+                             "}");
+    }
+}
+
+void
+QueueProbe::onClear(const BufferModel &)
+{
+    pendingSince.clear();
+}
+
+} // namespace obs
+} // namespace damq

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * BufferProbe implementation feeding the telemetry subsystem.
+ *
+ * One QueueProbe watches one input buffer.  It maintains two
+ * histograms in the owning MetricRegistry:
+ *
+ *  - `occ:<label>`  — buffer occupancy (committed slots) observed at
+ *    every enqueue and dequeue, bin width one slot, one bin per slot
+ *    of capacity;
+ *  - `wait:<label>` — packet waiting time in cycles from enqueue to
+ *    dequeue, bin width one cycle (long tails land in the overflow
+ *    bin and still count toward quantiles).
+ *
+ * It also bumps the registry-wide `buf.enqueues` / `buf.dequeues`
+ * counters, and — when a PacketTracer is attached — emits one
+ * complete ('X') trace span per packet residency on the probe's
+ * pid/tid row.  Packets still buffered when the run ends (or wiped
+ * by clear()) produce no span.
+ *
+ * The probe reads the current cycle through a pointer into the
+ * owning Telemetry object, so the simulator only has to publish the
+ * clock once per cycle instead of threading it through every push.
+ */
+
+#ifndef DAMQ_OBS_QUEUE_PROBE_HH
+#define DAMQ_OBS_QUEUE_PROBE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "obs/metric_registry.hh"
+#include "obs/packet_tracer.hh"
+#include "queueing/buffer_model.hh"
+
+namespace damq {
+namespace obs {
+
+/** Telemetry observer for one input buffer. */
+class QueueProbe : public BufferProbe
+{
+  public:
+    /**
+     * @param registry  owning registry (histograms + counters live
+     *                  there).
+     * @param clock     current simulation cycle, published by the
+     *                  owning Telemetry; must outlive the probe.
+     * @param buffer    the buffer this probe will be attached to
+     *                  (its capacity sizes the occupancy histogram).
+     * @param label     stable identity for metric names, e.g.
+     *                  "s0.sw2.in1".
+     * @param tracer    optional packet tracer for residency spans.
+     * @param pid, tid  trace row of this buffer (tracer != nullptr).
+     */
+    QueueProbe(MetricRegistry &registry, const Cycle *clock,
+               const BufferModel &buffer, const std::string &label,
+               PacketTracer *tracer = nullptr, std::int64_t pid = 0,
+               std::int64_t tid = 0);
+
+    void onEnqueue(const BufferModel &buffer,
+                   const Packet &pkt) override;
+    void onDequeue(const BufferModel &buffer, PortId out,
+                   const Packet &pkt) override;
+    void onClear(const BufferModel &buffer) override;
+
+    /** Metric-name label this probe was built with. */
+    const std::string &label() const { return tag; }
+
+  private:
+    const Cycle *clock;
+    std::string tag;
+    Histogram &occupancy;
+    Histogram &waiting;
+    Counter &enqueues;
+    Counter &dequeues;
+    PacketTracer *tracer;
+    std::int64_t pid;
+    std::int64_t tid;
+
+    /** Enqueue cycle of every packet currently inside the buffer. */
+    std::unordered_map<PacketId, Cycle> pendingSince;
+};
+
+} // namespace obs
+} // namespace damq
+
+#endif // DAMQ_OBS_QUEUE_PROBE_HH

@@ -1,0 +1,102 @@
+#include "obs/telemetry.hh"
+
+#include <fstream>
+#include <iostream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace obs {
+
+Telemetry::Telemetry(const TelemetryConfig &config)
+    : cfg(config), registry(config.metricsEvery)
+{
+    if (cfg.tracePackets)
+        tracer = std::make_unique<PacketTracer>(cfg.maxTraceEvents);
+}
+
+void
+Telemetry::endCycle()
+{
+    if (!registry.sampleDue(now))
+        return;
+    for (const auto &hook : sampleHooks)
+        hook();
+    registry.sample(now);
+}
+
+void
+Telemetry::addSampleHook(std::function<void()> hook)
+{
+    sampleHooks.push_back(std::move(hook));
+}
+
+QueueProbe &
+Telemetry::attachProbe(BufferModel &buffer, const std::string &label,
+                       std::int64_t pid, std::int64_t tid)
+{
+    probes.push_back(std::make_unique<QueueProbe>(
+        registry, clock(), buffer, label, tracer.get(), pid, tid));
+    buffer.attachProbe(probes.back().get());
+    return *probes.back();
+}
+
+namespace {
+
+/** Open @p path for writing or die with a useful message. */
+std::ofstream
+openSink(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        damq_fatal("telemetry: cannot write '", path, "'");
+    return out;
+}
+
+} // namespace
+
+int
+Telemetry::writeFiles() const
+{
+    if (cfg.outputPrefix.empty())
+        return 0;
+
+    int written = 0;
+
+    {
+        const std::string path = cfg.outputPrefix + ".metrics.json";
+        std::ofstream out = openSink(path);
+        registry.writeJson(out);
+        std::cerr << "telemetry: wrote " << path << "\n";
+        ++written;
+    }
+
+    if (registry.sampleStride() != 0) {
+        const std::string path = cfg.outputPrefix + ".metrics.csv";
+        std::ofstream out = openSink(path);
+        registry.writeCsv(out);
+        std::cerr << "telemetry: wrote " << path << " ("
+                  << registry.seriesRowCount() << " samples)\n";
+        ++written;
+    }
+
+    if (tracer) {
+        const std::string path = cfg.outputPrefix + ".trace.json";
+        std::ofstream out = openSink(path);
+        tracer->writeChromeTrace(out);
+        std::cerr << "telemetry: wrote " << path << " ("
+                  << tracer->eventCount() << " events";
+        if (tracer->droppedEvents() != 0)
+            std::cerr << ", " << tracer->droppedEvents()
+                      << " dropped at the " << cfg.maxTraceEvents
+                      << "-event cap";
+        std::cerr << ")\n";
+        ++written;
+    }
+
+    return written;
+}
+
+} // namespace obs
+} // namespace damq

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Facade tying the telemetry pieces together for a simulator.
+ *
+ * A simulator owns at most one Telemetry object (none when
+ * telemetry is off — the sims keep a null unique_ptr and every hook
+ * site is a branch-on-null, so the disabled path stays
+ * byte-identical to a build without telemetry).  The facade bundles:
+ *
+ *  - a MetricRegistry (counters, gauges, histograms, time series);
+ *  - an optional PacketTracer for per-packet lifecycle events;
+ *  - the QueueProbe instances attached to the input buffers;
+ *  - the simulation clock the probes read.
+ *
+ * Per-cycle protocol: the simulator calls beginCycle(now) before
+ * doing any work in a cycle (so probe events carry the right
+ * timestamp) and endCycle() after, which runs the registered sample
+ * hooks (gauge refreshers) and appends a time-series row whenever
+ * the configured stride is due.
+ *
+ * File output: writeFiles() emits `<prefix>.metrics.json`,
+ * `<prefix>.metrics.csv` (when sampling) and `<prefix>.trace.json`
+ * (when tracing), announcing each on stderr — never stdout, which
+ * belongs to the byte-identical bench tables.
+ */
+
+#ifndef DAMQ_OBS_TELEMETRY_HH
+#define DAMQ_OBS_TELEMETRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/metric_registry.hh"
+#include "obs/packet_tracer.hh"
+#include "obs/queue_probe.hh"
+
+namespace damq {
+namespace obs {
+
+/** What to collect and where to put it. */
+struct TelemetryConfig
+{
+    /** Cycles between time-series samples; 0 disables the series. */
+    Cycle metricsEvery = 0;
+
+    /** Record per-packet lifecycle events (Chrome trace). */
+    bool tracePackets = false;
+
+    /** Trace storage cap; see PacketTracer. */
+    std::uint64_t maxTraceEvents = 1'000'000;
+
+    /**
+     * Output file prefix for writeFiles(); empty means the caller
+     * consumes the data programmatically instead.
+     */
+    std::string outputPrefix;
+
+    /** Whether any collection is requested at all. */
+    bool enabled() const { return metricsEvery != 0 || tracePackets; }
+};
+
+/** Per-simulator telemetry bundle.  See the file comment. */
+class Telemetry
+{
+  public:
+    explicit Telemetry(const TelemetryConfig &config);
+
+    Telemetry(const Telemetry &) = delete;
+    Telemetry &operator=(const Telemetry &) = delete;
+
+    /** The configuration this bundle was built with. */
+    const TelemetryConfig &config() const { return cfg; }
+
+    /** The metric registry (counters/gauges/histograms/series). */
+    MetricRegistry &metrics() { return registry; }
+    const MetricRegistry &metrics() const { return registry; }
+
+    /** The packet tracer, or nullptr when tracing is off. */
+    PacketTracer *trace() { return tracer.get(); }
+    const PacketTracer *trace() const { return tracer.get(); }
+
+    /** Clock location for probes; valid for this object's lifetime. */
+    const Cycle *clock() const { return &now; }
+
+    /** Publish the cycle about to be simulated. */
+    void beginCycle(Cycle cycle) { now = cycle; }
+
+    /**
+     * Finish the published cycle: when a time-series sample is due,
+     * run every sample hook (typically gauge refreshers) and append
+     * the row.
+     */
+    void endCycle();
+
+    /**
+     * Register @p hook to run just before each time-series sample.
+     * Simulators use this to refresh gauges (buffered packets,
+     * source-queue depth) only when a row is actually taken.
+     */
+    void addSampleHook(std::function<void()> hook);
+
+    /**
+     * Create a QueueProbe bound to this bundle's registry, clock and
+     * tracer, attach it to @p buffer, and keep it alive for the
+     * lifetime of the Telemetry object.
+     */
+    QueueProbe &attachProbe(BufferModel &buffer,
+                            const std::string &label,
+                            std::int64_t pid = 0,
+                            std::int64_t tid = 0);
+
+    /**
+     * Write the collected data to `<outputPrefix>.*` files (see the
+     * file comment); no-op when outputPrefix is empty.  Returns the
+     * number of files written.
+     */
+    int writeFiles() const;
+
+  private:
+    TelemetryConfig cfg;
+    Cycle now = 0;
+    MetricRegistry registry;
+    std::unique_ptr<PacketTracer> tracer;
+    std::vector<std::unique_ptr<QueueProbe>> probes;
+    std::vector<std::function<void()>> sampleHooks;
+};
+
+} // namespace obs
+} // namespace damq
+
+#endif // DAMQ_OBS_TELEMETRY_HH

@@ -91,6 +91,8 @@ BufferModel::clear()
 {
     std::fill(reservedPerOut.begin(), reservedPerOut.end(), 0);
     reservedTotal = 0;
+    if (probe)
+        probe->onClear(*this);
 }
 
 void

@@ -62,9 +62,41 @@ std::optional<BufferType> tryBufferTypeFromString(
 /** Parse a case-insensitive buffer-type name; fatal on bad input. */
 BufferType bufferTypeFromString(const std::string &name);
 
+class BufferModel;
+
+/**
+ * Observer interface for buffer telemetry.  The obs library's
+ * QueueProbe implements it; the queueing library itself depends on
+ * nothing above it.  A buffer with no probe attached (the default)
+ * pays exactly one predictable branch per push/pop, so telemetry is
+ * zero-overhead when off.
+ */
+class BufferProbe
+{
+  public:
+    virtual ~BufferProbe() = default;
+
+    /** @p pkt was just committed into @p buffer. */
+    virtual void onEnqueue(const BufferModel &buffer,
+                           const Packet &pkt) = 0;
+
+    /** @p pkt was just removed from @p buffer's queue @p out. */
+    virtual void onDequeue(const BufferModel &buffer, PortId out,
+                           const Packet &pkt) = 0;
+
+    /** @p buffer dropped all contents (reset between runs). */
+    virtual void onClear(const BufferModel &buffer) = 0;
+};
+
 /**
  * Abstract input-port buffer.  See the file comment for the role of
  * each operation.  All sizes are measured in slots.
+ *
+ * push() and pop() are non-virtual entry points that delegate to
+ * the pushImpl()/popImpl() of the concrete organization and then
+ * notify the attached BufferProbe (if any) — the telemetry hook
+ * cannot be forgotten by an implementation and costs one
+ * branch-on-null when disabled.
  */
 class BufferModel
 {
@@ -111,7 +143,12 @@ class BufferModel
      * ~50% slower per push on the micro benchmark.
      * Callers must check canAccept first; violating that is a bug.
      */
-    virtual void push(const Packet &pkt) = 0;
+    void push(const Packet &pkt)
+    {
+        pushImpl(pkt);
+        if (probe)
+            probe->onEnqueue(*this, pkt);
+    }
 
     /**
      * Hold space for a packet of @p len slots bound for @p out that
@@ -142,7 +179,23 @@ class BufferModel
     virtual std::uint32_t queueLength(PortId out) const = 0;
 
     /** Remove and return the head packet for @p out (must exist). */
-    virtual Packet pop(PortId out) = 0;
+    Packet pop(PortId out)
+    {
+        Packet pkt = popImpl(out);
+        if (probe)
+            probe->onDequeue(*this, out, pkt);
+        return pkt;
+    }
+
+    /**
+     * Attach (or, with nullptr, detach) a telemetry probe.  The
+     * probe must outlive the buffer or be detached first; the
+     * buffer does not own it.
+     */
+    void attachProbe(BufferProbe *p) { probe = p; }
+
+    /** The attached telemetry probe, or nullptr. */
+    BufferProbe *attachedProbe() const { return probe; }
 
     /** Callback type for forEachInQueue. */
     using PacketVisitor = std::function<void(const Packet &)>;
@@ -208,11 +261,18 @@ class BufferModel
         return reservedPerOut[out];
     }
 
+    /** Organization-specific store; see push(). */
+    virtual void pushImpl(const Packet &pkt) = 0;
+
+    /** Organization-specific removal; see pop(). */
+    virtual Packet popImpl(PortId out) = 0;
+
   private:
     PortId outputs;
     std::uint32_t capacity;
     std::vector<std::uint32_t> reservedPerOut;
     std::uint32_t reservedTotal = 0;
+    BufferProbe *probe = nullptr;
 };
 
 } // namespace damq

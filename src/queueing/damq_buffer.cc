@@ -24,7 +24,7 @@ DamqBuffer::canAccept(PortId out, std::uint32_t len) const
 }
 
 void
-DamqBuffer::push(const Packet &pkt)
+DamqBuffer::pushImpl(const Packet &pkt)
 {
     damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
@@ -64,7 +64,7 @@ DamqBuffer::queueLength(PortId out) const
 }
 
 Packet
-DamqBuffer::pop(PortId out)
+DamqBuffer::popImpl(PortId out)
 {
     const Packet *head = DamqBuffer::peek(out);
     damq_assert(head != nullptr, "pop(", out, ") from empty queue");

@@ -48,7 +48,7 @@ class DamqReservedBuffer final : public BufferModel
     }
 
     bool canAccept(PortId out, std::uint32_t len) const override;
-    void push(const Packet &pkt) override { inner.push(pkt); }
+    void pushImpl(const Packet &pkt) override { inner.push(pkt); }
     const Packet *peek(PortId out) const override
     {
         return inner.peek(out);
@@ -57,7 +57,7 @@ class DamqReservedBuffer final : public BufferModel
     {
         return inner.queueLength(out);
     }
-    Packet pop(PortId out) override { return inner.pop(out); }
+    Packet popImpl(PortId out) override { return inner.pop(out); }
     void forEachInQueue(PortId out,
                         const PacketVisitor &visit) const override
     {

@@ -17,7 +17,7 @@ FifoBuffer::canAccept(PortId out, std::uint32_t len) const
 }
 
 void
-FifoBuffer::push(const Packet &pkt)
+FifoBuffer::pushImpl(const Packet &pkt)
 {
     damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
     damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
@@ -47,7 +47,7 @@ FifoBuffer::queueLength(PortId out) const
 }
 
 Packet
-FifoBuffer::pop(PortId out)
+FifoBuffer::popImpl(PortId out)
 {
     const Packet *head = FifoBuffer::peek(out);
     damq_assert(head != nullptr,

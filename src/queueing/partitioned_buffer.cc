@@ -41,7 +41,7 @@ StaticallyPartitionedBuffer::canAccept(PortId out,
 }
 
 void
-StaticallyPartitionedBuffer::push(const Packet &pkt)
+StaticallyPartitionedBuffer::pushImpl(const Packet &pkt)
 {
     damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
@@ -85,7 +85,7 @@ StaticallyPartitionedBuffer::queueLength(PortId out) const
 }
 
 Packet
-StaticallyPartitionedBuffer::pop(PortId out)
+StaticallyPartitionedBuffer::popImpl(PortId out)
 {
     // Qualified call: keeps the lookup direct (and inlinable)
     // instead of re-dispatching through the vtable.

@@ -21,7 +21,7 @@ ReferenceMultiQueue::canAccept(PortId out, std::uint32_t len) const
 }
 
 void
-ReferenceMultiQueue::push(const Packet &pkt)
+ReferenceMultiQueue::pushImpl(const Packet &pkt)
 {
     damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
     damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
@@ -51,7 +51,7 @@ ReferenceMultiQueue::queueLength(PortId out) const
 }
 
 Packet
-ReferenceMultiQueue::pop(PortId out)
+ReferenceMultiQueue::popImpl(PortId out)
 {
     damq_assert(out < numOutputs(), "pop: bad output ", out);
     damq_assert(queues[out].head != kNullSlot,

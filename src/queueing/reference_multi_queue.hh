@@ -34,10 +34,10 @@ class ReferenceMultiQueue final : public BufferModel
     std::uint32_t totalPackets() const override { return packets; }
 
     bool canAccept(PortId out, std::uint32_t len) const override;
-    void push(const Packet &pkt) override;
+    void pushImpl(const Packet &pkt) override;
     const Packet *peek(PortId out) const override;
     std::uint32_t queueLength(PortId out) const override;
-    Packet pop(PortId out) override;
+    Packet popImpl(PortId out) override;
     void forEachInQueue(PortId out,
                         const PacketVisitor &visit) const override;
 

@@ -8,33 +8,6 @@
 
 namespace damq {
 
-unsigned
-parseThreads(int argc, char **argv)
-{
-    const auto parse = [](const std::string &text) {
-        char *end = nullptr;
-        const long value = std::strtol(text.c_str(), &end, 10);
-        if (end == text.c_str() || *end != '\0' || value < 1 ||
-            value > 4096) {
-            damq_fatal("--threads wants an integer in [1, 4096], "
-                       "got '", text, "'");
-        }
-        return static_cast<unsigned>(value);
-    };
-
-    for (int i = 1; i < argc; ++i) {
-        const std::string_view arg = argv[i];
-        if (arg.rfind("--threads=", 0) == 0)
-            return parse(std::string(arg.substr(10)));
-        if (arg == "--threads") {
-            if (i + 1 >= argc)
-                damq_fatal("--threads needs a value");
-            return parse(argv[i + 1]);
-        }
-    }
-    return 1;
-}
-
 BenchJsonFile::BenchJsonFile(const std::string &bench)
     : path("BENCH_" + bench + ".json"), file(path), writer(file)
 {

@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared plumbing for the bench executables' machine-readable
- * output: the --threads flag, the BENCH_<name>.json result files,
- * and the PERF_<name>.json timing sidecars.
+ * output: the BENCH_<name>.json result files and the
+ * PERF_<name>.json timing sidecars.  (The shared command-line
+ * options, --threads included, live in runner/sim_flags.hh.)
  *
  * Two invariants the benches rely on:
  *
@@ -22,17 +23,10 @@
 #include <string>
 #include <vector>
 
-#include "runner/json_writer.hh"
+#include "common/json_writer.hh"
 #include "runner/sweep_runner.hh"
 
 namespace damq {
-
-/**
- * Parse `--threads=N` (or `--threads N`) from the command line;
- * defaults to 1 so a bare invocation reproduces the historical
- * sequential runs.  Fatal on malformed values.
- */
-unsigned parseThreads(int argc, char **argv);
 
 /**
  * One BENCH_<name>.json document being written.  Opens

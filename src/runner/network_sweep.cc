@@ -2,47 +2,6 @@
 
 namespace damq {
 
-namespace {
-
-std::uint64_t
-networkCycles(const NetworkResult &result)
-{
-    return result.measuredCycles;
-}
-
-std::uint64_t
-meshCycles(const MeshResult &result)
-{
-    return result.measuredCycles;
-}
-
-} // namespace
-
-std::vector<NetworkResult>
-runNetworkSweep(SweepRunner &runner,
-                const std::vector<NetworkTask> &tasks)
-{
-    return runner.map(
-        tasks.size(),
-        [&tasks](std::size_t i) {
-            NetworkSimulator sim(tasks[i].config);
-            return sim.run();
-        },
-        &networkCycles);
-}
-
-std::vector<MeshResult>
-runMeshSweep(SweepRunner &runner, const std::vector<MeshTask> &tasks)
-{
-    return runner.map(
-        tasks.size(),
-        [&tasks](std::size_t i) {
-            MeshSimulator sim(tasks[i].config);
-            return sim.run();
-        },
-        &meshCycles);
-}
-
 NetworkConfig
 atLoad(const NetworkConfig &base, double load)
 {
@@ -59,24 +18,20 @@ atLoad(const MeshConfig &base, double load)
     return cfg;
 }
 
-std::vector<std::string>
-taskLabels(const std::vector<NetworkTask> &tasks)
+CutThroughConfig
+atLoad(const CutThroughConfig &base, double load)
 {
-    std::vector<std::string> labels;
-    labels.reserve(tasks.size());
-    for (const NetworkTask &task : tasks)
-        labels.push_back(task.label);
-    return labels;
+    CutThroughConfig cfg = base;
+    cfg.offeredLoad = load;
+    return cfg;
 }
 
-std::vector<std::string>
-taskLabels(const std::vector<MeshTask> &tasks)
+VarLenConfig
+atLoad(const VarLenConfig &base, double load)
 {
-    std::vector<std::string> labels;
-    labels.reserve(tasks.size());
-    for (const MeshTask &task : tasks)
-        labels.push_back(task.label);
-    return labels;
+    VarLenConfig cfg = base;
+    cfg.offeredSlotLoad = load;
+    return cfg;
 }
 
 } // namespace damq

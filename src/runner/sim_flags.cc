@@ -1,0 +1,89 @@
+#include "runner/sim_flags.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+void
+addCommonSimFlags(ArgParser &args)
+{
+    args.addOption("threads", "1",
+                   "worker threads for the sweep (results are "
+                   "identical at any value)");
+    args.addOption("seed", "1", "master PRNG seed");
+    args.addOption("warmup", "0",
+                   "override warmup cycles (clocks for the "
+                   "cut-through bench)");
+    args.addOption("measure", "0", "override measured cycles");
+    args.addOption("metrics-every", "0",
+                   "sample the metric time series every N cycles "
+                   "(0 = off)");
+    args.addFlag("trace",
+                 "record per-packet lifecycle events to a Chrome "
+                 "trace (view in Perfetto)");
+    args.addOption("trace-events", "1000000",
+                   "cap on recorded trace events");
+    args.addOption("telemetry-out", "",
+                   "output prefix for <prefix>.metrics.json/.csv "
+                   "and <prefix>.trace.json (default: the bench "
+                   "name)");
+}
+
+unsigned
+simThreads(const ArgParser &args)
+{
+    const std::int64_t threads = args.getInt("threads");
+    if (threads < 1 || threads > 4096)
+        damq_fatal("--threads wants an integer in [1, 4096], got ",
+                   threads);
+    return static_cast<unsigned>(threads);
+}
+
+void
+applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
+                    const std::string &default_prefix)
+{
+    if (args.wasSet("seed"))
+        common.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+    if (args.wasSet("warmup")) {
+        common.warmupCycles =
+            static_cast<Cycle>(args.getInt("warmup"));
+    }
+    if (args.wasSet("measure")) {
+        common.measureCycles =
+            static_cast<Cycle>(args.getInt("measure"));
+    }
+
+    if (args.wasSet("metrics-every")) {
+        common.telemetry.metricsEvery =
+            static_cast<Cycle>(args.getInt("metrics-every"));
+    }
+    if (args.getFlag("trace"))
+        common.telemetry.tracePackets = true;
+    if (args.wasSet("trace-events")) {
+        common.telemetry.maxTraceEvents =
+            static_cast<std::uint64_t>(args.getInt("trace-events"));
+    }
+    if (common.telemetry.enabled()) {
+        const std::string prefix = args.getString("telemetry-out");
+        common.telemetry.outputPrefix =
+            prefix.empty() ? default_prefix : prefix;
+    }
+}
+
+std::string
+sanitizeFileToken(const std::string &label)
+{
+    std::string token = label;
+    for (char &c : token) {
+        const bool safe =
+            (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+            c == '_' || c == '@';
+        if (!safe)
+            c = '_';
+    }
+    return token;
+}
+
+} // namespace damq

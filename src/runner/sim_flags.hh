@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The shared command-line surface of the simulator front-ends.
+ *
+ * Every bench and example that drives a SimCommonConfig-bearing
+ * simulator accepts the same harness options — the sweep thread
+ * count, the PRNG seed, the warmup/measure schedule, and the
+ * telemetry plan (`--metrics-every`, `--trace`).  Declaring them
+ * through addCommonSimFlags() and applying them through
+ * applyCommonSimFlags() keeps the flags' names, defaults, and help
+ * text identical across all ~15 front-ends.
+ *
+ * applyCommonSimFlags() only overrides the fields whose options the
+ * user actually typed (ArgParser::wasSet), so each bench's
+ * experiment-specific defaults — say Table 6's longer warmup —
+ * survive a bare invocation and the printed tables stay
+ * byte-identical to the historical outputs.
+ */
+
+#ifndef DAMQ_RUNNER_SIM_FLAGS_HH
+#define DAMQ_RUNNER_SIM_FLAGS_HH
+
+#include <string>
+
+#include "common/arg_parser.hh"
+#include "network/sim_common.hh"
+
+namespace damq {
+
+/**
+ * Declare the shared harness options on @p args:
+ *
+ *   --threads N        sweep worker threads (default 1)
+ *   --seed N           master PRNG seed
+ *   --warmup N         warmup cycles (clocks, for the cut-through sim)
+ *   --measure N        measured cycles
+ *   --metrics-every N  sample the metric time series every N cycles
+ *   --trace            record per-packet Chrome-trace events
+ *   --trace-events N   trace event cap (default one million)
+ *   --telemetry-out P  output file prefix for telemetry files
+ */
+void addCommonSimFlags(ArgParser &args);
+
+/**
+ * Thread count for a SweepRunner, from the --threads option
+ * declared by addCommonSimFlags(); fatal outside [1, 4096].
+ */
+unsigned simThreads(const ArgParser &args);
+
+/**
+ * Copy the options the user explicitly set from @p args into
+ * @p common; options left at their defaults change nothing.  When
+ * telemetry is requested without --telemetry-out, files are
+ * prefixed with @p default_prefix (typically the bench name).
+ */
+void applyCommonSimFlags(const ArgParser &args,
+                         SimCommonConfig &common,
+                         const std::string &default_prefix);
+
+/**
+ * @p label reduced to characters safe in a filename: alphanumerics
+ * and `.-_@` pass through, everything else becomes `_`.  Used to
+ * derive per-task telemetry prefixes from sweep-task labels.
+ */
+std::string sanitizeFileToken(const std::string &label);
+
+} // namespace damq
+
+#endif // DAMQ_RUNNER_SIM_FLAGS_HH

@@ -19,9 +19,9 @@ paperOmegaConfig()
     cfg.protocol = FlowControl::Blocking;
     cfg.arbitration = ArbitrationPolicy::Smart;
     cfg.traffic = "uniform";
-    cfg.seed = 88;
-    cfg.warmupCycles = 2000;
-    cfg.measureCycles = 12000;
+    cfg.common.seed = 88;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 12000;
     return cfg;
 }
 
@@ -116,11 +116,11 @@ writeNetworkConfigJson(JsonWriter &json, const NetworkConfig &config)
     json.field("arbitration",
                arbitrationPolicyName(config.arbitration));
     json.field("traffic", config.traffic);
-    json.field("seed", config.seed);
+    json.field("seed", config.common.seed);
     json.field("warmupCycles",
-               static_cast<std::uint64_t>(config.warmupCycles));
+               static_cast<std::uint64_t>(config.common.warmupCycles));
     json.field("measureCycles",
-               static_cast<std::uint64_t>(config.measureCycles));
+               static_cast<std::uint64_t>(config.common.measureCycles));
     json.endObject();
 }
 

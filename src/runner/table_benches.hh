@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "network/network_sim.hh"
-#include "runner/json_writer.hh"
+#include "common/json_writer.hh"
 #include "runner/sweep_runner.hh"
 
 namespace damq {

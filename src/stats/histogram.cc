@@ -51,6 +51,18 @@ Histogram::quantile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    damq_assert(binWidth == other.binWidth &&
+                    bins.size() == other.bins.size(),
+                "can only merge histograms of identical geometry");
+    for (std::size_t i = 0; i < bins.size(); ++i)
+        bins[i] += other.bins[i];
+    overflow += other.overflow;
+    total += other.total;
+}
+
+void
 Histogram::reset()
 {
     std::fill(bins.begin(), bins.end(), 0);

@@ -51,6 +51,13 @@ class Histogram
      */
     double quantile(double q) const;
 
+    /**
+     * Fold @p other into this histogram, bin by bin.  Both must
+     * have the same bin width and bin count (the telemetry layer
+     * merges per-queue histograms across buffers this way).
+     */
+    void merge(const Histogram &other);
+
     /** Remove all samples. */
     void reset();
 

@@ -17,14 +17,22 @@ arbitrationPolicyName(ArbitrationPolicy policy)
     damq_panic("unknown ArbitrationPolicy ", static_cast<int>(policy));
 }
 
-ArbitrationPolicy
-arbitrationPolicyFromString(const std::string &name)
+std::optional<ArbitrationPolicy>
+tryArbitrationPolicyFromString(const std::string &name)
 {
     const std::string lower = toLower(name);
     if (lower == "dumb")
         return ArbitrationPolicy::Dumb;
     if (lower == "smart")
         return ArbitrationPolicy::Smart;
+    return std::nullopt;
+}
+
+ArbitrationPolicy
+arbitrationPolicyFromString(const std::string &name)
+{
+    if (const auto policy = tryArbitrationPolicyFromString(name))
+        return *policy;
     damq_fatal("unknown arbitration policy '", name,
                "' (expected dumb|smart)");
 }
@@ -88,6 +96,9 @@ Arbiter::serveRoundRobin(
             --reads_left;
         }
     }
+
+    ++arbStats.arbitrations;
+    arbStats.grantsIssued += grants.size();
 }
 
 DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs)
@@ -143,8 +154,10 @@ SmartArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
                 best_stale = stale;
             }
         }
-        if (stalest != kInvalidPort)
+        if (stalest != kInvalidPort) {
+            ++arbStats.staleOverrides;
             return stalest;
+        }
 
         PortId best = eligible.front();
         for (const PortId out : eligible) {

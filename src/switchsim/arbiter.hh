@@ -24,6 +24,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,10 @@ enum class ArbitrationPolicy
 /** Human-readable policy name. */
 const char *arbitrationPolicyName(ArbitrationPolicy policy);
 
+/** Parse a case-insensitive policy name; nullopt on bad input. */
+std::optional<ArbitrationPolicy> tryArbitrationPolicyFromString(
+    const std::string &name);
+
 /** Parse a case-insensitive policy name; fatal on bad input. */
 ArbitrationPolicy arbitrationPolicyFromString(const std::string &name);
 
@@ -54,6 +59,20 @@ ArbitrationPolicy arbitrationPolicyFromString(const std::string &name);
  */
 using CanSendFn =
     std::function<bool(PortId input, PortId out, const Packet &pkt)>;
+
+/**
+ * Lifetime arbitration counters, exposed for telemetry.  Cheap to
+ * maintain (one add per schedule), so they are always on; reset()
+ * leaves them alone — they describe the arbiter's whole life.
+ */
+struct ArbiterStats
+{
+    std::uint64_t arbitrations = 0;   ///< schedules computed
+    std::uint64_t grantsIssued = 0;   ///< grants across all schedules
+
+    /** Smart only: a stale queue outranked a longer one. */
+    std::uint64_t staleOverrides = 0;
+};
 
 /**
  * Stateful per-switch arbiter.  Produces a conflict-free grant set:
@@ -97,6 +116,9 @@ class Arbiter
     /** Policy implemented by this arbiter. */
     virtual ArbitrationPolicy policy() const = 0;
 
+    /** Lifetime grant/override counters. */
+    const ArbiterStats &stats() const { return arbStats; }
+
     /** Forget all fairness state. */
     virtual void reset() = 0;
 
@@ -125,6 +147,9 @@ class Arbiter
     PortId outputs;
 
   protected:
+    /** Lifetime counters; serveRoundRobin maintains the first two. */
+    ArbiterStats arbStats;
+
     /** Scratch: outputs already claimed this cycle. */
     std::vector<bool> outputTaken;
 

@@ -110,6 +110,19 @@ class SwitchModel final : public SwitchUnit
     /** Every buffer's violations, prefixed with its input port. */
     std::vector<std::string> checkInvariants() const override;
 
+    /** SwitchUnit: visit each input buffer with its port number. */
+    void forEachBuffer(const BufferVisitor &visit) override
+    {
+        for (PortId input = 0; input < ports; ++input)
+            visit(input, *buffers[input]);
+    }
+
+    /** The crossbar arbiter's lifetime grant counters. */
+    const ArbiterStats &arbiterStats() const
+    {
+        return arbiter->stats();
+    }
+
     /** Leak a slot from input @p input's buffer. */
     bool faultLeakSlot(PortId input) override;
 

@@ -20,8 +20,8 @@ bufferPlacementName(BufferPlacement placement)
                static_cast<int>(placement));
 }
 
-BufferPlacement
-bufferPlacementFromString(const std::string &name)
+std::optional<BufferPlacement>
+tryBufferPlacementFromString(const std::string &name)
 {
     const std::string lower = toLower(name);
     if (lower == "input")
@@ -30,6 +30,14 @@ bufferPlacementFromString(const std::string &name)
         return BufferPlacement::Central;
     if (lower == "output")
         return BufferPlacement::Output;
+    return std::nullopt;
+}
+
+BufferPlacement
+bufferPlacementFromString(const std::string &name)
+{
+    if (const auto placement = tryBufferPlacementFromString(name))
+        return *placement;
     damq_fatal("unknown buffer placement '", name,
                "' (expected input|central|output)");
 }

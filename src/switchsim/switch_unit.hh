@@ -22,6 +22,7 @@
 #define DAMQ_SWITCHSIM_SWITCH_UNIT_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ enum class BufferPlacement
 
 /** Human-readable placement name. */
 const char *bufferPlacementName(BufferPlacement placement);
+
+/** Parse a case-insensitive placement name; nullopt on bad input. */
+std::optional<BufferPlacement> tryBufferPlacementFromString(
+    const std::string &name);
 
 /** Parse a case-insensitive placement name; fatal on bad input. */
 BufferPlacement bufferPlacementFromString(const std::string &name);
@@ -119,6 +124,22 @@ class SwitchUnit
      * directly.
      */
     virtual std::vector<std::string> checkInvariants() const = 0;
+
+    /** Callback type for forEachBuffer. */
+    using BufferVisitor =
+        std::function<void(PortId input, BufferModel &buffer)>;
+
+    /**
+     * Visit every BufferModel inside the switch with the input port
+     * it serves — the telemetry layer attaches its per-queue probes
+     * this way.  The default visits nothing: the central-pool and
+     * output-queued organizations store packets in plain queues,
+     * not BufferModel objects, so there is nothing to probe.
+     */
+    virtual void forEachBuffer(const BufferVisitor &visit)
+    {
+        (void)visit;
+    }
 
     /** Panic on the first invariant violation (tests). */
     void debugValidate() const;

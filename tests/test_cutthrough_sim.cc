@@ -23,9 +23,9 @@ baseConfig()
     cfg.protocol = FlowControl::Blocking;
     cfg.mode = SwitchingMode::CutThrough;
     cfg.offeredLoad = 0.3;
-    cfg.seed = 5150;
-    cfg.warmupClocks = 3000;
-    cfg.measureClocks = 15000;
+    cfg.common.seed = 5150;
+    cfg.common.warmupCycles = 3000;
+    cfg.common.measureCycles = 15000;
     return cfg;
 }
 
@@ -33,7 +33,7 @@ TEST(CutThroughSim, UnloadedLatencyIsThreeRPlusW)
 {
     CutThroughConfig cfg = baseConfig();
     cfg.offeredLoad = 0.005; // almost empty network
-    cfg.measureClocks = 60000;
+    cfg.common.measureCycles = 60000;
     CutThroughSimulator sim(cfg);
     const CutThroughResult r = sim.run();
     ASSERT_GT(r.latencyClocks.count(), 0u);
@@ -49,7 +49,7 @@ TEST(CutThroughSim, StoreAndForwardFloorIsFourW)
     CutThroughConfig cfg = baseConfig();
     cfg.mode = SwitchingMode::StoreAndForward;
     cfg.offeredLoad = 0.005;
-    cfg.measureClocks = 60000;
+    cfg.common.measureCycles = 60000;
     const CutThroughResult r = CutThroughSimulator(cfg).run();
     ASSERT_GT(r.latencyClocks.count(), 0u);
     EXPECT_DOUBLE_EQ(r.latencyClocks.min(), 32.0);
@@ -147,7 +147,7 @@ TEST(CutThroughSim, DiscardingDropsAtOverload)
 TEST(CutThroughSim, Deterministic)
 {
     CutThroughConfig cfg = baseConfig();
-    cfg.measureClocks = 8000;
+    cfg.common.measureCycles = 8000;
     const CutThroughResult a = CutThroughSimulator(cfg).run();
     const CutThroughResult b = CutThroughSimulator(cfg).run();
     EXPECT_EQ(a.delivered, b.delivered);
@@ -159,7 +159,7 @@ TEST(CutThroughSim, DeliversOfferedLoadBelowSaturation)
 {
     CutThroughConfig cfg = baseConfig();
     cfg.offeredLoad = 0.25;
-    cfg.measureClocks = 40000;
+    cfg.common.measureCycles = 40000;
     const CutThroughResult r = CutThroughSimulator(cfg).run();
     EXPECT_NEAR(r.deliveredLoad, 0.25, 0.02);
 }
@@ -170,7 +170,7 @@ TEST(CutThroughSim, CustomTimingParameters)
     cfg.wireClocks = 12;
     cfg.routeClocks = 2;
     cfg.offeredLoad = 0.005;
-    cfg.measureClocks = 60000;
+    cfg.common.measureCycles = 60000;
     const CutThroughResult r = CutThroughSimulator(cfg).run();
     // 3 * 2 + 12 = 18 clock floor.
     EXPECT_DOUBLE_EQ(r.latencyClocks.min(), 18.0);

@@ -160,7 +160,7 @@ TEST(DamqReservedNetwork, ConservationHolds)
     NetworkConfig cfg;
     cfg.bufferType = BufferType::DamqR;
     cfg.offeredLoad = 0.6;
-    cfg.seed = 5;
+    cfg.common.seed = 5;
     NetworkSimulator sim(cfg);
     for (int i = 0; i < 600; ++i)
         sim.step();
@@ -176,9 +176,9 @@ TEST(DamqReservedNetwork, UniformSaturationNearPlainDamq)
     NetworkConfig cfg;
     cfg.slotsPerBuffer = 8; // room for reservations + sharing
     cfg.offeredLoad = 1.0;
-    cfg.warmupCycles = 500;
-    cfg.measureCycles = 2500;
-    cfg.seed = 6;
+    cfg.common.warmupCycles = 500;
+    cfg.common.measureCycles = 2500;
+    cfg.common.seed = 6;
 
     cfg.bufferType = BufferType::Damq;
     const double damq =

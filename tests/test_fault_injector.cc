@@ -160,12 +160,12 @@ TEST(FaultInjector, FaultFreeRunIsBitIdenticalWithAuditingOn)
     NetworkConfig base;
     base.numPorts = 16;
     base.radix = 4;
-    base.warmupCycles = 200;
-    base.measureCycles = 1000;
+    base.common.warmupCycles = 200;
+    base.common.measureCycles = 1000;
 
     NetworkConfig audited = base;
-    audited.auditEveryCycles = 50;
-    audited.watchdogStallCycles = 500;
+    audited.common.auditEveryCycles = 50;
+    audited.common.watchdogStallCycles = 500;
 
     NetworkSimulator plain(base);
     NetworkSimulator instrumented(audited);
@@ -193,12 +193,12 @@ TEST(FaultInjector, OmegaFaultRunAccountsForEveryLoss)
     cfg.numPorts = 16;
     cfg.radix = 4;
     cfg.offeredLoad = 0.4;
-    cfg.warmupCycles = 200;
-    cfg.measureCycles = 2000;
-    cfg.faults.seed = 7;
-    cfg.faults.packetDropRate = 0.002;
-    cfg.faults.headerBitFlipRate = 0.002;
-    cfg.auditEveryCycles = 100;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 2000;
+    cfg.common.faults.seed = 7;
+    cfg.common.faults.packetDropRate = 0.002;
+    cfg.common.faults.headerBitFlipRate = 0.002;
+    cfg.common.auditEveryCycles = 100;
 
     NetworkSimulator sim(cfg);
     sim.run();
@@ -225,13 +225,13 @@ TEST(FaultInjector, MeshFaultRunAccountsForEveryLoss)
     cfg.width = 4;
     cfg.height = 4;
     cfg.offeredLoad = 0.2;
-    cfg.warmupCycles = 200;
-    cfg.measureCycles = 2000;
-    cfg.faults.seed = 7;
-    cfg.faults.packetDropRate = 0.002;
-    cfg.faults.headerBitFlipRate = 0.002;
-    cfg.faults.creditDelayRate = 0.01;
-    cfg.auditEveryCycles = 100;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 2000;
+    cfg.common.faults.seed = 7;
+    cfg.common.faults.packetDropRate = 0.002;
+    cfg.common.faults.headerBitFlipRate = 0.002;
+    cfg.common.faults.creditDelayRate = 0.01;
+    cfg.common.auditEveryCycles = 100;
 
     MeshSimulator sim(cfg);
     sim.run();
@@ -253,12 +253,12 @@ TEST(FaultInjector, CutThroughFaultRunAccountsForEveryLoss)
     cfg.numPorts = 16;
     cfg.radix = 4;
     cfg.offeredLoad = 0.3;
-    cfg.warmupClocks = 500;
-    cfg.measureClocks = 5000;
-    cfg.faults.seed = 7;
-    cfg.faults.packetDropRate = 0.002;
-    cfg.faults.headerBitFlipRate = 0.002;
-    cfg.auditEveryClocks = 200;
+    cfg.common.warmupCycles = 500;
+    cfg.common.measureCycles = 5000;
+    cfg.common.faults.seed = 7;
+    cfg.common.faults.packetDropRate = 0.002;
+    cfg.common.faults.headerBitFlipRate = 0.002;
+    cfg.common.auditEveryCycles = 200;
 
     CutThroughSimulator sim(cfg);
     sim.run();

@@ -26,9 +26,9 @@ paperConfig()
     cfg.protocol = FlowControl::Blocking;
     cfg.arbitration = ArbitrationPolicy::Smart;
     cfg.traffic = "uniform";
-    cfg.seed = 7;
-    cfg.warmupCycles = 400;
-    cfg.measureCycles = 2500;
+    cfg.common.seed = 7;
+    cfg.common.warmupCycles = 400;
+    cfg.common.measureCycles = 2500;
     return cfg;
 }
 
@@ -160,8 +160,8 @@ TEST(PaperClaims, HotSpotEqualizesAllBufferTypes)
     // at the same throughput (~0.24).
     NetworkConfig cfg = paperConfig();
     cfg.traffic = "hotspot";
-    cfg.warmupCycles = 1500;
-    cfg.measureCycles = 2500;
+    cfg.common.warmupCycles = 1500;
+    cfg.common.measureCycles = 2500;
 
     cfg.bufferType = BufferType::Fifo;
     const double fifo = measureSaturation(cfg).saturationThroughput;

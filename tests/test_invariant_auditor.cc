@@ -181,11 +181,11 @@ TEST(InvariantAudit, NetworkAuditCatchesInjectedSlotLeaks)
     cfg.numPorts = 16;
     cfg.radix = 4;
     cfg.offeredLoad = 0.4;
-    cfg.warmupCycles = 0;
-    cfg.measureCycles = 500;
-    cfg.faults.seed = 3;
-    cfg.faults.slotLeakRate = 0.02;
-    cfg.auditEveryCycles = 25;
+    cfg.common.warmupCycles = 0;
+    cfg.common.measureCycles = 500;
+    cfg.common.faults.seed = 3;
+    cfg.common.faults.slotLeakRate = 0.02;
+    cfg.common.auditEveryCycles = 25;
 
     NetworkSimulator sim(cfg);
     sim.run();
@@ -207,11 +207,11 @@ TEST(InvariantAudit, WatchdogCatchesStuckArbiterWedge)
     cfg.numPorts = 16;
     cfg.radix = 4;
     cfg.offeredLoad = 0.5;
-    cfg.warmupCycles = 0;
-    cfg.measureCycles = 300;
-    cfg.faults.seed = 3;
-    cfg.faults.arbiterStuckRate = 1.0; // every arbiter, every cycle
-    cfg.watchdogStallCycles = 50;
+    cfg.common.warmupCycles = 0;
+    cfg.common.measureCycles = 300;
+    cfg.common.faults.seed = 3;
+    cfg.common.faults.arbiterStuckRate = 1.0; // every arbiter, every cycle
+    cfg.common.watchdogStallCycles = 50;
 
     NetworkSimulator sim(cfg);
     sim.run();

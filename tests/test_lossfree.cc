@@ -43,10 +43,10 @@ TEST_P(LossFree, BlockingNetworkLosesNothing)
     // Hot-spot traffic tree-saturates; stay under the cap so the
     // drain terminates in bounded time.
     cfg.offeredLoad = param.traffic == "hotspot" ? 0.15 : 0.5;
-    cfg.warmupCycles = 500;
-    cfg.measureCycles = 4000;
-    cfg.auditEveryCycles = 100; // conservation checked all along
-    cfg.seed = 88;
+    cfg.common.warmupCycles = 500;
+    cfg.common.measureCycles = 4000;
+    cfg.common.auditEveryCycles = 100; // conservation checked all along
+    cfg.common.seed = 88;
 
     NetworkSimulator sim(cfg);
     sim.run();

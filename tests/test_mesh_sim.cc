@@ -23,9 +23,9 @@ baseConfig()
     cfg.slotsPerBuffer = 5;
     cfg.protocol = FlowControl::Blocking;
     cfg.offeredLoad = 0.2;
-    cfg.seed = 616;
-    cfg.warmupCycles = 500;
-    cfg.measureCycles = 4000;
+    cfg.common.seed = 616;
+    cfg.common.warmupCycles = 500;
+    cfg.common.measureCycles = 4000;
     return cfg;
 }
 
@@ -63,7 +63,7 @@ TEST(MeshSim, UnloadedLatencyIsManhattanPlusOne)
     MeshConfig cfg = baseConfig();
     cfg.offeredLoad = 0.005;
     cfg.traffic = "transpose"; // deterministic distances
-    cfg.measureCycles = 20000;
+    cfg.common.measureCycles = 20000;
     MeshSimulator sim(cfg);
     const MeshResult r = sim.run();
     ASSERT_GT(r.latencyCycles.count(), 0u);
@@ -118,8 +118,8 @@ TEST(MeshSim, SaturationDoesNotDeadlock)
     // mesh keeps delivering.
     MeshConfig cfg = baseConfig();
     cfg.offeredLoad = 1.0;
-    cfg.warmupCycles = 2000;
-    cfg.measureCycles = 4000;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 4000;
     MeshSimulator sim(cfg);
     const MeshResult r = sim.run();
     EXPECT_GT(r.window.delivered, 0u);
@@ -131,8 +131,8 @@ TEST(MeshSim, DamqBeatsFifoOnUniformTraffic)
 {
     MeshConfig cfg = baseConfig();
     cfg.offeredLoad = 1.0;
-    cfg.warmupCycles = 1500;
-    cfg.measureCycles = 5000;
+    cfg.common.warmupCycles = 1500;
+    cfg.common.measureCycles = 5000;
     cfg.bufferType = BufferType::Fifo;
     const double fifo =
         MeshSimulator(cfg).run().deliveredThroughput;

@@ -25,9 +25,9 @@ baseConfig()
     cfg.arbitration = ArbitrationPolicy::Smart;
     cfg.traffic = "uniform";
     cfg.offeredLoad = 0.3;
-    cfg.seed = 12345;
-    cfg.warmupCycles = 200;
-    cfg.measureCycles = 1000;
+    cfg.common.seed = 12345;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 1000;
     return cfg;
 }
 
@@ -101,7 +101,7 @@ TEST(NetworkSim, MinimumLatencyIsThreeHops)
 {
     NetworkConfig cfg = baseConfig();
     cfg.offeredLoad = 0.01; // nearly empty network
-    cfg.measureCycles = 3000;
+    cfg.common.measureCycles = 3000;
     NetworkSimulator sim(cfg);
     const NetworkResult result = sim.run();
     ASSERT_GT(result.latencyClocks.count(), 0u);
@@ -135,7 +135,7 @@ TEST(NetworkSim, DifferentSeedsDiffer)
 {
     NetworkConfig cfg = baseConfig();
     NetworkSimulator a(cfg);
-    cfg.seed = 999;
+    cfg.common.seed = 999;
     NetworkSimulator b(cfg);
     EXPECT_NE(a.run().window.generated, b.run().window.generated);
 }
@@ -144,7 +144,7 @@ TEST(NetworkSim, DeliveredMatchesOfferedBelowSaturation)
 {
     NetworkConfig cfg = baseConfig();
     cfg.offeredLoad = 0.25;
-    cfg.measureCycles = 4000;
+    cfg.common.measureCycles = 4000;
     NetworkSimulator sim(cfg);
     const NetworkResult result = sim.run();
     EXPECT_NEAR(result.deliveredThroughput, 0.25, 0.02);
@@ -155,8 +155,8 @@ TEST(NetworkSim, DamqSaturatesWellAboveFifo)
     // The paper's headline: ~40 % higher saturation throughput with
     // four slots per buffer.  Use short runs; the gap is large.
     NetworkConfig cfg = baseConfig();
-    cfg.warmupCycles = 400;
-    cfg.measureCycles = 2500;
+    cfg.common.warmupCycles = 400;
+    cfg.common.measureCycles = 2500;
 
     cfg.bufferType = BufferType::Fifo;
     const double fifo = measureSaturation(cfg).saturationThroughput;
@@ -172,8 +172,8 @@ TEST(NetworkSim, HotSpotTreeSaturationCapsThroughput)
     // 1 / (64 * (0.05 + 0.95/64)) ~ 0.24 regardless of buffers.
     NetworkConfig cfg = baseConfig();
     cfg.traffic = "hotspot";
-    cfg.warmupCycles = 1500;
-    cfg.measureCycles = 3000;
+    cfg.common.warmupCycles = 1500;
+    cfg.common.measureCycles = 3000;
     for (const BufferType type :
          {BufferType::Fifo, BufferType::Damq}) {
         cfg.bufferType = type;
@@ -213,12 +213,12 @@ TEST(NetworkSim, BurstySourcesKeepTheAverageRate)
     cfg.offeredLoad = 0.25;
     cfg.burstiness = 3.0;
     cfg.meanBurstCycles = 8;
-    cfg.measureCycles = 20000;
+    cfg.common.measureCycles = 20000;
     NetworkSimulator sim(cfg);
     const NetworkResult r = sim.run();
     const double gen_rate =
         static_cast<double>(r.window.generated) /
-        (static_cast<double>(cfg.numPorts) * cfg.measureCycles);
+        (static_cast<double>(cfg.numPorts) * cfg.common.measureCycles);
     EXPECT_NEAR(gen_rate, 0.25, 0.015);
 }
 
@@ -226,7 +226,7 @@ TEST(NetworkSim, BurstinessRaisesLatencyAtFixedLoad)
 {
     NetworkConfig cfg = baseConfig();
     cfg.offeredLoad = 0.3;
-    cfg.measureCycles = 8000;
+    cfg.common.measureCycles = 8000;
     const double smooth = NetworkSimulator(cfg).run()
                               .latencyClocks.mean();
     cfg.burstiness = 3.0;
@@ -239,7 +239,7 @@ TEST(NetworkSim, FairnessIndexNearOneUnderUniformTraffic)
 {
     NetworkConfig cfg = baseConfig();
     cfg.offeredLoad = 0.3;
-    cfg.measureCycles = 8000;
+    cfg.common.measureCycles = 8000;
     const NetworkResult r = NetworkSimulator(cfg).run();
     EXPECT_GT(r.latencyFairness, 0.95);
     EXPECT_GE(r.worstSourceLatency, r.latencyClocks.mean());
@@ -254,8 +254,8 @@ TEST(NetworkSim, LittlesLawHoldsInSteadyState)
     // bugs in any of them.
     NetworkConfig cfg = baseConfig();
     cfg.offeredLoad = 0.4;
-    cfg.warmupCycles = 1500;
-    cfg.measureCycles = 20000;
+    cfg.common.warmupCycles = 1500;
+    cfg.common.measureCycles = 20000;
     NetworkSimulator sim(cfg);
     const NetworkResult r = sim.run();
 
@@ -275,8 +275,8 @@ TEST(NetworkSim, LittlesLawHoldsInSteadyState)
 TEST(NetworkSim, SweepProducesMonotoneDeliveredThroughput)
 {
     NetworkConfig cfg = baseConfig();
-    cfg.warmupCycles = 200;
-    cfg.measureCycles = 800;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 800;
     const auto curve =
         sweepLoads(cfg, {0.1, 0.2, 0.3, 0.4});
     ASSERT_EQ(curve.size(), 4u);

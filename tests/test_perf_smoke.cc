@@ -20,8 +20,8 @@ TEST(PerfSmoke, SmallSweepFinishesFastWithSaneCounters)
 {
     Table4Options options;
     options.base.numPorts = 16;
-    options.base.warmupCycles = 200;
-    options.base.measureCycles = 2000;
+    options.base.common.warmupCycles = 200;
+    options.base.common.measureCycles = 2000;
     options.loads = {0.25, 0.50};
     options.types = {BufferType::Fifo, BufferType::Damq};
 

@@ -189,7 +189,7 @@ TEST_P(PlacementNetworkTest, ConservationHolds)
     NetworkConfig cfg;
     cfg.placement = GetParam();
     cfg.offeredLoad = 0.6;
-    cfg.seed = 41;
+    cfg.common.seed = 41;
     NetworkSimulator sim(cfg);
     for (int i = 0; i < 600; ++i)
         sim.step();
@@ -207,7 +207,7 @@ TEST_P(PlacementNetworkTest, DiscardingConservationHolds)
     cfg.placement = GetParam();
     cfg.protocol = FlowControl::Discarding;
     cfg.offeredLoad = 0.8;
-    cfg.seed = 42;
+    cfg.common.seed = 42;
     NetworkSimulator sim(cfg);
     for (int i = 0; i < 600; ++i)
         sim.step();
@@ -229,9 +229,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PlacementNetwork, SaturationOrderingAcrossPlacements)
 {
     NetworkConfig cfg;
-    cfg.warmupCycles = 400;
-    cfg.measureCycles = 2500;
-    cfg.seed = 10;
+    cfg.common.warmupCycles = 400;
+    cfg.common.measureCycles = 2500;
+    cfg.common.seed = 10;
 
     cfg.placement = BufferPlacement::Input;
     cfg.bufferType = BufferType::Fifo;

@@ -19,8 +19,8 @@
 
 #include "common/random.hh"
 #include "network/saturation.hh"
-#include "runner/csv_writer.hh"
-#include "runner/json_writer.hh"
+#include "common/csv_writer.hh"
+#include "common/json_writer.hh"
 #include "runner/network_sweep.hh"
 #include "runner/sweep_runner.hh"
 #include "runner/table_benches.hh"
@@ -196,8 +196,8 @@ smallTable4()
 {
     Table4Options options;
     options.base.numPorts = 16;
-    options.base.warmupCycles = 200;
-    options.base.measureCycles = 1000;
+    options.base.common.warmupCycles = 200;
+    options.base.common.measureCycles = 1000;
     options.loads = {0.25, 0.50};
     options.types = {BufferType::Fifo, BufferType::Damq};
     return options;
@@ -263,9 +263,9 @@ TEST(NetworkSweep, MeshSweepMatchesDirectRun)
     cfg.height = 4;
     cfg.bufferType = BufferType::Damq;
     cfg.slotsPerBuffer = 5;
-    cfg.seed = 99;
-    cfg.warmupCycles = 100;
-    cfg.measureCycles = 500;
+    cfg.common.seed = 99;
+    cfg.common.warmupCycles = 100;
+    cfg.common.measureCycles = 500;
 
     SweepRunner runner(2);
     const std::vector<MeshTask> tasks = {

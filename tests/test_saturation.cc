@@ -18,9 +18,9 @@ config(BufferType type)
     NetworkConfig cfg;
     cfg.bufferType = type;
     cfg.slotsPerBuffer = 4;
-    cfg.seed = 2718;
-    cfg.warmupCycles = 400;
-    cfg.measureCycles = 2500;
+    cfg.common.seed = 2718;
+    cfg.common.warmupCycles = 400;
+    cfg.common.measureCycles = 2500;
     return cfg;
 }
 

@@ -61,9 +61,9 @@ baseConfig()
     cfg.bufferType = BufferType::Damq;
     cfg.slotsPerBuffer = 8;
     cfg.offeredSlotLoad = 0.3;
-    cfg.seed = 77;
-    cfg.warmupCycles = 300;
-    cfg.measureCycles = 1500;
+    cfg.common.seed = 77;
+    cfg.common.warmupCycles = 300;
+    cfg.common.measureCycles = 1500;
     return cfg;
 }
 
@@ -83,7 +83,7 @@ TEST(VarLenSim, DeliversApproximatelyOfferedSlotLoad)
 {
     VarLenConfig cfg = baseConfig();
     cfg.offeredSlotLoad = 0.25;
-    cfg.measureCycles = 4000;
+    cfg.common.measureCycles = 4000;
     VarLenNetworkSimulator sim(cfg);
     const VarLenResult result = sim.run();
     EXPECT_NEAR(result.deliveredSlotThroughput, 0.25, 0.03);
@@ -108,8 +108,8 @@ TEST(VarLenSim, DamqBeatsFifoWithVariableLengths)
     // load) throughput in slots.
     VarLenConfig cfg = baseConfig();
     cfg.offeredSlotLoad = 1.0;
-    cfg.warmupCycles = 500;
-    cfg.measureCycles = 2500;
+    cfg.common.warmupCycles = 500;
+    cfg.common.measureCycles = 2500;
 
     cfg.bufferType = BufferType::Fifo;
     const double fifo =
