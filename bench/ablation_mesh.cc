@@ -19,6 +19,7 @@
 #include "common/logging.hh"
 #include "common/string_util.hh"
 #include "network/mesh_sim.hh"
+#include "network/saturation.hh"
 #include "runner/bench_output.hh"
 #include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
@@ -125,6 +126,37 @@ main(int argc, char **argv)
            "off when flows *mix* at the inputs, which permutations "
            "avoid.\n";
 
+    // The generic saturation search (saturation.hh) runs on any
+    // core-based simulator; cross-check it against the sweep's
+    // load-1.0 rows on a shorter schedule.
+    MeshConfig sat_base = meshConfig(BufferType::Fifo, "uniform");
+    sat_base.common.warmupCycles = 1000;
+    sat_base.common.measureCycles = 4000;
+    applyCommonSimFlags(args, sat_base.common, "ablation_mesh");
+    sat_base.common.telemetry = obs::TelemetryConfig{}; // sweep owns files
+    std::cout << "\nGeneric saturation search (shared "
+                 "measureSaturation<MeshConfig>, short schedule):\n";
+    SaturationSummary sat_check[2];
+    {
+        TextTable table;
+        table.setHeader({"Buffer", "sat. throughput",
+                         "sat. latency (cycles)"});
+        const BufferType kEnds[] = {BufferType::Fifo,
+                                    BufferType::Damq};
+        for (std::size_t i = 0; i < 2; ++i) {
+            MeshConfig cfg = sat_base;
+            cfg.bufferType = kEnds[i];
+            sat_check[i] = measureSaturation(cfg);
+            table.startRow();
+            table.addCell(bufferTypeName(kEnds[i]));
+            table.addCell(formatFixed(
+                sat_check[i].saturationThroughput, 3));
+            table.addCell(formatFixed(
+                sat_check[i].saturatedLatencyClocks, 2));
+        }
+        std::cout << table.render();
+    }
+
     {
         BenchJsonFile out("ablation_mesh");
         JsonWriter &json = out.json();
@@ -162,6 +194,11 @@ main(int argc, char **argv)
             }
         }
         json.endArray();
+        json.key("saturationCheck");
+        json.beginObject();
+        json.field("fifo", sat_check[0].saturationThroughput);
+        json.field("damq", sat_check[1].saturationThroughput);
+        json.endObject();
     }
     writePerfSidecar("ablation_mesh", runner, taskLabels(tasks));
     return 0;

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The Torus workload: the mesh ablation's buffer-organization
+ * comparison on an 8x8 2D torus — the same 5-port switches driven
+ * through the shared simulation core's TorusTopology instead of
+ * MeshTopology.  Wraparound removes the mesh's center/edge load
+ * asymmetry, so the FIFO-vs-DAMQ comparison runs under uniform
+ * channel load; routing is shortest-way dimension-order, and the
+ * network runs the paper's discarding protocol (minimal DOR on
+ * rings is not deadlock-free under blocking without virtual
+ * channels).
+ *
+ * Runs on the SweepRunner (`--threads=N`); results are identical
+ * at any thread count.  Emits BENCH_torus.json and a
+ * PERF_torus.json timing sidecar.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "network/saturation.hh"
+#include "network/torus_sim.hh"
+#include "runner/bench_output.hh"
+#include "runner/network_sweep.hh"
+#include "stats/text_table.hh"
+
+namespace {
+
+using namespace damq;
+using namespace damq::bench;
+
+const double kLoads[] = {0.10, 0.25, 0.40};
+
+TorusConfig
+torusConfig(BufferType type, const std::string &traffic)
+{
+    TorusConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.bufferType = type;
+    cfg.slotsPerBuffer = 5; // one slot per port's worth
+    cfg.traffic = traffic;
+    cfg.common.seed = 99;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 10000;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("torus",
+                   "Buffer organizations on an 8x8 torus "
+                   "multicomputer");
+    addCommonSimFlags(args);
+    args.parse(argc, argv);
+    SweepRunner runner(simThreads(args));
+
+    banner("Torus - 8x8 wraparound multicomputer (5-port switches, "
+           "shortest-way DOR)",
+           "same switches as the mesh ablation, uniform channel "
+           "load; latency in network cycles, discarding protocol");
+
+    const std::string kTraffics[] = {"uniform", "hotspot"};
+
+    std::vector<TorusTask> tasks;
+    for (const std::string &traffic : kTraffics) {
+        for (const BufferType type : kAllBufferTypes) {
+            const TorusConfig cfg = torusConfig(type, traffic);
+            for (const double load : kLoads)
+                tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    traffic, "@",
+                                    formatFixed(load, 2)),
+                     atLoad(cfg, load)});
+            tasks.push_back(
+                {detail::concat(bufferTypeName(type), "/", traffic,
+                                "@saturation"),
+                 atLoad(cfg, 1.0)});
+        }
+    }
+    for (TorusTask &task : tasks)
+        applyCommonSimFlags(args, task.config.common, "torus");
+    const std::vector<TorusResult> results =
+        runSimSweep(runner, tasks);
+
+    std::size_t next = 0;
+    for (const std::string &traffic : kTraffics) {
+        TextTable table;
+        table.setHeader({"Buffer", "lat@0.10", "lat@0.25",
+                         "lat@0.40", "sat. throughput",
+                         "discard@sat"});
+        double fifo_sat = 0.0;
+        double damq_sat = 0.0;
+        for (const BufferType type : kAllBufferTypes) {
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            for (std::size_t l = 0; l < 3; ++l) {
+                table.addCell(formatFixed(
+                    results[next++].latencyCycles.mean(), 2));
+            }
+            const TorusResult &sat_row = results[next++];
+            table.addCell(
+                formatFixed(sat_row.deliveredThroughput, 3));
+            table.addCell(formatFixed(sat_row.discardFraction, 3));
+            if (type == BufferType::Fifo)
+                fifo_sat = sat_row.deliveredThroughput;
+            if (type == BufferType::Damq)
+                damq_sat = sat_row.deliveredThroughput;
+        }
+        std::cout << "\n" << traffic << " traffic:\n"
+                  << table.render() << "DAMQ/FIFO saturation = "
+                  << formatFixed(damq_sat / fifo_sat, 2) << "\n";
+    }
+
+    std::cout
+        << "\nExpected shape: wraparound halves the mean route "
+           "length and evens out channel\nload, so torus latencies "
+           "sit below the mesh's at equal load while the DAMQ\n"
+           "advantage at saturation persists — flows still mix at "
+           "every input buffer, which\nis where multi-queue "
+           "buffering earns its area.  Under the discarding "
+           "protocol\nthe FIFO rows also discard more at "
+           "saturation: head-of-line blocking holds\npackets in "
+           "buffers longer, so arrivals find them full more "
+           "often.\n";
+
+    {
+        BenchJsonFile out("torus");
+        JsonWriter &json = out.json();
+        const TorusConfig base =
+            torusConfig(BufferType::Fifo, "uniform");
+        json.key("config");
+        json.beginObject();
+        json.field("width", static_cast<std::uint64_t>(base.width));
+        json.field("height",
+                   static_cast<std::uint64_t>(base.height));
+        json.field("slotsPerBuffer",
+                   static_cast<std::uint64_t>(base.slotsPerBuffer));
+        json.field("protocol", flowControlName(base.protocol));
+        json.field("seed", base.common.seed);
+        json.field("warmupCycles",
+                   static_cast<std::uint64_t>(base.common.warmupCycles));
+        json.field("measureCycles",
+                   static_cast<std::uint64_t>(base.common.measureCycles));
+        json.endObject();
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const std::string &traffic : kTraffics) {
+            for (const BufferType type : kAllBufferTypes) {
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("traffic", traffic);
+                json.key("latencyCycles");
+                json.beginArray();
+                for (std::size_t l = 0; l < 3; ++l)
+                    json.value(results[at++].latencyCycles.mean());
+                json.endArray();
+                const TorusResult &sat_row = results[at++];
+                json.field("saturationThroughput",
+                           sat_row.deliveredThroughput);
+                json.field("saturationDiscardFraction",
+                           sat_row.discardFraction);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("torus", runner, taskLabels(tasks));
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include "common/arg_parser.hh"
 #include "common/string_util.hh"
 #include "network/cutthrough_sim.hh"
+#include "runner/sim_flags.hh"
 #include "stats/text_table.hh"
 
 int
@@ -25,7 +26,7 @@ main(int argc, char **argv)
     ArgParser args("cutthrough_playground",
                    "Virtual cut-through vs store-and-forward at "
                    "clock granularity");
-    args.addOption("buffer", "damq", "fifo | samq | safc | damq");
+    args.addOption("buffer", "damq", kBufferTypeChoices);
     args.addOption("load", "0.3",
                    "offered load as a fraction of link capacity");
     args.addOption("slots", "4", "slots per input buffer");
@@ -35,15 +36,7 @@ main(int argc, char **argv)
     args.parse(argc, argv);
 
     CutThroughConfig cfg;
-    const auto buffer_type =
-        tryBufferTypeFromString(args.getString("buffer"));
-    if (!buffer_type) {
-        std::cerr << "cutthrough_playground: unknown buffer type '"
-                  << args.getString("buffer") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.bufferType = *buffer_type;
+    cfg.bufferType = bufferTypeOption(args, "buffer");
     cfg.offeredLoad = args.getDouble("load");
     cfg.slotsPerBuffer =
         static_cast<std::uint32_t>(args.getInt("slots"));

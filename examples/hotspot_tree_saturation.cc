@@ -18,6 +18,7 @@
 #include "common/arg_parser.hh"
 #include "common/string_util.hh"
 #include "network/network_sim.hh"
+#include "runner/sim_flags.hh"
 #include "stats/text_table.hh"
 
 using namespace damq;
@@ -70,22 +71,14 @@ main(int argc, char **argv)
 {
     ArgParser args("hotspot_tree_saturation",
                    "Demonstrate hot-spot tree saturation");
-    args.addOption("buffer", "damq", "fifo | samq | safc | damq");
+    args.addOption("buffer", "damq", kBufferTypeChoices);
     args.addOption("load", "0.30", "offered load (above the 0.24 "
                                    "hot-spot cap to force "
                                    "saturation)");
     args.parse(argc, argv);
 
     NetworkConfig cfg;
-    const auto buffer_type =
-        tryBufferTypeFromString(args.getString("buffer"));
-    if (!buffer_type) {
-        std::cerr << "hotspot_tree_saturation: unknown buffer type '"
-                  << args.getString("buffer") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.bufferType = *buffer_type;
+    cfg.bufferType = bufferTypeOption(args, "buffer");
     cfg.traffic = "hotspot";
     cfg.offeredLoad = args.getDouble("load");
     cfg.common.seed = 11;

@@ -16,6 +16,7 @@
 #include "common/arg_parser.hh"
 #include "common/string_util.hh"
 #include "network/network_sim.hh"
+#include "runner/sim_flags.hh"
 #include "stats/text_table.hh"
 
 int
@@ -29,12 +30,11 @@ main(int argc, char **argv)
     args.addOption("ports", "64", "endpoints per side");
     args.addOption("radix", "4", "switch degree (ports must be a "
                                  "power of it)");
-    args.addOption("buffer", "damq", "fifo | samq | safc | damq");
-    args.addOption("placement", "input",
-                   "buffer placement: input | central | output");
+    args.addOption("buffer", "damq", kBufferTypeChoices);
+    args.addOption("placement", "input", kPlacementChoices);
     args.addOption("slots", "4", "slots per input buffer");
-    args.addOption("protocol", "blocking", "blocking | discarding");
-    args.addOption("arbitration", "smart", "smart | dumb");
+    args.addOption("protocol", "blocking", kFlowControlChoices);
+    args.addOption("arbitration", "smart", kArbitrationChoices);
     args.addOption("traffic", "uniform",
                    "uniform | hotspot | bitrev | permutation");
     args.addOption("hotfraction", "0.05",
@@ -66,44 +66,12 @@ main(int argc, char **argv)
     NetworkConfig cfg;
     cfg.numPorts = static_cast<std::uint32_t>(args.getInt("ports"));
     cfg.radix = static_cast<std::uint32_t>(args.getInt("radix"));
-    const auto buffer_type =
-        tryBufferTypeFromString(args.getString("buffer"));
-    if (!buffer_type) {
-        std::cerr << "omega_network: unknown buffer type '"
-                  << args.getString("buffer") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.bufferType = *buffer_type;
-    const auto placement =
-        tryBufferPlacementFromString(args.getString("placement"));
-    if (!placement) {
-        std::cerr << "omega_network: unknown buffer placement '"
-                  << args.getString("placement") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.placement = *placement;
+    cfg.bufferType = bufferTypeOption(args, "buffer");
+    cfg.placement = placementOption(args, "placement");
     cfg.slotsPerBuffer =
         static_cast<std::uint32_t>(args.getInt("slots"));
-    const auto protocol =
-        tryFlowControlFromString(args.getString("protocol"));
-    if (!protocol) {
-        std::cerr << "omega_network: unknown flow control '"
-                  << args.getString("protocol") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.protocol = *protocol;
-    const auto arbitration =
-        tryArbitrationPolicyFromString(args.getString("arbitration"));
-    if (!arbitration) {
-        std::cerr << "omega_network: unknown arbitration policy '"
-                  << args.getString("arbitration") << "'\n\n"
-                  << args.usage();
-        return 1;
-    }
-    cfg.arbitration = *arbitration;
+    cfg.protocol = flowControlOption(args, "protocol");
+    cfg.arbitration = arbitrationOption(args, "arbitration");
     cfg.traffic = args.getString("traffic");
     cfg.hotSpotFraction = args.getDouble("hotfraction");
     cfg.offeredLoad = args.getDouble("load");

@@ -1,0 +1,144 @@
+#include "network/core/grid_topology.hh"
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+namespace core {
+
+GridTopology::GridTopology(std::uint32_t width, std::uint32_t height,
+                           bool wraparound)
+    : gridWidth(width), gridHeight(height), wrap(wraparound)
+{
+    damq_assert(width >= 2 && height >= 2,
+                "grid needs at least 2x2 nodes");
+}
+
+PortId
+GridTopology::route(SwitchId sw, NodeId dest) const
+{
+    // Dimension-order: correct X first, then Y, then deliver.
+    const std::int64_t x = sw % gridWidth;
+    const std::int64_t y = sw / gridWidth;
+    const std::int64_t tx = dest % gridWidth;
+    const std::int64_t ty = dest / gridWidth;
+    if (!wrap) {
+        if (tx > x)
+            return kEast;
+        if (tx < x)
+            return kWest;
+        if (ty > y)
+            return kNorth;
+        if (ty < y)
+            return kSouth;
+        return kLocal;
+    }
+    // Torus: take the shorter way around each ring; a tie goes to
+    // the positive (east/north) direction.
+    if (tx != x) {
+        const std::int64_t fwd = (tx - x + gridWidth) % gridWidth;
+        const std::int64_t bwd = (x - tx + gridWidth) % gridWidth;
+        return fwd <= bwd ? kEast : kWest;
+    }
+    if (ty != y) {
+        const std::int64_t fwd = (ty - y + gridHeight) % gridHeight;
+        const std::int64_t bwd = (y - ty + gridHeight) % gridHeight;
+        return fwd <= bwd ? kNorth : kSouth;
+    }
+    return kLocal;
+}
+
+HopTarget
+GridTopology::hop(SwitchId sw, PortId out) const
+{
+    const std::uint32_t x = sw % gridWidth;
+    const std::uint32_t y = sw / gridWidth;
+    HopTarget target;
+    if (out == kLocal) {
+        target.toSink = true;
+        target.sink = sw;
+        return target;
+    }
+    switch (out) {
+      case kEast:
+        if (wrap) {
+            target.switchId =
+                x + 1 == gridWidth ? sw - (gridWidth - 1) : sw + 1;
+        } else {
+            damq_assert(x + 1 < gridWidth,
+                        "routed off the east edge");
+            target.switchId = sw + 1;
+        }
+        target.inputPort = kWest;
+        return target;
+      case kWest:
+        if (wrap) {
+            target.switchId = x == 0 ? sw + (gridWidth - 1) : sw - 1;
+        } else {
+            damq_assert(x > 0, "routed off the west edge");
+            target.switchId = sw - 1;
+        }
+        target.inputPort = kEast;
+        return target;
+      case kNorth:
+        if (wrap) {
+            target.switchId = y + 1 == gridHeight
+                                  ? sw - gridWidth * (gridHeight - 1)
+                                  : sw + gridWidth;
+        } else {
+            damq_assert(y + 1 < gridHeight,
+                        "routed off the north edge");
+            target.switchId = sw + gridWidth;
+        }
+        target.inputPort = kSouth;
+        return target;
+      case kSouth:
+        if (wrap) {
+            target.switchId = y == 0
+                                  ? sw + gridWidth * (gridHeight - 1)
+                                  : sw - gridWidth;
+        } else {
+            damq_assert(y > 0, "routed off the south edge");
+            target.switchId = sw - gridWidth;
+        }
+        target.inputPort = kNorth;
+        return target;
+      default:
+        damq_panic("hop() through bad grid port ",
+                   static_cast<int>(out));
+    }
+}
+
+std::string
+GridTopology::switchName(SwitchId sw) const
+{
+    return detail::concat("node", sw);
+}
+
+std::string
+GridTopology::traceProcessName(std::int64_t pid) const
+{
+    const std::int64_t x = pid % gridWidth;
+    const std::int64_t y = pid / gridWidth;
+    return detail::concat("node", x, ",", y);
+}
+
+static const char *const kGridPortName[kMeshPorts] = {
+    "east", "west", "north", "south", "local"};
+
+std::string
+GridTopology::traceThreadName(SwitchId, PortId port) const
+{
+    return kGridPortName[port];
+}
+
+std::string
+GridTopology::probeName(SwitchId sw, PortId port) const
+{
+    const std::uint32_t x = sw % gridWidth;
+    const std::uint32_t y = sw / gridWidth;
+    return detail::concat("n", x, ",", y, ".", kGridPortName[port]);
+}
+
+} // namespace core
+} // namespace damq

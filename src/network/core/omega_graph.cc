@@ -1,0 +1,51 @@
+#include "network/core/omega_graph.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace core {
+
+HopTarget
+OmegaGraph::hop(SwitchId sw, PortId out) const
+{
+    const std::uint32_t stage = stageOf(sw);
+    const std::uint32_t idx = indexOf(sw);
+    HopTarget target;
+    if (stage == net.numStages() - 1) {
+        target.toSink = true;
+        target.sink = net.sinkFor(idx, out);
+        return target;
+    }
+    const StageCoord next = net.nextStageInput(stage, idx, out);
+    target.switchId = flatId(stage + 1, next.switchIndex);
+    target.inputPort = next.port;
+    return target;
+}
+
+std::string
+OmegaGraph::switchName(SwitchId sw) const
+{
+    return detail::concat("stage", stageOf(sw), ".sw", indexOf(sw));
+}
+
+std::string
+OmegaGraph::traceProcessName(std::int64_t pid) const
+{
+    return detail::concat("stage", pid);
+}
+
+std::string
+OmegaGraph::traceThreadName(SwitchId sw, PortId port) const
+{
+    return detail::concat("sw", indexOf(sw), ".in", port);
+}
+
+std::string
+OmegaGraph::probeName(SwitchId sw, PortId port) const
+{
+    return detail::concat("s", stageOf(sw), ".sw", indexOf(sw),
+                          ".in", port);
+}
+
+} // namespace core
+} // namespace damq

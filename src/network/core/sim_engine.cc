@@ -1,0 +1,65 @@
+#include "network/core/sim_engine.hh"
+
+namespace damq {
+namespace core {
+
+SimEngine::SimEngine(const SimCommonConfig &common_config)
+    : common(common_config), rng(common_config.seed),
+      injector(common_config.faults),
+      auditor(common_config.auditEveryCycles),
+      watchdog(common_config.watchdogStallCycles)
+{
+}
+
+void
+SimEngine::step()
+{
+    ++currentCycle;
+    if (telemetry)
+        telemetry->beginCycle(currentCycle);
+    phaseFaults();
+    phaseAdvance();
+    phaseInject();
+    phaseAudit();
+    phaseWatchdog();
+    if (telemetry)
+        telemetry->endCycle();
+    if (measuring)
+        onMeasuredCycle();
+}
+
+void
+SimEngine::runSchedule()
+{
+    for (Cycle c = 0; c < common.warmupCycles; ++c)
+        step();
+    measuring = true;
+    beginMeasurement();
+    for (Cycle c = 0; c < common.measureCycles; ++c)
+        step();
+    measuring = false;
+    if (telemetry)
+        telemetry->writeFiles();
+}
+
+void
+SimEngine::initTelemetry()
+{
+    if (!common.telemetry.enabled())
+        return;
+    telemetry = std::make_unique<obs::Telemetry>(common.telemetry);
+    configureTelemetry(*telemetry);
+}
+
+FaultReport
+SimEngine::faultReport() const
+{
+    FaultReport report;
+    injector.fillReport(report);
+    auditor.fillReport(report);
+    watchdog.fillReport(report);
+    return report;
+}
+
+} // namespace core
+} // namespace damq

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * SimEngine: the canonical cycle loop and run harness shared by
+ * every network simulator.
+ *
+ * Each of the repo's simulators used to own a private copy of the
+ * same skeleton: a seeded PRNG, the fault-injection subsystem
+ * (injector + periodic invariant auditor + deadlock watchdog), the
+ * optional telemetry bundle with its beginCycle/endCycle protocol,
+ * a step() that sequences the cycle's phases, and a run() that
+ * executes the SimCommonConfig warmup/measure schedule.  That
+ * skeleton now lives here, exactly once.
+ *
+ * A cycle always advances as:
+ *
+ *     ++cycle
+ *     telemetry beginCycle
+ *     phaseFaults()     — structural fault injection
+ *     phaseAdvance()    — route/arbitrate + move traffic forward
+ *     phaseInject()     — sources generate and inject
+ *     phaseAudit()      — periodic invariant audit
+ *     phaseWatchdog()   — deadlock watchdog bookkeeping
+ *     telemetry endCycle
+ *     onMeasuredCycle() — per-cycle sampling inside the window
+ *
+ * Derived engines override only the phases they model; unused
+ * phases default to no-ops.  The fault/telemetry members are
+ * constructed from SimCommonConfig, so a config with everything off
+ * costs only null-pointer branches — the byte-identity baselines
+ * depend on that.
+ *
+ * Derived constructors must call initTelemetry() as their last
+ * statement (the configureTelemetry() hook is virtual and cannot
+ * run from this base constructor).
+ */
+
+#ifndef DAMQ_NETWORK_CORE_SIM_ENGINE_HH
+#define DAMQ_NETWORK_CORE_SIM_ENGINE_HH
+
+#include <memory>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "fault/fault_injector.hh"
+#include "fault/invariant_auditor.hh"
+#include "fault/watchdog.hh"
+#include "network/sim_common.hh"
+#include "obs/telemetry.hh"
+
+namespace damq {
+namespace core {
+
+/** Canonical cycle loop + warmup/measure harness (see file docs). */
+class SimEngine
+{
+  public:
+    virtual ~SimEngine() = default;
+
+    /** Advance one cycle through the canonical phase sequence. */
+    void step();
+
+    /** Current cycle (clock, for clock-granularity engines). */
+    Cycle now() const { return currentCycle; }
+
+    /** Injection/detection/audit/watchdog summary so far. */
+    virtual FaultReport faultReport() const;
+
+    /** The telemetry bundle, or nullptr when telemetry is off. */
+    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    const obs::Telemetry *telemetryOrNull() const
+    {
+        return telemetry.get();
+    }
+
+  protected:
+    explicit SimEngine(const SimCommonConfig &common_config);
+
+    // --- the phases of one cycle, in execution order ---------------
+    virtual void phaseFaults() {}
+    virtual void phaseAdvance() = 0;
+    virtual void phaseInject() = 0;
+    virtual void phaseAudit() {}
+    virtual void phaseWatchdog() {}
+
+    /** Per-cycle sampling; runs after endCycle while measuring. */
+    virtual void onMeasuredCycle() {}
+
+    /**
+     * Execute the warmup/measure schedule: warmup steps, then
+     * measuring = true, beginMeasurement(), the measured steps,
+     * measuring = false, and the telemetry file flush.  run()
+     * implementations call this and then assemble their result.
+     */
+    void runSchedule();
+
+    /** Reset window statistics at the start of the window. */
+    virtual void beginMeasurement() {}
+
+    /**
+     * Build the telemetry bundle (when enabled) and invoke
+     * configureTelemetry().  Call as the last statement of the
+     * most-derived constructor.
+     */
+    void initTelemetry();
+
+    /** Attach probes, names, and sample hooks to @p t. */
+    virtual void configureTelemetry(obs::Telemetry &t) = 0;
+
+    SimCommonConfig common; ///< harness knobs (copied)
+    Random rng;             ///< traffic PRNG (common.seed)
+    FaultInjector injector;
+    InvariantAuditor auditor;
+    DeadlockWatchdog watchdog;
+
+    Cycle currentCycle = 0;
+    bool measuring = false;
+    bool draining = false;
+
+    /**
+     * Telemetry bundle, or nullptr when common.telemetry is
+     * disabled — every hook is a branch on this pointer, so the
+     * disabled hot path is unchanged.
+     */
+    std::unique_ptr<obs::Telemetry> telemetry;
+    std::int64_t endpointPid = 0; ///< trace pid of sources/sinks
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_SIM_ENGINE_HH

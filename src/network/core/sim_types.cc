@@ -1,0 +1,52 @@
+#include "network/core/sim_types.hh"
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+
+namespace damq {
+
+const char *
+flowControlName(FlowControl protocol)
+{
+    switch (protocol) {
+      case FlowControl::Discarding: return "discarding";
+      case FlowControl::Blocking: return "blocking";
+    }
+    damq_panic("unknown FlowControl ", static_cast<int>(protocol));
+}
+
+std::optional<FlowControl>
+tryFlowControlFromString(const std::string &name)
+{
+    const std::string lower = toLower(name);
+    if (lower == "discarding" || lower == "discard")
+        return FlowControl::Discarding;
+    if (lower == "blocking" || lower == "block")
+        return FlowControl::Blocking;
+    return std::nullopt;
+}
+
+FlowControl
+flowControlFromString(const std::string &name)
+{
+    if (const auto protocol = tryFlowControlFromString(name))
+        return *protocol;
+    damq_fatal("unknown flow control '", name,
+               "' (expected discarding|blocking)");
+}
+
+NetworkCounters
+NetworkCounters::operator-(const NetworkCounters &rhs) const
+{
+    NetworkCounters out;
+    out.generated = generated - rhs.generated;
+    out.injected = injected - rhs.injected;
+    out.delivered = delivered - rhs.delivered;
+    out.discardedAtEntry = discardedAtEntry - rhs.discardedAtEntry;
+    out.discardedInternal = discardedInternal - rhs.discardedInternal;
+    out.misrouted = misrouted - rhs.misrouted;
+    out.faultDropped = faultDropped - rhs.faultDropped;
+    return out;
+}
+
+} // namespace damq

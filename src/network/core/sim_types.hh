@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Simulator-level types shared by every network simulator: the
+ * flow-control protocol (Section 4) and the monotone event counters
+ * every engine accumulates.  These lived in network_sim.hh before
+ * the core extraction; network_sim.hh re-exports them, so existing
+ * includes keep working.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_SIM_TYPES_HH
+#define DAMQ_NETWORK_CORE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace damq {
+
+/** How a full downstream buffer is handled (Section 4). */
+enum class FlowControl
+{
+    Discarding, ///< packets entering a full buffer are dropped
+    Blocking    ///< the transmitter is held off by back-pressure
+};
+
+/** Human-readable protocol name. */
+const char *flowControlName(FlowControl protocol);
+
+/** Parse a case-insensitive protocol name; nullopt on bad input. */
+std::optional<FlowControl> tryFlowControlFromString(
+    const std::string &name);
+
+/** Parse a case-insensitive protocol name; fatal on bad input. */
+FlowControl flowControlFromString(const std::string &name);
+
+/** Monotone event counters (lifetime totals). */
+struct NetworkCounters
+{
+    std::uint64_t generated = 0;        ///< packets created by sources
+    std::uint64_t injected = 0;         ///< entered a first-hop buffer
+    std::uint64_t delivered = 0;        ///< reached their sink
+    std::uint64_t discardedAtEntry = 0; ///< dropped entering the fabric
+    std::uint64_t discardedInternal = 0;///< dropped at a later hop
+    std::uint64_t misrouted = 0;        ///< delivered to wrong sink (bug!)
+    std::uint64_t faultDropped = 0;     ///< removed by injected faults
+                                        ///  (drops + detected corruptions)
+
+    /** Element-wise difference (for measurement windows). */
+    NetworkCounters operator-(const NetworkCounters &rhs) const;
+
+    /** All discards. */
+    std::uint64_t discarded() const
+    {
+        return discardedAtEntry + discardedInternal;
+    }
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_SIM_TYPES_HH

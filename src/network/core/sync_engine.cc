@@ -1,0 +1,598 @@
+#include "network/core/sync_engine.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/string_util.hh"
+#include "switchsim/switch_model.hh"
+
+namespace damq {
+namespace core {
+
+TrafficSource
+SyncEngine::makeSource(const Topology &topology,
+                       const SyncConfig &config)
+{
+    damq_assert(config.burstiness >= 1.0,
+                "burstiness must be at least 1");
+    if (config.burstiness > 1.0 &&
+        config.offeredLoad * config.burstiness > 1.0) {
+        damq_fatal("offeredLoad * burstiness must not exceed 1 "
+                   "(peak rate is a probability); got ",
+                   config.offeredLoad * config.burstiness);
+    }
+    return TrafficSource(
+        makeTrafficPattern(config.traffic, topology.numEndpoints(),
+                           config.hotSpotFraction,
+                           config.transposeSide, config.common.seed),
+        topology.numEndpoints(), config.offeredLoad,
+        config.burstiness, config.meanBurstCycles);
+}
+
+SyncEngine::SyncEngine(const Topology &topology,
+                       const SyncConfig &config)
+    : SimEngine(config.common), topo(topology), cfg(config),
+      traffic(makeSource(topology, config)),
+      sourceQueues(topology.numEndpoints()),
+      nextSeq(topology.numEndpoints(), 0),
+      perSourceLatency(topology.numEndpoints())
+{
+    const std::uint32_t n = topo.numSwitches();
+    switches.reserve(n);
+    for (SwitchId sw = 0; sw < n; ++sw) {
+        switches.push_back(makeSwitchUnit(
+            cfg.placement, topo.portsPerSwitch(), cfg.bufferType,
+            cfg.slotsPerBuffer, cfg.arbitration,
+            cfg.staleThreshold));
+        // Registration order defines both the fault-plan component
+        // handles and the watchdog's stable snapshot order, and
+        // must equal the topology's flat SwitchId order.
+        const std::size_t comp =
+            injector.addComponent(topo.switchName(sw));
+        const std::size_t wcomp =
+            watchdog.addComponent(topo.switchName(sw));
+        damq_assert(comp == sw && wcomp == comp,
+                    "component registration order broken");
+    }
+    prevTransmitted.assign(n, 0);
+
+    // Size every per-cycle scratch structure up front: at most one
+    // departure per switch output exists at once, so these bounds
+    // hold for the simulation's whole lifetime.
+    moveScratch.reserve(static_cast<std::size_t>(n) *
+                        topo.portsPerSwitch());
+    sentScratch.reserve(topo.portsPerSwitch());
+    pendingScratch.reserve(topo.numEndpoints());
+
+    initTelemetry();
+}
+
+void
+SyncEngine::configureTelemetry(obs::Telemetry &t)
+{
+    // Trace row layout is topology-defined: one process per
+    // pipeline stage (Omega) or per node (grids), plus a
+    // pseudo-process for the endpoints.
+    endpointPid = topo.numTraceProcesses();
+    obs::PacketTracer *tracer = t.trace();
+    if (tracer) {
+        for (std::int64_t pid = 0; pid < endpointPid; ++pid)
+            tracer->setProcessName(pid, topo.traceProcessName(pid));
+        tracer->setProcessName(endpointPid,
+                               topo.endpointProcessName());
+    }
+
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        switches[sw]->forEachBuffer(
+            [&](PortId port, BufferModel &buffer) {
+                std::int64_t pid = 0;
+                std::int64_t tid = 0;
+                topo.traceRow(sw, port, pid, tid);
+                t.attachProbe(buffer, topo.probeName(sw, port), pid,
+                              tid);
+                if (tracer)
+                    tracer->setThreadName(
+                        pid, tid, topo.traceThreadName(sw, port));
+            });
+    }
+
+    // The time series tracks the lifetime counters plus the live
+    // occupancy; gauges register on the first sample (the hooks run
+    // before the row is taken) and are refreshed only when due.
+    t.addSampleHook([this]() {
+        obs::MetricRegistry &m = telemetry->metrics();
+        m.gauge("net.generated")
+            .set(static_cast<double>(counters.generated));
+        m.gauge("net.injected")
+            .set(static_cast<double>(counters.injected));
+        m.gauge("net.delivered")
+            .set(static_cast<double>(counters.delivered));
+        m.gauge("net.discarded")
+            .set(static_cast<double>(counters.discarded()));
+        m.gauge("net.faultDropped")
+            .set(static_cast<double>(counters.faultDropped));
+        m.gauge("net.inFlight")
+            .set(static_cast<double>(packetsInFlight()));
+        m.gauge("net.sourceQueued")
+            .set(static_cast<double>(packetsAtSources()));
+
+        std::uint64_t grants = 0;
+        std::uint64_t stale = 0;
+        if (cfg.placement == BufferPlacement::Input) {
+            for (const auto &sw : switches) {
+                const auto &stats =
+                    static_cast<const SwitchModel &>(*sw)
+                        .arbiterStats();
+                grants += stats.grantsIssued;
+                stale += stats.staleOverrides;
+            }
+        }
+        m.gauge("arb.grants").set(static_cast<double>(grants));
+        m.gauge("arb.staleOverrides")
+            .set(static_cast<double>(stale));
+    });
+}
+
+void
+SyncEngine::onMeasuredCycle()
+{
+    std::uint64_t queued = 0;
+    for (const auto &q : sourceQueues)
+        queued += q.size();
+    sourceQueueSamples.add(
+        static_cast<double>(queued) /
+        static_cast<double>(topo.numEndpoints()));
+
+    std::uint64_t buffered = 0;
+    for (const auto &sw : switches)
+        buffered += sw->totalPackets();
+    switchOccupancySamples.add(
+        static_cast<double>(buffered) /
+        static_cast<double>(switches.size()));
+}
+
+void
+SyncEngine::phaseAdvance()
+{
+    // Steps 1+2: every switch decides and pops its departures.
+    // Back-pressure tests only look *downstream*, and deliveries
+    // are deferred until every switch has transmitted, so the
+    // decisions are made against a consistent start-of-cycle
+    // snapshot even though the pops are interleaved.
+    //
+    // With per-input buffers, each downstream buffer has exactly
+    // one upstream writer, so a start-of-cycle space check cannot
+    // be invalidated.  The central pool and output queues are
+    // shared across inputs, and several switches can commit into
+    // the same downstream structure in one cycle — so the blocking
+    // back-pressure test also counts the arrivals already granted
+    // this cycle.  (Two outputs of one switch can never reach the
+    // same downstream switch in the supported topologies, so
+    // accounting between transmit() calls is exact.)
+    const bool shared_structures =
+        cfg.placement != BufferPlacement::Input;
+    std::unordered_map<std::uint64_t, std::uint32_t> &pending =
+        pendingScratch;
+    pending.clear();
+    auto pending_key = [&](SwitchId sw, PortId out) {
+        const std::uint64_t structure =
+            cfg.placement == BufferPlacement::Output ? out : 0;
+        return static_cast<std::uint64_t>(sw) *
+                   topo.portsPerSwitch() +
+               structure;
+    };
+
+    std::vector<Move> &moves = moveScratch;
+    moves.clear();
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        // A stuck arbiter issues no grants at all this cycle.
+        if (injector.arbiterStuck(sw, currentCycle))
+            continue;
+        auto can_send = [&, sw](PortId, PortId out,
+                                const Packet &pkt) {
+            if (cfg.protocol == FlowControl::Discarding)
+                return true; // transmit blindly; receiver may drop
+            const HopTarget next = topo.hop(sw, out);
+            if (next.toSink)
+                return true; // sinks always accept
+            // A delayed credit makes the downstream switch report
+            // "full" even when space exists: transfers stall but
+            // no packet is lost.
+            if (injector.creditDelayed(next.switchId, currentCycle))
+                return false;
+            const PortId next_out =
+                topo.route(next.switchId, pkt.dest);
+            std::uint32_t held = 0;
+            if (shared_structures) {
+                const auto found = pending.find(
+                    pending_key(next.switchId, next_out));
+                if (found != pending.end())
+                    held = found->second;
+            }
+            return switches[next.switchId]->canAccept(
+                next.inputPort, next_out, pkt.lengthSlots + held);
+        };
+        // When a grant-legality audit is due, split the
+        // input-buffered switch's transmit into arbitrate + pop so
+        // the schedule itself can be checked.
+        std::vector<Packet> &sent = sentScratch;
+        if (cfg.placement == BufferPlacement::Input &&
+            auditor.due(currentCycle)) {
+            auto *sm =
+                static_cast<SwitchModel *>(switches[sw].get());
+            const GrantList grants = sm->arbitrate(can_send);
+            auditor.record(
+                currentCycle, injector.componentName(sw),
+                auditGrantLegality(
+                    grants, topo.portsPerSwitch(),
+                    topo.portsPerSwitch(),
+                    sm->buffer(0).maxReadsPerCycle()));
+            sent = sm->popGranted(grants);
+        } else {
+            switches[sw]->transmitInto(can_send, sent);
+        }
+        for (Packet &pkt : sent) {
+            if (shared_structures) {
+                const HopTarget next = topo.hop(sw, pkt.outPort);
+                if (!next.toSink) {
+                    const PortId next_out =
+                        topo.route(next.switchId, pkt.dest);
+                    pending[pending_key(next.switchId, next_out)] +=
+                        pkt.lengthSlots;
+                }
+            }
+            moves.push_back(Move{sw, pkt});
+        }
+    }
+
+    for (Move &move : moves) {
+        // Link faults: the packet can vanish or arrive with a
+        // flipped header bit.  The receiving side verifies the
+        // sealed checksum before using any header field, so a
+        // corrupted packet is detected and discarded — never
+        // misrouted or silently delivered.
+        if (injector.dropOnLink(move.sw, currentCycle,
+                                move.packet)) {
+            ++counters.faultDropped;
+            traceLoss(move.packet, "drop@fault");
+            continue;
+        }
+        injector.corruptOnLink(move.sw, currentCycle, move.packet);
+        if (injector.enabled() && !headerIntact(move.packet)) {
+            injector.recordDetectedCorruption();
+            ++counters.faultDropped;
+            traceLoss(move.packet, "drop@corrupt");
+            continue;
+        }
+        const HopTarget next = topo.hop(move.sw, move.packet.outPort);
+        if (next.toSink) {
+            deliver(move.packet, next.sink);
+            continue;
+        }
+        Packet pkt = move.packet;
+        pkt.outPort = topo.route(next.switchId, pkt.dest);
+        ++pkt.hops;
+        SwitchUnit &target = *switches[next.switchId];
+        const bool accepted = target.tryReceive(next.inputPort, pkt);
+        if (!accepted) {
+            damq_assert(cfg.protocol == FlowControl::Discarding,
+                        "blocking protocol transmitted into a full "
+                        "buffer — back-pressure check is broken");
+            ++counters.discardedInternal;
+            traceLoss(pkt, "drop@internal");
+        }
+    }
+}
+
+void
+SyncEngine::traceLoss(const Packet &pkt, const char *why)
+{
+    if (!telemetry)
+        return;
+    obs::PacketTracer *tr = telemetry->trace();
+    if (!tr)
+        return;
+    tr->instant(why, "pkt", currentCycle, endpointPid, pkt.source);
+    tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle, endpointPid,
+                 pkt.source);
+}
+
+void
+SyncEngine::phaseInject()
+{
+    for (NodeId src = 0; src < topo.numEndpoints(); ++src) {
+        // Drain mode makes no PRNG draws: generation is skipped
+        // entirely, but blocked source queues keep retrying below.
+        if (!draining && traffic.shouldGenerate(src, rng)) {
+            Packet pkt;
+            pkt.id = nextPacketId++;
+            pkt.source = src;
+            pkt.dest = traffic.destinationFor(src, rng);
+            pkt.lengthSlots = 1;
+            pkt.generatedAt = currentCycle;
+            pkt.seq = nextSeq[src]++;
+            sealHeader(pkt);
+            ++counters.generated;
+            if (telemetry) {
+                if (obs::PacketTracer *tr = telemetry->trace())
+                    tr->instant("gen", "pkt", currentCycle,
+                                endpointPid, src);
+            }
+
+            if (cfg.protocol == FlowControl::Blocking) {
+                sourceQueues[src].push_back(pkt);
+            } else if (!tryInject(src, pkt)) {
+                ++counters.discardedAtEntry;
+                if (telemetry) {
+                    if (obs::PacketTracer *tr = telemetry->trace())
+                        tr->instant("drop@entry", "pkt",
+                                    currentCycle, endpointPid, src);
+                }
+            }
+        }
+
+        if (cfg.protocol == FlowControl::Blocking &&
+            !sourceQueues[src].empty()) {
+            // The link from the source delivers at most one packet
+            // per cycle, and only the head may try.
+            if (tryInject(src, sourceQueues[src].front()))
+                sourceQueues[src].pop_front();
+        }
+    }
+}
+
+bool
+SyncEngine::tryInject(NodeId src, Packet pkt)
+{
+    const InjectPoint entry = topo.injectionPoint(src);
+    pkt.outPort = topo.route(entry.switchId, pkt.dest);
+    pkt.injectedAt = currentCycle;
+    SwitchUnit &first = *switches[entry.switchId];
+    if (!first.canAccept(entry.port, pkt.outPort, pkt.lengthSlots))
+        return false;
+    const bool accepted = first.tryReceive(entry.port, pkt);
+    damq_assert(accepted, "canAccept/tryReceive disagree");
+    ++counters.injected;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncBegin("pkt", "pkt", pkt.id, currentCycle,
+                           endpointPid, src,
+                           detail::concat("{\"src\": ", pkt.source,
+                                          ", \"dest\": ", pkt.dest,
+                                          "}"));
+    }
+    return true;
+}
+
+void
+SyncEngine::deliver(const Packet &pkt, NodeId sink)
+{
+    if (pkt.dest != sink) {
+        ++counters.misrouted;
+        damq_panic("packet ", pkt.id, " for node ", pkt.dest,
+                   " delivered to node ", sink,
+                   " — routing is broken");
+    }
+    ++counters.delivered;
+    if (telemetry) {
+        if (obs::PacketTracer *tr = telemetry->trace())
+            tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle,
+                         endpointPid, sink);
+    }
+    if (measuring) {
+        const double latency =
+            static_cast<double>(currentCycle - pkt.injectedAt) *
+            cfg.latencyUnitScale;
+        latencyStats.add(latency);
+        perSourceLatency[pkt.source].add(latency);
+        hopStats.add(static_cast<double>(pkt.hops));
+    }
+}
+
+void
+SyncEngine::beginMeasurement()
+{
+    windowStart = counters;
+    latencyStats.reset();
+    hopStats.reset();
+    sourceQueueSamples.reset();
+    switchOccupancySamples.reset();
+    for (auto &stats : perSourceLatency)
+        stats.reset();
+}
+
+SyncResult
+SyncEngine::run()
+{
+    runSchedule();
+
+    SyncResult result;
+    result.window = counters - windowStart;
+    result.measuredCycles = common.measureCycles;
+    result.offeredLoad = cfg.offeredLoad;
+    const double denom = static_cast<double>(topo.numEndpoints()) *
+                         static_cast<double>(common.measureCycles);
+    result.deliveredThroughput =
+        static_cast<double>(result.window.delivered) / denom;
+    result.discardFraction =
+        result.window.generated == 0
+            ? 0.0
+            : static_cast<double>(result.window.discarded()) /
+                  static_cast<double>(result.window.generated);
+    result.latency = latencyStats;
+    result.hops = hopStats;
+    result.avgSourceQueueLen = sourceQueueSamples.mean();
+    result.avgSwitchOccupancy = switchOccupancySamples.mean();
+
+    // Jain fairness over the per-source mean latencies.
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    std::size_t active = 0;
+    double worst = 0.0;
+    for (const RunningStats &stats : perSourceLatency) {
+        if (stats.count() == 0)
+            continue;
+        const double mean = stats.mean();
+        sum += mean;
+        sum_sq += mean * mean;
+        worst = std::max(worst, mean);
+        ++active;
+    }
+    result.latencyFairness =
+        active == 0 || sum_sq == 0.0
+            ? 1.0
+            : sum * sum / (static_cast<double>(active) * sum_sq);
+    result.worstSourceLatency = worst;
+
+    return result;
+}
+
+std::uint64_t
+SyncEngine::packetsInFlight() const
+{
+    std::uint64_t total = 0;
+    for (const auto &sw : switches)
+        total += sw->totalPackets();
+    return total;
+}
+
+std::uint64_t
+SyncEngine::packetsAtSources() const
+{
+    std::uint64_t total = 0;
+    for (const auto &q : sourceQueues)
+        total += q.size();
+    return total;
+}
+
+void
+SyncEngine::debugValidate() const
+{
+    for (const auto &sw : switches)
+        sw->debugValidate();
+}
+
+void
+SyncEngine::phaseFaults()
+{
+    if (!injector.enabled())
+        return;
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        if (!injector.rollSlotLeak(sw, currentCycle))
+            continue;
+        // Deterministic target without an extra draw.
+        const PortId input = static_cast<PortId>(
+            currentCycle % topo.portsPerSwitch());
+        if (switches[sw]->faultLeakSlot(input)) {
+            injector.recordFault(
+                FaultKind::SlotLeak, sw, currentCycle,
+                detail::concat("slot lost via input ", input));
+        }
+    }
+}
+
+void
+SyncEngine::phaseAudit()
+{
+    if (!auditor.due(currentCycle))
+        return;
+    auditor.beginAudit();
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        auditor.record(currentCycle, injector.componentName(sw),
+                       switches[sw]->checkInvariants());
+        if (cfg.placement != BufferPlacement::Input)
+            continue;
+        // Per-source FIFO delivery order, walked in place via
+        // forEachInQueue — no queue snapshot is copied.
+        const auto *sm =
+            static_cast<const SwitchModel *>(switches[sw].get());
+        for (PortId in = 0; in < sm->numPorts(); ++in) {
+            auditor.record(currentCycle,
+                           injector.componentName(sw),
+                           auditQueueFifoOrder(sm->buffer(in)));
+        }
+    }
+    // End-to-end conservation: every packet that entered the fabric
+    // must be delivered, discarded, removed by a fault, or still
+    // buffered — nothing may vanish unaccounted.
+    const std::uint64_t accounted =
+        counters.delivered + counters.discardedInternal +
+        counters.faultDropped + packetsInFlight();
+    if (counters.injected != accounted) {
+        auditor.record(
+            currentCycle, cfg.accountingScope,
+            {detail::concat(
+                "packet accounting broken: injected ",
+                counters.injected, " != delivered ",
+                counters.delivered, " + discarded ",
+                counters.discardedInternal, " + fault-dropped ",
+                counters.faultDropped, " + in-flight ",
+                packetsInFlight())});
+    }
+}
+
+void
+SyncEngine::phaseWatchdog()
+{
+    if (!watchdog.enabled())
+        return;
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        const std::uint64_t transmitted =
+            switches[sw]->unitStats().transmitted;
+        const bool moved = transmitted != prevTransmitted[sw];
+        prevTransmitted[sw] = transmitted;
+        watchdog.observe(sw, currentCycle,
+                         switches[sw]->totalPackets() > 0, moved);
+    }
+    if (watchdog.check(currentCycle,
+                       [this] { return snapshotText(); })) {
+        damq_warn("deadlock watchdog fired:\n",
+                  watchdog.diagnostic());
+    }
+}
+
+bool
+SyncEngine::drain(Cycle max_cycles)
+{
+    draining = true;
+    for (Cycle c = 0; c < max_cycles; ++c) {
+        if (packetsInFlight() == 0 && packetsAtSources() == 0)
+            break;
+        step();
+    }
+    draining = false;
+    return packetsInFlight() == 0 && packetsAtSources() == 0;
+}
+
+std::string
+SyncEngine::snapshotText() const
+{
+    std::ostringstream out;
+    out << "    snapshot at cycle " << currentCycle << " (seed "
+        << common.seed << ", fault seed " << common.faults.seed
+        << ")\n";
+    for (SwitchId id = 0; id < topo.numSwitches(); ++id) {
+        const SwitchUnit &sw = *switches[id];
+        if (topo.snapshotSkipsEmpty() && sw.totalPackets() == 0)
+            continue; // keep the snapshot readable on big fabrics
+        out << "    " << topo.switchName(id) << ": "
+            << sw.totalPackets() << " packets in "
+            << sw.totalUsedSlots() << " slots";
+        if (cfg.placement == BufferPlacement::Input) {
+            const auto *sm = static_cast<const SwitchModel *>(&sw);
+            for (PortId in = 0; in < sm->numPorts(); ++in) {
+                for (PortId o = 0; o < sm->numPorts(); ++o) {
+                    if (const Packet *head = sm->buffer(in).peek(o))
+                        out << " in" << in << "->out" << o
+                            << " head dest " << head->dest;
+                }
+            }
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+} // namespace core
+} // namespace damq

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * SyncEngine: the synchronized-cycle simulation engine shared by
+ * the Omega, mesh, and torus simulators.
+ *
+ * One engine, one cycle loop: switches arbitrate against a
+ * consistent start-of-cycle snapshot, granted packets pop, packets
+ * arrive at the next switch (re-routed there) or at their sink, and
+ * sources generate/inject — with the fault hooks (stuck arbiters,
+ * delayed credits, link drops/corruption, slot leaks), the periodic
+ * invariant audit, the deadlock watchdog, and the telemetry probes
+ * implemented exactly once.  Everything topology-specific goes
+ * through the core::Topology interface; everything policy-specific
+ * (buffer organization, placement, flow control, arbitration,
+ * traffic) is a SyncConfig field.
+ *
+ * The engine is a faithful generalization of the pre-core
+ * NetworkSimulator: it makes the same PRNG draws in the same order
+ * and the same floating-point operations in the same order, so the
+ * byte-identity baselines hold across the refactor.  Per-topology
+ * differences in the old simulators that did not affect results
+ * (the mesh never sampled source-queue depth, the Omega simulator
+ * never sampled hop counts) are now always collected; result
+ * structs simply ignore what they do not report.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_SYNC_ENGINE_HH
+#define DAMQ_NETWORK_CORE_SYNC_ENGINE_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "network/core/sim_engine.hh"
+#include "network/core/sim_types.hh"
+#include "network/core/topology.hh"
+#include "network/core/traffic_source.hh"
+#include "stats/running_stats.hh"
+#include "switchsim/switch_unit.hh"
+
+namespace damq {
+namespace core {
+
+/** Policy knobs of a synchronized run (topology passed separately). */
+struct SyncConfig
+{
+    BufferPlacement placement = BufferPlacement::Input;
+    BufferType bufferType = BufferType::Damq; ///< input placement only
+    std::uint32_t slotsPerBuffer = 4; ///< per input port's worth
+    FlowControl protocol = FlowControl::Blocking;
+    ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
+    std::uint32_t staleThreshold = 8;
+    std::string traffic = "uniform"; ///< pattern name (see makeTraffic)
+    double hotSpotFraction = 0.05;   ///< used when traffic == "hotspot"
+
+    /**
+     * Grid side length enabling the "transpose" pattern (0 = not a
+     * square grid; "transpose" then falls through to makeTraffic).
+     */
+    std::uint32_t transposeSide = 0;
+
+    double offeredLoad = 0.5; ///< packets/cycle/source
+
+    /** Burstiness factor B >= 1 (see NetworkConfig::burstiness). */
+    double burstiness = 1.0;
+
+    /** Mean burst ("on" period) length in cycles when B > 1. */
+    Cycle meanBurstCycles = 8;
+
+    /**
+     * Clocks per network cycle for latency reporting (the Omega
+     * simulator reports in clock cycles at 12 clocks/cycle; the
+     * grid simulators report in cycles, scale 1).
+     */
+    double latencyUnitScale = 1.0;
+
+    /** Audit scope name for the packet-accounting record. */
+    const char *accountingScope = "network";
+
+    /** Seed, warmup/measure schedule, faults, telemetry. */
+    SimCommonConfig common;
+};
+
+/** Results of one measured synchronized run. */
+struct SyncResult
+{
+    NetworkCounters window; ///< counters within the window
+    Cycle measuredCycles = 0;
+
+    /** Delivered packets per endpoint per cycle. */
+    double deliveredThroughput = 0.0;
+
+    /** Offered packets per endpoint per cycle (echo). */
+    double offeredLoad = 0.0;
+
+    /** Fraction of generated packets discarded (both kinds). */
+    double discardFraction = 0.0;
+
+    /** In-network latency statistics, in latencyUnitScale units. */
+    RunningStats latency;
+
+    /** Switch-to-switch hops per delivered packet. */
+    RunningStats hops;
+
+    /** Mean source-queue length sampled each cycle (blocking). */
+    double avgSourceQueueLen = 0.0;
+
+    /** Mean buffered packets per switch sampled each cycle. */
+    double avgSwitchOccupancy = 0.0;
+
+    /** Jain fairness index over per-source mean latencies. */
+    double latencyFairness = 1.0;
+
+    /** Largest per-source mean latency. */
+    double worstSourceLatency = 0.0;
+};
+
+/**
+ * The synchronized engine.  Construct over a topology (which must
+ * outlive the engine), then run() a complete warmup+measure
+ * experiment or drive step() manually (tests).
+ */
+class SyncEngine final : public SimEngine
+{
+  public:
+    SyncEngine(const Topology &topology, const SyncConfig &config);
+
+    /** Warm up, measure, and summarize. */
+    SyncResult run();
+
+    /** Topology in use. */
+    const Topology &topology() const { return topo; }
+
+    /** Policy configuration in use. */
+    const SyncConfig &config() const { return cfg; }
+
+    /** Switch @p sw (test access). */
+    SwitchUnit &switchUnit(SwitchId sw) { return *switches[sw]; }
+    const SwitchUnit &switchUnit(SwitchId sw) const
+    {
+        return *switches[sw];
+    }
+
+    /** Lifetime counters since construction. */
+    const NetworkCounters &lifetime() const { return counters; }
+
+    /** Packets currently buffered inside switches. */
+    std::uint64_t packetsInFlight() const;
+
+    /** Packets currently waiting in source queues. */
+    std::uint64_t packetsAtSources() const;
+
+    /** Validate every buffer's invariants (tests). */
+    void debugValidate() const;
+
+    /**
+     * Stop generating and step until the network and source queues
+     * are empty, or @p max_cycles pass.  Returns true when fully
+     * drained.
+     */
+    bool drain(Cycle max_cycles);
+
+    /**
+     * Deterministic diagnostic snapshot: per-switch occupancy and
+     * head-of-line destinations in SwitchId order, with both seeds
+     * echoed.
+     */
+    std::string snapshotText() const;
+
+  protected:
+    void phaseFaults() override;   ///< structural slot leaks
+    void phaseAdvance() override;  ///< arbitrate, pop, deliver
+    void phaseInject() override;   ///< generate + inject at sources
+    void phaseAudit() override;    ///< periodic invariant audit
+    void phaseWatchdog() override; ///< per-cycle watchdog bookkeeping
+    void onMeasuredCycle() override;
+    void beginMeasurement() override;
+    void configureTelemetry(obs::Telemetry &t) override;
+
+  private:
+    /** Validate load/burstiness, then build the traffic source. */
+    static TrafficSource makeSource(const Topology &topology,
+                                    const SyncConfig &config);
+
+    /** Trace a packet lost in flight: close its flow, mark @p why. */
+    void traceLoss(const Packet &pkt, const char *why);
+
+    /** Offer @p pkt to its injection point; true if accepted. */
+    bool tryInject(NodeId src, Packet pkt);
+
+    /** Record a packet leaving the fabric at @p sink. */
+    void deliver(const Packet &pkt, NodeId sink);
+
+    const Topology &topo;
+    SyncConfig cfg;
+    TrafficSource traffic;
+
+    /** switches[SwitchId], in the topology's flat order. */
+    std::vector<std::unique_ptr<SwitchUnit>> switches;
+
+    /** Per-source backlog (used by the blocking protocol only). */
+    std::vector<std::deque<Packet>> sourceQueues;
+
+    std::vector<std::uint64_t> prevTransmitted; ///< per component
+    std::vector<std::uint32_t> nextSeq;         ///< per source
+
+    PacketId nextPacketId = 0;
+    NetworkCounters counters;
+    NetworkCounters windowStart; ///< counters at measurement start
+
+    /** One in-flight hop: the packet and the switch it left. */
+    struct Move
+    {
+        SwitchId sw;
+        Packet packet; ///< outPort = local output it left through
+    };
+
+    // Per-cycle scratch storage, reused every phaseAdvance() call
+    // so the steady-state cycle loop never touches the allocator
+    // (reserved at construction).
+    std::vector<Move> moveScratch;
+    std::vector<Packet> sentScratch;
+    std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;
+
+    RunningStats latencyStats;
+    RunningStats hopStats;
+    RunningStats sourceQueueSamples;
+    RunningStats switchOccupancySamples;
+    std::vector<RunningStats> perSourceLatency;
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_SYNC_ENGINE_HH

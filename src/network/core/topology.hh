@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The Topology interface of the shared simulation core.
+ *
+ * A topology describes the node/channel graph a synchronized
+ * simulator runs on, in flattened form: switches are numbered
+ * 0..numSwitches()-1 (SwitchId), every switch has the same degree,
+ * and three functions tie the graph together:
+ *
+ *  - route(sw, dest): the output port a packet for @p dest takes at
+ *    switch @p sw (the routing function — digit-controlled for the
+ *    Omega network, dimension-order for mesh/torus grids);
+ *  - hop(sw, out): where a packet leaving @p sw through @p out
+ *    lands — either another switch's input port or an endpoint sink;
+ *  - injectionPoint(src): the (switch, input port) where endpoint
+ *    @p src offers new packets to the fabric.
+ *
+ * The flat SwitchId ordering is load-bearing: it defines the
+ * fault-injector / watchdog component registration order, the
+ * deterministic snapshot order, and the telemetry probe order, so
+ * adapters must number switches the same way the pre-core
+ * simulators iterated them (stage-major for the Omega network,
+ * row-major for grids).
+ *
+ * The naming hooks (switchName, probeName, trace*) keep the
+ * per-topology diagnostic vocabulary ("stage0.sw3" vs "node12",
+ * trace row layout) byte-identical to the pre-core simulators.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_TOPOLOGY_HH
+#define DAMQ_NETWORK_CORE_TOPOLOGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace damq {
+namespace core {
+
+/** Flat switch index inside a topology. */
+using SwitchId = std::uint32_t;
+
+/** Where a packet leaving a switch output lands. */
+struct HopTarget
+{
+    bool toSink = false;       ///< true: delivered to an endpoint
+    NodeId sink = kInvalidNode;///< the endpoint (when toSink)
+    SwitchId switchId = 0;     ///< next switch (when !toSink)
+    PortId inputPort = 0;      ///< its input port (when !toSink)
+};
+
+/** Where an endpoint's packets enter the fabric. */
+struct InjectPoint
+{
+    SwitchId switchId = 0;
+    PortId port = 0;
+};
+
+/** Immutable node/channel graph plus its routing function. */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of switches in the fabric. */
+    virtual std::uint32_t numSwitches() const = 0;
+
+    /** Uniform switch degree (ports per switch). */
+    virtual std::uint32_t portsPerSwitch() const = 0;
+
+    /** Number of endpoints (sources == sinks). */
+    virtual std::uint32_t numEndpoints() const = 0;
+
+    /** Output port at @p sw for a packet destined to @p dest. */
+    virtual PortId route(SwitchId sw, NodeId dest) const = 0;
+
+    /** Channel fed by output @p out of switch @p sw. */
+    virtual HopTarget hop(SwitchId sw, PortId out) const = 0;
+
+    /** Entry channel of endpoint @p src. */
+    virtual InjectPoint injectionPoint(NodeId src) const = 0;
+
+    /** Diagnostic name of @p sw ("stage1.sw3", "node12", ...). */
+    virtual std::string switchName(SwitchId sw) const = 0;
+
+    /** Whether diagnostic snapshots omit empty switches. */
+    virtual bool snapshotSkipsEmpty() const { return false; }
+
+    // --- Trace/probe row layout -------------------------------------
+    // Chrome-trace rows are (process, thread) pairs; each topology
+    // groups its buffers its own way (Omega: one process per stage,
+    // grids: one process per node).  The endpoint pseudo-process is
+    // always pid == numTraceProcesses().
+
+    /** Trace processes used for switches (endpoints come after). */
+    virtual std::int64_t numTraceProcesses() const = 0;
+
+    /** Display name of trace process @p pid. */
+    virtual std::string traceProcessName(std::int64_t pid) const = 0;
+
+    /** Display name of the endpoint pseudo-process. */
+    virtual const char *endpointProcessName() const = 0;
+
+    /** Trace (pid, tid) of input buffer @p port of switch @p sw. */
+    virtual void traceRow(SwitchId sw, PortId port, std::int64_t &pid,
+                          std::int64_t &tid) const = 0;
+
+    /** Thread display name of that buffer's trace row. */
+    virtual std::string traceThreadName(SwitchId sw,
+                                        PortId port) const = 0;
+
+    /** Metrics-probe name of that buffer ("s0.sw3.in1", ...). */
+    virtual std::string probeName(SwitchId sw, PortId port) const = 0;
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_TOPOLOGY_HH

@@ -1,0 +1,58 @@
+#include "network/core/traffic_source.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace core {
+
+std::unique_ptr<TrafficPattern>
+makeTrafficPattern(const std::string &name, std::uint32_t num_nodes,
+                   double hot_spot_fraction,
+                   std::uint32_t transpose_side, std::uint64_t seed)
+{
+    if (name == "hotspot") {
+        return std::make_unique<HotSpotTraffic>(
+            num_nodes, hot_spot_fraction, NodeId{0});
+    }
+    if (name == "transpose" && transpose_side > 0) {
+        damq_assert(transpose_side * transpose_side == num_nodes,
+                    "transpose traffic needs a square grid");
+        return std::make_unique<TransposeTraffic>(transpose_side);
+    }
+    return makeTraffic(name, num_nodes, seed);
+}
+
+TrafficSource::TrafficSource(std::unique_ptr<TrafficPattern> pattern,
+                             std::uint32_t num_sources,
+                             double gen_probability, double burstiness,
+                             Cycle mean_burst_cycles)
+    : pattern_(std::move(pattern)), genProbability(gen_probability),
+      burstiness(burstiness), meanBurstCycles(mean_burst_cycles),
+      sourceOn(num_sources, false)
+{
+    damq_assert(pattern_ != nullptr, "traffic source needs a pattern");
+}
+
+bool
+TrafficSource::shouldGenerate(NodeId src, Random &rng)
+{
+    double gen_prob = genProbability;
+    if (burstiness > 1.0) {
+        // Two-state on/off source: on a fraction 1/B of the time,
+        // generating at rate genProbability * B while on.
+        const double mean_on = static_cast<double>(meanBurstCycles);
+        const double mean_off = mean_on * (burstiness - 1.0);
+        if (sourceOn[src]) {
+            if (rng.bernoulli(1.0 / mean_on))
+                sourceOn[src] = false;
+        } else {
+            if (rng.bernoulli(1.0 / mean_off))
+                sourceOn[src] = true;
+        }
+        gen_prob = sourceOn[src] ? genProbability * burstiness : 0.0;
+    }
+    return rng.bernoulli(gen_prob);
+}
+
+} // namespace core
+} // namespace damq

@@ -43,22 +43,25 @@ switchingModeFromString(const std::string &name)
 }
 
 CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
-    : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.common.seed),
+    : core::SimEngine(config.common), cfg(config),
+      topo(config.numPorts, config.radix),
+      traffic(core::makeTrafficPattern(
+                  config.traffic, config.numPorts,
+                  config.hotSpotFraction, /*transpose_side=*/0,
+                  config.common.seed),
+              config.numPorts,
+              // Offered load is a fraction of link capacity; the
+              // per-clock generation probability spreads it over
+              // the W clocks a packet holds its wire.
+              config.offeredLoad /
+                  static_cast<double>(config.wireClocks),
+              /*burstiness=*/1.0, /*mean_burst_cycles=*/1),
       sourceQueues(config.numPorts),
       sourceWireFreeAt(config.numPorts, 0),
-      injector(config.common.faults),
-      auditor(config.common.auditEveryCycles),
       nextSeq(config.numPorts, 0)
 {
     damq_assert(cfg.wireClocks >= 1 && cfg.routeClocks >= 1,
                 "wire and route times must be positive");
-    if (cfg.traffic == "hotspot") {
-        pattern = std::make_unique<HotSpotTraffic>(
-            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
-    } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
-    }
 
     switches.resize(topo.numStages());
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
@@ -89,18 +92,14 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
     }
     sinkComponent = injector.addComponent("sink-links");
 
-    setupTelemetry();
+    initTelemetry();
 }
 
 void
-CutThroughSimulator::setupTelemetry()
+CutThroughSimulator::configureTelemetry(obs::Telemetry &t)
 {
-    if (!cfg.common.telemetry.enabled())
-        return;
-    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
-
     endpointPid = static_cast<std::int64_t>(topo.numStages());
-    obs::PacketTracer *tracer = telemetry->trace();
+    obs::PacketTracer *tracer = t.trace();
     if (tracer) {
         for (std::uint32_t stage = 0; stage < topo.numStages();
              ++stage)
@@ -117,7 +116,7 @@ CutThroughSimulator::setupTelemetry()
                 const std::int64_t tid =
                     static_cast<std::int64_t>(idx) * cfg.radix +
                     port;
-                telemetry->attachProbe(
+                t.attachProbe(
                     *state.buffers[port],
                     detail::concat("s", stage, ".sw", idx, ".in",
                                    port),
@@ -130,7 +129,7 @@ CutThroughSimulator::setupTelemetry()
         }
     }
 
-    telemetry->addSampleHook([this]() {
+    t.addSampleHook([this]() {
         obs::MetricRegistry &m = telemetry->metrics();
         m.gauge("net.generated")
             .set(static_cast<double>(generated));
@@ -168,13 +167,13 @@ CutThroughSimulator::launch(std::uint32_t stage, std::uint32_t sw,
                             bool from_cut_through)
 {
     SwitchState &state = switches[stage][sw];
-    damq_assert(state.outputFreeAt[out] <= clock,
+    damq_assert(state.outputFreeAt[out] <= currentCycle,
                 "launch on a busy wire");
-    state.outputFreeAt[out] = clock + cfg.wireClocks;
+    state.outputFreeAt[out] = currentCycle + cfg.wireClocks;
 
     Flight flight;
     flight.packet = pkt;
-    flight.headArrives = clock;
+    flight.headArrives = currentCycle;
     flight.reserved = cfg.protocol == FlowControl::Blocking;
     if (stage + 1 == topo.numStages()) {
         flight.toSink = true;
@@ -201,7 +200,7 @@ CutThroughSimulator::processDecisions()
     for (Flight &flight : current) {
         // Sink deliveries complete when the tail lands.
         if (flight.toSink) {
-            if (flight.headArrives + cfg.wireClocks > clock) {
+            if (flight.headArrives + cfg.wireClocks > currentCycle) {
                 flights.push_back(flight);
                 continue;
             }
@@ -213,18 +212,19 @@ CutThroughSimulator::processDecisions()
             if (telemetry) {
                 if (obs::PacketTracer *tr = telemetry->trace())
                     tr->asyncEnd("pkt", "pkt", flight.packet.id,
-                                 clock, endpointPid, flight.sink);
+                                 currentCycle, endpointPid,
+                                 flight.sink);
             }
             if (measuring) {
                 ++windowDelivered;
                 latencyClocks.add(static_cast<double>(
-                    clock - flight.packet.injectedAt));
+                    currentCycle - flight.packet.injectedAt));
             }
             continue;
         }
 
         // Routing completes R clocks after the head arrives.
-        if (flight.headArrives + cfg.routeClocks > clock) {
+        if (flight.headArrives + cfg.routeClocks > currentCycle) {
             flights.push_back(flight);
             continue;
         }
@@ -257,8 +257,8 @@ CutThroughSimulator::processDecisions()
                 : flight.at.port;
         const bool can_cut =
             cfg.mode == SwitchingMode::CutThrough && queue_clear &&
-            state.outputFreeAt[out] <= clock &&
-            state.readFreeAt[read_idx] <= clock;
+            state.outputFreeAt[out] <= currentCycle &&
+            state.readFreeAt[read_idx] <= currentCycle;
 
         if (can_cut && (cfg.protocol == FlowControl::Discarding ||
                         reserveNextHop(flight.stage,
@@ -270,7 +270,7 @@ CutThroughSimulator::processDecisions()
                 buffer.cancelReservation(out,
                                          flight.packet.lengthSlots);
             }
-            state.readFreeAt[read_idx] = clock + cfg.wireClocks;
+            state.readFreeAt[read_idx] = currentCycle + cfg.wireClocks;
             launch(flight.stage, flight.at.switchIndex, out,
                    flight.packet, /*from_cut_through=*/true);
             continue;
@@ -298,7 +298,7 @@ CutThroughSimulator::processDecisions()
     std::vector<Flight> still_storing;
     still_storing.reserve(storing.size());
     for (Flight &pending : storing) {
-        if (pending.headArrives > clock) {
+        if (pending.headArrives > currentCycle) {
             still_storing.push_back(pending);
             continue;
         }
@@ -319,13 +319,13 @@ CutThroughSimulator::arbitrateBuffered()
 
             auto can_send = [&](PortId input, PortId out,
                                 const Packet &pkt) {
-                if (state.outputFreeAt[out] > clock)
+                if (state.outputFreeAt[out] > currentCycle)
                     return false;
                 const std::size_t read_idx =
                     cfg.bufferType == BufferType::Safc
                         ? input * cfg.radix + out
                         : input;
-                if (state.readFreeAt[read_idx] > clock)
+                if (state.readFreeAt[read_idx] > currentCycle)
                     return false;
                 if (cfg.protocol == FlowControl::Discarding)
                     return true;
@@ -354,7 +354,8 @@ CutThroughSimulator::arbitrateBuffered()
                     cfg.bufferType == BufferType::Safc
                         ? g.input * cfg.radix + g.output
                         : g.input;
-                state.readFreeAt[read_idx] = clock + cfg.wireClocks;
+                state.readFreeAt[read_idx] =
+                    currentCycle + cfg.wireClocks;
                 launch(stage, idx, g.output, pkt,
                        /*from_cut_through=*/false);
             }
@@ -363,18 +364,23 @@ CutThroughSimulator::arbitrateBuffered()
 }
 
 void
-CutThroughSimulator::injectSources()
+CutThroughSimulator::phaseAdvance()
 {
-    const double per_clock =
-        cfg.offeredLoad / static_cast<double>(cfg.wireClocks);
+    processDecisions();
+    arbitrateBuffered();
+}
+
+void
+CutThroughSimulator::phaseInject()
+{
     for (NodeId src = 0; src < cfg.numPorts; ++src) {
-        if (rng.bernoulli(per_clock)) {
+        if (traffic.shouldGenerate(src, rng)) {
             Packet pkt;
             pkt.id = nextPacketId++;
             pkt.source = src;
-            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.dest = traffic.destinationFor(src, rng);
             pkt.lengthSlots = 1;
-            pkt.generatedAt = clock;
+            pkt.generatedAt = currentCycle;
             pkt.seq = nextSeq[src]++;
             sealHeader(pkt);
             sourceQueues[src].push_back(pkt);
@@ -384,7 +390,7 @@ CutThroughSimulator::injectSources()
         }
 
         if (sourceQueues[src].empty() ||
-            sourceWireFreeAt[src] > clock) {
+            sourceWireFreeAt[src] > currentCycle) {
             continue;
         }
         Packet &head = sourceQueues[src].front();
@@ -403,12 +409,13 @@ CutThroughSimulator::injectSources()
         Packet pkt = head;
         sourceQueues[src].pop_front();
         pkt.outPort = out;
-        pkt.injectedAt = clock;
-        sourceWireFreeAt[src] = clock + cfg.wireClocks;
+        pkt.injectedAt = currentCycle;
+        sourceWireFreeAt[src] = currentCycle + cfg.wireClocks;
         if (telemetry) {
             if (obs::PacketTracer *tr = telemetry->trace())
                 tr->asyncBegin(
-                    "pkt", "pkt", pkt.id, clock, endpointPid, src,
+                    "pkt", "pkt", pkt.id, currentCycle, endpointPid,
+                    src,
                     detail::concat("{\"src\": ", pkt.source,
                                    ", \"dest\": ", pkt.dest, "}"));
         }
@@ -417,66 +424,47 @@ CutThroughSimulator::injectSources()
         flight.packet = pkt;
         flight.stage = 0;
         flight.at = coord;
-        flight.headArrives = clock;
+        flight.headArrives = currentCycle;
         flight.reserved = cfg.protocol == FlowControl::Blocking;
         flights.push_back(flight);
     }
 }
 
 void
-CutThroughSimulator::step()
+CutThroughSimulator::beginMeasurement()
 {
-    ++clock;
-    if (telemetry)
-        telemetry->beginCycle(clock);
-    injectStructuralFaults();
-    processDecisions();
-    arbitrateBuffered();
-    injectSources();
-    runAudit();
-    if (telemetry)
-        telemetry->endCycle();
+    windowGenerated = 0;
+    windowDelivered = 0;
+    windowDiscarded = 0;
+    latencyClocks.reset();
+    cutBefore = hopsCut;
+    bufferedBefore = hopsBuffered;
 }
 
 CutThroughResult
 CutThroughSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
-        step();
-
-    measuring = true;
-    windowGenerated = 0;
-    windowDelivered = 0;
-    windowDiscarded = 0;
-    latencyClocks.reset();
-    const std::uint64_t cut_before = hopsCut;
-    const std::uint64_t buffered_before = hopsBuffered;
-    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
-        step();
-    measuring = false;
+    runSchedule();
 
     CutThroughResult result;
     result.generated = windowGenerated;
     result.delivered = windowDelivered;
     result.discarded = windowDiscarded;
-    result.measuredClocks = cfg.common.measureCycles;
+    result.measuredClocks = common.measureCycles;
     // Link capacity is one packet per W clocks per endpoint.
     result.deliveredLoad =
         static_cast<double>(windowDelivered) *
         static_cast<double>(cfg.wireClocks) /
         (static_cast<double>(cfg.numPorts) *
-         static_cast<double>(cfg.common.measureCycles));
+         static_cast<double>(common.measureCycles));
     result.latencyClocks = latencyClocks;
-    const std::uint64_t cut = hopsCut - cut_before;
-    const std::uint64_t buffered = hopsBuffered - buffered_before;
+    const std::uint64_t cut = hopsCut - cutBefore;
+    const std::uint64_t buffered = hopsBuffered - bufferedBefore;
     result.cutThroughFraction =
         cut + buffered == 0
             ? 0.0
             : static_cast<double>(cut) /
                   static_cast<double>(cut + buffered);
-
-    if (telemetry)
-        telemetry->writeFiles();
     return result;
 }
 
@@ -508,9 +496,9 @@ bool
 CutThroughSimulator::flightLost(Flight &flight, std::size_t comp)
 {
     const bool dropped =
-        injector.dropOnLink(comp, clock, flight.packet);
+        injector.dropOnLink(comp, currentCycle, flight.packet);
     if (!dropped) {
-        injector.corruptOnLink(comp, clock, flight.packet);
+        injector.corruptOnLink(comp, currentCycle, flight.packet);
         if (!injector.enabled() || headerIntact(flight.packet))
             return false;
         injector.recordDetectedCorruption();
@@ -528,7 +516,7 @@ CutThroughSimulator::flightLost(Flight &flight, std::size_t comp)
 }
 
 void
-CutThroughSimulator::injectStructuralFaults()
+CutThroughSimulator::phaseFaults()
 {
     if (!injector.enabled())
         return;
@@ -539,13 +527,13 @@ CutThroughSimulator::injectStructuralFaults()
                 static_cast<std::size_t>(stage) *
                     topo.switchesPerStage() +
                 idx;
-            if (!injector.rollSlotLeak(comp, clock))
+            if (!injector.rollSlotLeak(comp, currentCycle))
                 continue;
             const PortId input =
-                static_cast<PortId>(clock % cfg.radix);
+                static_cast<PortId>(currentCycle % cfg.radix);
             if (switches[stage][idx].buffers[input]->faultLeakSlot()) {
                 injector.recordFault(
-                    FaultKind::SlotLeak, comp, clock,
+                    FaultKind::SlotLeak, comp, currentCycle,
                     detail::concat("slot lost in input ", input,
                                    " buffer"));
             }
@@ -554,9 +542,9 @@ CutThroughSimulator::injectStructuralFaults()
 }
 
 void
-CutThroughSimulator::runAudit()
+CutThroughSimulator::phaseAudit()
 {
-    if (!auditor.due(clock))
+    if (!auditor.due(currentCycle))
         return;
     auditor.beginAudit();
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
@@ -569,7 +557,7 @@ CutThroughSimulator::runAudit()
             const SwitchState &state = switches[stage][idx];
             for (PortId input = 0; input < cfg.radix; ++input) {
                 auditor.record(
-                    clock,
+                    currentCycle,
                     detail::concat(injector.componentName(comp),
                                    ".in", input),
                     state.buffers[input]->checkInvariants());
@@ -580,7 +568,7 @@ CutThroughSimulator::runAudit()
         delivered + discarded + faultDropped + packetsEverywhere();
     if (generated != accounted) {
         auditor.record(
-            clock, "network",
+            currentCycle, "network",
             {detail::concat("packet accounting broken: generated ",
                             generated, " != delivered ", delivered,
                             " + discarded ", discarded,

@@ -28,6 +28,10 @@
  * the reservation is released if that hop cuts through too.  Under
  * the discarding protocol a packet that can neither cut through
  * nor find buffer space at decision time is dropped.
+ *
+ * The harness (clock loop, fault injection, audits, telemetry
+ * schedule) comes from core::SimEngine; this class supplies the
+ * clock-granularity timing model as the engine's phases.
  */
 
 #ifndef DAMQ_NETWORK_CUTTHROUGH_SIM_HH
@@ -42,8 +46,8 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
-#include "fault/fault_injector.hh"
-#include "fault/invariant_auditor.hh"
+#include "network/core/sim_engine.hh"
+#include "network/core/traffic_source.hh"
 #include "network/network_sim.hh"
 #include "network/omega_topology.hh"
 #include "network/sim_common.hh"
@@ -122,20 +126,14 @@ struct CutThroughResult
 };
 
 /** The simulator. */
-class CutThroughSimulator
+class CutThroughSimulator final : public core::SimEngine
 {
   public:
     /** Build the network for @p config. */
     explicit CutThroughSimulator(const CutThroughConfig &config);
 
-    /** Advance one clock. */
-    void step();
-
     /** Warm up, measure, summarize. */
     CutThroughResult run();
-
-    /** Current clock. */
-    Cycle now() const { return clock; }
 
     /** Lifetime counters (tests). */
     std::uint64_t lifetimeGenerated() const { return generated; }
@@ -149,15 +147,19 @@ class CutThroughSimulator
     /** Validate buffer invariants (tests). */
     void debugValidate() const;
 
-    /** Injection/detection/audit summary so far. */
-    FaultReport faultReport() const;
+    /**
+     * Injection/detection/audit summary so far (no watchdog at
+     * clock granularity).
+     */
+    FaultReport faultReport() const override;
 
-    /** The telemetry bundle, or nullptr when telemetry is off. */
-    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
-    const obs::Telemetry *telemetryOrNull() const
-    {
-        return telemetry.get();
-    }
+  protected:
+    void phaseFaults() override;  ///< structural slot leaks
+    void phaseAdvance() override; ///< decisions, then arbitration
+    void phaseInject() override;  ///< source generation + launch
+    void phaseAudit() override;
+    void beginMeasurement() override;
+    void configureTelemetry(obs::Telemetry &t) override;
 
   private:
     /** A packet whose head is on a wire toward a switch or sink. */
@@ -183,12 +185,8 @@ class CutThroughSimulator
         /** Packets fully buffered and waiting (inside buffers). */
     };
 
-    void setupTelemetry();
-    void injectStructuralFaults();
     void processDecisions();
     void arbitrateBuffered();
-    void injectSources();
-    void runAudit();
 
     /**
      * Link faults for one in-flight packet: returns true when the
@@ -208,8 +206,7 @@ class CutThroughSimulator
 
     CutThroughConfig cfg;
     OmegaTopology topo;
-    Random rng;
-    std::unique_ptr<TrafficPattern> pattern;
+    core::TrafficSource traffic;
 
     std::vector<std::vector<SwitchState>> switches;
     std::vector<std::deque<Packet>> sourceQueues;
@@ -217,12 +214,9 @@ class CutThroughSimulator
     std::vector<Flight> flights;         ///< heads in the air
     std::vector<Flight> storing;         ///< being written to a buffer
 
-    FaultInjector injector;
-    InvariantAuditor auditor;
     std::vector<std::uint32_t> nextSeq;
     std::size_t sinkComponent = 0; ///< pseudo-component for sink links
 
-    Cycle clock = 0;
     PacketId nextPacketId = 0;
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
@@ -231,15 +225,11 @@ class CutThroughSimulator
     std::uint64_t hopsCut = 0;
     std::uint64_t hopsBuffered = 0;
 
-    /** Telemetry bundle, or nullptr when disabled (see
-     *  NetworkSimulator::telemetry). */
-    std::unique_ptr<obs::Telemetry> telemetry;
-    std::int64_t endpointPid = 0; ///< trace pid of sources/sinks
-
-    bool measuring = false;
     std::uint64_t windowGenerated = 0;
     std::uint64_t windowDelivered = 0;
     std::uint64_t windowDiscarded = 0;
+    std::uint64_t cutBefore = 0;      ///< hopsCut at window start
+    std::uint64_t bufferedBefore = 0; ///< hopsBuffered at window start
     RunningStats latencyClocks;
 };
 

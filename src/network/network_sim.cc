@@ -1,755 +1,64 @@
 #include "network/network_sim.hh"
 
-#include <algorithm>
-#include <sstream>
-#include <unordered_map>
-
 #include "common/logging.hh"
-#include "common/string_util.hh"
-#include "switchsim/switch_model.hh"
 
 namespace damq {
 
-const char *
-flowControlName(FlowControl protocol)
+core::SyncConfig
+NetworkSimulator::syncConfigOf(const NetworkConfig &config)
 {
-    switch (protocol) {
-      case FlowControl::Discarding: return "discarding";
-      case FlowControl::Blocking: return "blocking";
-    }
-    damq_panic("unknown FlowControl ", static_cast<int>(protocol));
-}
-
-std::optional<FlowControl>
-tryFlowControlFromString(const std::string &name)
-{
-    const std::string lower = toLower(name);
-    if (lower == "discarding" || lower == "discard")
-        return FlowControl::Discarding;
-    if (lower == "blocking" || lower == "block")
-        return FlowControl::Blocking;
-    return std::nullopt;
-}
-
-FlowControl
-flowControlFromString(const std::string &name)
-{
-    if (const auto protocol = tryFlowControlFromString(name))
-        return *protocol;
-    damq_fatal("unknown flow control '", name,
-               "' (expected discarding|blocking)");
-}
-
-NetworkCounters
-NetworkCounters::operator-(const NetworkCounters &rhs) const
-{
-    NetworkCounters out;
-    out.generated = generated - rhs.generated;
-    out.injected = injected - rhs.injected;
-    out.delivered = delivered - rhs.delivered;
-    out.discardedAtEntry = discardedAtEntry - rhs.discardedAtEntry;
-    out.discardedInternal = discardedInternal - rhs.discardedInternal;
-    out.misrouted = misrouted - rhs.misrouted;
-    out.faultDropped = faultDropped - rhs.faultDropped;
-    return out;
+    core::SyncConfig sync;
+    sync.placement = config.placement;
+    sync.bufferType = config.bufferType;
+    sync.slotsPerBuffer = config.slotsPerBuffer;
+    sync.protocol = config.protocol;
+    sync.arbitration = config.arbitration;
+    sync.staleThreshold = config.staleThreshold;
+    sync.traffic = config.traffic;
+    sync.hotSpotFraction = config.hotSpotFraction;
+    sync.transposeSide = 0; // historical: no transpose special case
+    sync.offeredLoad = config.offeredLoad;
+    sync.burstiness = config.burstiness;
+    sync.meanBurstCycles = config.meanBurstCycles;
+    sync.latencyUnitScale =
+        static_cast<double>(kClocksPerNetworkCycle);
+    sync.accountingScope = "network";
+    sync.common = config.common;
+    return sync;
 }
 
 NetworkSimulator::NetworkSimulator(const NetworkConfig &config)
-    : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.common.seed),
-      sourceQueues(config.numPorts),
-      injector(config.common.faults),
-      auditor(config.common.auditEveryCycles),
-      watchdog(config.common.watchdogStallCycles),
-      nextSeq(config.numPorts, 0),
-      perSourceLatency(config.numPorts),
-      sourceOn(config.numPorts, false)
+    : cfg(config), graph(config.numPorts, config.radix),
+      engine(graph, syncConfigOf(config))
 {
-    damq_assert(cfg.burstiness >= 1.0,
-                "burstiness must be at least 1");
-    if (cfg.burstiness > 1.0 &&
-        cfg.offeredLoad * cfg.burstiness > 1.0) {
-        damq_fatal("offeredLoad * burstiness must not exceed 1 "
-                   "(peak rate is a probability); got ",
-                   cfg.offeredLoad * cfg.burstiness);
-    }
-    if (cfg.traffic == "hotspot") {
-        pattern = std::make_unique<HotSpotTraffic>(
-            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
-    } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
-    }
-
-    switches.resize(topo.numStages());
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        switches[stage].reserve(topo.switchesPerStage());
-        for (std::uint32_t i = 0; i < topo.switchesPerStage(); ++i) {
-            switches[stage].push_back(makeSwitchUnit(
-                cfg.placement, cfg.radix, cfg.bufferType,
-                cfg.slotsPerBuffer, cfg.arbitration,
-                cfg.staleThreshold));
-            // Registration order defines both the fault-plan
-            // component handles and the watchdog's stable snapshot
-            // order.
-            const std::size_t comp = injector.addComponent(
-                detail::concat("stage", stage, ".sw", i));
-            const std::size_t wcomp = watchdog.addComponent(
-                detail::concat("stage", stage, ".sw", i));
-            damq_assert(comp == componentOf(stage, i) &&
-                            wcomp == comp,
-                        "component registration order broken");
-        }
-    }
-    prevTransmitted.assign(
-        static_cast<std::size_t>(topo.numStages()) *
-            topo.switchesPerStage(),
-        0);
-
-    // Size every per-cycle scratch structure up front: at most one
-    // departure per switch output exists at once, so these bounds
-    // hold for the simulation's whole lifetime.
-    moveScratch.reserve(static_cast<std::size_t>(topo.numStages()) *
-                        cfg.numPorts);
-    sentScratch.reserve(cfg.radix);
-    pendingScratch.reserve(cfg.numPorts);
-
-    setupTelemetry();
-}
-
-void
-NetworkSimulator::setupTelemetry()
-{
-    if (!cfg.common.telemetry.enabled())
-        return;
-    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
-
-    // Trace row layout: one process per pipeline stage plus a
-    // pseudo-process for the endpoints (sources and sinks); one
-    // thread per input buffer within a stage.
-    endpointPid = static_cast<std::int64_t>(topo.numStages());
-    obs::PacketTracer *tracer = telemetry->trace();
-    if (tracer) {
-        for (std::uint32_t stage = 0; stage < topo.numStages();
-             ++stage)
-            tracer->setProcessName(stage,
-                                   detail::concat("stage", stage));
-        tracer->setProcessName(endpointPid, "endpoints");
-    }
-
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            switches[stage][idx]->forEachBuffer(
-                [&](PortId port, BufferModel &buffer) {
-                    const std::int64_t tid =
-                        static_cast<std::int64_t>(idx) * cfg.radix +
-                        port;
-                    telemetry->attachProbe(
-                        buffer,
-                        detail::concat("s", stage, ".sw", idx, ".in",
-                                       port),
-                        stage, tid);
-                    if (tracer)
-                        tracer->setThreadName(
-                            stage, tid,
-                            detail::concat("sw", idx, ".in", port));
-                });
-        }
-    }
-
-    // The time series tracks the lifetime counters plus the live
-    // occupancy; gauges register on the first sample (the hooks run
-    // before the row is taken) and are refreshed only when due.
-    telemetry->addSampleHook([this]() {
-        obs::MetricRegistry &m = telemetry->metrics();
-        m.gauge("net.generated")
-            .set(static_cast<double>(counters.generated));
-        m.gauge("net.injected")
-            .set(static_cast<double>(counters.injected));
-        m.gauge("net.delivered")
-            .set(static_cast<double>(counters.delivered));
-        m.gauge("net.discarded")
-            .set(static_cast<double>(counters.discarded()));
-        m.gauge("net.faultDropped")
-            .set(static_cast<double>(counters.faultDropped));
-        m.gauge("net.inFlight")
-            .set(static_cast<double>(packetsInFlight()));
-        m.gauge("net.sourceQueued")
-            .set(static_cast<double>(packetsAtSources()));
-
-        std::uint64_t grants = 0;
-        std::uint64_t stale = 0;
-        if (cfg.placement == BufferPlacement::Input) {
-            for (const auto &stage : switches) {
-                for (const auto &sw : stage) {
-                    const auto &stats =
-                        static_cast<const SwitchModel &>(*sw)
-                            .arbiterStats();
-                    grants += stats.grantsIssued;
-                    stale += stats.staleOverrides;
-                }
-            }
-        }
-        m.gauge("arb.grants").set(static_cast<double>(grants));
-        m.gauge("arb.staleOverrides")
-            .set(static_cast<double>(stale));
-    });
 }
 
 SwitchUnit &
 NetworkSimulator::switchAt(std::uint32_t stage, std::uint32_t index)
 {
-    damq_assert(stage < switches.size(), "bad stage ", stage);
-    damq_assert(index < switches[stage].size(), "bad switch ", index);
-    return *switches[stage][index];
-}
-
-void
-NetworkSimulator::step()
-{
-    ++currentCycle;
-    if (telemetry)
-        telemetry->beginCycle(currentCycle);
-    injectStructuralFaults();
-    moveTrafficForward();
-    generateAndInject();
-    runAudit();
-    watchdogCheck();
-    if (telemetry)
-        telemetry->endCycle();
-
-    if (measuring) {
-        std::uint64_t queued = 0;
-        for (const auto &q : sourceQueues)
-            queued += q.size();
-        sourceQueueSamples.add(static_cast<double>(queued) /
-                               static_cast<double>(cfg.numPorts));
-
-        std::uint64_t buffered = 0;
-        std::uint64_t switch_count = 0;
-        for (const auto &stage : switches) {
-            for (const auto &sw : stage) {
-                buffered += sw->totalPackets();
-                ++switch_count;
-            }
-        }
-        switchOccupancySamples.add(static_cast<double>(buffered) /
-                                   static_cast<double>(switch_count));
-    }
-}
-
-void
-NetworkSimulator::moveTrafficForward()
-{
-    const std::uint32_t last_stage = topo.numStages() - 1;
-
-    // Steps 1+2: every switch decides and pops its departures.
-    // Back-pressure tests only look *downstream*, and deliveries
-    // are deferred until every switch has transmitted, so the
-    // decisions are made against a consistent start-of-cycle
-    // snapshot even though the pops are interleaved.
-    //
-    // With per-input buffers, each downstream buffer has exactly
-    // one upstream writer, so a start-of-cycle space check cannot
-    // be invalidated.  The central pool and output queues are
-    // shared across inputs, and several switches can commit into
-    // the same downstream structure in one cycle — so the blocking
-    // back-pressure test also counts the arrivals already granted
-    // this cycle.  (Two outputs of one switch can never reach the
-    // same downstream switch through the shuffle, so accounting
-    // between transmit() calls is exact.)
-    const bool shared_structures =
-        cfg.placement != BufferPlacement::Input;
-    std::unordered_map<std::uint64_t, std::uint32_t> &pending =
-        pendingScratch;
-    pending.clear();
-    auto pending_key = [&](std::uint32_t stage, std::uint32_t sw,
-                           PortId out) {
-        const std::uint64_t structure =
-            cfg.placement == BufferPlacement::Output ? out : 0;
-        return (static_cast<std::uint64_t>(stage) *
-                    topo.switchesPerStage() +
-                sw) *
-                   topo.radix() +
-               structure;
-    };
-
-    std::vector<Move> &moves = moveScratch;
-    moves.clear();
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            // A stuck arbiter issues no grants at all this cycle.
-            if (injector.arbiterStuck(componentOf(stage, idx),
-                                      currentCycle))
-                continue;
-            auto can_send = [&, stage](PortId, PortId out,
-                                       const Packet &pkt) {
-                if (cfg.protocol == FlowControl::Discarding)
-                    return true; // transmit blindly; receiver may drop
-                if (stage == last_stage)
-                    return true; // sinks always accept
-                const StageCoord next =
-                    topo.nextStageInput(stage, idx, out);
-                // A delayed credit makes the downstream switch
-                // report "full" even when space exists: transfers
-                // stall but no packet is lost.
-                if (injector.creditDelayed(
-                        componentOf(stage + 1, next.switchIndex),
-                        currentCycle))
-                    return false;
-                const PortId next_out =
-                    topo.outputPortFor(pkt.dest, stage + 1);
-                std::uint32_t held = 0;
-                if (shared_structures) {
-                    const auto found = pending.find(pending_key(
-                        stage + 1, next.switchIndex, next_out));
-                    if (found != pending.end())
-                        held = found->second;
-                }
-                return switches[stage + 1][next.switchIndex]->canAccept(
-                    next.port, next_out, pkt.lengthSlots + held);
-            };
-            // When a grant-legality audit is due, split the
-            // input-buffered switch's transmit into arbitrate +
-            // pop so the schedule itself can be checked.
-            std::vector<Packet> &sent = sentScratch;
-            if (cfg.placement == BufferPlacement::Input &&
-                auditor.due(currentCycle)) {
-                auto *sm = static_cast<SwitchModel *>(
-                    switches[stage][idx].get());
-                const GrantList grants = sm->arbitrate(can_send);
-                auditor.record(
-                    currentCycle,
-                    injector.componentName(componentOf(stage, idx)),
-                    auditGrantLegality(
-                        grants, cfg.radix, cfg.radix,
-                        sm->buffer(0).maxReadsPerCycle()));
-                sent = sm->popGranted(grants);
-            } else {
-                switches[stage][idx]->transmitInto(can_send, sent);
-            }
-            for (Packet &pkt : sent) {
-                if (shared_structures && stage != last_stage) {
-                    const StageCoord next = topo.nextStageInput(
-                        stage, idx, pkt.outPort);
-                    const PortId next_out =
-                        topo.outputPortFor(pkt.dest, stage + 1);
-                    pending[pending_key(stage + 1, next.switchIndex,
-                                        next_out)] +=
-                        pkt.lengthSlots;
-                }
-                moves.push_back(Move{stage, idx, pkt});
-            }
-        }
-    }
-
-    for (Move &move : moves) {
-        const PortId left_through = move.packet.outPort;
-        const std::size_t from =
-            componentOf(move.stage, move.switchIndex);
-        // Link faults: the packet can vanish or arrive with a
-        // flipped header bit.  The receiving side verifies the
-        // sealed checksum before using any header field, so a
-        // corrupted packet is detected and discarded — never
-        // misrouted or silently delivered.
-        if (injector.dropOnLink(from, currentCycle, move.packet)) {
-            ++counters.faultDropped;
-            traceLoss(move.packet, "drop@fault");
-            continue;
-        }
-        injector.corruptOnLink(from, currentCycle, move.packet);
-        if (injector.enabled() && !headerIntact(move.packet)) {
-            injector.recordDetectedCorruption();
-            ++counters.faultDropped;
-            traceLoss(move.packet, "drop@corrupt");
-            continue;
-        }
-        if (move.stage == last_stage) {
-            deliver(move.packet,
-                    topo.sinkFor(move.switchIndex, left_through));
-            continue;
-        }
-        const StageCoord next =
-            topo.nextStageInput(move.stage, move.switchIndex,
-                                left_through);
-        Packet pkt = move.packet;
-        pkt.outPort = topo.outputPortFor(pkt.dest, move.stage + 1);
-        ++pkt.hops;
-        SwitchUnit &target = *switches[move.stage + 1][next.switchIndex];
-        const bool accepted = target.tryReceive(next.port, pkt);
-        if (!accepted) {
-            damq_assert(cfg.protocol == FlowControl::Discarding,
-                        "blocking protocol transmitted into a full "
-                        "buffer — back-pressure check is broken");
-            ++counters.discardedInternal;
-            traceLoss(pkt, "drop@internal");
-        }
-    }
-}
-
-void
-NetworkSimulator::traceLoss(const Packet &pkt, const char *why)
-{
-    if (!telemetry)
-        return;
-    obs::PacketTracer *tr = telemetry->trace();
-    if (!tr)
-        return;
-    tr->instant(why, "pkt", currentCycle, endpointPid, pkt.source);
-    tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle, endpointPid,
-                 pkt.source);
-}
-
-void
-NetworkSimulator::generateAndInject()
-{
-    for (NodeId src = 0; src < cfg.numPorts; ++src) {
-        if (draining) {
-            // Drain mode: no new traffic, but blocked source
-            // queues keep retrying below.
-            if (cfg.protocol == FlowControl::Blocking &&
-                !sourceQueues[src].empty() &&
-                tryInject(src, sourceQueues[src].front()))
-                sourceQueues[src].pop_front();
-            continue;
-        }
-        double gen_prob = cfg.offeredLoad;
-        if (cfg.burstiness > 1.0) {
-            // Two-state on/off source: on a fraction 1/B of the
-            // time, generating at rate offered * B while on.
-            const double mean_on =
-                static_cast<double>(cfg.meanBurstCycles);
-            const double mean_off = mean_on * (cfg.burstiness - 1.0);
-            if (sourceOn[src]) {
-                if (rng.bernoulli(1.0 / mean_on))
-                    sourceOn[src] = false;
-            } else {
-                if (rng.bernoulli(1.0 / mean_off))
-                    sourceOn[src] = true;
-            }
-            gen_prob = sourceOn[src]
-                           ? cfg.offeredLoad * cfg.burstiness
-                           : 0.0;
-        }
-        if (rng.bernoulli(gen_prob)) {
-            Packet pkt;
-            pkt.id = nextPacketId++;
-            pkt.source = src;
-            pkt.dest = pattern->destinationFor(src, rng);
-            pkt.lengthSlots = 1;
-            pkt.generatedAt = currentCycle;
-            pkt.seq = nextSeq[src]++;
-            sealHeader(pkt);
-            ++counters.generated;
-            if (telemetry) {
-                if (obs::PacketTracer *tr = telemetry->trace())
-                    tr->instant("gen", "pkt", currentCycle,
-                                endpointPid, src);
-            }
-
-            if (cfg.protocol == FlowControl::Blocking) {
-                sourceQueues[src].push_back(pkt);
-            } else if (!tryInject(src, pkt)) {
-                ++counters.discardedAtEntry;
-                if (telemetry) {
-                    if (obs::PacketTracer *tr = telemetry->trace())
-                        tr->instant("drop@entry", "pkt",
-                                    currentCycle, endpointPid, src);
-                }
-            }
-        }
-
-        if (cfg.protocol == FlowControl::Blocking &&
-            !sourceQueues[src].empty()) {
-            // The link from the source delivers at most one packet
-            // per cycle, and only the head may try.
-            if (tryInject(src, sourceQueues[src].front()))
-                sourceQueues[src].pop_front();
-        }
-    }
-}
-
-bool
-NetworkSimulator::tryInject(NodeId src, Packet pkt)
-{
-    const StageCoord coord = topo.firstStageInput(src);
-    pkt.outPort = topo.outputPortFor(pkt.dest, 0);
-    pkt.injectedAt = currentCycle;
-    SwitchUnit &first = *switches[0][coord.switchIndex];
-    if (!first.canAccept(coord.port, pkt.outPort, pkt.lengthSlots))
-        return false;
-    const bool accepted = first.tryReceive(coord.port, pkt);
-    damq_assert(accepted, "canAccept/tryReceive disagree");
-    ++counters.injected;
-    if (telemetry) {
-        if (obs::PacketTracer *tr = telemetry->trace())
-            tr->asyncBegin("pkt", "pkt", pkt.id, currentCycle,
-                           endpointPid, src,
-                           detail::concat("{\"src\": ", pkt.source,
-                                          ", \"dest\": ", pkt.dest,
-                                          "}"));
-    }
-    return true;
-}
-
-void
-NetworkSimulator::deliver(const Packet &pkt, NodeId sink)
-{
-    if (pkt.dest != sink) {
-        ++counters.misrouted;
-        damq_panic("packet ", pkt.id, " for node ", pkt.dest,
-                   " delivered to node ", sink,
-                   " — omega routing is broken");
-    }
-    ++counters.delivered;
-    if (telemetry) {
-        if (obs::PacketTracer *tr = telemetry->trace())
-            tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle,
-                         endpointPid, sink);
-    }
-    if (measuring) {
-        const double latency =
-            static_cast<double>(currentCycle - pkt.injectedAt) *
-            static_cast<double>(kClocksPerNetworkCycle);
-        latencyClocks.add(latency);
-        perSourceLatency[pkt.source].add(latency);
-    }
+    damq_assert(stage < graph.omega().numStages(), "bad stage ",
+                stage);
+    damq_assert(index < graph.omega().switchesPerStage(),
+                "bad switch ", index);
+    return engine.switchUnit(graph.flatId(stage, index));
 }
 
 NetworkResult
 NetworkSimulator::run()
 {
-    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
-        step();
-
-    const NetworkCounters at_start = counters;
-    measuring = true;
-    latencyClocks.reset();
-    sourceQueueSamples.reset();
-    switchOccupancySamples.reset();
-    for (auto &stats : perSourceLatency)
-        stats.reset();
-
-    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
-        step();
-    measuring = false;
-
+    const core::SyncResult r = engine.run();
     NetworkResult result;
-    result.window = counters - at_start;
-    result.measuredCycles = cfg.common.measureCycles;
-    result.offeredLoad = cfg.offeredLoad;
-    const double denom = static_cast<double>(cfg.numPorts) *
-                         static_cast<double>(cfg.common.measureCycles);
-    result.deliveredThroughput =
-        static_cast<double>(result.window.delivered) / denom;
-    result.discardFraction =
-        result.window.generated == 0
-            ? 0.0
-            : static_cast<double>(result.window.discarded()) /
-                  static_cast<double>(result.window.generated);
-    result.latencyClocks = latencyClocks;
-    result.avgSourceQueueLen = sourceQueueSamples.mean();
-    result.avgSwitchOccupancy = switchOccupancySamples.mean();
-
-    // Jain fairness over the per-source mean latencies.
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    std::size_t active = 0;
-    double worst = 0.0;
-    for (const RunningStats &stats : perSourceLatency) {
-        if (stats.count() == 0)
-            continue;
-        const double mean = stats.mean();
-        sum += mean;
-        sum_sq += mean * mean;
-        worst = std::max(worst, mean);
-        ++active;
-    }
-    result.latencyFairness =
-        active == 0 || sum_sq == 0.0
-            ? 1.0
-            : sum * sum / (static_cast<double>(active) * sum_sq);
-    result.worstSourceLatency = worst;
-
-    if (telemetry)
-        telemetry->writeFiles();
+    result.window = r.window;
+    result.measuredCycles = r.measuredCycles;
+    result.deliveredThroughput = r.deliveredThroughput;
+    result.offeredLoad = r.offeredLoad;
+    result.discardFraction = r.discardFraction;
+    result.latencyClocks = r.latency;
+    result.avgSourceQueueLen = r.avgSourceQueueLen;
+    result.avgSwitchOccupancy = r.avgSwitchOccupancy;
+    result.latencyFairness = r.latencyFairness;
+    result.worstSourceLatency = r.worstSourceLatency;
     return result;
-}
-
-std::uint64_t
-NetworkSimulator::packetsInFlight() const
-{
-    std::uint64_t total = 0;
-    for (const auto &stage : switches)
-        for (const auto &sw : stage)
-            total += sw->totalPackets();
-    return total;
-}
-
-std::uint64_t
-NetworkSimulator::packetsAtSources() const
-{
-    std::uint64_t total = 0;
-    for (const auto &q : sourceQueues)
-        total += q.size();
-    return total;
-}
-
-void
-NetworkSimulator::debugValidate() const
-{
-    for (const auto &stage : switches)
-        for (const auto &sw : stage)
-            sw->debugValidate();
-}
-
-void
-NetworkSimulator::injectStructuralFaults()
-{
-    if (!injector.enabled())
-        return;
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            const std::size_t comp = componentOf(stage, idx);
-            if (!injector.rollSlotLeak(comp, currentCycle))
-                continue;
-            // Deterministic target without an extra draw.
-            const PortId input =
-                static_cast<PortId>(currentCycle % cfg.radix);
-            if (switches[stage][idx]->faultLeakSlot(input)) {
-                injector.recordFault(
-                    FaultKind::SlotLeak, comp, currentCycle,
-                    detail::concat("slot lost via input ", input));
-            }
-        }
-    }
-}
-
-void
-NetworkSimulator::runAudit()
-{
-    if (!auditor.due(currentCycle))
-        return;
-    auditor.beginAudit();
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            auditor.record(
-                currentCycle,
-                injector.componentName(componentOf(stage, idx)),
-                switches[stage][idx]->checkInvariants());
-            if (cfg.placement != BufferPlacement::Input)
-                continue;
-            // Per-source FIFO delivery order, walked in place via
-            // forEachInQueue — no queue snapshot is copied.
-            const auto *sm = static_cast<const SwitchModel *>(
-                switches[stage][idx].get());
-            for (PortId in = 0; in < sm->numPorts(); ++in) {
-                auditor.record(
-                    currentCycle,
-                    injector.componentName(componentOf(stage, idx)),
-                    auditQueueFifoOrder(sm->buffer(in)));
-            }
-        }
-    }
-    // End-to-end conservation: every packet that entered stage 0
-    // must be delivered, discarded, removed by a fault, or still
-    // buffered — nothing may vanish unaccounted.
-    const std::uint64_t accounted =
-        counters.delivered + counters.discardedInternal +
-        counters.faultDropped + packetsInFlight();
-    if (counters.injected != accounted) {
-        auditor.record(
-            currentCycle, "network",
-            {detail::concat(
-                "packet accounting broken: injected ",
-                counters.injected, " != delivered ",
-                counters.delivered, " + discarded ",
-                counters.discardedInternal, " + fault-dropped ",
-                counters.faultDropped, " + in-flight ",
-                packetsInFlight())});
-    }
-}
-
-void
-NetworkSimulator::watchdogCheck()
-{
-    if (!watchdog.enabled())
-        return;
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            const std::size_t comp = componentOf(stage, idx);
-            const std::uint64_t transmitted =
-                switches[stage][idx]->unitStats().transmitted;
-            const bool moved = transmitted != prevTransmitted[comp];
-            prevTransmitted[comp] = transmitted;
-            watchdog.observe(comp, currentCycle,
-                             switches[stage][idx]->totalPackets() > 0,
-                             moved);
-        }
-    }
-    if (watchdog.check(currentCycle,
-                       [this] { return snapshotText(); })) {
-        damq_warn("deadlock watchdog fired:\n",
-                  watchdog.diagnostic());
-    }
-}
-
-bool
-NetworkSimulator::drain(Cycle max_cycles)
-{
-    draining = true;
-    for (Cycle c = 0; c < max_cycles; ++c) {
-        if (packetsInFlight() == 0 && packetsAtSources() == 0)
-            break;
-        step();
-    }
-    draining = false;
-    return packetsInFlight() == 0 && packetsAtSources() == 0;
-}
-
-FaultReport
-NetworkSimulator::faultReport() const
-{
-    FaultReport report;
-    injector.fillReport(report);
-    auditor.fillReport(report);
-    watchdog.fillReport(report);
-    return report;
-}
-
-std::string
-NetworkSimulator::snapshotText() const
-{
-    std::ostringstream out;
-    out << "    snapshot at cycle " << currentCycle << " (seed "
-        << cfg.common.seed << ", fault seed " << cfg.common.faults.seed << ")\n";
-    for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
-        for (std::uint32_t idx = 0; idx < topo.switchesPerStage();
-             ++idx) {
-            const SwitchUnit &sw = *switches[stage][idx];
-            out << "    stage" << stage << ".sw" << idx << ": "
-                << sw.totalPackets() << " packets in "
-                << sw.totalUsedSlots() << " slots";
-            if (cfg.placement == BufferPlacement::Input) {
-                const auto *sm =
-                    static_cast<const SwitchModel *>(&sw);
-                for (PortId in = 0; in < sm->numPorts(); ++in) {
-                    for (PortId o = 0; o < sm->numPorts(); ++o) {
-                        if (const Packet *head =
-                                sm->buffer(in).peek(o))
-                            out << " in" << in << "->out" << o
-                                << " head dest " << head->dest;
-                    }
-                }
-            }
-            out << "\n";
-        }
-    }
-    return out.str();
 }
 
 } // namespace damq

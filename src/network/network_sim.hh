@@ -25,51 +25,31 @@
  * Latency is measured in clock cycles from entering the first-stage
  * buffer to leaving the last-stage switch, so the unloaded 3-stage
  * minimum is 36 clocks — matching the scale of Tables 4-6.
+ *
+ * The simulator itself is a thin policy configuration of the shared
+ * core: core::SyncEngine owns the cycle loop above, running over a
+ * core::OmegaGraph topology.  This wrapper only maps NetworkConfig
+ * onto the engine's knobs and preserves the historical public API.
  */
 
 #ifndef DAMQ_NETWORK_NETWORK_SIM_HH
 #define DAMQ_NETWORK_NETWORK_SIM_HH
 
 #include <cstdint>
-#include <deque>
-#include <memory>
-#include <optional>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
-#include "common/random.hh"
 #include "common/types.hh"
-#include "fault/fault_injector.hh"
-#include "fault/invariant_auditor.hh"
-#include "fault/watchdog.hh"
+#include "network/core/omega_graph.hh"
+#include "network/core/sim_types.hh"
+#include "network/core/sync_engine.hh"
 #include "network/omega_topology.hh"
 #include "network/sim_common.hh"
 #include "network/traffic.hh"
 #include "obs/telemetry.hh"
-#include "queueing/buffer_model.hh"
-#include "stats/histogram.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/switch_unit.hh"
 
 namespace damq {
-
-/** How a full downstream buffer is handled (Section 4). */
-enum class FlowControl
-{
-    Discarding, ///< packets entering a full buffer are dropped
-    Blocking    ///< the transmitter is held off by back-pressure
-};
-
-/** Human-readable protocol name. */
-const char *flowControlName(FlowControl protocol);
-
-/** Parse a case-insensitive protocol name; nullopt on bad input. */
-std::optional<FlowControl> tryFlowControlFromString(
-    const std::string &name);
-
-/** Parse a case-insensitive protocol name; fatal on bad input. */
-FlowControl flowControlFromString(const std::string &name);
 
 /** Everything that defines one simulation run. */
 struct NetworkConfig
@@ -100,28 +80,6 @@ struct NetworkConfig
 
     /** Seed, warmup/measure schedule, faults, telemetry. */
     SimCommonConfig common;
-};
-
-/** Monotone event counters (lifetime totals). */
-struct NetworkCounters
-{
-    std::uint64_t generated = 0;        ///< packets created by sources
-    std::uint64_t injected = 0;         ///< entered a stage-0 buffer
-    std::uint64_t delivered = 0;        ///< reached their sink
-    std::uint64_t discardedAtEntry = 0; ///< dropped entering stage 0
-    std::uint64_t discardedInternal = 0;///< dropped at a later stage
-    std::uint64_t misrouted = 0;        ///< delivered to wrong sink (bug!)
-    std::uint64_t faultDropped = 0;     ///< removed by injected faults
-                                        ///  (drops + detected corruptions)
-
-    /** Element-wise difference (for measurement windows). */
-    NetworkCounters operator-(const NetworkCounters &rhs) const;
-
-    /** All discards. */
-    std::uint64_t discarded() const
-    {
-        return discardedAtEntry + discardedInternal;
-    }
 };
 
 /** Results of one measured run. */
@@ -169,16 +127,16 @@ class NetworkSimulator
     explicit NetworkSimulator(const NetworkConfig &config);
 
     /** Advance one network cycle. */
-    void step();
+    void step() { engine.step(); }
 
     /** Warm up, measure, and summarize. */
     NetworkResult run();
 
     /** Current network cycle. */
-    Cycle now() const { return currentCycle; }
+    Cycle now() const { return engine.now(); }
 
     /** Topology in use. */
-    const OmegaTopology &topology() const { return topo; }
+    const OmegaTopology &topology() const { return graph.omega(); }
 
     /** Configuration in use. */
     const NetworkConfig &config() const { return cfg; }
@@ -187,16 +145,25 @@ class NetworkSimulator
     SwitchUnit &switchAt(std::uint32_t stage, std::uint32_t index);
 
     /** Lifetime counters since construction. */
-    const NetworkCounters &lifetime() const { return counters; }
+    const NetworkCounters &lifetime() const
+    {
+        return engine.lifetime();
+    }
 
     /** Packets currently buffered inside switches. */
-    std::uint64_t packetsInFlight() const;
+    std::uint64_t packetsInFlight() const
+    {
+        return engine.packetsInFlight();
+    }
 
     /** Packets currently waiting in source queues. */
-    std::uint64_t packetsAtSources() const;
+    std::uint64_t packetsAtSources() const
+    {
+        return engine.packetsAtSources();
+    }
 
     /** Validate every buffer's invariants (tests). */
-    void debugValidate() const;
+    void debugValidate() const { engine.debugValidate(); }
 
     /**
      * Stop generating and step until the network and source queues
@@ -204,16 +171,19 @@ class NetworkSimulator
      * drained — at which point the blocking protocol must satisfy
      * injected == delivered + faultDropped exactly.
      */
-    bool drain(Cycle max_cycles);
+    bool drain(Cycle max_cycles) { return engine.drain(max_cycles); }
 
     /** Injection/detection/audit/watchdog summary so far. */
-    FaultReport faultReport() const;
+    FaultReport faultReport() const { return engine.faultReport(); }
 
     /** The telemetry bundle, or nullptr when telemetry is off. */
-    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
+    obs::Telemetry *telemetryOrNull()
+    {
+        return engine.telemetryOrNull();
+    }
     const obs::Telemetry *telemetryOrNull() const
     {
-        return telemetry.get();
+        return engine.telemetryOrNull();
     }
 
     /**
@@ -221,96 +191,15 @@ class NetworkSimulator
      * head-of-line destinations in stable (stage, index) order,
      * with both seeds echoed.
      */
-    std::string snapshotText() const;
+    std::string snapshotText() const { return engine.snapshotText(); }
 
   private:
-    /** Build the telemetry bundle when the config enables it. */
-    void setupTelemetry();
-
-    /** Trace a packet lost in flight: close its flow, mark @p why. */
-    void traceLoss(const Packet &pkt, const char *why);
-
-    /** Per-cycle structural faults (slot leaks). */
-    void injectStructuralFaults();
-
-    /** Steps 1-3: arbitrate, pop, deliver. */
-    void moveTrafficForward();
-
-    /** Step 4: generate and inject at the sources. */
-    void generateAndInject();
-
-    /** Periodic invariant + accounting audit. */
-    void runAudit();
-
-    /** Per-cycle watchdog bookkeeping and trip check. */
-    void watchdogCheck();
-
-    /** Injector/watchdog handle of switch (stage, index). */
-    std::size_t componentOf(std::uint32_t stage,
-                            std::uint32_t index) const
-    {
-        return static_cast<std::size_t>(stage) *
-                   topo.switchesPerStage() +
-               index;
-    }
-
-    /** Offer @p pkt to stage 0; returns true if accepted. */
-    bool tryInject(NodeId src, Packet pkt);
-
-    /** Record a packet leaving the last stage. */
-    void deliver(const Packet &pkt, NodeId sink);
+    /** Map the public config onto the shared engine's knobs. */
+    static core::SyncConfig syncConfigOf(const NetworkConfig &config);
 
     NetworkConfig cfg;
-    OmegaTopology topo;
-    Random rng;
-    std::unique_ptr<TrafficPattern> pattern;
-
-    /** switches[stage][index] */
-    std::vector<std::vector<std::unique_ptr<SwitchUnit>>> switches;
-
-    /** Per-source backlog (used by the blocking protocol only). */
-    std::vector<std::deque<Packet>> sourceQueues;
-
-    FaultInjector injector;
-    InvariantAuditor auditor;
-    DeadlockWatchdog watchdog;
-    std::vector<std::uint64_t> prevTransmitted; ///< per component
-    std::vector<std::uint32_t> nextSeq;         ///< per source
-
-    Cycle currentCycle = 0;
-    PacketId nextPacketId = 0;
-    NetworkCounters counters;
-
-    /** One in-flight hop: the packet and the switch it left. */
-    struct Move
-    {
-        std::uint32_t stage;
-        std::uint32_t switchIndex;
-        Packet packet; ///< outPort = local output it left through
-    };
-
-    // Per-cycle scratch storage, reused every moveTrafficForward()
-    // call so the steady-state cycle loop never touches the
-    // allocator (reserved at construction).
-    std::vector<Move> moveScratch;
-    std::vector<Packet> sentScratch;
-    std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;
-
-    /**
-     * Telemetry bundle, or nullptr when cfg.common.telemetry is
-     * disabled — every hook below is a branch on this pointer, so
-     * the disabled hot path is unchanged.
-     */
-    std::unique_ptr<obs::Telemetry> telemetry;
-    std::int64_t endpointPid = 0; ///< trace pid of the sources/sinks
-
-    bool draining = false;
-    bool measuring = false;
-    RunningStats latencyClocks;
-    RunningStats sourceQueueSamples;
-    RunningStats switchOccupancySamples;
-    std::vector<RunningStats> perSourceLatency;
-    std::vector<bool> sourceOn; ///< bursty sources: in a burst now?
+    core::OmegaGraph graph; ///< must outlive (so precede) engine
+    core::SyncEngine engine;
 };
 
 } // namespace damq

@@ -2,50 +2,31 @@
 
 namespace damq {
 
-std::vector<SweepPoint>
-sweepLoads(const NetworkConfig &config, const std::vector<double> &loads)
-{
-    std::vector<SweepPoint> curve;
-    curve.reserve(loads.size());
-    for (const double load : loads) {
-        NetworkConfig point = config;
-        point.offeredLoad = load;
-        NetworkSimulator sim(point);
-        const NetworkResult result = sim.run();
+// One definition of each sweep per simulator family, so the many
+// benches and tests that sweep loads share object code.
 
-        SweepPoint sp;
-        sp.offeredLoad = load;
-        sp.deliveredThroughput = result.deliveredThroughput;
-        sp.avgLatencyClocks = result.latencyClocks.mean();
-        sp.p99LatencyClocks = result.latencyClocks.mean() +
-                              2.33 * result.latencyClocks.stddev();
-        sp.discardFraction = result.discardFraction;
-        curve.push_back(sp);
-    }
-    return curve;
-}
+template std::vector<SweepPoint> sweepLoads(
+    const NetworkConfig &, const std::vector<double> &);
+template std::vector<SweepPoint> sweepLoads(
+    const MeshConfig &, const std::vector<double> &);
+template std::vector<SweepPoint> sweepLoads(
+    const TorusConfig &, const std::vector<double> &);
+template std::vector<SweepPoint> sweepLoads(
+    const CutThroughConfig &, const std::vector<double> &);
+template std::vector<SweepPoint> sweepLoads(
+    const VarLenConfig &, const std::vector<double> &);
 
-SaturationSummary
-measureSaturation(const NetworkConfig &config)
-{
-    NetworkConfig full = config;
-    full.offeredLoad = 1.0;
-    NetworkSimulator sim(full);
-    const NetworkResult result = sim.run();
+template SaturationSummary measureSaturation(const NetworkConfig &);
+template SaturationSummary measureSaturation(const MeshConfig &);
+template SaturationSummary measureSaturation(const TorusConfig &);
+template SaturationSummary measureSaturation(
+    const CutThroughConfig &);
+template SaturationSummary measureSaturation(const VarLenConfig &);
 
-    SaturationSummary summary;
-    summary.saturationThroughput = result.deliveredThroughput;
-    summary.saturatedLatencyClocks = result.latencyClocks.mean();
-    return summary;
-}
-
-double
-latencyAtLoad(const NetworkConfig &config, double load)
-{
-    NetworkConfig point = config;
-    point.offeredLoad = load;
-    NetworkSimulator sim(point);
-    return sim.run().latencyClocks.mean();
-}
+template double latencyAtLoad(const NetworkConfig &, double);
+template double latencyAtLoad(const MeshConfig &, double);
+template double latencyAtLoad(const TorusConfig &, double);
+template double latencyAtLoad(const CutThroughConfig &, double);
+template double latencyAtLoad(const VarLenConfig &, double);
 
 } // namespace damq

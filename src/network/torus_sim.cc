@@ -1,23 +1,23 @@
-#include "network/mesh_sim.hh"
+#include "network/torus_sim.hh"
 
 #include "common/logging.hh"
 
 namespace damq {
 
-const MeshConfig &
-MeshSimulator::validated(const MeshConfig &config)
+const TorusConfig &
+TorusSimulator::validated(const TorusConfig &config)
 {
     damq_assert(config.width >= 2 && config.height >= 2,
-                "mesh needs at least 2x2 nodes");
+                "torus needs at least 2x2 nodes");
     if (config.traffic == "transpose") {
         damq_assert(config.width == config.height,
-                    "transpose traffic needs a square mesh");
+                    "transpose traffic needs a square torus");
     }
     return config;
 }
 
 core::SyncConfig
-MeshSimulator::syncConfigOf(const MeshConfig &config)
+TorusSimulator::syncConfigOf(const TorusConfig &config)
 {
     core::SyncConfig sync;
     sync.placement = BufferPlacement::Input;
@@ -30,32 +30,32 @@ MeshSimulator::syncConfigOf(const MeshConfig &config)
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = config.width;
     sync.offeredLoad = config.offeredLoad;
-    sync.latencyUnitScale = 1.0; // mesh latency is in cycles
-    sync.accountingScope = "mesh";
+    sync.latencyUnitScale = 1.0; // torus latency is in cycles
+    sync.accountingScope = "torus";
     sync.common = config.common;
     return sync;
 }
 
-MeshSimulator::MeshSimulator(const MeshConfig &config)
-    : cfg(validated(config)), grid(config.width, config.height),
-      engine(grid, syncConfigOf(config))
+TorusSimulator::TorusSimulator(const TorusConfig &config)
+    : cfg(validated(config)), ring(config.width, config.height),
+      engine(ring, syncConfigOf(config))
 {
 }
 
 std::pair<NodeId, PortId>
-MeshSimulator::neighbor(NodeId node, PortId out) const
+TorusSimulator::neighbor(NodeId node, PortId out) const
 {
     if (out == kLocal)
         damq_panic("neighbor() of the local port");
-    const core::HopTarget next = grid.hop(node, out);
+    const core::HopTarget next = ring.hop(node, out);
     return {next.switchId, next.inputPort};
 }
 
-MeshResult
-MeshSimulator::run()
+TorusResult
+TorusSimulator::run()
 {
     const core::SyncResult r = engine.run();
-    MeshResult result;
+    TorusResult result;
     result.window = r.window;
     result.measuredCycles = r.measuredCycles;
     result.deliveredThroughput = r.deliveredThroughput;

@@ -1,29 +1,28 @@
 /**
  * @file
- * A 2D-mesh point-to-point network of n x n switches — the
- * multicomputer setting the ComCoBB coprocessor was built for
- * (Section 1: "communication through point-to-point dedicated
- * links in multicomputers relies on communication coprocessors
- * with a small number of ports").
+ * A 2D-torus point-to-point network: the mesh of mesh_sim.hh with
+ * wraparound links in both dimensions.
  *
- * Every node is a 5-port switch (four mesh directions plus a local
- * host port, mirroring the ComCoBB's 4+1 geometry) with the chosen
- * input-buffer organization.  Routing is dimension-order (XY),
- * which is deadlock-free on a mesh under the blocking protocol.
- * Time advances in synchronized cycles like the Omega simulator:
- * one packet per link per cycle.
+ * Wraparound halves the mean distance (from ~2n/3 to ~n/2 per
+ * dimension) and removes the mesh's center/edge load asymmetry, so
+ * the same buffer-organization comparison (FIFO vs DAMQ vs the
+ * statically allocated variants) runs under more uniform channel
+ * load.  Routing is dimension-order with shortest-way ring
+ * traversal (ties go east/north).
  *
- * Latency is counted in cycles from entering the source node's
- * local input buffer to being delivered through the destination's
- * local output port: a packet at Manhattan distance d takes d + 1
- * cycles unloaded.
+ * Minimal DOR on rings without virtual channels can deadlock under
+ * blocking flow control (a cycle of packets each holding the
+ * buffer the next one needs all the way around a ring), so the
+ * torus defaults to the paper's discarding protocol.  Blocking
+ * runs remain available for short experiments — the deadlock
+ * watchdog in SimCommonConfig will flag a wedged ring.
  *
- * The simulator is a thin policy configuration of the shared core:
- * core::SyncEngine runs the cycle loop over a core::MeshTopology.
+ * Like the other simulators, this is a thin policy configuration of
+ * core::SyncEngine over a core::TorusTopology.
  */
 
-#ifndef DAMQ_NETWORK_MESH_SIM_HH
-#define DAMQ_NETWORK_MESH_SIM_HH
+#ifndef DAMQ_NETWORK_TORUS_SIM_HH
+#define DAMQ_NETWORK_TORUS_SIM_HH
 
 #include <cstdint>
 #include <string>
@@ -33,23 +32,28 @@
 #include "network/core/grid_topology.hh"
 #include "network/core/sim_types.hh"
 #include "network/core/sync_engine.hh"
-#include "network/network_sim.hh"
+#include "network/mesh_sim.hh"
 #include "network/sim_common.hh"
-#include "network/traffic.hh"
 #include "obs/telemetry.hh"
-#include "stats/running_stats.hh"
 #include "switchsim/switch_model.hh"
 
 namespace damq {
 
-/** Configuration of a mesh run. */
-struct MeshConfig
+/** Configuration of a torus run. */
+struct TorusConfig
 {
     std::uint32_t width = 8;
     std::uint32_t height = 8;
     BufferType bufferType = BufferType::Damq;
     std::uint32_t slotsPerBuffer = 5; ///< divisible by 5 for SAMQ/SAFC
-    FlowControl protocol = FlowControl::Blocking;
+
+    /**
+     * Discarding by default: minimal dimension-order routing on
+     * wraparound rings without virtual channels is not
+     * deadlock-free under blocking (see file docs).
+     */
+    FlowControl protocol = FlowControl::Discarding;
+
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
     std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
@@ -60,30 +64,21 @@ struct MeshConfig
     SimCommonConfig common;
 };
 
-/** Results of one mesh run. */
-struct MeshResult
-{
-    NetworkCounters window;
-    Cycle measuredCycles = 0;
-    double deliveredThroughput = 0.0; ///< packets/cycle/node
-    double offeredLoad = 0.0;
-    double discardFraction = 0.0;
-    RunningStats latencyCycles; ///< in network cycles
-    double avgHops = 0.0;
-};
+/** Torus runs report the same quantities as mesh runs. */
+using TorusResult = MeshResult;
 
-/** The mesh simulator. */
-class MeshSimulator
+/** The torus simulator. */
+class TorusSimulator
 {
   public:
-    /** Build the mesh for @p config (input buffering only). */
-    explicit MeshSimulator(const MeshConfig &config);
+    /** Build the torus for @p config (input buffering only). */
+    explicit TorusSimulator(const TorusConfig &config);
 
     /** Advance one cycle. */
     void step() { engine.step(); }
 
     /** Warm up, measure, summarize. */
-    MeshResult run();
+    TorusResult run();
 
     /** Current cycle. */
     Cycle now() const { return engine.now(); }
@@ -137,27 +132,27 @@ class MeshSimulator
     /** Deterministic per-node occupancy snapshot. */
     std::string snapshotText() const { return engine.snapshotText(); }
 
-    /** XY-routing decision: output port at @p node for @p dest. */
+    /** Shortest-way DOR decision: output port at @p node. */
     PortId routeFrom(NodeId node, NodeId dest) const
     {
-        return grid.route(node, dest);
+        return ring.route(node, dest);
     }
 
     /** Neighbor of @p node through @p out, and its input port. */
     std::pair<NodeId, PortId> neighbor(NodeId node, PortId out) const;
 
   private:
-    /** Assert the mesh-specific config constraints up front. */
-    static const MeshConfig &validated(const MeshConfig &config);
+    /** Assert the torus-specific config constraints up front. */
+    static const TorusConfig &validated(const TorusConfig &config);
 
     /** Map the public config onto the shared engine's knobs. */
-    static core::SyncConfig syncConfigOf(const MeshConfig &config);
+    static core::SyncConfig syncConfigOf(const TorusConfig &config);
 
-    MeshConfig cfg;
-    core::MeshTopology grid; ///< must outlive (so precede) engine
+    TorusConfig cfg;
+    core::TorusTopology ring; ///< must outlive (so precede) engine
     core::SyncEngine engine;
 };
 
 } // namespace damq
 
-#endif // DAMQ_NETWORK_MESH_SIM_HH
+#endif // DAMQ_NETWORK_TORUS_SIM_HH

@@ -38,23 +38,21 @@ LengthDistribution::mean() const
 }
 
 VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
-    : cfg(config), topo(config.numPorts, config.radix),
-      rng(config.common.seed),
+    : core::SimEngine(config.common), cfg(config),
+      topo(config.numPorts, config.radix),
+      traffic(core::makeTrafficPattern(
+                  config.traffic, config.numPorts,
+                  config.hotSpotFraction, /*transpose_side=*/0,
+                  config.common.seed),
+              config.numPorts,
+              // offeredSlotLoad = P(generate) * E[length]; invert
+              // for the per-cycle packet generation probability.
+              std::min(1.0, config.offeredSlotLoad /
+                                config.lengths.mean()),
+              /*burstiness=*/1.0, /*mean_burst_cycles=*/1),
       sourceQueues(config.numPorts),
       sourceLinkBusyUntil(config.numPorts, 0)
 {
-    if (cfg.traffic == "hotspot") {
-        pattern = std::make_unique<HotSpotTraffic>(
-            cfg.numPorts, cfg.hotSpotFraction, NodeId{0});
-    } else {
-        pattern = makeTraffic(cfg.traffic, cfg.numPorts, cfg.common.seed);
-    }
-
-    // offeredSlotLoad = P(generate) * E[length]; invert for the
-    // per-cycle packet generation probability.
-    packetGenProbability =
-        std::min(1.0, cfg.offeredSlotLoad / cfg.lengths.mean());
-
     switches.resize(topo.numStages());
     linkState.resize(topo.numStages());
     for (std::uint32_t stage = 0; stage < topo.numStages(); ++stage) {
@@ -71,20 +69,16 @@ VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
         }
     }
 
-    setupTelemetry();
+    initTelemetry();
 }
 
 void
-VarLenNetworkSimulator::setupTelemetry()
+VarLenNetworkSimulator::configureTelemetry(obs::Telemetry &t)
 {
-    if (!cfg.common.telemetry.enabled())
-        return;
-    telemetry = std::make_unique<obs::Telemetry>(cfg.common.telemetry);
-
     // Same trace row layout as NetworkSimulator: one process per
     // stage plus an "endpoints" pseudo-process.
     endpointPid = static_cast<std::int64_t>(topo.numStages());
-    obs::PacketTracer *tracer = telemetry->trace();
+    obs::PacketTracer *tracer = t.trace();
     if (tracer) {
         for (std::uint32_t stage = 0; stage < topo.numStages();
              ++stage)
@@ -101,7 +95,7 @@ VarLenNetworkSimulator::setupTelemetry()
                     const std::int64_t tid =
                         static_cast<std::int64_t>(idx) * cfg.radix +
                         port;
-                    telemetry->attachProbe(
+                    t.attachProbe(
                         buffer,
                         detail::concat("s", stage, ".sw", idx, ".in",
                                        port),
@@ -114,7 +108,7 @@ VarLenNetworkSimulator::setupTelemetry()
         }
     }
 
-    telemetry->addSampleHook([this]() {
+    t.addSampleHook([this]() {
         obs::MetricRegistry &m = telemetry->metrics();
         m.gauge("net.generated")
             .set(static_cast<double>(generated));
@@ -168,16 +162,10 @@ VarLenNetworkSimulator::markReadBusy(std::uint32_t stage,
 }
 
 void
-VarLenNetworkSimulator::step()
+VarLenNetworkSimulator::phaseAdvance()
 {
-    ++currentCycle;
-    if (telemetry)
-        telemetry->beginCycle(currentCycle);
     completeTransfers();
     arbitrateAndLaunch();
-    generateAndInject();
-    if (telemetry)
-        telemetry->endCycle();
 }
 
 void
@@ -282,14 +270,14 @@ VarLenNetworkSimulator::arbitrateAndLaunch()
 }
 
 void
-VarLenNetworkSimulator::generateAndInject()
+VarLenNetworkSimulator::phaseInject()
 {
     for (NodeId src = 0; src < cfg.numPorts; ++src) {
-        if (rng.bernoulli(packetGenProbability)) {
+        if (traffic.shouldGenerate(src, rng)) {
             Packet pkt;
             pkt.id = nextPacketId++;
             pkt.source = src;
-            pkt.dest = pattern->destinationFor(src, rng);
+            pkt.dest = traffic.destinationFor(src, rng);
             pkt.lengthSlots = cfg.lengths.sample(rng);
             pkt.generatedAt = currentCycle;
             sourceQueues[src].push_back(pkt);
@@ -341,34 +329,30 @@ VarLenNetworkSimulator::generateAndInject()
     }
 }
 
-VarLenResult
-VarLenNetworkSimulator::run()
+void
+VarLenNetworkSimulator::beginMeasurement()
 {
-    for (Cycle c = 0; c < cfg.common.warmupCycles; ++c)
-        step();
-
-    measuring = true;
     windowDeliveredPackets = 0;
     windowDeliveredSlots = 0;
     windowGenerated = 0;
     latencyClocks.reset();
-    for (Cycle c = 0; c < cfg.common.measureCycles; ++c)
-        step();
-    measuring = false;
+}
+
+VarLenResult
+VarLenNetworkSimulator::run()
+{
+    runSchedule();
 
     VarLenResult result;
     result.generatedPackets = windowGenerated;
     result.deliveredPackets = windowDeliveredPackets;
     result.deliveredSlots = windowDeliveredSlots;
-    result.measuredCycles = cfg.common.measureCycles;
+    result.measuredCycles = common.measureCycles;
     result.deliveredSlotThroughput =
         static_cast<double>(windowDeliveredSlots) /
         (static_cast<double>(cfg.numPorts) *
-         static_cast<double>(cfg.common.measureCycles));
+         static_cast<double>(common.measureCycles));
     result.latencyClocks = latencyClocks;
-
-    if (telemetry)
-        telemetry->writeFiles();
     return result;
 }
 

@@ -21,6 +21,10 @@
  *
  * Loads and throughputs are accounted in *slots* per endpoint per
  * cycle, since a link moves one slot per cycle.
+ *
+ * The cycle loop, schedule, and telemetry plumbing come from
+ * core::SimEngine; this simulator supplies only the slot-granular
+ * transfer model as the engine's advance/inject phases.
  */
 
 #ifndef DAMQ_NETWORK_VARLEN_SIM_HH
@@ -33,6 +37,8 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "network/core/sim_engine.hh"
+#include "network/core/traffic_source.hh"
 #include "network/network_sim.hh"
 #include "network/omega_topology.hh"
 #include "network/sim_common.hh"
@@ -99,20 +105,14 @@ struct VarLenResult
 };
 
 /** The variable-length simulator. */
-class VarLenNetworkSimulator
+class VarLenNetworkSimulator final : public core::SimEngine
 {
   public:
     /** Build the network for @p config. */
     explicit VarLenNetworkSimulator(const VarLenConfig &config);
 
-    /** Advance one network cycle. */
-    void step();
-
     /** Warm up, measure, and summarize. */
     VarLenResult run();
-
-    /** Current cycle (tests). */
-    Cycle now() const { return currentCycle; }
 
     /** Packets buffered, in flight on links, or queued at sources. */
     std::uint64_t packetsEverywhere() const;
@@ -124,12 +124,11 @@ class VarLenNetworkSimulator
     /** Validate all buffer invariants (tests). */
     void debugValidate() const;
 
-    /** The telemetry bundle, or nullptr when telemetry is off. */
-    obs::Telemetry *telemetryOrNull() { return telemetry.get(); }
-    const obs::Telemetry *telemetryOrNull() const
-    {
-        return telemetry.get();
-    }
+  protected:
+    void phaseAdvance() override; ///< complete transfers, arbitrate
+    void phaseInject() override;  ///< source generation + injection
+    void beginMeasurement() override;
+    void configureTelemetry(obs::Telemetry &t) override;
 
   private:
     /** One in-progress link transfer. */
@@ -143,10 +142,8 @@ class VarLenNetworkSimulator
         Packet packet;
     };
 
-    void setupTelemetry();
     void completeTransfers();
     void arbitrateAndLaunch();
-    void generateAndInject();
 
     /** Busy-until bookkeeping for one switch. */
     struct SwitchLinkState
@@ -163,9 +160,7 @@ class VarLenNetworkSimulator
 
     VarLenConfig cfg;
     OmegaTopology topo;
-    Random rng;
-    std::unique_ptr<TrafficPattern> pattern;
-    double packetGenProbability;
+    core::TrafficSource traffic;
 
     std::vector<std::vector<std::unique_ptr<SwitchModel>>> switches;
     std::vector<std::vector<SwitchLinkState>> linkState;
@@ -173,18 +168,11 @@ class VarLenNetworkSimulator
     std::vector<Cycle> sourceLinkBusyUntil;
     std::vector<Transfer> inFlight;
 
-    Cycle currentCycle = 0;
     PacketId nextPacketId = 0;
     std::uint64_t generated = 0;
     std::uint64_t delivered = 0;
     std::uint64_t deliveredSlotsTotal = 0;
 
-    /** Telemetry bundle, or nullptr when disabled (see
-     *  NetworkSimulator::telemetry). */
-    std::unique_ptr<obs::Telemetry> telemetry;
-    std::int64_t endpointPid = 0; ///< trace pid of sources/sinks
-
-    bool measuring = false;
     std::uint64_t windowDeliveredPackets = 0;
     std::uint64_t windowDeliveredSlots = 0;
     std::uint64_t windowGenerated = 0;

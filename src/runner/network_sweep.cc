@@ -18,6 +18,14 @@ atLoad(const MeshConfig &base, double load)
     return cfg;
 }
 
+TorusConfig
+atLoad(const TorusConfig &base, double load)
+{
+    TorusConfig cfg = base;
+    cfg.offeredLoad = load;
+    return cfg;
+}
+
 CutThroughConfig
 atLoad(const CutThroughConfig &base, double load)
 {

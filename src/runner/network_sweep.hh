@@ -30,6 +30,7 @@
 #include "network/cutthrough_sim.hh"
 #include "network/mesh_sim.hh"
 #include "network/network_sim.hh"
+#include "network/torus_sim.hh"
 #include "network/varlen_sim.hh"
 #include "runner/sim_flags.hh"
 #include "runner/sweep_runner.hh"
@@ -46,6 +47,7 @@ struct SimTask
 
 using NetworkTask = SimTask<NetworkConfig>;
 using MeshTask = SimTask<MeshConfig>;
+using TorusTask = SimTask<TorusConfig>;
 using CutThroughTask = SimTask<CutThroughConfig>;
 using VarLenTask = SimTask<VarLenConfig>;
 
@@ -69,6 +71,17 @@ struct SimSweepTraits<MeshConfig>
 {
     using Simulator = MeshSimulator;
     using Result = MeshResult;
+    static std::uint64_t cycles(const Result &r)
+    {
+        return r.measuredCycles;
+    }
+};
+
+template <>
+struct SimSweepTraits<TorusConfig>
+{
+    using Simulator = TorusSimulator;
+    using Result = TorusResult;
     static std::uint64_t cycles(const Result &r)
     {
         return r.measuredCycles;
@@ -145,6 +158,9 @@ NetworkConfig atLoad(const NetworkConfig &base, double load);
 
 /** Shorthand: @p base with offeredLoad set to @p load. */
 MeshConfig atLoad(const MeshConfig &base, double load);
+
+/** Shorthand: @p base with offeredLoad set to @p load. */
+TorusConfig atLoad(const TorusConfig &base, double load);
 
 /** Shorthand: @p base with offeredLoad set to @p load. */
 CutThroughConfig atLoad(const CutThroughConfig &base, double load);

@@ -1,8 +1,84 @@
 #include "runner/sim_flags.hh"
 
+#include <cstdlib>
+#include <iostream>
+
 #include "common/logging.hh"
 
 namespace damq {
+
+const char kBufferTypeChoices[] = "fifo | samq | safc | damq | damqr";
+const char kPlacementChoices[] = "input | central | output";
+const char kFlowControlChoices[] = "blocking | discarding";
+const char kArbitrationChoices[] = "smart | dumb";
+const char kSwitchingModeChoices[] = "cut-through | store-and-forward";
+
+namespace {
+
+/** Reject `--<name> <value>`: print choices + usage, exit(1). */
+[[noreturn]] void
+badEnumValue(const ArgParser &args, const std::string &name,
+             const std::string &value, const char *what,
+             const char *choices)
+{
+    std::cerr << "error: unknown " << what << " '" << value
+              << "' for --" << name << " (expected " << choices
+              << ")\n\n"
+              << args.usage();
+    std::exit(1);
+}
+
+} // namespace
+
+BufferType
+bufferTypeOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.getString(name);
+    if (const auto type = tryBufferTypeFromString(value))
+        return *type;
+    badEnumValue(args, name, value, "buffer type",
+                 kBufferTypeChoices);
+}
+
+BufferPlacement
+placementOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.getString(name);
+    if (const auto placement = tryBufferPlacementFromString(value))
+        return *placement;
+    badEnumValue(args, name, value, "buffer placement",
+                 kPlacementChoices);
+}
+
+FlowControl
+flowControlOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.getString(name);
+    if (const auto protocol = tryFlowControlFromString(value))
+        return *protocol;
+    badEnumValue(args, name, value, "flow control",
+                 kFlowControlChoices);
+}
+
+ArbitrationPolicy
+arbitrationOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.getString(name);
+    if (const auto policy = tryArbitrationPolicyFromString(value))
+        return *policy;
+    badEnumValue(args, name, value, "arbitration policy",
+                 kArbitrationChoices);
+}
+
+SwitchingMode
+switchingModeOption(const ArgParser &args, const std::string &name)
+{
+    const std::string value = args.getString(name);
+    if (const auto mode = trySwitchingModeFromString(value))
+        return *mode;
+    badEnumValue(args, name, value, "switching mode",
+                 kSwitchingModeChoices);
+}
 
 void
 addCommonSimFlags(ArgParser &args)

@@ -23,7 +23,11 @@
 #include <string>
 
 #include "common/arg_parser.hh"
+#include "network/cutthrough_sim.hh"
 #include "network/sim_common.hh"
+#include "queueing/buffer_model.hh"
+#include "switchsim/arbiter.hh"
+#include "switchsim/switch_unit.hh"
 
 namespace damq {
 
@@ -63,6 +67,42 @@ void applyCommonSimFlags(const ArgParser &args,
  * derive per-task telemetry prefixes from sweep-task labels.
  */
 std::string sanitizeFileToken(const std::string &label);
+
+/**
+ * Canonical choice lists for the enum-valued options, so every
+ * front-end's `--help` names the same accepted spellings as the
+ * try*FromString parsers.
+ */
+extern const char kBufferTypeChoices[];    ///< fifo|samq|safc|damq|damqr
+extern const char kPlacementChoices[];     ///< input|central|output
+extern const char kFlowControlChoices[];   ///< blocking|discarding
+extern const char kArbitrationChoices[];   ///< smart|dumb
+extern const char kSwitchingModeChoices[]; ///< cut-through|store-and-forward
+
+/**
+ * Parse option @p name as a buffer type via
+ * tryBufferTypeFromString(); on bad input, print the accepted
+ * choices and the usage text to stderr and exit(1).  The other
+ * *Option() helpers below do the same for their enums.
+ */
+BufferType bufferTypeOption(const ArgParser &args,
+                            const std::string &name);
+
+/** Parse option @p name as a buffer placement (or exit(1)). */
+BufferPlacement placementOption(const ArgParser &args,
+                                const std::string &name);
+
+/** Parse option @p name as a flow-control protocol (or exit(1)). */
+FlowControl flowControlOption(const ArgParser &args,
+                              const std::string &name);
+
+/** Parse option @p name as an arbitration policy (or exit(1)). */
+ArbitrationPolicy arbitrationOption(const ArgParser &args,
+                                    const std::string &name);
+
+/** Parse option @p name as a switching mode (or exit(1)). */
+SwitchingMode switchingModeOption(const ArgParser &args,
+                                  const std::string &name);
 
 } // namespace damq
 
