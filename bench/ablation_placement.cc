@@ -61,14 +61,14 @@ runHogging(BufferPlacement placement, std::uint64_t seed)
     double heavy_share = 0.0;
     std::uint64_t share_samples = 0;
 
-    auto always = [](PortId, PortId, const Packet &) { return true; };
+    auto always = [](PortId, QueueKey, const Packet &) { return true; };
     PacketId id = 0;
     for (int cycle = 0; cycle < 30000; ++cycle) {
         // Output 0 is served only half the time (a slow consumer),
         // keeping pressure on the heavy flow.
-        auto can_send = [&](PortId input, PortId out,
+        auto can_send = [&](PortId input, QueueKey out,
                             const Packet &pkt) {
-            if (out == 0 && cycle % 2 == 0)
+            if (out.out == 0 && cycle % 2 == 0)
                 return false;
             return always(input, out, pkt);
         };

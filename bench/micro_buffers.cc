@@ -88,7 +88,7 @@ BM_Arbitrate(benchmark::State &state)
         sw.tryReceive(static_cast<PortId>(rng.below(4)),
                       makePacket(i, static_cast<PortId>(rng.below(4))));
     }
-    auto always = [](PortId, PortId, const Packet &) { return true; };
+    auto always = [](PortId, QueueKey, const Packet &) { return true; };
     PacketId id = 100;
     for (auto _ : state) {
         const GrantList grants = sw.arbitrate(always);

@@ -5,14 +5,22 @@
  * through the shared simulation core's TorusTopology instead of
  * MeshTopology.  Wraparound removes the mesh's center/edge load
  * asymmetry, so the FIFO-vs-DAMQ comparison runs under uniform
- * channel load; routing is shortest-way dimension-order, and the
- * network runs the paper's discarding protocol (minimal DOR on
- * rings is not deadlock-free under blocking without virtual
- * channels).
+ * channel load; routing is shortest-way dimension-order.
+ *
+ * Two sweeps run back to back:
+ *
+ *  - the historical discarding sweep (single VC), kept byte-stable
+ *    against its BENCH_torus.json baseline.  Discarding was the
+ *    original workaround for the ring-deadlock problem: minimal DOR
+ *    on rings is not deadlock-free under blocking with one VC;
+ *  - a blocking sweep with two dateline virtual channels per link,
+ *    which removes that workaround.  The deadlock watchdog is armed
+ *    throughout and the per-row trip count is reported — zero trips
+ *    even at saturation is the point of the exercise.
  *
  * Runs on the SweepRunner (`--threads=N`); results are identical
- * at any thread count.  Emits BENCH_torus.json and a
- * PERF_torus.json timing sidecar.
+ * at any thread count.  Emits BENCH_torus.json,
+ * BENCH_torus_blocking.json, and PERF_* timing sidecars.
  */
 
 #include <iostream>
@@ -42,10 +50,33 @@ torusConfig(BufferType type, const std::string &traffic)
     cfg.height = 8;
     cfg.bufferType = type;
     cfg.slotsPerBuffer = 5; // one slot per port's worth
+    // The historical sweep: the struct now defaults to blocking
+    // with two VCs, so pin the old single-VC discarding protocol
+    // to keep this table byte-stable against its baseline.
+    cfg.protocol = FlowControl::Discarding;
+    cfg.common.vcs = 1;
     cfg.traffic = traffic;
     cfg.common.seed = 99;
     cfg.common.warmupCycles = 2000;
     cfg.common.measureCycles = 10000;
+    return cfg;
+}
+
+TorusConfig
+blockingConfig(BufferType type, const std::string &traffic)
+{
+    TorusConfig cfg; // blocking + two dateline VCs by default
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.bufferType = type;
+    cfg.slotsPerBuffer = 10; // divisible by 10 queues (5 ports x 2 VCs)
+    cfg.traffic = traffic;
+    cfg.common.seed = 99;
+    cfg.common.warmupCycles = 2000;
+    cfg.common.measureCycles = 10000;
+    // Arm the deadlock watchdog: a wedged ring would sit motionless
+    // for this many cycles and be reported (and counted per row).
+    cfg.common.watchdogStallCycles = 1000;
     return cfg;
 }
 
@@ -84,8 +115,13 @@ main(int argc, char **argv)
                  atLoad(cfg, 1.0)});
         }
     }
-    for (TorusTask &task : tasks)
+    for (TorusTask &task : tasks) {
         applyCommonSimFlags(args, task.config.common, "torus");
+        // One slot per (port, VC) queue: keeps the SAMQ/SAFC
+        // divisibility rule satisfied under a --vcs override while
+        // leaving the default (5 slots, one VC) untouched.
+        task.config.slotsPerBuffer = 5 * task.config.common.vcs;
+    }
     const std::vector<TorusResult> results =
         runSimSweep(runner, tasks);
 
@@ -173,5 +209,137 @@ main(int argc, char **argv)
         json.endArray();
     }
     writePerfSidecar("torus", runner, taskLabels(tasks));
+
+    // --- Blocking + dateline-VC sweep --------------------------------
+
+    banner("Torus - blocking flow control with 2 dateline VCs",
+           "same fabric, no discards: dateline virtual channels "
+           "make blocking deadlock-free; watchdog armed");
+
+    std::vector<TorusTask> blocking_tasks;
+    for (const std::string &traffic : kTraffics) {
+        for (const BufferType type : kAllBufferTypes) {
+            const TorusConfig cfg = blockingConfig(type, traffic);
+            for (const double load : kLoads)
+                blocking_tasks.push_back(
+                    {detail::concat(bufferTypeName(type), "/",
+                                    traffic, "@",
+                                    formatFixed(load, 2)),
+                     atLoad(cfg, load)});
+            blocking_tasks.push_back(
+                {detail::concat(bufferTypeName(type), "/", traffic,
+                                "@saturation"),
+                 atLoad(cfg, 1.0)});
+        }
+    }
+    for (TorusTask &task : blocking_tasks) {
+        applyCommonSimFlags(args, task.config.common,
+                            "torus_blocking");
+        task.config.slotsPerBuffer = 5 * task.config.common.vcs;
+    }
+    const std::vector<TorusResult> blocking_results =
+        runSimSweep(runner, blocking_tasks);
+
+    std::uint64_t watchdog_trips = 0;
+    double blocking_ratio = 0.0;
+    std::size_t bnext = 0;
+    for (const std::string &traffic : kTraffics) {
+        TextTable table;
+        table.setHeader({"Buffer", "lat@0.10", "lat@0.25",
+                         "lat@0.40", "sat. throughput",
+                         "watchdog trips"});
+        double fifo_sat = 0.0;
+        double damq_sat = 0.0;
+        for (const BufferType type : kAllBufferTypes) {
+            table.startRow();
+            table.addCell(bufferTypeName(type));
+            std::uint64_t row_trips = 0;
+            for (std::size_t l = 0; l < 3; ++l) {
+                const TorusResult &row = blocking_results[bnext++];
+                table.addCell(
+                    formatFixed(row.latencyCycles.mean(), 2));
+                row_trips += row.watchdogTrips;
+            }
+            const TorusResult &sat_row = blocking_results[bnext++];
+            row_trips += sat_row.watchdogTrips;
+            table.addCell(
+                formatFixed(sat_row.deliveredThroughput, 3));
+            table.addCell(detail::concat(row_trips));
+            watchdog_trips += row_trips;
+            if (type == BufferType::Fifo)
+                fifo_sat = sat_row.deliveredThroughput;
+            if (type == BufferType::Damq)
+                damq_sat = sat_row.deliveredThroughput;
+        }
+        std::cout << "\n" << traffic
+                  << " traffic (blocking, 2 VCs):\n"
+                  << table.render() << "DAMQ/FIFO saturation = "
+                  << formatFixed(damq_sat / fifo_sat, 2) << "\n";
+        if (traffic == "uniform")
+            blocking_ratio = damq_sat / fifo_sat;
+    }
+    std::cout << "\ntotal watchdog trips across the blocking sweep: "
+              << watchdog_trips << " (expected 0 — the dateline VCs "
+              << "keep the rings deadlock-free)\n";
+
+    {
+        BenchJsonFile out("torus_blocking");
+        JsonWriter &json = out.json();
+        const TorusConfig base =
+            blockingConfig(BufferType::Fifo, "uniform");
+        json.key("config");
+        json.beginObject();
+        json.field("width", static_cast<std::uint64_t>(base.width));
+        json.field("height",
+                   static_cast<std::uint64_t>(base.height));
+        json.field("slotsPerBuffer",
+                   static_cast<std::uint64_t>(base.slotsPerBuffer));
+        json.field("protocol", flowControlName(base.protocol));
+        json.field("vcs",
+                   static_cast<std::uint64_t>(base.common.vcs));
+        json.field("vcPolicy", vcPolicyName(base.common.vcPolicy));
+        json.field("watchdogStallCycles",
+                   static_cast<std::uint64_t>(
+                       base.common.watchdogStallCycles));
+        json.field("seed", base.common.seed);
+        json.field("warmupCycles",
+                   static_cast<std::uint64_t>(base.common.warmupCycles));
+        json.field("measureCycles",
+                   static_cast<std::uint64_t>(base.common.measureCycles));
+        json.endObject();
+        json.field("damqOverFifoSaturation", blocking_ratio);
+        json.field("watchdogTrips", watchdog_trips);
+        json.key("rows");
+        json.beginArray();
+        std::size_t at = 0;
+        for (const std::string &traffic : kTraffics) {
+            for (const BufferType type : kAllBufferTypes) {
+                json.beginObject();
+                json.field("buffer", bufferTypeName(type));
+                json.field("traffic", traffic);
+                json.key("latencyCycles");
+                json.beginArray();
+                std::uint64_t row_trips = 0;
+                for (std::size_t l = 0; l < 3; ++l) {
+                    json.value(
+                        blocking_results[at].latencyCycles.mean());
+                    row_trips += blocking_results[at].watchdogTrips;
+                    ++at;
+                }
+                json.endArray();
+                const TorusResult &sat_row = blocking_results[at++];
+                row_trips += sat_row.watchdogTrips;
+                json.field("saturationThroughput",
+                           sat_row.deliveredThroughput);
+                json.field("saturationDiscardFraction",
+                           sat_row.discardFraction);
+                json.field("watchdogTrips", row_trips);
+                json.endObject();
+            }
+        }
+        json.endArray();
+    }
+    writePerfSidecar("torus_blocking", runner,
+                     taskLabels(blocking_tasks));
     return 0;
 }

@@ -75,7 +75,7 @@ main()
     sw.tryReceive(0, makePacket(11, 3));
     sw.tryReceive(1, makePacket(12, 1));
 
-    auto no_backpressure = [](PortId, PortId, const Packet &) {
+    auto no_backpressure = [](PortId, QueueKey, const Packet &) {
         return true;
     };
     for (int cycle = 1; cycle <= 3; ++cycle) {

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * One case-insensitive, allocation-free enum parser for every
+ * name<->value enum in the project.
+ *
+ * Each enum declares a static table of EnumName entries; both the
+ * forward map (enumValueName) and the parser (parseEnumName) walk
+ * that one table, so a spelling can never be accepted by the parser
+ * and then printed differently (or vice versa).  This replaced five
+ * hand-rolled toLower + if-chain parsers that had drifted apart in
+ * style.
+ *
+ * The parser compares ASCII case-insensitively on string_view —
+ * no temporary lower-cased std::string per lookup.
+ */
+
+#ifndef DAMQ_COMMON_ENUM_PARSE_HH
+#define DAMQ_COMMON_ENUM_PARSE_HH
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace damq {
+
+/** One accepted spelling of one enum value. */
+template <typename E>
+struct EnumName
+{
+    E value;
+    std::string_view name; ///< canonical (lower-case) spelling
+};
+
+namespace detail {
+
+/** ASCII lower-case of one character. */
+constexpr char
+asciiLower(char c)
+{
+    return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/** ASCII case-insensitive equality. */
+constexpr bool
+equalsIgnoreCase(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (asciiLower(a[i]) != asciiLower(b[i]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace detail
+
+/**
+ * Parse @p text against @p table (ASCII case-insensitive).
+ * Returns std::nullopt on an unknown name, so front-ends can print
+ * their own usage text and exit cleanly.
+ */
+template <typename E, std::size_t N>
+constexpr std::optional<E>
+parseEnumName(std::string_view text, const EnumName<E> (&table)[N])
+{
+    for (const EnumName<E> &entry : table) {
+        if (detail::equalsIgnoreCase(text, entry.name))
+            return entry.value;
+    }
+    return std::nullopt;
+}
+
+/**
+ * Canonical spelling of @p value per @p table, or @p fallback when
+ * the value is not listed (callers that enumerate exhaustively can
+ * pass nullptr and panic on it).
+ */
+template <typename E, std::size_t N>
+constexpr const char *
+enumValueName(E value, const EnumName<E> (&table)[N],
+              const char *fallback = nullptr)
+{
+    for (const EnumName<E> &entry : table) {
+        if (entry.value == value)
+            return entry.name.data();
+    }
+    return fallback;
+}
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_ENUM_PARSE_HH

@@ -29,7 +29,7 @@ InvariantAuditor::fillReport(FaultReport &report) const
 std::vector<std::string>
 auditGrantLegality(const GrantList &grants, PortId num_inputs,
                    PortId num_outputs,
-                   std::uint32_t max_reads_per_input)
+                   std::uint32_t max_reads_per_input, VcId num_vcs)
 {
     std::vector<std::string> violations;
     std::vector<std::uint32_t> per_input(num_inputs, 0);
@@ -39,6 +39,12 @@ auditGrantLegality(const GrantList &grants, PortId num_inputs,
             violations.push_back(detail::concat(
                 "grant outside switch geometry (", g.input, " -> ",
                 g.output, ")"));
+            continue;
+        }
+        if (g.vc >= num_vcs) {
+            violations.push_back(detail::concat(
+                "grant ", g.input, " -> ", g.output, " on vc ",
+                g.vc, " (switch has ", num_vcs, " VCs)"));
             continue;
         }
         ++per_input[g.input];
@@ -65,18 +71,25 @@ auditQueueFifoOrder(const BufferModel &buffer)
 {
     std::vector<std::string> violations;
     std::unordered_map<NodeId, std::uint32_t> last_seq;
-    for (PortId out = 0; out < buffer.numOutputs(); ++out) {
+    const QueueLayout layout = buffer.layout();
+    for (std::uint32_t q = 0; q < layout.numQueues(); ++q) {
+        const QueueKey key = layout.unflatten(q);
         last_seq.clear();
-        buffer.forEachInQueue(out, [&](const Packet &pkt) {
-            if (pkt.outPort != out) {
+        buffer.forEachInQueue(key, [&](const Packet &pkt) {
+            if (pkt.outPort != key.out) {
                 violations.push_back(detail::concat(
-                    "queue ", out, ": packet ", pkt.id,
+                    "queue ", q, ": packet ", pkt.id,
                     " routed to output ", pkt.outPort));
+            }
+            if (layout.vcs > 1 && pkt.vc != key.vc) {
+                violations.push_back(detail::concat(
+                    "queue ", q, ": packet ", pkt.id,
+                    " travelling on vc ", pkt.vc));
             }
             const auto found = last_seq.find(pkt.source);
             if (found != last_seq.end() && pkt.seq <= found->second) {
                 violations.push_back(detail::concat(
-                    "queue ", out, ": source ", pkt.source,
+                    "queue ", q, ": source ", pkt.source,
                     " out of FIFO order (seq ", pkt.seq,
                     " queued behind seq ", found->second, ")"));
             }

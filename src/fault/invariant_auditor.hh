@@ -90,23 +90,26 @@ class InvariantAuditor
 
 /**
  * Check one cycle's crossbar schedule: every grant inside the
- * switch geometry, at most one grant per output, and at most
- * @p max_reads_per_input grants per input (1 for single-read-port
- * buffers, n for SAFC).  Returns violation strings, empty if legal.
+ * switch geometry (including its VC, against @p num_vcs), at most
+ * one grant per *physical* output — VCs multiplex a link across
+ * cycles, never within one — and at most @p max_reads_per_input
+ * grants per input (1 for single-read-port buffers, n for SAFC).
+ * Returns violation strings, empty if legal.
  */
 std::vector<std::string> auditGrantLegality(
     const GrantList &grants, PortId num_inputs, PortId num_outputs,
-    std::uint32_t max_reads_per_input = 1);
+    std::uint32_t max_reads_per_input = 1, VcId num_vcs = 1);
 
 /**
- * Check per-output FIFO delivery order inside @p buffer: within any
- * one queue, packets from the same source must appear in strictly
- * increasing sequence order (the per-source `seq` stamped at
- * generation).  This holds for every healthy buffer organization
- * under both omega and mesh XY routing, because any two packets
- * from one source that meet in a queue travelled the same path
- * prefix.  Walks the queues in place via forEachInQueue — no
- * packet is copied.  Returns violation strings, empty when intact.
+ * Check per-queue FIFO delivery order inside @p buffer: within any
+ * one (output, VC) queue, packets from the same source must appear
+ * in strictly increasing sequence order (the per-source `seq`
+ * stamped at generation).  This holds for every healthy buffer
+ * organization under omega and grid dimension-order routing,
+ * because any two packets from one source that meet in a queue
+ * travelled the same path prefix on the same VC.  Walks the queues
+ * in place via forEachInQueue — no packet is copied.  Returns
+ * violation strings, empty when intact.
  */
 std::vector<std::string> auditQueueFifoOrder(const BufferModel &buffer);
 

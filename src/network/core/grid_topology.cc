@@ -115,6 +115,42 @@ GridTopology::switchName(SwitchId sw) const
     return detail::concat("node", sw);
 }
 
+int
+GridTopology::portDimension(PortId port) const
+{
+    switch (port) {
+      case kEast:
+      case kWest:
+        return 0;
+      case kNorth:
+      case kSouth:
+        return 1;
+      default:
+        return -1; // the local port belongs to no ring
+    }
+}
+
+bool
+GridTopology::hopCrossesDateline(SwitchId sw, PortId out) const
+{
+    if (!wrap)
+        return false;
+    const std::uint32_t x = sw % gridWidth;
+    const std::uint32_t y = sw / gridWidth;
+    switch (out) {
+      case kEast:
+        return x + 1 == gridWidth;
+      case kWest:
+        return x == 0;
+      case kNorth:
+        return y + 1 == gridHeight;
+      case kSouth:
+        return y == 0;
+      default:
+        return false;
+    }
+}
+
 std::string
 GridTopology::traceProcessName(std::int64_t pid) const
 {

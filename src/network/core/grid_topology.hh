@@ -9,8 +9,10 @@
  * additionally picks the shorter way around the ring (ties go to
  * the positive direction), which restores edge symmetry but — as
  * with any minimal DOR on rings without virtual channels — can
- * deadlock under blocking flow control; torus experiments default
- * to the discarding protocol for that reason.
+ * deadlock under blocking flow control.  The topology therefore
+ * exposes its ring geometry (portDimension / hopCrossesDateline) so
+ * the engine's dateline VC policy can break the ring cycles; torus
+ * runs default to blocking flow control with two VCs.
  *
  * Nodes are numbered row-major (node = y * width + x), matching the
  * pre-core MeshSimulator's iteration order.
@@ -77,6 +79,12 @@ class GridTopology : public Topology
     }
 
     std::string switchName(SwitchId sw) const override;
+
+    /** East/west ports ride the X rings, north/south the Y rings. */
+    int portDimension(PortId port) const override;
+
+    /** True on a torus when @p out is the ring's wraparound link. */
+    bool hopCrossesDateline(SwitchId sw, PortId out) const override;
 
     bool snapshotSkipsEmpty() const override { return true; }
 

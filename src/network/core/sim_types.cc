@@ -1,29 +1,34 @@
 #include "network/core/sim_types.hh"
 
+#include "common/enum_parse.hh"
 #include "common/logging.hh"
-#include "common/string_util.hh"
 
 namespace damq {
+
+namespace {
+
+/** Canonical spellings first; short aliases parse but never print. */
+constexpr EnumName<FlowControl> kFlowControlNames[] = {
+    {FlowControl::Discarding, "discarding"},
+    {FlowControl::Blocking, "blocking"},
+    {FlowControl::Discarding, "discard"},
+    {FlowControl::Blocking, "block"},
+};
+
+} // namespace
 
 const char *
 flowControlName(FlowControl protocol)
 {
-    switch (protocol) {
-      case FlowControl::Discarding: return "discarding";
-      case FlowControl::Blocking: return "blocking";
-    }
+    if (const char *name = enumValueName(protocol, kFlowControlNames))
+        return name;
     damq_panic("unknown FlowControl ", static_cast<int>(protocol));
 }
 
 std::optional<FlowControl>
 tryFlowControlFromString(const std::string &name)
 {
-    const std::string lower = toLower(name);
-    if (lower == "discarding" || lower == "discard")
-        return FlowControl::Discarding;
-    if (lower == "blocking" || lower == "block")
-        return FlowControl::Blocking;
-    return std::nullopt;
+    return parseEnumName(std::string_view(name), kFlowControlNames);
 }
 
 FlowControl

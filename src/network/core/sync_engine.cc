@@ -33,6 +33,7 @@ SyncEngine::makeSource(const Topology &topology,
 SyncEngine::SyncEngine(const Topology &topology,
                        const SyncConfig &config)
     : SimEngine(config.common), topo(topology), cfg(config),
+      vcAlloc(topology, config.common.vcPolicy, config.common.vcs),
       traffic(makeSource(topology, config)),
       sourceQueues(topology.numEndpoints()),
       nextSeq(topology.numEndpoints(), 0),
@@ -44,7 +45,7 @@ SyncEngine::SyncEngine(const Topology &topology,
         switches.push_back(makeSwitchUnit(
             cfg.placement, topo.portsPerSwitch(), cfg.bufferType,
             cfg.slotsPerBuffer, cfg.arbitration,
-            cfg.staleThreshold));
+            cfg.staleThreshold, cfg.common.vcs));
         // Registration order defines both the fault-plan component
         // handles and the watchdog's stable snapshot order, and
         // must equal the topology's flat SwitchId order.
@@ -189,11 +190,11 @@ SyncEngine::phaseAdvance()
         // A stuck arbiter issues no grants at all this cycle.
         if (injector.arbiterStuck(sw, currentCycle))
             continue;
-        auto can_send = [&, sw](PortId, PortId out,
+        auto can_send = [&, sw](PortId, QueueKey out_key,
                                 const Packet &pkt) {
             if (cfg.protocol == FlowControl::Discarding)
                 return true; // transmit blindly; receiver may drop
-            const HopTarget next = topo.hop(sw, out);
+            const HopTarget next = topo.hop(sw, out_key.out);
             if (next.toSink)
                 return true; // sinks always accept
             // A delayed credit makes the downstream switch report
@@ -203,6 +204,10 @@ SyncEngine::phaseAdvance()
                 return false;
             const PortId next_out =
                 topo.route(next.switchId, pkt.dest);
+            // The VC the packet will occupy on this link decides
+            // which downstream queue must have room.
+            const VcId next_vc =
+                vcAlloc.linkVc(pkt, sw, out_key.out);
             std::uint32_t held = 0;
             if (shared_structures) {
                 const auto found = pending.find(
@@ -211,7 +216,8 @@ SyncEngine::phaseAdvance()
                     held = found->second;
             }
             return switches[next.switchId]->canAccept(
-                next.inputPort, next_out, pkt.lengthSlots + held);
+                next.inputPort, QueueKey{next_out, next_vc},
+                pkt.lengthSlots + held);
         };
         // When a grant-legality audit is due, split the
         // input-buffered switch's transmit into arbitrate + pop so
@@ -227,7 +233,8 @@ SyncEngine::phaseAdvance()
                 auditGrantLegality(
                     grants, topo.portsPerSwitch(),
                     topo.portsPerSwitch(),
-                    sm->buffer(0).maxReadsPerCycle()));
+                    sm->buffer(0).maxReadsPerCycle(),
+                    cfg.common.vcs));
             sent = sm->popGranted(grants);
         } else {
             switches[sw]->transmitInto(can_send, sent);
@@ -271,6 +278,12 @@ SyncEngine::phaseAdvance()
             continue;
         }
         Packet pkt = move.packet;
+        // The link VC must be computed from the packet's state at
+        // the switch it left, before vc/inPort are rewritten for
+        // the next hop.
+        pkt.vc =
+            vcAlloc.linkVc(move.packet, move.sw, move.packet.outPort);
+        pkt.inPort = next.inputPort;
         pkt.outPort = topo.route(next.switchId, pkt.dest);
         ++pkt.hops;
         SwitchUnit &target = *switches[next.switchId];
@@ -347,6 +360,7 @@ SyncEngine::tryInject(NodeId src, Packet pkt)
 {
     const InjectPoint entry = topo.injectionPoint(src);
     pkt.outPort = topo.route(entry.switchId, pkt.dest);
+    pkt.inPort = entry.port; // injected packets start on VC 0
     pkt.injectedAt = currentCycle;
     SwitchUnit &first = *switches[entry.switchId];
     if (!first.canAccept(entry.port, pkt.outPort, pkt.lengthSlots))
@@ -581,11 +595,19 @@ SyncEngine::snapshotText() const
             << sw.totalUsedSlots() << " slots";
         if (cfg.placement == BufferPlacement::Input) {
             const auto *sm = static_cast<const SwitchModel *>(&sw);
+            const VcId vcs = cfg.common.vcs;
             for (PortId in = 0; in < sm->numPorts(); ++in) {
                 for (PortId o = 0; o < sm->numPorts(); ++o) {
-                    if (const Packet *head = sm->buffer(in).peek(o))
-                        out << " in" << in << "->out" << o
-                            << " head dest " << head->dest;
+                    for (VcId v = 0; v < vcs; ++v) {
+                        const Packet *head =
+                            sm->buffer(in).peek(QueueKey{o, v});
+                        if (!head)
+                            continue;
+                        out << " in" << in << "->out" << o;
+                        if (vcs > 1)
+                            out << ".vc" << v;
+                        out << " head dest " << head->dest;
+                    }
                 }
             }
         }

@@ -39,6 +39,7 @@
 #include "network/core/sim_types.hh"
 #include "network/core/topology.hh"
 #include "network/core/traffic_source.hh"
+#include "network/core/vc_policy.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/switch_unit.hh"
 
@@ -197,6 +198,7 @@ class SyncEngine final : public SimEngine
 
     const Topology &topo;
     SyncConfig cfg;
+    VcAllocator vcAlloc; ///< per-hop VC assignment (common.vcs VCs)
     TrafficSource traffic;
 
     /** switches[SwitchId], in the topology's flat order. */

@@ -84,6 +84,30 @@ class Topology
     /** Diagnostic name of @p sw ("stage1.sw3", "node12", ...). */
     virtual std::string switchName(SwitchId sw) const = 0;
 
+    // --- Virtual-channel geometry -----------------------------------
+    // The dateline VC policy needs to know which ports travel along
+    // which ring and where each ring's wraparound link sits.
+    // Topologies without rings keep the defaults (no dimensions, no
+    // datelines), which makes every VC policy degenerate to VC 0.
+
+    /**
+     * Ring dimension that port @p port travels along (0 = X, 1 = Y,
+     * ...), or -1 when the port is not part of a ring (delivery
+     * ports, Omega-stage links).
+     */
+    virtual int portDimension(PortId /*port*/) const { return -1; }
+
+    /**
+     * Whether the channel out of @p sw through @p out is a ring's
+     * wraparound ("dateline") link.  Always false on topologies
+     * without wraparound channels.
+     */
+    virtual bool hopCrossesDateline(SwitchId /*sw*/,
+                                    PortId /*out*/) const
+    {
+        return false;
+    }
+
     /** Whether diagnostic snapshots omit empty switches. */
     virtual bool snapshotSkipsEmpty() const { return false; }
 

@@ -1,0 +1,62 @@
+#include "network/core/vc_policy.hh"
+
+#include "common/enum_parse.hh"
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+constexpr EnumName<VcPolicy> kVcPolicyNames[] = {
+    {VcPolicy::None, "none"},
+    {VcPolicy::Dateline, "dateline"},
+};
+
+} // namespace
+
+const char *
+vcPolicyName(VcPolicy policy)
+{
+    if (const char *name = enumValueName(policy, kVcPolicyNames))
+        return name;
+    damq_panic("unknown VcPolicy ", static_cast<int>(policy));
+}
+
+std::optional<VcPolicy>
+tryVcPolicyFromString(const std::string &name)
+{
+    return parseEnumName(std::string_view(name), kVcPolicyNames);
+}
+
+namespace core {
+
+VcAllocator::VcAllocator(const Topology &topology, VcPolicy policy,
+                         VcId num_vcs)
+    : topo(topology), rule(policy), vcs(num_vcs)
+{
+    damq_assert(num_vcs >= 1, "links need at least one VC");
+}
+
+VcId
+VcAllocator::linkVc(const Packet &pkt, SwitchId sw, PortId out) const
+{
+    if (vcs <= 1 || rule == VcPolicy::None)
+        return 0;
+    const int dim = topo.portDimension(out);
+    if (dim < 0)
+        return 0; // delivery port — the sink keeps no VC queues
+    // Continue on the current VC only while travelling along the
+    // same ring; entering the fabric (inPort invalid) or turning
+    // into a new dimension restarts on VC 0.
+    VcId vc = 0;
+    if (pkt.inPort != kInvalidPort &&
+        topo.portDimension(pkt.inPort) == dim) {
+        vc = pkt.vc;
+    }
+    if (topo.hopCrossesDateline(sw, out))
+        vc = vcs - 1;
+    return vc;
+}
+
+} // namespace core
+} // namespace damq

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Virtual-channel assignment for the synchronized engine.
+ *
+ * A virtual channel multiplexes one physical link into several
+ * independently flow-controlled queues.  The engine uses them to
+ * make blocking flow control deadlock-free on wraparound rings: the
+ * *dateline* policy (Dally & Seitz) starts every packet on VC 0 and
+ * moves it to the highest VC when it crosses a ring's wraparound
+ * link.  Minimal dimension-order routing crosses each ring's wrap
+ * at most once, so the channel-dependency graph splits into a VC-0
+ * chain that never contains the wrap link and a VC-(n-1) chain that
+ * starts at it — both acyclic — with only VC-0 → VC-(n-1) edges
+ * between them.  Turning into a new dimension restarts the packet
+ * on VC 0; dimensions cannot form cycles among themselves because
+ * dimension-order routing visits them in a fixed order.
+ *
+ * The VcAllocator answers one question per hop — which VC does this
+ * packet occupy on the link out of this switch? — using only the
+ * topology's ring geometry (Topology::portDimension /
+ * hopCrossesDateline) and the packet's current VC and arrival port.
+ * Topologies without rings make every policy collapse to VC 0.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_VC_POLICY_HH
+#define DAMQ_NETWORK_CORE_VC_POLICY_HH
+
+#include <optional>
+#include <string>
+
+#include "network/core/topology.hh"
+#include "queueing/packet.hh"
+
+namespace damq {
+
+/** How packets are assigned to virtual channels, hop by hop. */
+enum class VcPolicy
+{
+    None,    ///< every packet stays on VC 0
+    Dateline ///< ring-wrap crossings escape to the highest VC
+};
+
+/** Human-readable policy name. */
+const char *vcPolicyName(VcPolicy policy);
+
+/** Parse a case-insensitive policy name; nullopt on bad input. */
+std::optional<VcPolicy> tryVcPolicyFromString(const std::string &name);
+
+namespace core {
+
+/**
+ * Per-hop VC assignment over a topology's ring geometry.  With one
+ * VC (or the None policy, or a ring-free topology) every answer is
+ * VC 0, which keeps single-VC runs byte-identical.
+ */
+class VcAllocator
+{
+  public:
+    /** @param topology must outlive the allocator.
+     *  @param policy   assignment rule.
+     *  @param num_vcs  VCs per link (>= 1). */
+    VcAllocator(const Topology &topology, VcPolicy policy,
+                VcId num_vcs);
+
+    /** VCs per link. */
+    VcId numVcs() const { return vcs; }
+
+    /** Assignment rule in use. */
+    VcPolicy policy() const { return rule; }
+
+    /**
+     * VC that @p pkt occupies on the link out of switch @p sw
+     * through port @p out.  A packet keeps its VC while it continues
+     * along the same ring, restarts on VC 0 when it enters a new
+     * dimension (pkt.inPort tells the two apart), and escapes to the
+     * highest VC on the hop that crosses the ring's dateline.
+     */
+    VcId linkVc(const Packet &pkt, SwitchId sw, PortId out) const;
+
+  private:
+    const Topology &topo;
+    VcPolicy rule;
+    VcId vcs;
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_VC_POLICY_HH

@@ -317,8 +317,9 @@ CutThroughSimulator::arbitrateBuffered()
              ++idx) {
             SwitchState &state = switches[stage][idx];
 
-            auto can_send = [&](PortId input, PortId out,
+            auto can_send = [&](PortId input, QueueKey key,
                                 const Packet &pkt) {
+                const PortId out = key.out;
                 if (state.outputFreeAt[out] > currentCycle)
                     return false;
                 const std::size_t read_idx =

@@ -63,6 +63,7 @@ MeshSimulator::run()
     result.discardFraction = r.discardFraction;
     result.latencyCycles = r.latency;
     result.avgHops = r.hops.mean();
+    result.watchdogTrips = faultReport().watchdogFired ? 1 : 0;
     return result;
 }
 

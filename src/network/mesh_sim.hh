@@ -70,6 +70,10 @@ struct MeshResult
     double discardFraction = 0.0;
     RunningStats latencyCycles; ///< in network cycles
     double avgHops = 0.0;
+
+    /** Deadlock-watchdog firings during the run (0 or 1 — the
+     *  watchdog reports each wedge once). */
+    std::uint64_t watchdogTrips = 0;
 };
 
 /** The mesh simulator. */

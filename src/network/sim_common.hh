@@ -25,6 +25,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
+#include "network/core/vc_policy.hh"
 #include "obs/telemetry.hh"
 
 namespace damq {
@@ -55,6 +56,22 @@ struct SimCommonConfig
     /** Watchdog threshold: cycles of buffered-but-motionless
      *  traffic before it fires (0 = off). */
     Cycle watchdogStallCycles = 0;
+
+    /**
+     * Virtual channels per link (>= 1).  One VC reproduces the
+     * historical single-queue-per-output behaviour bit for bit;
+     * more than one requires input buffering (the per-VC queues
+     * live in the input buffers) and is honoured only by the
+     * synchronized engines.
+     */
+    VcId vcs = 1;
+
+    /**
+     * How packets are assigned to VCs when vcs > 1.  Dateline (the
+     * default) is what makes blocking flow control deadlock-free on
+     * torus rings; it degenerates to VC 0 on ring-free topologies.
+     */
+    VcPolicy vcPolicy = VcPolicy::Dateline;
 
     /**
      * Telemetry plan (defaults to everything off).  When disabled

@@ -12,10 +12,13 @@
  *
  * Minimal DOR on rings without virtual channels can deadlock under
  * blocking flow control (a cycle of packets each holding the
- * buffer the next one needs all the way around a ring), so the
- * torus defaults to the paper's discarding protocol.  Blocking
- * runs remain available for short experiments — the deadlock
- * watchdog in SimCommonConfig will flag a wedged ring.
+ * buffer the next one needs all the way around a ring).  Earlier
+ * revisions worked around that by defaulting the torus to the
+ * discarding protocol; the engine now breaks the ring cycles with
+ * dateline virtual channels instead, so the torus defaults to
+ * blocking flow control with two VCs per link.  Discarding and
+ * single-VC blocking runs remain available — the deadlock watchdog
+ * in SimCommonConfig will flag a wedged ring.
  *
  * Like the other simulators, this is a thin policy configuration of
  * core::SyncEngine over a core::TorusTopology.
@@ -45,14 +48,18 @@ struct TorusConfig
     std::uint32_t width = 8;
     std::uint32_t height = 8;
     BufferType bufferType = BufferType::Damq;
-    std::uint32_t slotsPerBuffer = 5; ///< divisible by 5 for SAMQ/SAFC
+
+    /** SAMQ/SAFC need this divisible by the queue count — 5 ports
+     *  x common.vcs VCs (10 with the default two VCs). */
+    std::uint32_t slotsPerBuffer = 10;
 
     /**
-     * Discarding by default: minimal dimension-order routing on
-     * wraparound rings without virtual channels is not
-     * deadlock-free under blocking (see file docs).
+     * Blocking by default: the dateline VC assignment (two VCs in
+     * `common`) makes minimal dimension-order routing on the
+     * wraparound rings deadlock-free, so the torus no longer needs
+     * the historical discarding workaround (see file docs).
      */
-    FlowControl protocol = FlowControl::Discarding;
+    FlowControl protocol = FlowControl::Blocking;
 
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
@@ -60,8 +67,17 @@ struct TorusConfig
     double hotSpotFraction = 0.05;
     double offeredLoad = 0.3; ///< packets/cycle/node
 
-    /** Seed, warmup/measure schedule, faults, telemetry. */
-    SimCommonConfig common;
+    /** Seed, warmup/measure schedule, faults, telemetry — with two
+     *  dateline VCs per link (the deadlock-freedom escape VCs). */
+    SimCommonConfig common = defaultCommon();
+
+    /** The torus-specific SimCommonConfig defaults: two VCs. */
+    static SimCommonConfig defaultCommon()
+    {
+        SimCommonConfig common;
+        common.vcs = 2;
+        return common;
+    }
 };
 
 /** Torus runs report the same quantities as mesh runs. */

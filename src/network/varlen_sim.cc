@@ -216,8 +216,9 @@ VarLenNetworkSimulator::arbitrateAndLaunch()
             SwitchModel &sw = *switches[stage][idx];
             SwitchLinkState &links = linkState[stage][idx];
 
-            auto can_send = [&](PortId input, PortId out,
+            auto can_send = [&](PortId input, QueueKey key,
                                 const Packet &pkt) {
+                const PortId out = key.out;
                 if (links.outputBusyUntil[out] > currentCycle)
                     return false;
                 if (!readPortFree(stage, idx, input, out))

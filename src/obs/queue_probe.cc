@@ -35,7 +35,7 @@ QueueProbe::onEnqueue(const BufferModel &buffer, const Packet &pkt)
 }
 
 void
-QueueProbe::onDequeue(const BufferModel &buffer, PortId out,
+QueueProbe::onDequeue(const BufferModel &buffer, QueueKey key,
                       const Packet &pkt)
 {
     dequeues.inc();
@@ -54,7 +54,7 @@ QueueProbe::onDequeue(const BufferModel &buffer, PortId out,
         tracer->complete("p" + std::to_string(pkt.id), "queue",
                          entered, wait, pid, tid,
                          "{\"pkt\": " + std::to_string(pkt.id) +
-                             ", \"out\": " + std::to_string(out) +
+                             ", \"out\": " + std::to_string(key.out) +
                              ", \"wait\": " + std::to_string(wait) +
                              "}");
     }

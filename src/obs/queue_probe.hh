@@ -61,7 +61,7 @@ class QueueProbe : public BufferProbe
 
     void onEnqueue(const BufferModel &buffer,
                    const Packet &pkt) override;
-    void onDequeue(const BufferModel &buffer, PortId out,
+    void onDequeue(const BufferModel &buffer, QueueKey key,
                    const Packet &pkt) override;
     void onClear(const BufferModel &buffer) override;
 

@@ -9,20 +9,24 @@
 namespace damq {
 
 std::unique_ptr<BufferModel>
-makeBuffer(BufferType type, PortId num_outputs,
+makeBuffer(BufferType type, QueueLayout queue_layout,
            std::uint32_t capacity_slots)
 {
     switch (type) {
       case BufferType::Fifo:
-        return std::make_unique<FifoBuffer>(num_outputs, capacity_slots);
+        return std::make_unique<FifoBuffer>(queue_layout,
+                                            capacity_slots);
       case BufferType::Samq:
-        return std::make_unique<SamqBuffer>(num_outputs, capacity_slots);
+        return std::make_unique<SamqBuffer>(queue_layout,
+                                            capacity_slots);
       case BufferType::Safc:
-        return std::make_unique<SafcBuffer>(num_outputs, capacity_slots);
+        return std::make_unique<SafcBuffer>(queue_layout,
+                                            capacity_slots);
       case BufferType::Damq:
-        return std::make_unique<DamqBuffer>(num_outputs, capacity_slots);
+        return std::make_unique<DamqBuffer>(queue_layout,
+                                            capacity_slots);
       case BufferType::DamqR:
-        return std::make_unique<DamqReservedBuffer>(num_outputs,
+        return std::make_unique<DamqReservedBuffer>(queue_layout,
                                                     capacity_slots);
     }
     damq_panic("unknown BufferType ", static_cast<int>(type));

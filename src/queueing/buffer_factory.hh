@@ -13,12 +13,13 @@
 namespace damq {
 
 /**
- * Construct a buffer of the given organization.  For SAMQ/SAFC the
- * slot count must divide evenly by @p num_outputs (fatal otherwise,
+ * Construct a buffer of the given organization and queue layout (a
+ * bare output count means one VC).  For SAMQ/SAFC the slot count
+ * must divide evenly by the number of queues (fatal otherwise,
  * matching the paper's "even number of slots" restriction).
  */
 std::unique_ptr<BufferModel> makeBuffer(BufferType type,
-                                        PortId num_outputs,
+                                        QueueLayout queue_layout,
                                         std::uint32_t capacity_slots);
 
 } // namespace damq

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 
+#include "common/enum_parse.hh"
 #include "common/logging.hh"
-#include "common/string_util.hh"
 
 namespace damq {
+
+namespace {
+
+constexpr EnumName<BufferType> kBufferTypeNames[] = {
+    {BufferType::Fifo, "fifo"},   {BufferType::Samq, "samq"},
+    {BufferType::Safc, "safc"},   {BufferType::Damq, "damq"},
+    {BufferType::DamqR, "damqr"},
+};
+
+} // namespace
 
 const char *
 bufferTypeName(BufferType type)
@@ -23,18 +33,7 @@ bufferTypeName(BufferType type)
 std::optional<BufferType>
 tryBufferTypeFromString(const std::string &name)
 {
-    const std::string lower = toLower(name);
-    if (lower == "fifo")
-        return BufferType::Fifo;
-    if (lower == "samq")
-        return BufferType::Samq;
-    if (lower == "safc")
-        return BufferType::Safc;
-    if (lower == "damq")
-        return BufferType::Damq;
-    if (lower == "damqr")
-        return BufferType::DamqR;
-    return std::nullopt;
+    return parseEnumName(std::string_view(name), kBufferTypeNames);
 }
 
 BufferType
@@ -46,21 +45,33 @@ bufferTypeFromString(const std::string &name)
                "' (expected fifo|samq|safc|damq|damqr)");
 }
 
-BufferModel::BufferModel(PortId num_outputs, std::uint32_t capacity_slots)
-    : outputs(num_outputs), capacity(capacity_slots),
-      reservedPerOut(num_outputs, 0)
+BufferModel::BufferModel(QueueLayout queue_layout,
+                         std::uint32_t capacity_slots)
+    : queues(queue_layout), capacity(capacity_slots),
+      reservedPerQueue(queue_layout.numQueues(), 0),
+      vcCensus(queue_layout.vcs, 0)
 {
-    damq_assert(num_outputs > 0, "buffer needs at least one output queue");
+    damq_assert(queues.outputs > 0,
+                "buffer needs at least one output queue");
+    damq_assert(queues.vcs > 0,
+                "buffer needs at least one virtual channel");
     damq_assert(capacity_slots > 0, "buffer needs at least one slot");
+    // The escape-slot rule's base case: with every VC empty a
+    // shared pool owes vcs - 1 slots plus one for the arriving
+    // packet, so a smaller pool could never accept anything.
+    damq_assert(capacity_slots >= queues.vcs,
+                "buffer needs at least one slot per virtual channel "
+                "(", queues.vcs, " VCs, ", capacity_slots, " slots)");
 }
 
 bool
-BufferModel::reserve(PortId out, std::uint32_t len)
+BufferModel::reserve(QueueKey key, std::uint32_t len)
 {
-    damq_assert(out < outputs, "reserve: bad output ", out);
-    if (!canAccept(out, len))
+    damq_assert(queues.contains(key), "reserve: bad queue ", key.out,
+                ".vc", key.vc);
+    if (!canAccept(key, len))
         return false;
-    reservedPerOut[out] += len;
+    reservedPerQueue[queues.flatten(key)] += len;
     reservedTotal += len;
     return true;
 }
@@ -68,28 +79,31 @@ BufferModel::reserve(PortId out, std::uint32_t len)
 void
 BufferModel::pushReserved(const Packet &pkt)
 {
-    damq_assert(pkt.outPort < outputs, "pushReserved: bad output port");
-    damq_assert(reservedPerOut[pkt.outPort] >= pkt.lengthSlots,
+    const QueueKey key{pkt.outPort, pkt.vc};
+    damq_assert(queues.contains(key), "pushReserved: bad output port");
+    damq_assert(reservedPerQueue[queues.flatten(key)] >= pkt.lengthSlots,
                 "pushReserved without a matching reserve");
-    reservedPerOut[pkt.outPort] -= pkt.lengthSlots;
+    reservedPerQueue[queues.flatten(key)] -= pkt.lengthSlots;
     reservedTotal -= pkt.lengthSlots;
     push(pkt);
 }
 
 void
-BufferModel::cancelReservation(PortId out, std::uint32_t len)
+BufferModel::cancelReservation(QueueKey key, std::uint32_t len)
 {
-    damq_assert(out < outputs, "cancelReservation: bad output ", out);
-    damq_assert(reservedPerOut[out] >= len,
+    damq_assert(queues.contains(key), "cancelReservation: bad queue ",
+                key.out, ".vc", key.vc);
+    damq_assert(reservedPerQueue[queues.flatten(key)] >= len,
                 "cancelReservation without a matching reserve");
-    reservedPerOut[out] -= len;
+    reservedPerQueue[queues.flatten(key)] -= len;
     reservedTotal -= len;
 }
 
 void
 BufferModel::clear()
 {
-    std::fill(reservedPerOut.begin(), reservedPerOut.end(), 0);
+    std::fill(reservedPerQueue.begin(), reservedPerQueue.end(), 0);
+    std::fill(vcCensus.begin(), vcCensus.end(), 0);
     reservedTotal = 0;
     if (probe)
         probe->onClear(*this);

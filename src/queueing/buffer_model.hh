@@ -11,11 +11,20 @@
  *   - admission control (`canAccept` / `push`), including space
  *     *reservations* for packets still in flight on a multi-cycle
  *     link (used by the variable-length extension);
- *   - per-output visibility (`peek` / `queueLength`) — the paper's
+ *   - per-queue visibility (`peek` / `queueLength`) — the paper's
  *     arbitration policy transmits "from the longest queue";
  *   - the read-port constraint (`maxReadsPerCycle`) that
  *     distinguishes SAFC (fully connected, n reads) from the
  *     single-read-port FIFO/SAMQ/DAMQ organizations.
+ *
+ * Queues are addressed by QueueKey (output port x virtual channel;
+ * see queue_key.hh).  The paper's evaluation is the single-VC
+ * special case: a bare PortId converts to QueueKey{out, vc 0}, so
+ * those call sites read — and behave — exactly as before.  Multi-VC
+ * layouts add one rule: a shared-pool buffer keeps one free
+ * *escape slot* per empty VC (escapeSlotsOwed), so no virtual
+ * channel can be starved of buffer space by the others — the
+ * property the dateline deadlock-freedom argument needs.
  */
 
 #ifndef DAMQ_QUEUEING_BUFFER_MODEL_HH
@@ -30,6 +39,7 @@
 
 #include "common/types.hh"
 #include "queueing/packet.hh"
+#include "queueing/queue_key.hh"
 
 namespace damq {
 
@@ -59,7 +69,12 @@ const char *bufferTypeName(BufferType type);
 std::optional<BufferType> tryBufferTypeFromString(
     const std::string &name);
 
-/** Parse a case-insensitive buffer-type name; fatal on bad input. */
+/**
+ * Parse a case-insensitive buffer-type name; fatal on bad input.
+ * @deprecated Front-ends should use tryBufferTypeFromString and
+ * report the error themselves (the runner's badEnumValue does).
+ */
+[[deprecated("use tryBufferTypeFromString")]]
 BufferType bufferTypeFromString(const std::string &name);
 
 class BufferModel;
@@ -80,8 +95,8 @@ class BufferProbe
     virtual void onEnqueue(const BufferModel &buffer,
                            const Packet &pkt) = 0;
 
-    /** @p pkt was just removed from @p buffer's queue @p out. */
-    virtual void onDequeue(const BufferModel &buffer, PortId out,
+    /** @p pkt was just removed from @p buffer's queue @p key. */
+    virtual void onDequeue(const BufferModel &buffer, QueueKey key,
                            const Packet &pkt) = 0;
 
     /** @p buffer dropped all contents (reset between runs). */
@@ -96,22 +111,35 @@ class BufferProbe
  * the pushImpl()/popImpl() of the concrete organization and then
  * notify the attached BufferProbe (if any) — the telemetry hook
  * cannot be forgotten by an implementation and costs one
- * branch-on-null when disabled.
+ * branch-on-null when disabled.  The base also tracks the per-VC
+ * packet census here, so every organization shares one definition
+ * of "this VC is empty" for the escape-slot rule.
  */
 class BufferModel
 {
   public:
-    /** @param num_outputs   queues the buffer distinguishes.
+    /** @param queue_layout   queues the buffer distinguishes
+     *                        (outputs x VCs; a bare output count
+     *                        means one VC).
      *  @param capacity_slots total storage, in slots. */
-    BufferModel(PortId num_outputs, std::uint32_t capacity_slots);
+    BufferModel(QueueLayout queue_layout, std::uint32_t capacity_slots);
 
     virtual ~BufferModel() = default;
 
     BufferModel(const BufferModel &) = delete;
     BufferModel &operator=(const BufferModel &) = delete;
 
-    /** Number of output-port queues. */
-    PortId numOutputs() const { return outputs; }
+    /** Number of output ports the buffer distinguishes. */
+    PortId numOutputs() const { return queues.outputs; }
+
+    /** Number of virtual channels per output (1 = the paper). */
+    VcId numVcs() const { return queues.vcs; }
+
+    /** Total number of queues (outputs x VCs). */
+    std::uint32_t numQueues() const { return queues.numQueues(); }
+
+    /** Shape of the queue space. */
+    QueueLayout layout() const { return queues; }
 
     /** Total storage in slots. */
     std::uint32_t capacitySlots() const { return capacity; }
@@ -125,18 +153,23 @@ class BufferModel
     /** Committed packets currently stored. */
     virtual std::uint32_t totalPackets() const = 0;
 
+    /** Committed packets currently stored on VC @p vc. */
+    std::uint32_t vcPackets(VcId vc) const { return vcCensus[vc]; }
+
     /** True iff no committed packets are stored. */
     bool empty() const { return totalPackets() == 0; }
 
     /**
-     * Whether a packet of @p len slots routed to output @p out could
-     * be accepted right now (reservations count as occupied).
+     * Whether a packet of @p len slots routed to queue @p key could
+     * be accepted right now (reservations count as occupied, and
+     * shared-pool organizations also keep escapeSlotsOwed() slots
+     * free for the other, currently empty VCs).
      */
-    virtual bool canAccept(PortId out, std::uint32_t len) const = 0;
+    virtual bool canAccept(QueueKey key, std::uint32_t len) const = 0;
 
     /**
-     * Store @p pkt (whose outPort and lengthSlots must be set).
-     * Taken by reference: the 56-byte Packet is of ABI class MEMORY,
+     * Store @p pkt (whose outPort, vc and lengthSlots must be set).
+     * Taken by reference: the 64-byte Packet is of ABI class MEMORY,
      * so a by-value signature forces the caller to copy it into the
      * argument area right after building it field by field — a
      * second full copy plus store-forwarding stalls that measured
@@ -145,45 +178,47 @@ class BufferModel
      */
     void push(const Packet &pkt)
     {
+        ++vcCensus[pkt.vc];
         pushImpl(pkt);
         if (probe)
             probe->onEnqueue(*this, pkt);
     }
 
     /**
-     * Hold space for a packet of @p len slots bound for @p out that
-     * is still arriving (multi-cycle transfer).  Returns false if
-     * the space is not available.  Matched by pushReserved().
+     * Hold space for a packet of @p len slots bound for queue @p key
+     * that is still arriving (multi-cycle transfer).  Returns false
+     * if the space is not available.  Matched by pushReserved().
      */
-    bool reserve(PortId out, std::uint32_t len);
+    bool reserve(QueueKey key, std::uint32_t len);
 
     /** Commit a packet whose space was previously reserve()d. */
     void pushReserved(const Packet &pkt);
 
     /** Drop a reservation (e.g., the in-flight packet was killed). */
-    void cancelReservation(PortId out, std::uint32_t len);
+    void cancelReservation(QueueKey key, std::uint32_t len);
 
     /**
-     * The packet that would be transmitted next to output @p out,
+     * The packet that would be transmitted next from queue @p key,
      * or nullptr if none is visible.  For a FIFO buffer only the
      * head-of-line packet is ever visible — this is precisely the
      * head-of-line blocking the DAMQ design removes.
      */
-    virtual const Packet *peek(PortId out) const = 0;
+    virtual const Packet *peek(QueueKey key) const = 0;
 
     /**
-     * Arbitration weight for output @p out: the length, in packets,
-     * of the queue the candidate head belongs to (0 when peek(out)
+     * Arbitration weight for queue @p key: the length, in packets,
+     * of the queue the candidate head belongs to (0 when peek(key)
      * is null).  The paper's arbiter serves the longest queue.
      */
-    virtual std::uint32_t queueLength(PortId out) const = 0;
+    virtual std::uint32_t queueLength(QueueKey key) const = 0;
 
-    /** Remove and return the head packet for @p out (must exist). */
-    Packet pop(PortId out)
+    /** Remove and return the head packet of @p key (must exist). */
+    Packet pop(QueueKey key)
     {
-        Packet pkt = popImpl(out);
+        Packet pkt = popImpl(key);
+        --vcCensus[pkt.vc];
         if (probe)
-            probe->onDequeue(*this, out, pkt);
+            probe->onDequeue(*this, key, pkt);
         return pkt;
     }
 
@@ -201,12 +236,12 @@ class BufferModel
     using PacketVisitor = std::function<void(const Packet &)>;
 
     /**
-     * Visit every packet queued for output @p out, oldest first,
-     * without copying them out of the buffer.  The periodic
-     * invariant audits walk queues this way; the previous
-     * snapshot-based audit path copied whole queues each tick.
+     * Visit every packet in queue @p key, oldest first, without
+     * copying them out of the buffer.  The periodic invariant
+     * audits walk queues this way; the previous snapshot-based
+     * audit path copied whole queues each tick.
      */
-    virtual void forEachInQueue(PortId out,
+    virtual void forEachInQueue(QueueKey key,
                                 const PacketVisitor &visit) const = 0;
 
     /**
@@ -226,7 +261,7 @@ class BufferModel
 
     /**
      * Non-fatal invariant audit: verify slot conservation, list
-     * sanity, per-output FIFO structure, and counter consistency,
+     * sanity, per-queue FIFO structure, and counter consistency,
      * returning one description per violation (empty when healthy).
      * The fault subsystem's InvariantAuditor calls this every K
      * cycles so deliberately corrupted state is *reported* instead
@@ -255,22 +290,46 @@ class BufferModel
     virtual bool faultLeakSlot() { return false; }
 
   protected:
-    /** Reserved slots bound for @p out. */
-    std::uint32_t reservedFor(PortId out) const
+    /** Reserved slots bound for queue @p key. */
+    std::uint32_t reservedFor(QueueKey key) const
     {
-        return reservedPerOut[out];
+        return reservedPerQueue[queues.flatten(key)];
+    }
+
+    /**
+     * Free slots a shared-pool admission check must leave behind
+     * for VCs *other than* @p vc that currently hold no packets:
+     * one escape slot per empty foreign VC.  Keeping the pool from
+     * dropping below this bound maintains the invariant
+     * `free >= #empty VCs` (a push onto an empty VC consumes one
+     * owed slot but also removes that VC from the empty set), so a
+     * packet arriving on any VC always finds a slot — without it, a
+     * saturated shared pool could be monopolized by one VC and
+     * deadlock a blocking torus despite the dateline.  Always 0 in
+     * single-VC layouts, where the rule degenerates to the plain
+     * free-space check.
+     */
+    std::uint32_t escapeSlotsOwed(VcId vc) const
+    {
+        if (queues.vcs <= 1)
+            return 0;
+        std::uint32_t owed = 0;
+        for (VcId w = 0; w < queues.vcs; ++w)
+            owed += w != vc && vcCensus[w] == 0 ? 1 : 0;
+        return owed;
     }
 
     /** Organization-specific store; see push(). */
     virtual void pushImpl(const Packet &pkt) = 0;
 
     /** Organization-specific removal; see pop(). */
-    virtual Packet popImpl(PortId out) = 0;
+    virtual Packet popImpl(QueueKey key) = 0;
 
   private:
-    PortId outputs;
+    QueueLayout queues;
     std::uint32_t capacity;
-    std::vector<std::uint32_t> reservedPerOut;
+    std::vector<std::uint32_t> reservedPerQueue;
+    std::vector<std::uint32_t> vcCensus;
     std::uint32_t reservedTotal = 0;
     BufferProbe *probe = nullptr;
 };

@@ -4,10 +4,11 @@
 
 namespace damq {
 
-DamqBuffer::DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots),
+DamqBuffer::DamqBuffer(QueueLayout queue_layout,
+                       std::uint32_t capacity_slots)
+    : BufferModel(queue_layout, capacity_slots),
       pool(capacity_slots),
-      queues(num_outputs)
+      queues(queue_layout.numQueues())
 {
     // Thread every slot onto the free list, in index order.
     for (SlotId s = 0; s < capacity_slots; ++s)
@@ -15,23 +16,28 @@ DamqBuffer::DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots)
 }
 
 bool
-DamqBuffer::canAccept(PortId out, std::uint32_t len) const
+DamqBuffer::canAccept(QueueKey key, std::uint32_t len) const
 {
-    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    damq_assert(layout().contains(key), "canAccept: bad queue ",
+                key.out, ".vc", key.vc);
     // Dynamic allocation: any free slot can hold any packet, so the
-    // only constraint is total free space net of reservations.
-    return freeList.slots >= len + reservedSlotsTotal();
+    // constraint is total free space net of reservations — plus, in
+    // multi-VC layouts, one escape slot per empty foreign VC so a
+    // single channel can never monopolize the pool.
+    return freeList.slots >=
+           len + reservedSlotsTotal() + escapeSlotsOwed(key.vc);
 }
 
 void
 DamqBuffer::pushImpl(const Packet &pkt)
 {
-    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    const QueueKey key{pkt.outPort, pkt.vc};
+    damq_assert(layout().contains(key), "push: bad output port");
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
     damq_assert(freeList.slots >= pkt.lengthSlots + reservedSlotsTotal(),
                 "push into a full DAMQ buffer");
 
-    ListRegs &queue = queues[pkt.outPort];
+    ListRegs &queue = queueOf(key);
     for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
         const SlotId s = removeHead(freeList);
         pool[s].headOfPacket = (i == 0);
@@ -44,10 +50,11 @@ DamqBuffer::pushImpl(const Packet &pkt)
 }
 
 const Packet *
-DamqBuffer::peek(PortId out) const
+DamqBuffer::peek(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "peek: bad output ", out);
-    const ListRegs &queue = queues[out];
+    damq_assert(layout().contains(key), "peek: bad queue ", key.out,
+                ".vc", key.vc);
+    const ListRegs &queue = queueOf(key);
     if (queue.head == kNullSlot)
         return nullptr;
     const Slot &slot = pool[queue.head];
@@ -57,20 +64,21 @@ DamqBuffer::peek(PortId out) const
 }
 
 std::uint32_t
-DamqBuffer::queueLength(PortId out) const
+DamqBuffer::queueLength(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
-    return queues[out].packets;
+    damq_assert(layout().contains(key), "queueLength: bad queue ",
+                key.out, ".vc", key.vc);
+    return queueOf(key).packets;
 }
 
 Packet
-DamqBuffer::popImpl(PortId out)
+DamqBuffer::popImpl(QueueKey key)
 {
-    const Packet *head = DamqBuffer::peek(out);
-    damq_assert(head != nullptr, "pop(", out, ") from empty queue");
+    const Packet *head = DamqBuffer::peek(key);
+    damq_assert(head != nullptr, "pop(", key.out, ") from empty queue");
     const Packet pkt = *head;
 
-    ListRegs &queue = queues[out];
+    ListRegs &queue = queueOf(key);
     for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
         const SlotId s = removeHead(queue);
         damq_assert((i == 0) == pool[s].headOfPacket,
@@ -98,21 +106,22 @@ DamqBuffer::clear()
 }
 
 void
-DamqBuffer::forEachInQueue(PortId out, const PacketVisitor &visit) const
+DamqBuffer::forEachInQueue(QueueKey key, const PacketVisitor &visit) const
 {
-    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
-    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
+    damq_assert(layout().contains(key), "forEachInQueue: bad queue ",
+                key.out, ".vc", key.vc);
+    for (SlotId s = queueOf(key).head; s != kNullSlot; s = pool[s].next) {
         if (pool[s].headOfPacket)
             visit(pool[s].packet);
     }
 }
 
 std::vector<Packet>
-DamqBuffer::snapshotQueue(PortId out) const
+DamqBuffer::snapshotQueue(QueueKey key) const
 {
     std::vector<Packet> result;
-    result.reserve(queues[out].packets);
-    forEachInQueue(out,
+    result.reserve(queueOf(key).packets);
+    forEachInQueue(key,
                    [&result](const Packet &pkt) { result.push_back(pkt); });
     return result;
 }
@@ -181,7 +190,7 @@ DamqBuffer::checkInvariants() const
                 ++heads;
             } else {
                 // Body slot: must be owed to the preceding head —
-                // this is what keeps per-output FIFO order intact.
+                // this is what keeps per-queue FIFO order intact.
                 if (tail_of_packet == 0)
                     report(label, ": slot ", s,
                            " belongs to no packet (FIFO chain "
@@ -210,14 +219,16 @@ DamqBuffer::checkInvariants() const
     walk(freeList, "free list", true);
     std::uint32_t total_packets = 0;
     std::uint32_t total_used = 0;
-    for (PortId out = 0; out < numOutputs(); ++out) {
-        const std::string label = detail::concat("queue ", out);
-        const std::uint32_t heads = walk(queues[out], label, false);
-        if (heads != queues[out].packets)
+    std::vector<std::uint32_t> vc_heads(numVcs(), 0);
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        const std::string label = detail::concat("queue ", q);
+        const std::uint32_t heads = walk(queues[q], label, false);
+        if (heads != queues[q].packets)
             report(label, ": packet counter drifted (walked ", heads,
-                   ", register holds ", queues[out].packets, ")");
+                   ", register holds ", queues[q].packets, ")");
         total_packets += heads;
-        total_used += queues[out].slots;
+        total_used += queues[q].slots;
+        vc_heads[layout().unflatten(q).vc] += heads;
     }
     for (std::size_t s = 0; s < pool.size(); ++s) {
         if (!seen[s])
@@ -230,6 +241,32 @@ DamqBuffer::checkInvariants() const
         report("slot conservation violated (", total_used, " used + ",
                freeList.slots, " free != ", capacitySlots(),
                " capacity)");
+    if (numVcs() > 1) {
+        // Multi-VC extras, gated so single-VC reports (which the
+        // corruption tests count exactly) stay word-for-word stable.
+        for (std::uint32_t q = 0; q < numQueues(); ++q) {
+            const QueueKey key = layout().unflatten(q);
+            const SlotId h = queues[q].head;
+            if (h == kNullSlot || h >= pool.size() ||
+                !pool[h].headOfPacket)
+                continue;
+            const Packet &head = pool[h].packet;
+            if (QueueKey{head.outPort, head.vc} != key)
+                report("queue ", q, ": head packet keyed to queue ",
+                       layout().flatten({head.outPort, head.vc}));
+        }
+        for (VcId vc = 0; vc < numVcs(); ++vc) {
+            if (vc_heads[vc] != vcPackets(vc))
+                report("vc ", vc, " census drifted (walked ",
+                       vc_heads[vc], ", counted ", vcPackets(vc), ")");
+        }
+        std::uint32_t empty_vcs = 0;
+        for (VcId vc = 0; vc < numVcs(); ++vc)
+            empty_vcs += vcPackets(vc) == 0 ? 1 : 0;
+        if (freeList.slots < empty_vcs)
+            report("escape-slot guarantee violated (", freeList.slots,
+                   " free < ", empty_vcs, " empty VCs)");
+    }
     return violations;
 }
 

@@ -8,16 +8,20 @@
  * through the pool exactly as in the hardware:
  *
  *   - one **free list** of unused slots, and
- *   - one FIFO list **per output port**, each addressed by a pair of
+ *   - one FIFO list **per queue**, each addressed by a pair of
  *     head/tail registers.
  *
- * A packet of L slots occupies L chained entries of its output's
- * list.  On push, slots are taken from the front of the free list
- * and appended at the tail of the destination list; on pop they are
- * returned to the back of the free list.  This mirrors the paper's
- * receive/transmit sequences (Sections 3.1-3.2) and gives dynamic
- * allocation — *any* free slot can serve *any* output — combined
- * with per-output FIFO order and a single read port.
+ * The paper keeps one queue per output port; the QueueLayout
+ * generalizes that to one per (output, virtual channel) pair — the
+ * same register structure, just more head/tail pairs — exactly the
+ * DAMQ-for-NoC extension of Jamali & Khademzadeh.  A packet of L
+ * slots occupies L chained entries of its queue's list.  On push,
+ * slots are taken from the front of the free list and appended at
+ * the tail of the destination list; on pop they are returned to the
+ * back of the free list.  This mirrors the paper's receive/transmit
+ * sequences (Sections 3.1-3.2) and gives dynamic allocation —
+ * *any* free slot can serve *any* queue — combined with per-queue
+ * FIFO order and a single read port.
  *
  * This class is the behavioral model used by the switch/network
  * simulators; the byte- and phase-accurate version with shift
@@ -39,7 +43,7 @@ class DamqBuffer final : public BufferModel
 {
   public:
     /** See BufferModel::BufferModel. */
-    DamqBuffer(PortId num_outputs, std::uint32_t capacity_slots);
+    DamqBuffer(QueueLayout queue_layout, std::uint32_t capacity_slots);
 
     std::uint32_t usedSlots() const override
     {
@@ -47,12 +51,12 @@ class DamqBuffer final : public BufferModel
     }
     std::uint32_t totalPackets() const override { return packetCount; }
 
-    bool canAccept(PortId out, std::uint32_t len) const override;
+    bool canAccept(QueueKey key, std::uint32_t len) const override;
     void pushImpl(const Packet &pkt) override;
-    const Packet *peek(PortId out) const override;
-    std::uint32_t queueLength(PortId out) const override;
-    Packet popImpl(PortId out) override;
-    void forEachInQueue(PortId out,
+    const Packet *peek(QueueKey key) const override;
+    std::uint32_t queueLength(QueueKey key) const override;
+    Packet popImpl(QueueKey key) override;
+    void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Damq; }
@@ -76,8 +80,8 @@ class DamqBuffer final : public BufferModel
      */
     void testCorruptNextPointer(SlotId s, SlotId next);
 
-    /** Packets queued for output @p out, oldest first (testing aid). */
-    std::vector<Packet> snapshotQueue(PortId out) const;
+    /** Packets in queue @p key, oldest first (testing aid). */
+    std::vector<Packet> snapshotQueue(QueueKey key) const;
 
     /** Free slots currently on the free list. */
     std::uint32_t freeSlotCount() const { return freeList.slots; }
@@ -117,9 +121,19 @@ class DamqBuffer final : public BufferModel
         slotListAppendTail(pool, list, s);
     }
 
+    /** The list registers of queue @p key. */
+    ListRegs &queueOf(QueueKey key)
+    {
+        return queues[layout().flatten(key)];
+    }
+    const ListRegs &queueOf(QueueKey key) const
+    {
+        return queues[layout().flatten(key)];
+    }
+
     std::vector<Slot> pool;
     ListRegs freeList;
-    std::vector<ListRegs> queues;
+    std::vector<ListRegs> queues; ///< out-major, QueueLayout::flatten
     std::uint32_t packetCount = 0;
 };
 

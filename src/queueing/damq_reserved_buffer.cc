@@ -4,28 +4,37 @@
 
 namespace damq {
 
-DamqReservedBuffer::DamqReservedBuffer(PortId num_outputs,
+DamqReservedBuffer::DamqReservedBuffer(QueueLayout queue_layout,
                                        std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots),
-      inner(num_outputs, capacity_slots)
+    : BufferModel(queue_layout, capacity_slots),
+      inner(queue_layout, capacity_slots)
 {
-    if (capacity_slots < num_outputs) {
+    if (capacity_slots < numQueues()) {
+        if (numVcs() > 1) {
+            damq_fatal("a reserved-slot DAMQ needs at least one slot "
+                       "per queue (got ", capacity_slots,
+                       " slots for ", numQueues(), " queues = ",
+                       numOutputs(), " outputs x ", numVcs(), " VCs)");
+        }
         damq_fatal("a reserved-slot DAMQ needs at least one slot "
                    "per output (got ", capacity_slots, " slots for ",
-                   num_outputs, " outputs)");
+                   numOutputs(), " outputs)");
     }
 }
 
 bool
-DamqReservedBuffer::canAccept(PortId out, std::uint32_t len) const
+DamqReservedBuffer::canAccept(QueueKey key, std::uint32_t len) const
 {
-    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
+    damq_assert(layout().contains(key), "canAccept: bad output ",
+                key.out);
 
     // Count the *other* queues that are empty: one slot must stay
     // available for each of them.
+    const std::uint32_t mine = layout().flatten(key);
     std::uint32_t reserved_for_others = 0;
-    for (PortId o = 0; o < numOutputs(); ++o) {
-        if (o != out && inner.queueLength(o) == 0)
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        if (q != mine &&
+            inner.queueLength(layout().unflatten(q)) == 0)
             ++reserved_for_others;
     }
     const std::uint32_t free = inner.freeSlotCount();
@@ -48,8 +57,8 @@ DamqReservedBuffer::checkInvariants() const
     std::vector<std::string> violations = inner.checkInvariants();
 
     std::uint32_t empty_queues = 0;
-    for (PortId out = 0; out < numOutputs(); ++out) {
-        if (inner.queueLength(out) == 0)
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        if (inner.queueLength(layout().unflatten(q)) == 0)
             ++empty_queues;
     }
     if (inner.freeSlotCount() < empty_queues) {

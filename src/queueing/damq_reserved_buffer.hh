@@ -8,18 +8,21 @@
  * is tree saturated and behaves just like a FIFO switch": the
  * dynamically shared pool lets one congested destination monopolize
  * every slot.  Tamir & Frazier's 1992 journal follow-up solves this
- * by *reserving* one slot per output queue out of the shared pool,
- * so no queue can ever be completely squeezed out.
+ * by *reserving* one slot per queue out of the shared pool, so no
+ * queue can ever be completely squeezed out.
  *
- * Admission rule: a packet for output `o` may take a free slot as
+ * Admission rule: a packet for queue `q` may take a free slot as
  * long as, afterwards, there is still at least one slot available
- * for every *other* output whose queue is currently empty.
- * Equivalently, the usable free space for `o` is
+ * for every *other* queue that is currently empty.  Equivalently,
+ * the usable free space for `q` is
  *
  *     freeSlots - (number of other empty queues)
  *
  * which degrades gracefully to plain DAMQ behaviour when all queues
- * are busy.  Requires capacity >= number of outputs.
+ * are busy.  Requires capacity >= number of queues.  In a multi-VC
+ * layout the per-queue reservation is strictly stronger than the
+ * shared-pool per-VC escape rule (every VC owns at least one of the
+ * reserved queues), so this organization needs no extra VC logic.
  */
 
 #ifndef DAMQ_QUEUEING_DAMQ_RESERVED_BUFFER_HH
@@ -29,13 +32,13 @@
 
 namespace damq {
 
-/** DAMQ buffer with one reserved slot per output queue. */
+/** DAMQ buffer with one reserved slot per queue. */
 class DamqReservedBuffer final : public BufferModel
 {
   public:
     /** See BufferModel::BufferModel; capacity must cover one
-     *  reserved slot per output. */
-    DamqReservedBuffer(PortId num_outputs,
+     *  reserved slot per queue. */
+    DamqReservedBuffer(QueueLayout queue_layout,
                        std::uint32_t capacity_slots);
 
     std::uint32_t usedSlots() const override
@@ -47,21 +50,21 @@ class DamqReservedBuffer final : public BufferModel
         return inner.totalPackets();
     }
 
-    bool canAccept(PortId out, std::uint32_t len) const override;
+    bool canAccept(QueueKey key, std::uint32_t len) const override;
     void pushImpl(const Packet &pkt) override { inner.push(pkt); }
-    const Packet *peek(PortId out) const override
+    const Packet *peek(QueueKey key) const override
     {
-        return inner.peek(out);
+        return inner.peek(key);
     }
-    std::uint32_t queueLength(PortId out) const override
+    std::uint32_t queueLength(QueueKey key) const override
     {
-        return inner.queueLength(out);
+        return inner.queueLength(key);
     }
-    Packet popImpl(PortId out) override { return inner.pop(out); }
-    void forEachInQueue(PortId out,
+    Packet popImpl(QueueKey key) override { return inner.pop(key); }
+    void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override
     {
-        inner.forEachInQueue(out, visit);
+        inner.forEachInQueue(key, visit);
     }
 
     BufferType type() const override { return BufferType::DamqR; }
@@ -70,9 +73,9 @@ class DamqReservedBuffer final : public BufferModel
 
     /**
      * Inner DAMQ structural checks plus this organization's extra
-     * guarantee: every currently-empty output queue must still be
-     * able to claim a free slot, so hot-spot traffic can never
-     * squeeze a destination out entirely.
+     * guarantee: every currently-empty queue must still be able to
+     * claim a free slot, so hot-spot traffic can never squeeze a
+     * destination out entirely.
      */
     std::vector<std::string> checkInvariants() const override;
 

@@ -4,68 +4,77 @@
 
 namespace damq {
 
-FifoBuffer::FifoBuffer(PortId num_outputs, std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots)
+FifoBuffer::FifoBuffer(QueueLayout queue_layout,
+                       std::uint32_t capacity_slots)
+    : BufferModel(queue_layout, capacity_slots),
+      lanes(queue_layout.vcs)
 {
 }
 
 bool
-FifoBuffer::canAccept(PortId out, std::uint32_t len) const
+FifoBuffer::canAccept(QueueKey key, std::uint32_t len) const
 {
-    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
-    return used + reservedSlotsTotal() + len <= capacitySlots();
+    damq_assert(layout().contains(key), "canAccept: bad output ",
+                key.out);
+    return used + reservedSlotsTotal() + len + escapeSlotsOwed(key.vc) <=
+           capacitySlots();
 }
 
 void
 FifoBuffer::pushImpl(const Packet &pkt)
 {
-    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    damq_assert(layout().contains({pkt.outPort, pkt.vc}),
+                "push: bad output port");
     damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
                     capacitySlots(),
                 "push into a full FIFO buffer");
-    queue.push_back(pkt);
+    lanes[pkt.vc].push_back(pkt);
     used += pkt.lengthSlots;
+    ++packetsStored;
 }
 
 const Packet *
-FifoBuffer::peek(PortId out) const
+FifoBuffer::peek(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "peek: bad output ", out);
-    if (queue.empty() || queue.front().outPort != out)
+    damq_assert(layout().contains(key), "peek: bad output ", key.out);
+    const std::deque<Packet> &lane = lanes[key.vc];
+    if (lane.empty() || lane.front().outPort != key.out)
         return nullptr;
-    return &queue.front();
+    return &lane.front();
 }
 
 std::uint32_t
-FifoBuffer::queueLength(PortId out) const
+FifoBuffer::queueLength(QueueKey key) const
 {
-    // The whole buffer is one queue; it only counts toward the
-    // output its head-of-line packet is routed to.
-    if (!FifoBuffer::peek(out))
+    // The lane is one queue; it only counts toward the output its
+    // head-of-line packet is routed to.
+    if (!FifoBuffer::peek(key))
         return 0;
-    return totalPackets();
+    return static_cast<std::uint32_t>(lanes[key.vc].size());
 }
 
 Packet
-FifoBuffer::popImpl(PortId out)
+FifoBuffer::popImpl(QueueKey key)
 {
-    const Packet *head = FifoBuffer::peek(out);
+    const Packet *head = FifoBuffer::peek(key);
     damq_assert(head != nullptr,
-                "pop(", out, ") but head-of-line is elsewhere");
+                "pop(", key.out, ") but head-of-line is elsewhere");
     Packet pkt = *head;
-    queue.pop_front();
+    lanes[key.vc].pop_front();
     used -= pkt.lengthSlots;
+    --packetsStored;
     return pkt;
 }
 
 void
-FifoBuffer::forEachInQueue(PortId out, const PacketVisitor &visit) const
+FifoBuffer::forEachInQueue(QueueKey key, const PacketVisitor &visit) const
 {
-    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
-    // One shared queue: the packets "queued for out" are the stored
-    // packets routed to it, in arrival order.
-    for (const Packet &pkt : queue) {
-        if (pkt.outPort == out)
+    damq_assert(layout().contains(key), "forEachInQueue: bad output ",
+                key.out);
+    // One shared lane per VC: the packets "queued for out" are the
+    // stored packets routed to it, in arrival order.
+    for (const Packet &pkt : lanes[key.vc]) {
+        if (pkt.outPort == key.out)
             visit(pkt);
     }
 }
@@ -74,8 +83,10 @@ void
 FifoBuffer::clear()
 {
     BufferModel::clear();
-    queue.clear();
+    for (std::deque<Packet> &lane : lanes)
+        lane.clear();
     used = 0;
+    packetsStored = 0;
 }
 
 std::vector<std::string>
@@ -83,19 +94,35 @@ FifoBuffer::checkInvariants() const
 {
     std::vector<std::string> violations;
     std::uint32_t slots = 0;
-    for (const auto &pkt : queue) {
-        if (!pkt.valid())
+    std::uint32_t packets = 0;
+    for (VcId vc = 0; vc < numVcs(); ++vc) {
+        for (const auto &pkt : lanes[vc]) {
+            if (!pkt.valid())
+                violations.push_back(detail::concat(
+                    "invalid packet ", pkt.id, " stored in FIFO"));
+            if (pkt.outPort >= numOutputs())
+                violations.push_back(detail::concat(
+                    "stored packet has bad output port ", pkt.outPort));
+            if (numVcs() > 1 && pkt.vc != vc)
+                violations.push_back(detail::concat(
+                    "packet on vc ", pkt.vc, " stored in lane ", vc));
+            slots += pkt.lengthSlots;
+            ++packets;
+        }
+        if (numVcs() > 1 &&
+            lanes[vc].size() != vcPackets(vc))
             violations.push_back(detail::concat(
-                "invalid packet ", pkt.id, " stored in FIFO"));
-        if (pkt.outPort >= numOutputs())
-            violations.push_back(detail::concat(
-                "stored packet has bad output port ", pkt.outPort));
-        slots += pkt.lengthSlots;
+                "vc ", vc, " census drifted (", lanes[vc].size(),
+                " stored, ", vcPackets(vc), " counted)"));
     }
     if (slots != used)
         violations.push_back(detail::concat(
             "FIFO slot accounting drifted (", slots, " stored, ",
             used, " counted)"));
+    if (packets != packetsStored)
+        violations.push_back(detail::concat(
+            "FIFO packet counter drifted (", packets, " stored, ",
+            packetsStored, " counted)"));
     if (used + reservedSlotsTotal() > capacitySlots())
         violations.push_back(detail::concat(
             "FIFO over capacity (", used, " used + ",

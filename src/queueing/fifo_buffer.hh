@@ -7,36 +7,39 @@
  * head-of-line blocking: only the oldest packet is ever a candidate
  * for transmission, so one packet bound for a busy output can idle
  * every other output the buffer has traffic for.
+ *
+ * With virtual channels the buffer keeps one FIFO lane per VC over
+ * the shared pool (head-of-line blocking persists *within* a lane,
+ * which is the property the torus comparison measures); with one VC
+ * the lane *is* the single queue of the paper.
  */
 
 #ifndef DAMQ_QUEUEING_FIFO_BUFFER_HH
 #define DAMQ_QUEUEING_FIFO_BUFFER_HH
 
 #include <deque>
+#include <vector>
 
 #include "queueing/buffer_model.hh"
 
 namespace damq {
 
-/** Single-queue, shared-pool input buffer. */
+/** Single-queue (per VC), shared-pool input buffer. */
 class FifoBuffer final : public BufferModel
 {
   public:
     /** See BufferModel::BufferModel. */
-    FifoBuffer(PortId num_outputs, std::uint32_t capacity_slots);
+    FifoBuffer(QueueLayout queue_layout, std::uint32_t capacity_slots);
 
     std::uint32_t usedSlots() const override { return used; }
-    std::uint32_t totalPackets() const override
-    {
-        return static_cast<std::uint32_t>(queue.size());
-    }
+    std::uint32_t totalPackets() const override { return packetsStored; }
 
-    bool canAccept(PortId out, std::uint32_t len) const override;
+    bool canAccept(QueueKey key, std::uint32_t len) const override;
     void pushImpl(const Packet &pkt) override;
-    const Packet *peek(PortId out) const override;
-    std::uint32_t queueLength(PortId out) const override;
-    Packet popImpl(PortId out) override;
-    void forEachInQueue(PortId out,
+    const Packet *peek(QueueKey key) const override;
+    std::uint32_t queueLength(QueueKey key) const override;
+    Packet popImpl(QueueKey key) override;
+    void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Fifo; }
@@ -52,8 +55,9 @@ class FifoBuffer final : public BufferModel
     bool faultLeakSlot() override;
 
   private:
-    std::deque<Packet> queue;
+    std::vector<std::deque<Packet>> lanes; ///< one FIFO per VC
     std::uint32_t used = 0;
+    std::uint32_t packetsStored = 0;
 };
 
 } // namespace damq

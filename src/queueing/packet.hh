@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "queueing/queue_key.hh"
 
 namespace damq {
 
@@ -36,6 +37,22 @@ struct Packet
      * Assigned by the router when the packet enters each switch.
      */
     PortId outPort = kInvalidPort;
+
+    /**
+     * Virtual channel the packet occupies at the current switch,
+     * i.e., the VC of the link it arrived on.  Assigned per hop by
+     * the VC allocation policy (vc_policy.hh); stays 0 in single-VC
+     * configurations, so every pre-VC simulator is unaffected.
+     */
+    VcId vc = 0;
+
+    /**
+     * Input port at the switch currently buffering the packet, or
+     * kInvalidPort at the injection source.  The dateline VC policy
+     * needs it to tell "continuing along this ring" (keep the VC)
+     * from "turning into a new dimension" (restart at VC 0).
+     */
+    PortId inPort = kInvalidPort;
 
     /** Buffer slots this packet occupies (>= 1). */
     std::uint32_t lengthSlots = 1;
@@ -63,7 +80,7 @@ struct Packet
      * Receivers verify it with headerIntact() so a link fault that
      * flips a header bit is *detected* instead of silently routing
      * the packet to the wrong sink.  Mutable per-hop fields
-     * (outPort, hops, timestamps) are excluded.  32 bits: a
+     * (outPort, inPort, vc, hops, timestamps) are excluded.  32 bits: a
      * fault-rate sweep injects ~10^5 flips per bench run, so a
      * 16-bit seal would collide (and misroute) about once per
      * sweep.

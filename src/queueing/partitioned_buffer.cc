@@ -5,27 +5,34 @@
 namespace damq {
 
 StaticallyPartitionedBuffer::StaticallyPartitionedBuffer(
-    PortId num_outputs, std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots),
-      perQueueCapacity(capacity_slots / num_outputs),
+    QueueLayout queue_layout, std::uint32_t capacity_slots)
+    : BufferModel(queue_layout, capacity_slots),
+      perQueueCapacity(capacity_slots / queue_layout.numQueues()),
       pool(capacity_slots),
-      freeLists(num_outputs),
-      queues(num_outputs),
-      packetsPerQueue(num_outputs, 0)
+      freeLists(queue_layout.numQueues()),
+      queues(queue_layout.numQueues()),
+      packetsPerQueue(queue_layout.numQueues(), 0)
 {
-    if (capacity_slots % num_outputs != 0) {
+    if (capacity_slots % numQueues() != 0) {
+        if (numVcs() > 1) {
+            damq_fatal("statically partitioned buffers need a slot "
+                       "count divisible by the number of queues (got ",
+                       capacity_slots, " slots for ", numQueues(),
+                       " queues = ", numOutputs(), " outputs x ",
+                       numVcs(), " VCs)");
+        }
         damq_fatal("statically partitioned buffers need a slot count "
                    "divisible by the number of outputs (got ",
-                   capacity_slots, " slots for ", num_outputs,
+                   capacity_slots, " slots for ", numOutputs(),
                    " outputs)");
     }
-    for (PortId q = 0; q < num_outputs; ++q)
+    for (std::uint32_t q = 0; q < numQueues(); ++q)
         threadPartitionFreeList(q);
     freeTotal = capacity_slots;
 }
 
 void
-StaticallyPartitionedBuffer::threadPartitionFreeList(PortId q)
+StaticallyPartitionedBuffer::threadPartitionFreeList(std::uint32_t q)
 {
     const SlotId base = q * perQueueCapacity;
     for (SlotId s = base; s < base + perQueueCapacity; ++s)
@@ -33,23 +40,27 @@ StaticallyPartitionedBuffer::threadPartitionFreeList(PortId q)
 }
 
 bool
-StaticallyPartitionedBuffer::canAccept(PortId out,
+StaticallyPartitionedBuffer::canAccept(QueueKey key,
                                        std::uint32_t len) const
 {
-    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
-    return freeLists[out].slots >= len + reservedFor(out);
+    damq_assert(layout().contains(key), "canAccept: bad output ",
+                key.out);
+    return freeLists[layout().flatten(key)].slots >=
+           len + reservedFor(key);
 }
 
 void
 StaticallyPartitionedBuffer::pushImpl(const Packet &pkt)
 {
-    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    const QueueKey key{pkt.outPort, pkt.vc};
+    damq_assert(layout().contains(key), "push: bad output port");
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
-    SlotListRegs &free = freeLists[pkt.outPort];
-    damq_assert(free.slots >= pkt.lengthSlots + reservedFor(pkt.outPort),
+    const std::uint32_t q = layout().flatten(key);
+    SlotListRegs &free = freeLists[q];
+    damq_assert(free.slots >= pkt.lengthSlots + reservedFor(key),
                 "push into a full ", name(), " partition");
 
-    SlotListRegs &queue = queues[pkt.outPort];
+    SlotListRegs &queue = queues[q];
     const SlotId head = slotListRemoveHead(pool, free);
     pool[head].headOfPacket = true;
     pool[head].packet = pkt;
@@ -60,15 +71,15 @@ StaticallyPartitionedBuffer::pushImpl(const Packet &pkt)
         slotListAppendTail(pool, queue, s);
     }
     freeTotal -= pkt.lengthSlots;
-    ++packetsPerQueue[pkt.outPort];
+    ++packetsPerQueue[q];
     ++packets;
 }
 
 const Packet *
-StaticallyPartitionedBuffer::peek(PortId out) const
+StaticallyPartitionedBuffer::peek(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "peek: bad output ", out);
-    const SlotListRegs &queue = queues[out];
+    damq_assert(layout().contains(key), "peek: bad output ", key.out);
+    const SlotListRegs &queue = queues[layout().flatten(key)];
     if (queue.head == kNullSlot)
         return nullptr;
     const Slot &slot = pool[queue.head];
@@ -78,23 +89,25 @@ StaticallyPartitionedBuffer::peek(PortId out) const
 }
 
 std::uint32_t
-StaticallyPartitionedBuffer::queueLength(PortId out) const
+StaticallyPartitionedBuffer::queueLength(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
-    return packetsPerQueue[out];
+    damq_assert(layout().contains(key), "queueLength: bad output ",
+                key.out);
+    return packetsPerQueue[layout().flatten(key)];
 }
 
 Packet
-StaticallyPartitionedBuffer::popImpl(PortId out)
+StaticallyPartitionedBuffer::popImpl(QueueKey key)
 {
     // Qualified call: keeps the lookup direct (and inlinable)
     // instead of re-dispatching through the vtable.
-    const Packet *head = StaticallyPartitionedBuffer::peek(out);
-    damq_assert(head != nullptr, "pop from empty queue ", out);
+    const Packet *head = StaticallyPartitionedBuffer::peek(key);
+    damq_assert(head != nullptr, "pop from empty queue ", key.out);
     const Packet pkt = *head;
 
-    SlotListRegs &queue = queues[out];
-    SlotListRegs &free = freeLists[out];
+    const std::uint32_t q = layout().flatten(key);
+    SlotListRegs &queue = queues[q];
+    SlotListRegs &free = freeLists[q];
     for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
         const SlotId s = slotListRemoveHead(pool, queue);
         damq_assert((i == 0) == pool[s].headOfPacket,
@@ -103,17 +116,19 @@ StaticallyPartitionedBuffer::popImpl(PortId out)
         slotListAppendTail(pool, free, s);
     }
     freeTotal += pkt.lengthSlots;
-    --packetsPerQueue[out];
+    --packetsPerQueue[q];
     --packets;
     return pkt;
 }
 
 void
 StaticallyPartitionedBuffer::forEachInQueue(
-    PortId out, const PacketVisitor &visit) const
+    QueueKey key, const PacketVisitor &visit) const
 {
-    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
-    for (SlotId s = queues[out].head; s != kNullSlot; s = pool[s].next) {
+    damq_assert(layout().contains(key), "forEachInQueue: bad output ",
+                key.out);
+    const std::uint32_t q = layout().flatten(key);
+    for (SlotId s = queues[q].head; s != kNullSlot; s = pool[s].next) {
         if (pool[s].headOfPacket)
             visit(pool[s].packet);
     }
@@ -125,7 +140,7 @@ StaticallyPartitionedBuffer::clear()
     BufferModel::clear();
     for (auto &slot : pool)
         slot = Slot{};
-    for (PortId q = 0; q < numOutputs(); ++q) {
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
         freeLists[q] = SlotListRegs{};
         queues[q] = SlotListRegs{};
         threadPartitionFreeList(q);
@@ -149,10 +164,11 @@ StaticallyPartitionedBuffer::checkInvariants() const
     // register must yield a report, never a crash or an endless
     // loop.  Returns the number of packet heads encountered.
     const auto walk = [&](const SlotListRegs &list,
-                          const std::string &label, PortId partition,
-                          bool is_free) {
+                          const std::string &label,
+                          std::uint32_t partition, bool is_free) {
         const SlotId lo = partition * perQueueCapacity;
         const SlotId hi = lo + perQueueCapacity;
+        const QueueKey owner = layout().unflatten(partition);
         std::uint32_t slots = 0;
         std::uint32_t heads = 0;
         std::uint32_t tail_of_packet = 0; ///< body slots still owed
@@ -183,10 +199,15 @@ StaticallyPartitionedBuffer::checkInvariants() const
                     report(label, ": packet slot chain truncated at "
                            "slot ", s, " (", tail_of_packet,
                            " body slots missing)");
-                if (pool[s].packet.outPort != partition)
+                if (pool[s].packet.outPort != owner.out)
                     report(label, ": packet ", pool[s].packet.id,
-                           " queued under output ", partition,
+                           " queued under output ", owner.out,
                            " but routed to ", pool[s].packet.outPort);
+                if (numVcs() > 1 && pool[s].packet.vc != owner.vc)
+                    report(label, ": packet ", pool[s].packet.id,
+                           " queued under vc ", owner.vc,
+                           " but travelling on vc ",
+                           pool[s].packet.vc);
                 if (!pool[s].packet.valid())
                     report(label, ": invalid packet ",
                            pool[s].packet.id, " in partition ",
@@ -221,21 +242,22 @@ StaticallyPartitionedBuffer::checkInvariants() const
 
     std::uint32_t total_packets = 0;
     std::uint32_t total_free = 0;
-    for (PortId out = 0; out < numOutputs(); ++out) {
-        walk(freeLists[out],
-             detail::concat("partition ", out, " free list"), out,
-             true);
-        const std::string label = detail::concat("queue ", out);
-        const std::uint32_t heads = walk(queues[out], label, out, false);
-        if (heads != packetsPerQueue[out])
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        walk(freeLists[q],
+             detail::concat("partition ", q, " free list"), q, true);
+        const std::string label = detail::concat("queue ", q);
+        const std::uint32_t heads = walk(queues[q], label, q, false);
+        if (heads != packetsPerQueue[q])
             report(label, ": packet counter drifted (walked ", heads,
-                   ", register holds ", packetsPerQueue[out], ")");
-        if (queues[out].slots + reservedFor(out) > perQueueCapacity)
-            report("partition ", out, " over its static bound (",
-                   queues[out].slots, " used + ", reservedFor(out),
-                   " reserved > ", perQueueCapacity, ")");
+                   ", register holds ", packetsPerQueue[q], ")");
+        if (queues[q].slots + reservedFor(layout().unflatten(q)) >
+            perQueueCapacity)
+            report("partition ", q, " over its static bound (",
+                   queues[q].slots, " used + ",
+                   reservedFor(layout().unflatten(q)), " reserved > ",
+                   perQueueCapacity, ")");
         total_packets += heads;
-        total_free += freeLists[out].slots;
+        total_free += freeLists[q].slots;
     }
     for (std::size_t s = 0; s < pool.size(); ++s) {
         if (!seen[s])

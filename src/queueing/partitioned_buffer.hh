@@ -2,9 +2,10 @@
  * @file
  * The two statically partitioned buffer organizations: SAMQ and SAFC.
  *
- * Both divide the slot pool into numOutputs() fixed partitions, one
- * per output port, and keep a FIFO queue in each.  They differ only
- * in read bandwidth:
+ * Both divide the slot pool into numQueues() fixed partitions, one
+ * per queue (output port x VC; one per output port in the paper's
+ * single-VC evaluation), and keep a FIFO queue in each.  They differ
+ * only in read bandwidth:
  *
  *  - SAMQ (statically allocated multi-queue): one read port, so the
  *    whole buffer emits at most one packet per cycle, through the
@@ -17,10 +18,11 @@
  * free and FIFO lists through per-slot pointer registers, the same
  * structure DamqBuffer uses — partition q simply owns the fixed index
  * range [q * partitionSlots(), (q + 1) * partitionSlots()), so slots
- * never migrate between outputs.  That fixed ownership is the whole
+ * never migrate between queues.  That fixed ownership is the whole
  * difference from the DAMQ: a packet can be rejected while slots
- * assigned to other outputs sit empty, which is exactly the waste
- * Tables 2-5 quantify.
+ * assigned to other queues sit empty, which is exactly the waste
+ * Tables 2-5 quantify.  (It also means a multi-VC partition *is* its
+ * VC's dedicated storage, so no shared-pool escape rule is needed.)
  */
 
 #ifndef DAMQ_QUEUEING_PARTITIONED_BUFFER_HH
@@ -38,13 +40,12 @@ class StaticallyPartitionedBuffer : public BufferModel
 {
   public:
     /**
-     * @param num_outputs    queues (= partitions).
+     * @param queue_layout   queues (= partitions).
      * @param capacity_slots total slots; must divide evenly by
-     *                       @p num_outputs (the paper's Markov
-     *                       tables only list even sizes for this
-     *                       reason).
+     *                       numQueues() (the paper's Markov tables
+     *                       only list even sizes for this reason).
      */
-    StaticallyPartitionedBuffer(PortId num_outputs,
+    StaticallyPartitionedBuffer(QueueLayout queue_layout,
                                 std::uint32_t capacity_slots);
 
     /** Slots statically assigned to each queue. */
@@ -56,12 +57,12 @@ class StaticallyPartitionedBuffer : public BufferModel
     }
     std::uint32_t totalPackets() const override { return packets; }
 
-    bool canAccept(PortId out, std::uint32_t len) const override;
+    bool canAccept(QueueKey key, std::uint32_t len) const override;
     void pushImpl(const Packet &pkt) override;
-    const Packet *peek(PortId out) const override;
-    std::uint32_t queueLength(PortId out) const override;
-    Packet popImpl(PortId out) override;
-    void forEachInQueue(PortId out,
+    const Packet *peek(QueueKey key) const override;
+    std::uint32_t queueLength(QueueKey key) const override;
+    Packet popImpl(QueueKey key) override;
+    void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 
     void clear() override;
@@ -89,7 +90,7 @@ class StaticallyPartitionedBuffer : public BufferModel
     };
 
     /** Thread partition @p q's slot range onto its free list. */
-    void threadPartitionFreeList(PortId q);
+    void threadPartitionFreeList(std::uint32_t q);
 
     std::uint32_t perQueueCapacity;
     std::vector<Slot> pool;

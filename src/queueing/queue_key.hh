@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Queue addressing for the multi-queue buffers.
+ *
+ * The paper's buffers multiplex n independent queues over one slot
+ * pool, and the original API hard-coded "queue == output port".
+ * DAMQ-based NoC routers extend the same linked-list pool to
+ * per-virtual-channel queues, so a queue is now addressed by an
+ * opaque QueueKey — output port x virtual channel — and a buffer's
+ * queue space is described by a QueueLayout.
+ *
+ * Both types convert implicitly from a bare PortId (vc = 0, one VC),
+ * so the single-VC call sites — the paper's entire evaluation — read
+ * exactly as before: `buffer.peek(out)` means queue (out, vc 0).
+ * With one virtual channel the flat queue index equals the output
+ * port, and every organization collapses to its pre-VC behavior.
+ */
+
+#ifndef DAMQ_QUEUEING_QUEUE_KEY_HH
+#define DAMQ_QUEUEING_QUEUE_KEY_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** Index of a virtual channel within one buffer. */
+using VcId = std::uint32_t;
+
+/** Address of one queue inside a buffer: output port x VC. */
+struct QueueKey
+{
+    PortId out = kInvalidPort;
+    VcId vc = 0;
+
+    constexpr QueueKey() = default;
+
+    /** Implicit from a bare output port: queue (out, vc 0). */
+    constexpr QueueKey(PortId out_port, VcId virtual_channel = 0)
+        : out(out_port), vc(virtual_channel)
+    {
+    }
+
+    /** True iff this key names a real queue. */
+    constexpr bool valid() const { return out != kInvalidPort; }
+
+    friend constexpr bool operator==(QueueKey a, QueueKey b)
+    {
+        return a.out == b.out && a.vc == b.vc;
+    }
+    friend constexpr bool operator!=(QueueKey a, QueueKey b)
+    {
+        return !(a == b);
+    }
+};
+
+/** Sentinel meaning "no queue" (e.g. an arbiter skipping a buffer). */
+inline constexpr QueueKey kInvalidQueue{};
+
+/**
+ * Shape of a buffer's queue space: one queue per (output, vc) pair.
+ * Flattening is out-major (flat = out * vcs + vc), so with one VC
+ * the flat index *is* the output port — which keeps diagnostics and
+ * invariant-report wording identical to the pre-VC code.
+ */
+struct QueueLayout
+{
+    PortId outputs = 0;
+    VcId vcs = 1;
+
+    constexpr QueueLayout() = default;
+
+    /** Implicit from an output count: single-VC layout. */
+    constexpr QueueLayout(PortId num_outputs, VcId num_vcs = 1)
+        : outputs(num_outputs), vcs(num_vcs)
+    {
+    }
+
+    /** Total number of queues. */
+    constexpr std::uint32_t numQueues() const { return outputs * vcs; }
+
+    /** Whether @p key names a queue of this layout. */
+    constexpr bool contains(QueueKey key) const
+    {
+        return key.out < outputs && key.vc < vcs;
+    }
+
+    /** Flat index of @p key (out-major). */
+    constexpr std::uint32_t flatten(QueueKey key) const
+    {
+        return key.out * vcs + key.vc;
+    }
+
+    /** Inverse of flatten(). */
+    constexpr QueueKey unflatten(std::uint32_t flat) const
+    {
+        return QueueKey{flat / vcs, flat % vcs};
+    }
+
+    friend constexpr bool operator==(QueueLayout a, QueueLayout b)
+    {
+        return a.outputs == b.outputs && a.vcs == b.vcs;
+    }
+    friend constexpr bool operator!=(QueueLayout a, QueueLayout b)
+    {
+        return !(a == b);
+    }
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_QUEUE_KEY_HH

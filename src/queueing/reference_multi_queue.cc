@@ -4,59 +4,67 @@
 
 namespace damq {
 
-ReferenceMultiQueue::ReferenceMultiQueue(PortId num_outputs,
+ReferenceMultiQueue::ReferenceMultiQueue(QueueLayout queue_layout,
                                          std::uint32_t capacity_slots)
-    : BufferModel(num_outputs, capacity_slots), nodes(capacity_slots),
-      queues(num_outputs)
+    : BufferModel(queue_layout, capacity_slots), nodes(capacity_slots),
+      queues(queue_layout.numQueues())
 {
     for (SlotId n = 0; n < capacity_slots; ++n)
         slotListAppendTail(nodes, freeNodes, n);
 }
 
 bool
-ReferenceMultiQueue::canAccept(PortId out, std::uint32_t len) const
+ReferenceMultiQueue::canAccept(QueueKey key, std::uint32_t len) const
 {
-    damq_assert(out < numOutputs(), "canAccept: bad output ", out);
-    return used + reservedSlotsTotal() + len <= capacitySlots();
+    damq_assert(layout().contains(key), "canAccept: bad output ",
+                key.out);
+    // Same admission rule as DamqBuffer, escape slots included, so
+    // the property tests can compare the two decision for decision.
+    return used + reservedSlotsTotal() + len + escapeSlotsOwed(key.vc) <=
+           capacitySlots();
 }
 
 void
 ReferenceMultiQueue::pushImpl(const Packet &pkt)
 {
-    damq_assert(pkt.outPort < numOutputs(), "push: bad output port");
+    const QueueKey key{pkt.outPort, pkt.vc};
+    damq_assert(layout().contains(key), "push: bad output port");
     damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
                     capacitySlots(),
                 "push into a full reference buffer");
     const SlotId n = slotListRemoveHead(nodes, freeNodes);
     nodes[n].packet = pkt;
-    slotListAppendTail(nodes, queues[pkt.outPort], n);
+    slotListAppendTail(nodes, queues[layout().flatten(key)], n);
     used += pkt.lengthSlots;
     ++packets;
 }
 
 const Packet *
-ReferenceMultiQueue::peek(PortId out) const
+ReferenceMultiQueue::peek(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "peek: bad output ", out);
-    if (queues[out].head == kNullSlot)
+    damq_assert(layout().contains(key), "peek: bad output ", key.out);
+    const SlotListRegs &queue = queues[layout().flatten(key)];
+    if (queue.head == kNullSlot)
         return nullptr;
-    return &nodes[queues[out].head].packet;
+    return &nodes[queue.head].packet;
 }
 
 std::uint32_t
-ReferenceMultiQueue::queueLength(PortId out) const
+ReferenceMultiQueue::queueLength(QueueKey key) const
 {
-    damq_assert(out < numOutputs(), "queueLength: bad output ", out);
-    return queues[out].slots;
+    damq_assert(layout().contains(key), "queueLength: bad output ",
+                key.out);
+    return queues[layout().flatten(key)].slots;
 }
 
 Packet
-ReferenceMultiQueue::popImpl(PortId out)
+ReferenceMultiQueue::popImpl(QueueKey key)
 {
-    damq_assert(out < numOutputs(), "pop: bad output ", out);
-    damq_assert(queues[out].head != kNullSlot,
-                "pop from empty queue ", out);
-    const SlotId n = slotListRemoveHead(nodes, queues[out]);
+    damq_assert(layout().contains(key), "pop: bad output ", key.out);
+    SlotListRegs &queue = queues[layout().flatten(key)];
+    damq_assert(queue.head != kNullSlot,
+                "pop from empty queue ", key.out);
+    const SlotId n = slotListRemoveHead(nodes, queue);
     const Packet pkt = nodes[n].packet;
     slotListAppendTail(nodes, freeNodes, n);
     used -= pkt.lengthSlots;
@@ -65,11 +73,13 @@ ReferenceMultiQueue::popImpl(PortId out)
 }
 
 void
-ReferenceMultiQueue::forEachInQueue(PortId out,
+ReferenceMultiQueue::forEachInQueue(QueueKey key,
                                     const PacketVisitor &visit) const
 {
-    damq_assert(out < numOutputs(), "forEachInQueue: bad output ", out);
-    for (SlotId n = queues[out].head; n != kNullSlot; n = nodes[n].next)
+    damq_assert(layout().contains(key), "forEachInQueue: bad output ",
+                key.out);
+    for (SlotId n = queues[layout().flatten(key)].head; n != kNullSlot;
+         n = nodes[n].next)
         visit(nodes[n].packet);
 }
 

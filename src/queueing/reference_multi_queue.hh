@@ -1,7 +1,7 @@
 /**
  * @file
  * A deliberately simple multi-queue oracle used by the property
- * tests: per-output FIFO queues over one shared slot budget.
+ * tests: per-queue FIFO lists over one shared slot budget.
  * Behaviorally it must match DamqBuffer operation for operation;
  * the tests drive both with identical random streams and compare.
  *
@@ -28,17 +28,18 @@ class ReferenceMultiQueue final : public BufferModel
 {
   public:
     /** See BufferModel::BufferModel. */
-    ReferenceMultiQueue(PortId num_outputs, std::uint32_t capacity_slots);
+    ReferenceMultiQueue(QueueLayout queue_layout,
+                        std::uint32_t capacity_slots);
 
     std::uint32_t usedSlots() const override { return used; }
     std::uint32_t totalPackets() const override { return packets; }
 
-    bool canAccept(PortId out, std::uint32_t len) const override;
+    bool canAccept(QueueKey key, std::uint32_t len) const override;
     void pushImpl(const Packet &pkt) override;
-    const Packet *peek(PortId out) const override;
-    std::uint32_t queueLength(PortId out) const override;
-    Packet popImpl(PortId out) override;
-    void forEachInQueue(PortId out,
+    const Packet *peek(QueueKey key) const override;
+    std::uint32_t queueLength(QueueKey key) const override;
+    Packet popImpl(QueueKey key) override;
+    void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 
     BufferType type() const override { return BufferType::Damq; }
@@ -56,7 +57,8 @@ class ReferenceMultiQueue final : public BufferModel
 
     std::vector<Node> nodes;
     SlotListRegs freeNodes;
-    std::vector<SlotListRegs> queues; ///< .slots counts packets
+    /// one per flat queue (QueueLayout::flatten); .slots counts packets
+    std::vector<SlotListRegs> queues;
     std::uint32_t used = 0;
     std::uint32_t packets = 0;
 };

@@ -12,6 +12,7 @@ const char kPlacementChoices[] = "input | central | output";
 const char kFlowControlChoices[] = "blocking | discarding";
 const char kArbitrationChoices[] = "smart | dumb";
 const char kSwitchingModeChoices[] = "cut-through | store-and-forward";
+const char kVcPolicyChoices[] = "dateline | none";
 
 namespace {
 
@@ -28,56 +29,66 @@ badEnumValue(const ArgParser &args, const std::string &name,
     std::exit(1);
 }
 
+/**
+ * Parse option @p name through one of the tryXFromString parsers;
+ * on bad input, print the accepted @p choices and the usage text to
+ * stderr and exit(1).  Every enum-valued option goes through here,
+ * so they all reject input with the same message shape.
+ */
+template <typename TryParse>
+auto
+enumOption(const ArgParser &args, const std::string &name,
+           TryParse &&try_parse, const char *what,
+           const char *choices)
+{
+    const std::string value = args.getString(name);
+    if (const auto parsed = try_parse(value))
+        return *parsed;
+    badEnumValue(args, name, value, what, choices);
+}
+
 } // namespace
 
 BufferType
 bufferTypeOption(const ArgParser &args, const std::string &name)
 {
-    const std::string value = args.getString(name);
-    if (const auto type = tryBufferTypeFromString(value))
-        return *type;
-    badEnumValue(args, name, value, "buffer type",
-                 kBufferTypeChoices);
+    return enumOption(args, name, tryBufferTypeFromString,
+                      "buffer type", kBufferTypeChoices);
 }
 
 BufferPlacement
 placementOption(const ArgParser &args, const std::string &name)
 {
-    const std::string value = args.getString(name);
-    if (const auto placement = tryBufferPlacementFromString(value))
-        return *placement;
-    badEnumValue(args, name, value, "buffer placement",
-                 kPlacementChoices);
+    return enumOption(args, name, tryBufferPlacementFromString,
+                      "buffer placement", kPlacementChoices);
 }
 
 FlowControl
 flowControlOption(const ArgParser &args, const std::string &name)
 {
-    const std::string value = args.getString(name);
-    if (const auto protocol = tryFlowControlFromString(value))
-        return *protocol;
-    badEnumValue(args, name, value, "flow control",
-                 kFlowControlChoices);
+    return enumOption(args, name, tryFlowControlFromString,
+                      "flow control", kFlowControlChoices);
 }
 
 ArbitrationPolicy
 arbitrationOption(const ArgParser &args, const std::string &name)
 {
-    const std::string value = args.getString(name);
-    if (const auto policy = tryArbitrationPolicyFromString(value))
-        return *policy;
-    badEnumValue(args, name, value, "arbitration policy",
-                 kArbitrationChoices);
+    return enumOption(args, name, tryArbitrationPolicyFromString,
+                      "arbitration policy", kArbitrationChoices);
 }
 
 SwitchingMode
 switchingModeOption(const ArgParser &args, const std::string &name)
 {
-    const std::string value = args.getString(name);
-    if (const auto mode = trySwitchingModeFromString(value))
-        return *mode;
-    badEnumValue(args, name, value, "switching mode",
-                 kSwitchingModeChoices);
+    return enumOption(args, name, trySwitchingModeFromString,
+                      "switching mode", kSwitchingModeChoices);
+}
+
+VcPolicy
+vcPolicyOption(const ArgParser &args, const std::string &name)
+{
+    return enumOption(args, name, tryVcPolicyFromString,
+                      "VC policy", kVcPolicyChoices);
 }
 
 void
@@ -91,6 +102,12 @@ addCommonSimFlags(ArgParser &args)
                    "override warmup cycles (clocks for the "
                    "cut-through bench)");
     args.addOption("measure", "0", "override measured cycles");
+    args.addOption("vcs", "0",
+                   "override virtual channels per link (>1 needs "
+                   "input buffering; 0 = keep the bench default)");
+    args.addOption("vc-policy", "dateline",
+                   "VC assignment policy when vcs > 1 (dateline | "
+                   "none)");
     args.addOption("metrics-every", "0",
                    "sample the metric time series every N cycles "
                    "(0 = off)");
@@ -129,6 +146,15 @@ applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
         common.measureCycles =
             static_cast<Cycle>(args.getInt("measure"));
     }
+    if (args.wasSet("vcs")) {
+        const std::int64_t vcs = args.getInt("vcs");
+        if (vcs < 1 || vcs > 64)
+            damq_fatal("--vcs wants an integer in [1, 64], got ",
+                       vcs);
+        common.vcs = static_cast<VcId>(vcs);
+    }
+    if (args.wasSet("vc-policy"))
+        common.vcPolicy = vcPolicyOption(args, "vc-policy");
 
     if (args.wasSet("metrics-every")) {
         common.telemetry.metricsEvery =

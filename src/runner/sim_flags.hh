@@ -38,6 +38,8 @@ namespace damq {
  *   --seed N           master PRNG seed
  *   --warmup N         warmup cycles (clocks, for the cut-through sim)
  *   --measure N        measured cycles
+ *   --vcs N            virtual channels per link (needs input buffers)
+ *   --vc-policy P      VC assignment when vcs > 1 (dateline | none)
  *   --metrics-every N  sample the metric time series every N cycles
  *   --trace            record per-packet Chrome-trace events
  *   --trace-events N   trace event cap (default one million)
@@ -78,6 +80,7 @@ extern const char kPlacementChoices[];     ///< input|central|output
 extern const char kFlowControlChoices[];   ///< blocking|discarding
 extern const char kArbitrationChoices[];   ///< smart|dumb
 extern const char kSwitchingModeChoices[]; ///< cut-through|store-and-forward
+extern const char kVcPolicyChoices[];      ///< dateline|none
 
 /**
  * Parse option @p name as a buffer type via
@@ -103,6 +106,10 @@ ArbitrationPolicy arbitrationOption(const ArgParser &args,
 /** Parse option @p name as a switching mode (or exit(1)). */
 SwitchingMode switchingModeOption(const ArgParser &args,
                                   const std::string &name);
+
+/** Parse option @p name as a VC policy (or exit(1)). */
+VcPolicy vcPolicyOption(const ArgParser &args,
+                        const std::string &name);
 
 } // namespace damq
 

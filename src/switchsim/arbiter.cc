@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "common/enum_parse.hh"
 #include "common/logging.hh"
-#include "common/string_util.hh"
 
 namespace damq {
+
+namespace {
+
+constexpr EnumName<ArbitrationPolicy> kArbitrationPolicyNames[] = {
+    {ArbitrationPolicy::Dumb, "dumb"},
+    {ArbitrationPolicy::Smart, "smart"},
+};
+
+} // namespace
 
 const char *
 arbitrationPolicyName(ArbitrationPolicy policy)
@@ -20,12 +29,8 @@ arbitrationPolicyName(ArbitrationPolicy policy)
 std::optional<ArbitrationPolicy>
 tryArbitrationPolicyFromString(const std::string &name)
 {
-    const std::string lower = toLower(name);
-    if (lower == "dumb")
-        return ArbitrationPolicy::Dumb;
-    if (lower == "smart")
-        return ArbitrationPolicy::Smart;
-    return std::nullopt;
+    return parseEnumName(std::string_view(name),
+                         kArbitrationPolicyNames);
 }
 
 ArbitrationPolicy
@@ -37,20 +42,21 @@ arbitrationPolicyFromString(const std::string &name)
                "' (expected dumb|smart)");
 }
 
-Arbiter::Arbiter(PortId num_inputs, PortId num_outputs)
-    : inputs(num_inputs), outputs(num_outputs),
+Arbiter::Arbiter(PortId num_inputs, PortId num_outputs, VcId num_vcs)
+    : inputs(num_inputs), outputs(num_outputs), vcs(num_vcs),
       outputTaken(num_outputs, false)
 {
     damq_assert(num_inputs > 0 && num_outputs > 0,
                 "arbiter needs ports");
+    damq_assert(num_vcs > 0, "arbiter needs at least one VC");
 }
 
 void
 Arbiter::serveRoundRobin(
     const std::vector<BufferModel *> &buffers,
     const CanSendFn &can_send, PortId start,
-    const std::function<PortId(PortId, const std::vector<PortId> &,
-                               const BufferModel &)> &select,
+    const std::function<QueueKey(PortId, const std::vector<QueueKey> &,
+                                 const BufferModel &)> &select,
     GrantList &grants)
 {
     damq_assert(buffers.size() == inputs,
@@ -59,7 +65,7 @@ Arbiter::serveRoundRobin(
 
     std::fill(outputTaken.begin(), outputTaken.end(), false);
     grants.clear();
-    std::vector<PortId> &eligible = eligibleScratch;
+    std::vector<QueueKey> &eligible = eligibleScratch;
 
     for (PortId step = 0; step < inputs; ++step) {
         const PortId input = (start + step) % inputs;
@@ -74,25 +80,28 @@ Arbiter::serveRoundRobin(
             for (PortId out = 0; out < outputs; ++out) {
                 if (outputTaken[out])
                     continue;
-                const Packet *head = buffer.peek(out);
-                if (!head)
-                    continue;
-                if (!can_send(input, out, *head))
-                    continue;
-                eligible.push_back(out);
+                for (VcId vc = 0; vc < vcs; ++vc) {
+                    const QueueKey key{out, vc};
+                    const Packet *head = buffer.peek(key);
+                    if (!head)
+                        continue;
+                    if (!can_send(input, key, *head))
+                        continue;
+                    eligible.push_back(key);
+                }
             }
             if (eligible.empty())
                 break;
 
-            const PortId chosen = select(input, eligible, buffer);
-            if (chosen == kInvalidPort)
+            const QueueKey chosen = select(input, eligible, buffer);
+            if (!chosen.valid())
                 break;
             damq_assert(std::find(eligible.begin(), eligible.end(),
                                   chosen) != eligible.end(),
                         "selector picked an ineligible output");
 
-            outputTaken[chosen] = true;
-            grants.push_back(Grant{input, chosen});
+            outputTaken[chosen.out] = true;
+            grants.push_back(Grant{input, chosen.out, chosen.vc});
             --reads_left;
         }
     }
@@ -101,8 +110,9 @@ Arbiter::serveRoundRobin(
     arbStats.grantsIssued += grants.size();
 }
 
-DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs)
-    : Arbiter(num_inputs, num_outputs)
+DumbArbiter::DumbArbiter(PortId num_inputs, PortId num_outputs,
+                         VcId num_vcs)
+    : Arbiter(num_inputs, num_outputs, num_vcs)
 {
 }
 
@@ -110,12 +120,13 @@ void
 DumbArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
                            const CanSendFn &can_send, GrantList &grants)
 {
-    auto longest_queue = [](PortId, const std::vector<PortId> &eligible,
+    auto longest_queue = [](PortId,
+                            const std::vector<QueueKey> &eligible,
                             const BufferModel &buffer) {
-        PortId best = eligible.front();
-        for (const PortId out : eligible) {
-            if (buffer.queueLength(out) > buffer.queueLength(best))
-                best = out;
+        QueueKey best = eligible.front();
+        for (const QueueKey key : eligible) {
+            if (buffer.queueLength(key) > buffer.queueLength(best))
+                best = key;
         }
         return best;
     };
@@ -128,10 +139,12 @@ DumbArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
 }
 
 SmartArbiter::SmartArbiter(PortId num_inputs, PortId num_outputs,
-                           std::uint32_t stale_threshold)
-    : Arbiter(num_inputs, num_outputs),
+                           std::uint32_t stale_threshold, VcId num_vcs)
+    : Arbiter(num_inputs, num_outputs, num_vcs),
       staleThreshold(stale_threshold),
-      staleCounts(static_cast<std::size_t>(num_inputs) * num_outputs, 0)
+      staleCounts(static_cast<std::size_t>(num_inputs) * num_outputs *
+                      num_vcs,
+                  0)
 {
 }
 
@@ -140,29 +153,29 @@ SmartArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
                             const CanSendFn &can_send, GrantList &grants)
 {
     auto select = [this](PortId input,
-                         const std::vector<PortId> &eligible,
+                         const std::vector<QueueKey> &eligible,
                          const BufferModel &buffer) {
         // Stale queues get precedence over long ones: pick the
         // stalest queue at or above the threshold, falling back to
         // the longest queue otherwise.
-        PortId stalest = kInvalidPort;
+        QueueKey stalest = kInvalidQueue;
         std::uint32_t best_stale = 0;
-        for (const PortId out : eligible) {
-            const std::uint32_t stale = staleCount(input, out);
+        for (const QueueKey key : eligible) {
+            const std::uint32_t stale = staleCount(input, key);
             if (stale >= staleThreshold && stale >= best_stale) {
-                stalest = out;
+                stalest = key;
                 best_stale = stale;
             }
         }
-        if (stalest != kInvalidPort) {
+        if (stalest.valid()) {
             ++arbStats.staleOverrides;
             return stalest;
         }
 
-        PortId best = eligible.front();
-        for (const PortId out : eligible) {
-            if (buffer.queueLength(out) > buffer.queueLength(best))
-                best = out;
+        QueueKey best = eligible.front();
+        for (const QueueKey key : eligible) {
+            if (buffer.queueLength(key) > buffer.queueLength(best))
+                best = key;
         }
         return best;
     };
@@ -174,16 +187,19 @@ SmartArbiter::arbitrateInto(const std::vector<BufferModel *> &buffers,
     std::vector<bool> &served = servedScratch;
     served.assign(staleCounts.size(), false);
     for (const Grant &g : grants)
-        served[g.input * numOutputs() + g.output] = true;
+        served[queueIndex(g.input, g.queue())] = true;
     for (PortId input = 0; input < numInputs(); ++input) {
         for (PortId out = 0; out < numOutputs(); ++out) {
-            const std::size_t idx = input * numOutputs() + out;
-            if (served[idx]) {
-                staleCounts[idx] = 0;
-            } else if (buffers[input]->queueLength(out) > 0) {
-                ++staleCounts[idx];
-            } else {
-                staleCounts[idx] = 0;
+            for (VcId vc = 0; vc < numVcs(); ++vc) {
+                const QueueKey key{out, vc};
+                const std::size_t idx = queueIndex(input, key);
+                if (served[idx]) {
+                    staleCounts[idx] = 0;
+                } else if (buffers[input]->queueLength(key) > 0) {
+                    ++staleCounts[idx];
+                } else {
+                    staleCounts[idx] = 0;
+                }
             }
         }
     }
@@ -206,14 +222,16 @@ SmartArbiter::reset()
 
 std::unique_ptr<Arbiter>
 makeArbiter(ArbitrationPolicy policy, PortId num_inputs,
-            PortId num_outputs, std::uint32_t stale_threshold)
+            PortId num_outputs, std::uint32_t stale_threshold,
+            VcId num_vcs)
 {
     switch (policy) {
       case ArbitrationPolicy::Dumb:
-        return std::make_unique<DumbArbiter>(num_inputs, num_outputs);
+        return std::make_unique<DumbArbiter>(num_inputs, num_outputs,
+                                             num_vcs);
       case ArbitrationPolicy::Smart:
         return std::make_unique<SmartArbiter>(num_inputs, num_outputs,
-                                              stale_threshold);
+                                              stale_threshold, num_vcs);
     }
     damq_panic("unknown ArbitrationPolicy ", static_cast<int>(policy));
 }

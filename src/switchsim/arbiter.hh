@@ -17,6 +17,11 @@
  *    without transmitting; queues whose stale count crosses a
  *    threshold take precedence over longer queues, keeping traffic
  *    inside a buffer fair.
+ *
+ * With virtual channels the candidate set per buffer is every
+ * (output, VC) queue, but a physical output port still carries at
+ * most one packet per cycle — VCs multiplex the link across cycles,
+ * they do not widen it.
  */
 
 #ifndef DAMQ_SWITCHSIM_ARBITER_HH
@@ -48,17 +53,22 @@ const char *arbitrationPolicyName(ArbitrationPolicy policy);
 std::optional<ArbitrationPolicy> tryArbitrationPolicyFromString(
     const std::string &name);
 
-/** Parse a case-insensitive policy name; fatal on bad input. */
+/**
+ * Parse a case-insensitive policy name; fatal on bad input.
+ * @deprecated Use tryArbitrationPolicyFromString and report the
+ * error at the call site.
+ */
+[[deprecated("use tryArbitrationPolicyFromString")]]
 ArbitrationPolicy arbitrationPolicyFromString(const std::string &name);
 
 /**
  * Per-candidate back-pressure test supplied by the network layer:
- * may input @p input transmit packet @p pkt to output @p out this
+ * may input @p input transmit packet @p pkt from queue @p key this
  * cycle?  (Blocking protocol: is there downstream space; discarding
  * protocol: always true.)
  */
 using CanSendFn =
-    std::function<bool(PortId input, PortId out, const Packet &pkt)>;
+    std::function<bool(PortId input, QueueKey key, const Packet &pkt)>;
 
 /**
  * Lifetime arbitration counters, exposed for telemetry.  Cheap to
@@ -82,8 +92,9 @@ struct ArbiterStats
 class Arbiter
 {
   public:
-    /** @param num_inputs / @param num_outputs  switch geometry. */
-    Arbiter(PortId num_inputs, PortId num_outputs);
+    /** @param num_inputs / @param num_outputs  switch geometry.
+     *  @param num_vcs  virtual channels per output (1 = the paper). */
+    Arbiter(PortId num_inputs, PortId num_outputs, VcId num_vcs = 1);
 
     virtual ~Arbiter() = default;
 
@@ -124,6 +135,7 @@ class Arbiter
 
     PortId numInputs() const { return inputs; }
     PortId numOutputs() const { return outputs; }
+    VcId numVcs() const { return vcs; }
 
   protected:
     /**
@@ -131,20 +143,23 @@ class Arbiter
      * (mod numInputs), granting each buffer its best eligible
      * queue(s) into @p grants (replacing its contents).  @p select
      * picks the queue to serve for a buffer given the eligible
-     * outputs, enabling the stale-count override; it returns
-     * kInvalidPort to skip the buffer.
+     * queues, enabling the stale-count override; it returns
+     * kInvalidQueue to skip the buffer.  Eligible queues are
+     * enumerated output-major (out 0 vc 0, out 0 vc 1, ...), so
+     * with one VC the order is the pre-VC output order.
      */
     void serveRoundRobin(
         const std::vector<BufferModel *> &buffers,
         const CanSendFn &can_send, PortId start,
-        const std::function<PortId(PortId input,
-                                   const std::vector<PortId> &eligible,
-                                   const BufferModel &buffer)> &select,
+        const std::function<QueueKey(
+            PortId input, const std::vector<QueueKey> &eligible,
+            const BufferModel &buffer)> &select,
         GrantList &grants);
 
   private:
     PortId inputs;
     PortId outputs;
+    VcId vcs;
 
   protected:
     /** Lifetime counters; serveRoundRobin maintains the first two. */
@@ -153,8 +168,8 @@ class Arbiter
     /** Scratch: outputs already claimed this cycle. */
     std::vector<bool> outputTaken;
 
-    /** Scratch: the current buffer's eligible outputs. */
-    std::vector<PortId> eligibleScratch;
+    /** Scratch: the current buffer's eligible queues. */
+    std::vector<QueueKey> eligibleScratch;
 };
 
 /** Round-robin arbiter that rotates unconditionally. */
@@ -162,7 +177,8 @@ class DumbArbiter final : public Arbiter
 {
   public:
     /** See Arbiter::Arbiter. */
-    DumbArbiter(PortId num_inputs, PortId num_outputs);
+    DumbArbiter(PortId num_inputs, PortId num_outputs,
+                VcId num_vcs = 1);
 
     void arbitrateInto(const std::vector<BufferModel *> &buffers,
                        const CanSendFn &can_send,
@@ -192,7 +208,7 @@ class SmartArbiter final : public Arbiter
      *        before it preempts longer queues.
      */
     SmartArbiter(PortId num_inputs, PortId num_outputs,
-                 std::uint32_t stale_threshold = 8);
+                 std::uint32_t stale_threshold = 8, VcId num_vcs = 1);
 
     void arbitrateInto(const std::vector<BufferModel *> &buffers,
                        const CanSendFn &can_send,
@@ -205,13 +221,20 @@ class SmartArbiter final : public Arbiter
 
     void reset() override;
 
-    /** Stale count of queue (@p input, @p out) — test visibility. */
-    std::uint32_t staleCount(PortId input, PortId out) const
+    /** Stale count of queue (@p input, @p key) — test visibility. */
+    std::uint32_t staleCount(PortId input, QueueKey key) const
     {
-        return staleCounts[input * numOutputs() + out];
+        return staleCounts[queueIndex(input, key)];
     }
 
   private:
+    /** Flat index of (@p input, @p key) into staleCounts. */
+    std::size_t queueIndex(PortId input, QueueKey key) const
+    {
+        return (static_cast<std::size_t>(input) * numOutputs() +
+                key.out) * numVcs() + key.vc;
+    }
+
     PortId rrStart = 0;
     std::uint32_t staleThreshold;
     std::vector<std::uint32_t> staleCounts;
@@ -222,7 +245,8 @@ class SmartArbiter final : public Arbiter
 std::unique_ptr<Arbiter> makeArbiter(ArbitrationPolicy policy,
                                      PortId num_inputs,
                                      PortId num_outputs,
-                                     std::uint32_t stale_threshold = 8);
+                                     std::uint32_t stale_threshold = 8,
+                                     VcId num_vcs = 1);
 
 } // namespace damq
 

@@ -14,7 +14,7 @@ CentralBufferSwitch::CentralBufferSwitch(PortId num_ports,
 }
 
 bool
-CentralBufferSwitch::canAccept(PortId input, PortId,
+CentralBufferSwitch::canAccept(PortId input, QueueKey,
                                std::uint32_t len) const
 {
     damq_assert(input < ports, "canAccept: bad input ", input);

@@ -36,7 +36,7 @@ class CentralBufferSwitch final : public SwitchUnit
     CentralBufferSwitch(PortId num_ports, std::uint32_t total_slots);
 
     PortId numPorts() const override { return ports; }
-    bool canAccept(PortId input, PortId out,
+    bool canAccept(PortId input, QueueKey out,
                    std::uint32_t len) const override;
     bool tryReceive(PortId input, const Packet &pkt) override;
     std::vector<Packet> transmit(const CanSendFn &can_send) override;

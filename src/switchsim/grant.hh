@@ -1,7 +1,7 @@
 /**
  * @file
- * A crossbar grant: "input buffer I transmits its head packet for
- * output O this cycle".
+ * A crossbar grant: "input buffer I transmits the head packet of
+ * its queue (O, V) this cycle".
  */
 
 #ifndef DAMQ_SWITCHSIM_GRANT_HH
@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "queueing/queue_key.hh"
 
 namespace damq {
 
@@ -18,6 +19,10 @@ struct Grant
 {
     PortId input = kInvalidPort;
     PortId output = kInvalidPort;
+    VcId vc = 0; ///< virtual channel of the granted queue
+
+    /** Queue the grant drains. */
+    QueueKey queue() const { return QueueKey{output, vc}; }
 };
 
 /** The set of connections established in one cycle. */

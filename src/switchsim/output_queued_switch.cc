@@ -14,12 +14,12 @@ OutputQueuedSwitch::OutputQueuedSwitch(PortId num_ports,
 }
 
 bool
-OutputQueuedSwitch::canAccept(PortId input, PortId out,
+OutputQueuedSwitch::canAccept(PortId input, QueueKey out,
                               std::uint32_t len) const
 {
-    damq_assert(input < ports && out < ports,
+    damq_assert(input < ports && out.out < ports,
                 "canAccept: bad ports");
-    return usedPerOutput[out] + len <= perOutput;
+    return usedPerOutput[out.out] + len <= perOutput;
 }
 
 bool

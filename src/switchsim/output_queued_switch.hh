@@ -33,7 +33,7 @@ class OutputQueuedSwitch final : public SwitchUnit
                        std::uint32_t slots_per_output);
 
     PortId numPorts() const override { return ports; }
-    bool canAccept(PortId input, PortId out,
+    bool canAccept(PortId input, QueueKey out,
                    std::uint32_t len) const override;
     bool tryReceive(PortId input, const Packet &pkt) override;
     std::vector<Packet> transmit(const CanSendFn &can_send) override;

@@ -8,22 +8,25 @@ namespace damq {
 SwitchModel::SwitchModel(PortId num_ports, BufferType buffer_type,
                          std::uint32_t slots_per_buffer,
                          ArbitrationPolicy arbitration,
-                         std::uint32_t stale_threshold)
-    : ports(num_ports), type(buffer_type),
+                         std::uint32_t stale_threshold, VcId num_vcs)
+    : ports(num_ports), vcs(num_vcs), type(buffer_type),
       arbiter(makeArbiter(arbitration, num_ports, num_ports,
-                          stale_threshold))
+                          stale_threshold, num_vcs))
 {
     damq_assert(num_ports > 0, "switch needs at least one port");
+    damq_assert(num_vcs > 0, "switch needs at least one VC");
+    const QueueLayout layout{num_ports, num_vcs};
     buffers.reserve(num_ports);
     for (PortId input = 0; input < num_ports; ++input) {
         buffers.push_back(
-            makeBuffer(buffer_type, num_ports, slots_per_buffer));
+            makeBuffer(buffer_type, layout, slots_per_buffer));
         bufferPtrs.push_back(buffers.back().get());
     }
 }
 
 bool
-SwitchModel::canAccept(PortId input, PortId out, std::uint32_t len) const
+SwitchModel::canAccept(PortId input, QueueKey out,
+                       std::uint32_t len) const
 {
     damq_assert(input < ports, "canAccept: bad input port ", input);
     return buffers[input]->canAccept(out, len);
@@ -34,7 +37,8 @@ SwitchModel::tryReceive(PortId input, const Packet &pkt)
 {
     damq_assert(input < ports, "tryReceive: bad input port ", input);
     damq_assert(pkt.outPort < ports, "tryReceive: unrouted packet");
-    if (!buffers[input]->canAccept(pkt.outPort, pkt.lengthSlots)) {
+    const QueueKey key{pkt.outPort, pkt.vc};
+    if (!buffers[input]->canAccept(key, pkt.lengthSlots)) {
         ++switchStats.discarded;
         return false;
     }
@@ -59,7 +63,7 @@ SwitchModel::popGranted(const GrantList &grants)
     for (const Grant &g : grants) {
         damq_assert(g.input < ports && g.output < ports,
                     "grant outside switch geometry");
-        popped.push_back(buffers[g.input]->pop(g.output));
+        popped.push_back(buffers[g.input]->pop(g.queue()));
         ++switchStats.transmitted;
     }
     return popped;
@@ -82,7 +86,7 @@ SwitchModel::transmitInto(const CanSendFn &can_send,
     for (const Grant &g : grantScratch) {
         damq_assert(g.input < ports && g.output < ports,
                     "grant outside switch geometry");
-        sent.push_back(buffers[g.input]->pop(g.output));
+        sent.push_back(buffers[g.input]->pop(g.queue()));
         ++switchStats.transmitted;
     }
 }

@@ -41,11 +41,13 @@ class SwitchModel final : public SwitchUnit
      * @param slots_per_buffer storage per input buffer, in slots.
      * @param arbitration      crossbar arbitration policy.
      * @param stale_threshold  smart-arbitration stale threshold.
+     * @param num_vcs          virtual channels per output (1 = the
+     *                         paper's single-VC switches).
      */
     SwitchModel(PortId num_ports, BufferType buffer_type,
                 std::uint32_t slots_per_buffer,
                 ArbitrationPolicy arbitration,
-                std::uint32_t stale_threshold = 8);
+                std::uint32_t stale_threshold = 8, VcId num_vcs = 1);
 
     /** Number of ports (inputs and outputs). */
     PortId numPorts() const override { return ports; }
@@ -60,18 +62,22 @@ class SwitchModel final : public SwitchUnit
         return *buffers[input];
     }
 
+    /** Virtual channels per output. */
+    VcId numVcs() const { return vcs; }
+
     /**
      * Whether input @p input can accept a packet of @p len slots
-     * routed to local output @p out (used for blocking-protocol
+     * routed to local queue @p out (used for blocking-protocol
      * back-pressure and discard decisions).
      */
-    bool canAccept(PortId input, PortId out,
+    bool canAccept(PortId input, QueueKey out,
                    std::uint32_t len) const override;
 
     /**
-     * Offer a packet to input @p input (pkt.outPort must already be
-     * set by routing).  Returns true and stores it if space allows;
-     * returns false (and counts a discard) otherwise.
+     * Offer a packet to input @p input (pkt.outPort and pkt.vc must
+     * already be set by routing / VC allocation).  Returns true and
+     * stores it if space allows; returns false (and counts a
+     * discard) otherwise.
      */
     bool tryReceive(PortId input, const Packet &pkt) override;
 
@@ -128,6 +134,7 @@ class SwitchModel final : public SwitchUnit
 
   private:
     PortId ports;
+    VcId vcs;
     BufferType type;
     std::vector<std::unique_ptr<BufferModel>> buffers;
     std::vector<BufferModel *> bufferPtrs;

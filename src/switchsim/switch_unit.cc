@@ -1,7 +1,7 @@
 #include "switchsim/switch_unit.hh"
 
+#include "common/enum_parse.hh"
 #include "common/logging.hh"
-#include "common/string_util.hh"
 #include "switchsim/central_buffer_switch.hh"
 #include "switchsim/output_queued_switch.hh"
 #include "switchsim/switch_model.hh"
@@ -20,17 +20,21 @@ bufferPlacementName(BufferPlacement placement)
                static_cast<int>(placement));
 }
 
+namespace {
+
+constexpr EnumName<BufferPlacement> kBufferPlacementNames[] = {
+    {BufferPlacement::Input, "input"},
+    {BufferPlacement::Central, "central"},
+    {BufferPlacement::Output, "output"},
+};
+
+} // namespace
+
 std::optional<BufferPlacement>
 tryBufferPlacementFromString(const std::string &name)
 {
-    const std::string lower = toLower(name);
-    if (lower == "input")
-        return BufferPlacement::Input;
-    if (lower == "central")
-        return BufferPlacement::Central;
-    if (lower == "output")
-        return BufferPlacement::Output;
-    return std::nullopt;
+    return parseEnumName(std::string_view(name),
+                         kBufferPlacementNames);
 }
 
 BufferPlacement
@@ -55,13 +59,18 @@ std::unique_ptr<SwitchUnit>
 makeSwitchUnit(BufferPlacement placement, PortId num_ports,
                BufferType buffer_type, std::uint32_t slots_per_input,
                ArbitrationPolicy arbitration,
-               std::uint32_t stale_threshold)
+               std::uint32_t stale_threshold, VcId num_vcs)
 {
+    if (num_vcs > 1 && placement != BufferPlacement::Input) {
+        damq_fatal("virtual channels require input buffering (",
+                   bufferPlacementName(placement),
+                   " placement keeps no per-VC queues)");
+    }
     switch (placement) {
       case BufferPlacement::Input:
         return std::make_unique<SwitchModel>(
             num_ports, buffer_type, slots_per_input, arbitration,
-            stale_threshold);
+            stale_threshold, num_vcs);
       case BufferPlacement::Central:
         return std::make_unique<CentralBufferSwitch>(
             num_ports, num_ports * slots_per_input);

@@ -47,7 +47,12 @@ const char *bufferPlacementName(BufferPlacement placement);
 std::optional<BufferPlacement> tryBufferPlacementFromString(
     const std::string &name);
 
-/** Parse a case-insensitive placement name; fatal on bad input. */
+/**
+ * Parse a case-insensitive placement name; fatal on bad input.
+ * @deprecated Use tryBufferPlacementFromString and report the error
+ * at the call site.
+ */
+[[deprecated("use tryBufferPlacementFromString")]]
 BufferPlacement bufferPlacementFromString(const std::string &name);
 
 /** Counters shared by every switch organization. */
@@ -73,11 +78,12 @@ class SwitchUnit
     virtual PortId numPorts() const = 0;
 
     /**
-     * Whether a packet of @p len slots routed to local output
-     * @p out could be accepted at input @p input right now (the
-     * blocking protocol's back-pressure test).
+     * Whether a packet of @p len slots routed to local queue
+     * @p out (output port x VC; a bare PortId means VC 0) could be
+     * accepted at input @p input right now (the blocking protocol's
+     * back-pressure test).
      */
-    virtual bool canAccept(PortId input, PortId out,
+    virtual bool canAccept(PortId input, QueueKey out,
                            std::uint32_t len) const = 0;
 
     /**
@@ -162,12 +168,15 @@ class SwitchUnit
  *  - Output placement: per-output queues of @p slots_per_input
  *    slots each (equal total storage).
  * @p buffer_type and @p arbitration are ignored for the non-input
- * placements.
+ * placements.  @p num_vcs > 1 (virtual channels per output) is only
+ * supported by the Input placement, whose BufferModel queues carry
+ * the VC dimension; requesting it elsewhere is fatal.
  */
 std::unique_ptr<SwitchUnit> makeSwitchUnit(
     BufferPlacement placement, PortId num_ports,
     BufferType buffer_type, std::uint32_t slots_per_input,
-    ArbitrationPolicy arbitration, std::uint32_t stale_threshold = 8);
+    ArbitrationPolicy arbitration, std::uint32_t stale_threshold = 8,
+    VcId num_vcs = 1);
 
 } // namespace damq
 

@@ -41,7 +41,7 @@ class ArbiterFixture
 
     BufferModel &buf(PortId i) { return *buffers[i]; }
 
-    static bool alwaysSend(PortId, PortId, const Packet &)
+    static bool alwaysSend(PortId, QueueKey, const Packet &)
     {
         return true;
     }
@@ -142,8 +142,8 @@ TEST(DumbArbiter, RespectsBackPressure)
     fx.buf(0).push(makePacket(1, 1));
     fx.buf(0).push(makePacket(2, 2));
     DumbArbiter arb(4, 4);
-    auto blocked1 = [](PortId, PortId out, const Packet &) {
-        return out != 1;
+    auto blocked1 = [](PortId, QueueKey out, const Packet &) {
+        return out.out != 1;
     };
     const GrantList grants = arb.arbitrate(fx.buffers, blocked1);
     ASSERT_EQ(grants.size(), 1u);
@@ -208,8 +208,8 @@ TEST(SmartArbiter, StaleQueuePreemptsLongerQueue)
         fx.buf(0).push(makePacket(10 + i, 2));
 
     // Block output 1 for a few cycles so its queue goes stale.
-    auto blocked1 = [](PortId, PortId out, const Packet &) {
-        return out != 1;
+    auto blocked1 = [](PortId, QueueKey out, const Packet &) {
+        return out.out != 1;
     };
     for (int cycle = 0; cycle < 4; ++cycle) {
         const GrantList grants = arb.arbitrate(fx.buffers, blocked1);
@@ -235,7 +235,7 @@ TEST(SmartArbiter, StaleCountClearsWhenQueueEmpties)
     ArbiterFixture fx(BufferType::Damq);
     SmartArbiter arb(4, 4, 2);
     fx.buf(0).push(makePacket(1, 1));
-    auto blocked = [](PortId, PortId, const Packet &) {
+    auto blocked = [](PortId, QueueKey, const Packet &) {
         return false;
     };
     arb.arbitrate(fx.buffers, blocked);
@@ -251,9 +251,9 @@ TEST(ArbiterFactory, ProducesRequestedPolicies)
               ArbitrationPolicy::Dumb);
     EXPECT_EQ(makeArbiter(ArbitrationPolicy::Smart, 4, 4)->policy(),
               ArbitrationPolicy::Smart);
-    EXPECT_EQ(arbitrationPolicyFromString("smart"),
+    EXPECT_EQ(tryArbitrationPolicyFromString("smart"),
               ArbitrationPolicy::Smart);
-    EXPECT_EQ(arbitrationPolicyFromString("DUMB"),
+    EXPECT_EQ(tryArbitrationPolicyFromString("DUMB"),
               ArbitrationPolicy::Dumb);
 }
 
@@ -262,7 +262,7 @@ TEST(ArbiterReset, ClearsFairnessState)
     ArbiterFixture fx(BufferType::Damq);
     SmartArbiter arb(4, 4, 2);
     fx.buf(0).push(makePacket(1, 1));
-    auto blocked = [](PortId, PortId, const Packet &) {
+    auto blocked = [](PortId, QueueKey, const Packet &) {
         return false;
     };
     arb.arbitrate(fx.buffers, blocked);

@@ -33,10 +33,10 @@ makePacket(PacketId id, PortId out, std::uint32_t len = 1)
 
 TEST(BufferType, NamesRoundTrip)
 {
-    EXPECT_EQ(bufferTypeFromString("fifo"), BufferType::Fifo);
-    EXPECT_EQ(bufferTypeFromString("DAMQ"), BufferType::Damq);
-    EXPECT_EQ(bufferTypeFromString("Samq"), BufferType::Samq);
-    EXPECT_EQ(bufferTypeFromString("safc"), BufferType::Safc);
+    EXPECT_EQ(tryBufferTypeFromString("fifo"), BufferType::Fifo);
+    EXPECT_EQ(tryBufferTypeFromString("DAMQ"), BufferType::Damq);
+    EXPECT_EQ(tryBufferTypeFromString("Samq"), BufferType::Samq);
+    EXPECT_EQ(tryBufferTypeFromString("safc"), BufferType::Safc);
     EXPECT_STREQ(bufferTypeName(BufferType::Damq), "DAMQ");
 }
 

@@ -28,7 +28,7 @@ makePacket(PacketId id, PortId out)
 
 TEST(DamqReserved, FactoryAndNames)
 {
-    EXPECT_EQ(bufferTypeFromString("damqr"), BufferType::DamqR);
+    EXPECT_EQ(tryBufferTypeFromString("damqr"), BufferType::DamqR);
     EXPECT_STREQ(bufferTypeName(BufferType::DamqR), "DAMQR");
     EXPECT_EQ(makeBuffer(BufferType::DamqR, 4, 8)->type(),
               BufferType::DamqR);

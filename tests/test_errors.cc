@@ -19,6 +19,11 @@
 namespace damq {
 namespace {
 
+// The throwing parsers are deprecated in favour of the try*
+// variants, but their fatal path is exactly what these death tests
+// pin down.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 using ExitWithError = ::testing::ExitedWithCode;
 
 TEST(ErrorPaths, UnknownBufferNameIsFatal)

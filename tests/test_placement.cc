@@ -33,16 +33,16 @@ makePacket(PacketId id, PortId out, std::uint32_t len = 1)
 CanSendFn
 always()
 {
-    return [](PortId, PortId, const Packet &) { return true; };
+    return [](PortId, QueueKey, const Packet &) { return true; };
 }
 
 TEST(Placement, NamesRoundTrip)
 {
-    EXPECT_EQ(bufferPlacementFromString("input"),
+    EXPECT_EQ(tryBufferPlacementFromString("input"),
               BufferPlacement::Input);
-    EXPECT_EQ(bufferPlacementFromString("CENTRAL"),
+    EXPECT_EQ(tryBufferPlacementFromString("CENTRAL"),
               BufferPlacement::Central);
-    EXPECT_EQ(bufferPlacementFromString("Output"),
+    EXPECT_EQ(tryBufferPlacementFromString("Output"),
               BufferPlacement::Output);
     EXPECT_STREQ(bufferPlacementName(BufferPlacement::Central),
                  "central");
@@ -116,7 +116,7 @@ TEST(CentralBufferSwitch, BackPressureHoldsPacket)
 {
     CentralBufferSwitch sw(2, 4);
     sw.tryReceive(0, makePacket(1, 0));
-    auto blocked = [](PortId, PortId, const Packet &) {
+    auto blocked = [](PortId, QueueKey, const Packet &) {
         return false;
     };
     EXPECT_TRUE(sw.transmit(blocked).empty());

@@ -24,7 +24,7 @@ makePacket(PacketId id, PortId out)
 CanSendFn
 alwaysSend()
 {
-    return [](PortId, PortId, const Packet &) { return true; };
+    return [](PortId, QueueKey, const Packet &) { return true; };
 }
 
 TEST(SwitchModel, ReceiveStoresAndCounts)
