@@ -1,28 +1,40 @@
 /**
  * @file
- * Throughput-vs-fault-rate degradation curves: the robustness
- * companion to the paper's Tables 3-6.  A network that loses or
- * corrupts packets on its links delivers less of the offered load;
- * this bench sweeps the per-link fault probability and shows how
- * gracefully each buffer organization degrades, with the
- * FaultReport accounting printed so every lost packet is explained
- * (injected = delivered + discarded + fault-dropped + in-flight at
- * every audit).
+ * Graceful-degradation curves: the robustness companion to the
+ * paper's Tables 3-6, in two parts.
  *
- * At rate 0 the numbers are bit-identical to the fault-free
- * simulator — the hooks draw no random numbers when disabled.
+ * Part A (transient link faults, Omega): per-link drop and
+ * header-corruption probability swept together, each point run
+ * twice — detection-only (recovery none, the historical numbers)
+ * and with link-level retransmission — so the table shows exactly
+ * how much delivered throughput the CRC/ack/retry protocol buys
+ * back.  At rate 0 with recovery off the numbers are bit-identical
+ * to the fault-free simulator.
  *
- * Runs on the SweepRunner (`--threads=N`); results are identical
- * at any thread count.  Emits BENCH_degradation_faults.json and a
- * PERF_degradation_faults.json timing sidecar.
+ * Part B (persistent link failures, torus): a fraction of the
+ * 8x8 torus links is forced down permanently and the blocking
+ * 2-VC network runs with and without retransmit+reroute, with the
+ * deadlock watchdog armed.  Delivered throughput and p99 latency
+ * versus failed-link fraction is the graceful-degradation curve
+ * the recovery subsystem exists for.
+ *
+ * Both sweeps run through SweepRunner::mapGuarded, so a wedged or
+ * crashing point is reported (and retried once) instead of sinking
+ * the whole bench; task dispositions land in the BENCH JSON.
+ * Emits BENCH_degradation.json and a PERF_degradation.json timing
+ * sidecar.
  */
 
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/string_util.hh"
+#include "network/torus_sim.hh"
 #include "runner/bench_output.hh"
 #include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
@@ -35,17 +47,24 @@ using namespace damq::bench;
 const double kRates[] = {0.0, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2};
 const BufferType kTypes[] = {BufferType::Fifo, BufferType::Damq,
                              BufferType::DamqR};
+const double kFractions[] = {0.0, 0.02, 0.05, 0.10, 0.15};
+const RecoveryPolicy kTorusPolicies[] = {
+    RecoveryPolicy::None, RecoveryPolicy::RetransmitReroute};
 
-/** Everything one fault-sweep point reports. */
-struct FaultRun
+/** Everything one sweep point (Omega or torus) reports. */
+struct RunOut
 {
-    NetworkResult result;
+    double deliveredThroughput = 0.0;
+    double meanLatency = 0.0;
+    double latencyP99 = 0.0;
+    Cycle measuredCycles = 0;
     std::uint64_t faultDropped = 0;
+    std::uint64_t watchdogTrips = 0;
     FaultReport report;
 };
 
 NetworkConfig
-pointConfig(BufferType type, double rate)
+omegaPoint(BufferType type, double rate, RecoveryPolicy policy)
 {
     NetworkConfig cfg = paperNetworkConfig();
     cfg.bufferType = type;
@@ -54,13 +73,53 @@ pointConfig(BufferType type, double rate)
     cfg.common.faults.headerBitFlipRate = rate;
     cfg.common.faults.seed = 1988;
     cfg.common.auditEveryCycles = 500;
+    cfg.common.recovery.policy = policy;
+    return cfg;
+}
+
+TorusConfig
+torusPoint(double fraction, RecoveryPolicy policy)
+{
+    // 8x8, DAMQ, blocking, two dateline VCs.  The offered load sits
+    // below the rerouted fabric's capacity: up*-down* concentrates
+    // detour traffic near its root, so a load that minimal DOR
+    // carries easily would saturate every faulty point and flatten
+    // the curve into "saturation capacity" instead of degradation.
+    TorusConfig cfg;
+    cfg.offeredLoad = 0.08;
+    cfg.common.faults.seed = 1988;
+    cfg.common.faults.linkDownFraction = fraction;
+    cfg.common.auditEveryCycles = 500;
+    cfg.common.watchdogStallCycles = 2000;
+    cfg.common.recovery.policy = policy;
     return cfg;
 }
 
 std::uint64_t
-faultRunCycles(const FaultRun &run)
+runOutCycles(const RunOut &run)
 {
-    return run.result.measuredCycles;
+    return run.measuredCycles;
+}
+
+const char *
+taskStatusName(TaskStatus status)
+{
+    switch (status) {
+    case TaskStatus::Ok:
+        return "ok";
+    case TaskStatus::Failed:
+        return "failed";
+    case TaskStatus::TimedOut:
+        return "timed-out";
+    }
+    return "?";
+}
+
+std::string
+cell(const std::optional<RunOut> &run,
+     const std::function<std::string(const RunOut &)> &fmt)
+{
+    return run.has_value() ? fmt(*run) : std::string("-");
 }
 
 } // namespace
@@ -69,116 +128,294 @@ int
 main(int argc, char **argv)
 {
     ArgParser args("degradation_faults",
-                   "Throughput/latency degradation under injected "
-                   "link faults");
+                   "Throughput/latency degradation under transient "
+                   "link faults and persistent link failures, with "
+                   "and without detect-and-recover");
     addCommonSimFlags(args);
+    args.addOption("task-timeout", "600",
+                   "per-point wall-clock budget in seconds "
+                   "(0 = unlimited)");
+    args.addOption("task-retries", "2",
+                   "attempts per point before it is reported failed");
     args.parse(argc, argv);
     SweepRunner runner(simThreads(args));
 
-    banner("Degradation under link faults",
-           "64x64 Omega, blocking, smart arbitration, 4 slots, "
-           "uniform traffic at 0.5 offered load; per-link drop and "
-           "header-corruption probability swept together");
+    GuardPolicy guard;
+    guard.taskTimeoutSeconds = args.getDouble("task-timeout");
+    guard.maxAttempts =
+        static_cast<std::uint32_t>(args.getInt("task-retries"));
+    if (guard.maxAttempts == 0)
+        guard.maxAttempts = 1;
 
-    std::vector<NetworkConfig> configs;
+    banner("Degradation under link faults",
+           "Part A: 64x64 Omega, blocking, 0.5 load, transient "
+           "drop+corrupt rate swept, recovery none vs retransmit.  "
+           "Part B: 8x8 torus, blocking, 2 VCs, 0.08 load, permanent "
+           "failed-link fraction swept, none vs retransmit+reroute.");
+
+    // ---- Task list: Omega points first, then torus points. ------
+    std::vector<std::function<RunOut()>> tasks;
     std::vector<std::string> labels;
+
+    const RecoveryPolicy omega_policies[] = {
+        RecoveryPolicy::None, RecoveryPolicy::Retransmit};
     for (const BufferType type : kTypes) {
         for (const double rate : kRates) {
-            configs.push_back(pointConfig(type, rate));
-            labels.push_back(detail::concat(bufferTypeName(type),
-                                            "@rate=",
-                                            formatFixed(rate, 4)));
+            for (const RecoveryPolicy policy : omega_policies) {
+                NetworkConfig cfg = omegaPoint(type, rate, policy);
+                std::string label = detail::concat(
+                    "omega:", bufferTypeName(type),
+                    "@rate=", formatFixed(rate, 4), "/",
+                    recoveryPolicyName(policy));
+                applyCommonSimFlags(args, cfg.common,
+                                    "degradation");
+                if (cfg.common.telemetry.enabled()) {
+                    cfg.common.telemetry.outputPrefix +=
+                        "." + sanitizeFileToken(label);
+                }
+                labels.push_back(std::move(label));
+                tasks.push_back([cfg]() {
+                    NetworkSimulator sim(cfg);
+                    RunOut run;
+                    const NetworkResult r = sim.run();
+                    run.deliveredThroughput = r.deliveredThroughput;
+                    run.meanLatency = r.latencyClocks.mean();
+                    run.measuredCycles = r.measuredCycles;
+                    run.faultDropped = sim.lifetime().faultDropped;
+                    run.report = sim.faultReport();
+                    return run;
+                });
+            }
         }
     }
 
-    // This bench runs runner.map directly (it extracts fault
-    // reports from the simulator, not just the result), so it
-    // suffixes telemetry prefixes itself the way runSimSweep does.
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-        applyCommonSimFlags(args, configs[i].common,
-                            "degradation_faults");
-        if (configs[i].common.telemetry.enabled()) {
-            configs[i].common.telemetry.outputPrefix +=
-                "." + sanitizeFileToken(labels[i]);
+    for (const double fraction : kFractions) {
+        for (const RecoveryPolicy policy : kTorusPolicies) {
+            TorusConfig cfg = torusPoint(fraction, policy);
+            std::string label = detail::concat(
+                "torus:down=", formatFixed(fraction, 2), "/",
+                recoveryPolicyName(policy));
+            applyCommonSimFlags(args, cfg.common, "degradation");
+            if (cfg.common.telemetry.enabled()) {
+                cfg.common.telemetry.outputPrefix +=
+                    "." + sanitizeFileToken(label);
+            }
+            labels.push_back(std::move(label));
+            tasks.push_back([cfg]() {
+                TorusSimulator sim(cfg);
+                RunOut run;
+                const TorusResult r = sim.run();
+                run.deliveredThroughput = r.deliveredThroughput;
+                run.meanLatency = r.latencyCycles.mean();
+                run.latencyP99 = r.latencyP99;
+                run.measuredCycles = r.measuredCycles;
+                run.watchdogTrips = r.watchdogTrips;
+                run.faultDropped = sim.lifetime().faultDropped;
+                run.report = sim.faultReport();
+                return run;
+            });
         }
     }
 
-    const std::vector<FaultRun> runs = runner.map(
-        configs.size(),
-        [&configs](std::size_t i) {
-            NetworkSimulator sim(configs[i]);
-            FaultRun run;
-            run.result = sim.run();
-            run.faultDropped = sim.lifetime().faultDropped;
-            run.report = sim.faultReport();
-            return run;
-        },
-        &faultRunCycles);
+    const std::vector<std::optional<RunOut>> runs = runner.mapGuarded(
+        tasks.size(), [&tasks](std::size_t i) { return tasks[i](); },
+        guard, &runOutCycles);
+    const std::vector<TaskOutcome> &outcomes = runner.taskOutcomes();
 
+    // ---- Part A tables: one per buffer type. ---------------------
     std::size_t next = 0;
     for (const BufferType type : kTypes) {
         TextTable table;
-        table.setHeader({"fault rate", "throughput", "latency",
-                         "dropped", "corrupt detected", "audits",
-                         "violations"});
+        table.setHeader({"fault rate", "thr none", "thr rtx",
+                         "dropped none", "dropped rtx",
+                         "recovered rtx", "violations"});
         for (const double rate : kRates) {
-            const FaultRun &run = runs[next++];
+            const std::optional<RunOut> &none = runs[next++];
+            const std::optional<RunOut> &rtx = runs[next++];
             table.startRow();
             table.addCell(formatFixed(rate, 4));
-            table.addCell(
-                formatFixed(run.result.deliveredThroughput, 3));
-            table.addCell(
-                formatFixed(run.result.latencyClocks.mean(), 2));
-            table.addCell(std::to_string(run.faultDropped));
-            table.addCell(
-                std::to_string(run.report.corruptionsDetected));
-            table.addCell(std::to_string(run.report.auditsRun));
-            table.addCell(
-                std::to_string(run.report.auditViolations));
+            table.addCell(cell(none, [](const RunOut &r) {
+                return formatFixed(r.deliveredThroughput, 3);
+            }));
+            table.addCell(cell(rtx, [](const RunOut &r) {
+                return formatFixed(r.deliveredThroughput, 3);
+            }));
+            table.addCell(cell(none, [](const RunOut &r) {
+                return std::to_string(r.faultDropped);
+            }));
+            table.addCell(cell(rtx, [](const RunOut &r) {
+                return std::to_string(r.faultDropped);
+            }));
+            table.addCell(cell(rtx, [](const RunOut &r) {
+                return std::to_string(
+                    r.report.recovery.packetsRecovered);
+            }));
+            table.addCell(cell(none, [](const RunOut &r) {
+                return std::to_string(r.report.auditViolations);
+            }));
         }
-        std::cout << "\n" << bufferTypeName(type) << " buffers:\n"
+        std::cout << "\n" << bufferTypeName(type)
+                  << " buffers (Omega, transient faults):\n"
                   << table.render();
     }
 
     std::cout
-        << "\nEvery row's audits ran with zero violations: the "
-           "packet-accounting identity holds at every fault rate, "
-           "so dropped packets are counted, never silently lost.\n";
+        << "\nWith retransmission on, every dropped or corrupted "
+           "frame is nacked and resent: the 'dropped rtx' column "
+           "stays at zero while 'recovered rtx' counts the packets "
+           "the protocol saved.\n";
 
+    // ---- Part B table: torus failed-link fraction. ---------------
     {
-        BenchJsonFile out("degradation_faults");
+        TextTable table;
+        table.setHeader({"down fraction", "recovery", "throughput",
+                         "p99 latency", "dropped", "dead links",
+                         "rerouted", "watchdog trips"});
+        for (const double fraction : kFractions) {
+            for (const RecoveryPolicy policy : kTorusPolicies) {
+                const std::optional<RunOut> &run = runs[next++];
+                table.startRow();
+                table.addCell(formatFixed(fraction, 2));
+                table.addCell(recoveryPolicyName(policy));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return formatFixed(r.deliveredThroughput, 3);
+                }));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return formatFixed(r.latencyP99, 1);
+                }));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return std::to_string(r.faultDropped);
+                }));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return std::to_string(
+                        r.report.recovery.deadLinksDeclared);
+                }));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return std::to_string(
+                        r.report.recovery.packetsRerouted);
+                }));
+                table.addCell(cell(run, [](const RunOut &r) {
+                    return std::to_string(r.watchdogTrips);
+                }));
+            }
+        }
+        std::cout << "\nTorus with permanently failed links "
+                     "(blocking, 2 VCs, watchdog armed):\n"
+                  << table.render();
+    }
+
+    std::size_t casualties = 0;
+    for (const TaskOutcome &outcome : outcomes)
+        if (!outcome.ok())
+            ++casualties;
+    if (casualties != 0) {
+        std::cout << "\n" << casualties
+                  << " point(s) failed or timed out; their rows "
+                     "show '-' and their dispositions are in the "
+                     "BENCH JSON.\n";
+    }
+
+    // ---- Machine-readable output. --------------------------------
+    {
+        BenchJsonFile out("degradation");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(json,
-                               pointConfig(BufferType::Fifo, 0.0));
+        writeNetworkConfigJson(
+            json, omegaPoint(BufferType::Fifo, 0.0,
+                             RecoveryPolicy::None));
         json.key("faultRates");
         json.beginArray();
         for (const double rate : kRates)
             json.value(rate);
         json.endArray();
-        json.key("rows");
+        json.key("linkDownFractions");
         json.beginArray();
+        for (const double fraction : kFractions)
+            json.value(fraction);
+        json.endArray();
+
         std::size_t at = 0;
+        json.key("omegaRows");
+        json.beginArray();
         for (const BufferType type : kTypes) {
             for (const double rate : kRates) {
-                const FaultRun &run = runs[at++];
+                for (const RecoveryPolicy policy : omega_policies) {
+                    const std::optional<RunOut> &run = runs[at++];
+                    if (!run.has_value())
+                        continue;
+                    json.beginObject();
+                    json.field("buffer", bufferTypeName(type));
+                    json.field("faultRate", rate);
+                    json.field("recovery",
+                               recoveryPolicyName(policy));
+                    json.field("deliveredThroughput",
+                               run->deliveredThroughput);
+                    json.field("meanLatencyClocks",
+                               run->meanLatency);
+                    json.field("faultDropped", run->faultDropped);
+                    json.field("corruptionsDetected",
+                               run->report.corruptionsDetected);
+                    json.field("framesSent",
+                               run->report.recovery.framesSent);
+                    json.field("retransmits",
+                               run->report.recovery.retransmits);
+                    json.field(
+                        "packetsRecovered",
+                        run->report.recovery.packetsRecovered);
+                    json.field("auditsRun", run->report.auditsRun);
+                    json.field("auditViolations",
+                               run->report.auditViolations);
+                    json.endObject();
+                }
+            }
+        }
+        json.endArray();
+
+        json.key("torusRows");
+        json.beginArray();
+        for (const double fraction : kFractions) {
+            for (const RecoveryPolicy policy : kTorusPolicies) {
+                const std::optional<RunOut> &run = runs[at++];
+                if (!run.has_value())
+                    continue;
                 json.beginObject();
-                json.field("buffer", bufferTypeName(type));
-                json.field("faultRate", rate);
+                json.field("linkDownFraction", fraction);
+                json.field("recovery", recoveryPolicyName(policy));
                 json.field("deliveredThroughput",
-                           run.result.deliveredThroughput);
-                json.field("meanLatencyClocks",
-                           run.result.latencyClocks.mean());
-                json.field("faultDropped", run.faultDropped);
-                json.field("corruptionsDetected",
-                           run.report.corruptionsDetected);
-                json.field("auditsRun", run.report.auditsRun);
+                           run->deliveredThroughput);
+                json.field("meanLatencyCycles", run->meanLatency);
+                json.field("latencyP99", run->latencyP99);
+                json.field("faultDropped", run->faultDropped);
+                json.field("deadLinksDeclared",
+                           run->report.recovery.deadLinksDeclared);
+                json.field("linksRevived",
+                           run->report.recovery.linksRevived);
+                json.field("packetsRerouted",
+                           run->report.recovery.packetsRerouted);
+                json.field("watchdogTrips", run->watchdogTrips);
+                json.field("auditsRun", run->report.auditsRun);
                 json.field("auditViolations",
-                           run.report.auditViolations);
+                           run->report.auditViolations);
                 json.endObject();
             }
         }
         json.endArray();
+
+        json.key("tasks");
+        json.beginArray();
+        for (std::size_t i = 0; i < outcomes.size(); ++i) {
+            json.beginObject();
+            json.field("label", labels[i]);
+            json.field("status",
+                       taskStatusName(outcomes[i].status));
+            json.field("attempts",
+                       static_cast<std::uint64_t>(
+                           outcomes[i].attempts));
+            if (!outcomes[i].error.empty())
+                json.field("error", outcomes[i].error);
+            json.endObject();
+        }
+        json.endArray();
     }
-    writePerfSidecar("degradation_faults", runner, labels);
+    writePerfSidecar("degradation", runner, labels);
     return 0;
 }

@@ -1,5 +1,7 @@
 #include "fault/fault_injector.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace damq {
@@ -22,6 +24,130 @@ FaultInjector::FaultInjector(const FaultConfig &config)
     damq_assert(config.creditDelayRate >= 0.0 &&
                     config.creditDelayRate <= 1.0,
                 "creditDelayRate out of [0,1]");
+    damq_assert(config.linkDownRate >= 0.0 &&
+                    config.linkDownRate <= 1.0,
+                "linkDownRate out of [0,1]");
+    damq_assert(config.linkDownFraction >= 0.0 &&
+                    config.linkDownFraction <= 1.0,
+                "linkDownFraction out of [0,1]");
+    damq_assert(config.routerDownRate >= 0.0 &&
+                    config.routerDownRate <= 1.0,
+                "routerDownRate out of [0,1]");
+}
+
+void
+FaultInjector::configureLinks(std::size_t num_links,
+                              std::uint32_t ports_per_switch,
+                              const std::vector<std::uint8_t> &eligible,
+                              const std::vector<std::size_t> &reverse)
+{
+    damq_assert(eligible.size() == num_links,
+                "configureLinks: eligibility mask size mismatch");
+    damq_assert(reverse.size() == num_links,
+                "configureLinks: reverse map size mismatch");
+    damq_assert(ports_per_switch > 0,
+                "configureLinks: zero ports per switch");
+    links.assign(num_links, LinkState{});
+    linkPorts = ports_per_switch;
+    for (std::size_t link = 0; link < num_links; ++link)
+        links[link].eligible = eligible[link] != 0;
+
+    // Pool of *physical* links, one entry per duplex pair (the
+    // lower-numbered direction is canonical; a direction without an
+    // eligible partner stands alone).
+    std::vector<std::size_t> pool;
+    for (std::size_t link = 0; link < num_links; ++link) {
+        if (!links[link].eligible)
+            continue;
+        const std::size_t rev = reverse[link];
+        const bool paired = rev != kNoReverseLink &&
+                            rev < num_links && links[rev].eligible;
+        if (paired && rev < link)
+            continue; // the partner is the canonical entry
+        pool.push_back(link);
+    }
+    if (config.linkDownFraction <= 0.0 || pool.empty())
+        return;
+
+    // Permanent failure set: the first k of a partial Fisher-Yates
+    // shuffle over the eligible physical links, so the same fault
+    // seed always kills the same links regardless of traffic.
+    const auto want = static_cast<std::size_t>(
+        config.linkDownFraction * static_cast<double>(pool.size()) +
+        0.5);
+    const std::size_t kill = std::min(want, pool.size());
+    const auto kill_one = [this](std::size_t link) {
+        links[link].downUntil = kForever;
+        recordFault(FaultKind::LinkDown, link / linkPorts, 0,
+                    detail::concat("link ", link,
+                                   " permanently down (fraction)"));
+    };
+    for (std::size_t i = 0; i < kill; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.below(pool.size() - i));
+        std::swap(pool[i], pool[j]);
+        kill_one(pool[i]);
+        const std::size_t rev = reverse[pool[i]];
+        if (rev != kNoReverseLink && rev < num_links &&
+            links[rev].eligible)
+            kill_one(rev);
+    }
+}
+
+bool
+FaultInjector::linkForcedDown(std::size_t link, Cycle now)
+{
+    if (links.empty())
+        return false;
+    damq_assert(link < links.size(),
+                "linkForcedDown: unregistered link ", link);
+    LinkState &state = links[link];
+    if (config.linkDownRate > 0.0 && state.eligible &&
+        state.rolledAt != now) {
+        state.rolledAt = now;
+        if (now >= state.downUntil &&
+            rng.bernoulli(config.linkDownRate)) {
+            state.downUntil = config.linkDownCycles == 0
+                                  ? kForever
+                                  : now + config.linkDownCycles;
+            recordFault(
+                FaultKind::LinkDown, link / linkPorts, now,
+                config.linkDownCycles == 0
+                    ? detail::concat("link ", link,
+                                     " down permanently")
+                    : detail::concat("link ", link, " down for ",
+                                     config.linkDownCycles,
+                                     " cycles"));
+        }
+    }
+    return now < state.downUntil;
+}
+
+bool
+FaultInjector::routerForcedDown(std::size_t comp, Cycle now)
+{
+    if (config.routerDownRate <= 0.0)
+        return false;
+    damq_assert(comp < components.size(),
+                "routerForcedDown: unregistered component ", comp);
+    ComponentState &state = components[comp];
+    if (state.downRolledAt != now) {
+        state.downRolledAt = now;
+        if (now >= state.downUntil &&
+            rng.bernoulli(config.routerDownRate)) {
+            state.downUntil = config.routerDownCycles == 0
+                                  ? kForever
+                                  : now + config.routerDownCycles;
+            recordFault(
+                FaultKind::RouterDown, comp, now,
+                config.routerDownCycles == 0
+                    ? std::string("router down permanently")
+                    : detail::concat("router down for ",
+                                     config.routerDownCycles,
+                                     " cycles"));
+        }
+    }
+    return now < state.downUntil;
 }
 
 std::size_t

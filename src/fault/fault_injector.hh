@@ -68,12 +68,42 @@ struct FaultConfig
     /** Cycles a credit-delay episode lasts. */
     std::uint32_t creditDelayCycles = 2;
 
+    // --- persistent hard faults -------------------------------------
+    // A LinkDown episode loses every frame crossing the link; a
+    // RouterDown episode freezes a whole switch (no grants, no
+    // receives).  Episodes last *Cycles cycles, or forever when the
+    // duration is 0 — the permanent-failure case.
+
+    /** Probability per link-cycle a link-down episode starts. */
+    double linkDownRate = 0.0;
+    /** Cycles a link-down episode lasts (0 = permanent). */
+    Cycle linkDownCycles = 0;
+
+    /**
+     * Fraction of fault-eligible links forced permanently down from
+     * cycle 0, chosen by the fault seed.  The knob behind the
+     * failed-link-fraction degradation curves.
+     */
+    double linkDownFraction = 0.0;
+
+    /** Probability per component-cycle a router-down episode starts. */
+    double routerDownRate = 0.0;
+    /** Cycles a router-down episode lasts (0 = permanent). */
+    Cycle routerDownCycles = 0;
+
+    /** Whether any persistent hard-fault class is configured. */
+    bool hardFaultsEnabled() const
+    {
+        return linkDownRate > 0.0 || linkDownFraction > 0.0 ||
+               routerDownRate > 0.0;
+    }
+
     /** Whether any fault class has a nonzero rate. */
     bool anyEnabled() const
     {
         return headerBitFlipRate > 0.0 || packetDropRate > 0.0 ||
                arbiterStuckRate > 0.0 || slotLeakRate > 0.0 ||
-               creditDelayRate > 0.0;
+               creditDelayRate > 0.0 || hardFaultsEnabled();
     }
 };
 
@@ -137,6 +167,45 @@ class FaultInjector
      */
     bool rollSlotLeak(std::size_t comp, Cycle now);
 
+    // --- persistent hard faults -------------------------------------
+
+    /**
+     * Register the fabric's links for hard-fault episodes.  Links
+     * are numbered sw * ports_per_switch + out (the engine's LinkId
+     * scheme); @p eligible flags which of them may be forced down
+     * (delivery links to sinks are typically excluded).
+     * @p reverse maps each directed link to its physical partner
+     * (kNoReverseLink when the fabric is unidirectional there).
+     * When linkDownFraction > 0, draws the permanent failure set
+     * here — the only construction-time PRNG use, and only when
+     * enabled.  The fraction counts *physical* links: a drawn
+     * failure takes both directions of a duplex link down, the way
+     * a severed cable would, so the live graph stays symmetric.
+     */
+    void configureLinks(std::size_t num_links,
+                        std::uint32_t ports_per_switch,
+                        const std::vector<std::uint8_t> &eligible,
+                        const std::vector<std::size_t> &reverse);
+
+    /** "No physical partner" marker for configureLinks' reverse map. */
+    static constexpr std::size_t kNoReverseLink =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * Whether link @p link is forced down (loses every frame) this
+     * cycle.  Rolls at most one episode per link-cycle (memoized);
+     * the engine queries every link each cycle in link order, so the
+     * draw sequence is deterministic.  Zero draws at rate 0.
+     */
+    bool linkForcedDown(std::size_t link, Cycle now);
+
+    /**
+     * Whether @p comp (a switch) is frozen this cycle: its arbiter
+     * issues no grants and every frame sent to it is lost.
+     * Memoized like arbiterStuck().
+     */
+    bool routerForcedDown(std::size_t comp, Cycle now);
+
     /** Record an injected fault in the report counters. */
     void recordFault(FaultKind kind, std::size_t comp, Cycle now,
                      const std::string &detail = std::string());
@@ -162,9 +231,22 @@ class FaultInjector
         Cycle stuckRolledAt = kNeverRolled;
         Cycle delayUntil = 0;       ///< credits stalled while now < this
         Cycle delayRolledAt = kNeverRolled;
+        Cycle downUntil = 0;        ///< router frozen while now < this
+        Cycle downRolledAt = kNeverRolled;
+    };
+
+    /** Per-link hard-fault episode state. */
+    struct LinkState
+    {
+        Cycle downUntil = 0; ///< frames lost while now < this
+        Cycle rolledAt = kNeverRolled;
+        bool eligible = false;
     };
 
     static constexpr Cycle kNeverRolled = ~Cycle{0};
+
+    /** Episode end marking a permanent failure. */
+    static constexpr Cycle kForever = ~Cycle{0};
 
     /** Cap on events kept verbatim (counters are never capped). */
     static constexpr std::size_t kMaxLoggedEvents = 64;
@@ -172,6 +254,8 @@ class FaultInjector
     FaultConfig config;
     Random rng;
     std::vector<ComponentState> components;
+    std::vector<LinkState> links;
+    std::uint32_t linkPorts = 1; ///< ports/switch, for event naming
     std::array<std::uint64_t, kNumFaultKinds> injected{};
     std::uint64_t corruptionsDetected = 0;
     std::vector<FaultEvent> events;

@@ -15,6 +15,8 @@ faultKindName(FaultKind kind)
       case FaultKind::ArbiterStuck: return "arbiter-stuck";
       case FaultKind::SlotLeak: return "slot-leak";
       case FaultKind::CreditDelay: return "credit-delay";
+      case FaultKind::LinkDown: return "link-down";
+      case FaultKind::RouterDown: return "router-down";
     }
     damq_panic("unknown FaultKind ", static_cast<int>(kind));
 }
@@ -44,6 +46,19 @@ FaultReport::summaryText() const
         << "\n"
         << "  audits run: " << auditsRun << ", violations: "
         << auditViolations << "\n";
+    if (recovery.anyActivity()) {
+        out << "  recovery: " << recovery.framesSent
+            << " frames sent, " << recovery.crcRejected
+            << " CRC-nacked, " << recovery.timeouts << " timed out, "
+            << recovery.retransmits << " retransmits\n"
+            << "  recovered " << recovery.packetsRecovered
+            << " packets, lost " << recovery.packetsLostAfterRetry
+            << " after retries, rerouted "
+            << recovery.packetsRerouted << "\n"
+            << "  dead links declared: "
+            << recovery.deadLinksDeclared
+            << ", revived: " << recovery.linksRevived << "\n";
+    }
     for (const std::string &sample : violationSamples)
         out << "    e.g. " << sample << "\n";
     if (watchdogFired) {

@@ -33,10 +33,12 @@ enum class FaultKind : std::uint8_t
     ArbiterStuck,  ///< an arbiter grants nothing for a few cycles
     SlotLeak,      ///< a buffer slot drops out of every list
     CreditDelay,   ///< back-pressure stuck at "full" for a few cycles
+    LinkDown,      ///< a link loses every frame for an episode
+    RouterDown,    ///< a whole switch freezes for an episode
 };
 
 /** Number of distinct FaultKind values. */
-inline constexpr std::size_t kNumFaultKinds = 5;
+inline constexpr std::size_t kNumFaultKinds = 7;
 
 /** Human-readable fault-kind name. */
 const char *faultKindName(FaultKind kind);
@@ -48,6 +50,53 @@ struct FaultEvent
     FaultKind kind = FaultKind::HeaderBitFlip;
     std::string component;
     std::string detail;
+};
+
+/**
+ * What the link-level recovery protocol did about the faults: how
+ * many frames were protected, rejected, retransmitted, recovered,
+ * given up on, and how the dead-link machinery reacted.  All zero
+ * when RecoveryPolicy is none — detection-only runs are unchanged.
+ */
+struct RecoveryStats
+{
+    /** Frames sent under CRC protection (fresh + retransmitted). */
+    std::uint64_t framesSent = 0;
+
+    /** Frames the receiver nacked after a CRC mismatch. */
+    std::uint64_t crcRejected = 0;
+
+    /** Frames whose ack never arrived (dropped on the link). */
+    std::uint64_t timeouts = 0;
+
+    /** Retransmission attempts made by link senders. */
+    std::uint64_t retransmits = 0;
+
+    /** Packets delivered across a link after >= 1 retransmission
+     *  — each one would have been lost without the protocol. */
+    std::uint64_t packetsRecovered = 0;
+
+    /** Packets abandoned after the retry budget ran out. */
+    std::uint64_t packetsLostAfterRetry = 0;
+
+    /** Links declared dead after maxRetries consecutive failures. */
+    std::uint64_t deadLinksDeclared = 0;
+
+    /** Dead links brought back by a successful revival probe. */
+    std::uint64_t linksRevived = 0;
+
+    /** Packets re-homed onto a detour route off a dead link. */
+    std::uint64_t packetsRerouted = 0;
+
+    /** Whether the protocol did anything at all this run. */
+    bool anyActivity() const
+    {
+        return framesSent != 0 || crcRejected != 0 ||
+               timeouts != 0 || retransmits != 0 ||
+               packetsRecovered != 0 || packetsLostAfterRetry != 0 ||
+               deadLinksDeclared != 0 || linksRevived != 0 ||
+               packetsRerouted != 0;
+    }
 };
 
 /**
@@ -73,6 +122,9 @@ struct FaultReport
     std::uint64_t auditsRun = 0;
     std::uint64_t auditViolations = 0;
     std::vector<std::string> violationSamples;
+
+    /** What the link-level recovery protocol recovered vs lost. */
+    RecoveryStats recovery;
 
     /** Deadlock watchdog outcome. */
     bool watchdogFired = false;

@@ -109,6 +109,27 @@ GridTopology::hop(SwitchId sw, PortId out) const
     }
 }
 
+bool
+GridTopology::hasLink(SwitchId sw, PortId out) const
+{
+    if (wrap || out == kLocal)
+        return true;
+    const std::uint32_t x = sw % gridWidth;
+    const std::uint32_t y = sw / gridWidth;
+    switch (out) {
+      case kEast:
+        return x + 1 < gridWidth;
+      case kWest:
+        return x > 0;
+      case kNorth:
+        return y + 1 < gridHeight;
+      case kSouth:
+        return y > 0;
+      default:
+        return false;
+    }
+}
+
 std::string
 GridTopology::switchName(SwitchId sw) const
 {

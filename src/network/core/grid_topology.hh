@@ -73,6 +73,15 @@ class GridTopology : public Topology
 
     HopTarget hop(SwitchId sw, PortId out) const override;
 
+    /** A mesh (no wraparound) has no links off its edges. */
+    bool hasLink(SwitchId sw, PortId out) const override;
+
+    /** Every grid node hosts an endpoint on its local port. */
+    PortId localInputPort(SwitchId /*sw*/) const override
+    {
+        return kLocal;
+    }
+
     InjectPoint injectionPoint(NodeId src) const override
     {
         return InjectPoint{src, kLocal};

@@ -1,0 +1,132 @@
+#include "network/core/link_layer.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace damq {
+namespace core {
+
+LinkLayer::LinkLayer(const RecoveryConfig &config,
+                     std::size_t num_links)
+    : cfg(config), mask(num_links), pending(num_links),
+      txSeq(num_links, 0)
+{
+    damq_assert(cfg.enabled(),
+                "LinkLayer constructed with RecoveryPolicy::None");
+    damq_assert(cfg.maxRetries >= 1,
+                "recovery needs at least one retry");
+}
+
+Cycle
+LinkLayer::backoff(std::uint32_t attempts) const
+{
+    damq_assert(attempts >= 1, "backoff before any attempt");
+    // min(base << (attempts-1), cap), saturating the shift.
+    const std::uint32_t shift = std::min(attempts - 1, 30u);
+    const Cycle delay = cfg.retryBackoffBase << shift;
+    return std::min(delay, cfg.retryBackoffCap);
+}
+
+void
+LinkLayer::holdFrame(LinkId link, const Packet &pkt,
+                     std::uint32_t seq, Cycle now)
+{
+    PendingFrame &frame = pending[link];
+    damq_assert(!frame.active,
+                "link ", link, " already holds an unacked frame — "
+                "stop-and-wait admission is broken");
+    frame.pkt = pkt;
+    frame.seq = seq;
+    frame.attempts = 0;
+    frame.nextTryAt = now;
+    frame.active = true;
+    ++heldCount;
+    ++activeCount;
+}
+
+void
+LinkLayer::onAck(LinkId link)
+{
+    PendingFrame &frame = pending[link];
+    if (!frame.active)
+        return; // fresh frame that was never held (clean wire)
+    if (frame.attempts > 0)
+        ++counters.packetsRecovered;
+    frame.active = false;
+    --heldCount;
+    --activeCount;
+}
+
+LinkLayer::Verdict
+LinkLayer::onFail(LinkId link, bool nacked, Cycle now)
+{
+    PendingFrame &frame = pending[link];
+    damq_assert(frame.active,
+                "onFail for a link with no pending frame");
+    if (nacked)
+        ++counters.crcRejected;
+    else
+        ++counters.timeouts;
+    ++frame.attempts;
+    if (frame.attempts >= cfg.maxRetries)
+        return Verdict::DeclareDead;
+    // A nack arrives within the transfer cycle; a timeout costs the
+    // ack-timeout wait first.  Either way the backoff grows with
+    // the failure streak.
+    const Cycle wait = backoff(frame.attempts) +
+                       (nacked ? Cycle{0} : cfg.ackTimeoutCycles);
+    frame.nextTryAt = now + std::max<Cycle>(wait, 1);
+    return Verdict::Retry;
+}
+
+const Packet &
+LinkLayer::pendingPacket(LinkId link) const
+{
+    damq_assert(pending[link].active,
+                "pendingPacket of an idle link");
+    return pending[link].pkt;
+}
+
+std::uint32_t
+LinkLayer::pendingSeq(LinkId link) const
+{
+    damq_assert(pending[link].active, "pendingSeq of an idle link");
+    return pending[link].seq;
+}
+
+Packet
+LinkLayer::takePending(LinkId link)
+{
+    PendingFrame &frame = pending[link];
+    damq_assert(frame.active, "takePending of an idle link");
+    frame.active = false;
+    --heldCount;
+    --activeCount;
+    return frame.pkt;
+}
+
+void
+LinkLayer::declareDead(LinkId link)
+{
+    if (mask.linkDown(link))
+        return;
+    mask.setLinkDown(link);
+    ++counters.deadLinksDeclared;
+}
+
+void
+LinkLayer::revive(LinkId link)
+{
+    if (mask.linkUp(link))
+        return;
+    mask.setLinkUp(link);
+    ++counters.linksRevived;
+    // The failure streak died with the declaration; a revived link
+    // starts a fresh retry budget.
+    if (pending[link].active)
+        pending[link].attempts = 0;
+}
+
+} // namespace core
+} // namespace damq

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * LinkLayer: per-link retransmission state for the recovery
+ * protocol (see recovery.hh for the policy overview).
+ *
+ * The paper's synchronized transfer already spends its 12-clock
+ * network cycle on a full handshake, so the model gives each link a
+ * same-cycle ack/nack: the receiver checks the frame CRC (computed
+ * over the sealed header plus the link sequence number) and answers
+ * within the transfer cycle.  A frame that is nacked (CRC mismatch)
+ * or unacknowledged (dropped, link forced down, receiver frozen)
+ * stays in the sender's retransmit buffer and is retried after an
+ * exponential backoff; the link admits no new frames while a retry
+ * is pending, so packets can never overtake each other on a link
+ * (stop-and-wait preserves the per-link FIFO order the auditor
+ * checks).  Because at most one new frame enters a link per cycle,
+ * each link holds at most one pending frame.
+ *
+ * After maxRetries consecutive failures the link is declared dead
+ * in the LinkStateMask; the engine then either reroutes the pending
+ * packet and everything queued behind it (retransmit+reroute) or
+ * charges them to the fault counters (retransmit).  Dead links are
+ * probed periodically and revived when the underlying fault episode
+ * has ended.
+ *
+ * The engine owns the wire: it rolls the fault hooks, computes the
+ * CRCs, and calls back into this class with the verdict.  This
+ * class owns every per-link counter and the pending-frame storage,
+ * and none of it exists when RecoveryPolicy is none.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_LINK_LAYER_HH
+#define DAMQ_NETWORK_CORE_LINK_LAYER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/crc.hh"
+#include "common/types.hh"
+#include "fault/fault_report.hh"
+#include "network/core/link_state.hh"
+#include "network/core/recovery.hh"
+#include "queueing/packet.hh"
+
+namespace damq {
+namespace core {
+
+/**
+ * CRC-32C over a link frame: the end-to-end header fields (covering
+ * the same fields as the sealed headerCheck, plus the seal itself)
+ * and the link-level sequence number.  Sender and receiver compute
+ * it independently; a mismatch nacks the frame.  Unlike the plain
+ * header seal this also covers the link seq, so a duplicated or
+ * replayed frame cannot masquerade as the expected one.
+ */
+inline std::uint32_t
+linkFrameCrc(const Packet &pkt, std::uint32_t link_seq)
+{
+    std::uint32_t crc = crc32cInit();
+    crc = crc32cUpdateValue(crc, pkt.id);
+    crc = crc32cUpdateValue(crc, pkt.source);
+    crc = crc32cUpdateValue(crc, pkt.dest);
+    crc = crc32cUpdateValue(crc, pkt.seq);
+    crc = crc32cUpdateValue(crc, pkt.lengthSlots);
+    crc = crc32cUpdateValue(crc, pkt.headerCheck);
+    crc = crc32cUpdateValue(crc, link_seq);
+    return crc32cFinish(crc);
+}
+
+/** Per-link retransmission protocol state (see file docs). */
+class LinkLayer
+{
+  public:
+    LinkLayer(const RecoveryConfig &config, std::size_t num_links);
+
+    const RecoveryConfig &configuration() const { return cfg; }
+
+    /** The dead-link mask this layer maintains. */
+    LinkStateMask &linkMask() { return mask; }
+    const LinkStateMask &linkMask() const { return mask; }
+
+    /** Protocol counters (engine-writable: it owns the wire). */
+    RecoveryStats &stats() { return counters; }
+    const RecoveryStats &stats() const { return counters; }
+
+    /**
+     * Whether @p link admits a new frame this cycle: not declared
+     * dead and no retransmission pending (stop-and-wait).
+     */
+    bool canSendFresh(LinkId link) const
+    {
+        return !pending[link].active && mask.linkUp(link);
+    }
+
+    /** Whether @p link holds an unacknowledged frame. */
+    bool hasPending(LinkId link) const { return pending[link].active; }
+
+    /** Next link-level sequence number for a fresh frame. */
+    std::uint32_t assignSeq(LinkId link) { return txSeq[link]++; }
+
+    /**
+     * Stash the pristine copy of a fresh frame before it rolls the
+     * wire faults, so a failure can retransmit the original.
+     */
+    void holdFrame(LinkId link, const Packet &pkt, std::uint32_t seq,
+                   Cycle now);
+
+    /** The frame's wire crossing succeeded: release the copy. */
+    void onAck(LinkId link);
+
+    enum class Verdict
+    {
+        Retry,      ///< retransmission scheduled
+        DeclareDead ///< retry budget exhausted — link is dead
+    };
+
+    /**
+     * The frame's wire crossing failed (@p nacked: CRC mismatch
+     * reported same-cycle; otherwise the ack timed out).  Schedules
+     * the retransmission with exponential backoff, or reports that
+     * the link must be declared dead.  The caller handles
+     * DeclareDead via declareDead() + takePending().
+     */
+    Verdict onFail(LinkId link, bool nacked, Cycle now);
+
+    /** Whether @p link's pending retransmission is due at @p now. */
+    bool retryDue(LinkId link, Cycle now) const
+    {
+        const PendingFrame &frame = pending[link];
+        return frame.active && !mask.linkDown(link) &&
+               now >= frame.nextTryAt;
+    }
+
+    /** The pending frame's pristine packet (must exist). */
+    const Packet &pendingPacket(LinkId link) const;
+
+    /** The pending frame's link sequence number (must exist). */
+    std::uint32_t pendingSeq(LinkId link) const;
+
+    /** Remove and return the pending frame's packet (must exist). */
+    Packet takePending(LinkId link);
+
+    /** Mark @p link dead in the mask (counted once). */
+    void declareDead(LinkId link);
+
+    /** Bring a dead link back: clear the mask bit and the failure
+     *  streak (counted as a revival). */
+    void revive(LinkId link);
+
+    /** Whether a dead-link revival probe is due at @p now. */
+    bool probeDue(Cycle now) const
+    {
+        return mask.deadLinks() > 0 && cfg.reviveProbeCycles > 0 &&
+               now % cfg.reviveProbeCycles == 0;
+    }
+
+    /** Packets held in retransmit buffers (for accounting). */
+    std::uint64_t packetsHeld() const { return heldCount; }
+
+    /** Links with a pending frame (fast-path skip for retries). */
+    std::uint32_t pendingLinks() const { return activeCount; }
+
+    /** Fold the protocol counters into @p report. */
+    void fillReport(FaultReport &report) const
+    {
+        report.recovery = counters;
+    }
+
+  private:
+    /** One unacknowledged frame, waiting in the sender. */
+    struct PendingFrame
+    {
+        Packet pkt;                  ///< pristine retransmit copy
+        std::uint32_t seq = 0;       ///< link sequence number
+        std::uint32_t attempts = 0;  ///< failed attempts so far
+        Cycle nextTryAt = 0;         ///< earliest retransmit cycle
+        bool active = false;
+    };
+
+    /** Backoff before attempt @p attempts (1-based). */
+    Cycle backoff(std::uint32_t attempts) const;
+
+    RecoveryConfig cfg;
+    LinkStateMask mask;
+    RecoveryStats counters;
+    std::vector<PendingFrame> pending;   ///< per link
+    std::vector<std::uint32_t> txSeq;    ///< per link
+    std::uint64_t heldCount = 0;
+    std::uint32_t activeCount = 0;
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_LINK_LAYER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The link-state mask: which links the recovery protocol has
+ * declared dead.
+ *
+ * Links are numbered flat as sw * portsPerSwitch + out — the same
+ * scheme the fault injector's hard-fault plan uses — so a LinkId is
+ * meaningful to the topology, the injector, the link layer, and the
+ * fault-tolerant router alike.  The mask records *detected* state,
+ * not ground truth: a forced-down link only appears here after the
+ * retransmission protocol has burned through its retry budget, and
+ * it leaves again when a revival probe succeeds.  The mask version
+ * counter lets routing tables cache until something changes.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_LINK_STATE_HH
+#define DAMQ_NETWORK_CORE_LINK_STATE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace damq {
+namespace core {
+
+/** Flat link index: sw * portsPerSwitch + out. */
+using LinkId = std::uint32_t;
+
+/** Flat link id of output @p out of switch @p sw. */
+inline LinkId
+linkIdOf(std::uint32_t sw, PortId out, std::uint32_t ports_per_switch)
+{
+    return static_cast<LinkId>(sw) * ports_per_switch + out;
+}
+
+/** Which links are (detected as) dead, with a change version. */
+class LinkStateMask
+{
+  public:
+    LinkStateMask() = default;
+
+    explicit LinkStateMask(std::size_t num_links)
+        : down(num_links, 0)
+    {
+    }
+
+    std::size_t numLinks() const { return down.size(); }
+
+    bool linkUp(LinkId link) const { return down[link] == 0; }
+    bool linkDown(LinkId link) const { return down[link] != 0; }
+
+    /** Number of links currently declared dead. */
+    std::uint32_t deadLinks() const { return deadCount; }
+
+    /**
+     * Monotonic change counter; bumps whenever a link's state
+     * flips, so routing tables can cache per version.
+     */
+    std::uint64_t version() const { return changeVersion; }
+
+    void setLinkDown(LinkId link)
+    {
+        if (down[link])
+            return;
+        down[link] = 1;
+        ++deadCount;
+        ++changeVersion;
+    }
+
+    void setLinkUp(LinkId link)
+    {
+        if (!down[link])
+            return;
+        down[link] = 0;
+        --deadCount;
+        ++changeVersion;
+    }
+
+    /** Visit every dead link (ascending LinkId). */
+    template <typename Fn>
+    void forEachDeadLink(Fn &&fn) const
+    {
+        if (deadCount == 0)
+            return;
+        for (LinkId link = 0; link < down.size(); ++link) {
+            if (down[link])
+                fn(link);
+        }
+    }
+
+  private:
+    std::vector<std::uint8_t> down;
+    std::uint32_t deadCount = 0;
+    std::uint64_t changeVersion = 0;
+};
+
+} // namespace core
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_LINK_STATE_HH

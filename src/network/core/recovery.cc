@@ -1,0 +1,35 @@
+#include "network/core/recovery.hh"
+
+#include "common/enum_parse.hh"
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+constexpr EnumName<RecoveryPolicy> kRecoveryPolicyNames[] = {
+    {RecoveryPolicy::None, "none"},
+    {RecoveryPolicy::Retransmit, "retransmit"},
+    {RecoveryPolicy::RetransmitReroute, "retransmit+reroute"},
+    // Accepted shorthand; names are listed canonical-first, so
+    // recoveryPolicyName() never prints this spelling.
+    {RecoveryPolicy::RetransmitReroute, "reroute"},
+};
+
+} // namespace
+
+const char *
+recoveryPolicyName(RecoveryPolicy policy)
+{
+    if (const char *name = enumValueName(policy, kRecoveryPolicyNames))
+        return name;
+    damq_panic("unknown RecoveryPolicy ", static_cast<int>(policy));
+}
+
+std::optional<RecoveryPolicy>
+tryRecoveryPolicyFromString(const std::string &name)
+{
+    return parseEnumName(std::string_view(name), kRecoveryPolicyNames);
+}
+
+} // namespace damq

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * RecoveryPolicy: what the fabric does about link faults.
+ *
+ *  - none:       detect and count (PR-1 behavior) — lost packets are
+ *                charged to the fault counters and that is all.
+ *  - retransmit: a link-level retransmission protocol (per-link CRC
+ *                over the sealed header, same-cycle ack/nack,
+ *                sequence numbers, bounded retry with exponential
+ *                backoff) recovers dropped and corrupted frames;
+ *                a link that fails maxRetries consecutive attempts
+ *                is declared dead and its pending packet is lost.
+ *  - retransmit+reroute: additionally, packets queued for a
+ *                declared-dead link are re-homed onto live detours
+ *                computed from the global link-state mask, so the
+ *                fabric keeps delivering around permanent failures.
+ *
+ * The config rides inside SimCommonConfig; with policy == none the
+ * engines allocate no protocol state at all, so baselines stay
+ * byte-identical.
+ */
+
+#ifndef DAMQ_NETWORK_CORE_RECOVERY_HH
+#define DAMQ_NETWORK_CORE_RECOVERY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+
+namespace damq {
+
+/** How the fabric reacts to link faults. */
+enum class RecoveryPolicy : std::uint8_t
+{
+    None,              ///< detect and count only
+    Retransmit,        ///< link-level retransmission
+    RetransmitReroute, ///< retransmission + dead-link detours
+};
+
+/** Canonical spelling ("none" | "retransmit" | "retransmit+reroute"). */
+const char *recoveryPolicyName(RecoveryPolicy policy);
+
+/**
+ * Parse a RecoveryPolicy name; accepts "reroute" as shorthand for
+ * "retransmit+reroute".  nullopt on unknown input.
+ */
+std::optional<RecoveryPolicy>
+tryRecoveryPolicyFromString(const std::string &name);
+
+/** Knobs of the link-level recovery protocol. */
+struct RecoveryConfig
+{
+    RecoveryPolicy policy = RecoveryPolicy::None;
+
+    /**
+     * Consecutive failed transmissions on one link before the link
+     * is declared dead and its pending packet is given up on
+     * (rerouted or lost, by policy).
+     */
+    std::uint32_t maxRetries = 8;
+
+    /** Cycles a sender waits for the (lost) ack before retrying. */
+    Cycle ackTimeoutCycles = 1;
+
+    /**
+     * Exponential backoff: attempt k waits
+     * min(retryBackoffBase << (k-1), retryBackoffCap) cycles on top
+     * of the ack timeout before retransmitting.
+     */
+    Cycle retryBackoffBase = 1;
+    Cycle retryBackoffCap = 64;
+
+    /**
+     * Every this many cycles, dead links are probed; a link whose
+     * underlying fault episode has ended is revived (episodic
+     * LinkDown faults heal, permanent ones never pass the probe).
+     */
+    Cycle reviveProbeCycles = 128;
+
+    /** Whether any protocol machinery is active. */
+    bool enabled() const { return policy != RecoveryPolicy::None; }
+
+    /** Whether dead links trigger rerouting. */
+    bool reroute() const
+    {
+        return policy == RecoveryPolicy::RetransmitReroute;
+    }
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_RECOVERY_HH

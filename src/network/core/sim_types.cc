@@ -31,15 +31,6 @@ tryFlowControlFromString(const std::string &name)
     return parseEnumName(std::string_view(name), kFlowControlNames);
 }
 
-FlowControl
-flowControlFromString(const std::string &name)
-{
-    if (const auto protocol = tryFlowControlFromString(name))
-        return *protocol;
-    damq_fatal("unknown flow control '", name,
-               "' (expected discarding|blocking)");
-}
-
 NetworkCounters
 NetworkCounters::operator-(const NetworkCounters &rhs) const
 {

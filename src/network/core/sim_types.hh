@@ -30,12 +30,6 @@ const char *flowControlName(FlowControl protocol);
 std::optional<FlowControl> tryFlowControlFromString(
     const std::string &name);
 
-/** Parse a case-insensitive protocol name; fatal on bad input.
- *  @deprecated front-ends should use tryFlowControlFromString and
- *  print their own usage text instead of dying mid-parse. */
-[[deprecated("use tryFlowControlFromString")]] FlowControl
-flowControlFromString(const std::string &name);
-
 /** Monotone event counters (lifetime totals). */
 struct NetworkCounters
 {

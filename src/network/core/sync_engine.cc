@@ -37,6 +37,7 @@ SyncEngine::SyncEngine(const Topology &topology,
       traffic(makeSource(topology, config)),
       sourceQueues(topology.numEndpoints()),
       nextSeq(topology.numEndpoints(), 0),
+      latencyHist(config.latencyUnitScale, 4096),
       perSourceLatency(topology.numEndpoints())
 {
     const std::uint32_t n = topo.numSwitches();
@@ -65,6 +66,64 @@ SyncEngine::SyncEngine(const Topology &topology,
                         topo.portsPerSwitch());
     sentScratch.reserve(topo.portsPerSwitch());
     pendingScratch.reserve(topo.numEndpoints());
+
+    // Register the flat link numbering with the injector so its
+    // hard-fault plan (forced-down links/routers) and the recovery
+    // layer agree on link ids.  Eligibility comes from the topology
+    // (delivery links to sinks are excluded by default).
+    {
+        std::vector<std::uint8_t> eligible(topo.numLinks(), 0);
+        std::vector<std::size_t> reverse(
+            topo.numLinks(), FaultInjector::kNoReverseLink);
+        for (SwitchId sw = 0; sw < n; ++sw) {
+            for (PortId out = 0; out < topo.portsPerSwitch(); ++out) {
+                if (!topo.hasLink(sw, out))
+                    continue; // mesh edge: no such link
+                const LinkId link =
+                    linkIdOf(sw, out, topo.portsPerSwitch());
+                eligible[link] = topo.linkFaultEligible(sw, out);
+                // Physical pairing: on a duplex fabric a frame
+                // over (sw, out) arrives at the input port whose
+                // same-numbered output leads straight back.  Only
+                // verified reciprocity pairs up — a unidirectional
+                // fabric (the Omega stages) pairs nothing.
+                const HopTarget next = topo.hop(sw, out);
+                if (next.toSink ||
+                    !topo.hasLink(next.switchId, next.inputPort))
+                    continue;
+                const HopTarget back =
+                    topo.hop(next.switchId, next.inputPort);
+                if (!back.toSink && back.switchId == sw &&
+                    back.inputPort == out)
+                    reverse[link] =
+                        linkIdOf(next.switchId, next.inputPort,
+                                 topo.portsPerSwitch());
+            }
+        }
+        injector.configureLinks(topo.numLinks(),
+                                topo.portsPerSwitch(), eligible,
+                                reverse);
+    }
+
+    // Recovery protocol state exists only when the policy asks for
+    // it; with RecoveryPolicy::None nothing below is allocated and
+    // the engine's hot path is byte-identical to pre-recovery runs.
+    if (cfg.common.recovery.enabled()) {
+        linkLayer = std::make_unique<LinkLayer>(cfg.common.recovery,
+                                                topo.numLinks());
+        linkUsed.assign(topo.numLinks(), 0);
+        linksUsedScratch.reserve(topo.numLinks());
+        if (cfg.common.recovery.reroute()) {
+            if (cfg.placement != BufferPlacement::Input) {
+                damq_fatal("recovery policy retransmit+reroute "
+                           "requires input buffering (re-homing "
+                           "pops the per-output queues held at the "
+                           "inputs)");
+            }
+            faultRouter = std::make_unique<FaultRouter>(
+                topo, linkLayer->linkMask());
+        }
+    }
 
     initTelemetry();
 }
@@ -132,6 +191,19 @@ SyncEngine::configureTelemetry(obs::Telemetry &t)
         m.gauge("arb.grants").set(static_cast<double>(grants));
         m.gauge("arb.staleOverrides")
             .set(static_cast<double>(stale));
+
+        if (linkLayer) {
+            const RecoveryStats &rs = linkLayer->stats();
+            m.gauge("net.retransmits")
+                .set(static_cast<double>(rs.retransmits));
+            m.gauge("net.recovered")
+                .set(static_cast<double>(rs.packetsRecovered));
+            m.gauge("net.rerouted")
+                .set(static_cast<double>(rs.packetsRerouted));
+            m.gauge("net.deadLinks")
+                .set(static_cast<double>(
+                    linkLayer->linkMask().deadLinks()));
+        }
     });
 }
 
@@ -173,6 +245,7 @@ SyncEngine::phaseAdvance()
     // accounting between transmit() calls is exact.)
     const bool shared_structures =
         cfg.placement != BufferPlacement::Input;
+    const bool hard_faults = common.faults.hardFaultsEnabled();
     std::unordered_map<std::uint64_t, std::uint32_t> &pending =
         pendingScratch;
     pending.clear();
@@ -184,14 +257,45 @@ SyncEngine::phaseAdvance()
                structure;
     };
 
+    if (linkLayer) {
+        // Protocol work precedes fresh arbitration: dead links are
+        // probed for revival, due retransmissions claim their
+        // links, and re-homed packets try to re-enter the fabric.
+        for (const LinkId link : linksUsedScratch)
+            linkUsed[link] = 0;
+        linksUsedScratch.clear();
+        const std::uint64_t mask_version =
+            linkLayer->linkMask().version();
+        applyDeadLinks();
+        probeDeadLinks();
+        if (faultRouter &&
+            linkLayer->linkMask().version() != mask_version)
+            rekeyQueuedPackets();
+        processRetries();
+        processRehomes();
+    }
+
     std::vector<Move> &moves = moveScratch;
     moves.clear();
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
         // A stuck arbiter issues no grants at all this cycle.
         if (injector.arbiterStuck(sw, currentCycle))
             continue;
+        // Neither does a router frozen by a hard fault.
+        if (hard_faults &&
+            injector.routerForcedDown(sw, currentCycle))
+            continue;
         auto can_send = [&, sw](PortId, QueueKey out_key,
                                 const Packet &pkt) {
+            if (linkLayer) {
+                // Stop-and-wait: a link holding an unacked frame, a
+                // declared-dead link, or a link a retransmission
+                // used this cycle admits no fresh frame.
+                const LinkId link = linkIdOf(
+                    sw, out_key.out, topo.portsPerSwitch());
+                if (!linkLayer->canSendFresh(link) || linkUsed[link])
+                    return false;
+            }
             if (cfg.protocol == FlowControl::Discarding)
                 return true; // transmit blindly; receiver may drop
             const HopTarget next = topo.hop(sw, out_key.out);
@@ -202,8 +306,10 @@ SyncEngine::phaseAdvance()
             // no packet is lost.
             if (injector.creditDelayed(next.switchId, currentCycle))
                 return false;
-            const PortId next_out =
-                topo.route(next.switchId, pkt.dest);
+            const PortId next_out = routeAfterHop(
+                sw, out_key.out, next.switchId, pkt);
+            if (next_out == kInvalidPort)
+                return false; // dest unroutable from downstream
             // The VC the packet will occupy on this link decides
             // which downstream queue must have room.
             const VcId next_vc =
@@ -243,10 +349,12 @@ SyncEngine::phaseAdvance()
             if (shared_structures) {
                 const HopTarget next = topo.hop(sw, pkt.outPort);
                 if (!next.toSink) {
-                    const PortId next_out =
-                        topo.route(next.switchId, pkt.dest);
-                    pending[pending_key(next.switchId, next_out)] +=
-                        pkt.lengthSlots;
+                    const PortId next_out = routeAfterHop(
+                        sw, pkt.outPort, next.switchId, pkt);
+                    if (next_out != kInvalidPort)
+                        pending[pending_key(next.switchId,
+                                            next_out)] +=
+                            pkt.lengthSlots;
                 }
             }
             moves.push_back(Move{sw, pkt});
@@ -254,6 +362,25 @@ SyncEngine::phaseAdvance()
     }
 
     for (Move &move : moves) {
+        if (linkLayer) {
+            // Recovery on: the frame crosses under the link-level
+            // protocol (CRC, same-cycle ack/nack, retransmission).
+            const LinkId link = linkIdOf(move.sw,
+                                         move.packet.outPort,
+                                         topo.portsPerSwitch());
+            wireCross(move.sw, move.packet,
+                      linkLayer->assignSeq(link),
+                      /*is_retry=*/false);
+            continue;
+        }
+        // Hard faults without recovery: every frame onto a
+        // forced-down link (or into a frozen router) is lost.
+        if (hard_faults &&
+            hardFaultLoss(move.sw, move.packet.outPort)) {
+            ++counters.faultDropped;
+            traceLoss(move.packet, "drop@linkdown");
+            continue;
+        }
         // Link faults: the packet can vanish or arrive with a
         // flipped header bit.  The receiving side verifies the
         // sealed checksum before using any header field, so a
@@ -296,6 +423,374 @@ SyncEngine::phaseAdvance()
             traceLoss(pkt, "drop@internal");
         }
     }
+}
+
+PortId
+SyncEngine::routeFor(SwitchId sw, const Packet &pkt)
+{
+    return faultRouter
+               ? faultRouter->nextHop(sw, pkt.dest, pkt.routeDown)
+                     .port
+               : topo.route(sw, pkt.dest);
+}
+
+PortId
+SyncEngine::routeAfterHop(SwitchId sw, PortId out, SwitchId next_sw,
+                          const Packet &pkt)
+{
+    if (!faultRouter)
+        return topo.route(next_sw, pkt.dest);
+    const bool down = pkt.routeDown || faultRouter->downHop(sw, out);
+    return faultRouter->nextHop(next_sw, pkt.dest, down).port;
+}
+
+bool
+SyncEngine::hardFaultLoss(SwitchId sw, PortId out)
+{
+    const LinkId link = linkIdOf(sw, out, topo.portsPerSwitch());
+    if (injector.linkForcedDown(link, currentCycle))
+        return true;
+    const HopTarget next = topo.hop(sw, out);
+    return !next.toSink &&
+           injector.routerForcedDown(next.switchId, currentCycle);
+}
+
+bool
+SyncEngine::wireCross(SwitchId sw, const Packet &pristine,
+                      std::uint32_t seq, bool is_retry)
+{
+    const PortId out = pristine.outPort;
+    const LinkId link = linkIdOf(sw, out, topo.portsPerSwitch());
+    const HopTarget next = topo.hop(sw, out);
+    RecoveryStats &rs = linkLayer->stats();
+    ++rs.framesSent;
+    if (is_retry)
+        ++rs.retransmits;
+
+    // A hard fault loses the frame outright; so does a transient
+    // drop.  Either way no ack comes back and the sender times out.
+    bool lost = false;
+    if (common.faults.hardFaultsEnabled()) {
+        lost = injector.linkForcedDown(link, currentCycle) ||
+               (!next.toSink && injector.routerForcedDown(
+                                    next.switchId, currentCycle));
+    }
+    if (!lost)
+        lost = injector.dropOnLink(sw, currentCycle, pristine);
+    if (lost) {
+        frameFailed(sw, link, pristine, seq, is_retry,
+                    /*nacked=*/false);
+        return false;
+    }
+
+    // The receiver sees the wire copy; a corrupted frame fails the
+    // CRC check there and is nacked within the transfer cycle.
+    Packet wire = pristine;
+    injector.corruptOnLink(sw, currentCycle, wire);
+    if (linkFrameCrc(wire, seq) != linkFrameCrc(pristine, seq)) {
+        injector.recordDetectedCorruption();
+        frameFailed(sw, link, pristine, seq, is_retry,
+                    /*nacked=*/true);
+        return false;
+    }
+
+    // Acked.  The CRC catches every single-bit flip (the fault
+    // model's whole repertoire), so an accepted frame is pristine.
+    linkLayer->onAck(link);
+    if (is_retry) {
+        // The link carried this retransmission; no fresh frame may
+        // use it again this cycle.
+        linkUsed[link] = 1;
+        linksUsedScratch.push_back(link);
+    }
+
+    if (next.toSink) {
+        deliver(pristine, next.sink);
+        return true;
+    }
+    Packet pkt = pristine;
+    pkt.vc = vcAlloc.linkVc(pristine, sw, out);
+    pkt.inPort = next.inputPort;
+    if (faultRouter && faultRouter->active()) {
+        pkt.routeDown =
+            pristine.routeDown || faultRouter->downHop(sw, out);
+        const FaultRouter::Hop onward = faultRouter->nextHop(
+            next.switchId, pkt.dest, pkt.routeDown);
+        pkt.outPort = onward.port;
+        if (pkt.outPort == kInvalidPort) {
+            // Reachability collapsed while the frame was in
+            // flight: the wire worked (the ack above stands), but
+            // no legal route onward exists — charge the loss to
+            // the faults.
+            ++counters.faultDropped;
+            traceLoss(pkt, "drop@unroutable");
+            return true;
+        }
+        if (pkt.routeDown && !onward.down) {
+            // The frame's descent chain vanished while it was in
+            // flight (epoch change): it must restart as a climber,
+            // but climbing out of a down-link's buffer is the one
+            // dependency edge the up*-down* order forbids.  It
+            // re-enters through the local injection buffer via the
+            // re-home queue instead.
+            ++pkt.hops;
+            rehomeQueue.push_back(Rehome{next.switchId, pkt});
+            return true;
+        }
+    } else {
+        pkt.outPort = routeFor(next.switchId, pkt);
+    }
+    ++pkt.hops;
+    SwitchUnit &target = *switches[next.switchId];
+    const bool accepted = target.tryReceive(next.inputPort, pkt);
+    if (!accepted) {
+        damq_assert(cfg.protocol == FlowControl::Discarding,
+                    "blocking protocol transmitted into a full "
+                    "buffer — back-pressure check is broken");
+        ++counters.discardedInternal;
+        traceLoss(pkt, "drop@internal");
+    }
+    return true;
+}
+
+void
+SyncEngine::frameFailed(SwitchId sw, LinkId link,
+                        const Packet &pristine, std::uint32_t seq,
+                        bool is_retry, bool nacked)
+{
+    if (!is_retry)
+        linkLayer->holdFrame(link, pristine, seq, currentCycle);
+    if (linkLayer->onFail(link, nacked, currentCycle) ==
+        LinkLayer::Verdict::DeclareDead) {
+        // Deferred to next cycle's pre-pass: declaring now would
+        // change the routing function mid-cycle, after this
+        // cycle's capacity checks already ran against it.
+        deadPending.push_back(DeadLink{sw, link});
+    }
+}
+
+void
+SyncEngine::applyDeadLinks()
+{
+    for (const DeadLink &dead : deadPending)
+        handleDeadLink(dead.sw, dead.link);
+    deadPending.clear();
+}
+
+void
+SyncEngine::handleDeadLink(SwitchId sw, LinkId link)
+{
+    linkLayer->declareDead(link);
+    Packet victim = linkLayer->takePending(link);
+    if (faultRouter) {
+        // Re-home the stranded frame and everything queued behind
+        // it; their detours are computed when they re-enter.
+        rehomeQueue.push_back(Rehome{sw, victim});
+        rehomeQueuedPackets(
+            sw, static_cast<PortId>(link % topo.portsPerSwitch()));
+    } else {
+        // Retransmit-only: the stranded frame is charged to the
+        // fault counters.  Packets queued behind the dead output
+        // stay blocked — the watchdog will diagnose the partition.
+        ++counters.faultDropped;
+        ++linkLayer->stats().packetsLostAfterRetry;
+        traceLoss(victim, "drop@deadlink");
+    }
+}
+
+void
+SyncEngine::rehomeQueuedPackets(SwitchId sw, PortId out)
+{
+    auto *sm = static_cast<SwitchModel *>(switches[sw].get());
+    for (PortId in = 0; in < sm->numPorts(); ++in) {
+        BufferModel &buf = sm->buffer(in);
+        for (VcId vc = 0; vc < cfg.common.vcs; ++vc) {
+            const QueueKey key{out, vc};
+            while (buf.peek(key) != nullptr)
+                rehomeQueue.push_back(Rehome{sw, buf.pop(key)});
+        }
+    }
+}
+
+void
+SyncEngine::rekeyQueuedPackets()
+{
+    // Every packet restarts as a climber: its old phase bit and
+    // queue key both belong to routes of the previous epoch, and a
+    // standing restart (fresh up*-then-down* route from the buffer
+    // it already sits in) is legal from scratch.  Packets whose
+    // key survives the change are re-pushed in order; the rest
+    // join the re-home queue and re-enter via processRehomes().
+    std::vector<Packet> keep;
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        auto *sm = static_cast<SwitchModel *>(switches[sw].get());
+        for (PortId in = 0; in < sm->numPorts(); ++in) {
+            BufferModel &buf = sm->buffer(in);
+            for (PortId out = 0; out < sm->numPorts(); ++out) {
+                for (VcId vc = 0; vc < cfg.common.vcs; ++vc) {
+                    const QueueKey key{out, vc};
+                    if (buf.peek(key) == nullptr)
+                        continue;
+                    keep.clear();
+                    while (buf.peek(key) != nullptr) {
+                        Packet pkt = buf.pop(key);
+                        pkt.routeDown = false;
+                        const PortId want = routeFor(sw, pkt);
+                        // Keeping the packet in place requires both
+                        // that the new routing still picks this
+                        // output and that waiting for it from this
+                        // buffer is not a down→up turn of the new
+                        // orientation; everything else re-enters
+                        // through the local buffer.
+                        if (want == out &&
+                            !faultRouter->illegalTurn(sw, in, out))
+                            keep.push_back(pkt);
+                        else if (want == kInvalidPort) {
+                            // Cut off from its sink by the change.
+                            ++counters.faultDropped;
+                            traceLoss(pkt, "drop@unroutable");
+                        } else
+                            rehomeQueue.push_back(Rehome{sw, pkt});
+                    }
+                    for (const Packet &pkt : keep) {
+                        // Refill in arrival order.  The pops above
+                        // freed at least these slots, but the
+                        // escape-slot reservation can still refuse
+                        // a refill on the margin — those packets
+                        // re-enter through the re-home queue.
+                        if (buf.canAccept(key, pkt.lengthSlots))
+                            buf.push(pkt);
+                        else
+                            rehomeQueue.push_back(Rehome{sw, pkt});
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+SyncEngine::processRetries()
+{
+    if (linkLayer->pendingLinks() == 0)
+        return;
+    const std::uint32_t ports = topo.portsPerSwitch();
+    for (LinkId link = 0; link < topo.numLinks(); ++link) {
+        if (!linkLayer->retryDue(link, currentCycle))
+            continue;
+        const SwitchId sw = link / ports;
+        const Packet &pristine = linkLayer->pendingPacket(link);
+        // Mirror can_send: a retransmission into a full downstream
+        // buffer waits for room without consuming an attempt (the
+        // failure streak tracks the *wire*, not back-pressure).
+        const HopTarget next = topo.hop(sw, pristine.outPort);
+        if (cfg.protocol != FlowControl::Discarding &&
+            !next.toSink) {
+            if (injector.creditDelayed(next.switchId, currentCycle))
+                continue;
+            // A frame whose arrival will not enter a buffer — the
+            // destination became unroutable (dropped on arrival)
+            // or its descent chain vanished (diverted to the
+            // re-home queue) — needs no downstream space, and
+            // holding it would block the link indefinitely.
+            bool needs_space = true;
+            PortId next_out = kInvalidPort;
+            if (faultRouter && faultRouter->active()) {
+                const bool went_down =
+                    pristine.routeDown ||
+                    faultRouter->downHop(sw, pristine.outPort);
+                const FaultRouter::Hop onward = faultRouter->nextHop(
+                    next.switchId, pristine.dest, went_down);
+                next_out = onward.port;
+                needs_space = next_out != kInvalidPort &&
+                              !(went_down && !onward.down);
+            } else {
+                next_out = routeAfterHop(
+                    sw, pristine.outPort, next.switchId, pristine);
+            }
+            if (needs_space) {
+                const VcId next_vc =
+                    vcAlloc.linkVc(pristine, sw, pristine.outPort);
+                if (!switches[next.switchId]->canAccept(
+                        next.inputPort, QueueKey{next_out, next_vc},
+                        pristine.lengthSlots))
+                    continue;
+            }
+        }
+        wireCross(sw, pristine, linkLayer->pendingSeq(link),
+                  /*is_retry=*/true);
+    }
+}
+
+void
+SyncEngine::processRehomes()
+{
+    if (rehomeQueue.empty())
+        return;
+    // One bounded pass: whatever cannot re-enter yet stays queued
+    // (and counts as in-flight for the packet accounting).
+    for (std::size_t n = rehomeQueue.size(); n > 0; --n) {
+        Rehome item = rehomeQueue.front();
+        rehomeQueue.pop_front();
+        Packet &pkt = item.pkt;
+        // Re-homing is a standing restart: the packet's old phase
+        // belonged to routes through the now-dead link, and a fresh
+        // up*-then-down* route from here is legal from scratch.
+        pkt.routeDown = false;
+        const PortId detour = routeFor(item.sw, pkt);
+        if (detour == kInvalidPort) {
+            // The failures cut this packet off from its sink.
+            ++counters.faultDropped;
+            ++linkLayer->stats().packetsLostAfterRetry;
+            traceLoss(pkt, "drop@unroutable");
+            continue;
+        }
+        const LinkId link =
+            linkIdOf(item.sw, detour, topo.portsPerSwitch());
+        auto *sm =
+            static_cast<SwitchModel *>(switches[item.sw].get());
+        // Re-entry goes through the local injection buffer when
+        // the switch has one: no fabric link feeds that buffer, so
+        // a displaced packet waiting there can never extend a
+        // channel-dependency chain — re-entry cannot close a
+        // deadlock cycle no matter which output it waits for.  The
+        // packet keeps its VC.
+        const PortId local = topo.localInputPort(item.sw);
+        const PortId entry =
+            local != kInvalidPort ? local : pkt.inPort;
+        if (linkLayer->linkMask().linkUp(link) &&
+            sm->canAccept(entry, QueueKey{detour, pkt.vc},
+                          pkt.lengthSlots)) {
+            pkt.outPort = detour;
+            pkt.inPort = entry;
+            const bool ok = sm->tryReceive(entry, pkt);
+            damq_assert(ok, "canAccept/tryReceive disagree on a "
+                            "re-homed packet");
+            ++linkLayer->stats().packetsRerouted;
+        } else {
+            rehomeQueue.push_back(item);
+        }
+    }
+}
+
+void
+SyncEngine::probeDeadLinks()
+{
+    if (!linkLayer->probeDue(currentCycle))
+        return;
+    const std::uint32_t ports = topo.portsPerSwitch();
+    // Reviving inside the visit is safe: the mask's storage does
+    // not move, and clearing the current bit never hides later
+    // dead links from the ascending walk.
+    linkLayer->linkMask().forEachDeadLink([&](LinkId link) {
+        if (injector.linkForcedDown(link, currentCycle))
+            return; // episode still running
+        const HopTarget next = topo.hop(link / ports, link % ports);
+        if (!next.toSink && injector.routerForcedDown(
+                                next.switchId, currentCycle))
+            return; // receiver still frozen
+        linkLayer->revive(link);
+    });
 }
 
 void
@@ -359,7 +854,20 @@ bool
 SyncEngine::tryInject(NodeId src, Packet pkt)
 {
     const InjectPoint entry = topo.injectionPoint(src);
-    pkt.outPort = topo.route(entry.switchId, pkt.dest);
+    // A frozen router grants no credit to its host link either.
+    if (common.faults.hardFaultsEnabled() &&
+        injector.routerForcedDown(entry.switchId, currentCycle))
+        return false;
+    pkt.outPort = routeFor(entry.switchId, pkt);
+    if (pkt.outPort == kInvalidPort) {
+        // The destination is unroutable from here (partitioned
+        // fabric).  Consume the packet into the fault accounting
+        // rather than blocking the source queue forever.
+        ++counters.injected;
+        ++counters.faultDropped;
+        traceLoss(pkt, "drop@unroutable");
+        return true;
+    }
     pkt.inPort = entry.port; // injected packets start on VC 0
     pkt.injectedAt = currentCycle;
     SwitchUnit &first = *switches[entry.switchId];
@@ -399,6 +907,7 @@ SyncEngine::deliver(const Packet &pkt, NodeId sink)
             static_cast<double>(currentCycle - pkt.injectedAt) *
             cfg.latencyUnitScale;
         latencyStats.add(latency);
+        latencyHist.add(latency);
         perSourceLatency[pkt.source].add(latency);
         hopStats.add(static_cast<double>(pkt.hops));
     }
@@ -409,6 +918,7 @@ SyncEngine::beginMeasurement()
 {
     windowStart = counters;
     latencyStats.reset();
+    latencyHist.reset();
     hopStats.reset();
     sourceQueueSamples.reset();
     switchOccupancySamples.reset();
@@ -435,6 +945,8 @@ SyncEngine::run()
             : static_cast<double>(result.window.discarded()) /
                   static_cast<double>(result.window.generated);
     result.latency = latencyStats;
+    result.latencyP50 = latencyHist.quantile(0.5);
+    result.latencyP99 = latencyHist.quantile(0.99);
     result.hops = hopStats;
     result.avgSourceQueueLen = sourceQueueSamples.mean();
     result.avgSwitchOccupancy = switchOccupancySamples.mean();
@@ -468,6 +980,11 @@ SyncEngine::packetsInFlight() const
     std::uint64_t total = 0;
     for (const auto &sw : switches)
         total += sw->totalPackets();
+    // Unacked frames in retransmit buffers and displaced packets
+    // awaiting their detour are still inside the fabric.
+    if (linkLayer)
+        total += linkLayer->packetsHeld();
+    total += rehomeQueue.size();
     return total;
 }
 
@@ -492,6 +1009,16 @@ SyncEngine::phaseFaults()
 {
     if (!injector.enabled())
         return;
+    // Roll every hard-fault episode in fixed id order, so the draw
+    // sequence never depends on which links traffic happens to use.
+    if (common.faults.routerDownRate > 0.0) {
+        for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw)
+            injector.routerForcedDown(sw, currentCycle);
+    }
+    if (common.faults.linkDownRate > 0.0) {
+        for (LinkId link = 0; link < topo.numLinks(); ++link)
+            injector.linkForcedDown(link, currentCycle);
+    }
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
         if (!injector.rollSlotLeak(sw, currentCycle))
             continue;
@@ -516,6 +1043,12 @@ SyncEngine::phaseAudit()
         auditor.record(currentCycle, injector.componentName(sw),
                        switches[sw]->checkInvariants());
         if (cfg.placement != BufferPlacement::Input)
+            continue;
+        // Rerouting legitimately reorders: a re-homed packet jumps
+        // to another queue, and detoured packets can overtake
+        // same-source packets on the original path — so the
+        // per-source FIFO audit only applies without reroute.
+        if (faultRouter)
             continue;
         // Per-source FIFO delivery order, walked in place via
         // forEachInQueue — no queue snapshot is copied.
@@ -551,19 +1084,34 @@ SyncEngine::phaseWatchdog()
 {
     if (!watchdog.enabled())
         return;
+    const bool hard_faults = common.faults.hardFaultsEnabled();
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
         const std::uint64_t transmitted =
             switches[sw]->unitStats().transmitted;
         const bool moved = transmitted != prevTransmitted[sw];
         prevTransmitted[sw] = transmitted;
-        watchdog.observe(sw, currentCycle,
-                         switches[sw]->totalPackets() > 0, moved);
+        bool has_work = switches[sw]->totalPackets() > 0;
+        // A router frozen by an injected hard fault is stalled by
+        // design, not deadlocked — don't let it trip the watchdog.
+        if (has_work && hard_faults &&
+            injector.routerForcedDown(sw, currentCycle))
+            has_work = false;
+        watchdog.observe(sw, currentCycle, has_work, moved);
     }
     if (watchdog.check(currentCycle,
                        [this] { return snapshotText(); })) {
         damq_warn("deadlock watchdog fired:\n",
                   watchdog.diagnostic());
     }
+}
+
+FaultReport
+SyncEngine::faultReport() const
+{
+    FaultReport report = SimEngine::faultReport();
+    if (linkLayer)
+        linkLayer->fillReport(report);
+    return report;
 }
 
 bool

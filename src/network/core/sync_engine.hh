@@ -35,11 +35,14 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "network/core/fault_router.hh"
+#include "network/core/link_layer.hh"
 #include "network/core/sim_engine.hh"
 #include "network/core/sim_types.hh"
 #include "network/core/topology.hh"
 #include "network/core/traffic_source.hh"
 #include "network/core/vc_policy.hh"
+#include "stats/histogram.hh"
 #include "stats/running_stats.hh"
 #include "switchsim/switch_unit.hh"
 
@@ -118,6 +121,12 @@ struct SyncResult
 
     /** Largest per-source mean latency. */
     double worstSourceLatency = 0.0;
+
+    /** Median in-network latency (histogram estimate). */
+    double latencyP50 = 0.0;
+
+    /** 99th-percentile in-network latency (histogram estimate). */
+    double latencyP99 = 0.0;
 };
 
 /**
@@ -172,6 +181,12 @@ class SyncEngine final : public SimEngine
      */
     std::string snapshotText() const;
 
+    /** Adds the link layer's recovery counters (when enabled). */
+    FaultReport faultReport() const override;
+
+    /** The link layer, or nullptr when recovery is off (tests). */
+    const LinkLayer *linkLayerOrNull() const { return linkLayer.get(); }
+
   protected:
     void phaseFaults() override;   ///< structural slot leaks
     void phaseAdvance() override;  ///< arbitrate, pop, deliver
@@ -196,6 +211,68 @@ class SyncEngine final : public SimEngine
     /** Record a packet leaving the fabric at @p sink. */
     void deliver(const Packet &pkt, NodeId sink);
 
+    // --- recovery-layer helpers (all no-ops when recovery is off) ---
+
+    /** Routing decision for @p pkt at @p sw (up*-down* tables when
+     *  rerouting, the topology's minimal route otherwise). */
+    PortId routeFor(SwitchId sw, const Packet &pkt);
+
+    /**
+     * Lookahead of the routing decision @p pkt will face at
+     * @p next_sw after crossing (sw, out) — the capacity checks
+     * need it one hop early, phase bit included.
+     */
+    PortId routeAfterHop(SwitchId sw, PortId out, SwitchId next_sw,
+                         const Packet &pkt);
+
+    /** Whether a hard fault loses frames on (sw, out) this cycle. */
+    bool hardFaultLoss(SwitchId sw, PortId out);
+
+    /**
+     * Carry one frame across its link under the recovery protocol:
+     * roll the hard-fault and transient-fault hooks, verify the
+     * frame CRC at the receiver, and ack (forward/deliver) or fail
+     * (hold + schedule retry / declare the link dead).  Returns
+     * true when the frame crossed and was consumed.
+     */
+    bool wireCross(SwitchId sw, const Packet &pristine,
+                   std::uint32_t seq, bool is_retry);
+
+    /** Failure path of wireCross (hold, backoff, dead-link). */
+    void frameFailed(SwitchId sw, LinkId link, const Packet &pristine,
+                     std::uint32_t seq, bool is_retry, bool nacked);
+
+    /** Link @p link exhausted its retries: kill or re-home it. */
+    void handleDeadLink(SwitchId sw, LinkId link);
+
+    /** Apply the dead-link declarations collected last cycle.
+     *  Deferring them to this pre-pass keeps the routing function
+     *  fixed between a cycle's capacity checks and its moves. */
+    void applyDeadLinks();
+
+    /** Move everything queued onto dead output @p out at @p sw into
+     *  the re-home queue (reroute policy only). */
+    void rehomeQueuedPackets(SwitchId sw, PortId out);
+
+    /**
+     * Link-state epoch change: re-key every queued packet in the
+     * network against the new routing function.  Queue keys were
+     * assigned under the previous orientation; a single stale key
+     * is a channel dependency the up*-down* ordering does not
+     * cover, and one such edge can close a dependency cycle that
+     * wedges the whole fabric (reroute policy only).
+     */
+    void rekeyQueuedPackets();
+
+    /** Retry due retransmissions, oldest links first. */
+    void processRetries();
+
+    /** Re-inject re-homed packets whose detour has room. */
+    void processRehomes();
+
+    /** Revive dead links whose fault episode has ended. */
+    void probeDeadLinks();
+
     const Topology &topo;
     SyncConfig cfg;
     VcAllocator vcAlloc; ///< per-hop VC assignment (common.vcs VCs)
@@ -206,6 +283,35 @@ class SyncEngine final : public SimEngine
 
     /** Per-source backlog (used by the blocking protocol only). */
     std::vector<std::deque<Packet>> sourceQueues;
+
+    /**
+     * Link-level retransmission state; nullptr unless the recovery
+     * policy enables it, so baselines allocate nothing.
+     */
+    std::unique_ptr<LinkLayer> linkLayer;
+
+    /** Dead-link detour routing; nullptr unless reroute is on. */
+    std::unique_ptr<FaultRouter> faultRouter;
+
+    /** Packet displaced off a dead link, waiting to re-enter. */
+    struct Rehome
+    {
+        SwitchId sw;
+        Packet pkt;
+    };
+
+    /** Displaced packets awaiting re-injection on their detour. */
+    std::deque<Rehome> rehomeQueue;
+
+    /** A retry budget exhausted this cycle; declared next cycle. */
+    struct DeadLink
+    {
+        SwitchId sw;
+        LinkId link;
+    };
+
+    /** Declarations deferred to the next cycle's pre-pass. */
+    std::vector<DeadLink> deadPending;
 
     std::vector<std::uint64_t> prevTransmitted; ///< per component
     std::vector<std::uint32_t> nextSeq;         ///< per source
@@ -228,7 +334,17 @@ class SyncEngine final : public SimEngine
     std::vector<Packet> sentScratch;
     std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;
 
+    /**
+     * Links a successful retransmission already used this cycle
+     * (recovery only): a link carries at most one frame per cycle,
+     * so arbitration must not grant a fresh frame onto it.  Dense
+     * flag array plus the list of set entries, cleared per cycle.
+     */
+    std::vector<std::uint8_t> linkUsed;
+    std::vector<LinkId> linksUsedScratch;
+
     RunningStats latencyStats;
+    Histogram latencyHist; ///< for the p50/p99 estimates
     RunningStats hopStats;
     RunningStats sourceQueueSamples;
     RunningStats switchOccupancySamples;

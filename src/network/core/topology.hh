@@ -84,6 +84,53 @@ class Topology
     /** Diagnostic name of @p sw ("stage1.sw3", "node12", ...). */
     virtual std::string switchName(SwitchId sw) const = 0;
 
+    // --- Link-state surface -----------------------------------------
+    // The recovery layer's link-state mask (link_state.hh) indexes
+    // links flat as sw * portsPerSwitch() + out; these helpers tie
+    // that numbering to the topology so the fault injector, the
+    // link layer, and the fault-tolerant router all agree on it.
+
+    /** Number of flat link ids (every output of every switch). */
+    std::uint32_t numLinks() const
+    {
+        return numSwitches() * portsPerSwitch();
+    }
+
+    /**
+     * Whether output @p out of switch @p sw is wired to anything.
+     * Regular topologies keep the default (every port exists); a
+     * non-wraparound grid overrides it for its edge ports, whose
+     * hop() would be meaningless.
+     */
+    virtual bool hasLink(SwitchId /*sw*/, PortId /*out*/) const
+    {
+        return true;
+    }
+
+    /**
+     * Whether the link out of @p sw through @p out may be forced
+     * down by a hard fault.  Delivery links to sinks are excluded
+     * by default: a failed-link-fraction sweep measures the fabric,
+     * not the hosts' exit channels (which have no detour anyway).
+     */
+    virtual bool linkFaultEligible(SwitchId sw, PortId out) const
+    {
+        return hasLink(sw, out) && !hop(sw, out).toSink;
+    }
+
+    /**
+     * Input port of @p sw that no fabric link feeds (the local
+     * injection port), or kInvalidPort when the switch has none.
+     * Fault-tolerant rerouting re-enters displaced packets through
+     * this buffer: a buffer no link feeds cannot extend a channel-
+     * dependency chain, so re-entry there can never close a
+     * deadlock cycle (see network/core/fault_router.hh).
+     */
+    virtual PortId localInputPort(SwitchId /*sw*/) const
+    {
+        return kInvalidPort;
+    }
+
     // --- Virtual-channel geometry -----------------------------------
     // The dateline VC policy needs to know which ports travel along
     // which ring and where each ring's wraparound link sits.

@@ -33,15 +33,6 @@ trySwitchingModeFromString(const std::string &name)
     return std::nullopt;
 }
 
-SwitchingMode
-switchingModeFromString(const std::string &name)
-{
-    if (const auto mode = trySwitchingModeFromString(name))
-        return *mode;
-    damq_fatal("unknown switching mode '", name,
-               "' (expected cut-through|store-and-forward)");
-}
-
 CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
     : core::SimEngine(config.common), cfg(config),
       topo(config.numPorts, config.radix),

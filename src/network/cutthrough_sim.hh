@@ -73,9 +73,6 @@ const char *switchingModeName(SwitchingMode mode);
 std::optional<SwitchingMode> trySwitchingModeFromString(
     const std::string &name);
 
-/** Parse a case-insensitive mode name; fatal on bad input. */
-SwitchingMode switchingModeFromString(const std::string &name);
-
 /** Configuration of a clock-granularity run. */
 struct CutThroughConfig
 {

@@ -71,6 +71,10 @@ struct MeshResult
     RunningStats latencyCycles; ///< in network cycles
     double avgHops = 0.0;
 
+    /** Median / 99th-percentile latency, in network cycles. */
+    double latencyP50 = 0.0;
+    double latencyP99 = 0.0;
+
     /** Deadlock-watchdog firings during the run (0 or 1 — the
      *  watchdog reports each wedge once). */
     std::uint64_t watchdogTrips = 0;

@@ -25,6 +25,7 @@
 
 #include "common/types.hh"
 #include "fault/fault_injector.hh"
+#include "network/core/recovery.hh"
 #include "network/core/vc_policy.hh"
 #include "obs/telemetry.hh"
 
@@ -72,6 +73,16 @@ struct SimCommonConfig
      * torus rings; it degenerates to VC 0 on ring-free topologies.
      */
     VcPolicy vcPolicy = VcPolicy::Dateline;
+
+    /**
+     * Link-fault recovery (defaults to RecoveryPolicy::None).  With
+     * retransmission on, dropped/corrupted frames are recovered at
+     * the link level; with reroute on, declared-dead links are
+     * detoured around.  Honoured by the synchronized engines only
+     * (and reroute needs input buffering); policy none allocates no
+     * protocol state, keeping baselines byte-identical.
+     */
+    RecoveryConfig recovery;
 
     /**
      * Telemetry plan (defaults to everything off).  When disabled

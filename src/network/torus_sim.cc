@@ -62,6 +62,8 @@ TorusSimulator::run()
     result.offeredLoad = r.offeredLoad;
     result.discardFraction = r.discardFraction;
     result.latencyCycles = r.latency;
+    result.latencyP50 = r.latencyP50;
+    result.latencyP99 = r.latencyP99;
     result.avgHops = r.hops.mean();
     result.watchdogTrips = faultReport().watchdogFired ? 1 : 0;
     return result;

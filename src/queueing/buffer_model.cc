@@ -36,15 +36,6 @@ tryBufferTypeFromString(const std::string &name)
     return parseEnumName(std::string_view(name), kBufferTypeNames);
 }
 
-BufferType
-bufferTypeFromString(const std::string &name)
-{
-    if (const auto type = tryBufferTypeFromString(name))
-        return *type;
-    damq_fatal("unknown buffer type '", name,
-               "' (expected fifo|samq|safc|damq|damqr)");
-}
-
 BufferModel::BufferModel(QueueLayout queue_layout,
                          std::uint32_t capacity_slots)
     : queues(queue_layout), capacity(capacity_slots),

@@ -69,14 +69,6 @@ const char *bufferTypeName(BufferType type);
 std::optional<BufferType> tryBufferTypeFromString(
     const std::string &name);
 
-/**
- * Parse a case-insensitive buffer-type name; fatal on bad input.
- * @deprecated Front-ends should use tryBufferTypeFromString and
- * report the error themselves (the runner's badEnumValue does).
- */
-[[deprecated("use tryBufferTypeFromString")]]
-BufferType bufferTypeFromString(const std::string &name);
-
 class BufferModel;
 
 /**

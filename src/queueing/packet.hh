@@ -54,6 +54,18 @@ struct Packet
      */
     PortId inPort = kInvalidPort;
 
+    /**
+     * Up*-down* routing phase under fault-tolerant rerouting: set
+     * once the packet has traversed a down-hop of the current
+     * link-state orientation, after which it may only continue
+     * descending (the invariant that keeps rerouted traffic
+     * deadlock-free — see network/core/fault_router.hh).  Stays
+     * false, and is never read, outside reroute recovery.  Not part
+     * of the sealed header: it is per-epoch transit state, like
+     * outPort.
+     */
+    bool routeDown = false;
+
     /** Buffer slots this packet occupies (>= 1). */
     std::uint32_t lengthSlots = 1;
 

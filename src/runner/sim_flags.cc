@@ -13,6 +13,8 @@ const char kFlowControlChoices[] = "blocking | discarding";
 const char kArbitrationChoices[] = "smart | dumb";
 const char kSwitchingModeChoices[] = "cut-through | store-and-forward";
 const char kVcPolicyChoices[] = "dateline | none";
+const char kRecoveryPolicyChoices[] =
+    "none | retransmit | retransmit+reroute (or: reroute)";
 
 namespace {
 
@@ -91,6 +93,13 @@ vcPolicyOption(const ArgParser &args, const std::string &name)
                       "VC policy", kVcPolicyChoices);
 }
 
+RecoveryPolicy
+recoveryPolicyOption(const ArgParser &args, const std::string &name)
+{
+    return enumOption(args, name, tryRecoveryPolicyFromString,
+                      "recovery policy", kRecoveryPolicyChoices);
+}
+
 void
 addCommonSimFlags(ArgParser &args)
 {
@@ -120,6 +129,44 @@ addCommonSimFlags(ArgParser &args)
                    "output prefix for <prefix>.metrics.json/.csv "
                    "and <prefix>.trace.json (default: the bench "
                    "name)");
+
+    // Fault plan and recovery (all default to off / bench default).
+    args.addOption("fault-seed", "0",
+                   "fault-plan PRNG seed (0 = keep the bench "
+                   "default)");
+    args.addOption("packet-drop-rate", "-1",
+                   "per-link-crossing packet-drop probability");
+    args.addOption("bit-flip-rate", "-1",
+                   "per-link-crossing header-bit-flip probability");
+    args.addOption("link-down-rate", "-1",
+                   "per-link-cycle probability of a link-down "
+                   "episode");
+    args.addOption("link-down-cycles", "-1",
+                   "length of a link-down episode (0 = permanent)");
+    args.addOption("link-down-fraction", "-1",
+                   "fraction of eligible links forced down "
+                   "permanently from cycle 0");
+    args.addOption("router-down-rate", "-1",
+                   "per-switch-cycle probability of a router-down "
+                   "episode");
+    args.addOption("router-down-cycles", "-1",
+                   "length of a router-down episode (0 = "
+                   "permanent)");
+    args.addOption("recovery", "",
+                   "link-fault recovery policy (none | retransmit "
+                   "| retransmit+reroute)");
+    args.addOption("max-retries", "0",
+                   "consecutive link failures before a link is "
+                   "declared dead (0 = keep default)");
+    args.addOption("retry-backoff", "0",
+                   "exponential-backoff base, in cycles (0 = keep "
+                   "default)");
+    args.addOption("retry-backoff-cap", "0",
+                   "exponential-backoff cap, in cycles (0 = keep "
+                   "default)");
+    args.addOption("revive-probe", "-1",
+                   "probe dead links for revival every N cycles "
+                   "(0 = never; -1 = keep default)");
 }
 
 unsigned
@@ -170,6 +217,55 @@ applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
         const std::string prefix = args.getString("telemetry-out");
         common.telemetry.outputPrefix =
             prefix.empty() ? default_prefix : prefix;
+    }
+
+    // Fault plan.  Rates use -1 as "keep the bench default" so an
+    // explicit 0 can switch a bench's default faults off.
+    if (args.getInt("fault-seed") != 0) {
+        common.faults.seed =
+            static_cast<std::uint64_t>(args.getInt("fault-seed"));
+    }
+    const auto rate = [&](const char *name, double &field) {
+        const double value = args.getDouble(name);
+        if (value < 0.0)
+            return;
+        if (value > 1.0)
+            damq_fatal("--", name, " wants a probability in "
+                       "[0, 1], got ", value);
+        field = value;
+    };
+    rate("packet-drop-rate", common.faults.packetDropRate);
+    rate("bit-flip-rate", common.faults.headerBitFlipRate);
+    rate("link-down-rate", common.faults.linkDownRate);
+    rate("link-down-fraction", common.faults.linkDownFraction);
+    rate("router-down-rate", common.faults.routerDownRate);
+    if (args.getInt("link-down-cycles") >= 0) {
+        common.faults.linkDownCycles =
+            static_cast<Cycle>(args.getInt("link-down-cycles"));
+    }
+    if (args.getInt("router-down-cycles") >= 0) {
+        common.faults.routerDownCycles =
+            static_cast<Cycle>(args.getInt("router-down-cycles"));
+    }
+
+    // Recovery protocol.
+    if (args.wasSet("recovery"))
+        common.recovery.policy = recoveryPolicyOption(args, "recovery");
+    if (args.getInt("max-retries") > 0) {
+        common.recovery.maxRetries =
+            static_cast<std::uint32_t>(args.getInt("max-retries"));
+    }
+    if (args.getInt("retry-backoff") > 0) {
+        common.recovery.retryBackoffBase =
+            static_cast<Cycle>(args.getInt("retry-backoff"));
+    }
+    if (args.getInt("retry-backoff-cap") > 0) {
+        common.recovery.retryBackoffCap =
+            static_cast<Cycle>(args.getInt("retry-backoff-cap"));
+    }
+    if (args.getInt("revive-probe") >= 0) {
+        common.recovery.reviveProbeCycles =
+            static_cast<Cycle>(args.getInt("revive-probe"));
     }
 }
 

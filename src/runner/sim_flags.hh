@@ -44,6 +44,12 @@ namespace damq {
  *   --trace            record per-packet Chrome-trace events
  *   --trace-events N   trace event cap (default one million)
  *   --telemetry-out P  output file prefix for telemetry files
+ *
+ * plus the fault plan (--fault-seed, --packet-drop-rate,
+ * --bit-flip-rate, --link-down-rate, --link-down-cycles,
+ * --link-down-fraction, --router-down-rate, --router-down-cycles)
+ * and the recovery protocol (--recovery, --max-retries,
+ * --retry-backoff, --retry-backoff-cap, --revive-probe).
  */
 void addCommonSimFlags(ArgParser &args);
 
@@ -81,6 +87,7 @@ extern const char kFlowControlChoices[];   ///< blocking|discarding
 extern const char kArbitrationChoices[];   ///< smart|dumb
 extern const char kSwitchingModeChoices[]; ///< cut-through|store-and-forward
 extern const char kVcPolicyChoices[];      ///< dateline|none
+extern const char kRecoveryPolicyChoices[]; ///< none|retransmit|retransmit+reroute
 
 /**
  * Parse option @p name as a buffer type via
@@ -110,6 +117,10 @@ SwitchingMode switchingModeOption(const ArgParser &args,
 /** Parse option @p name as a VC policy (or exit(1)). */
 VcPolicy vcPolicyOption(const ArgParser &args,
                         const std::string &name);
+
+/** Parse option @p name as a recovery policy (or exit(1)). */
+RecoveryPolicy recoveryPolicyOption(const ArgParser &args,
+                                    const std::string &name);
 
 } // namespace damq
 

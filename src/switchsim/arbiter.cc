@@ -33,15 +33,6 @@ tryArbitrationPolicyFromString(const std::string &name)
                          kArbitrationPolicyNames);
 }
 
-ArbitrationPolicy
-arbitrationPolicyFromString(const std::string &name)
-{
-    if (const auto policy = tryArbitrationPolicyFromString(name))
-        return *policy;
-    damq_fatal("unknown arbitration policy '", name,
-               "' (expected dumb|smart)");
-}
-
 Arbiter::Arbiter(PortId num_inputs, PortId num_outputs, VcId num_vcs)
     : inputs(num_inputs), outputs(num_outputs), vcs(num_vcs),
       outputTaken(num_outputs, false)

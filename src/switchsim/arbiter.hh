@@ -54,14 +54,6 @@ std::optional<ArbitrationPolicy> tryArbitrationPolicyFromString(
     const std::string &name);
 
 /**
- * Parse a case-insensitive policy name; fatal on bad input.
- * @deprecated Use tryArbitrationPolicyFromString and report the
- * error at the call site.
- */
-[[deprecated("use tryArbitrationPolicyFromString")]]
-ArbitrationPolicy arbitrationPolicyFromString(const std::string &name);
-
-/**
  * Per-candidate back-pressure test supplied by the network layer:
  * may input @p input transmit packet @p pkt from queue @p key this
  * cycle?  (Blocking protocol: is there downstream space; discarding

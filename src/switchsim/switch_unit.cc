@@ -37,15 +37,6 @@ tryBufferPlacementFromString(const std::string &name)
                          kBufferPlacementNames);
 }
 
-BufferPlacement
-bufferPlacementFromString(const std::string &name)
-{
-    if (const auto placement = tryBufferPlacementFromString(name))
-        return *placement;
-    damq_fatal("unknown buffer placement '", name,
-               "' (expected input|central|output)");
-}
-
 void
 SwitchUnit::debugValidate() const
 {

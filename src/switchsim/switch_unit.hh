@@ -47,14 +47,6 @@ const char *bufferPlacementName(BufferPlacement placement);
 std::optional<BufferPlacement> tryBufferPlacementFromString(
     const std::string &name);
 
-/**
- * Parse a case-insensitive placement name; fatal on bad input.
- * @deprecated Use tryBufferPlacementFromString and report the error
- * at the call site.
- */
-[[deprecated("use tryBufferPlacementFromString")]]
-BufferPlacement bufferPlacementFromString(const std::string &name);
-
 /** Counters shared by every switch organization. */
 struct SwitchUnitStats
 {

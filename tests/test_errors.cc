@@ -15,27 +15,58 @@
 #include "queueing/buffer_factory.hh"
 #include "queueing/damq_buffer.hh"
 #include "queueing/fifo_buffer.hh"
+#include "runner/sim_flags.hh"
 
 namespace damq {
 namespace {
 
-// The throwing parsers are deprecated in favour of the try*
-// variants, but their fatal path is exactly what these death tests
-// pin down.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 using ExitWithError = ::testing::ExitedWithCode;
+
+/** Run argv through an ArgParser and an enum *Option() helper —
+ *  the CLI path every front-end takes since the throwing parsers
+ *  were removed. */
+template <typename OptionFn>
+void
+parseCli(const char *flag, const char *value,
+         const std::string &help, OptionFn &&option)
+{
+    ArgParser args("test", "error-path probe");
+    args.addOption(flag, "", help);
+    std::string flag_arg = std::string("--") + flag;
+    std::string value_arg = value;
+    char *argv[] = {const_cast<char *>("test"), flag_arg.data(),
+                    value_arg.data(), nullptr};
+    args.parse(3, argv);
+    option(args, flag);
+}
 
 TEST(ErrorPaths, UnknownBufferNameIsFatal)
 {
-    EXPECT_EXIT(bufferTypeFromString("damqq"), ExitWithError(1),
-                "unknown buffer type");
+    EXPECT_EXIT(parseCli("buffer", "damqq", kBufferTypeChoices,
+                         [](const ArgParser &a, const char *n) {
+                             bufferTypeOption(a, n);
+                         }),
+                ExitWithError(1), "unknown buffer type 'damqq'");
 }
 
 TEST(ErrorPaths, UnknownProtocolIsFatal)
 {
-    EXPECT_EXIT(flowControlFromString("drop"), ExitWithError(1),
-                "unknown flow control");
+    EXPECT_EXIT(parseCli("protocol", "drop", kFlowControlChoices,
+                         [](const ArgParser &a, const char *n) {
+                             flowControlOption(a, n);
+                         }),
+                ExitWithError(1), "unknown flow control 'drop'");
+}
+
+TEST(ErrorPaths, UnknownRecoveryPolicyIsFatal)
+{
+    EXPECT_EXIT(parseCli("recovery", "retry-forever",
+                         kRecoveryPolicyChoices,
+                         [](const ArgParser &a, const char *n) {
+                             recoveryPolicyOption(a, n);
+                         }),
+                ExitWithError(1),
+                "unknown recovery policy 'retry-forever'");
 }
 
 TEST(ErrorPaths, IndivisiblePartitionIsFatal)

@@ -17,6 +17,7 @@
 #include "network/cutthrough_sim.hh"
 #include "network/mesh_sim.hh"
 #include "network/network_sim.hh"
+#include "network/torus_sim.hh"
 #include "queueing/packet.hh"
 
 namespace damq {
@@ -271,6 +272,74 @@ TEST(FaultInjector, CutThroughFaultRunAccountsForEveryLoss)
               report.injectedOf(FaultKind::PacketDrop) +
                   report.corruptionsDetected);
     EXPECT_EQ(report.auditViolations, 0u);
+}
+
+// ------------------------------- soft faults under VC>1 addressing
+
+// The credit-delay and slot-leak hooks predate the QueueKey
+// generalization; these runs pin down that both still behave under
+// multi-VC (per-(port, vc) queue) addressing on the torus.
+
+TEST(FaultInjector, CreditDelayUnderTwoVcsStallsWithoutLosing)
+{
+    TorusConfig cfg; // blocking, two dateline VCs per link
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.offeredLoad = 0.2;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 3000;
+    cfg.common.faults.seed = 13;
+    cfg.common.faults.creditDelayRate = 0.02;
+    cfg.common.faults.creditDelayCycles = 3;
+    cfg.common.auditEveryCycles = 100;
+    cfg.common.watchdogStallCycles = 2000;
+    ASSERT_EQ(cfg.common.vcs, 2u);
+
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    const FaultReport report = sim.faultReport();
+
+    ASSERT_GT(report.injectedOf(FaultKind::CreditDelay), 0u);
+    // Credit stalls delay transfers; they never remove packets, and
+    // a stall is not a deadlock.
+    EXPECT_EQ(sim.lifetime().faultDropped, 0u);
+    EXPECT_EQ(result.watchdogTrips, 0u);
+    EXPECT_EQ(report.auditViolations, 0u);
+    EXPECT_EQ(sim.lifetime().injected,
+              sim.lifetime().delivered +
+                  sim.lifetime().discarded() +
+                  sim.packetsInFlight());
+    EXPECT_EQ(sim.lifetime().misrouted, 0u);
+}
+
+TEST(FaultInjector, SlotLeakUnderTwoVcsIsCaughtByTheAudit)
+{
+    TorusConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.offeredLoad = 0.2;
+    cfg.common.warmupCycles = 0;
+    cfg.common.measureCycles = 1000;
+    cfg.common.faults.seed = 13;
+    cfg.common.faults.slotLeakRate = 0.01;
+    cfg.common.auditEveryCycles = 50;
+    ASSERT_EQ(cfg.common.vcs, 2u);
+
+    TorusSimulator sim(cfg);
+    sim.run();
+    const FaultReport report = sim.faultReport();
+
+    ASSERT_GT(report.injectedOf(FaultKind::SlotLeak), 0u);
+    // Leaked slots break the capacity invariant, and the periodic
+    // audit names the owning node even with per-VC queues.
+    ASSERT_GT(report.auditViolations, 0u);
+    ASSERT_FALSE(report.violationSamples.empty());
+    const std::string &sample = report.violationSamples.front();
+    EXPECT_NE(sample.find("node"), std::string::npos) << sample;
+    EXPECT_NE(sample.find("leaked"), std::string::npos) << sample;
+    // A leak loses capacity, never packets.
+    EXPECT_EQ(sim.lifetime().faultDropped, 0u);
+    EXPECT_EQ(sim.lifetime().misrouted, 0u);
 }
 
 // ------------------------------------------------- microarch hooks

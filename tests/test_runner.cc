@@ -8,8 +8,10 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -103,6 +105,100 @@ TEST(SweepRunner, PerfCountersCoverEveryTask)
         EXPECT_EQ(runner.taskPerf()[i].simCycles, 1000 + i);
     }
     EXPECT_GE(runner.wallSeconds(), 0.0);
+}
+
+// ---------------------------------------------------------------
+// SweepRunner::mapGuarded
+// ---------------------------------------------------------------
+
+TEST(MapGuarded, CleanSweepMatchesMapWithOkOutcomes)
+{
+    SweepRunner runner(4);
+    GuardPolicy policy;
+    const auto out = runner.mapGuarded(
+        20, [](std::size_t i) { return static_cast<int>(i + 1); },
+        policy);
+    ASSERT_EQ(out.size(), 20u);
+    ASSERT_EQ(runner.taskOutcomes().size(), 20u);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ASSERT_TRUE(out[i].has_value());
+        EXPECT_EQ(*out[i], static_cast<int>(i + 1));
+        EXPECT_TRUE(runner.taskOutcomes()[i].ok());
+        EXPECT_EQ(runner.taskOutcomes()[i].attempts, 1u);
+    }
+}
+
+TEST(MapGuarded, FailingTaskIsRetriedThenReportedWithoutPoisoning)
+{
+    for (const unsigned threads : {1u, 4u}) {
+        SweepRunner runner(threads);
+        GuardPolicy policy;
+        policy.maxAttempts = 3;
+        std::atomic<int> calls_to_seven{0};
+        const auto out = runner.mapGuarded(
+            16,
+            [&calls_to_seven](std::size_t i) {
+                if (i == 7) {
+                    calls_to_seven.fetch_add(1);
+                    throw std::runtime_error("task 7 is cursed");
+                }
+                return i;
+            },
+            policy);
+
+        // The casualty leaves an empty slot with its diagnosis...
+        EXPECT_FALSE(out[7].has_value());
+        const TaskOutcome &cursed = runner.taskOutcomes()[7];
+        EXPECT_EQ(cursed.status, TaskStatus::Failed);
+        EXPECT_EQ(cursed.attempts, 3u);
+        EXPECT_EQ(calls_to_seven.load(), 3);
+        EXPECT_NE(cursed.error.find("cursed"), std::string::npos);
+
+        // ...and every other task's result survives.
+        for (std::size_t i = 0; i < 16; ++i) {
+            if (i == 7)
+                continue;
+            ASSERT_TRUE(out[i].has_value()) << i;
+            EXPECT_EQ(*out[i], i);
+            EXPECT_TRUE(runner.taskOutcomes()[i].ok());
+        }
+    }
+}
+
+TEST(MapGuarded, HungTaskTimesOutAndTheSweepMovesOn)
+{
+    SweepRunner runner(2);
+    GuardPolicy policy;
+    policy.taskTimeoutSeconds = 0.05;
+    policy.maxAttempts = 2; // timeouts must NOT be retried
+
+    // The hung attempt keeps running detached; everything it
+    // touches must outlive the sweep, hence static state.
+    static std::atomic<bool> release{false};
+    static std::atomic<int> hung_calls{0};
+    const auto out = runner.mapGuarded(
+        8,
+        [](std::size_t i) {
+            if (i == 3) {
+                hung_calls.fetch_add(1);
+                while (!release.load())
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+            }
+            return static_cast<int>(i);
+        },
+        policy);
+
+    EXPECT_FALSE(out[3].has_value());
+    EXPECT_EQ(runner.taskOutcomes()[3].status, TaskStatus::TimedOut);
+    EXPECT_EQ(hung_calls.load(), 1);
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (i == 3)
+            continue;
+        ASSERT_TRUE(out[i].has_value()) << i;
+        EXPECT_EQ(runner.taskOutcomes()[i].status, TaskStatus::Ok);
+    }
+    release.store(true); // let the detached attempt finish
 }
 
 // ---------------------------------------------------------------
