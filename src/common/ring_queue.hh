@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A growable ring buffer with deque semantics and no steady-state
+ * allocation.
+ *
+ * The engines' per-source backlog queues used std::deque, whose
+ * libstdc++ implementation allocates and frees a 512-byte block for
+ * every ~64 packets that stream through — enough churn to break the
+ * "no allocation in the steady-state cycle loop" guarantee the perf
+ * canary asserts.  RingQueue keeps one power-of-two array that only
+ * ever grows: once a run's high-water mark is reached, push/pop
+ * never touch the allocator again.
+ *
+ * Only the operations the engines need exist: push_back, front,
+ * pop_front, size/empty, clear.  Elements must be movable.
+ */
+
+#ifndef DAMQ_COMMON_RING_QUEUE_HH
+#define DAMQ_COMMON_RING_QUEUE_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace damq {
+
+/** FIFO over a power-of-two ring that retains its capacity. */
+template <typename T>
+class RingQueue
+{
+  public:
+    RingQueue() = default;
+
+    /** Number of queued elements. */
+    std::size_t size() const { return count; }
+
+    /** Whether the queue is empty. */
+    bool empty() const { return count == 0; }
+
+    /** Slots currently reserved (diagnostics / tests). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Append @p value at the tail, growing if full. */
+    void push_back(T value)
+    {
+        if (count == slots.size())
+            grow();
+        slots[(head + count) & (slots.size() - 1)] =
+            std::move(value);
+        ++count;
+    }
+
+    /** The oldest element.  Undefined when empty. */
+    T &front()
+    {
+        damq_assert(count > 0, "front() on an empty RingQueue");
+        return slots[head];
+    }
+
+    const T &front() const
+    {
+        damq_assert(count > 0, "front() on an empty RingQueue");
+        return slots[head];
+    }
+
+    /** Remove the oldest element.  Undefined when empty. */
+    void pop_front()
+    {
+        damq_assert(count > 0, "pop_front() on an empty RingQueue");
+        head = (head + 1) & (slots.size() - 1);
+        --count;
+    }
+
+    /** Drop every element; capacity is retained. */
+    void clear()
+    {
+        head = 0;
+        count = 0;
+    }
+
+  private:
+    /** Double the ring (at least kMinCapacity), preserving order. */
+    void grow()
+    {
+        const std::size_t next =
+            slots.empty() ? kMinCapacity : slots.size() * 2;
+        std::vector<T> bigger(next);
+        for (std::size_t i = 0; i < count; ++i)
+            bigger[i] =
+                std::move(slots[(head + i) & (slots.size() - 1)]);
+        slots = std::move(bigger);
+        head = 0;
+    }
+
+    static constexpr std::size_t kMinCapacity = 8;
+
+    std::vector<T> slots;
+    std::size_t head = 0;
+    std::size_t count = 0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_COMMON_RING_QUEUE_HH

@@ -1,0 +1,110 @@
+#include "network/core/shard.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+ShardRuntime::ShardRuntime(unsigned shard_count)
+    : count(shard_count == 0 ? 1 : shard_count)
+{
+    workers.reserve(count - 1);
+    for (unsigned s = 1; s < count; ++s)
+        workers.emplace_back([this, s] { workerLoop(s); });
+}
+
+ShardRuntime::~ShardRuntime()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wakeWorkers.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ShardRuntime::run(const PhaseFn &fn)
+{
+    if (count == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        task = &fn;
+        pending = count - 1;
+        ++generation;
+    }
+    wakeWorkers.notify_all();
+
+    // The coordinator is shard 0.
+    fn(0);
+
+    std::unique_lock<std::mutex> lock(mutex);
+    wakeCoordinator.wait(lock, [this] { return pending == 0; });
+    task = nullptr;
+}
+
+void
+ShardRuntime::workerLoop(unsigned shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const PhaseFn *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeWorkers.wait(lock, [this, seen] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            fn = task;
+        }
+        (*fn)(shard);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--pending == 0)
+                wakeCoordinator.notify_one();
+        }
+    }
+}
+
+unsigned
+ShardPlan::shardOf(std::uint32_t sw) const
+{
+    // Ranges are near-equal, so a direct estimate lands on the right
+    // shard or one off; nudge rather than binary-search.
+    const unsigned n = shards();
+    damq_assert(n > 0 && sw < begin[n], "shardOf: switch out of range");
+    unsigned s = static_cast<unsigned>(
+        (static_cast<std::uint64_t>(sw) * n) / begin[n]);
+    while (s + 1 < n && sw >= begin[s + 1])
+        ++s;
+    while (s > 0 && sw < begin[s])
+        --s;
+    return s;
+}
+
+ShardPlan
+ShardPlan::build(std::uint32_t num_switches, unsigned shard_count,
+                 const std::vector<std::uint32_t> &inject_switch)
+{
+    damq_assert(shard_count >= 1, "ShardPlan: need at least one shard");
+    damq_assert(shard_count <= num_switches,
+                "ShardPlan: more shards than switches");
+    ShardPlan plan;
+    plan.begin.resize(shard_count + 1);
+    for (unsigned s = 0; s <= shard_count; ++s)
+        plan.begin[s] = static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(num_switches) * s) /
+            shard_count);
+    plan.sources.resize(shard_count);
+    for (std::uint32_t src = 0; src < inject_switch.size(); ++src)
+        plan.sources[plan.shardOf(inject_switch[src])]
+            .push_back(src);
+    return plan;
+}
+
+} // namespace damq

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Intra-simulation sharding: a persistent worker pool with phase
+ * barriers, plus the contiguous partition of a Topology's switches
+ * (and the endpoints that inject into them) across shards.
+ *
+ * The synchronized engine runs one cycle as a short sequence of
+ * phases.  Within a phase every shard touches only state it owns (or
+ * state that is provably read-only for the phase); between phases the
+ * pool joins at a barrier, so cross-shard effects become visible only
+ * at well-defined points.  `ShardRuntime::run(fn)` is exactly one
+ * such phase: it dispatches `fn(shard)` to every shard — the calling
+ * thread doubles as shard 0 — and returns once all shards finish,
+ * which is the barrier.
+ *
+ * With one shard the runtime spawns no threads at all and `run`
+ * degenerates to a plain inline call, so the sequential engine pays
+ * nothing for the machinery.
+ *
+ * Synchronization is a mutex/condvar generation handshake: the
+ * coordinator publishes a task under the mutex and bumps the
+ * generation; workers wake, run, and decrement a pending count whose
+ * zero-crossing wakes the coordinator.  All task state is published
+ * under the mutex — no lock-free cleverness — so the protocol is
+ * ThreadSanitizer-clean by construction (the `DAMQ_TSAN` CI job
+ * verifies this on the `vc` and `scale` suites).
+ */
+
+#ifndef DAMQ_NETWORK_CORE_SHARD_HH
+#define DAMQ_NETWORK_CORE_SHARD_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace damq {
+
+/** Persistent worker pool; run(fn) = dispatch + barrier. */
+class ShardRuntime
+{
+  public:
+    /** Phase body; the argument is the shard index in [0, shards). */
+    using PhaseFn = std::function<void(unsigned)>;
+
+    /** Spawn @p shard_count - 1 workers (none when 1). */
+    explicit ShardRuntime(unsigned shard_count);
+
+    ~ShardRuntime();
+
+    ShardRuntime(const ShardRuntime &) = delete;
+    ShardRuntime &operator=(const ShardRuntime &) = delete;
+
+    unsigned shards() const { return count; }
+
+    /**
+     * Run @p fn once per shard and wait for all of them.
+     *
+     * The caller executes shard 0 itself; shards 1..N-1 run on the
+     * pool.  Returns only after every shard has finished, so this is
+     * a full barrier.  With one shard this is an inline call.
+     */
+    void run(const PhaseFn &fn);
+
+  private:
+    void workerLoop(unsigned shard);
+
+    const unsigned count;
+
+    std::mutex mutex;
+    std::condition_variable wakeWorkers;
+    std::condition_variable wakeCoordinator;
+    const PhaseFn *task = nullptr;
+    std::uint64_t generation = 0;
+    unsigned pending = 0;
+    bool stopping = false;
+
+    std::vector<std::thread> workers;
+};
+
+/**
+ * Contiguous partition of switch ids [0, numSwitches) into shards,
+ * plus the per-shard list of source endpoints (an endpoint belongs
+ * to the shard that owns its injection switch).
+ *
+ * Contiguity is load-bearing: concatenating the shards' per-phase
+ * output lists in shard order reproduces the sequential engine's
+ * ascending-switch-id order, which the bit-identity contract needs.
+ */
+struct ShardPlan
+{
+    /** shards+1 bounds; shard s owns switches [begin[s], begin[s+1]). */
+    std::vector<std::uint32_t> begin;
+
+    /** Source endpoint ids owned by each shard, ascending. */
+    std::vector<std::vector<std::uint32_t>> sources;
+
+    unsigned shards() const
+    {
+        return begin.empty()
+                   ? 0
+                   : static_cast<unsigned>(begin.size() - 1);
+    }
+
+    /** The shard owning switch @p sw. */
+    unsigned shardOf(std::uint32_t sw) const;
+
+    /**
+     * Partition @p num_switches into @p shard_count contiguous
+     * ranges of near-equal size; @p inject_switch maps each source
+     * endpoint to its injection switch.
+     */
+    static ShardPlan
+    build(std::uint32_t num_switches, unsigned shard_count,
+          const std::vector<std::uint32_t> &inject_switch);
+};
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_SHARD_HH

@@ -30,6 +30,33 @@ SyncEngine::makeSource(const Topology &topology,
         config.burstiness, config.meanBurstCycles);
 }
 
+unsigned
+SyncEngine::effectiveShards(const Topology &topology,
+                            const SyncConfig &config)
+{
+    std::uint32_t shards =
+        config.common.shards == 0 ? 1 : config.common.shards;
+    if (shards > topology.numSwitches()) {
+        damq_fatal("--shards ", shards, " exceeds the topology's ",
+                   topology.numSwitches(), " switches (",
+                   topology.numEndpoints(),
+                   " endpoints); each shard needs at least one "
+                   "switch to own");
+    }
+    if (shards > 1 && config.placement != BufferPlacement::Input) {
+        damq_fatal("--shards > 1 requires input-buffered placement "
+                   "(", bufferPlacementName(config.placement),
+                   " placement shares one structure across inputs, "
+                   "which serializes the advance)");
+    }
+    if (shards > 1 && config.common.telemetry.enabled()) {
+        damq_warn("telemetry probes run inside the buffer hot "
+                  "path; degrading --shards ", shards, " to 1");
+        shards = 1;
+    }
+    return shards;
+}
+
 SyncEngine::SyncEngine(const Topology &topology,
                        const SyncConfig &config)
     : SimEngine(config.common), topo(topology), cfg(config),
@@ -40,13 +67,40 @@ SyncEngine::SyncEngine(const Topology &topology,
       latencyHist(config.latencyUnitScale, 4096),
       perSourceLatency(topology.numEndpoints())
 {
+    // Validates the shard request (and spawns the workers) before
+    // any heavyweight construction.
+    shardPool = std::make_unique<ShardRuntime>(
+        effectiveShards(topology, config));
+
     const std::uint32_t n = topo.numSwitches();
+    portCount = topo.portsPerSwitch();
+    const bool input = cfg.placement == BufferPlacement::Input;
     switches.reserve(n);
+    if (input) {
+        // One contiguous vector of concrete switches: the hot loop
+        // indexes values, not heap objects behind interface
+        // pointers.  Reserved once — SwitchModel addresses must
+        // stay stable behind the `switches` view.
+        switchStore.reserve(n);
+        for (SwitchId sw = 0; sw < n; ++sw) {
+            switchStore.emplace_back(
+                portCount, cfg.bufferType, cfg.slotsPerBuffer,
+                cfg.arbitration, cfg.staleThreshold,
+                cfg.common.vcs);
+        }
+        for (SwitchModel &sm : switchStore)
+            switches.push_back(&sm);
+    } else {
+        switchHeap.reserve(n);
+        for (SwitchId sw = 0; sw < n; ++sw) {
+            switchHeap.push_back(makeSwitchUnit(
+                cfg.placement, portCount, cfg.bufferType,
+                cfg.slotsPerBuffer, cfg.arbitration,
+                cfg.staleThreshold, cfg.common.vcs));
+            switches.push_back(switchHeap.back().get());
+        }
+    }
     for (SwitchId sw = 0; sw < n; ++sw) {
-        switches.push_back(makeSwitchUnit(
-            cfg.placement, topo.portsPerSwitch(), cfg.bufferType,
-            cfg.slotsPerBuffer, cfg.arbitration,
-            cfg.staleThreshold, cfg.common.vcs));
         // Registration order defines both the fault-plan component
         // handles and the watchdog's stable snapshot order, and
         // must equal the topology's flat SwitchId order.
@@ -59,12 +113,46 @@ SyncEngine::SyncEngine(const Topology &topology,
     }
     prevTransmitted.assign(n, 0);
 
-    // Size every per-cycle scratch structure up front: at most one
-    // departure per switch output exists at once, so these bounds
-    // hold for the simulation's whole lifetime.
-    moveScratch.reserve(static_cast<std::size_t>(n) *
-                        topo.portsPerSwitch());
-    sentScratch.reserve(topo.portsPerSwitch());
+    buildChannelTables();
+
+    // Contiguous shard plan plus per-shard scratch.  Every
+    // per-cycle structure is sized up front: at most one departure
+    // per switch output exists at once, so these bounds hold for
+    // the simulation's whole lifetime.
+    {
+        const unsigned shard_count = shardPool->shards();
+        std::vector<std::uint32_t> inject_sw(topo.numEndpoints());
+        for (NodeId src = 0; src < topo.numEndpoints(); ++src)
+            inject_sw[src] = topo.injectionPoint(src).switchId;
+        plan = ShardPlan::build(n, shard_count, inject_sw);
+        shardScratch = std::vector<ShardScratch>(shard_count);
+        for (unsigned s = 0; s < shard_count; ++s) {
+            ShardScratch &sc = shardScratch[s];
+            sc.moves.reserve(static_cast<std::size_t>(
+                                 plan.begin[s + 1] - plan.begin[s]) *
+                             portCount);
+            sc.sent.reserve(portCount);
+            // Built once: binding the current switch through
+            // arbSwitch keeps the capture small enough for the
+            // std::function small-object store, so arbitration
+            // never constructs a function per switch.
+            sc.canSend = [this, s](PortId, QueueKey out_key,
+                                   const Packet &pkt) {
+                return canSendFrom(shardScratch[s].arbSwitch,
+                                   out_key, pkt);
+            };
+        }
+        if (input) {
+            grantStore.resize(n);
+            for (GrantList &grants : grantStore)
+                grants.reserve(portCount);
+        }
+        stagedHas.assign(topo.numEndpoints(), 0);
+        stagedPkt.resize(topo.numEndpoints());
+    }
+
+    moveScratch.reserve(static_cast<std::size_t>(n) * portCount);
+    sentScratch.reserve(portCount);
     pendingScratch.reserve(topo.numEndpoints());
 
     // Register the flat link numbering with the injector so its
@@ -126,6 +214,39 @@ SyncEngine::SyncEngine(const Topology &topology,
     }
 
     initTelemetry();
+}
+
+void
+SyncEngine::buildChannelTables()
+{
+    const std::uint32_t links = topo.numLinks();
+    chanToSink.assign(links, 0);
+    chanSink.assign(links, 0);
+    chanNextSwitch.assign(links, 0);
+    chanNextInput.assign(links, 0);
+    chanDateline.assign(links, 0);
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        for (PortId out = 0; out < portCount; ++out) {
+            if (!topo.hasLink(sw, out))
+                continue; // never granted: routing avoids the edge
+            const LinkId link = linkIdOf(sw, out, portCount);
+            const HopTarget next = topo.hop(sw, out);
+            chanToSink[link] = next.toSink ? 1 : 0;
+            if (next.toSink) {
+                chanSink[link] = next.sink;
+            } else {
+                chanNextSwitch[link] = next.switchId;
+                chanNextInput[link] = next.inputPort;
+            }
+            chanDateline[link] =
+                topo.hopCrossesDateline(sw, out) ? 1 : 0;
+        }
+    }
+    portDim.assign(portCount, -1);
+    for (PortId port = 0; port < portCount; ++port)
+        portDim[port] = topo.portDimension(port);
+    numVcs = cfg.common.vcs;
+    vcPolicyNone = cfg.common.vcPolicy == VcPolicy::None;
 }
 
 void
@@ -228,39 +349,21 @@ SyncEngine::onMeasuredCycle()
 void
 SyncEngine::phaseAdvance()
 {
-    // Steps 1+2: every switch decides and pops its departures.
-    // Back-pressure tests only look *downstream*, and deliveries
-    // are deferred until every switch has transmitted, so the
-    // decisions are made against a consistent start-of-cycle
-    // snapshot even though the pops are interleaved.
-    //
-    // With per-input buffers, each downstream buffer has exactly
-    // one upstream writer, so a start-of-cycle space check cannot
-    // be invalidated.  The central pool and output queues are
-    // shared across inputs, and several switches can commit into
-    // the same downstream structure in one cycle — so the blocking
-    // back-pressure test also counts the arrivals already granted
-    // this cycle.  (Two outputs of one switch can never reach the
-    // same downstream switch in the supported topologies, so
-    // accounting between transmit() calls is exact.)
-    const bool shared_structures =
-        cfg.placement != BufferPlacement::Input;
-    const bool hard_faults = common.faults.hardFaultsEnabled();
-    std::unordered_map<std::uint64_t, std::uint32_t> &pending =
-        pendingScratch;
-    pending.clear();
-    auto pending_key = [&](SwitchId sw, PortId out) {
-        const std::uint64_t structure =
-            cfg.placement == BufferPlacement::Output ? out : 0;
-        return static_cast<std::uint64_t>(sw) *
-                   topo.portsPerSwitch() +
-               structure;
-    };
+    if (cfg.placement == BufferPlacement::Input)
+        phaseAdvanceInput();
+    else
+        phaseAdvanceShared();
+}
 
+void
+SyncEngine::phaseAdvanceInput()
+{
     if (linkLayer) {
         // Protocol work precedes fresh arbitration: dead links are
         // probed for revival, due retransmissions claim their
         // links, and re-homed packets try to re-enter the fabric.
+        // All of it runs on the coordinator — it is rare-event
+        // work that mutates global link-layer state.
         for (const LinkId link : linksUsedScratch)
             linkUsed[link] = 0;
         linksUsedScratch.clear();
@@ -275,6 +378,278 @@ SyncEngine::phaseAdvance()
         processRehomes();
     }
 
+    // A1: every switch arbitrates against the start-of-cycle
+    // snapshot.  The phase only *reads* buffer state (its own
+    // queues, downstream canAccept) and the fault hooks pre-rolled
+    // by phaseFaults; the sole mutation is each switch's own
+    // arbiter fairness state — so shards share nothing writable.
+    shardPool->run(
+        [this](unsigned shard) { advanceArbitrate(shard); });
+
+    // When a grant-legality audit is due, the coordinator checks
+    // the schedules before they are consumed (ascending id, same
+    // order the sequential engine recorded in).
+    if (auditor.due(currentCycle)) {
+        for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+            auditor.record(
+                currentCycle, injector.componentName(sw),
+                auditGrantLegality(
+                    grantStore[sw], portCount, portCount,
+                    switchStore[sw].buffer(0).maxReadsPerCycle(),
+                    cfg.common.vcs));
+        }
+    }
+
+    // A2: granted packets pop from their (shard-owned) buffers
+    // into per-shard move lists.  Between A1's capacity checks and
+    // A3's receives only pops happen, so downstream space can only
+    // grow — a start-of-cycle "accepts" verdict cannot sour.
+    shardPool->run([this](unsigned shard) { advancePop(shard); });
+
+    // A3: apply the moves.  Concatenating the shard lists in shard
+    // order reproduces the sequential ascending-SwitchId move
+    // order.
+    if (linkLayer || injector.enabled()) {
+        // Per-packet fault draws (drop/corrupt) and link-layer
+        // protocol state are global and order-sensitive: apply the
+        // global move list on the coordinator, exactly as the
+        // sequential engine does.
+        const bool hard_faults = common.faults.hardFaultsEnabled();
+        for (unsigned s = 0; s < shardPool->shards(); ++s) {
+            for (Move &move : shardScratch[s].moves) {
+                if (linkLayer) {
+                    // Recovery on: the frame crosses under the
+                    // link-level protocol (CRC, same-cycle
+                    // ack/nack, retransmission).
+                    const LinkId link =
+                        linkIdOf(move.sw, move.packet.outPort,
+                                 portCount);
+                    wireCross(move.sw, move.packet,
+                              linkLayer->assignSeq(link),
+                              /*is_retry=*/false);
+                    continue;
+                }
+                // Hard faults without recovery: every frame onto a
+                // forced-down link (or into a frozen router) is
+                // lost.
+                if (hard_faults &&
+                    hardFaultLoss(move.sw, move.packet.outPort)) {
+                    ++counters.faultDropped;
+                    traceLoss(move.packet, "drop@linkdown");
+                    continue;
+                }
+                // Link faults: the packet can vanish or arrive
+                // with a flipped header bit.  The receiving side
+                // verifies the sealed checksum before using any
+                // header field, so a corrupted packet is detected
+                // and discarded — never misrouted or silently
+                // delivered.
+                if (injector.dropOnLink(move.sw, currentCycle,
+                                        move.packet)) {
+                    ++counters.faultDropped;
+                    traceLoss(move.packet, "drop@fault");
+                    continue;
+                }
+                injector.corruptOnLink(move.sw, currentCycle,
+                                       move.packet);
+                if (!headerIntact(move.packet)) {
+                    injector.recordDetectedCorruption();
+                    ++counters.faultDropped;
+                    traceLoss(move.packet, "drop@corrupt");
+                    continue;
+                }
+                const HopTarget next =
+                    topo.hop(move.sw, move.packet.outPort);
+                if (next.toSink) {
+                    deliver(move.packet, next.sink);
+                    continue;
+                }
+                Packet pkt = move.packet;
+                // The link VC must be computed from the packet's
+                // state at the switch it left, before vc/inPort
+                // are rewritten for the next hop.
+                pkt.vc = vcAlloc.linkVc(move.packet, move.sw,
+                                        move.packet.outPort);
+                pkt.inPort = next.inputPort;
+                pkt.outPort = topo.route(next.switchId, pkt.dest);
+                ++pkt.hops;
+                const bool accepted =
+                    switches[next.switchId]->tryReceive(
+                        next.inputPort, pkt);
+                if (!accepted) {
+                    damq_assert(
+                        cfg.protocol == FlowControl::Discarding,
+                        "blocking protocol transmitted into a full "
+                        "buffer — back-pressure check is broken");
+                    ++counters.discardedInternal;
+                    traceLoss(pkt, "drop@internal");
+                }
+            }
+        }
+        return;
+    }
+
+    // Fault-free fast path: receives run sharded.  Every input
+    // buffer is fed by exactly one link and a link carries at most
+    // one packet per cycle, so the switch that owns the hop target
+    // is the packet's only writer; receives to distinct buffers
+    // commute, making the sharded application order-independent.
+    shardPool->run([this](unsigned shard) { advanceReceive(shard); });
+
+    // A3b: sink deliveries and counter sums stay on the
+    // coordinator, walked in global move order — deliver()'s
+    // Welford statistics are order-sensitive floating point, and
+    // this order is the sequential engine's.
+    for (unsigned s = 0; s < shardPool->shards(); ++s) {
+        ShardScratch &sc = shardScratch[s];
+        counters.discardedInternal += sc.discardedInternal;
+        for (const Move &move : sc.moves) {
+            const LinkId link =
+                move.sw * portCount + move.packet.outPort;
+            if (chanToSink[link])
+                deliver(move.packet, chanSink[link]);
+        }
+    }
+}
+
+bool
+SyncEngine::canSendFrom(SwitchId sw, QueueKey out_key,
+                        const Packet &pkt)
+{
+    const LinkId link = sw * portCount + out_key.out;
+    if (linkLayer) {
+        // Stop-and-wait: a link holding an unacked frame, a
+        // declared-dead link, or a link a retransmission used this
+        // cycle admits no fresh frame.
+        if (!linkLayer->canSendFresh(link) || linkUsed[link])
+            return false;
+    }
+    if (cfg.protocol == FlowControl::Discarding)
+        return true; // transmit blindly; receiver may drop
+    if (chanToSink[link])
+        return true; // sinks always accept
+    const SwitchId next_sw = chanNextSwitch[link];
+    // A delayed credit makes the downstream switch report "full"
+    // even when space exists: transfers stall but no packet is
+    // lost.  (Pre-rolled in phaseFaults — a pure read here.)
+    if (injector.creditDelayed(next_sw, currentCycle))
+        return false;
+    const PortId next_out =
+        routeAfterHop(sw, out_key.out, next_sw, pkt);
+    if (next_out == kInvalidPort)
+        return false; // dest unroutable from downstream
+    // The VC the packet will occupy on this link decides which
+    // downstream queue must have room.
+    const VcId next_vc = linkVcFlat(pkt, link, out_key.out);
+    return switchStore[next_sw].canAccept(
+        chanNextInput[link], QueueKey{next_out, next_vc},
+        pkt.lengthSlots);
+}
+
+void
+SyncEngine::advanceArbitrate(unsigned shard)
+{
+    ShardScratch &sc = shardScratch[shard];
+    const bool hard_faults = common.faults.hardFaultsEnabled();
+    for (SwitchId sw = plan.begin[shard]; sw < plan.begin[shard + 1];
+         ++sw) {
+        GrantList &grants = grantStore[sw];
+        grants.clear();
+        // A stuck arbiter issues no grants at all this cycle;
+        // neither does a router frozen by a hard fault.  Both
+        // hooks are pre-rolled in phaseFaults, so these queries
+        // are pure reads.
+        if (injector.arbiterStuck(sw, currentCycle))
+            continue;
+        if (hard_faults &&
+            injector.routerForcedDown(sw, currentCycle))
+            continue;
+        sc.arbSwitch = sw;
+        switchStore[sw].arbitrateInto(sc.canSend, grants);
+    }
+}
+
+void
+SyncEngine::advancePop(unsigned shard)
+{
+    ShardScratch &sc = shardScratch[shard];
+    sc.moves.clear();
+    for (SwitchId sw = plan.begin[shard]; sw < plan.begin[shard + 1];
+         ++sw) {
+        const GrantList &grants = grantStore[sw];
+        if (grants.empty())
+            continue;
+        switchStore[sw].popGrantedInto(grants, sc.sent);
+        for (Packet &pkt : sc.sent)
+            sc.moves.push_back(Move{sw, pkt});
+    }
+}
+
+void
+SyncEngine::advanceReceive(unsigned shard)
+{
+    ShardScratch &sc = shardScratch[shard];
+    sc.discardedInternal = 0;
+    const SwitchId begin_sw = plan.begin[shard];
+    const SwitchId end_sw = plan.begin[shard + 1];
+    // Every shard scans the full move list and applies only the
+    // hops that land on a switch it owns; the coordinator picks up
+    // the sink deliveries afterwards.
+    for (unsigned s = 0; s < plan.shards(); ++s) {
+        for (const Move &move : shardScratch[s].moves) {
+            const LinkId link =
+                move.sw * portCount + move.packet.outPort;
+            if (chanToSink[link])
+                continue;
+            const SwitchId next_sw = chanNextSwitch[link];
+            if (next_sw < begin_sw || next_sw >= end_sw)
+                continue;
+            Packet pkt = move.packet;
+            // The link VC must be computed from the packet's state
+            // at the switch it left, before vc/inPort are
+            // rewritten for the next hop.
+            pkt.vc = linkVcFlat(move.packet, link,
+                                move.packet.outPort);
+            pkt.inPort = chanNextInput[link];
+            pkt.outPort = topo.route(next_sw, pkt.dest);
+            ++pkt.hops;
+            const bool accepted =
+                switchStore[next_sw].tryReceive(pkt.inPort, pkt);
+            if (!accepted) {
+                damq_assert(
+                    cfg.protocol == FlowControl::Discarding,
+                    "blocking protocol transmitted into a full "
+                    "buffer — back-pressure check is broken");
+                ++sc.discardedInternal;
+                traceLoss(pkt, "drop@internal");
+            }
+        }
+    }
+}
+
+void
+SyncEngine::phaseAdvanceShared()
+{
+    // Central-pool and output-queued switches share one structure
+    // across inputs, and several switches can commit into the same
+    // downstream structure in one cycle — so the blocking
+    // back-pressure test also counts the arrivals already granted
+    // this cycle.  (Two outputs of one switch can never reach the
+    // same downstream switch in the supported topologies, so
+    // accounting between transmit() calls is exact.)  This path is
+    // single-shard by construction (effectiveShards rejects more).
+    const bool hard_faults = common.faults.hardFaultsEnabled();
+    std::unordered_map<std::uint64_t, std::uint32_t> &pending =
+        pendingScratch;
+    pending.clear();
+    auto pending_key = [&](SwitchId sw, PortId out) {
+        const std::uint64_t structure =
+            cfg.placement == BufferPlacement::Output ? out : 0;
+        return static_cast<std::uint64_t>(sw) *
+                   topo.portsPerSwitch() +
+               structure;
+    };
+
     std::vector<Move> &moves = moveScratch;
     moves.clear();
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
@@ -287,105 +662,50 @@ SyncEngine::phaseAdvance()
             continue;
         auto can_send = [&, sw](PortId, QueueKey out_key,
                                 const Packet &pkt) {
-            if (linkLayer) {
-                // Stop-and-wait: a link holding an unacked frame, a
-                // declared-dead link, or a link a retransmission
-                // used this cycle admits no fresh frame.
-                const LinkId link = linkIdOf(
-                    sw, out_key.out, topo.portsPerSwitch());
-                if (!linkLayer->canSendFresh(link) || linkUsed[link])
-                    return false;
-            }
             if (cfg.protocol == FlowControl::Discarding)
                 return true; // transmit blindly; receiver may drop
             const HopTarget next = topo.hop(sw, out_key.out);
             if (next.toSink)
                 return true; // sinks always accept
-            // A delayed credit makes the downstream switch report
-            // "full" even when space exists: transfers stall but
-            // no packet is lost.
             if (injector.creditDelayed(next.switchId, currentCycle))
                 return false;
             const PortId next_out = routeAfterHop(
                 sw, out_key.out, next.switchId, pkt);
             if (next_out == kInvalidPort)
                 return false; // dest unroutable from downstream
-            // The VC the packet will occupy on this link decides
-            // which downstream queue must have room.
             const VcId next_vc =
                 vcAlloc.linkVc(pkt, sw, out_key.out);
             std::uint32_t held = 0;
-            if (shared_structures) {
-                const auto found = pending.find(
-                    pending_key(next.switchId, next_out));
-                if (found != pending.end())
-                    held = found->second;
-            }
+            const auto found = pending.find(
+                pending_key(next.switchId, next_out));
+            if (found != pending.end())
+                held = found->second;
             return switches[next.switchId]->canAccept(
                 next.inputPort, QueueKey{next_out, next_vc},
                 pkt.lengthSlots + held);
         };
-        // When a grant-legality audit is due, split the
-        // input-buffered switch's transmit into arbitrate + pop so
-        // the schedule itself can be checked.
         std::vector<Packet> &sent = sentScratch;
-        if (cfg.placement == BufferPlacement::Input &&
-            auditor.due(currentCycle)) {
-            auto *sm =
-                static_cast<SwitchModel *>(switches[sw].get());
-            const GrantList grants = sm->arbitrate(can_send);
-            auditor.record(
-                currentCycle, injector.componentName(sw),
-                auditGrantLegality(
-                    grants, topo.portsPerSwitch(),
-                    topo.portsPerSwitch(),
-                    sm->buffer(0).maxReadsPerCycle(),
-                    cfg.common.vcs));
-            sent = sm->popGranted(grants);
-        } else {
-            switches[sw]->transmitInto(can_send, sent);
-        }
+        switches[sw]->transmitInto(can_send, sent);
         for (Packet &pkt : sent) {
-            if (shared_structures) {
-                const HopTarget next = topo.hop(sw, pkt.outPort);
-                if (!next.toSink) {
-                    const PortId next_out = routeAfterHop(
-                        sw, pkt.outPort, next.switchId, pkt);
-                    if (next_out != kInvalidPort)
-                        pending[pending_key(next.switchId,
-                                            next_out)] +=
-                            pkt.lengthSlots;
-                }
+            const HopTarget next = topo.hop(sw, pkt.outPort);
+            if (!next.toSink) {
+                const PortId next_out = routeAfterHop(
+                    sw, pkt.outPort, next.switchId, pkt);
+                if (next_out != kInvalidPort)
+                    pending[pending_key(next.switchId, next_out)] +=
+                        pkt.lengthSlots;
             }
             moves.push_back(Move{sw, pkt});
         }
     }
 
     for (Move &move : moves) {
-        if (linkLayer) {
-            // Recovery on: the frame crosses under the link-level
-            // protocol (CRC, same-cycle ack/nack, retransmission).
-            const LinkId link = linkIdOf(move.sw,
-                                         move.packet.outPort,
-                                         topo.portsPerSwitch());
-            wireCross(move.sw, move.packet,
-                      linkLayer->assignSeq(link),
-                      /*is_retry=*/false);
-            continue;
-        }
-        // Hard faults without recovery: every frame onto a
-        // forced-down link (or into a frozen router) is lost.
         if (hard_faults &&
             hardFaultLoss(move.sw, move.packet.outPort)) {
             ++counters.faultDropped;
             traceLoss(move.packet, "drop@linkdown");
             continue;
         }
-        // Link faults: the packet can vanish or arrive with a
-        // flipped header bit.  The receiving side verifies the
-        // sealed checksum before using any header field, so a
-        // corrupted packet is detected and discarded — never
-        // misrouted or silently delivered.
         if (injector.dropOnLink(move.sw, currentCycle,
                                 move.packet)) {
             ++counters.faultDropped;
@@ -405,9 +725,6 @@ SyncEngine::phaseAdvance()
             continue;
         }
         Packet pkt = move.packet;
-        // The link VC must be computed from the packet's state at
-        // the switch it left, before vc/inPort are rewritten for
-        // the next hop.
         pkt.vc =
             vcAlloc.linkVc(move.packet, move.sw, move.packet.outPort);
         pkt.inPort = next.inputPort;
@@ -601,7 +918,7 @@ SyncEngine::handleDeadLink(SwitchId sw, LinkId link)
 void
 SyncEngine::rehomeQueuedPackets(SwitchId sw, PortId out)
 {
-    auto *sm = static_cast<SwitchModel *>(switches[sw].get());
+    auto *sm = static_cast<SwitchModel *>(switches[sw]);
     for (PortId in = 0; in < sm->numPorts(); ++in) {
         BufferModel &buf = sm->buffer(in);
         for (VcId vc = 0; vc < cfg.common.vcs; ++vc) {
@@ -623,7 +940,7 @@ SyncEngine::rekeyQueuedPackets()
     // join the re-home queue and re-enter via processRehomes().
     std::vector<Packet> keep;
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-        auto *sm = static_cast<SwitchModel *>(switches[sw].get());
+        auto *sm = static_cast<SwitchModel *>(switches[sw]);
         for (PortId in = 0; in < sm->numPorts(); ++in) {
             BufferModel &buf = sm->buffer(in);
             for (PortId out = 0; out < sm->numPorts(); ++out) {
@@ -747,8 +1064,7 @@ SyncEngine::processRehomes()
         }
         const LinkId link =
             linkIdOf(item.sw, detour, topo.portsPerSwitch());
-        auto *sm =
-            static_cast<SwitchModel *>(switches[item.sw].get());
+        auto *sm = static_cast<SwitchModel *>(switches[item.sw]);
         // Re-entry goes through the local injection buffer when
         // the switch has one: no fabric link feeds that buffer, so
         // a displaced packet waiting there can never extend a
@@ -809,29 +1125,64 @@ SyncEngine::traceLoss(const Packet &pkt, const char *why)
 void
 SyncEngine::phaseInject()
 {
+    // I1 (coordinator): every PRNG draw of the phase — the
+    // generation Bernoulli/burst draws and the destination draw —
+    // happens here, in ascending source order.  The draws read no
+    // network state, so hoisting them out of the injection pass
+    // preserves the per-source-per-cycle draw-order contract
+    // exactly; the generated packets wait in per-source staging
+    // slots for the owning shard.
     for (NodeId src = 0; src < topo.numEndpoints(); ++src) {
+        stagedHas[src] = 0;
         // Drain mode makes no PRNG draws: generation is skipped
-        // entirely, but blocked source queues keep retrying below.
-        if (!draining && traffic.shouldGenerate(src, rng)) {
-            Packet pkt;
-            pkt.id = nextPacketId++;
-            pkt.source = src;
-            pkt.dest = traffic.destinationFor(src, rng);
-            pkt.lengthSlots = 1;
-            pkt.generatedAt = currentCycle;
-            pkt.seq = nextSeq[src]++;
-            sealHeader(pkt);
-            ++counters.generated;
-            if (telemetry) {
-                if (obs::PacketTracer *tr = telemetry->trace())
-                    tr->instant("gen", "pkt", currentCycle,
-                                endpointPid, src);
-            }
+        // entirely, but blocked source queues keep retrying in I2.
+        if (draining || !traffic.shouldGenerate(src, rng))
+            continue;
+        Packet pkt;
+        pkt.id = nextPacketId++;
+        pkt.source = src;
+        pkt.dest = traffic.destinationFor(src, rng);
+        pkt.lengthSlots = 1;
+        pkt.generatedAt = currentCycle;
+        pkt.seq = nextSeq[src]++;
+        sealHeader(pkt);
+        ++counters.generated;
+        if (telemetry) {
+            if (obs::PacketTracer *tr = telemetry->trace())
+                tr->instant("gen", "pkt", currentCycle,
+                            endpointPid, src);
+        }
+        stagedPkt[src] = pkt;
+        stagedHas[src] = 1;
+    }
 
-            if (cfg.protocol == FlowControl::Blocking) {
+    // I2: each shard injects at the sources whose injection switch
+    // it owns, so every buffer touched is shard-local.
+    shardPool->run([this](unsigned shard) { injectShard(shard); });
+
+    for (unsigned s = 0; s < shardPool->shards(); ++s) {
+        const ShardScratch &sc = shardScratch[s];
+        counters.injected += sc.injected;
+        counters.discardedAtEntry += sc.discardedAtEntry;
+        counters.faultDropped += sc.faultDropped;
+    }
+}
+
+void
+SyncEngine::injectShard(unsigned shard)
+{
+    ShardScratch &sc = shardScratch[shard];
+    sc.injected = 0;
+    sc.discardedAtEntry = 0;
+    sc.faultDropped = 0;
+    const bool blocking = cfg.protocol == FlowControl::Blocking;
+    for (const NodeId src : plan.sources[shard]) {
+        if (stagedHas[src]) {
+            const Packet &pkt = stagedPkt[src];
+            if (blocking) {
                 sourceQueues[src].push_back(pkt);
-            } else if (!tryInject(src, pkt)) {
-                ++counters.discardedAtEntry;
+            } else if (!tryInject(src, pkt, sc)) {
+                ++sc.discardedAtEntry;
                 if (telemetry) {
                     if (obs::PacketTracer *tr = telemetry->trace())
                         tr->instant("drop@entry", "pkt",
@@ -840,18 +1191,17 @@ SyncEngine::phaseInject()
             }
         }
 
-        if (cfg.protocol == FlowControl::Blocking &&
-            !sourceQueues[src].empty()) {
+        if (blocking && !sourceQueues[src].empty()) {
             // The link from the source delivers at most one packet
             // per cycle, and only the head may try.
-            if (tryInject(src, sourceQueues[src].front()))
+            if (tryInject(src, sourceQueues[src].front(), sc))
                 sourceQueues[src].pop_front();
         }
     }
 }
 
 bool
-SyncEngine::tryInject(NodeId src, Packet pkt)
+SyncEngine::tryInject(NodeId src, Packet pkt, ShardScratch &sc)
 {
     const InjectPoint entry = topo.injectionPoint(src);
     // A frozen router grants no credit to its host link either.
@@ -863,8 +1213,8 @@ SyncEngine::tryInject(NodeId src, Packet pkt)
         // The destination is unroutable from here (partitioned
         // fabric).  Consume the packet into the fault accounting
         // rather than blocking the source queue forever.
-        ++counters.injected;
-        ++counters.faultDropped;
+        ++sc.injected;
+        ++sc.faultDropped;
         traceLoss(pkt, "drop@unroutable");
         return true;
     }
@@ -875,7 +1225,7 @@ SyncEngine::tryInject(NodeId src, Packet pkt)
         return false;
     const bool accepted = first.tryReceive(entry.port, pkt);
     damq_assert(accepted, "canAccept/tryReceive disagree");
-    ++counters.injected;
+    ++sc.injected;
     if (telemetry) {
         if (obs::PacketTracer *tr = telemetry->trace())
             tr->asyncBegin("pkt", "pkt", pkt.id, currentCycle,
@@ -1019,6 +1369,18 @@ SyncEngine::phaseFaults()
         for (LinkId link = 0; link < topo.numLinks(); ++link)
             injector.linkForcedDown(link, currentCycle);
     }
+    // Pre-roll the remaining memoized per-switch hooks the same
+    // way.  The sharded arbitration phase queries arbiterStuck and
+    // creditDelayed concurrently, so every same-cycle draw must
+    // happen here — after this pass those queries are pure reads.
+    if (common.faults.arbiterStuckRate > 0.0) {
+        for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw)
+            injector.arbiterStuck(sw, currentCycle);
+    }
+    if (common.faults.creditDelayRate > 0.0) {
+        for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw)
+            injector.creditDelayed(sw, currentCycle);
+    }
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
         if (!injector.rollSlotLeak(sw, currentCycle))
             continue;
@@ -1053,7 +1415,7 @@ SyncEngine::phaseAudit()
         // Per-source FIFO delivery order, walked in place via
         // forEachInQueue — no queue snapshot is copied.
         const auto *sm =
-            static_cast<const SwitchModel *>(switches[sw].get());
+            static_cast<const SwitchModel *>(switches[sw]);
         for (PortId in = 0; in < sm->numPorts(); ++in) {
             auditor.record(currentCycle,
                            injector.componentName(sw),

@@ -14,14 +14,23 @@
  * (buffer organization, placement, flow control, arbitration,
  * traffic) is a SyncConfig field.
  *
- * The engine is a faithful generalization of the pre-core
- * NetworkSimulator: it makes the same PRNG draws in the same order
- * and the same floating-point operations in the same order, so the
- * byte-identity baselines hold across the refactor.  Per-topology
- * differences in the old simulators that did not affect results
- * (the mesh never sampled source-queue depth, the Omega simulator
- * never sampled hop counts) are now always collected; result
- * structs simply ignore what they do not report.
+ * With input-buffered placement the cycle's advance runs as three
+ * phases over shard-local state — arbitrate (read-only against the
+ * snapshot), pop (shard-owned buffers only), apply moves — so the
+ * topology's switches can be partitioned across threads
+ * (SimCommonConfig::shards) with a barrier between phases.  Results
+ * are bit-identical at any shard count: phase outputs are kept in
+ * per-shard lists whose concatenation in shard order reproduces the
+ * sequential ascending-SwitchId order, every PRNG draw stays on the
+ * coordinator in a fixed order, and order-sensitive floating-point
+ * accumulation (latency statistics) replays on the coordinator in
+ * global move order.  See DESIGN.md section 13.
+ *
+ * The per-switch state itself lives in structure-of-arrays form:
+ * one contiguous vector of SwitchModel values (no per-node heap
+ * objects) plus flat per-link channel tables (hop target, dateline
+ * bit, ring dimension) indexed by LinkId, so the hot capacity check
+ * runs on array loads instead of virtual topology calls.
  */
 
 #ifndef DAMQ_NETWORK_CORE_SYNC_ENGINE_HH
@@ -34,9 +43,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ring_queue.hh"
 #include "common/types.hh"
 #include "network/core/fault_router.hh"
 #include "network/core/link_layer.hh"
+#include "network/core/shard.hh"
 #include "network/core/sim_engine.hh"
 #include "network/core/sim_types.hh"
 #include "network/core/topology.hh"
@@ -44,6 +55,7 @@
 #include "network/core/vc_policy.hh"
 #include "stats/histogram.hh"
 #include "stats/running_stats.hh"
+#include "switchsim/switch_model.hh"
 #include "switchsim/switch_unit.hh"
 
 namespace damq {
@@ -85,7 +97,7 @@ struct SyncConfig
     /** Audit scope name for the packet-accounting record. */
     const char *accountingScope = "network";
 
-    /** Seed, warmup/measure schedule, faults, telemetry. */
+    /** Seed, warmup/measure schedule, shards, faults, telemetry. */
     SimCommonConfig common;
 };
 
@@ -148,6 +160,9 @@ class SyncEngine final : public SimEngine
     /** Policy configuration in use. */
     const SyncConfig &config() const { return cfg; }
 
+    /** Shards actually in use (after validation/degradation). */
+    unsigned shards() const { return shardPool->shards(); }
+
     /** Switch @p sw (test access). */
     SwitchUnit &switchUnit(SwitchId sw) { return *switches[sw]; }
     const SwitchUnit &switchUnit(SwitchId sw) const
@@ -188,7 +203,7 @@ class SyncEngine final : public SimEngine
     const LinkLayer *linkLayerOrNull() const { return linkLayer.get(); }
 
   protected:
-    void phaseFaults() override;   ///< structural slot leaks
+    void phaseFaults() override;   ///< pre-rolls + structural leaks
     void phaseAdvance() override;  ///< arbitrate, pop, deliver
     void phaseInject() override;   ///< generate + inject at sources
     void phaseAudit() override;    ///< periodic invariant audit
@@ -202,11 +217,98 @@ class SyncEngine final : public SimEngine
     static TrafficSource makeSource(const Topology &topology,
                                     const SyncConfig &config);
 
+    /**
+     * Shard count after validation: fatal when it exceeds the
+     * switch count or placement is not input-buffered; degrades to
+     * 1 (with a warning) when telemetry is enabled, because the
+     * queue probes sit inside the buffer push/pop hot path.
+     */
+    static unsigned effectiveShards(const Topology &topology,
+                                    const SyncConfig &config);
+
+    /** Fill the flat per-link channel tables (SoA hot-path data). */
+    void buildChannelTables();
+
     /** Trace a packet lost in flight: close its flow, mark @p why. */
     void traceLoss(const Packet &pkt, const char *why);
 
-    /** Offer @p pkt to its injection point; true if accepted. */
-    bool tryInject(NodeId src, Packet pkt);
+    // --- the sharded advance (input-buffered placement) ---
+
+    /** One in-flight hop: the packet and the switch it left. */
+    struct Move
+    {
+        SwitchId sw;
+        Packet packet; ///< outPort = local output it left through
+    };
+
+    /** Per-shard working state; padded so shards never share lines. */
+    struct alignas(64) ShardScratch
+    {
+        /** Moves popped by this shard's switches, ascending id —
+         *  the boundary-exchange mailbox read by every shard (and
+         *  the coordinator) in phase A3. */
+        std::vector<Move> moves;
+
+        /** Per-switch pop scratch, reused each cycle. */
+        std::vector<Packet> sent;
+
+        /** Switch currently arbitrating (read by canSend). */
+        SwitchId arbSwitch = 0;
+
+        /** Capacity check bound to arbSwitch, built once. */
+        CanSendFn canSend;
+
+        // Per-cycle counter deltas, summed by the coordinator at
+        // the phase barrier (integer sums are order-independent).
+        std::uint64_t discardedInternal = 0;
+        std::uint64_t injected = 0;
+        std::uint64_t discardedAtEntry = 0;
+        std::uint64_t faultDropped = 0;
+    };
+
+    /** Advance for input-buffered placement: A1/A2/A3 phases. */
+    void phaseAdvanceInput();
+
+    /** Advance for central/output placement (single shard only). */
+    void phaseAdvanceShared();
+
+    /** A1: arbitrate this shard's switches (snapshot, read-only). */
+    void advanceArbitrate(unsigned shard);
+
+    /** A2: pop granted packets into this shard's move list. */
+    void advancePop(unsigned shard);
+
+    /** A3 (parallel form): apply every shard's moves that land on
+     *  a switch this shard owns; sinks are left to the coordinator. */
+    void advanceReceive(unsigned shard);
+
+    /** The blocking back-pressure / discard capacity check for a
+     *  departure from switch @p sw, on flat channel tables. */
+    bool canSendFrom(SwitchId sw, QueueKey out_key,
+                     const Packet &pkt);
+
+    /** VcAllocator::linkVc on the flat channel tables. */
+    VcId linkVcFlat(const Packet &pkt, LinkId link, PortId out) const
+    {
+        if (numVcs <= 1 || vcPolicyNone)
+            return 0;
+        const std::int32_t dim = portDim[out];
+        if (dim < 0)
+            return 0;
+        VcId vc = 0;
+        if (pkt.inPort != kInvalidPort && portDim[pkt.inPort] == dim)
+            vc = pkt.vc;
+        if (chanDateline[link])
+            vc = static_cast<VcId>(numVcs - 1);
+        return vc;
+    }
+
+    /** I2: inject staged packets at this shard's sources. */
+    void injectShard(unsigned shard);
+
+    /** Offer @p pkt to its injection point; true if accepted.
+     *  Counter deltas go to @p sc (summed at the barrier). */
+    bool tryInject(NodeId src, Packet pkt, ShardScratch &sc);
 
     /** Record a packet leaving the fabric at @p sink. */
     void deliver(const Packet &pkt, NodeId sink);
@@ -278,11 +380,21 @@ class SyncEngine final : public SimEngine
     VcAllocator vcAlloc; ///< per-hop VC assignment (common.vcs VCs)
     TrafficSource traffic;
 
-    /** switches[SwitchId], in the topology's flat order. */
-    std::vector<std::unique_ptr<SwitchUnit>> switches;
+    /**
+     * Switch storage.  Input placement keeps the concrete
+     * SwitchModel values in one contiguous vector (cache-friendly,
+     * devirtualized where the engine names the type); the shared
+     * placements keep heap units behind the SwitchUnit interface.
+     * `switches` is the uniform non-owning view in flat SwitchId
+     * order that generic code (audits, watchdog, telemetry,
+     * snapshots) walks.
+     */
+    std::vector<SwitchModel> switchStore;
+    std::vector<std::unique_ptr<SwitchUnit>> switchHeap;
+    std::vector<SwitchUnit *> switches;
 
     /** Per-source backlog (used by the blocking protocol only). */
-    std::vector<std::deque<Packet>> sourceQueues;
+    std::vector<RingQueue<Packet>> sourceQueues;
 
     /**
      * Link-level retransmission state; nullptr unless the recovery
@@ -320,16 +432,35 @@ class SyncEngine final : public SimEngine
     NetworkCounters counters;
     NetworkCounters windowStart; ///< counters at measurement start
 
-    /** One in-flight hop: the packet and the switch it left. */
-    struct Move
-    {
-        SwitchId sw;
-        Packet packet; ///< outPort = local output it left through
-    };
+    // --- flat channel tables (LinkId = sw * ports + out) ---
+    // One array load replaces a virtual Topology::hop()/geometry
+    // call in the capacity check and the move loop.
+    std::vector<std::uint8_t> chanToSink;
+    std::vector<NodeId> chanSink;
+    std::vector<SwitchId> chanNextSwitch;
+    std::vector<PortId> chanNextInput;
+    std::vector<std::uint8_t> chanDateline;
+    std::vector<std::int32_t> portDim; ///< per local port
+    std::uint32_t portCount = 0; ///< topo.portsPerSwitch(), cached
+    VcId numVcs = 1;
+    bool vcPolicyNone = false;
 
-    // Per-cycle scratch storage, reused every phaseAdvance() call
-    // so the steady-state cycle loop never touches the allocator
-    // (reserved at construction).
+    // --- sharding ---
+    std::unique_ptr<ShardRuntime> shardPool;
+    ShardPlan plan;
+    std::vector<ShardScratch> shardScratch;
+
+    /** Per-switch grant store written in A1, read in A2 (and by
+     *  the grant-legality audit); reused every cycle. */
+    std::vector<GrantList> grantStore;
+
+    /** Per-source staging written by the coordinator's generation
+     *  pass (I1), consumed by the owning shard in I2. */
+    std::vector<std::uint8_t> stagedHas;
+    std::vector<Packet> stagedPkt;
+
+    // Per-cycle scratch for the shared-placement advance, reused
+    // every cycle (reserved at construction).
     std::vector<Move> moveScratch;
     std::vector<Packet> sentScratch;
     std::unordered_map<std::uint64_t, std::uint32_t> pendingScratch;

@@ -85,6 +85,20 @@ struct SimCommonConfig
     RecoveryConfig recovery;
 
     /**
+     * Intra-simulation shards (>= 1).  The synchronized engine
+     * partitions the topology's switches into this many contiguous
+     * ranges and advances them on parallel threads between
+     * deterministic phase barriers; results are bit-identical at any
+     * shard count.  Only input-buffered placement shards; central/
+     * output placement rejects shards > 1, and enabling telemetry
+     * degrades to one shard (with a warning) because probe hooks sit
+     * inside the buffer hot path.  Orthogonal to the sweep runner's
+     * --threads: that parallelizes across simulations, this
+     * parallelizes within one.
+     */
+    std::uint32_t shards = 1;
+
+    /**
      * Telemetry plan (defaults to everything off).  When disabled
      * the simulators allocate no Telemetry object at all, so the
      * hot path pays only null-pointer branches and results stay

@@ -104,8 +104,19 @@ void
 addCommonSimFlags(ArgParser &args)
 {
     args.addOption("threads", "1",
-                   "worker threads for the sweep (results are "
-                   "identical at any value)");
+                   "worker threads for the sweep — parallelism "
+                   "ACROSS sweep points (results are identical at "
+                   "any value; see --shards for parallelism within "
+                   "one simulation)");
+    args.addOption("shards", "0",
+                   "threads WITHIN each synchronized simulation: "
+                   "the topology is split into this many contiguous "
+                   "switch shards advanced between deterministic "
+                   "phase barriers (bit-identical at any value; "
+                   "input-buffered placement only; 0 = keep the "
+                   "bench default).  Composes with --threads — "
+                   "total threads ~ threads x shards, so pick "
+                   "threads x shards <= cores");
     args.addOption("seed", "1", "master PRNG seed");
     args.addOption("warmup", "0",
                    "override warmup cycles (clocks for the "
@@ -202,6 +213,14 @@ applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
     }
     if (args.wasSet("vc-policy"))
         common.vcPolicy = vcPolicyOption(args, "vc-policy");
+    if (args.wasSet("shards")) {
+        const std::int64_t shards = args.getInt("shards");
+        if (shards != 0 && (shards < 1 || shards > 4096))
+            damq_fatal("--shards wants an integer in [1, 4096] (or "
+                       "0 to keep the bench default), got ", shards);
+        if (shards != 0)
+            common.shards = static_cast<std::uint32_t>(shards);
+    }
 
     if (args.wasSet("metrics-every")) {
         common.telemetry.metricsEvery =

@@ -34,7 +34,10 @@ namespace damq {
 /**
  * Declare the shared harness options on @p args:
  *
- *   --threads N        sweep worker threads (default 1)
+ *   --threads N        sweep worker threads (default 1) — across
+ *                      sweep points
+ *   --shards N         threads within one synchronized simulation
+ *                      (0 = bench default; composes with --threads)
  *   --seed N           master PRNG seed
  *   --warmup N         warmup cycles (clocks, for the cut-through sim)
  *   --measure N        measured cycles

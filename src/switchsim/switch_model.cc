@@ -69,6 +69,19 @@ SwitchModel::popGranted(const GrantList &grants)
     return popped;
 }
 
+void
+SwitchModel::popGrantedInto(const GrantList &grants,
+                            std::vector<Packet> &sent)
+{
+    sent.clear();
+    for (const Grant &g : grants) {
+        damq_assert(g.input < ports && g.output < ports,
+                    "grant outside switch geometry");
+        sent.push_back(buffers[g.input]->pop(g.queue()));
+        ++switchStats.transmitted;
+    }
+}
+
 std::vector<Packet>
 SwitchModel::transmit(const CanSendFn &can_send)
 {

@@ -87,6 +87,26 @@ class SwitchModel final : public SwitchUnit
     /** Remove the granted head packets, in grant order. */
     std::vector<Packet> popGranted(const GrantList &grants);
 
+    /**
+     * Compute this cycle's schedule into caller-owned @p grants —
+     * no per-cycle allocation once @p grants has warmed up.  Only
+     * this switch's state (buffers read, arbiter fairness state
+     * mutated) is touched, so distinct switches may arbitrate
+     * concurrently as long as @p can_send reads are race-free.
+     */
+    void arbitrateInto(const CanSendFn &can_send, GrantList &grants)
+    {
+        arbiter->arbitrateInto(bufferPtrs, can_send, grants);
+    }
+
+    /**
+     * Pop the packets granted in @p grants, in grant order,
+     * reusing @p sent (cleared first).  Pairs with arbitrateInto
+     * to split transmitInto across phase barriers.
+     */
+    void popGrantedInto(const GrantList &grants,
+                        std::vector<Packet> &sent);
+
     /** SwitchUnit: arbitrate + pop in one step. */
     std::vector<Packet> transmit(const CanSendFn &can_send) override;
 

@@ -13,10 +13,76 @@
 #include "common/arg_parser.hh"
 #include "common/bit_util.hh"
 #include "common/random.hh"
+#include "common/ring_queue.hh"
 #include "common/string_util.hh"
 
 namespace damq {
 namespace {
+
+// ---------------------------------------------------------- RingQueue
+
+TEST(RingQueue, FifoOrderAcrossGrowth)
+{
+    RingQueue<int> q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), 0u);
+    for (int i = 0; i < 100; ++i)
+        q.push_back(i);
+    EXPECT_EQ(q.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, WrapsWithoutReallocatingAtSteadyState)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 5; ++i)
+        q.push_back(i);
+    const std::size_t cap = q.capacity();
+    // Stream many times the capacity through a part-full queue:
+    // head wraps the ring repeatedly, capacity never changes.
+    for (int i = 5; i < 1000; ++i) {
+        q.push_back(i);
+        EXPECT_EQ(q.front(), i - 5);
+        q.pop_front();
+    }
+    EXPECT_EQ(q.capacity(), cap);
+    EXPECT_EQ(q.size(), 5u);
+}
+
+TEST(RingQueue, GrowPreservesOrderWhenHeadIsWrapped)
+{
+    RingQueue<int> q;
+    // Misalign head first, then force growth mid-wrap.
+    for (int i = 0; i < 8; ++i)
+        q.push_back(i);
+    for (int i = 0; i < 5; ++i)
+        q.pop_front();
+    for (int i = 8; i < 20; ++i)
+        q.push_back(i); // crosses the old capacity boundary
+    for (int i = 5; i < 20; ++i) {
+        EXPECT_EQ(q.front(), i);
+        q.pop_front();
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(RingQueue, ClearRetainsCapacity)
+{
+    RingQueue<int> q;
+    for (int i = 0; i < 50; ++i)
+        q.push_back(i);
+    const std::size_t cap = q.capacity();
+    EXPECT_GE(cap, 50u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.capacity(), cap);
+    q.push_back(7);
+    EXPECT_EQ(q.front(), 7);
+}
 
 TEST(SplitMix64, KnownSequenceIsDeterministic)
 {
