@@ -6,9 +6,10 @@
  *
  * Examples:
  *   omega_network --buffer damq --load 0.6
- *   omega_network --buffer fifo --protocol discarding --load 0.75
+ *   omega_network --buffer fifo --flow-control discarding --load 0.75
  *   omega_network --buffer samq --traffic hotspot --load 0.3
  *   omega_network --radix 2 --slots 2 --buffer damq --load 0.4
+ *   omega_network --switching wormhole --slots 8 --load 0.5
  */
 
 #include <iostream>
@@ -33,7 +34,7 @@ main(int argc, char **argv)
     args.addOption("buffer", "damq", kBufferTypeChoices);
     args.addOption("placement", "input", kPlacementChoices);
     args.addOption("slots", "4", "slots per input buffer");
-    args.addOption("protocol", "blocking", kFlowControlChoices);
+    addSwitchingFlags(args, "packet-sync", "blocking");
     args.addOption("arbitration", "smart", kArbitrationChoices);
     args.addOption("traffic", "uniform",
                    "uniform | hotspot | bitrev | permutation");
@@ -70,7 +71,8 @@ main(int argc, char **argv)
     cfg.placement = placementOption(args, "placement");
     cfg.slotsPerBuffer =
         static_cast<std::uint32_t>(args.getInt("slots"));
-    cfg.protocol = flowControlOption(args, "protocol");
+    applySwitchingFlags(args, cfg.switching, cfg.protocol,
+                        cfg.flitsPerPacket);
     cfg.arbitration = arbitrationOption(args, "arbitration");
     cfg.traffic = args.getString("traffic");
     cfg.hotSpotFraction = args.getDouble("hotfraction");
@@ -105,11 +107,19 @@ main(int argc, char **argv)
         return 0;
     }
 
+    // Packet-sync is the historical default; only the newer modes
+    // print, so existing banner lines stay byte-identical.
+    const std::string switching_note =
+        cfg.switching == Switching::PacketSync
+            ? ""
+            : std::string(switchingName(cfg.switching)) + " x" +
+                  std::to_string(cfg.flitsPerPacket) + " flits, ";
     std::cout << "Omega " << cfg.numPorts << "x" << cfg.numPorts
               << " of " << cfg.radix << "x" << cfg.radix << " "
               << bufferTypeName(cfg.bufferType) << " switches ("
               << sim.topology().numStages() << " stages, "
               << cfg.slotsPerBuffer << " slots/buffer, "
+              << switching_note
               << flowControlName(cfg.protocol) << ", "
               << arbitrationPolicyName(cfg.arbitration)
               << " arbitration, " << cfg.traffic << " traffic)\n\n";

@@ -59,6 +59,10 @@ FaultReport::summaryText() const
             << recovery.deadLinksDeclared
             << ", revived: " << recovery.linksRevived << "\n";
     }
+    if (creditsIssued != 0 || creditsReturned != 0) {
+        out << "  credits issued: " << creditsIssued
+            << ", returned: " << creditsReturned << "\n";
+    }
     for (const std::string &sample : violationSamples)
         out << "    e.g. " << sample << "\n";
     if (watchdogFired) {

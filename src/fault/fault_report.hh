@@ -126,6 +126,15 @@ struct FaultReport
     /** What the link-level recovery protocol recovered vs lost. */
     RecoveryStats recovery;
 
+    /**
+     * Flit-level credit flow (wormhole / virtual cut-through runs
+     * only; both zero otherwise).  Credits consumed by flit sends
+     * versus credits handed back by downstream buffers — equal once
+     * the network drains, or a credit leaked.
+     */
+    std::uint64_t creditsIssued = 0;
+    std::uint64_t creditsReturned = 0;
+
     /** Deadlock watchdog outcome. */
     bool watchdogFired = false;
     Cycle watchdogFiredAt = 0;

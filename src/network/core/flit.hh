@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Flit types for the flit-level switching modes.
+ *
+ * Under wormhole and virtual cut-through switching a packet no
+ * longer crosses a link as one atomic unit: it is serialized into
+ * `lengthSlots` flits — one head, zero or more body, one tail (a
+ * single-flit packet's head doubles as its tail).  The engine keeps
+ * the packet record as the unit of storage (Packet::flitsArrived /
+ * flitsSent count partial residency, see packet.hh) and uses these
+ * descriptors to reason about what crosses a wire in one cycle:
+ *
+ *  - the *head* flit carries the routing header — it is the only
+ *    flit the arbiter ever grants, and it allocates the downstream
+ *    queue (per FlowControlScheme::headSlotsNeeded, 1 slot under
+ *    wormhole, the whole packet under VCT);
+ *  - *body* flits follow the head on the already-allocated path,
+ *    one per cycle, consuming one downstream credit each;
+ *  - the *tail* flit releases the path: it frees the last slot the
+ *    packet held upstream and releases the link's VC for the next
+ *    packet (the property the invariant audits check).
+ */
+
+#ifndef DAMQ_NETWORK_CORE_FLIT_HH
+#define DAMQ_NETWORK_CORE_FLIT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "queueing/queue_key.hh"
+
+namespace damq {
+
+/** Position of one flit within its packet. */
+enum class FlitType : std::uint8_t
+{
+    Head,     ///< first flit; carries the routing header
+    Body,     ///< middle flit of a >2-flit packet
+    Tail,     ///< last flit; frees the upstream slot and the VC
+    HeadTail, ///< single-flit packet: head and tail at once
+};
+
+/** Human-readable flit type name. */
+inline const char *
+flitTypeName(FlitType type)
+{
+    switch (type) {
+    case FlitType::Head:
+        return "head";
+    case FlitType::Body:
+        return "body";
+    case FlitType::Tail:
+        return "tail";
+    case FlitType::HeadTail:
+        return "head-tail";
+    }
+    return "?";
+}
+
+/**
+ * Type of flit @p index (0-based) of a packet of @p length_slots
+ * flits.
+ */
+inline FlitType
+flitTypeOf(std::uint32_t index, std::uint32_t length_slots)
+{
+    if (length_slots <= 1)
+        return FlitType::HeadTail;
+    if (index == 0)
+        return FlitType::Head;
+    return index + 1 >= length_slots ? FlitType::Tail : FlitType::Body;
+}
+
+/**
+ * One flit in transit: which packet it belongs to, which position,
+ * and the virtual channel it travels on.  Pure description — the
+ * payload stays with the packet record in the buffer.
+ */
+struct Flit
+{
+    PacketId packet = kInvalidPacket;
+    FlitType type = FlitType::HeadTail;
+    std::uint32_t index = 0; ///< 0-based position within the packet
+    VcId vc = 0;
+};
+
+/** Whether @p type ends its packet. */
+inline bool
+isTail(FlitType type)
+{
+    return type == FlitType::Tail || type == FlitType::HeadTail;
+}
+
+/** Whether @p type starts its packet. */
+inline bool
+isHead(FlitType type)
+{
+    return type == FlitType::Head || type == FlitType::HeadTail;
+}
+
+} // namespace damq
+
+#endif // DAMQ_NETWORK_CORE_FLIT_HH

@@ -1,0 +1,109 @@
+#include "network/core/flow_control.hh"
+
+#include "common/enum_parse.hh"
+#include "common/logging.hh"
+
+namespace damq {
+
+namespace {
+
+/** Canonical spellings first; aliases parse but never print. */
+constexpr EnumName<Switching> kSwitchingNames[] = {
+    {Switching::PacketSync, "packet-sync"},
+    {Switching::StoreAndForward, "store-and-forward"},
+    {Switching::CutThrough, "cut-through"},
+    {Switching::Wormhole, "wormhole"},
+    {Switching::VirtualCutThrough, "vct"},
+    {Switching::PacketSync, "packet"},
+    {Switching::CutThrough, "cutthrough"},
+    {Switching::VirtualCutThrough, "virtual-cut-through"},
+};
+
+/** Whole-packet transfers: admission needs the full length. */
+class PacketGranularScheme final : public FlowControlScheme
+{
+  public:
+    using FlowControlScheme::FlowControlScheme;
+
+    std::uint32_t headSlotsNeeded(
+        std::uint32_t length_slots) const override
+    {
+        return length_slots;
+    }
+
+    bool reservesWholePacket() const override { return true; }
+};
+
+/** Wormhole: a head flit needs one downstream slot. */
+class WormholeScheme final : public FlowControlScheme
+{
+  public:
+    using FlowControlScheme::FlowControlScheme;
+
+    std::uint32_t headSlotsNeeded(std::uint32_t) const override
+    {
+        return 1;
+    }
+
+    bool reservesWholePacket() const override { return false; }
+};
+
+/** VCT: a head flit needs the whole packet's space downstream. */
+class VirtualCutThroughScheme final : public FlowControlScheme
+{
+  public:
+    using FlowControlScheme::FlowControlScheme;
+
+    std::uint32_t headSlotsNeeded(
+        std::uint32_t length_slots) const override
+    {
+        return length_slots;
+    }
+
+    bool reservesWholePacket() const override { return true; }
+};
+
+} // namespace
+
+const char *
+switchingName(Switching mode)
+{
+    if (const char *name = enumValueName(mode, kSwitchingNames))
+        return name;
+    damq_panic("unknown Switching ", static_cast<int>(mode));
+}
+
+std::optional<Switching>
+trySwitchingFromString(const std::string &name)
+{
+    return parseEnumName(std::string_view(name), kSwitchingNames);
+}
+
+std::unique_ptr<FlowControlScheme>
+FlowControlScheme::make(Switching mode, FlowControl fc)
+{
+    if (flitLevelSwitching(mode)) {
+        if (fc == FlowControl::Discarding)
+            damq_fatal(switchingName(mode), " switching cannot use "
+                       "the discarding protocol: flits of one packet "
+                       "must not be dropped independently");
+        // Blocking is the packet-mode default; at flit granularity
+        // "blocked" is precisely "out of credits", so upgrade.
+        if (fc == FlowControl::Blocking)
+            fc = FlowControl::Credit;
+        if (mode == Switching::Wormhole)
+            return std::unique_ptr<FlowControlScheme>(
+                new WormholeScheme(mode, fc));
+        return std::unique_ptr<FlowControlScheme>(
+            new VirtualCutThroughScheme(mode, fc));
+    }
+    if (fc == FlowControl::Credit || fc == FlowControl::OnOff)
+        damq_fatal("the ", flowControlName(fc), " protocol is "
+                   "flit-level back-pressure; ", switchingName(mode),
+                   " switching moves whole packets (use blocking or "
+                   "discarding, or switch to wormhole/vct)");
+    return std::unique_ptr<FlowControlScheme>(
+        new PacketGranularScheme(mode, fc));
+}
+
+} // namespace damq

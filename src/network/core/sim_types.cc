@@ -11,8 +11,11 @@ namespace {
 constexpr EnumName<FlowControl> kFlowControlNames[] = {
     {FlowControl::Discarding, "discarding"},
     {FlowControl::Blocking, "blocking"},
+    {FlowControl::Credit, "credit"},
+    {FlowControl::OnOff, "on-off"},
     {FlowControl::Discarding, "discard"},
     {FlowControl::Blocking, "block"},
+    {FlowControl::OnOff, "onoff"},
 };
 
 } // namespace

@@ -20,7 +20,22 @@ namespace damq {
 enum class FlowControl
 {
     Discarding, ///< packets entering a full buffer are dropped
-    Blocking    ///< the transmitter is held off by back-pressure
+    Blocking,   ///< the transmitter is held off by back-pressure
+    /**
+     * Flit-level back-pressure by per-hop credit counters: a sender
+     * holds one credit per downstream slot its flits may occupy and
+     * stalls at zero; the receiver returns a credit per slot freed.
+     * Only meaningful under the flit-level switching modes
+     * (wormhole / virtual cut-through); packet-synchronized configs
+     * reject it at construction.
+     */
+    Credit,
+    /**
+     * Flit-level back-pressure by an on/off wire: the sender reads
+     * the receiver's free-space state directly each cycle instead
+     * of tracking credits.  Flit modes only, like Credit.
+     */
+    OnOff
 };
 
 /** Human-readable protocol name. */

@@ -115,6 +115,14 @@ SyncEngine::SyncEngine(const Topology &topology,
 
     buildChannelTables();
 
+    // The flow-control scheme validates the switching × protocol
+    // combination (and upgrades Blocking to Credit at flit
+    // granularity, where "blocked" is precisely "out of credits").
+    scheme = FlowControlScheme::make(cfg.switching, cfg.protocol);
+    cfg.protocol = scheme->protocol();
+    if (scheme->flitLevel())
+        setupFlitState();
+
     // Contiguous shard plan plus per-shard scratch.  Every
     // per-cycle structure is sized up front: at most one departure
     // per switch output exists at once, so these bounds hold for
@@ -136,11 +144,19 @@ SyncEngine::SyncEngine(const Topology &topology,
             // arbSwitch keeps the capture small enough for the
             // std::function small-object store, so arbitration
             // never constructs a function per switch.
-            sc.canSend = [this, s](PortId, QueueKey out_key,
-                                   const Packet &pkt) {
-                return canSendFrom(shardScratch[s].arbSwitch,
-                                   out_key, pkt);
-            };
+            if (flit) {
+                sc.canSend = [this, s](PortId, QueueKey out_key,
+                                       const Packet &pkt) {
+                    return flitCanSendHead(
+                        shardScratch[s].arbSwitch, out_key, pkt);
+                };
+            } else {
+                sc.canSend = [this, s](PortId, QueueKey out_key,
+                                       const Packet &pkt) {
+                    return canSendFrom(shardScratch[s].arbSwitch,
+                                       out_key, pkt);
+                };
+            }
         }
         if (input) {
             grantStore.resize(n);
@@ -378,42 +394,68 @@ SyncEngine::phaseAdvanceInput()
         processRehomes();
     }
 
+    if (flit) {
+        runAdvancePhases(flitAdvance);
+        return;
+    }
+    runAdvancePhases(packetAdvance);
+}
+
+void
+SyncEngine::runAdvancePhases(AdvancePhase &phase)
+{
     // A1: every switch arbitrates against the start-of-cycle
     // snapshot.  The phase only *reads* buffer state (its own
     // queues, downstream canAccept) and the fault hooks pre-rolled
     // by phaseFaults; the sole mutation is each switch's own
     // arbiter fairness state — so shards share nothing writable.
     shardPool->run(
-        [this](unsigned shard) { advanceArbitrate(shard); });
+        [&phase](unsigned shard) { phase.arbitrate(shard); });
 
     // When a grant-legality audit is due, the coordinator checks
     // the schedules before they are consumed (ascending id, same
     // order the sequential engine recorded in).
-    if (auditor.due(currentCycle)) {
-        for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
-            auditor.record(
-                currentCycle, injector.componentName(sw),
-                auditGrantLegality(
-                    grantStore[sw], portCount, portCount,
-                    switchStore[sw].buffer(0).maxReadsPerCycle(),
-                    cfg.common.vcs));
-        }
-    }
+    if (auditor.due(currentCycle))
+        phase.auditGrants();
 
-    // A2: granted packets pop from their (shard-owned) buffers
+    // A2: granted sends execute on their (shard-owned) buffers
     // into per-shard move lists.  Between A1's capacity checks and
-    // A3's receives only pops happen, so downstream space can only
-    // grow — a start-of-cycle "accepts" verdict cannot sour.
-    shardPool->run([this](unsigned shard) { advancePop(shard); });
+    // A3's receives only removals happen, so downstream space can
+    // only grow — a start-of-cycle "accepts" verdict cannot sour.
+    shardPool->run([&phase](unsigned shard) { phase.pop(shard); });
 
     // A3: apply the moves.  Concatenating the shard lists in shard
     // order reproduces the sequential ascending-SwitchId move
     // order.
-    if (linkLayer || injector.enabled()) {
-        // Per-packet fault draws (drop/corrupt) and link-layer
-        // protocol state are global and order-sensitive: apply the
-        // global move list on the coordinator, exactly as the
-        // sequential engine does.
+    if (phase.coordinatorExchange()) {
+        phase.exchangeSerial();
+        return;
+    }
+    shardPool->run([&phase](unsigned shard) { phase.exchange(shard); });
+    phase.finishExchange();
+}
+
+void
+SyncEngine::auditGrantsNow()
+{
+    for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        auditor.record(
+            currentCycle, injector.componentName(sw),
+            auditGrantLegality(
+                grantStore[sw], portCount, portCount,
+                switchStore[sw].buffer(0).maxReadsPerCycle(),
+                cfg.common.vcs));
+    }
+}
+
+void
+SyncEngine::exchangeMovesSerial()
+{
+    // Per-packet fault draws (drop/corrupt) and link-layer
+    // protocol state are global and order-sensitive: apply the
+    // global move list on the coordinator, exactly as the
+    // sequential engine does.
+    {
         const bool hard_faults = common.faults.hardFaultsEnabled();
         for (unsigned s = 0; s < shardPool->shards(); ++s) {
             for (Move &move : shardScratch[s].moves) {
@@ -486,16 +528,12 @@ SyncEngine::phaseAdvanceInput()
                 }
             }
         }
-        return;
     }
+}
 
-    // Fault-free fast path: receives run sharded.  Every input
-    // buffer is fed by exactly one link and a link carries at most
-    // one packet per cycle, so the switch that owns the hop target
-    // is the packet's only writer; receives to distinct buffers
-    // commute, making the sharded application order-independent.
-    shardPool->run([this](unsigned shard) { advanceReceive(shard); });
-
+void
+SyncEngine::finishMovesExchange()
+{
     // A3b: sink deliveries and counter sums stay on the
     // coordinator, walked in global move order — deliver()'s
     // Welford statistics are order-sensitive floating point, and
@@ -1142,7 +1180,11 @@ SyncEngine::phaseInject()
         pkt.id = nextPacketId++;
         pkt.source = src;
         pkt.dest = traffic.destinationFor(src, rng);
-        pkt.lengthSlots = 1;
+        // At flit granularity a packet is flitsPerPacket flits of
+        // one slot each; the source NI assembles whole packets, so
+        // injection stays packet-granular (flitsArrived = 0 is the
+        // "all arrived" sentinel).
+        pkt.lengthSlots = flit ? cfg.flitsPerPacket : 1;
         pkt.generatedAt = currentCycle;
         pkt.seq = nextSeq[src]++;
         sealHeader(pkt);
@@ -1175,7 +1217,9 @@ SyncEngine::injectShard(unsigned shard)
     sc.injected = 0;
     sc.discardedAtEntry = 0;
     sc.faultDropped = 0;
-    const bool blocking = cfg.protocol == FlowControl::Blocking;
+    // Credit and on-off flow control never drop at entry either:
+    // a source that cannot inject queues up, exactly as blocking.
+    const bool blocking = cfg.protocol != FlowControl::Discarding;
     for (const NodeId src : plan.sources[shard]) {
         if (stagedHas[src]) {
             const Packet &pkt = stagedPkt[src];
@@ -1328,6 +1372,16 @@ std::uint64_t
 SyncEngine::packetsInFlight() const
 {
     std::uint64_t total = 0;
+    if (flit) {
+        // A packet streaming across k hops holds k+1 records; at
+        // any phase boundary exactly one of them — the one holding
+        // the tail flit — is fully arrived, so the conservation
+        // identity sums those.
+        for (const SwitchModel &sm : switchStore)
+            for (PortId in = 0; in < portCount; ++in)
+                total += sm.buffer(in).fullyResidentPackets();
+        return total;
+    }
     for (const auto &sw : switches)
         total += sw->totalPackets();
     // Unacked frames in retransmit buffers and displaced packets
@@ -1422,6 +1476,11 @@ SyncEngine::phaseAudit()
                            auditQueueFifoOrder(sm->buffer(in)));
         }
     }
+    // Flit-layer invariants: streams release their wire and VC at
+    // the tail, credits respect their caps and account for every
+    // used slot, and no two packets interleave in one buffer.
+    if (flit)
+        auditor.record(currentCycle, "flit", flitCheckInvariants());
     // End-to-end conservation: every packet that entered the fabric
     // must be delivered, discarded, removed by a fault, or still
     // buffered — nothing may vanish unaccounted.
@@ -1448,8 +1507,11 @@ SyncEngine::phaseWatchdog()
         return;
     const bool hard_faults = common.faults.hardFaultsEnabled();
     for (SwitchId sw = 0; sw < topo.numSwitches(); ++sw) {
+        // Flit motion is finer than pops: a long packet streaming
+        // body flits is progress even though nothing popped yet.
         const std::uint64_t transmitted =
-            switches[sw]->unitStats().transmitted;
+            flit ? flit->sends[sw]
+                 : switches[sw]->unitStats().transmitted;
         const bool moved = transmitted != prevTransmitted[sw];
         prevTransmitted[sw] = transmitted;
         bool has_work = switches[sw]->totalPackets() > 0;
@@ -1473,6 +1535,10 @@ SyncEngine::faultReport() const
     FaultReport report = SimEngine::faultReport();
     if (linkLayer)
         linkLayer->fillReport(report);
+    if (flit) {
+        report.creditsIssued = flit->creditsIssued;
+        report.creditsReturned = flit->creditsReturned;
+    }
     return report;
 }
 

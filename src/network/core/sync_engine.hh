@@ -46,6 +46,8 @@
 #include "common/ring_queue.hh"
 #include "common/types.hh"
 #include "network/core/fault_router.hh"
+#include "network/core/flit.hh"
+#include "network/core/flow_control.hh"
 #include "network/core/link_layer.hh"
 #include "network/core/shard.hh"
 #include "network/core/sim_engine.hh"
@@ -61,6 +63,69 @@
 namespace damq {
 namespace core {
 
+/**
+ * The shard-phase contract of one synchronized advance.  PR 7's
+ * barrier machinery ran three informal phases hard-coded for
+ * whole-packet transfers; this interface names them so the packet
+ * and flit engines share one sequencer (runAdvancePhases) — and one
+ * bit-identity argument — instead of duplicating the barrier
+ * protocol:
+ *
+ *  - **arbitrate** (A1, every shard): decide this cycle's sends
+ *    against the start-of-cycle snapshot.  May only *read* buffer
+ *    state (own queues, downstream capacity, pre-rolled fault
+ *    hooks); the sole mutation allowed is shard-owned scratch and
+ *    per-switch arbiter fairness state.
+ *  - **auditGrants** (coordinator, only when an audit is due):
+ *    check the decided schedules before they are consumed,
+ *    ascending switch id.
+ *  - **pop** (A2, every shard): execute the decided sends on
+ *    shard-*owned* state only (pop/flit-forward own buffers,
+ *    consume own links' credits) into per-shard move lists.
+ *    Between A1's capacity checks and A3's receives only removals
+ *    happen, so a start-of-cycle "accepts" verdict cannot sour.
+ *  - **exchange** (A3): apply the moves.  Either on the
+ *    coordinator in global move order (coordinatorExchange() true:
+ *    order-sensitive per-packet fault draws or link-layer protocol
+ *    state), or sharded — each shard applies the moves landing on
+ *    switches it owns, sound because every input buffer is fed by
+ *    exactly one link — followed by **finishExchange** on the
+ *    coordinator for sink deliveries and counter sums in global
+ *    move order (Welford latency accumulation is order-sensitive
+ *    floating point).
+ *
+ * The sequencer inserts a barrier between consecutive sharded
+ * phases; concatenating per-shard outputs in shard order reproduces
+ * the sequential ascending-SwitchId order, which is what keeps
+ * results bit-identical at any shard count (DESIGN.md §13).
+ */
+class AdvancePhase
+{
+  public:
+    virtual ~AdvancePhase() = default;
+
+    /** A1: decide sends for @p shard (snapshot reads only). */
+    virtual void arbitrate(unsigned shard) = 0;
+
+    /** Coordinator: audit the decided schedules (audit cycles). */
+    virtual void auditGrants() = 0;
+
+    /** A2: execute @p shard's sends on shard-owned state. */
+    virtual void pop(unsigned shard) = 0;
+
+    /** Whether A3 must run serially on the coordinator. */
+    virtual bool coordinatorExchange() const = 0;
+
+    /** A3, serial form: apply all moves in global order. */
+    virtual void exchangeSerial() = 0;
+
+    /** A3, sharded form: apply moves landing on @p shard. */
+    virtual void exchange(unsigned shard) = 0;
+
+    /** A3b: coordinator tail of the sharded exchange. */
+    virtual void finishExchange() = 0;
+};
+
 /** Policy knobs of a synchronized run (topology passed separately). */
 struct SyncConfig
 {
@@ -70,6 +135,20 @@ struct SyncConfig
     FlowControl protocol = FlowControl::Blocking;
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
+
+    /**
+     * Switching granularity.  PacketSync (the default) is the
+     * paper's synchronized whole-packet transfer and leaves every
+     * historical result byte-identical.  Wormhole and
+     * VirtualCutThrough move one flit per link per cycle under
+     * credit (or on-off) flow control; both require input-buffered
+     * placement and are validated by FlowControlScheme::make.
+     */
+    Switching switching = Switching::PacketSync;
+
+    /** Flits per packet at flit granularity (= Packet::lengthSlots;
+     *  ignored in PacketSync mode, where packets stay one slot). */
+    std::uint32_t flitsPerPacket = 4;
     std::string traffic = "uniform"; ///< pattern name (see makeTraffic)
     double hotSpotFraction = 0.05;   ///< used when traffic == "hotspot"
 
@@ -202,6 +281,31 @@ class SyncEngine final : public SimEngine
     /** The link layer, or nullptr when recovery is off (tests). */
     const LinkLayer *linkLayerOrNull() const { return linkLayer.get(); }
 
+    /** The flow-control scheme governing this run. */
+    const FlowControlScheme &flowScheme() const { return *scheme; }
+
+    /** Whether this engine advances flit by flit. */
+    bool flitMode() const { return flit != nullptr; }
+
+    /** Lifetime credits consumed by flit sends (0 in packet mode). */
+    std::uint64_t creditsIssued() const
+    {
+        return flit ? flit->creditsIssued : 0;
+    }
+
+    /** Lifetime credits handed back by downstream buffers. */
+    std::uint64_t creditsReturned() const
+    {
+        return flit ? flit->creditsReturned : 0;
+    }
+
+    /**
+     * Whether every link's credit counters are back at their caps —
+     * true exactly when no packet occupies any link-fed buffer
+     * (credit conservation; trivially true in packet mode).
+     */
+    bool flitCreditsAtRest() const;
+
   protected:
     void phaseFaults() override;   ///< pre-rolls + structural leaks
     void phaseAdvance() override;  ///< arbitrate, pop, deliver
@@ -281,6 +385,201 @@ class SyncEngine final : public SimEngine
     /** A3 (parallel form): apply every shard's moves that land on
      *  a switch this shard owns; sinks are left to the coordinator. */
     void advanceReceive(unsigned shard);
+
+    /** Drive one advance through the AdvancePhase sequence:
+     *  arbitrate ∥ → audit → pop ∥ → exchange (serial or ∥ +
+     *  finish).  The barriers between sharded phases live here. */
+    void runAdvancePhases(AdvancePhase &phase);
+
+    /** Coordinator grant-legality audit over all switches (the
+     *  auditGrants step shared by packet and flit advances). */
+    void auditGrantsNow();
+
+    /** Serial A3 of the whole-packet advance: the global move list
+     *  crosses wires under faults / link-layer recovery. */
+    void exchangeMovesSerial();
+
+    /** A3b of the whole-packet advance: sink deliveries and counter
+     *  sums in global move order. */
+    void finishMovesExchange();
+
+    /** The whole-packet AdvancePhase — PR 7's synchronized advance
+     *  expressed on the shared sequencer, bit-identical to it. */
+    class PacketAdvance final : public AdvancePhase
+    {
+      public:
+        explicit PacketAdvance(SyncEngine &e) : eng(e) {}
+
+        void arbitrate(unsigned shard) override
+        {
+            eng.advanceArbitrate(shard);
+        }
+        void auditGrants() override { eng.auditGrantsNow(); }
+        void pop(unsigned shard) override { eng.advancePop(shard); }
+        bool coordinatorExchange() const override
+        {
+            // Per-packet fault draws and link-layer protocol state
+            // are global and order-sensitive.
+            return eng.linkLayer != nullptr || eng.injector.enabled();
+        }
+        void exchangeSerial() override { eng.exchangeMovesSerial(); }
+        void exchange(unsigned shard) override
+        {
+            eng.advanceReceive(shard);
+        }
+        void finishExchange() override { eng.finishMovesExchange(); }
+
+      private:
+        SyncEngine &eng;
+    };
+
+    // --- flit-level switching (wormhole / virtual cut-through) ---
+
+    /** No feeding link: the buffer is filled by injection only. */
+    static constexpr LinkId kNoFeedLink = ~LinkId(0);
+
+    /**
+     * Per-link stream state: the packet that owns the wire (and its
+     * downstream VC) from its head-flit grant until its tail flit
+     * crosses.  While a stream is active no other packet may place
+     * a flit on the link — VC non-interleaving is structural.
+     */
+    struct FlitStream
+    {
+        PacketId packet = 0;
+        bool active = false;
+        PortId input = kInvalidPort; ///< upstream input buffer
+        QueueKey srcKey{};           ///< upstream queue it drains
+        QueueKey dstKey{};           ///< downstream queue (set at
+                                     ///< head arrival, phase A3)
+        VcId linkVc = 0;             ///< VC occupied on the wire
+    };
+
+    /** One flit crossing a link this cycle.  @c pkt carries the
+     *  full record for Head (pushed downstream) and Tail/HeadTail
+     *  (sink delivery); Body flits need only the link. */
+    struct FlitMove
+    {
+        LinkId link;
+        VcId vc; ///< virtual channel the flit crossed on
+        FlitType type;
+        Packet pkt;
+    };
+
+    /** A credit hand-back deferred to the end-of-cycle barrier, so
+     *  senders always read start-of-cycle counter values. */
+    struct CreditReturn
+    {
+        LinkId link;
+        VcId vc;
+    };
+
+    /** Per-shard flit scratch; padded like ShardScratch. */
+    struct alignas(64) FlitShard
+    {
+        std::vector<FlitMove> moves;
+        std::vector<CreditReturn> returns;
+        GrantList tailGrants;              ///< per-switch pop batch
+        std::vector<VcId> tailVcs;         ///< wire VC per tail grant
+        std::vector<std::uint32_t> reads;  ///< per-input read budget
+        std::uint64_t issued = 0; ///< credits consumed this cycle
+    };
+
+    /** All flit-mode state; null in PacketSync mode, so the packet
+     *  engine pays nothing for the flit layer's existence. */
+    struct FlitState
+    {
+        std::vector<FlitStream> streams; ///< link * numVcs + vc
+        /** A1's wire verdict, by link: 0 = idle, else 1 + the VC of
+         *  the continuation that owns the wire this cycle.  Virtual
+         *  channels flit-multiplex the physical link — a stalled
+         *  packet holds only its VC stream, never the wire. */
+        std::vector<std::uint8_t> sendFlit;
+        /** Signed: an in-place send (the arriving flit lands in a
+         *  slot its packet already holds) is allowed at zero
+         *  credits — the counter dips to -1 within the cycle and
+         *  the barrier-applied rebate restores it before any A1
+         *  decision can observe it. */
+        std::vector<std::int32_t> linkCredits; ///< by LinkId
+        std::vector<std::int32_t> linkCreditCap;
+        std::vector<std::int32_t> vcCredits; ///< link * numVcs + vc
+        std::vector<std::int32_t> vcCreditCap; ///< by LinkId
+        std::vector<LinkId> feedLink; ///< sw*ports+in -> feeder link
+        std::vector<FlitShard> shard;
+        std::vector<std::uint64_t> sends; ///< per-switch flit motion
+        std::uint64_t creditsIssued = 0;
+        std::uint64_t creditsReturned = 0;
+    };
+
+    /** Validate the flit gating rules and build FlitState. */
+    void setupFlitState();
+
+    /** A1: decide this cycle's flit sends for @p shard's switches —
+     *  stream continuations first (claiming wires and read ports in
+     *  link order), then new head grants through the arbiter. */
+    void flitArbitrate(unsigned shard);
+
+    /** Head-admission check bound into the arbiter's CanSendFn. */
+    bool flitCanSendHead(SwitchId sw, QueueKey out_key,
+                         const Packet &pkt);
+
+    /** Whether active stream @p st may send its next flit. */
+    bool flitCanContinue(LinkId link, const FlitStream &st,
+                         const Packet &head);
+
+    /** Flits already committed to @p link's downstream buffer but
+     *  not yet arrived (active streams' unsent remainders) — VCT
+     *  head admission must leave room for them. */
+    std::uint32_t flitCommitted(LinkId link);
+
+    /** A2: execute @p shard's decided sends — advance flit cursors,
+     *  pop tails, consume own links' credits, defer hand-backs. */
+    void flitPop(unsigned shard);
+
+    /** A3 (sharded): apply flit arrivals landing on @p shard. */
+    void flitExchange(unsigned shard);
+
+    /** A3b: sink deliveries in global move order, then apply the
+     *  deferred credit returns (visible next cycle). */
+    void flitFinishExchange();
+
+    /** Consume one credit for a flit sent over @p link. */
+    void flitConsumeCredit(FlitShard &fs, LinkId link, VcId vc);
+
+    /** Defer a credit return to the link feeding (sw, input). */
+    void flitDeferReturn(FlitShard &fs, SwitchId sw, PortId input,
+                         VcId vc);
+
+    /** Flit-layer invariants for the periodic audit: stream/queue
+     *  consistency (a tail always frees its wire and VC), credit
+     *  caps, and one partial packet per link-fed buffer. */
+    std::vector<std::string> flitCheckInvariants() const;
+
+    /** The flit-granular AdvancePhase.  Its exchange is always
+     *  sharded: the fault classes whose per-packet draws would
+     *  force a serial exchange are rejected at construction. */
+    class FlitAdvance final : public AdvancePhase
+    {
+      public:
+        explicit FlitAdvance(SyncEngine &e) : eng(e) {}
+
+        void arbitrate(unsigned shard) override
+        {
+            eng.flitArbitrate(shard);
+        }
+        void auditGrants() override { eng.auditGrantsNow(); }
+        void pop(unsigned shard) override { eng.flitPop(shard); }
+        bool coordinatorExchange() const override { return false; }
+        void exchangeSerial() override; ///< unreachable; panics
+        void exchange(unsigned shard) override
+        {
+            eng.flitExchange(shard);
+        }
+        void finishExchange() override { eng.flitFinishExchange(); }
+
+      private:
+        SyncEngine &eng;
+    };
 
     /** The blocking back-pressure / discard capacity check for a
      *  departure from switch @p sw, on flat channel tables. */
@@ -449,6 +748,15 @@ class SyncEngine final : public SimEngine
     std::unique_ptr<ShardRuntime> shardPool;
     ShardPlan plan;
     std::vector<ShardScratch> shardScratch;
+    PacketAdvance packetAdvance{*this};
+    FlitAdvance flitAdvance{*this};
+
+    /** Flow-control scheme (validates the switching × protocol
+     *  combination at construction); never null after the ctor. */
+    std::unique_ptr<FlowControlScheme> scheme;
+
+    /** Flit-mode state; null in PacketSync mode (zero cost). */
+    std::unique_ptr<FlitState> flit;
 
     /** Per-switch grant store written in A1, read in A2 (and by
      *  the grant-legality audit); reused every cycle. */

@@ -11,25 +11,26 @@ namespace damq {
 const char *
 switchingModeName(SwitchingMode mode)
 {
-    switch (mode) {
-      case SwitchingMode::StoreAndForward: return "store-and-forward";
-      case SwitchingMode::CutThrough: return "cut-through";
-    }
-    damq_panic("unknown SwitchingMode ", static_cast<int>(mode));
+    damq_assert(mode == Switching::CutThrough ||
+                    mode == Switching::StoreAndForward,
+                "switchingModeName: ", switchingName(mode),
+                " is not a cut-through-sim mode");
+    return switchingName(mode);
 }
 
 std::optional<SwitchingMode>
 trySwitchingModeFromString(const std::string &name)
 {
     const std::string lower = toLower(name);
-    if (lower == "cut-through" || lower == "cutthrough" ||
-        lower == "cut") {
-        return SwitchingMode::CutThrough;
-    }
-    if (lower == "store-and-forward" || lower == "saf" ||
-        lower == "store") {
-        return SwitchingMode::StoreAndForward;
-    }
+    // Short aliases this front-end has always taken.
+    if (lower == "cut")
+        return Switching::CutThrough;
+    if (lower == "saf" || lower == "store")
+        return Switching::StoreAndForward;
+    const std::optional<Switching> mode = trySwitchingFromString(lower);
+    if (mode && (*mode == Switching::CutThrough ||
+                 *mode == Switching::StoreAndForward))
+        return mode;
     return std::nullopt;
 }
 

@@ -46,6 +46,7 @@
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "network/core/flow_control.hh"
 #include "network/core/sim_engine.hh"
 #include "network/core/traffic_source.hh"
 #include "network/network_sim.hh"
@@ -59,17 +60,22 @@
 
 namespace damq {
 
-/** How packets move through a switch. */
-enum class SwitchingMode
-{
-    StoreAndForward, ///< buffer fully, then forward
-    CutThrough       ///< forward as soon as routing completes
-};
+/**
+ * How packets move through a switch.  Historically this simulator's
+ * private two-value enum; now an alias of the core Switching enum
+ * (network/core/flow_control.hh), of which this simulator supports
+ * the two packet-granular values StoreAndForward and CutThrough —
+ * every existing call site compiles and prints unchanged.
+ */
+using SwitchingMode = Switching;
 
-/** Human-readable mode name. */
+/** Human-readable mode name (the two cut-through-sim values only). */
 const char *switchingModeName(SwitchingMode mode);
 
-/** Parse a case-insensitive mode name; nullopt on bad input. */
+/**
+ * Parse a case-insensitive mode name; nullopt on bad input or on a
+ * switching mode this packet-granular simulator does not implement.
+ */
 std::optional<SwitchingMode> trySwitchingModeFromString(
     const std::string &name);
 

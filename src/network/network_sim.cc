@@ -14,6 +14,8 @@ NetworkSimulator::syncConfigOf(const NetworkConfig &config)
     sync.protocol = config.protocol;
     sync.arbitration = config.arbitration;
     sync.staleThreshold = config.staleThreshold;
+    sync.switching = config.switching;
+    sync.flitsPerPacket = config.flitsPerPacket;
     sync.traffic = config.traffic;
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = 0; // historical: no transpose special case

@@ -62,6 +62,14 @@ struct NetworkConfig
     FlowControl protocol = FlowControl::Blocking;
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
+
+    /** PacketSync (historical default), or Wormhole / VCT for
+     *  flit-level switching under credit flow control. */
+    Switching switching = Switching::PacketSync;
+
+    /** Flits per packet in the flit-level modes. */
+    std::uint32_t flitsPerPacket = 4;
+
     std::string traffic = "uniform"; ///< pattern name (see makeTraffic)
     double hotSpotFraction = 0.05;   ///< used when traffic == "hotspot"
     double offeredLoad = 0.5;        ///< packets/cycle/source
@@ -192,6 +200,10 @@ class NetworkSimulator
      * with both seeds echoed.
      */
     std::string snapshotText() const { return engine.snapshotText(); }
+
+    /** The underlying engine (flit-mode test access). */
+    core::SyncEngine &syncEngine() { return engine; }
+    const core::SyncEngine &syncEngine() const { return engine; }
 
   private:
     /** Map the public config onto the shared engine's knobs. */

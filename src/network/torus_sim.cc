@@ -26,6 +26,8 @@ TorusSimulator::syncConfigOf(const TorusConfig &config)
     sync.protocol = config.protocol;
     sync.arbitration = config.arbitration;
     sync.staleThreshold = config.staleThreshold;
+    sync.switching = config.switching;
+    sync.flitsPerPacket = config.flitsPerPacket;
     sync.traffic = config.traffic;
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = config.width;

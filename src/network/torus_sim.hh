@@ -63,6 +63,14 @@ struct TorusConfig
 
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
+
+    /** PacketSync (historical default), or Wormhole / VCT for
+     *  flit-level switching under credit flow control. */
+    Switching switching = Switching::PacketSync;
+
+    /** Flits per packet in the flit-level modes. */
+    std::uint32_t flitsPerPacket = 4;
+
     std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
     double hotSpotFraction = 0.05;
     double offeredLoad = 0.3; ///< packets/cycle/node
@@ -147,6 +155,10 @@ class TorusSimulator
 
     /** Deterministic per-node occupancy snapshot. */
     std::string snapshotText() const { return engine.snapshotText(); }
+
+    /** The underlying engine (flit-mode test access). */
+    core::SyncEngine &syncEngine() { return engine; }
+    const core::SyncEngine &syncEngine() const { return engine; }
 
     /** Shortest-way DOR decision: output port at @p node. */
     PortId routeFrom(NodeId node, NodeId dest) const

@@ -66,5 +66,16 @@ QueueProbe::onClear(const BufferModel &)
     pendingSince.clear();
 }
 
+void
+QueueProbe::onFlitProgress(const BufferModel &buffer)
+{
+    // Under wormhole/VCT a packet's footprint grows and shrinks one
+    // flit at a time between the enqueue and dequeue edges; sample
+    // the occupancy at each step so `occ:` reflects slots actually
+    // held, not just whole-packet residency.  Packet-mode runs never
+    // reach here.
+    occupancy.add(static_cast<double>(buffer.usedSlots()));
+}
+
 } // namespace obs
 } // namespace damq

@@ -6,8 +6,9 @@
  * histograms in the owning MetricRegistry:
  *
  *  - `occ:<label>`  — buffer occupancy (committed slots) observed at
- *    every enqueue and dequeue, bin width one slot, one bin per slot
- *    of capacity;
+ *    every enqueue and dequeue — and, under the flit-level switching
+ *    modes, at every flit arrival/departure that moves the slot
+ *    count — bin width one slot, one bin per slot of capacity;
  *  - `wait:<label>` — packet waiting time in cycles from enqueue to
  *    dequeue, bin width one cycle (long tails land in the overflow
  *    bin and still count toward quantiles).
@@ -64,6 +65,7 @@ class QueueProbe : public BufferProbe
     void onDequeue(const BufferModel &buffer, QueueKey key,
                    const Packet &pkt) override;
     void onClear(const BufferModel &buffer) override;
+    void onFlitProgress(const BufferModel &buffer) override;
 
     /** Metric-name label this probe was built with. */
     const std::string &label() const { return tag; }

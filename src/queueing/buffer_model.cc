@@ -96,6 +96,7 @@ BufferModel::clear()
     std::fill(reservedPerQueue.begin(), reservedPerQueue.end(), 0);
     std::fill(vcCensus.begin(), vcCensus.end(), 0);
     reservedTotal = 0;
+    fullyArrivedCount = 0;
     if (probe)
         probe->onClear(*this);
 }

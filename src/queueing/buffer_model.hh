@@ -93,6 +93,18 @@ class BufferProbe
 
     /** @p buffer dropped all contents (reset between runs). */
     virtual void onClear(const BufferModel &buffer) = 0;
+
+    /**
+     * A flit arrived at or left @p buffer without crossing a packet
+     * boundary (flitArrived / flitSent under flit-level switching),
+     * possibly changing the slot occupancy.  Default no-op so
+     * packet-mode probes are unaffected; QueueProbe overrides it to
+     * sample occupancy between the enqueue and dequeue edges.
+     */
+    virtual void onFlitProgress(const BufferModel &buffer)
+    {
+        (void)buffer;
+    }
 };
 
 /**
@@ -145,6 +157,21 @@ class BufferModel
     /** Committed packets currently stored. */
     virtual std::uint32_t totalPackets() const = 0;
 
+    /**
+     * Resident packets whose every flit has arrived here.  Equal to
+     * totalPackets() in packet mode, where arrivals are atomic.
+     * Under flit-level switching a streaming packet is resident in
+     * two buffers at once (its tail upstream, its head downstream),
+     * but exactly one of those records is fully arrived at any
+     * phase boundary — so end-to-end packet accounting sums this,
+     * not totalPackets().  Maintained by the push/pop/flitArrived
+     * wrappers; organizations need no per-type code.
+     */
+    std::uint32_t fullyResidentPackets() const
+    {
+        return fullyArrivedCount;
+    }
+
     /** Committed packets currently stored on VC @p vc. */
     std::uint32_t vcPackets(VcId vc) const { return vcCensus[vc]; }
 
@@ -171,6 +198,8 @@ class BufferModel
     void push(const Packet &pkt)
     {
         ++vcCensus[pkt.vc];
+        if (pkt.fullyArrived())
+            ++fullyArrivedCount;
         pushImpl(pkt);
         if (probe)
             probe->onEnqueue(*this, pkt);
@@ -209,9 +238,47 @@ class BufferModel
     {
         Packet pkt = popImpl(key);
         --vcCensus[pkt.vc];
+        if (pkt.fullyArrived())
+            --fullyArrivedCount;
         if (probe)
             probe->onDequeue(*this, key, pkt);
         return pkt;
+    }
+
+    /**
+     * Flit-granular occupancy: one more flit of the *youngest*
+     * packet in queue @p key arrived (its head was push()ed earlier
+     * with flitsArrived = 1).  The packet's slot footprint grows by
+     * at most one slot — see Packet::slotsHeld().  Returns true iff
+     * a storage slot was actually charged; false means the arrival
+     * reused the packet's already-held slot (every earlier flit was
+     * forwarded before this one landed), which the credit protocol
+     * answers with an immediate credit rebate so outstanding
+     * credits always equal slots held downstream.
+     */
+    bool flitArrived(QueueKey key)
+    {
+        const FlitEvent ev = flitArrivedImpl(key);
+        if (ev.pkt->fullyArrived())
+            ++fullyArrivedCount;
+        if (probe)
+            probe->onFlitProgress(*this);
+        return ev.slotChanged;
+    }
+
+    /**
+     * One flit of the *head* packet of queue @p key was forwarded
+     * downstream (every flit but the tail — sending the tail is the
+     * pop()).  Shrinks the packet's footprint by at most one slot;
+     * returns true iff a slot was actually freed (the signal to
+     * return one credit upstream).
+     */
+    bool flitSent(QueueKey key)
+    {
+        const FlitEvent ev = flitSentImpl(key);
+        if (probe)
+            probe->onFlitProgress(*this);
+        return ev.slotChanged;
     }
 
     /**
@@ -317,12 +384,37 @@ class BufferModel
     /** Organization-specific removal; see pop(). */
     virtual Packet popImpl(QueueKey key) = 0;
 
+    /**
+     * What a flit event did: the packet it touched (still resident,
+     * post-update) and whether its slot footprint changed.
+     */
+    struct FlitEvent
+    {
+        const Packet *pkt;
+        bool slotChanged;
+    };
+
+    /**
+     * Organization-specific flit arrival; see flitArrived().  Must
+     * increment flitsArrived on the youngest packet of @p key,
+     * charge a storage slot iff slotsHeld() grew, and report both.
+     */
+    virtual FlitEvent flitArrivedImpl(QueueKey key) = 0;
+
+    /**
+     * Organization-specific flit departure; see flitSent().  Must
+     * increment flitsSent on the head packet of @p key, release a
+     * storage slot iff slotsHeld() shrank, and report both.
+     */
+    virtual FlitEvent flitSentImpl(QueueKey key) = 0;
+
   private:
     QueueLayout queues;
     std::uint32_t capacity;
     std::vector<std::uint32_t> reservedPerQueue;
     std::vector<std::uint32_t> vcCensus;
     std::uint32_t reservedTotal = 0;
+    std::uint32_t fullyArrivedCount = 0;
     BufferProbe *probe = nullptr;
 };
 

@@ -34,11 +34,11 @@ DamqBuffer::pushImpl(const Packet &pkt)
     const QueueKey key{pkt.outPort, pkt.vc};
     damq_assert(layout().contains(key), "push: bad output port");
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
-    damq_assert(freeList.slots >= pkt.lengthSlots + reservedSlotsTotal(),
+    damq_assert(freeList.slots >= pkt.slotsHeld() + reservedSlotsTotal(),
                 "push into a full DAMQ buffer");
 
     ListRegs &queue = queueOf(key);
-    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+    for (std::uint32_t i = 0; i < pkt.slotsHeld(); ++i) {
         const SlotId s = removeHead(freeList);
         pool[s].headOfPacket = (i == 0);
         if (i == 0)
@@ -79,7 +79,7 @@ DamqBuffer::popImpl(QueueKey key)
     const Packet pkt = *head;
 
     ListRegs &queue = queueOf(key);
-    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+    for (std::uint32_t i = 0; i < pkt.slotsHeld(); ++i) {
         const SlotId s = removeHead(queue);
         damq_assert((i == 0) == pool[s].headOfPacket,
                     "packet slot chain corrupted");
@@ -89,6 +89,69 @@ DamqBuffer::popImpl(QueueKey key)
     --queue.packets;
     --packetCount;
     return pkt;
+}
+
+BufferModel::FlitEvent
+DamqBuffer::flitArrivedImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitArrived: bad queue ",
+                key.out, ".vc", key.vc);
+    ListRegs &queue = queueOf(key);
+    damq_assert(queue.head != kNullSlot,
+                "flitArrived on an empty queue");
+    // The streaming packet is the youngest of its queue; its record
+    // lives in the last head slot of the chain.
+    SlotId head_slot = kNullSlot;
+    for (SlotId s = queue.head; s != kNullSlot; s = pool[s].next) {
+        if (pool[s].headOfPacket)
+            head_slot = s;
+    }
+    damq_assert(head_slot != kNullSlot,
+                "flitArrived: queue has no packet head");
+    Packet &pkt = pool[head_slot].packet;
+    damq_assert(pkt.flitsArrived > 0 &&
+                    pkt.flitsArrived < pkt.lengthSlots,
+                "flit arrival on a fully arrived packet");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsArrived;
+    const bool grew = pkt.slotsHeld() > before;
+    if (grew) {
+        damq_assert(freeList.slots > 0,
+                    "flit arrival into a full DAMQ buffer");
+        const SlotId s = removeHead(freeList);
+        pool[s].headOfPacket = false;
+        // The queue tail is the youngest packet's last slot, so
+        // appending extends exactly this packet's run.
+        appendTail(queue, s);
+    }
+    return {&pkt, grew};
+}
+
+BufferModel::FlitEvent
+DamqBuffer::flitSentImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitSent: bad queue ",
+                key.out, ".vc", key.vc);
+    ListRegs &queue = queueOf(key);
+    damq_assert(queue.head != kNullSlot && pool[queue.head].headOfPacket,
+                "flitSent on an empty queue");
+    Packet &pkt = pool[queue.head].packet;
+    damq_assert(pkt.flitsSent < pkt.arrivedFlits(),
+                "flitSent without an arrived flit to forward");
+    damq_assert(pkt.flitsSent + 1 < pkt.lengthSlots,
+                "flitSent would forward the tail (that is the pop)");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsSent;
+    const bool shrank = pkt.slotsHeld() < before;
+    if (shrank) {
+        // Free the packet's first body slot; the head slot keeps the
+        // record until the pop at tail send.
+        const SlotId victim = removeAfter(queue, queue.head);
+        damq_assert(!pool[victim].headOfPacket,
+                    "flitSent would free another packet's head slot");
+        appendTail(freeList, victim);
+    }
+    return {&pkt, shrank};
 }
 
 void
@@ -186,7 +249,7 @@ DamqBuffer::checkInvariants() const
                 if (pool[s].packet.outPort >= numOutputs())
                     report(label, ": stored packet has bad output "
                            "port ", pool[s].packet.outPort);
-                tail_of_packet = pool[s].packet.lengthSlots - 1;
+                tail_of_packet = pool[s].packet.slotsHeld() - 1;
                 ++heads;
             } else {
                 // Body slot: must be owed to the preceding head —

@@ -56,6 +56,8 @@ class DamqBuffer final : public BufferModel
     const Packet *peek(QueueKey key) const override;
     std::uint32_t queueLength(QueueKey key) const override;
     Packet popImpl(QueueKey key) override;
+    FlitEvent flitArrivedImpl(QueueKey key) override;
+    FlitEvent flitSentImpl(QueueKey key) override;
     void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 
@@ -119,6 +121,22 @@ class DamqBuffer final : public BufferModel
     void appendTail(ListRegs &list, SlotId s)
     {
         slotListAppendTail(pool, list, s);
+    }
+
+    /**
+     * Detach the slot linked after @p s from @p list (flit release:
+     * @p s is a packet's head slot, its successor the body slot
+     * being freed — the head register must stay with the packet).
+     */
+    SlotId removeAfter(ListRegs &list, SlotId s)
+    {
+        const SlotId victim = pool[s].next;
+        pool[s].next = pool[victim].next;
+        if (list.tail == victim)
+            list.tail = s;
+        pool[victim].next = kNullSlot;
+        --list.slots;
+        return victim;
     }
 
     /** The list registers of queue @p key. */

@@ -61,6 +61,20 @@ class DamqReservedBuffer final : public BufferModel
         return inner.queueLength(key);
     }
     Packet popImpl(QueueKey key) override { return inner.pop(key); }
+    FlitEvent flitArrivedImpl(QueueKey key) override
+    {
+        // Delegate through the inner buffer's public wrapper so its
+        // own census stays consistent; report the event upward from
+        // the post-update head-of-queue state.
+        const bool charged = inner.flitArrived(key);
+        const Packet *pkt = youngestIn(key);
+        return {pkt, charged};
+    }
+    FlitEvent flitSentImpl(QueueKey key) override
+    {
+        const bool freed = inner.flitSent(key);
+        return {inner.peek(key), freed};
+    }
     void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override
     {
@@ -82,6 +96,15 @@ class DamqReservedBuffer final : public BufferModel
     bool faultLeakSlot() override { return inner.faultLeakSlot(); }
 
   private:
+    /** Youngest resident packet of queue @p key, or nullptr. */
+    const Packet *youngestIn(QueueKey key) const
+    {
+        const Packet *last = nullptr;
+        inner.forEachInQueue(key,
+                             [&last](const Packet &p) { last = &p; });
+        return last;
+    }
+
     DamqBuffer inner;
 };
 

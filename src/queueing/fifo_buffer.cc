@@ -25,11 +25,11 @@ FifoBuffer::pushImpl(const Packet &pkt)
 {
     damq_assert(layout().contains({pkt.outPort, pkt.vc}),
                 "push: bad output port");
-    damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
+    damq_assert(used + reservedSlotsTotal() + pkt.slotsHeld() <=
                     capacitySlots(),
                 "push into a full FIFO buffer");
     lanes[pkt.vc].push_back(pkt);
-    used += pkt.lengthSlots;
+    used += pkt.slotsHeld();
     ++packetsStored;
 }
 
@@ -61,9 +61,54 @@ FifoBuffer::popImpl(QueueKey key)
                 "pop(", key.out, ") but head-of-line is elsewhere");
     Packet pkt = *head;
     lanes[key.vc].pop_front();
-    used -= pkt.lengthSlots;
+    used -= pkt.slotsHeld();
     --packetsStored;
     return pkt;
+}
+
+BufferModel::FlitEvent
+FifoBuffer::flitArrivedImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitArrived: bad queue ",
+                key.out, ".vc", key.vc);
+    std::deque<Packet> &lane = lanes[key.vc];
+    // Flits arrive in order on the buffer's one feeding link, so the
+    // streaming packet is always the youngest entry of its lane.
+    damq_assert(!lane.empty() && lane.back().outPort == key.out,
+                "flitArrived(", key.out, ".vc", key.vc,
+                ") but the youngest packet is elsewhere");
+    Packet &pkt = lane.back();
+    damq_assert(pkt.flitsArrived > 0 &&
+                    pkt.flitsArrived < pkt.lengthSlots,
+                "flit arrival on a fully arrived packet");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsArrived;
+    const bool grew = pkt.slotsHeld() > before;
+    if (grew) {
+        damq_assert(used + reservedSlotsTotal() < capacitySlots(),
+                    "flit arrival into a full FIFO buffer");
+        ++used;
+    }
+    return {&pkt, grew};
+}
+
+BufferModel::FlitEvent
+FifoBuffer::flitSentImpl(QueueKey key)
+{
+    const Packet *head = FifoBuffer::peek(key);
+    damq_assert(head != nullptr, "flitSent(", key.out,
+                ") but head-of-line is elsewhere");
+    Packet &pkt = lanes[key.vc].front();
+    damq_assert(pkt.flitsSent < pkt.arrivedFlits(),
+                "flitSent without an arrived flit to forward");
+    damq_assert(pkt.flitsSent + 1 < pkt.lengthSlots,
+                "flitSent would forward the tail (that is the pop)");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsSent;
+    const bool shrank = pkt.slotsHeld() < before;
+    if (shrank)
+        --used;
+    return {&pkt, shrank};
 }
 
 void
@@ -106,7 +151,7 @@ FifoBuffer::checkInvariants() const
             if (numVcs() > 1 && pkt.vc != vc)
                 violations.push_back(detail::concat(
                     "packet on vc ", pkt.vc, " stored in lane ", vc));
-            slots += pkt.lengthSlots;
+            slots += pkt.slotsHeld();
             ++packets;
         }
         if (numVcs() > 1 &&

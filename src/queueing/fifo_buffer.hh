@@ -39,6 +39,8 @@ class FifoBuffer final : public BufferModel
     const Packet *peek(QueueKey key) const override;
     std::uint32_t queueLength(QueueKey key) const override;
     Packet popImpl(QueueKey key) override;
+    FlitEvent flitArrivedImpl(QueueKey key) override;
+    FlitEvent flitSentImpl(QueueKey key) override;
     void forEachInQueue(QueueKey key,
                         const PacketVisitor &visit) const override;
 

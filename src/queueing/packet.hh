@@ -66,8 +66,55 @@ struct Packet
      */
     bool routeDown = false;
 
-    /** Buffer slots this packet occupies (>= 1). */
+    /** Buffer slots this packet occupies when fully resident (>= 1). */
     std::uint32_t lengthSlots = 1;
+
+    /**
+     * Flits of this packet that have arrived at the current buffer.
+     * 0 is the packet-synchronized sentinel meaning "all of them":
+     * whole-packet transfers never touch this field, so every
+     * pre-flit simulator sees slotsHeld() == lengthSlots unchanged.
+     * Under wormhole/VCT switching the head flit enqueues with
+     * flitsArrived = 1 and each body/tail flit increments it until
+     * it reaches lengthSlots.  Per-hop transit state, reset at each
+     * switch; excluded from the sealed header.
+     */
+    std::uint32_t flitsArrived = 0;
+
+    /**
+     * Flits already forwarded downstream (or to the sink) from the
+     * current buffer.  A cut-through switch may forward flits of a
+     * packet whose tail has not yet arrived, so flitsSent can grow
+     * while flitsArrived is still below lengthSlots.  Per-hop
+     * transit state like flitsArrived.
+     */
+    std::uint32_t flitsSent = 0;
+
+    /**
+     * Buffer slots this record occupies *right now*.  Equal to
+     * lengthSlots for fully resident packets (the packet-mode
+     * invariant), fewer for a partially arrived or partially
+     * forwarded one.  Never 0: a packet holds at least its head
+     * slot from head-flit arrival until the pop at tail send, even
+     * when every arrived flit has already been forwarded.
+     */
+    std::uint32_t slotsHeld() const
+    {
+        const std::uint32_t arrived = arrivedFlits();
+        return arrived > flitsSent + 1 ? arrived - flitsSent : 1;
+    }
+
+    /** Flits present here, resolving the packet-mode sentinel. */
+    std::uint32_t arrivedFlits() const
+    {
+        return flitsArrived ? flitsArrived : lengthSlots;
+    }
+
+    /** Whether every flit of the packet has arrived here. */
+    bool fullyArrived() const
+    {
+        return flitsArrived == 0 || flitsArrived >= lengthSlots;
+    }
 
     /** Network cycle at which the source generated the packet. */
     Cycle generatedAt = 0;

@@ -57,7 +57,7 @@ StaticallyPartitionedBuffer::pushImpl(const Packet &pkt)
     damq_assert(pkt.lengthSlots >= 1, "push: zero-length packet");
     const std::uint32_t q = layout().flatten(key);
     SlotListRegs &free = freeLists[q];
-    damq_assert(free.slots >= pkt.lengthSlots + reservedFor(key),
+    damq_assert(free.slots >= pkt.slotsHeld() + reservedFor(key),
                 "push into a full ", name(), " partition");
 
     SlotListRegs &queue = queues[q];
@@ -65,12 +65,12 @@ StaticallyPartitionedBuffer::pushImpl(const Packet &pkt)
     pool[head].headOfPacket = true;
     pool[head].packet = pkt;
     slotListAppendTail(pool, queue, head);
-    for (std::uint32_t i = 1; i < pkt.lengthSlots; ++i) {
+    for (std::uint32_t i = 1; i < pkt.slotsHeld(); ++i) {
         const SlotId s = slotListRemoveHead(pool, free);
         pool[s].headOfPacket = false;
         slotListAppendTail(pool, queue, s);
     }
-    freeTotal -= pkt.lengthSlots;
+    freeTotal -= pkt.slotsHeld();
     ++packetsPerQueue[q];
     ++packets;
 }
@@ -108,17 +108,88 @@ StaticallyPartitionedBuffer::popImpl(QueueKey key)
     const std::uint32_t q = layout().flatten(key);
     SlotListRegs &queue = queues[q];
     SlotListRegs &free = freeLists[q];
-    for (std::uint32_t i = 0; i < pkt.lengthSlots; ++i) {
+    for (std::uint32_t i = 0; i < pkt.slotsHeld(); ++i) {
         const SlotId s = slotListRemoveHead(pool, queue);
         damq_assert((i == 0) == pool[s].headOfPacket,
                     "packet slot chain corrupted");
         pool[s].headOfPacket = false;
         slotListAppendTail(pool, free, s);
     }
-    freeTotal += pkt.lengthSlots;
+    freeTotal += pkt.slotsHeld();
     --packetsPerQueue[q];
     --packets;
     return pkt;
+}
+
+BufferModel::FlitEvent
+StaticallyPartitionedBuffer::flitArrivedImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitArrived: bad queue ",
+                key.out, ".vc", key.vc);
+    const std::uint32_t q = layout().flatten(key);
+    SlotListRegs &queue = queues[q];
+    damq_assert(queue.head != kNullSlot,
+                "flitArrived on an empty queue");
+    // The streaming packet is the youngest of its partition; its
+    // record lives in the last head slot of the chain.
+    SlotId head_slot = kNullSlot;
+    for (SlotId s = queue.head; s != kNullSlot; s = pool[s].next) {
+        if (pool[s].headOfPacket)
+            head_slot = s;
+    }
+    damq_assert(head_slot != kNullSlot,
+                "flitArrived: queue has no packet head");
+    Packet &pkt = pool[head_slot].packet;
+    damq_assert(pkt.flitsArrived > 0 &&
+                    pkt.flitsArrived < pkt.lengthSlots,
+                "flit arrival on a fully arrived packet");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsArrived;
+    const bool grew = pkt.slotsHeld() > before;
+    if (grew) {
+        SlotListRegs &free = freeLists[q];
+        damq_assert(free.slots > 0, "flit arrival into a full ",
+                    name(), " partition");
+        const SlotId s = slotListRemoveHead(pool, free);
+        pool[s].headOfPacket = false;
+        slotListAppendTail(pool, queue, s);
+        --freeTotal;
+    }
+    return {&pkt, grew};
+}
+
+BufferModel::FlitEvent
+StaticallyPartitionedBuffer::flitSentImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitSent: bad queue ",
+                key.out, ".vc", key.vc);
+    const std::uint32_t q = layout().flatten(key);
+    SlotListRegs &queue = queues[q];
+    damq_assert(queue.head != kNullSlot && pool[queue.head].headOfPacket,
+                "flitSent on an empty queue");
+    Packet &pkt = pool[queue.head].packet;
+    damq_assert(pkt.flitsSent < pkt.arrivedFlits(),
+                "flitSent without an arrived flit to forward");
+    damq_assert(pkt.flitsSent + 1 < pkt.lengthSlots,
+                "flitSent would forward the tail (that is the pop)");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsSent;
+    const bool shrank = pkt.slotsHeld() < before;
+    if (shrank) {
+        // Unlink the packet's first body slot (the successor of the
+        // head slot, which keeps the record until the tail pop).
+        const SlotId victim = pool[queue.head].next;
+        damq_assert(victim != kNullSlot && !pool[victim].headOfPacket,
+                    "flitSent would free another packet's head slot");
+        pool[queue.head].next = pool[victim].next;
+        if (queue.tail == victim)
+            queue.tail = queue.head;
+        pool[victim].next = kNullSlot;
+        --queue.slots;
+        slotListAppendTail(pool, freeLists[q], victim);
+        ++freeTotal;
+    }
+    return {&pkt, shrank};
 }
 
 void
@@ -212,7 +283,7 @@ StaticallyPartitionedBuffer::checkInvariants() const
                     report(label, ": invalid packet ",
                            pool[s].packet.id, " in partition ",
                            partition);
-                tail_of_packet = pool[s].packet.lengthSlots - 1;
+                tail_of_packet = pool[s].packet.slotsHeld() - 1;
                 ++heads;
             } else {
                 if (tail_of_packet == 0)

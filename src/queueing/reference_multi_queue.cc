@@ -29,13 +29,13 @@ ReferenceMultiQueue::pushImpl(const Packet &pkt)
 {
     const QueueKey key{pkt.outPort, pkt.vc};
     damq_assert(layout().contains(key), "push: bad output port");
-    damq_assert(used + reservedSlotsTotal() + pkt.lengthSlots <=
+    damq_assert(used + reservedSlotsTotal() + pkt.slotsHeld() <=
                     capacitySlots(),
                 "push into a full reference buffer");
     const SlotId n = slotListRemoveHead(nodes, freeNodes);
     nodes[n].packet = pkt;
     slotListAppendTail(nodes, queues[layout().flatten(key)], n);
-    used += pkt.lengthSlots;
+    used += pkt.slotsHeld();
     ++packets;
 }
 
@@ -67,9 +67,49 @@ ReferenceMultiQueue::popImpl(QueueKey key)
     const SlotId n = slotListRemoveHead(nodes, queue);
     const Packet pkt = nodes[n].packet;
     slotListAppendTail(nodes, freeNodes, n);
-    used -= pkt.lengthSlots;
+    used -= pkt.slotsHeld();
     --packets;
     return pkt;
+}
+
+BufferModel::FlitEvent
+ReferenceMultiQueue::flitArrivedImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitArrived: bad queue ",
+                key.out, ".vc", key.vc);
+    SlotListRegs &queue = queues[layout().flatten(key)];
+    damq_assert(queue.tail != kNullSlot,
+                "flitArrived on an empty queue");
+    Packet &pkt = nodes[queue.tail].packet;
+    damq_assert(pkt.flitsArrived > 0 &&
+                    pkt.flitsArrived < pkt.lengthSlots,
+                "flit arrival on a fully arrived packet");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsArrived;
+    const bool grew = pkt.slotsHeld() > before;
+    if (grew)
+        ++used;
+    return {&pkt, grew};
+}
+
+BufferModel::FlitEvent
+ReferenceMultiQueue::flitSentImpl(QueueKey key)
+{
+    damq_assert(layout().contains(key), "flitSent: bad queue ",
+                key.out, ".vc", key.vc);
+    SlotListRegs &queue = queues[layout().flatten(key)];
+    damq_assert(queue.head != kNullSlot, "flitSent on an empty queue");
+    Packet &pkt = nodes[queue.head].packet;
+    damq_assert(pkt.flitsSent < pkt.arrivedFlits(),
+                "flitSent without an arrived flit to forward");
+    damq_assert(pkt.flitsSent + 1 < pkt.lengthSlots,
+                "flitSent would forward the tail (that is the pop)");
+    const std::uint32_t before = pkt.slotsHeld();
+    ++pkt.flitsSent;
+    const bool shrank = pkt.slotsHeld() < before;
+    if (shrank)
+        --used;
+    return {&pkt, shrank};
 }
 
 void

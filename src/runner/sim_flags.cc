@@ -9,8 +9,11 @@ namespace damq {
 
 const char kBufferTypeChoices[] = "fifo | samq | safc | damq | damqr";
 const char kPlacementChoices[] = "input | central | output";
-const char kFlowControlChoices[] = "blocking | discarding";
+const char kFlowControlChoices[] =
+    "blocking | discarding | credit | on-off";
 const char kArbitrationChoices[] = "smart | dumb";
+const char kSwitchingChoices[] =
+    "packet-sync | store-and-forward | cut-through | wormhole | vct";
 const char kSwitchingModeChoices[] = "cut-through | store-and-forward";
 const char kVcPolicyChoices[] = "dateline | none";
 const char kRecoveryPolicyChoices[] =
@@ -77,6 +80,13 @@ arbitrationOption(const ArgParser &args, const std::string &name)
 {
     return enumOption(args, name, tryArbitrationPolicyFromString,
                       "arbitration policy", kArbitrationChoices);
+}
+
+Switching
+switchingOption(const ArgParser &args, const std::string &name)
+{
+    return enumOption(args, name, trySwitchingFromString,
+                      "switching mode", kSwitchingChoices);
 }
 
 SwitchingMode
@@ -285,6 +295,56 @@ applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
     if (args.getInt("revive-probe") >= 0) {
         common.recovery.reviveProbeCycles =
             static_cast<Cycle>(args.getInt("revive-probe"));
+    }
+}
+
+void
+addSwitchingFlags(ArgParser &args,
+                  const std::string &switching_default,
+                  const std::string &flow_control_default)
+{
+    args.addOption("switching", switching_default,
+                   kSwitchingChoices);
+    args.addOption("flow-control", flow_control_default,
+                   kFlowControlChoices);
+    args.addOption("flits-per-packet", "0",
+                   "packet length in flits under wormhole/vct "
+                   "switching (0 = keep the bench default)");
+    // Historical spellings, kept so published command lines keep
+    // running; each warns once when used.
+    args.addOption("mode", "",
+                   "deprecated alias for --switching");
+    args.addOption("protocol", "",
+                   "deprecated alias for --flow-control");
+}
+
+void
+applySwitchingFlags(const ArgParser &args, Switching &switching,
+                    FlowControl &protocol,
+                    std::uint32_t &flits_per_packet)
+{
+    if (args.wasSet("switching")) {
+        switching = switchingOption(args, "switching");
+    } else if (args.wasSet("mode")) {
+        std::cerr << "warning: --mode is deprecated; use "
+                     "--switching\n";
+        switching = switchingOption(args, "mode");
+    }
+    if (args.wasSet("flow-control")) {
+        protocol = flowControlOption(args, "flow-control");
+    } else if (args.wasSet("protocol")) {
+        std::cerr << "warning: --protocol is deprecated; use "
+                     "--flow-control\n";
+        protocol = flowControlOption(args, "protocol");
+    }
+    if (args.wasSet("flits-per-packet")) {
+        const std::int64_t flits = args.getInt("flits-per-packet");
+        if (flits < 0 || flits > 4096)
+            damq_fatal("--flits-per-packet wants an integer in "
+                       "[1, 4096] (or 0 to keep the bench default), "
+                       "got ", flits);
+        if (flits != 0)
+            flits_per_packet = static_cast<std::uint32_t>(flits);
     }
 }
 

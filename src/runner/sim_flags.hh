@@ -20,9 +20,11 @@
 #ifndef DAMQ_RUNNER_SIM_FLAGS_HH
 #define DAMQ_RUNNER_SIM_FLAGS_HH
 
+#include <cstdint>
 #include <string>
 
 #include "common/arg_parser.hh"
+#include "network/core/flow_control.hh"
 #include "network/cutthrough_sim.hh"
 #include "network/sim_common.hh"
 #include "queueing/buffer_model.hh"
@@ -73,6 +75,38 @@ void applyCommonSimFlags(const ArgParser &args,
                          const std::string &default_prefix);
 
 /**
+ * Declare the unified switching surface on @p args:
+ *
+ *   --switching M        transfer granularity (packet-sync |
+ *                        store-and-forward | cut-through |
+ *                        wormhole | vct)
+ *   --flow-control P     back-pressure protocol (blocking |
+ *                        discarding | credit | on-off)
+ *   --flits-per-packet N packet length in flits for the flit-level
+ *                        modes (0 = keep the bench default)
+ *
+ * plus the deprecated spellings `--mode` (alias of --switching) and
+ * `--protocol` (alias of --flow-control), kept so existing scripts
+ * run unchanged; using one prints a deprecation warning to stderr.
+ *
+ * @p switching_default and @p flow_control_default are the bench's
+ * own defaults, echoed in `--help`.
+ */
+void addSwitchingFlags(ArgParser &args,
+                       const std::string &switching_default,
+                       const std::string &flow_control_default);
+
+/**
+ * Copy the switching surface the user explicitly set from @p args
+ * into the given fields; options left unset change nothing.  The
+ * deprecated aliases apply only when the canonical flag was not
+ * given, and warn on stderr when they do.
+ */
+void applySwitchingFlags(const ArgParser &args, Switching &switching,
+                         FlowControl &protocol,
+                         std::uint32_t &flits_per_packet);
+
+/**
  * @p label reduced to characters safe in a filename: alphanumerics
  * and `.-_@` pass through, everything else becomes `_`.  Used to
  * derive per-task telemetry prefixes from sweep-task labels.
@@ -86,8 +120,9 @@ std::string sanitizeFileToken(const std::string &label);
  */
 extern const char kBufferTypeChoices[];    ///< fifo|samq|safc|damq|damqr
 extern const char kPlacementChoices[];     ///< input|central|output
-extern const char kFlowControlChoices[];   ///< blocking|discarding
+extern const char kFlowControlChoices[];   ///< blocking|discarding|credit|on-off
 extern const char kArbitrationChoices[];   ///< smart|dumb
+extern const char kSwitchingChoices[];     ///< packet-sync|...|wormhole|vct
 extern const char kSwitchingModeChoices[]; ///< cut-through|store-and-forward
 extern const char kVcPolicyChoices[];      ///< dateline|none
 extern const char kRecoveryPolicyChoices[]; ///< none|retransmit|retransmit+reroute
@@ -113,7 +148,20 @@ FlowControl flowControlOption(const ArgParser &args,
 ArbitrationPolicy arbitrationOption(const ArgParser &args,
                                     const std::string &name);
 
-/** Parse option @p name as a switching mode (or exit(1)). */
+/**
+ * Parse option @p name as a transfer granularity across all five
+ * Switching values — the packet modes plus wormhole/vct (or
+ * exit(1)).
+ */
+Switching switchingOption(const ArgParser &args,
+                          const std::string &name);
+
+/**
+ * Parse option @p name as a packet-granular switching mode
+ * (cut-through | store-and-forward only; or exit(1)).  Prefer
+ * switchingOption() for new front-ends — this narrow helper serves
+ * the legacy cut-through benches.
+ */
 SwitchingMode switchingModeOption(const ArgParser &args,
                                   const std::string &name);
 

@@ -37,8 +37,13 @@ SwitchModel::tryReceive(PortId input, const Packet &pkt)
 {
     damq_assert(input < ports, "tryReceive: bad input port ", input);
     damq_assert(pkt.outPort < ports, "tryReceive: unrouted packet");
+    // Admission is by slots the record occupies *now*: the whole
+    // packet in the packet-synchronized modes, just the head flit's
+    // slot when a flit-level mode delivers a partial record (the
+    // rest of the allocation was checked at grant time by the
+    // FlowControlScheme's headSlotsNeeded rule).
     const QueueKey key{pkt.outPort, pkt.vc};
-    if (!buffers[input]->canAccept(key, pkt.lengthSlots)) {
+    if (!buffers[input]->canAccept(key, pkt.slotsHeld())) {
         ++switchStats.discarded;
         return false;
     }

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Conformance suite for the flit-level switching modes (wormhole
+ * and virtual cut-through) introduced by the FlowControlScheme API:
+ *
+ *  - credit conservation: after a drained run every link's credit
+ *    counter is back at its cap and the engine-wide issued/returned
+ *    totals match exactly (they telescope per packet);
+ *  - no VC interleaving: the per-cycle flit invariant audit (every
+ *    active stream's packet is its queue's head, credits + used
+ *    slots == cap, at most one partially-arrived packet per input
+ *    buffer) reports zero violations under sustained load;
+ *  - wormhole vs VCT occupancy: with per-buffer slots equal to the
+ *    packet length, VCT admits at most one packet per input buffer
+ *    while wormhole packs partial packets — the two modes produce
+ *    observably different results on a 2-hop (2x2 torus) path;
+ *  - shard bit-identity: a wormhole torus at 1, 2, and 8 shards is
+ *    byte-for-byte identical (counters, Welford latency moments,
+ *    occupancy snapshot);
+ *  - the packet-synchronized path is untouched: flit state is only
+ *    allocated when a flit-level mode is requested.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "network/core/flit.hh"
+#include "network/core/flow_control.hh"
+#include "network/network_sim.hh"
+#include "network/torus_sim.hh"
+#include "runner/sim_flags.hh"
+
+namespace damq {
+namespace {
+
+// ------------------------------------------------- scheme factory
+
+TEST(FlowControlSchemeTest, PacketSyncKeepsRequestedProtocol)
+{
+    const auto scheme = FlowControlScheme::make(
+        Switching::PacketSync, FlowControl::Blocking);
+    EXPECT_FALSE(scheme->flitLevel());
+    EXPECT_FALSE(scheme->creditBased());
+    EXPECT_EQ(scheme->protocol(), FlowControl::Blocking);
+    EXPECT_EQ(scheme->headSlotsNeeded(4), 4u);
+}
+
+TEST(FlowControlSchemeTest, FlitModesUpgradeBlockingToCredit)
+{
+    const auto wh = FlowControlScheme::make(Switching::Wormhole,
+                                            FlowControl::Blocking);
+    EXPECT_TRUE(wh->flitLevel());
+    EXPECT_TRUE(wh->creditBased());
+    EXPECT_EQ(wh->protocol(), FlowControl::Credit);
+    EXPECT_EQ(wh->headSlotsNeeded(4), 1u);
+    EXPECT_FALSE(wh->reservesWholePacket());
+
+    const auto vct = FlowControlScheme::make(
+        Switching::VirtualCutThrough, FlowControl::OnOff);
+    EXPECT_TRUE(vct->flitLevel());
+    EXPECT_FALSE(vct->creditBased());
+    EXPECT_EQ(vct->protocol(), FlowControl::OnOff);
+    EXPECT_EQ(vct->headSlotsNeeded(4), 4u);
+    EXPECT_TRUE(vct->reservesWholePacket());
+}
+
+TEST(FlitTypeTest, TypeOfIndexMatchesPosition)
+{
+    EXPECT_EQ(flitTypeOf(0, 1), FlitType::HeadTail);
+    EXPECT_EQ(flitTypeOf(0, 4), FlitType::Head);
+    EXPECT_EQ(flitTypeOf(1, 4), FlitType::Body);
+    EXPECT_EQ(flitTypeOf(2, 4), FlitType::Body);
+    EXPECT_EQ(flitTypeOf(3, 4), FlitType::Tail);
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+    EXPECT_FALSE(isHead(FlitType::Body));
+}
+
+TEST(SwitchingNameTest, RoundTripsAllModes)
+{
+    for (Switching s :
+         {Switching::PacketSync, Switching::StoreAndForward,
+          Switching::CutThrough, Switching::Wormhole,
+          Switching::VirtualCutThrough}) {
+        const auto parsed = trySwitchingFromString(switchingName(s));
+        ASSERT_TRUE(parsed.has_value()) << switchingName(s);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(trySwitchingFromString("warp").has_value());
+}
+
+// --------------------------------------------------- run fixtures
+
+TorusConfig
+flitTorus(Switching switching)
+{
+    TorusConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.switching = switching;
+    cfg.flitsPerPacket = 4;
+    cfg.slotsPerBuffer = 10;
+    cfg.offeredLoad = 0.3;
+    cfg.common.seed = 42;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 800;
+    cfg.common.auditEveryCycles = 64;
+    cfg.common.watchdogStallCycles = 512;
+    return cfg;
+}
+
+// --------------------------------------------- credit conservation
+
+void
+expectCreditsClosed(Switching switching)
+{
+    TorusSimulator sim(flitTorus(switching));
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_TRUE(sim.drain(20000));
+    sim.debugValidate();
+
+    // Every credit consumed on a link must have come back: the
+    // counters are at their caps and the lifetime totals telescope.
+    EXPECT_TRUE(sim.syncEngine().flitCreditsAtRest());
+    const FaultReport report = sim.faultReport();
+    EXPECT_GT(report.creditsIssued, 0u);
+    EXPECT_EQ(report.creditsIssued, report.creditsReturned);
+    EXPECT_EQ(report.auditViolations, 0u);
+    EXPECT_FALSE(report.watchdogFired);
+}
+
+TEST(FlitCreditTest, WormholeCreditsConservePerLink)
+{
+    expectCreditsClosed(Switching::Wormhole);
+}
+
+TEST(FlitCreditTest, VctCreditsConservePerLink)
+{
+    expectCreditsClosed(Switching::VirtualCutThrough);
+}
+
+TEST(FlitCreditTest, OnOffModeRunsWithoutCreditCounters)
+{
+    TorusConfig cfg = flitTorus(Switching::Wormhole);
+    cfg.protocol = FlowControl::OnOff;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_TRUE(sim.drain(20000));
+    // On/off backpressure keeps no counters — nothing issued.
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.creditsIssued, 0u);
+    EXPECT_EQ(report.creditsReturned, 0u);
+    EXPECT_EQ(report.auditViolations, 0u);
+    EXPECT_FALSE(report.watchdogFired);
+}
+
+// --------------------------------------------- no VC interleaving
+
+TEST(FlitVcTest, SaturatedWormholeTorusNeverInterleavesVcs)
+{
+    // Saturation load with a per-cycle audit: the flit invariant
+    // check asserts every active stream's packet is still its
+    // queue's head (a second packet's flits on the same VC would
+    // break that) and that the tail always freed the VC.
+    TorusConfig cfg = flitTorus(Switching::Wormhole);
+    cfg.offeredLoad = 0.9;
+    cfg.common.auditEveryCycles = 1;
+    cfg.common.measureCycles = 2000;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.auditViolations, 0u);
+    EXPECT_FALSE(report.watchdogFired);
+    EXPECT_EQ(result.watchdogTrips, 0u);
+}
+
+TEST(FlitVcTest, SaturatedVctTorusAuditsClean)
+{
+    TorusConfig cfg = flitTorus(Switching::VirtualCutThrough);
+    cfg.offeredLoad = 0.9;
+    cfg.common.auditEveryCycles = 1;
+    cfg.common.measureCycles = 2000;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_EQ(sim.faultReport().auditViolations, 0u);
+    EXPECT_FALSE(sim.faultReport().watchdogFired);
+}
+
+// ------------------------------- wormhole vs VCT occupancy (2 hops)
+
+TEST(FlitOccupancyTest, WormholeAndVctDivergeOnTwoHopPaths)
+{
+    // 2x2 torus: every route is at most one hop per dimension, so
+    // all paths are <= 2 hops.  With per-buffer capacity of two
+    // packets' worth (the VCT minimum at two VCs), VCT's
+    // whole-packet reservation admits at most one packet per
+    // (buffer, VC) while wormhole packs partial packets behind a
+    // blocked head — the occupancy behavior (and with it
+    // throughput/latency) must diverge under load.
+    TorusConfig base;
+    base.width = 2;
+    base.height = 2;
+    base.flitsPerPacket = 4;
+    base.slotsPerBuffer = 8;
+    base.offeredLoad = 0.8;
+    base.common.seed = 7;
+    base.common.warmupCycles = 200;
+    base.common.measureCycles = 2000;
+    base.common.auditEveryCycles = 16;
+
+    TorusConfig wormhole = base;
+    wormhole.switching = Switching::Wormhole;
+    TorusSimulator whSim(wormhole);
+    const TorusResult wh = whSim.run();
+
+    TorusConfig vct = base;
+    vct.switching = Switching::VirtualCutThrough;
+    TorusSimulator vctSim(vct);
+    const TorusResult vc = vctSim.run();
+
+    ASSERT_GT(wh.window.delivered, 0u);
+    ASSERT_GT(vc.window.delivered, 0u);
+    EXPECT_EQ(whSim.faultReport().auditViolations, 0u);
+    EXPECT_EQ(vctSim.faultReport().auditViolations, 0u);
+
+    // Same seed, same traffic, same buffers — only the switching
+    // mode differs.  If the flit layer ignored the scheme the two
+    // runs would be bit-identical.
+    EXPECT_NE(whSim.snapshotText(), vctSim.snapshotText());
+    const bool diverged =
+        wh.window.delivered != vc.window.delivered ||
+        wh.latencyCycles.mean() != vc.latencyCycles.mean();
+    EXPECT_TRUE(diverged);
+
+    // Wormhole's 1-slot head condition is strictly weaker than
+    // VCT's whole-packet reservation, so at saturation it keeps the
+    // wires at least as busy.
+    EXPECT_GE(wh.window.delivered, vc.window.delivered);
+}
+
+// ------------------------------------------------ shard identity
+
+struct Observed
+{
+    std::uint64_t delivered = 0;
+    std::uint64_t injected = 0;
+    std::uint64_t creditsIssued = 0;
+    std::uint64_t creditsReturned = 0;
+    double latencyMean = 0.0;
+    double latencyStddev = 0.0;
+    double latencyP99 = 0.0;
+    std::string snapshot;
+};
+
+Observed
+runSharded(Switching switching, std::uint32_t shards)
+{
+    TorusConfig cfg = flitTorus(switching);
+    cfg.width = 8;
+    cfg.height = 8;
+    cfg.offeredLoad = 0.5;
+    cfg.common.shards = shards;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    Observed obs;
+    obs.delivered = sim.lifetime().delivered;
+    obs.injected = sim.lifetime().injected;
+    obs.creditsIssued = sim.faultReport().creditsIssued;
+    obs.creditsReturned = sim.faultReport().creditsReturned;
+    obs.latencyMean = result.latencyCycles.mean();
+    obs.latencyStddev = result.latencyCycles.stddev();
+    obs.latencyP99 = result.latencyP99;
+    obs.snapshot = sim.snapshotText();
+    return obs;
+}
+
+void
+expectIdentical(const Observed &a, const Observed &b,
+                const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.injected, b.injected);
+    EXPECT_EQ(a.creditsIssued, b.creditsIssued);
+    EXPECT_EQ(a.creditsReturned, b.creditsReturned);
+    // Exact double equality on the Welford moments: a reordering
+    // of the delivery stream would show up here even if the
+    // multiset of samples were preserved.
+    EXPECT_EQ(a.latencyMean, b.latencyMean);
+    EXPECT_EQ(a.latencyStddev, b.latencyStddev);
+    EXPECT_EQ(a.latencyP99, b.latencyP99);
+    EXPECT_EQ(a.snapshot, b.snapshot);
+}
+
+TEST(FlitShardTest, WormholeTorusIsBitIdenticalAcrossShardCounts)
+{
+    const Observed one = runSharded(Switching::Wormhole, 1);
+    const Observed two = runSharded(Switching::Wormhole, 2);
+    const Observed eight = runSharded(Switching::Wormhole, 8);
+    ASSERT_GT(one.delivered, 0u);
+    expectIdentical(one, two, "wormhole: 1 vs 2 shards");
+    expectIdentical(one, eight, "wormhole: 1 vs 8 shards");
+}
+
+TEST(FlitShardTest, VctTorusIsBitIdenticalAcrossShardCounts)
+{
+    const Observed one =
+        runSharded(Switching::VirtualCutThrough, 1);
+    const Observed eight =
+        runSharded(Switching::VirtualCutThrough, 8);
+    ASSERT_GT(one.delivered, 0u);
+    expectIdentical(one, eight, "vct: 1 vs 8 shards");
+}
+
+// --------------------------------------------------- omega network
+
+TEST(FlitOmegaTest, WormholeOmegaDrainsWithCreditsClosed)
+{
+    NetworkConfig cfg;
+    cfg.numPorts = 16;
+    cfg.radix = 4;
+    cfg.slotsPerBuffer = 8;
+    cfg.switching = Switching::Wormhole;
+    cfg.flitsPerPacket = 4;
+    cfg.offeredLoad = 0.4;
+    cfg.common.seed = 11;
+    cfg.common.warmupCycles = 200;
+    cfg.common.measureCycles = 800;
+    cfg.common.auditEveryCycles = 32;
+    NetworkSimulator sim(cfg);
+    const NetworkResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_TRUE(sim.drain(20000));
+    sim.debugValidate();
+    EXPECT_TRUE(sim.syncEngine().flitCreditsAtRest());
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.creditsIssued, report.creditsReturned);
+    EXPECT_EQ(report.auditViolations, 0u);
+}
+
+// -------------------------------------- packet path is zero-cost
+
+TEST(FlitOffTest, PacketSyncAllocatesNoFlitState)
+{
+    TorusConfig cfg;
+    cfg.width = 4;
+    cfg.height = 4;
+    cfg.common.warmupCycles = 100;
+    cfg.common.measureCycles = 200;
+    TorusSimulator sim(cfg);
+    EXPECT_FALSE(sim.syncEngine().flitMode());
+    sim.run();
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.creditsIssued, 0u);
+    EXPECT_EQ(report.creditsReturned, 0u);
+}
+
+// ------------------------------------------- unified CLI surface
+
+/** Parse @p extra through @p args as if typed on a command line. */
+void
+parseArgs(ArgParser &args, std::vector<std::string> extra)
+{
+    std::vector<char *> argv;
+    static char prog[] = "test_flit";
+    argv.push_back(prog);
+    for (std::string &s : extra)
+        argv.push_back(s.data());
+    args.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SwitchingFlagsTest, DefaultsLeaveBenchConfigUntouched)
+{
+    ArgParser args("t", "t");
+    addSwitchingFlags(args, "packet-sync", "blocking");
+    parseArgs(args, {});
+    Switching switching = Switching::CutThrough;
+    FlowControl protocol = FlowControl::Discarding;
+    std::uint32_t flits = 7;
+    applySwitchingFlags(args, switching, protocol, flits);
+    EXPECT_EQ(switching, Switching::CutThrough);
+    EXPECT_EQ(protocol, FlowControl::Discarding);
+    EXPECT_EQ(flits, 7u);
+}
+
+TEST(SwitchingFlagsTest, CanonicalFlagsSetEveryField)
+{
+    ArgParser args("t", "t");
+    addSwitchingFlags(args, "packet-sync", "blocking");
+    parseArgs(args, {"--switching", "vct", "--flow-control",
+                     "on-off", "--flits-per-packet", "6"});
+    Switching switching = Switching::PacketSync;
+    FlowControl protocol = FlowControl::Blocking;
+    std::uint32_t flits = 4;
+    applySwitchingFlags(args, switching, protocol, flits);
+    EXPECT_EQ(switching, Switching::VirtualCutThrough);
+    EXPECT_EQ(protocol, FlowControl::OnOff);
+    EXPECT_EQ(flits, 6u);
+}
+
+TEST(SwitchingFlagsTest, DeprecatedAliasesApplyAndWarn)
+{
+    ArgParser args("t", "t");
+    addSwitchingFlags(args, "packet-sync", "blocking");
+    parseArgs(args, {"--mode", "wormhole", "--protocol", "credit"});
+    Switching switching = Switching::PacketSync;
+    FlowControl protocol = FlowControl::Blocking;
+    std::uint32_t flits = 4;
+    testing::internal::CaptureStderr();
+    applySwitchingFlags(args, switching, protocol, flits);
+    const std::string warnings =
+        testing::internal::GetCapturedStderr();
+    EXPECT_EQ(switching, Switching::Wormhole);
+    EXPECT_EQ(protocol, FlowControl::Credit);
+    EXPECT_NE(warnings.find("--mode is deprecated"),
+              std::string::npos);
+    EXPECT_NE(warnings.find("--protocol is deprecated"),
+              std::string::npos);
+}
+
+TEST(SwitchingFlagsTest, CanonicalFlagShadowsItsAlias)
+{
+    ArgParser args("t", "t");
+    addSwitchingFlags(args, "packet-sync", "blocking");
+    parseArgs(args, {"--switching", "wormhole", "--mode", "vct"});
+    Switching switching = Switching::PacketSync;
+    FlowControl protocol = FlowControl::Blocking;
+    std::uint32_t flits = 4;
+    testing::internal::CaptureStderr();
+    applySwitchingFlags(args, switching, protocol, flits);
+    const std::string warnings =
+        testing::internal::GetCapturedStderr();
+    EXPECT_EQ(switching, Switching::Wormhole);
+    EXPECT_TRUE(warnings.empty()) << warnings;
+}
+
+TEST(SwitchingFlagsDeathTest, BadSwitchingValueExitsWithUsage)
+{
+    ArgParser args("t", "t");
+    addSwitchingFlags(args, "packet-sync", "blocking");
+    parseArgs(args, {"--switching", "warp"});
+    Switching switching = Switching::PacketSync;
+    FlowControl protocol = FlowControl::Blocking;
+    std::uint32_t flits = 4;
+    EXPECT_EXIT(
+        applySwitchingFlags(args, switching, protocol, flits),
+        testing::ExitedWithCode(1), "unknown switching mode");
+}
+
+} // namespace
+} // namespace damq
