@@ -52,7 +52,7 @@ main()
 
     for (const BufferType type :
          {BufferType::Fifo, BufferType::Samq, BufferType::Safc,
-          BufferType::Damq, BufferType::DamqR}) {
+          BufferType::Damq, BufferType::DamqR, BufferType::Voq}) {
         auto buf = makeBuffer(type, 4, 4);
 
         std::vector<PacketId> accepted;
@@ -85,6 +85,10 @@ main()
           case BufferType::DamqR:
             note = "burst trimmed: slots stay reserved for the "
                    "quieter outputs";
+            break;
+          case BufferType::Voq:
+            note = "private slot per output queue; at 1 slot this "
+                   "matches DAMQR";
             break;
         }
 

@@ -10,6 +10,7 @@
  * same ~0.24 throughput.
  *
  *   hotspot_tree_saturation [--buffer damq] [--load 0.3]
+ *       [--buffer-policy static|dt|delay|qos] [--voq]
  */
 
 #include <iostream>
@@ -75,16 +76,21 @@ main(int argc, char **argv)
     args.addOption("load", "0.30", "offered load (above the 0.24 "
                                    "hot-spot cap to force "
                                    "saturation)");
+    addBufferPolicyFlags(args);
     args.parse(argc, argv);
 
     NetworkConfig cfg;
     cfg.bufferType = bufferTypeOption(args, "buffer");
+    applyBufferPolicyFlags(args, cfg.bufferType, cfg.sharing,
+                           cfg.trafficClasses);
     cfg.traffic = "hotspot";
     cfg.offeredLoad = args.getDouble("load");
     cfg.common.seed = 11;
 
     std::cout << "Tree saturation with "
-              << bufferTypeName(cfg.bufferType) << " buffers at "
+              << bufferTypeName(cfg.bufferType) << " buffers ("
+              << sharingPolicyName(cfg.sharing.kind)
+              << " admission) at "
               << formatFixed(cfg.offeredLoad, 2)
               << " offered load, 5% of packets to node 0\n\n";
 

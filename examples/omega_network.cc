@@ -35,6 +35,7 @@ main(int argc, char **argv)
     args.addOption("placement", "input", kPlacementChoices);
     args.addOption("slots", "4", "slots per input buffer");
     addSwitchingFlags(args, "packet-sync", "blocking");
+    addBufferPolicyFlags(args);
     args.addOption("arbitration", "smart", kArbitrationChoices);
     args.addOption("traffic", "uniform",
                    "uniform | hotspot | bitrev | permutation");
@@ -73,6 +74,8 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(args.getInt("slots"));
     applySwitchingFlags(args, cfg.switching, cfg.protocol,
                         cfg.flitsPerPacket);
+    applyBufferPolicyFlags(args, cfg.bufferType, cfg.sharing,
+                           cfg.trafficClasses);
     cfg.arbitration = arbitrationOption(args, "arbitration");
     cfg.traffic = args.getString("traffic");
     cfg.hotSpotFraction = args.getDouble("hotfraction");

@@ -299,6 +299,10 @@ makeBufferStateModel(BufferType type, unsigned slots)
       case BufferType::Damq:
         return std::make_unique<SharedCountBufferState>(slots);
       case BufferType::DamqR:
+      case BufferType::Voq:
+        // VOQ at one private slot per queue obeys exactly the DAMQR
+        // reserved-count dynamics; the chain abstracts over VCs, so
+        // larger private allocations are not modeled separately.
         return std::make_unique<ReservedCountBufferState>(slots);
       case BufferType::Samq:
       case BufferType::Safc:

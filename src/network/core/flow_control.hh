@@ -120,6 +120,12 @@ class FlowControlScheme
      * Downstream slots a head flit must secure before it may cross
      * a link, for a packet of @p length_slots flits.  1 under
      * wormhole, @p length_slots under VCT and the packet modes.
+     *
+     * This count is what the engines feed into the buffers'
+     * AdmissionPolicy layer (AdmissionRequest::lengthSlots), so a
+     * head admission runs through the same accept/reject rule —
+     * static, dynamic-threshold, or delay-driven — as whole-packet
+     * admission does.
      */
     virtual std::uint32_t headSlotsNeeded(
         std::uint32_t length_slots) const = 0;

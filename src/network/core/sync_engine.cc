@@ -75,6 +75,12 @@ SyncEngine::SyncEngine(const Topology &topology,
     const std::uint32_t n = topo.numSwitches();
     portCount = topo.portsPerSwitch();
     const bool input = cfg.placement == BufferPlacement::Input;
+    if (cfg.trafficClasses < 1 ||
+        cfg.trafficClasses > kMaxTrafficClasses) {
+        damq_fatal("trafficClasses must be in [1, ",
+                   kMaxTrafficClasses, "], got ",
+                   cfg.trafficClasses);
+    }
     switches.reserve(n);
     if (input) {
         // One contiguous vector of concrete switches: the hot loop
@@ -86,7 +92,7 @@ SyncEngine::SyncEngine(const Topology &topology,
             switchStore.emplace_back(
                 portCount, cfg.bufferType, cfg.slotsPerBuffer,
                 cfg.arbitration, cfg.staleThreshold,
-                cfg.common.vcs);
+                cfg.common.vcs, cfg.sharing);
         }
         for (SwitchModel &sm : switchStore)
             switches.push_back(&sm);
@@ -96,9 +102,17 @@ SyncEngine::SyncEngine(const Topology &topology,
             switchHeap.push_back(makeSwitchUnit(
                 cfg.placement, portCount, cfg.bufferType,
                 cfg.slotsPerBuffer, cfg.arbitration,
-                cfg.staleThreshold, cfg.common.vcs));
+                cfg.staleThreshold, cfg.common.vcs, cfg.sharing));
             switches.push_back(switchHeap.back().get());
         }
+    }
+    // Delay-driven sharing reads the head packet's wait age at
+    // admission time; hand every buffer a stable view of the
+    // engine's clock.  Static policies never dereference it.
+    for (SwitchUnit *unit : switches) {
+        unit->forEachBuffer([this](PortId, BufferModel &buf) {
+            buf.attachAdmissionClock(&currentCycle);
+        });
     }
     for (SwitchId sw = 0; sw < n; ++sw) {
         // Registration order defines both the fault-plan component
@@ -515,9 +529,17 @@ SyncEngine::exchangeMovesSerial()
                 pkt.inPort = next.inputPort;
                 pkt.outPort = topo.route(next.switchId, pkt.dest);
                 ++pkt.hops;
+                // Blocking hops were admitted at grant time (the
+                // arbiter's canSendFrom check); only the static
+                // space rule is re-verified at commit.  Discarding
+                // hops get no upstream check, so the receive IS the
+                // admission point and the full policy runs.
                 const bool accepted =
-                    switches[next.switchId]->tryReceive(
-                        next.inputPort, pkt);
+                    cfg.protocol == FlowControl::Blocking
+                        ? switches[next.switchId]->receiveGranted(
+                              next.inputPort, pkt)
+                        : switches[next.switchId]->tryReceive(
+                              next.inputPort, pkt);
                 if (!accepted) {
                     damq_assert(
                         cfg.protocol == FlowControl::Discarding,
@@ -579,9 +601,9 @@ SyncEngine::canSendFrom(SwitchId sw, QueueKey out_key,
     // The VC the packet will occupy on this link decides which
     // downstream queue must have room.
     const VcId next_vc = linkVcFlat(pkt, link, out_key.out);
-    return switchStore[next_sw].canAccept(
+    return switchStore[next_sw].canAcceptClass(
         chanNextInput[link], QueueKey{next_out, next_vc},
-        pkt.lengthSlots);
+        pkt.lengthSlots, pkt.trafficClass);
 }
 
 void
@@ -651,8 +673,14 @@ SyncEngine::advanceReceive(unsigned shard)
             pkt.inPort = chanNextInput[link];
             pkt.outPort = topo.route(next_sw, pkt.dest);
             ++pkt.hops;
+            // Same grant/commit split as the single-shard path:
+            // blocking hops re-verify only the static space rule.
             const bool accepted =
-                switchStore[next_sw].tryReceive(pkt.inPort, pkt);
+                cfg.protocol == FlowControl::Blocking
+                    ? switchStore[next_sw].receiveGranted(pkt.inPort,
+                                                          pkt)
+                    : switchStore[next_sw].tryReceive(pkt.inPort,
+                                                      pkt);
             if (!accepted) {
                 damq_assert(
                     cfg.protocol == FlowControl::Discarding,
@@ -718,9 +746,9 @@ SyncEngine::phaseAdvanceShared()
                 pending_key(next.switchId, next_out));
             if (found != pending.end())
                 held = found->second;
-            return switches[next.switchId]->canAccept(
+            return switches[next.switchId]->canAcceptClass(
                 next.inputPort, QueueKey{next_out, next_vc},
-                pkt.lengthSlots + held);
+                pkt.lengthSlots + held, pkt.trafficClass);
         };
         std::vector<Packet> &sent = sentScratch;
         switches[sw]->transmitInto(can_send, sent);
@@ -1013,7 +1041,8 @@ SyncEngine::rekeyQueuedPackets()
                         // escape-slot reservation can still refuse
                         // a refill on the margin — those packets
                         // re-enter through the re-home queue.
-                        if (buf.canAccept(key, pkt.lengthSlots))
+                        if (buf.canAcceptClass(key, pkt.lengthSlots,
+                                               pkt.trafficClass))
                             buf.push(pkt);
                         else
                             rehomeQueue.push_back(Rehome{sw, pkt});
@@ -1066,9 +1095,9 @@ SyncEngine::processRetries()
             if (needs_space) {
                 const VcId next_vc =
                     vcAlloc.linkVc(pristine, sw, pristine.outPort);
-                if (!switches[next.switchId]->canAccept(
+                if (!switches[next.switchId]->canAcceptClass(
                         next.inputPort, QueueKey{next_out, next_vc},
-                        pristine.lengthSlots))
+                        pristine.lengthSlots, pristine.trafficClass))
                     continue;
             }
         }
@@ -1113,8 +1142,8 @@ SyncEngine::processRehomes()
         const PortId entry =
             local != kInvalidPort ? local : pkt.inPort;
         if (linkLayer->linkMask().linkUp(link) &&
-            sm->canAccept(entry, QueueKey{detour, pkt.vc},
-                          pkt.lengthSlots)) {
+            sm->canAcceptClass(entry, QueueKey{detour, pkt.vc},
+                               pkt.lengthSlots, pkt.trafficClass)) {
             pkt.outPort = detour;
             pkt.inPort = entry;
             const bool ok = sm->tryReceive(entry, pkt);
@@ -1187,6 +1216,13 @@ SyncEngine::phaseInject()
         pkt.lengthSlots = flit ? cfg.flitsPerPacket : 1;
         pkt.generatedAt = currentCycle;
         pkt.seq = nextSeq[src]++;
+        // Deterministic class assignment — no RNG draw (draw order
+        // is a bit-identity contract), and class 0 everywhere when
+        // classes are off, leaving historical runs untouched.
+        pkt.trafficClass =
+            cfg.trafficClasses > 1
+                ? static_cast<std::uint8_t>(src % cfg.trafficClasses)
+                : 0;
         sealHeader(pkt);
         ++counters.generated;
         if (telemetry) {
@@ -1265,7 +1301,8 @@ SyncEngine::tryInject(NodeId src, Packet pkt, ShardScratch &sc)
     pkt.inPort = entry.port; // injected packets start on VC 0
     pkt.injectedAt = currentCycle;
     SwitchUnit &first = *switches[entry.switchId];
-    if (!first.canAccept(entry.port, pkt.outPort, pkt.lengthSlots))
+    if (!first.canAcceptClass(entry.port, pkt.outPort,
+                              pkt.lengthSlots, pkt.trafficClass))
         return false;
     const bool accepted = first.tryReceive(entry.port, pkt);
     damq_assert(accepted, "canAccept/tryReceive disagree");

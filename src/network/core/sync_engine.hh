@@ -146,6 +146,21 @@ struct SyncConfig
      */
     Switching switching = Switching::PacketSync;
 
+    /**
+     * Buffer-sharing (admission) policy applied to every input
+     * buffer, plus the VOQ private-slot count.  The default static
+     * configuration reproduces the historical rules bit-exactly.
+     */
+    SharingPolicyConfig sharing;
+
+    /**
+     * Traffic classes stamped onto generated packets (source id
+     * modulo this count; 1 = everything class 0, the historical
+     * behaviour).  Only the ClassQos sharing policy reads the
+     * class, so class counts never perturb other configurations.
+     */
+    std::uint32_t trafficClasses = 1;
+
     /** Flits per packet at flit granularity (= Packet::lengthSlots;
      *  ignored in PacketSync mode, where packets stay one slot). */
     std::uint32_t flitsPerPacket = 4;

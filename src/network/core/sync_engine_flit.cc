@@ -85,6 +85,13 @@ SyncEngine::setupFlitState()
                    "head's worth of slots per other VC)");
     if (cfg.flitsPerPacket == 0)
         damq_fatal("flitsPerPacket must be at least 1");
+    if (cfg.bufferType == BufferType::Voq &&
+        !scheme->reservesWholePacket())
+        damq_fatal("VOQ's private-slot guarantee needs whole-packet "
+                   "admission; wormhole body flits land without an "
+                   "admission check and could eat another queue's "
+                   "private slots (use virtual cut-through or "
+                   "packet-sync switching)");
     // Every VC must be able to admit a head even when the others
     // are saturated up to their per-VC credit caps — that head-room
     // is one downstream slot under wormhole but a whole packet
@@ -211,8 +218,9 @@ SyncEngine::flitCanSendHead(SwitchId sw, QueueKey out_key,
     // Exact organization-aware check on top of the credit counters:
     // a partitioned buffer can be "full" for this queue with total
     // credits to spare.
-    return switchStore[next_sw].canAccept(
-        chanNextInput[link], QueueKey{next_out, next_vc}, needed);
+    return switchStore[next_sw].canAcceptClass(
+        chanNextInput[link], QueueKey{next_out, next_vc}, needed,
+        pkt.trafficClass);
 }
 
 std::uint32_t
@@ -501,8 +509,13 @@ SyncEngine::flitExchange(unsigned shard)
                 pkt.flitsArrived = 1;
                 pkt.flitsSent = 0;
                 st.dstKey = QueueKey{pkt.outPort, pkt.vc};
+                // Credit flow control: the head was admitted by
+                // flitCanSendHead at grant time, so the commit
+                // re-verifies only the static space rule (the
+                // dynamic policy verdict must not run again — see
+                // SwitchUnit::receiveGranted).
                 const bool accepted =
-                    switchStore[next_sw].tryReceive(in, pkt);
+                    switchStore[next_sw].receiveGranted(in, pkt);
                 damq_assert(accepted,
                             "flit admission check lied: head flit "
                             "rejected downstream");

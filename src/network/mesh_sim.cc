@@ -26,6 +26,8 @@ MeshSimulator::syncConfigOf(const MeshConfig &config)
     sync.protocol = config.protocol;
     sync.arbitration = config.arbitration;
     sync.staleThreshold = config.staleThreshold;
+    sync.sharing = config.sharing;
+    sync.trafficClasses = config.trafficClasses;
     sync.traffic = config.traffic;
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = config.width;

@@ -52,6 +52,13 @@ struct MeshConfig
     FlowControl protocol = FlowControl::Blocking;
     ArbitrationPolicy arbitration = ArbitrationPolicy::Smart;
     std::uint32_t staleThreshold = 8;
+
+    /** Buffer-sharing (admission) policy + VOQ private slots. */
+    SharingPolicyConfig sharing;
+
+    /** Traffic classes stamped as source % classes (1 = off). */
+    std::uint32_t trafficClasses = 1;
+
     std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
     double hotSpotFraction = 0.05;
     double offeredLoad = 0.3; ///< packets/cycle/node

@@ -16,6 +16,8 @@ NetworkSimulator::syncConfigOf(const NetworkConfig &config)
     sync.staleThreshold = config.staleThreshold;
     sync.switching = config.switching;
     sync.flitsPerPacket = config.flitsPerPacket;
+    sync.sharing = config.sharing;
+    sync.trafficClasses = config.trafficClasses;
     sync.traffic = config.traffic;
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = 0; // historical: no transpose special case

@@ -70,6 +70,12 @@ struct NetworkConfig
     /** Flits per packet in the flit-level modes. */
     std::uint32_t flitsPerPacket = 4;
 
+    /** Buffer-sharing (admission) policy + VOQ private slots. */
+    SharingPolicyConfig sharing;
+
+    /** Traffic classes stamped as source % classes (1 = off). */
+    std::uint32_t trafficClasses = 1;
+
     std::string traffic = "uniform"; ///< pattern name (see makeTraffic)
     double hotSpotFraction = 0.05;   ///< used when traffic == "hotspot"
     double offeredLoad = 0.5;        ///< packets/cycle/source

@@ -28,10 +28,14 @@ TorusSimulator::syncConfigOf(const TorusConfig &config)
     sync.staleThreshold = config.staleThreshold;
     sync.switching = config.switching;
     sync.flitsPerPacket = config.flitsPerPacket;
+    sync.sharing = config.sharing;
+    sync.trafficClasses = config.trafficClasses;
     sync.traffic = config.traffic;
     sync.hotSpotFraction = config.hotSpotFraction;
     sync.transposeSide = config.width;
     sync.offeredLoad = config.offeredLoad;
+    sync.burstiness = config.burstiness;
+    sync.meanBurstCycles = config.meanBurstCycles;
     sync.latencyUnitScale = 1.0; // torus latency is in cycles
     sync.accountingScope = "torus";
     sync.common = config.common;

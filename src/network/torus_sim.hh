@@ -71,9 +71,27 @@ struct TorusConfig
     /** Flits per packet in the flit-level modes. */
     std::uint32_t flitsPerPacket = 4;
 
+    /** Buffer-sharing (admission) policy + VOQ private slots. */
+    SharingPolicyConfig sharing;
+
+    /** Traffic classes stamped as source % classes (1 = off). */
+    std::uint32_t trafficClasses = 1;
+
     std::string traffic = "uniform"; ///< uniform|hotspot|transpose|...
     double hotSpotFraction = 0.05;
     double offeredLoad = 0.3; ///< packets/cycle/node
+
+    /**
+     * On/off traffic modulation (same semantics as
+     * NetworkConfig::burstiness): sources alternate between on
+     * periods generating at offeredLoad * B and off periods, so
+     * the average rate is unchanged but arrivals clump.  B = 1 is
+     * the plain Bernoulli process.  Requires offeredLoad * B <= 1.
+     */
+    double burstiness = 1.0;
+
+    /** Mean burst ("on" period) length in cycles when B > 1. */
+    Cycle meanBurstCycles = 8;
 
     /** Seed, warmup/measure schedule, faults, telemetry — with two
      *  dateline VCs per link (the deadlock-freedom escape VCs). */

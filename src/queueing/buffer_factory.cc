@@ -5,6 +5,7 @@
 #include "queueing/damq_reserved_buffer.hh"
 #include "queueing/fifo_buffer.hh"
 #include "queueing/partitioned_buffer.hh"
+#include "queueing/voq_buffer.hh"
 
 namespace damq {
 
@@ -12,24 +13,54 @@ std::unique_ptr<BufferModel>
 makeBuffer(BufferType type, QueueLayout queue_layout,
            std::uint32_t capacity_slots)
 {
+    return makeBuffer(type, queue_layout, capacity_slots,
+                      SharingPolicyConfig{});
+}
+
+std::unique_ptr<BufferModel>
+makeBuffer(BufferType type, QueueLayout queue_layout,
+           std::uint32_t capacity_slots,
+           const SharingPolicyConfig &sharing)
+{
+    std::unique_ptr<BufferModel> buffer;
     switch (type) {
       case BufferType::Fifo:
-        return std::make_unique<FifoBuffer>(queue_layout,
-                                            capacity_slots);
+        buffer = std::make_unique<FifoBuffer>(queue_layout,
+                                              capacity_slots);
+        break;
       case BufferType::Samq:
-        return std::make_unique<SamqBuffer>(queue_layout,
-                                            capacity_slots);
+        buffer = std::make_unique<SamqBuffer>(queue_layout,
+                                              capacity_slots);
+        break;
       case BufferType::Safc:
-        return std::make_unique<SafcBuffer>(queue_layout,
-                                            capacity_slots);
+        buffer = std::make_unique<SafcBuffer>(queue_layout,
+                                              capacity_slots);
+        break;
       case BufferType::Damq:
-        return std::make_unique<DamqBuffer>(queue_layout,
-                                            capacity_slots);
+        buffer = std::make_unique<DamqBuffer>(queue_layout,
+                                              capacity_slots);
+        break;
       case BufferType::DamqR:
-        return std::make_unique<DamqReservedBuffer>(queue_layout,
-                                                    capacity_slots);
+        buffer = std::make_unique<DamqReservedBuffer>(queue_layout,
+                                                      capacity_slots);
+        break;
+      case BufferType::Voq:
+        buffer = std::make_unique<VoqBuffer>(
+            queue_layout, capacity_slots, sharing.voqPrivateSlots);
+        break;
     }
-    damq_panic("unknown BufferType ", static_cast<int>(type));
+    if (!buffer)
+        damq_panic("unknown BufferType ", static_cast<int>(type));
+    if (sharing.kind != SharingPolicy::Static) {
+        if (type == BufferType::Samq || type == BufferType::Safc) {
+            damq_fatal("the '", sharingPolicyName(sharing.kind),
+                       "' sharing policy needs a shared buffer pool; ",
+                       bufferTypeName(type),
+                       " partitions its slots statically");
+        }
+        buffer->setAdmissionPolicy(makeSharingPolicy(sharing));
+    }
+    return buffer;
 }
 
 } // namespace damq

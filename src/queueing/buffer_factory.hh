@@ -1,6 +1,7 @@
 /**
  * @file
- * Factory producing any of the four buffer organizations.
+ * Factory producing any of the buffer organizations, optionally
+ * with a dynamic sharing policy installed on top.
  */
 
 #ifndef DAMQ_QUEUEING_BUFFER_FACTORY_HH
@@ -21,6 +22,18 @@ namespace damq {
 std::unique_ptr<BufferModel> makeBuffer(BufferType type,
                                         QueueLayout queue_layout,
                                         std::uint32_t capacity_slots);
+
+/**
+ * As above, plus the sharing-policy configuration: the VOQ
+ * organization takes its private-slot count from @p sharing, and a
+ * non-static policy kind is built once per call and installed via
+ * BufferModel::setAdmissionPolicy().  Dynamic sharing policies
+ * govern a *shared* pool, so requesting one for the statically
+ * partitioned organizations (SAMQ/SAFC) is fatal.
+ */
+std::unique_ptr<BufferModel> makeBuffer(
+    BufferType type, QueueLayout queue_layout,
+    std::uint32_t capacity_slots, const SharingPolicyConfig &sharing);
 
 } // namespace damq
 

@@ -12,7 +12,7 @@ namespace {
 constexpr EnumName<BufferType> kBufferTypeNames[] = {
     {BufferType::Fifo, "fifo"},   {BufferType::Samq, "samq"},
     {BufferType::Safc, "safc"},   {BufferType::Damq, "damq"},
-    {BufferType::DamqR, "damqr"},
+    {BufferType::DamqR, "damqr"}, {BufferType::Voq, "voq"},
 };
 
 } // namespace
@@ -26,6 +26,7 @@ bufferTypeName(BufferType type)
       case BufferType::Safc: return "SAFC";
       case BufferType::Damq: return "DAMQ";
       case BufferType::DamqR: return "DAMQR";
+      case BufferType::Voq: return "VOQ";
     }
     damq_panic("unknown BufferType ", static_cast<int>(type));
 }
@@ -53,6 +54,37 @@ BufferModel::BufferModel(QueueLayout queue_layout,
     damq_assert(capacity_slots >= queues.vcs,
                 "buffer needs at least one slot per virtual channel "
                 "(", queues.vcs, " VCs, ", capacity_slots, " slots)");
+}
+
+AdmissionDecision
+BufferModel::admit(QueueKey key, std::uint32_t len,
+                   std::uint8_t cls) const
+{
+    damq_assert(queues.contains(key), "canAccept: bad queue ",
+                key.out, ".vc", key.vc);
+    AdmissionState st;
+    st.capacity = capacity;
+    fillAdmissionState(key, st);
+    if (policy->wantsHeadAge() && admissionClock) {
+        if (const Packet *head = peek(key)) {
+            st.headWaitAge = *admissionClock > head->generatedAt
+                                 ? *admissionClock - head->generatedAt
+                                 : 0;
+        }
+    }
+    st.classSlots = classCensus[cls];
+    return policy->admit(st, AdmissionRequest{key, len, cls});
+}
+
+bool
+BufferModel::canHold(QueueKey key, std::uint32_t len) const
+{
+    damq_assert(queues.contains(key), "canHold: bad queue ", key.out,
+                ".vc", key.vc);
+    AdmissionState st;
+    st.capacity = capacity;
+    fillAdmissionState(key, st);
+    return admissionFeasible(st, len);
 }
 
 bool
@@ -95,10 +127,36 @@ BufferModel::clear()
 {
     std::fill(reservedPerQueue.begin(), reservedPerQueue.end(), 0);
     std::fill(vcCensus.begin(), vcCensus.end(), 0);
+    classCensus.fill(0);
     reservedTotal = 0;
     fullyArrivedCount = 0;
     if (probe)
         probe->onClear(*this);
+}
+
+std::vector<std::string>
+BufferModel::auditClassCensus() const
+{
+    bool multi_class = false;
+    for (std::uint32_t cls = 1; cls < kMaxTrafficClasses; ++cls)
+        multi_class = multi_class || classCensus[cls] != 0;
+    if (!multi_class)
+        return {};
+    std::array<std::uint64_t, kMaxTrafficClasses> walked{};
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        forEachInQueue(queues.unflatten(q), [&walked](const Packet &p) {
+            walked[p.trafficClass] += p.slotsHeld();
+        });
+    }
+    std::vector<std::string> violations;
+    for (std::uint32_t cls = 0; cls < kMaxTrafficClasses; ++cls) {
+        if (walked[cls] != classCensus[cls]) {
+            violations.push_back(detail::concat(
+                "class ", cls, " slot census drifted (walked ",
+                walked[cls], ", counted ", classCensus[cls], ")"));
+        }
+    }
+    return violations;
 }
 
 void

@@ -30,6 +30,7 @@
 #ifndef DAMQ_QUEUEING_BUFFER_MODEL_HH
 #define DAMQ_QUEUEING_BUFFER_MODEL_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -38,12 +39,13 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "queueing/admission_policy.hh"
 #include "queueing/packet.hh"
 #include "queueing/queue_key.hh"
 
 namespace damq {
 
-/** The four buffer organizations evaluated in the paper. */
+/** The paper's four buffer organizations plus the follow-ups. */
 enum class BufferType
 {
     Fifo, ///< single first-in-first-out queue, shared pool
@@ -55,7 +57,15 @@ enum class BufferType
      * follow-up fix for the hot-spot monopolization Section 4.2.1
      * reports.
      */
-    DamqR
+    DamqR,
+    /**
+     * Virtual-output-queue organization: DAMQ storage with a
+     * configurable number of *private* slots guaranteed to every
+     * (output, VC) queue out of the shared pool — booksim's hybrid
+     * private/shared VOQ buffer.  Degenerates to DAMQR at one
+     * private slot per queue.
+     */
+    Voq
 };
 
 /** Human-readable name ("FIFO", "SAMQ", ...). */
@@ -180,11 +190,76 @@ class BufferModel
 
     /**
      * Whether a packet of @p len slots routed to queue @p key could
-     * be accepted right now (reservations count as occupied, and
-     * shared-pool organizations also keep escapeSlotsOwed() slots
-     * free for the other, currently empty VCs).
+     * be accepted right now.  Non-virtual: the base snapshots the
+     * organization's state via fillAdmissionState() and delegates
+     * the verdict to the installed AdmissionPolicy (StaticAdmission
+     * by default — byte-identical to the historical per-type rules:
+     * reservations count as occupied and each organization reports
+     * its guarantee toward the other queues, e.g. the escape-slot
+     * debt of the shared pools).
      */
-    virtual bool canAccept(QueueKey key, std::uint32_t len) const = 0;
+    bool canAccept(QueueKey key, std::uint32_t len) const
+    {
+        return admit(key, len, 0).accept;
+    }
+
+    /** canAccept() for a packet of traffic class @p cls. */
+    bool canAcceptClass(QueueKey key, std::uint32_t len,
+                        std::uint8_t cls) const
+    {
+        return admit(key, len, cls).accept;
+    }
+
+    /** The full admission verdict (see canAccept). */
+    AdmissionDecision admit(QueueKey key, std::uint32_t len,
+                            std::uint8_t cls) const;
+
+    /**
+     * Whether the pool physically has room for @p len slots in
+     * queue @p key under the organization's *static* rule alone,
+     * ignoring any installed dynamic sharing policy.  This is the
+     * commit-side check for flow-controlled hops: the policy
+     * verdict was taken upstream at grant time against cycle-start
+     * state, and the pops that can land between grant and commit
+     * only free space — feasibility is monotone under pops, while
+     * a delay-driven policy verdict is not (popping an aged head
+     * re-tightens the threshold mid-cycle).
+     */
+    bool canHold(QueueKey key, std::uint32_t len) const;
+
+    /**
+     * Install a sharing policy (shared across buffers); nullptr
+     * restores the default StaticAdmission.  The caller must only
+     * install non-static policies on organizations with a shared
+     * pool (the factory enforces this).
+     */
+    void setAdmissionPolicy(
+        std::shared_ptr<const AdmissionPolicy> p)
+    {
+        ownedPolicy = std::move(p);
+        policy = ownedPolicy ? ownedPolicy.get()
+                             : &StaticAdmission::instance();
+    }
+
+    /** The active admission policy (never null). */
+    const AdmissionPolicy &admissionPolicy() const { return *policy; }
+
+    /**
+     * Attach the simulator's cycle counter so delay-driven policies
+     * can read head-of-line wait ages; the pointee must outlive the
+     * buffer (the engines point at their own member counter).
+     * nullptr detaches.
+     */
+    void attachAdmissionClock(const Cycle *clock)
+    {
+        admissionClock = clock;
+    }
+
+    /** Slots held buffer-wide by traffic class @p cls. */
+    std::uint32_t classSlots(std::uint8_t cls) const
+    {
+        return classCensus[cls];
+    }
 
     /**
      * Store @p pkt (whose outPort, vc and lengthSlots must be set).
@@ -198,6 +273,7 @@ class BufferModel
     void push(const Packet &pkt)
     {
         ++vcCensus[pkt.vc];
+        classCensus[pkt.trafficClass] += pkt.slotsHeld();
         if (pkt.fullyArrived())
             ++fullyArrivedCount;
         pushImpl(pkt);
@@ -238,6 +314,7 @@ class BufferModel
     {
         Packet pkt = popImpl(key);
         --vcCensus[pkt.vc];
+        classCensus[pkt.trafficClass] -= pkt.slotsHeld();
         if (pkt.fullyArrived())
             --fullyArrivedCount;
         if (probe)
@@ -259,6 +336,8 @@ class BufferModel
     bool flitArrived(QueueKey key)
     {
         const FlitEvent ev = flitArrivedImpl(key);
+        if (ev.slotChanged)
+            ++classCensus[ev.pkt->trafficClass];
         if (ev.pkt->fullyArrived())
             ++fullyArrivedCount;
         if (probe)
@@ -276,6 +355,8 @@ class BufferModel
     bool flitSent(QueueKey key)
     {
         const FlitEvent ev = flitSentImpl(key);
+        if (ev.slotChanged)
+            --classCensus[ev.pkt->trafficClass];
         if (probe)
             probe->onFlitProgress(*this);
         return ev.slotChanged;
@@ -356,17 +437,14 @@ class BufferModel
     }
 
     /**
-     * Free slots a shared-pool admission check must leave behind
-     * for VCs *other than* @p vc that currently hold no packets:
-     * one escape slot per empty foreign VC.  Keeping the pool from
-     * dropping below this bound maintains the invariant
-     * `free >= #empty VCs` (a push onto an empty VC consumes one
-     * owed slot but also removes that VC from the empty set), so a
-     * packet arriving on any VC always finds a slot — without it, a
-     * saturated shared pool could be monopolized by one VC and
-     * deadlock a blocking torus despite the dateline.  Always 0 in
-     * single-VC layouts, where the rule degenerates to the plain
-     * free-space check.
+     * Escape-slot debt of a shared pool toward VCs *other than*
+     * @p vc: one slot per empty foreign VC.  This is a policy-layer
+     * *input*, not a rule: shared-pool organizations report it as
+     * AdmissionState::guaranteeSlots from fillAdmissionState(), and
+     * the admission decision that consumes it — along with the full
+     * rationale for the rule — lives once, with admissionFeasible()
+     * in admission_policy.hh.  Always 0 in single-VC layouts, where
+     * the check degenerates to the plain free-space rule.
      */
     std::uint32_t escapeSlotsOwed(VcId vc) const
     {
@@ -377,6 +455,27 @@ class BufferModel
             owed += w != vc && vcCensus[w] == 0 ? 1 : 0;
         return owed;
     }
+
+    /**
+     * Snapshot the organization's state for the admission policy
+     * (see AdmissionState for the field contracts).  @p st arrives
+     * with capacity pre-filled and everything else zeroed; the
+     * organization must fill poolFree, reservedCharge and
+     * guaranteeSlots, and — when admissionPolicy()
+     * .wantsQueueOccupancy() — queueSlots/queueLength.  headWaitAge
+     * and classSlots are filled by the base admit().
+     */
+    virtual void fillAdmissionState(QueueKey key,
+                                    AdmissionState &st) const = 0;
+
+    /**
+     * Audit the per-class slot census against a walk of every
+     * queue's resident packets.  Skipped (returns empty) while all
+     * traffic is class 0, so single-class configurations — and the
+     * corruption tests that count invariant reports word for word —
+     * are unaffected; multi-class runs get the drift check.
+     */
+    std::vector<std::string> auditClassCensus() const;
 
     /** Organization-specific store; see push(). */
     virtual void pushImpl(const Packet &pkt) = 0;
@@ -413,9 +512,16 @@ class BufferModel
     std::uint32_t capacity;
     std::vector<std::uint32_t> reservedPerQueue;
     std::vector<std::uint32_t> vcCensus;
+    /// slots held per traffic class, maintained by push/pop/flit
+    std::array<std::uint32_t, kMaxTrafficClasses> classCensus{};
     std::uint32_t reservedTotal = 0;
     std::uint32_t fullyArrivedCount = 0;
     BufferProbe *probe = nullptr;
+    /// active admission rule (never null; StaticAdmission default)
+    const AdmissionPolicy *policy = &StaticAdmission::instance();
+    std::shared_ptr<const AdmissionPolicy> ownedPolicy;
+    /// simulator cycle counter for head-age policies, or nullptr
+    const Cycle *admissionClock = nullptr;
 };
 
 } // namespace damq

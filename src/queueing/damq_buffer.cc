@@ -15,17 +15,19 @@ DamqBuffer::DamqBuffer(QueueLayout queue_layout,
         appendTail(freeList, s);
 }
 
-bool
-DamqBuffer::canAccept(QueueKey key, std::uint32_t len) const
+void
+DamqBuffer::fillAdmissionState(QueueKey key, AdmissionState &st) const
 {
-    damq_assert(layout().contains(key), "canAccept: bad queue ",
-                key.out, ".vc", key.vc);
     // Dynamic allocation: any free slot can hold any packet, so the
-    // constraint is total free space net of reservations — plus, in
-    // multi-VC layouts, one escape slot per empty foreign VC so a
-    // single channel can never monopolize the pool.
-    return freeList.slots >=
-           len + reservedSlotsTotal() + escapeSlotsOwed(key.vc);
+    // domain is the whole free list, guarded by the escape-slot
+    // debt (rationale with admissionFeasible() in
+    // admission_policy.hh).
+    st.poolFree = freeList.slots;
+    st.reservedCharge = reservedSlotsTotal();
+    st.guaranteeSlots = escapeSlotsOwed(key.vc);
+    const ListRegs &queue = queueOf(key);
+    st.queueSlots = queue.slots;
+    st.queueLength = queue.packets;
 }
 
 void
@@ -330,6 +332,8 @@ DamqBuffer::checkInvariants() const
             report("escape-slot guarantee violated (", freeList.slots,
                    " free < ", empty_vcs, " empty VCs)");
     }
+    for (std::string &v : auditClassCensus())
+        violations.push_back(std::move(v));
     return violations;
 }
 

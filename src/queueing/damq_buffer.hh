@@ -38,8 +38,9 @@
 
 namespace damq {
 
-/** Dynamically allocated multi-queue input buffer. */
-class DamqBuffer final : public BufferModel
+/** Dynamically allocated multi-queue input buffer.  VoqBuffer
+ *  derives from it, swapping in a stronger admission guarantee. */
+class DamqBuffer : public BufferModel
 {
   public:
     /** See BufferModel::BufferModel. */
@@ -51,7 +52,8 @@ class DamqBuffer final : public BufferModel
     }
     std::uint32_t totalPackets() const override { return packetCount; }
 
-    bool canAccept(QueueKey key, std::uint32_t len) const override;
+    void fillAdmissionState(QueueKey key,
+                            AdmissionState &st) const override;
     void pushImpl(const Packet &pkt) override;
     const Packet *peek(QueueKey key) const override;
     std::uint32_t queueLength(QueueKey key) const override;
@@ -87,6 +89,19 @@ class DamqBuffer final : public BufferModel
 
     /** Free slots currently on the free list. */
     std::uint32_t freeSlotCount() const { return freeList.slots; }
+
+    /** Slots held by queue @p key (its list's slot register). */
+    std::uint32_t queueSlotsIn(QueueKey key) const
+    {
+        return queueOf(key).slots;
+    }
+
+  protected:
+    /** Slots held by flat queue @p q (for the VOQ subclass). */
+    std::uint32_t queueSlotsFlat(std::uint32_t q) const
+    {
+        return queues[q].slots;
+    }
 
   private:
     /**

@@ -22,14 +22,14 @@ DamqReservedBuffer::DamqReservedBuffer(QueueLayout queue_layout,
     }
 }
 
-bool
-DamqReservedBuffer::canAccept(QueueKey key, std::uint32_t len) const
+void
+DamqReservedBuffer::fillAdmissionState(QueueKey key,
+                                       AdmissionState &st) const
 {
-    damq_assert(layout().contains(key), "canAccept: bad output ",
-                key.out);
-
-    // Count the *other* queues that are empty: one slot must stay
-    // available for each of them.
+    // The guarantee is one slot per *other* queue that is empty:
+    // hot-spot traffic can never squeeze a destination out (the
+    // same inequality shape as the escape rule — see
+    // admissionFeasible() in admission_policy.hh).
     const std::uint32_t mine = layout().flatten(key);
     std::uint32_t reserved_for_others = 0;
     for (std::uint32_t q = 0; q < numQueues(); ++q) {
@@ -37,11 +37,13 @@ DamqReservedBuffer::canAccept(QueueKey key, std::uint32_t len) const
             inner.queueLength(layout().unflatten(q)) == 0)
             ++reserved_for_others;
     }
-    const std::uint32_t free = inner.freeSlotCount();
+    st.poolFree = inner.freeSlotCount();
     // Reservations made through the base-class API (varlen
     // transfers) also hold space.
-    const std::uint32_t held = reservedSlotsTotal();
-    return free >= len + held + reserved_for_others;
+    st.reservedCharge = reservedSlotsTotal();
+    st.guaranteeSlots = reserved_for_others;
+    st.queueSlots = inner.queueSlotsIn(key);
+    st.queueLength = inner.queueLength(key);
 }
 
 void

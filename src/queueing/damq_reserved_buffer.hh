@@ -50,7 +50,8 @@ class DamqReservedBuffer final : public BufferModel
         return inner.totalPackets();
     }
 
-    bool canAccept(QueueKey key, std::uint32_t len) const override;
+    void fillAdmissionState(QueueKey key,
+                            AdmissionState &st) const override;
     void pushImpl(const Packet &pkt) override { inner.push(pkt); }
     const Packet *peek(QueueKey key) const override
     {

@@ -11,13 +11,26 @@ FifoBuffer::FifoBuffer(QueueLayout queue_layout,
 {
 }
 
-bool
-FifoBuffer::canAccept(QueueKey key, std::uint32_t len) const
+void
+FifoBuffer::fillAdmissionState(QueueKey key, AdmissionState &st) const
 {
-    damq_assert(layout().contains(key), "canAccept: bad output ",
-                key.out);
-    return used + reservedSlotsTotal() + len + escapeSlotsOwed(key.vc) <=
-           capacitySlots();
+    // Shared pool: the free space is whatever the lanes left, and
+    // the escape-slot debt guards the other VCs (rationale with
+    // admissionFeasible() in admission_policy.hh).
+    st.poolFree = capacitySlots() - used;
+    st.reservedCharge = reservedSlotsTotal();
+    st.guaranteeSlots = escapeSlotsOwed(key.vc);
+    if (admissionPolicy().wantsQueueOccupancy()) {
+        // The lane is the queue (one FIFO per VC), so a dynamic
+        // threshold throttles the whole lane — the organization has
+        // no finer-grained queue to meter.
+        std::uint32_t slots = 0;
+        for (const Packet &pkt : lanes[key.vc])
+            slots += pkt.slotsHeld();
+        st.queueSlots = slots;
+        st.queueLength =
+            static_cast<std::uint32_t>(lanes[key.vc].size());
+    }
 }
 
 void
@@ -172,6 +185,8 @@ FifoBuffer::checkInvariants() const
         violations.push_back(detail::concat(
             "FIFO over capacity (", used, " used + ",
             reservedSlotsTotal(), " reserved > ", capacitySlots(), ")"));
+    for (std::string &v : auditClassCensus())
+        violations.push_back(std::move(v));
     return violations;
 }
 

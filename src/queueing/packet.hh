@@ -66,6 +66,16 @@ struct Packet
      */
     bool routeDown = false;
 
+    /**
+     * QoS traffic class stamped at generation (0 = best effort,
+     * higher = more important; < kMaxTrafficClasses).  Read by the
+     * class-segregated admission policies.  Deliberately *excluded*
+     * from the sealed header so stamping it never perturbs the
+     * checksum of single-class runs, and placed in the padding
+     * after routeDown so the Packet layout is unchanged.
+     */
+    std::uint8_t trafficClass = 0;
+
     /** Buffer slots this packet occupies when fully resident (>= 1). */
     std::uint32_t lengthSlots = 1;
 

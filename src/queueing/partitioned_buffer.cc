@@ -39,14 +39,20 @@ StaticallyPartitionedBuffer::threadPartitionFreeList(std::uint32_t q)
         slotListAppendTail(pool, freeLists[q], s);
 }
 
-bool
-StaticallyPartitionedBuffer::canAccept(QueueKey key,
-                                       std::uint32_t len) const
+void
+StaticallyPartitionedBuffer::fillAdmissionState(QueueKey key,
+                                                AdmissionState &st) const
 {
-    damq_assert(layout().contains(key), "canAccept: bad output ",
-                key.out);
-    return freeLists[layout().flatten(key)].slots >=
-           len + reservedFor(key);
+    // The target partition *is* the allocation domain: its free
+    // space and its reservations, with no guarantee term — slots
+    // statically owned by a queue cannot be taken by another, so
+    // there is nothing to protect (and nothing to share: the
+    // factory rejects dynamic sharing policies here).
+    const std::uint32_t q = layout().flatten(key);
+    st.poolFree = freeLists[q].slots;
+    st.reservedCharge = reservedFor(key);
+    st.queueSlots = queues[q].slots;
+    st.queueLength = packetsPerQueue[q];
 }
 
 void
@@ -340,6 +346,8 @@ StaticallyPartitionedBuffer::checkInvariants() const
     if (total_free != freeTotal)
         report("free slot accounting drifted (", total_free,
                " on the lists, ", freeTotal, " counted)");
+    for (std::string &v : auditClassCensus())
+        violations.push_back(std::move(v));
     return violations;
 }
 

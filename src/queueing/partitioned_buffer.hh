@@ -57,7 +57,8 @@ class StaticallyPartitionedBuffer : public BufferModel
     }
     std::uint32_t totalPackets() const override { return packets; }
 
-    bool canAccept(QueueKey key, std::uint32_t len) const override;
+    void fillAdmissionState(QueueKey key,
+                            AdmissionState &st) const override;
     void pushImpl(const Packet &pkt) override;
     const Packet *peek(QueueKey key) const override;
     std::uint32_t queueLength(QueueKey key) const override;

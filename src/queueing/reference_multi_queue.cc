@@ -13,15 +13,25 @@ ReferenceMultiQueue::ReferenceMultiQueue(QueueLayout queue_layout,
         slotListAppendTail(nodes, freeNodes, n);
 }
 
-bool
-ReferenceMultiQueue::canAccept(QueueKey key, std::uint32_t len) const
+void
+ReferenceMultiQueue::fillAdmissionState(QueueKey key,
+                                        AdmissionState &st) const
 {
-    damq_assert(layout().contains(key), "canAccept: bad output ",
-                key.out);
-    // Same admission rule as DamqBuffer, escape slots included, so
-    // the property tests can compare the two decision for decision.
-    return used + reservedSlotsTotal() + len + escapeSlotsOwed(key.vc) <=
-           capacitySlots();
+    // Same admission inputs as DamqBuffer — shared pool free space
+    // with the escape-slot debt (see admissionFeasible() in
+    // admission_policy.hh) — so the property tests can compare the
+    // two decision for decision.
+    st.poolFree = capacitySlots() - used;
+    st.reservedCharge = reservedSlotsTotal();
+    st.guaranteeSlots = escapeSlotsOwed(key.vc);
+    const SlotListRegs &queue = queues[layout().flatten(key)];
+    st.queueLength = queue.slots; // one node per packet
+    if (admissionPolicy().wantsQueueOccupancy()) {
+        std::uint32_t slots = 0;
+        for (SlotId n = queue.head; n != kNullSlot; n = nodes[n].next)
+            slots += nodes[n].packet.slotsHeld();
+        st.queueSlots = slots;
+    }
 }
 
 void

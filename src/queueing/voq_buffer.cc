@@ -1,0 +1,61 @@
+#include "queueing/voq_buffer.hh"
+
+#include "common/logging.hh"
+
+namespace damq {
+
+VoqBuffer::VoqBuffer(QueueLayout queue_layout,
+                     std::uint32_t capacity_slots,
+                     std::uint32_t private_slots)
+    : DamqBuffer(queue_layout, capacity_slots),
+      privateSlots(private_slots)
+{
+    if (private_slots < 1)
+        damq_fatal("a VOQ buffer needs at least one private slot "
+                   "per queue");
+    if (capacity_slots < queue_layout.numQueues() * private_slots) {
+        damq_fatal("a VOQ buffer needs capacity for every queue's "
+                   "private allocation (got ", capacity_slots,
+                   " slots for ", queue_layout.numQueues(),
+                   " queues x ", private_slots, " private slots)");
+    }
+}
+
+std::uint32_t
+VoqBuffer::privateDeficit(std::uint32_t exclude) const
+{
+    std::uint32_t deficit = 0;
+    for (std::uint32_t q = 0; q < numQueues(); ++q) {
+        if (q == exclude)
+            continue;
+        const std::uint32_t held = queueSlotsFlat(q);
+        deficit += held < privateSlots ? privateSlots - held : 0;
+    }
+    return deficit;
+}
+
+void
+VoqBuffer::fillAdmissionState(QueueKey key, AdmissionState &st) const
+{
+    DamqBuffer::fillAdmissionState(key, st);
+    // Replace the escape-slot debt with the hybrid private/shared
+    // guarantee: the private deficit of the other queues stays
+    // claimable (strictly stronger — see the file comment).
+    st.guaranteeSlots = privateDeficit(layout().flatten(key));
+}
+
+std::vector<std::string>
+VoqBuffer::checkInvariants() const
+{
+    std::vector<std::string> violations = DamqBuffer::checkInvariants();
+    const std::uint32_t deficit = privateDeficit(numQueues());
+    if (freeSlotCount() < deficit) {
+        violations.push_back(detail::concat(
+            "VOQ private-slot guarantee violated: queues are owed ",
+            deficit, " private slots but only ", freeSlotCount(),
+            " are free"));
+    }
+    return violations;
+}
+
+} // namespace damq

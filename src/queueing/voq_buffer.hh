@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Virtual-output-queue buffer: DAMQ storage with hybrid
+ * private/shared space.
+ *
+ * QueueKey already addresses output x VC, so a multi-VC DamqBuffer
+ * *is* structurally a VOQ — what booksim's VOQ buffer adds on top
+ * of the linked slot pool is the hybrid allocation rule: every
+ * queue owns `privateSlots` slots that the shared traffic can
+ * never take.  Expressed through the admission layer, the
+ * guarantee term is the *private deficit* of the other queues,
+ *
+ *     sum over q != target of max(0, privateSlots - slots_held(q))
+ *
+ * i.e. a queue that has not yet filled its private allocation
+ * keeps the remainder claimable.  At privateSlots == 1 this is
+ * exactly the DAMQR reserved-slot rule (a queue holding any slot
+ * has no claim), and for privateSlots >= 1 it subsumes the per-VC
+ * escape rule: every empty foreign VC owns at least one empty
+ * queue, whose deficit keeps at least one slot free.
+ */
+
+#ifndef DAMQ_QUEUEING_VOQ_BUFFER_HH
+#define DAMQ_QUEUEING_VOQ_BUFFER_HH
+
+#include "queueing/damq_buffer.hh"
+
+namespace damq {
+
+/** DAMQ-backed virtual-output-queue buffer with private slots. */
+class VoqBuffer final : public DamqBuffer
+{
+  public:
+    /** See BufferModel::BufferModel; capacity must cover the
+     *  private allocation (numQueues() * private_slots). */
+    VoqBuffer(QueueLayout queue_layout, std::uint32_t capacity_slots,
+              std::uint32_t private_slots = 1);
+
+    void fillAdmissionState(QueueKey key,
+                            AdmissionState &st) const override;
+
+    BufferType type() const override { return BufferType::Voq; }
+
+    /** Slots guaranteed to every queue out of the shared pool. */
+    std::uint32_t privateSlotsPerQueue() const { return privateSlots; }
+
+    /**
+     * Inner DAMQ structural checks plus the hybrid guarantee: the
+     * free list must cover the private deficit of *all* queues, so
+     * every queue below its private allocation can still claim it.
+     */
+    std::vector<std::string> checkInvariants() const override;
+
+  private:
+    /** Private deficit of every queue except @p exclude (pass
+     *  numQueues() to sum over all). */
+    std::uint32_t privateDeficit(std::uint32_t exclude) const;
+
+    std::uint32_t privateSlots;
+};
+
+} // namespace damq
+
+#endif // DAMQ_QUEUEING_VOQ_BUFFER_HH

@@ -7,7 +7,9 @@
 
 namespace damq {
 
-const char kBufferTypeChoices[] = "fifo | samq | safc | damq | damqr";
+const char kBufferTypeChoices[] =
+    "fifo | samq | safc | damq | damqr | voq";
+const char kSharingPolicyChoices[] = "static | dt | delay | qos";
 const char kPlacementChoices[] = "input | central | output";
 const char kFlowControlChoices[] =
     "blocking | discarding | credit | on-off";
@@ -109,6 +111,18 @@ recoveryPolicyOption(const ArgParser &args, const std::string &name)
     return enumOption(args, name, tryRecoveryPolicyFromString,
                       "recovery policy", kRecoveryPolicyChoices);
 }
+
+namespace {
+
+/** Parse option @p name as a sharing policy (or exit(1)). */
+SharingPolicy
+sharingPolicyOption(const ArgParser &args, const std::string &name)
+{
+    return enumOption(args, name, trySharingPolicyFromString,
+                      "sharing policy", kSharingPolicyChoices);
+}
+
+} // namespace
 
 void
 addCommonSimFlags(ArgParser &args)
@@ -323,18 +337,29 @@ applySwitchingFlags(const ArgParser &args, Switching &switching,
                     FlowControl &protocol,
                     std::uint32_t &flits_per_packet)
 {
+    // Each deprecation warning fires once per process: sweeps apply
+    // the same parsed ArgParser to every task, and repeating the
+    // warning per task would bury real diagnostics.
     if (args.wasSet("switching")) {
         switching = switchingOption(args, "switching");
     } else if (args.wasSet("mode")) {
-        std::cerr << "warning: --mode is deprecated; use "
-                     "--switching\n";
+        static bool warned_mode = false;
+        if (!warned_mode) {
+            warned_mode = true;
+            std::cerr << "warning: --mode is deprecated; use "
+                         "--switching\n";
+        }
         switching = switchingOption(args, "mode");
     }
     if (args.wasSet("flow-control")) {
         protocol = flowControlOption(args, "flow-control");
     } else if (args.wasSet("protocol")) {
-        std::cerr << "warning: --protocol is deprecated; use "
-                     "--flow-control\n";
+        static bool warned_protocol = false;
+        if (!warned_protocol) {
+            warned_protocol = true;
+            std::cerr << "warning: --protocol is deprecated; use "
+                         "--flow-control\n";
+        }
         protocol = flowControlOption(args, "protocol");
     }
     if (args.wasSet("flits-per-packet")) {
@@ -345,6 +370,78 @@ applySwitchingFlags(const ArgParser &args, Switching &switching,
                        "got ", flits);
         if (flits != 0)
             flits_per_packet = static_cast<std::uint32_t>(flits);
+    }
+}
+
+void
+addBufferPolicyFlags(ArgParser &args)
+{
+    args.addOption("buffer-policy", "static", kSharingPolicyChoices);
+    args.addOption("dt-alpha", "0",
+                   "threshold factor alpha for the dt / delay "
+                   "policies (0 = keep the default, 2.0)");
+    args.addOption("delay-age-scale", "0",
+                   "cycles per unit of threshold growth for the "
+                   "delay policy (0 = keep the default, 64)");
+    args.addFlag("voq",
+                 "use the virtual-output-queue buffer organization "
+                 "(shorthand overriding the buffer-type option)");
+    args.addOption("voq-private", "0",
+                   "private slots per queue for the voq "
+                   "organization (0 = keep the default, 1)");
+    args.addOption("classes", "0",
+                   "traffic classes stamped onto packets as "
+                   "source % N; also the qos policy's class count "
+                   "(0 = keep the default, 1)");
+}
+
+void
+applyBufferPolicyFlags(const ArgParser &args, BufferType &buffer_type,
+                       SharingPolicyConfig &sharing,
+                       std::uint32_t &traffic_classes)
+{
+    if (args.getFlag("voq"))
+        buffer_type = BufferType::Voq;
+    if (args.wasSet("buffer-policy"))
+        sharing.kind = sharingPolicyOption(args, "buffer-policy");
+    if (args.wasSet("dt-alpha")) {
+        const double alpha = args.getDouble("dt-alpha");
+        if (alpha != 0.0 && (alpha < 1.0 / 1024.0 || alpha > 1024.0))
+            damq_fatal("--dt-alpha wants a factor in [1/1024, 1024] "
+                       "(or 0 to keep the default), got ", alpha);
+        if (alpha != 0.0)
+            sharing.dtAlpha = alpha;
+    }
+    if (args.wasSet("delay-age-scale")) {
+        const std::int64_t scale = args.getInt("delay-age-scale");
+        if (scale < 0 || scale > 65536)
+            damq_fatal("--delay-age-scale wants an integer in "
+                       "[1, 65536] (or 0 to keep the default), got ",
+                       scale);
+        if (scale != 0)
+            sharing.delayAgeScale = static_cast<Cycle>(scale);
+    }
+    if (args.wasSet("voq-private")) {
+        const std::int64_t priv = args.getInt("voq-private");
+        if (priv < 0 || priv > 4096)
+            damq_fatal("--voq-private wants an integer in [1, 4096] "
+                       "(or 0 to keep the default), got ", priv);
+        if (priv != 0)
+            sharing.voqPrivateSlots =
+                static_cast<std::uint32_t>(priv);
+    }
+    if (args.wasSet("classes")) {
+        const std::int64_t classes = args.getInt("classes");
+        if (classes < 0 ||
+            classes > static_cast<std::int64_t>(kMaxTrafficClasses))
+            damq_fatal("--classes wants an integer in [1, ",
+                       kMaxTrafficClasses,
+                       "] (or 0 to keep the default), got ", classes);
+        if (classes != 0) {
+            traffic_classes = static_cast<std::uint32_t>(classes);
+            sharing.qosClasses =
+                static_cast<std::uint32_t>(classes);
+        }
     }
 }
 

@@ -107,6 +107,30 @@ void applySwitchingFlags(const ArgParser &args, Switching &switching,
                          std::uint32_t &flits_per_packet);
 
 /**
+ * Declare the buffer-sharing (admission-policy) surface on @p args:
+ *
+ *   --buffer-policy P    sharing policy applied to every input
+ *                        buffer (static | dt | delay | qos)
+ *   --dt-alpha A         threshold factor for dt / delay
+ *   --delay-age-scale N  cycles per unit of threshold growth (delay)
+ *   --voq                shorthand for --buffer-type voq
+ *   --voq-private N      private slots per queue for VOQ
+ *   --classes N          traffic classes stamped onto packets
+ *                        (source % N; also the qos class count)
+ */
+void addBufferPolicyFlags(ArgParser &args);
+
+/**
+ * Copy the sharing surface the user explicitly set from @p args
+ * into the given fields; options left unset change nothing, so the
+ * defaults stay byte-identical to the historical static rules.
+ */
+void applyBufferPolicyFlags(const ArgParser &args,
+                            BufferType &buffer_type,
+                            SharingPolicyConfig &sharing,
+                            std::uint32_t &traffic_classes);
+
+/**
  * @p label reduced to characters safe in a filename: alphanumerics
  * and `.-_@` pass through, everything else becomes `_`.  Used to
  * derive per-task telemetry prefixes from sweep-task labels.
@@ -118,7 +142,8 @@ std::string sanitizeFileToken(const std::string &label);
  * front-end's `--help` names the same accepted spellings as the
  * try*FromString parsers.
  */
-extern const char kBufferTypeChoices[];    ///< fifo|samq|safc|damq|damqr
+extern const char kBufferTypeChoices[];    ///< fifo|samq|safc|damq|damqr|voq
+extern const char kSharingPolicyChoices[]; ///< static|dt|delay|qos
 extern const char kPlacementChoices[];     ///< input|central|output
 extern const char kFlowControlChoices[];   ///< blocking|discarding|credit|on-off
 extern const char kArbitrationChoices[];   ///< smart|dumb

@@ -8,7 +8,8 @@ namespace damq {
 SwitchModel::SwitchModel(PortId num_ports, BufferType buffer_type,
                          std::uint32_t slots_per_buffer,
                          ArbitrationPolicy arbitration,
-                         std::uint32_t stale_threshold, VcId num_vcs)
+                         std::uint32_t stale_threshold, VcId num_vcs,
+                         const SharingPolicyConfig &sharing)
     : ports(num_ports), vcs(num_vcs), type(buffer_type),
       arbiter(makeArbiter(arbitration, num_ports, num_ports,
                           stale_threshold, num_vcs))
@@ -18,8 +19,8 @@ SwitchModel::SwitchModel(PortId num_ports, BufferType buffer_type,
     const QueueLayout layout{num_ports, num_vcs};
     buffers.reserve(num_ports);
     for (PortId input = 0; input < num_ports; ++input) {
-        buffers.push_back(
-            makeBuffer(buffer_type, layout, slots_per_buffer));
+        buffers.push_back(makeBuffer(buffer_type, layout,
+                                     slots_per_buffer, sharing));
         bufferPtrs.push_back(buffers.back().get());
     }
 }
@@ -33,6 +34,15 @@ SwitchModel::canAccept(PortId input, QueueKey out,
 }
 
 bool
+SwitchModel::canAcceptClass(PortId input, QueueKey out,
+                            std::uint32_t len,
+                            std::uint8_t traffic_class) const
+{
+    damq_assert(input < ports, "canAccept: bad input port ", input);
+    return buffers[input]->canAcceptClass(out, len, traffic_class);
+}
+
+bool
 SwitchModel::tryReceive(PortId input, const Packet &pkt)
 {
     damq_assert(input < ports, "tryReceive: bad input port ", input);
@@ -43,7 +53,25 @@ SwitchModel::tryReceive(PortId input, const Packet &pkt)
     // rest of the allocation was checked at grant time by the
     // FlowControlScheme's headSlotsNeeded rule).
     const QueueKey key{pkt.outPort, pkt.vc};
-    if (!buffers[input]->canAccept(key, pkt.slotsHeld())) {
+    if (!buffers[input]->canAcceptClass(key, pkt.slotsHeld(),
+                                        pkt.trafficClass)) {
+        ++switchStats.discarded;
+        return false;
+    }
+    buffers[input]->push(pkt);
+    ++switchStats.received;
+    return true;
+}
+
+bool
+SwitchModel::receiveGranted(PortId input, const Packet &pkt)
+{
+    damq_assert(input < ports, "receiveGranted: bad input port ",
+                input);
+    damq_assert(pkt.outPort < ports,
+                "receiveGranted: unrouted packet");
+    const QueueKey key{pkt.outPort, pkt.vc};
+    if (!buffers[input]->canHold(key, pkt.slotsHeld())) {
         ++switchStats.discarded;
         return false;
     }

@@ -43,11 +43,16 @@ class SwitchModel final : public SwitchUnit
      * @param stale_threshold  smart-arbitration stale threshold.
      * @param num_vcs          virtual channels per output (1 = the
      *                         paper's single-VC switches).
+     * @param sharing          admission-policy configuration applied
+     *                         to every input buffer (static rules,
+     *                         dynamic thresholds, or class QoS; also
+     *                         carries the VOQ private-slot count).
      */
     SwitchModel(PortId num_ports, BufferType buffer_type,
                 std::uint32_t slots_per_buffer,
                 ArbitrationPolicy arbitration,
-                std::uint32_t stale_threshold = 8, VcId num_vcs = 1);
+                std::uint32_t stale_threshold = 8, VcId num_vcs = 1,
+                const SharingPolicyConfig &sharing = {});
 
     /** Number of ports (inputs and outputs). */
     PortId numPorts() const override { return ports; }
@@ -73,6 +78,11 @@ class SwitchModel final : public SwitchUnit
     bool canAccept(PortId input, QueueKey out,
                    std::uint32_t len) const override;
 
+    /** Class-aware variant consulted by class-QoS sharing. */
+    bool canAcceptClass(PortId input, QueueKey out,
+                        std::uint32_t len,
+                        std::uint8_t traffic_class) const override;
+
     /**
      * Offer a packet to input @p input (pkt.outPort and pkt.vc must
      * already be set by routing / VC allocation).  Returns true and
@@ -80,6 +90,11 @@ class SwitchModel final : public SwitchUnit
      * discard) otherwise.
      */
     bool tryReceive(PortId input, const Packet &pkt) override;
+
+    /** Commit a packet already admitted at grant time: re-check
+     *  only the static space rule (see SwitchUnit::receiveGranted
+     *  for why the dynamic policy must not run again here). */
+    bool receiveGranted(PortId input, const Packet &pkt) override;
 
     /** Compute this cycle's crossbar schedule. */
     GrantList arbitrate(const CanSendFn &can_send);

@@ -50,18 +50,26 @@ std::unique_ptr<SwitchUnit>
 makeSwitchUnit(BufferPlacement placement, PortId num_ports,
                BufferType buffer_type, std::uint32_t slots_per_input,
                ArbitrationPolicy arbitration,
-               std::uint32_t stale_threshold, VcId num_vcs)
+               std::uint32_t stale_threshold, VcId num_vcs,
+               const SharingPolicyConfig &sharing)
 {
     if (num_vcs > 1 && placement != BufferPlacement::Input) {
         damq_fatal("virtual channels require input buffering (",
                    bufferPlacementName(placement),
                    " placement keeps no per-VC queues)");
     }
+    if (sharing.kind != SharingPolicy::Static &&
+        placement != BufferPlacement::Input) {
+        damq_fatal("the '", sharingPolicyName(sharing.kind),
+                   "' sharing policy requires input buffering (",
+                   bufferPlacementName(placement),
+                   " placement has no admission-policy layer)");
+    }
     switch (placement) {
       case BufferPlacement::Input:
         return std::make_unique<SwitchModel>(
             num_ports, buffer_type, slots_per_input, arbitration,
-            stale_threshold, num_vcs);
+            stale_threshold, num_vcs, sharing);
       case BufferPlacement::Central:
         return std::make_unique<CentralBufferSwitch>(
             num_ports, num_ports * slots_per_input);

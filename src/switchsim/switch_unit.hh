@@ -79,10 +79,41 @@ class SwitchUnit
                            std::uint32_t len) const = 0;
 
     /**
+     * As canAccept(), but carrying the packet's traffic class so
+     * class-aware sharing policies (SharingPolicy::ClassQos) can
+     * apply their per-class cap.  The default ignores the class:
+     * only the input-buffered placement keeps BufferModel objects
+     * with an admission-policy layer.
+     */
+    virtual bool canAcceptClass(PortId input, QueueKey out,
+                                std::uint32_t len,
+                                std::uint8_t traffic_class) const
+    {
+        (void)traffic_class;
+        return canAccept(input, out, len);
+    }
+
+    /**
      * Offer a packet (pkt.outPort set).  Stores it and returns
      * true, or counts a discard and returns false.
      */
     virtual bool tryReceive(PortId input, const Packet &pkt) = 0;
+
+    /**
+     * Commit a packet whose admission was already decided by an
+     * earlier-phase flow-control check (the upstream grant).  Only
+     * the organization's static space rule is re-verified — that
+     * check is monotone under the pops that can land between grant
+     * and commit, while a dynamic sharing policy's verdict is not
+     * (a delay-driven threshold re-tightens when the aged queue
+     * head it was loosened by departs mid-cycle).  Defaults to
+     * tryReceive(), which is equivalent wherever no dynamic policy
+     * can be installed (central/output placements).
+     */
+    virtual bool receiveGranted(PortId input, const Packet &pkt)
+    {
+        return tryReceive(input, pkt);
+    }
 
     /**
      * Emit this cycle's departures: at most one packet per output,
@@ -162,13 +193,15 @@ class SwitchUnit
  * @p buffer_type and @p arbitration are ignored for the non-input
  * placements.  @p num_vcs > 1 (virtual channels per output) is only
  * supported by the Input placement, whose BufferModel queues carry
- * the VC dimension; requesting it elsewhere is fatal.
+ * the VC dimension; requesting it elsewhere is fatal.  Likewise a
+ * non-static @p sharing policy needs the Input placement's
+ * admission-policy layer and is fatal elsewhere.
  */
 std::unique_ptr<SwitchUnit> makeSwitchUnit(
     BufferPlacement placement, PortId num_ports,
     BufferType buffer_type, std::uint32_t slots_per_input,
     ArbitrationPolicy arbitration, std::uint32_t stale_threshold = 8,
-    VcId num_vcs = 1);
+    VcId num_vcs = 1, const SharingPolicyConfig &sharing = {});
 
 } // namespace damq
 

@@ -362,6 +362,60 @@ TEST(FlitOffTest, PacketSyncAllocatesNoFlitState)
     EXPECT_EQ(report.creditsReturned, 0u);
 }
 
+// ----------------------------- admission policies at flit level
+
+TEST(FlitAdmissionTest, DynamicThresholdWormholeStaysConformant)
+{
+    // Head admission feeds headSlotsNeeded through the admission
+    // policy layer; with dynamic threshold installed the credit
+    // invariants and the per-cycle flit audit must still close.
+    TorusConfig cfg = flitTorus(Switching::Wormhole);
+    cfg.sharing.kind = SharingPolicy::DynamicThreshold;
+    cfg.sharing.dtAlpha = 1.0;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_TRUE(sim.drain(20000));
+    sim.debugValidate();
+    EXPECT_TRUE(sim.syncEngine().flitCreditsAtRest());
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.creditsIssued, report.creditsReturned);
+    EXPECT_EQ(report.auditViolations, 0u);
+}
+
+TEST(FlitAdmissionTest, VoqRunsUnderVirtualCutThrough)
+{
+    // VCT pre-charges the whole packet at head admission, which is
+    // exactly the accounting the VOQ private-slot guarantee needs.
+    TorusConfig cfg = flitTorus(Switching::VirtualCutThrough);
+    cfg.bufferType = BufferType::Voq;
+    // One whole 4-flit packet per queue on top of each queue's
+    // private slot: a VCT head charges flitsPerPacket slots, and
+    // the guarantee reserves a slot for every other empty queue,
+    // so 10 queues need 10 * flits slots for admission to clear.
+    cfg.slotsPerBuffer = 10 * cfg.flitsPerPacket;
+    TorusSimulator sim(cfg);
+    const TorusResult result = sim.run();
+    ASSERT_GT(result.window.delivered, 0u);
+    EXPECT_TRUE(sim.drain(20000));
+    sim.debugValidate();
+    const FaultReport report = sim.faultReport();
+    EXPECT_EQ(report.auditViolations, 0u);
+}
+
+TEST(FlitAdmissionDeathTest, VoqRejectsWormhole)
+{
+    // Wormhole body flits land without an admission check, so they
+    // could eat another queue's private slots — the combination is
+    // rejected up front.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    TorusConfig cfg = flitTorus(Switching::Wormhole);
+    cfg.bufferType = BufferType::Voq;
+    cfg.slotsPerBuffer = 12;
+    EXPECT_EXIT({ TorusSimulator sim(cfg); },
+                ::testing::ExitedWithCode(1), "private-slot");
+}
+
 // ------------------------------------------- unified CLI surface
 
 /** Parse @p extra through @p args as if typed on a command line. */

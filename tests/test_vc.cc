@@ -188,6 +188,38 @@ TEST(EscapeSlotTest, SingleVcLayoutHasNoEscapeSlots)
     EXPECT_EQ(buffer->usedSlots(), 10u); // the whole pool
 }
 
+TEST(EscapeSlotTest, PolicyLayerReproducesTheEscapeRule)
+{
+    // The escape-slot arithmetic now lives in the admission-policy
+    // layer (admissionFeasible's guaranteeSlots term).  Replay the
+    // SharedPoolKeepsOneSlotPerEmptyVc scenario through the raw
+    // admit() surface and check the charged slots too — the policy
+    // must be byte-identical to the historical rule, not merely
+    // agree on this trace's accept bits by luck.
+    const auto buffer = makeBuffer(BufferType::Damq,
+                                   QueueLayout{5, 2}, 10);
+    EXPECT_STREQ(buffer->admissionPolicy().name(), "static");
+    Packet pkt;
+    pkt.lengthSlots = 1;
+    pkt.outPort = 0;
+    pkt.vc = 0;
+    for (PacketId id = 0; id < 9; ++id) {
+        pkt.id = id;
+        const AdmissionDecision d = buffer->admit(QueueKey{0, 0}, 1, 0);
+        ASSERT_TRUE(d.accept);
+        EXPECT_EQ(d.slotsCharged, 1u);
+        buffer->push(pkt);
+    }
+    // Slot 10 is VC 1's escape slot: infeasible for VC 0 (the
+    // guarantee term), feasible for the empty VC 1.
+    EXPECT_FALSE(buffer->admit(QueueKey{0, 0}, 1, 0).accept);
+    EXPECT_TRUE(buffer->admit(QueueKey{2, 1}, 1, 0).accept);
+    // Admission never depends on the traffic class under the static
+    // policy — classes ride along, they do not decide.
+    EXPECT_FALSE(buffer->admit(QueueKey{0, 0}, 1, 3).accept);
+    EXPECT_TRUE(buffer->admit(QueueKey{2, 1}, 1, 3).accept);
+}
+
 // --------------------------------------------- arbitration with VCs
 
 TEST(ArbiterVcTest, OneGrantPerPhysicalOutputAcrossVcs)
