@@ -98,7 +98,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("ablation_bufferdepth");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(json, paperNetworkConfig());
+        writeNetworkConfigJson(json, tasks.front().config);
         json.key("points");
         json.beginArray();
         std::size_t at = 0;
@@ -106,12 +106,14 @@ main(int argc, char **argv)
             for (const BufferType type : kTypes) {
                 if (!configurable(type, slots))
                     continue;
+                const NetworkResult &r = results[at++];
                 json.beginObject();
                 json.field("buffer", bufferTypeName(type));
                 json.field("slots",
                            static_cast<std::uint64_t>(slots));
                 json.field("saturationThroughput",
-                           results[at++].deliveredThroughput);
+                           r.deliveredThroughput);
+                writeE2eLatencyJson(json, r);
                 json.endObject();
             }
         }

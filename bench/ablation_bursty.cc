@@ -123,9 +123,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("ablation_bursty");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(
-            json, pointConfig(BufferType::Fifo, 1.0,
-                              FlowControl::Blocking));
+        writeNetworkConfigJson(json, tasks.front().config);
         json.key("burstFactors");
         json.beginArray();
         for (const double b : kBurstFactors)
@@ -150,6 +148,7 @@ main(int argc, char **argv)
                                r.worstSourceLatency);
                     json.field("discardFraction",
                                r.discardFraction);
+                    writeE2eLatencyJson(json, r);
                     json.endObject();
                 }
             }

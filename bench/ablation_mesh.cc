@@ -160,8 +160,9 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("ablation_mesh");
         JsonWriter &json = out.json();
-        const MeshConfig base =
-            meshConfig(BufferType::Fifo, "uniform");
+        // The first task's config carries every CLI override
+        // (--workload included), unlike a fresh meshConfig().
+        const MeshConfig &base = tasks.front().config;
         json.key("config");
         json.beginObject();
         json.field("width", static_cast<std::uint64_t>(base.width));
@@ -175,6 +176,8 @@ main(int argc, char **argv)
         json.field("measureCycles",
                    static_cast<std::uint64_t>(base.common.measureCycles));
         json.endObject();
+        writeWorkloadJson(json, base.common.workload,
+                          base.trafficClasses);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -185,11 +188,22 @@ main(int argc, char **argv)
                 json.field("traffic", traffic);
                 json.key("latencyCycles");
                 json.beginArray();
+                const std::size_t first = at;
                 for (std::size_t l = 0; l < 3; ++l)
                     json.value(results[at++].latencyCycles.mean());
                 json.endArray();
                 json.field("saturationThroughput",
                            results[at++].deliveredThroughput);
+                json.key("e2eLatency");
+                json.beginArray();
+                for (std::size_t p = 0; p < 4; ++p) {
+                    json.beginObject();
+                    json.field("offeredLoad",
+                               p < 3 ? kLoads[p] : 1.0);
+                    writeE2eLatencyJson(json, results[first + p]);
+                    json.endObject();
+                }
+                json.endArray();
                 json.endObject();
             }
         }

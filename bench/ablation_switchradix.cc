@@ -116,6 +116,12 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("ablation_switchradix");
         JsonWriter &json = out.json();
+        // The first task's config carries every CLI override
+        // (--workload included), unlike a fresh radixConfig().
+        const NetworkConfig &base = tasks.front().config;
+        writeWorkloadJson(json, base.common.workload,
+                          base.trafficClasses, base.burstiness,
+                          base.meanBurstCycles);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -139,6 +145,17 @@ main(int argc, char **argv)
                            sat.latencyClocks.mean());
                 json.field("saturationThroughput",
                            sat.deliveredThroughput);
+                json.key("e2eLatency");
+                json.beginArray();
+                const NetworkResult *points[] = {&at30, &sat};
+                const double loads[] = {0.30, 1.0};
+                for (std::size_t p = 0; p < 2; ++p) {
+                    json.beginObject();
+                    json.field("offeredLoad", loads[p]);
+                    writeE2eLatencyJson(json, *points[p]);
+                    json.endObject();
+                }
+                json.endArray();
                 json.endObject();
             }
         }

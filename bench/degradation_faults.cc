@@ -57,11 +57,26 @@ struct RunOut
     double deliveredThroughput = 0.0;
     double meanLatency = 0.0;
     double latencyP99 = 0.0;
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+    std::uint64_t e2eSamples = 0;
     Cycle measuredCycles = 0;
     std::uint64_t faultDropped = 0;
     std::uint64_t watchdogTrips = 0;
     FaultReport report;
 };
+
+/** Copy the shared end-to-end tail fields off a sim result. */
+template <typename Result>
+void
+copyE2e(RunOut &run, const Result &r)
+{
+    run.e2eLatencyP50 = r.e2eLatencyP50;
+    run.e2eLatencyP99 = r.e2eLatencyP99;
+    run.e2eLatencyP999 = r.e2eLatencyP999;
+    run.e2eSamples = r.e2eSamples;
+}
 
 NetworkConfig
 omegaPoint(BufferType type, double rate, RecoveryPolicy policy)
@@ -180,6 +195,7 @@ main(int argc, char **argv)
                     const NetworkResult r = sim.run();
                     run.deliveredThroughput = r.deliveredThroughput;
                     run.meanLatency = r.latencyClocks.mean();
+                    copyE2e(run, r);
                     run.measuredCycles = r.measuredCycles;
                     run.faultDropped = sim.lifetime().faultDropped;
                     run.report = sim.faultReport();
@@ -208,6 +224,7 @@ main(int argc, char **argv)
                 run.deliveredThroughput = r.deliveredThroughput;
                 run.meanLatency = r.latencyCycles.mean();
                 run.latencyP99 = r.latencyP99;
+                copyE2e(run, r);
                 run.measuredCycles = r.measuredCycles;
                 run.watchdogTrips = r.watchdogTrips;
                 run.faultDropped = sim.lifetime().faultDropped;
@@ -319,9 +336,14 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("degradation");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(
-            json, omegaPoint(BufferType::Fifo, 0.0,
-                             RecoveryPolicy::None));
+        // Echo the sweep's base config with the CLI overrides
+        // (--workload included) applied, telemetry cleared — the
+        // per-task configs own any telemetry files.
+        NetworkConfig json_cfg =
+            omegaPoint(BufferType::Fifo, 0.0, RecoveryPolicy::None);
+        applyCommonSimFlags(args, json_cfg.common, "degradation");
+        json_cfg.common.telemetry = obs::TelemetryConfig{};
+        writeNetworkConfigJson(json, json_cfg);
         json.key("faultRates");
         json.beginArray();
         for (const double rate : kRates)
@@ -351,6 +373,7 @@ main(int argc, char **argv)
                                run->deliveredThroughput);
                     json.field("meanLatencyClocks",
                                run->meanLatency);
+                    writeE2eLatencyJson(json, *run);
                     json.field("faultDropped", run->faultDropped);
                     json.field("corruptionsDetected",
                                run->report.corruptionsDetected);
@@ -384,6 +407,7 @@ main(int argc, char **argv)
                            run->deliveredThroughput);
                 json.field("meanLatencyCycles", run->meanLatency);
                 json.field("latencyP99", run->latencyP99);
+                writeE2eLatencyJson(json, *run);
                 json.field("faultDropped", run->faultDropped);
                 json.field("deadLinksDeclared",
                            run->report.recovery.deadLinksDeclared);

@@ -84,20 +84,28 @@ asciiPlot(const std::vector<SweepPoint> &fifo,
     return out;
 }
 
-/** Serialize one curve as a JSON array field named @p key. */
+/**
+ * Serialize one curve as a JSON array field named @p key; the
+ * end-to-end tails come from the raw results starting at
+ * @p offset (same order as @p curve).
+ */
 void
 writeCurveJson(JsonWriter &json, const std::string &key,
-               const std::vector<SweepPoint> &curve)
+               const std::vector<SweepPoint> &curve,
+               const std::vector<NetworkResult> &results,
+               std::size_t offset)
 {
     json.key(key);
     json.beginArray();
-    for (const SweepPoint &pt : curve) {
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+        const SweepPoint &pt = curve[i];
         json.beginObject();
         json.field("offeredLoad", pt.offeredLoad);
         json.field("deliveredThroughput", pt.deliveredThroughput);
         json.field("avgLatencyClocks", pt.avgLatencyClocks);
         json.field("p99LatencyClocks", pt.p99LatencyClocks);
         json.field("discardFraction", pt.discardFraction);
+        writeE2eLatencyJson(json, results[offset + i]);
         json.endObject();
     }
     json.endArray();
@@ -175,9 +183,11 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("figure3_latency_curve");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(json, cfg);
-        writeCurveJson(json, "fifo", fifo);
-        writeCurveJson(json, "damq", damq);
+        // The first task's config carries every CLI override
+        // (--workload included), unlike the pre-flag `cfg`.
+        writeNetworkConfigJson(json, tasks.front().config);
+        writeCurveJson(json, "fifo", fifo, results, 0);
+        writeCurveJson(json, "damq", damq, results, loads.size());
     }
 
     {

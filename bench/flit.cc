@@ -64,6 +64,10 @@ struct Row
     double load = 0.0;
     double throughput = 0.0;
     double latencyMean = 0.0;
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+    std::uint64_t e2eSamples = 0;
     std::uint64_t delivered = 0;
     std::uint64_t watchdogTrips = 0;
     std::uint64_t auditsRun = 0;
@@ -131,6 +135,10 @@ observe(Sim &sim, const Result &r, const std::string &workload,
     row.load = load;
     row.throughput = r.deliveredThroughput;
     row.latencyMean = r.latencyCycles.mean();
+    row.e2eLatencyP50 = r.e2eLatencyP50;
+    row.e2eLatencyP99 = r.e2eLatencyP99;
+    row.e2eLatencyP999 = r.e2eLatencyP999;
+    row.e2eSamples = r.e2eSamples;
     row.delivered = r.window.delivered;
     row.drained = sim.drain(kDrainBudget);
     row.creditsAtRest = sim.syncEngine().flitCreditsAtRest();
@@ -155,6 +163,10 @@ observeOmega(NetworkSimulator &sim, const NetworkResult &r,
     row.load = load;
     row.throughput = r.deliveredThroughput;
     row.latencyMean = r.latencyClocks.mean();
+    row.e2eLatencyP50 = r.e2eLatencyP50;
+    row.e2eLatencyP99 = r.e2eLatencyP99;
+    row.e2eLatencyP999 = r.e2eLatencyP999;
+    row.e2eSamples = r.e2eSamples;
     row.delivered = r.window.delivered;
     row.drained = sim.drain(kDrainBudget);
     row.creditsAtRest = sim.syncEngine().flitCreditsAtRest();
@@ -373,6 +385,11 @@ main(int argc, char **argv)
         json.field("auditEveryCycles", std::uint64_t{256});
         json.field("watchdogStallCycles", std::uint64_t{1000});
         json.endObject();
+        // Echo the workload the sweep actually ran (CLI overrides
+        // applied), not the compiled-in default.
+        SimCommonConfig desc_common;
+        applyCommonSimFlags(args, desc_common, "flit");
+        writeWorkloadJson(json, desc_common.workload);
         json.field("watchdogTrips", std::uint64_t{0});
         json.field("creditsClosed", true);
         json.key("rows");
@@ -385,6 +402,7 @@ main(int argc, char **argv)
             json.field("load", row.load);
             json.field("throughput", row.throughput);
             json.field("latencyMean", row.latencyMean);
+            writeE2eLatencyJson(json, row);
             json.field("delivered", row.delivered);
             json.field("creditsIssued", row.creditsIssued);
             json.field("creditsReturned", row.creditsReturned);

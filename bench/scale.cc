@@ -290,6 +290,11 @@ main(int argc, char **argv)
         json.field("hardwareConcurrency",
                    static_cast<std::uint64_t>(cores));
         json.endObject();
+        // Echo the workload the sweep actually ran (CLI overrides
+        // applied), not the compiled-in default.
+        SimCommonConfig desc_common;
+        applyCommonSimFlags(args, desc_common, "scale");
+        writeWorkloadJson(json, desc_common.workload);
         json.field("identityHeld", true);
         // Wall-clock block: the one BENCH file allowed to carry
         // timing (see file docs) — these numbers vary by host.

@@ -91,6 +91,10 @@ struct Row
     double throughput = 0.0;
     double latencyMean = 0.0;
     double latencyP99 = 0.0;
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+    std::uint64_t e2eSamples = 0;
     std::uint64_t delivered = 0;
     std::uint64_t watchdogTrips = 0;
     std::uint64_t auditsRun = 0;
@@ -137,6 +141,10 @@ observe(TorusSimulator &sim, const TorusResult &r,
     row.throughput = r.deliveredThroughput;
     row.latencyMean = r.latencyCycles.mean();
     row.latencyP99 = r.latencyP99;
+    row.e2eLatencyP50 = r.e2eLatencyP50;
+    row.e2eLatencyP99 = r.e2eLatencyP99;
+    row.e2eLatencyP999 = r.e2eLatencyP999;
+    row.e2eSamples = r.e2eSamples;
     row.delivered = r.window.delivered;
     row.drained = sim.drain(kDrainBudget);
     const FaultReport report = sim.faultReport();
@@ -350,6 +358,14 @@ main(int argc, char **argv)
         json.field("auditEveryCycles", std::uint64_t{256});
         json.field("watchdogStallCycles", std::uint64_t{2000});
         json.endObject();
+        // Echo the workload the sweep actually ran: the base config
+        // with the CLI overrides (--workload included) applied.
+        TorusConfig desc_cfg =
+            sharingConfig(kCombos[0], kIncastFractions[0], kLoads[0]);
+        applyCommonSimFlags(args, desc_cfg.common, "sharing");
+        writeWorkloadJson(json, desc_cfg.common.workload,
+                          desc_cfg.trafficClasses, desc_cfg.burstiness,
+                          desc_cfg.meanBurstCycles);
         json.field("watchdogTrips", std::uint64_t{0});
         json.field("dynamicBeatsStaticPartitionP99", true);
         json.key("rows");
@@ -362,6 +378,7 @@ main(int argc, char **argv)
             json.field("throughput", row.throughput);
             json.field("latencyMean", row.latencyMean);
             json.field("latencyP99", row.latencyP99);
+            writeE2eLatencyJson(json, row);
             json.field("delivered", row.delivered);
             json.field("auditsRun", row.auditsRun);
             json.endObject();

@@ -132,8 +132,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("table3_discarding");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(
-            json, pointConfig(BufferType::Fifo, kPoints[0]));
+        writeNetworkConfigJson(json, tasks.front().config);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -151,6 +150,7 @@ main(int argc, char **argv)
                 json.field("discardFraction", r.discardFraction);
                 json.field("deliveredThroughput",
                            r.deliveredThroughput);
+                writeE2eLatencyJson(json, r);
                 json.endObject();
             }
             json.endArray();

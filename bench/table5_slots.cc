@@ -114,7 +114,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("table5_slots");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(json, paperNetworkConfig());
+        writeNetworkConfigJson(json, tasks.front().config);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -135,6 +135,18 @@ main(int argc, char **argv)
                            sat.latencyClocks.mean());
                 json.field("saturationThroughput",
                            sat.deliveredThroughput);
+                json.key("e2eLatency");
+                json.beginArray();
+                const NetworkResult *points[] = {&at25, &at50,
+                                                 &sat};
+                const double loads[] = {0.25, 0.50, 1.0};
+                for (std::size_t p = 0; p < 3; ++p) {
+                    json.beginObject();
+                    json.field("offeredLoad", loads[p]);
+                    writeE2eLatencyJson(json, *points[p]);
+                    json.endObject();
+                }
+                json.endArray();
                 json.endObject();
             }
         }

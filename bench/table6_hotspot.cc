@@ -147,7 +147,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("table6_hotspot");
         JsonWriter &json = out.json();
-        writeNetworkConfigJson(json, hotspotConfig(BufferType::Fifo));
+        writeNetworkConfigJson(json, tasks.front().config);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -163,6 +163,17 @@ main(int argc, char **argv)
                        sat.latencyClocks.mean());
             json.field("saturationThroughput",
                        sat.deliveredThroughput);
+            json.key("e2eLatency");
+            json.beginArray();
+            const NetworkResult *points[] = {&at125, &at20, &sat};
+            const double loads[] = {0.125, 0.20, 1.0};
+            for (std::size_t p = 0; p < 3; ++p) {
+                json.beginObject();
+                json.field("offeredLoad", loads[p]);
+                writeE2eLatencyJson(json, *points[p]);
+                json.endObject();
+            }
+            json.endArray();
             json.endObject();
         }
         json.endArray();
@@ -178,6 +189,17 @@ main(int argc, char **argv)
                        sat.latencyClocks.mean());
             json.field("saturationThroughput",
                        sat.deliveredThroughput);
+            json.key("e2eLatency");
+            json.beginArray();
+            const NetworkResult *points[] = {&at20, &sat};
+            const double loads[] = {0.20, 1.0};
+            for (std::size_t p = 0; p < 2; ++p) {
+                json.beginObject();
+                json.field("offeredLoad", loads[p]);
+                writeE2eLatencyJson(json, *points[p]);
+                json.endObject();
+            }
+            json.endArray();
             json.endObject();
         }
         json.endArray();

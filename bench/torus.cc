@@ -169,8 +169,9 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("torus");
         JsonWriter &json = out.json();
-        const TorusConfig base =
-            torusConfig(BufferType::Fifo, "uniform");
+        // The first task's config carries every CLI override
+        // (--workload included), unlike a fresh torusConfig().
+        const TorusConfig &base = tasks.front().config;
         json.key("config");
         json.beginObject();
         json.field("width", static_cast<std::uint64_t>(base.width));
@@ -185,6 +186,9 @@ main(int argc, char **argv)
         json.field("measureCycles",
                    static_cast<std::uint64_t>(base.common.measureCycles));
         json.endObject();
+        writeWorkloadJson(json, base.common.workload,
+                          base.trafficClasses, base.burstiness,
+                          base.meanBurstCycles);
         json.key("rows");
         json.beginArray();
         std::size_t at = 0;
@@ -195,6 +199,7 @@ main(int argc, char **argv)
                 json.field("traffic", traffic);
                 json.key("latencyCycles");
                 json.beginArray();
+                const std::size_t first = at;
                 for (std::size_t l = 0; l < 3; ++l)
                     json.value(results[at++].latencyCycles.mean());
                 json.endArray();
@@ -203,6 +208,17 @@ main(int argc, char **argv)
                            sat_row.deliveredThroughput);
                 json.field("saturationDiscardFraction",
                            sat_row.discardFraction);
+                json.key("e2eLatency");
+                json.beginArray();
+                for (std::size_t p = 0; p < 4; ++p) {
+                    const TorusResult &r = results[first + p];
+                    json.beginObject();
+                    json.field("offeredLoad",
+                               p < 3 ? kLoads[p] : 1.0);
+                    writeE2eLatencyJson(json, r);
+                    json.endObject();
+                }
+                json.endArray();
                 json.endObject();
             }
         }
@@ -285,8 +301,7 @@ main(int argc, char **argv)
     {
         BenchJsonFile out("torus_blocking");
         JsonWriter &json = out.json();
-        const TorusConfig base =
-            blockingConfig(BufferType::Fifo, "uniform");
+        const TorusConfig &base = blocking_tasks.front().config;
         json.key("config");
         json.beginObject();
         json.field("width", static_cast<std::uint64_t>(base.width));
@@ -307,6 +322,9 @@ main(int argc, char **argv)
         json.field("measureCycles",
                    static_cast<std::uint64_t>(base.common.measureCycles));
         json.endObject();
+        writeWorkloadJson(json, base.common.workload,
+                          base.trafficClasses, base.burstiness,
+                          base.meanBurstCycles);
         json.field("damqOverFifoSaturation", blocking_ratio);
         json.field("watchdogTrips", watchdog_trips);
         json.key("rows");
@@ -319,6 +337,7 @@ main(int argc, char **argv)
                 json.field("traffic", traffic);
                 json.key("latencyCycles");
                 json.beginArray();
+                const std::size_t first = at;
                 std::uint64_t row_trips = 0;
                 for (std::size_t l = 0; l < 3; ++l) {
                     json.value(
@@ -334,6 +353,18 @@ main(int argc, char **argv)
                 json.field("saturationDiscardFraction",
                            sat_row.discardFraction);
                 json.field("watchdogTrips", row_trips);
+                json.key("e2eLatency");
+                json.beginArray();
+                for (std::size_t p = 0; p < 4; ++p) {
+                    const TorusResult &r =
+                        blocking_results[first + p];
+                    json.beginObject();
+                    json.field("offeredLoad",
+                               p < 3 ? kLoads[p] : 1.0);
+                    writeE2eLatencyJson(json, r);
+                    json.endObject();
+                }
+                json.endArray();
                 json.endObject();
             }
         }

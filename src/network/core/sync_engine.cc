@@ -16,18 +16,26 @@ SyncEngine::makeSource(const Topology &topology,
 {
     damq_assert(config.burstiness >= 1.0,
                 "burstiness must be at least 1");
-    if (config.burstiness > 1.0 &&
-        config.offeredLoad * config.burstiness > 1.0) {
-        damq_fatal("offeredLoad * burstiness must not exceed 1 "
-                   "(peak rate is a probability); got ",
-                   config.offeredLoad * config.burstiness);
+    // The legacy burstiness/meanBurstCycles fields are a deprecated
+    // alias for the two-state OnOff injection process: when they are
+    // set and no explicit workload was chosen, rewrite the workload
+    // so the historical burst source (same draw order, bit for bit)
+    // comes out of the shared factory.  All parameter validation —
+    // including the peak-rate check that used to live here — happens
+    // in makeInjectionProcess, the single construction path.
+    WorkloadConfig workload = config.common.workload;
+    if (workload.kind == WorkloadKind::Geometric &&
+        config.burstiness > 1.0) {
+        workload.kind = WorkloadKind::OnOff;
+        workload.burstiness = config.burstiness;
+        workload.meanBurstCycles = config.meanBurstCycles;
     }
     return TrafficSource(
         makeTrafficPattern(config.traffic, topology.numEndpoints(),
                            config.hotSpotFraction,
                            config.transposeSide, config.common.seed),
-        topology.numEndpoints(), config.offeredLoad,
-        config.burstiness, config.meanBurstCycles);
+        topology.numEndpoints(), config.offeredLoad, workload,
+        config.trafficClasses);
 }
 
 unsigned
@@ -80,6 +88,16 @@ SyncEngine::SyncEngine(const Topology &topology,
         damq_fatal("trafficClasses must be in [1, ",
                    kMaxTrafficClasses, "], got ",
                    cfg.trafficClasses);
+    }
+    if (cfg.trafficClasses > 1)
+        e2eClassHist.resize(cfg.trafficClasses);
+    if (traffic.process().closedLoop() &&
+        cfg.protocol == FlowControl::Discarding) {
+        damq_fatal("the ", traffic.process().name(),
+                   " workload is a closed loop (deliveries schedule "
+                   "replies) and needs a lossless protocol; "
+                   "discarding flow control would strand the "
+                   "outstanding-request window");
     }
     switches.reserve(n);
     if (input) {
@@ -1201,14 +1219,25 @@ SyncEngine::phaseInject()
     // slots for the owning shard.
     for (NodeId src = 0; src < topo.numEndpoints(); ++src) {
         stagedHas[src] = 0;
-        // Drain mode makes no PRNG draws: generation is skipped
-        // entirely, but blocked source queues keep retrying in I2.
-        if (draining || !traffic.shouldGenerate(src, rng))
+        // Drain mode makes no PRNG draws: new generation is skipped
+        // entirely (closed-loop processes may still flush replies
+        // they already owe — also draw-free), and blocked source
+        // queues keep retrying in I2.
+        const bool offered = draining
+                                 ? traffic.drainPending(src,
+                                                        currentCycle)
+                                 : traffic.shouldGenerate(
+                                       src, currentCycle, rng);
+        if (!offered)
             continue;
         Packet pkt;
         pkt.id = nextPacketId++;
         pkt.source = src;
+        // The process may pin the destination (replies go home,
+        // traces replay verbatim); only the pattern draws from the
+        // PRNG, so pinned destinations cost no draw.
         pkt.dest = traffic.destinationFor(src, rng);
+        pkt.kind = traffic.stagedKind();
         // At flit granularity a packet is flitsPerPacket flits of
         // one slot each; the source NI assembles whole packets, so
         // injection stays packet-granular (flitsArrived = 0 is the
@@ -1229,6 +1258,10 @@ SyncEngine::phaseInject()
             if (obs::PacketTracer *tr = telemetry->trace())
                 tr->instant("gen", "pkt", currentCycle,
                             endpointPid, src);
+        }
+        if (injectionRecord) {
+            injectionRecord->push_back(
+                WorkloadTraceEntry{currentCycle, src, pkt.dest});
         }
         stagedPkt[src] = pkt;
         stagedHas[src] = 1;
@@ -1333,6 +1366,11 @@ SyncEngine::deliver(const Packet &pkt, NodeId sink)
             tr->asyncEnd("pkt", "pkt", pkt.id, currentCycle,
                          endpointPid, sink);
     }
+    // Closed-loop state transitions (reply scheduling, window
+    // slots) must see *every* delivery, warmup and drain included;
+    // deliver() runs on the coordinator in global move order, so
+    // the callback inherits the bit-identity argument.
+    traffic.onDelivered(pkt, currentCycle);
     if (measuring) {
         const double latency =
             static_cast<double>(currentCycle - pkt.injectedAt) *
@@ -1341,6 +1379,15 @@ SyncEngine::deliver(const Packet &pkt, NodeId sink)
         latencyHist.add(latency);
         perSourceLatency[pkt.source].add(latency);
         hopStats.add(static_cast<double>(pkt.hops));
+        // End-to-end latency counts from generation, so the source
+        // queue wait under back-pressure is included — that is the
+        // tail the percentiles exist to expose.
+        const double e2e =
+            static_cast<double>(currentCycle - pkt.generatedAt) *
+            cfg.latencyUnitScale;
+        e2eHist.add(e2e);
+        if (!e2eClassHist.empty())
+            e2eClassHist[pkt.trafficClass].add(e2e);
     }
 }
 
@@ -1350,6 +1397,9 @@ SyncEngine::beginMeasurement()
     windowStart = counters;
     latencyStats.reset();
     latencyHist.reset();
+    e2eHist.reset();
+    for (TailHistogram &hist : e2eClassHist)
+        hist.reset();
     hopStats.reset();
     sourceQueueSamples.reset();
     switchOccupancySamples.reset();
@@ -1357,17 +1407,47 @@ SyncEngine::beginMeasurement()
         stats.reset();
 }
 
+void
+SyncEngine::runBatchSchedule()
+{
+    // Batch mode ignores the warmup/measure split: the metric *is*
+    // the time to absorb the whole batch, so measurement starts at
+    // cycle 0 and the schedule ends when the batch has drained (the
+    // configured warmup+measure total serves as the cycle budget —
+    // a wedged run still terminates and the watchdog reports it).
+    measuring = true;
+    beginMeasurement();
+    const Cycle budget = common.warmupCycles + common.measureCycles;
+    batchCycles = 0;
+    while (batchCycles < budget) {
+        step();
+        ++batchCycles;
+        if (traffic.exhausted() && packetsInFlight() == 0 &&
+            packetsAtSources() == 0 && traffic.pendingOffers() == 0)
+            break;
+    }
+    measuring = false;
+    if (telemetry)
+        telemetry->writeFiles();
+}
+
 SyncResult
 SyncEngine::run()
 {
-    runSchedule();
+    const bool batch =
+        cfg.common.workload.kind == WorkloadKind::Batch;
+    if (batch)
+        runBatchSchedule();
+    else
+        runSchedule();
+    const Cycle window = batch ? batchCycles : common.measureCycles;
 
     SyncResult result;
     result.window = counters - windowStart;
-    result.measuredCycles = common.measureCycles;
+    result.measuredCycles = window;
     result.offeredLoad = cfg.offeredLoad;
     const double denom = static_cast<double>(topo.numEndpoints()) *
-                         static_cast<double>(common.measureCycles);
+                         static_cast<double>(window);
     result.deliveredThroughput =
         static_cast<double>(result.window.delivered) / denom;
     result.discardFraction =
@@ -1378,6 +1458,16 @@ SyncEngine::run()
     result.latency = latencyStats;
     result.latencyP50 = latencyHist.quantile(0.5);
     result.latencyP99 = latencyHist.quantile(0.99);
+    result.e2eLatencyP50 = e2eHist.quantile(0.5);
+    result.e2eLatencyP99 = e2eHist.quantile(0.99);
+    result.e2eLatencyP999 = e2eHist.quantile(0.999);
+    result.e2eSamples = e2eHist.count();
+    for (std::uint32_t cls = 0; cls < e2eClassHist.size(); ++cls) {
+        const TailHistogram &hist = e2eClassHist[cls];
+        result.classLatency.push_back(SyncResult::ClassTail{
+            cls, hist.count(), hist.quantile(0.5),
+            hist.quantile(0.99), hist.quantile(0.999)});
+    }
     result.hops = hopStats;
     result.avgSourceQueueLen = sourceQueueSamples.mean();
     result.avgSwitchOccupancy = switchOccupancySamples.mean();
@@ -1584,12 +1674,17 @@ SyncEngine::drain(Cycle max_cycles)
 {
     draining = true;
     for (Cycle c = 0; c < max_cycles; ++c) {
-        if (packetsInFlight() == 0 && packetsAtSources() == 0)
+        // Pending closed-loop replies are offers no in-network
+        // packet represents yet; the drain is not done until the
+        // loop has closed on them too.
+        if (packetsInFlight() == 0 && packetsAtSources() == 0 &&
+            traffic.pendingOffers() == 0)
             break;
         step();
     }
     draining = false;
-    return packetsInFlight() == 0 && packetsAtSources() == 0;
+    return packetsInFlight() == 0 && packetsAtSources() == 0 &&
+           traffic.pendingOffers() == 0;
 }
 
 std::string

@@ -55,8 +55,10 @@
 #include "network/core/topology.hh"
 #include "network/core/traffic_source.hh"
 #include "network/core/vc_policy.hh"
+#include "network/core/workload.hh"
 #include "stats/histogram.hh"
 #include "stats/running_stats.hh"
+#include "stats/tail_histogram.hh"
 #include "switchsim/switch_model.hh"
 #include "switchsim/switch_unit.hh"
 
@@ -175,7 +177,13 @@ struct SyncConfig
 
     double offeredLoad = 0.5; ///< packets/cycle/source
 
-    /** Burstiness factor B >= 1 (see NetworkConfig::burstiness). */
+    /**
+     * Burstiness factor B >= 1 (see NetworkConfig::burstiness).
+     * Deprecated alias: values > 1 (with the workload kind left at
+     * its Geometric default) select the two-state OnOff injection
+     * process, bit-identical to the historical burst source.  New
+     * code should set common.workload instead.
+     */
     double burstiness = 1.0;
 
     /** Mean burst ("on" period) length in cycles when B > 1. */
@@ -233,6 +241,31 @@ struct SyncResult
 
     /** 99th-percentile in-network latency (histogram estimate). */
     double latencyP99 = 0.0;
+
+    /**
+     * End-to-end latency tail (generation to sink, source-queue
+     * wait included), in latencyUnitScale units, from the
+     * log-bucketed TailHistogram.  In-network latency above starts
+     * at injection; under back-pressure the difference is exactly
+     * the queueing delay the tail percentiles exist to expose.
+     */
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+
+    /** Delivered packets the e2e percentiles summarize. */
+    std::uint64_t e2eSamples = 0;
+
+    /** Per-class end-to-end tail (populated when trafficClasses > 1). */
+    struct ClassTail
+    {
+        std::uint32_t trafficClass = 0;
+        std::uint64_t samples = 0;
+        double p50 = 0.0;
+        double p99 = 0.0;
+        double p999 = 0.0;
+    };
+    std::vector<ClassTail> classLatency;
 };
 
 /**
@@ -290,6 +323,23 @@ class SyncEngine final : public SimEngine
      */
     std::string snapshotText() const;
 
+    /** The injection process driving the sources (stats access). */
+    const InjectionProcess &injection() const
+    {
+        return traffic.process();
+    }
+
+    /**
+     * Record every staged injection as a (cycle, src, dest) trace
+     * entry into @p out (nullptr stops recording).  Feeding the
+     * recorded entries back through the trace workload reproduces
+     * the run's injections exactly (tests).
+     */
+    void recordInjectionsTo(std::vector<WorkloadTraceEntry> *out)
+    {
+        injectionRecord = out;
+    }
+
     /** Adds the link layer's recovery counters (when enabled). */
     FaultReport faultReport() const override;
 
@@ -332,9 +382,22 @@ class SyncEngine final : public SimEngine
     void configureTelemetry(obs::Telemetry &t) override;
 
   private:
-    /** Validate load/burstiness, then build the traffic source. */
+    /**
+     * Build the traffic source: resolve the legacy burstiness alias
+     * (burstiness > 1 with a Geometric workload selects OnOff) and
+     * construct the injection process, whose factory validates all
+     * workload parameters.
+     */
     static TrafficSource makeSource(const Topology &topology,
                                     const SyncConfig &config);
+
+    /**
+     * Drain-and-measure schedule for the batch workload: measure
+     * from cycle 0 until every batch packet is delivered (or the
+     * warmup+measure cycle budget runs out); the measured window is
+     * the actual cycle count, recorded in batchCycles.
+     */
+    void runBatchSchedule();
 
     /**
      * Shard count after validation: fatal when it exceeds the
@@ -799,6 +862,19 @@ class SyncEngine final : public SimEngine
 
     RunningStats latencyStats;
     Histogram latencyHist; ///< for the p50/p99 estimates
+
+    /** End-to-end (generation to sink) latency tail histogram. */
+    TailHistogram e2eHist;
+
+    /** Per-class e2e histograms; empty unless trafficClasses > 1. */
+    std::vector<TailHistogram> e2eClassHist;
+
+    /** Injection-trace recording sink (tests); nullptr when off. */
+    std::vector<WorkloadTraceEntry> *injectionRecord = nullptr;
+
+    /** Cycles the batch drain-and-measure schedule actually ran. */
+    Cycle batchCycles = 0;
+
     RunningStats hopStats;
     RunningStats sourceQueueSamples;
     RunningStats switchOccupancySamples;

@@ -24,34 +24,14 @@ makeTrafficPattern(const std::string &name, std::uint32_t num_nodes,
 
 TrafficSource::TrafficSource(std::unique_ptr<TrafficPattern> pattern,
                              std::uint32_t num_sources,
-                             double gen_probability, double burstiness,
-                             Cycle mean_burst_cycles)
-    : pattern_(std::move(pattern)), genProbability(gen_probability),
-      burstiness(burstiness), meanBurstCycles(mean_burst_cycles),
-      sourceOn(num_sources, false)
+                             double gen_probability,
+                             const WorkloadConfig &workload,
+                             std::uint32_t traffic_classes)
+    : pattern_(std::move(pattern)),
+      process_(makeInjectionProcess(workload, num_sources,
+                                    gen_probability, traffic_classes))
 {
     damq_assert(pattern_ != nullptr, "traffic source needs a pattern");
-}
-
-bool
-TrafficSource::shouldGenerate(NodeId src, Random &rng)
-{
-    double gen_prob = genProbability;
-    if (burstiness > 1.0) {
-        // Two-state on/off source: on a fraction 1/B of the time,
-        // generating at rate genProbability * B while on.
-        const double mean_on = static_cast<double>(meanBurstCycles);
-        const double mean_off = mean_on * (burstiness - 1.0);
-        if (sourceOn[src]) {
-            if (rng.bernoulli(1.0 / mean_on))
-                sourceOn[src] = false;
-        } else {
-            if (rng.bernoulli(1.0 / mean_off))
-                sourceOn[src] = true;
-        }
-        gen_prob = sourceOn[src] ? genProbability * burstiness : 0.0;
-    }
-    return rng.bernoulli(gen_prob);
 }
 
 } // namespace core

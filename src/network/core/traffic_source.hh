@@ -1,7 +1,7 @@
 /**
  * @file
  * Workload generation for the simulation core: pattern construction
- * plus the per-source generation process, factored out of the four
+ * plus the per-source injection process, factored out of the four
  * simulators.
  *
  * makeTrafficPattern() centralizes the name -> TrafficPattern
@@ -9,12 +9,15 @@
  * configured fraction, "transpose" is only available on square
  * grids, everything else goes through makeTraffic()).
  *
- * TrafficSource owns a pattern plus the per-source Bernoulli /
- * two-state-burst generation state.  Draw order is part of the
- * repo's determinism contract: shouldGenerate() makes exactly the
- * same PRNG draws, in the same order, as the pre-core simulators —
- * burst on/off transitions (only when burstiness > 1) followed by
- * one generation draw.
+ * TrafficSource is the façade the engines drive: it owns a
+ * destination pattern plus an InjectionProcess (workload.hh) and
+ * resolves the destination of each staged packet — the process may
+ * pin it (closed-loop replies, trace replay), otherwise the pattern
+ * draws one.  Draw order is part of the repo's determinism
+ * contract: for the default geometric / two-state alias workloads,
+ * shouldGenerate() makes exactly the same PRNG draws, in the same
+ * order, as the pre-core simulators — burst on/off transitions
+ * (only when burstiness > 1) followed by one generation draw.
  */
 
 #ifndef DAMQ_NETWORK_CORE_TRAFFIC_SOURCE_HH
@@ -23,10 +26,10 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <vector>
 
 #include "common/random.hh"
 #include "common/types.hh"
+#include "network/core/workload.hh"
 #include "network/traffic.hh"
 
 namespace damq {
@@ -44,47 +47,82 @@ std::unique_ptr<TrafficPattern> makeTrafficPattern(
     double hot_spot_fraction, std::uint32_t transpose_side,
     std::uint64_t seed);
 
-/** Destination pattern + per-source packet generation process. */
+/** Destination pattern + per-source injection process. */
 class TrafficSource
 {
   public:
     /**
-     * @param pattern           destination pattern (owned).
-     * @param num_sources       independent generation processes.
-     * @param gen_probability   per-cycle generation probability
-     *                          (the mean rate; peaks at
-     *                          gen_probability * burstiness when
-     *                          bursty).
-     * @param burstiness        peak/average factor B >= 1
-     *                          (1 = plain Bernoulli).
-     * @param mean_burst_cycles mean "on" period when B > 1.
+     * @param pattern         destination pattern (owned).
+     * @param num_sources     independent generation processes.
+     * @param gen_probability mean per-cycle offered load.
+     * @param workload        injection-process selection/parameters
+     *                        (validated in makeInjectionProcess()).
+     * @param traffic_classes QoS class count, for validation
+     *                        messages only.
      */
     TrafficSource(std::unique_ptr<TrafficPattern> pattern,
                   std::uint32_t num_sources, double gen_probability,
-                  double burstiness, Cycle mean_burst_cycles);
+                  const WorkloadConfig &workload,
+                  std::uint32_t traffic_classes = 1);
 
     /**
-     * One generation draw for @p src this cycle.  Advances the
-     * burst state first when bursty (same draw order as the
-     * pre-core NetworkSimulator).
+     * Offer decision for @p src this cycle (the process may draw
+     * from @p rng; see the draw-order contract above).
      */
-    bool shouldGenerate(NodeId src, Random &rng);
+    bool shouldGenerate(NodeId src, Cycle now, Random &rng)
+    {
+        return process_->shouldGenerate(src, now, rng);
+    }
 
-    /** Destination of a packet generated by @p src. */
+    /**
+     * Offer decision while the engine drains: pending closed-loop
+     * work only, never an RNG draw.
+     */
+    bool drainPending(NodeId src, Cycle now)
+    {
+        return process_->drainPending(src, now);
+    }
+
+    /**
+     * Destination of the packet staged by the last accepted offer:
+     * the process's pinned destination if it set one, else a
+     * pattern draw.
+     */
     NodeId destinationFor(NodeId src, Random &rng)
     {
+        const NodeId pinned = process_->stagedDestination();
+        if (pinned != kInvalidNode)
+            return pinned;
         return pattern_->destinationFor(src, rng);
     }
+
+    /** Role of the packet staged by the last accepted offer. */
+    PacketKind stagedKind() const { return process_->stagedKind(); }
+
+    /** Delivery callback for closed-loop processes. */
+    void onDelivered(const Packet &pkt, Cycle now)
+    {
+        process_->onDelivered(pkt, now);
+    }
+
+    /** Whether the process will never offer another packet. */
+    bool exhausted() const { return process_->exhausted(); }
+
+    /** Offers owed but not yet staged (queued replies). */
+    std::uint64_t pendingOffers() const
+    {
+        return process_->pendingOffers();
+    }
+
+    /** The injection process in use. */
+    const InjectionProcess &process() const { return *process_; }
 
     /** The destination pattern in use. */
     TrafficPattern &pattern() { return *pattern_; }
 
   private:
     std::unique_ptr<TrafficPattern> pattern_;
-    double genProbability;
-    double burstiness;
-    Cycle meanBurstCycles;
-    std::vector<bool> sourceOn; ///< bursty sources: in a burst now?
+    std::unique_ptr<InjectionProcess> process_;
 };
 
 } // namespace core

@@ -34,6 +34,31 @@ trySwitchingModeFromString(const std::string &name)
     return std::nullopt;
 }
 
+namespace {
+
+/**
+ * The clock-accurate engine drives its TrafficSource open loop
+ * only: it has no delivery callback wiring, so the closed-loop /
+ * finite workloads (whose semantics depend on onDelivered or
+ * drain-and-measure) are rejected up front.
+ */
+core::WorkloadConfig
+openLoopWorkload(const SimCommonConfig &common, const char *sim)
+{
+    const core::WorkloadKind kind = common.workload.kind;
+    if (kind == core::WorkloadKind::Batch ||
+        kind == core::WorkloadKind::ReqReply ||
+        kind == core::WorkloadKind::Trace) {
+        damq_fatal("the ", sim, " simulator only supports the "
+                   "open-loop workloads (geometric/onoff/mmpp); ",
+                   core::workloadKindName(kind),
+                   " needs the synchronized engine");
+    }
+    return common.workload;
+}
+
+} // namespace
+
 CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
     : core::SimEngine(config.common), cfg(config),
       topo(config.numPorts, config.radix),
@@ -47,7 +72,7 @@ CutThroughSimulator::CutThroughSimulator(const CutThroughConfig &config)
               // the W clocks a packet holds its wire.
               config.offeredLoad /
                   static_cast<double>(config.wireClocks),
-              /*burstiness=*/1.0, /*mean_burst_cycles=*/1),
+              openLoopWorkload(config.common, "cut-through")),
       sourceQueues(config.numPorts),
       sourceWireFreeAt(config.numPorts, 0),
       nextSeq(config.numPorts, 0)
@@ -367,7 +392,7 @@ void
 CutThroughSimulator::phaseInject()
 {
     for (NodeId src = 0; src < cfg.numPorts; ++src) {
-        if (traffic.shouldGenerate(src, rng)) {
+        if (traffic.shouldGenerate(src, currentCycle, rng)) {
             Packet pkt;
             pkt.id = nextPacketId++;
             pkt.source = src;

@@ -66,6 +66,11 @@ MeshSimulator::run()
     result.latencyCycles = r.latency;
     result.latencyP50 = r.latencyP50;
     result.latencyP99 = r.latencyP99;
+    result.e2eLatencyP50 = r.e2eLatencyP50;
+    result.e2eLatencyP99 = r.e2eLatencyP99;
+    result.e2eLatencyP999 = r.e2eLatencyP999;
+    result.e2eSamples = r.e2eSamples;
+    result.classLatency = r.classLatency;
     result.avgHops = r.hops.mean();
     result.watchdogTrips = faultReport().watchdogFired ? 1 : 0;
     return result;

@@ -82,6 +82,17 @@ struct MeshResult
     double latencyP50 = 0.0;
     double latencyP99 = 0.0;
 
+    /** End-to-end (generation to sink) tail, in network cycles. */
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+
+    /** Delivered packets the e2e percentiles summarize. */
+    std::uint64_t e2eSamples = 0;
+
+    /** Per-class e2e tail (populated when trafficClasses > 1). */
+    std::vector<core::SyncResult::ClassTail> classLatency;
+
     /** Deadlock-watchdog firings during the run (0 or 1 — the
      *  watchdog reports each wedge once). */
     std::uint64_t watchdogTrips = 0;

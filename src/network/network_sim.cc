@@ -62,6 +62,13 @@ NetworkSimulator::run()
     result.avgSwitchOccupancy = r.avgSwitchOccupancy;
     result.latencyFairness = r.latencyFairness;
     result.worstSourceLatency = r.worstSourceLatency;
+    result.latencyP50 = r.latencyP50;
+    result.latencyP99 = r.latencyP99;
+    result.e2eLatencyP50 = r.e2eLatencyP50;
+    result.e2eLatencyP99 = r.e2eLatencyP99;
+    result.e2eLatencyP999 = r.e2eLatencyP999;
+    result.e2eSamples = r.e2eSamples;
+    result.classLatency = r.classLatency;
     return result;
 }
 

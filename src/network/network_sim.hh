@@ -128,6 +128,21 @@ struct NetworkResult
 
     /** Largest per-source mean latency (clocks). */
     double worstSourceLatency = 0.0;
+
+    /** Median / 99th-percentile in-network latency, in clocks. */
+    double latencyP50 = 0.0;
+    double latencyP99 = 0.0;
+
+    /** End-to-end (generation to sink) tail, in clocks. */
+    double e2eLatencyP50 = 0.0;
+    double e2eLatencyP99 = 0.0;
+    double e2eLatencyP999 = 0.0;
+
+    /** Delivered packets the e2e percentiles summarize. */
+    std::uint64_t e2eSamples = 0;
+
+    /** Per-class e2e tail (populated when trafficClasses > 1). */
+    std::vector<core::SyncResult::ClassTail> classLatency;
 };
 
 /**

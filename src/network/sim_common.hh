@@ -27,6 +27,7 @@
 #include "fault/fault_injector.hh"
 #include "network/core/recovery.hh"
 #include "network/core/vc_policy.hh"
+#include "network/core/workload.hh"
 #include "obs/telemetry.hh"
 
 namespace damq {
@@ -97,6 +98,17 @@ struct SimCommonConfig
      * parallelizes within one.
      */
     std::uint32_t shards = 1;
+
+    /**
+     * Workload selection and parameters (--workload / --batch /
+     * --reply-window / --trace-file; defaults to the open-loop
+     * geometric process).  A simulator's legacy `burstiness` /
+     * `meanBurstCycles` config fields are a deprecated alias: when
+     * they exceed 1 and the kind here is still Geometric, the
+     * engine rewrites the workload to the two-state OnOff process,
+     * reproducing the historical draw sequence bit for bit.
+     */
+    core::WorkloadConfig workload;
 
     /**
      * Telemetry plan (defaults to everything off).  When disabled

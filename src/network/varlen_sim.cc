@@ -7,6 +7,30 @@
 
 namespace damq {
 
+namespace {
+
+/**
+ * The variable-length engine drives its TrafficSource open loop
+ * only (no delivery callback wiring), so the closed-loop / finite
+ * workloads are rejected up front.
+ */
+core::WorkloadConfig
+openLoopWorkload(const SimCommonConfig &common)
+{
+    const core::WorkloadKind kind = common.workload.kind;
+    if (kind == core::WorkloadKind::Batch ||
+        kind == core::WorkloadKind::ReqReply ||
+        kind == core::WorkloadKind::Trace) {
+        damq_fatal("the variable-length simulator only supports the "
+                   "open-loop workloads (geometric/onoff/mmpp); ",
+                   core::workloadKindName(kind),
+                   " needs the synchronized engine");
+    }
+    return common.workload;
+}
+
+} // namespace
+
 std::uint32_t
 LengthDistribution::sample(Random &rng) const
 {
@@ -49,7 +73,7 @@ VarLenNetworkSimulator::VarLenNetworkSimulator(const VarLenConfig &config)
               // for the per-cycle packet generation probability.
               std::min(1.0, config.offeredSlotLoad /
                                 config.lengths.mean()),
-              /*burstiness=*/1.0, /*mean_burst_cycles=*/1),
+              openLoopWorkload(config.common)),
       sourceQueues(config.numPorts),
       sourceLinkBusyUntil(config.numPorts, 0)
 {
@@ -274,7 +298,7 @@ void
 VarLenNetworkSimulator::phaseInject()
 {
     for (NodeId src = 0; src < cfg.numPorts; ++src) {
-        if (traffic.shouldGenerate(src, rng)) {
+        if (traffic.shouldGenerate(src, currentCycle, rng)) {
             Packet pkt;
             pkt.id = nextPacketId++;
             pkt.source = src;

@@ -20,6 +20,31 @@
 
 namespace damq {
 
+/**
+ * Role of a packet within its workload.  Open-loop workloads only
+ * ever stamp Data; the request–reply closed loop stamps Request on
+ * packets whose delivery schedules a reply and Reply on the answers
+ * (see network/core/workload.hh).
+ */
+enum class PacketKind : std::uint8_t
+{
+    Data = 0,
+    Request = 1,
+    Reply = 2,
+};
+
+/** Human-readable packet-kind name. */
+inline const char *
+packetKindName(PacketKind kind)
+{
+    switch (kind) {
+      case PacketKind::Data: return "data";
+      case PacketKind::Request: return "request";
+      case PacketKind::Reply: return "reply";
+    }
+    return "?";
+}
+
 /** Metadata for one packet traversing the network. */
 struct Packet
 {
@@ -75,6 +100,15 @@ struct Packet
      * after routeDown so the Packet layout is unchanged.
      */
     std::uint8_t trafficClass = 0;
+
+    /**
+     * Workload role stamped at generation (data / request / reply).
+     * Read by closed-loop injection processes on delivery; like
+     * trafficClass it lives in pre-existing padding and is excluded
+     * from the sealed header, so open-loop runs (which always stamp
+     * Data) are byte-for-byte unaffected.
+     */
+    PacketKind kind = PacketKind::Data;
 
     /** Buffer slots this packet occupies when fully resident (>= 1). */
     std::uint32_t lengthSlots = 1;

@@ -20,6 +20,8 @@ const char kSwitchingModeChoices[] = "cut-through | store-and-forward";
 const char kVcPolicyChoices[] = "dateline | none";
 const char kRecoveryPolicyChoices[] =
     "none | retransmit | retransmit+reroute (or: reroute)";
+const char kWorkloadChoices[] =
+    "geometric | onoff | mmpp | batch | reqreply | trace";
 
 namespace {
 
@@ -112,6 +114,13 @@ recoveryPolicyOption(const ArgParser &args, const std::string &name)
                       "recovery policy", kRecoveryPolicyChoices);
 }
 
+core::WorkloadKind
+workloadOption(const ArgParser &args, const std::string &name)
+{
+    return enumOption(args, name, core::tryWorkloadKindFromString,
+                      "workload", kWorkloadChoices);
+}
+
 namespace {
 
 /** Parse option @p name as a sharing policy (or exit(1)). */
@@ -164,6 +173,24 @@ addCommonSimFlags(ArgParser &args)
                    "output prefix for <prefix>.metrics.json/.csv "
                    "and <prefix>.trace.json (default: the bench "
                    "name)");
+
+    // Workload / injection process.
+    args.addOption("workload", "", kWorkloadChoices);
+    args.addOption("batch", "0",
+                   "packets each source owes under --workload batch "
+                   "(0 = keep the default, 64)");
+    args.addOption("reply-window", "0",
+                   "outstanding requests per source under "
+                   "--workload reqreply (0 = keep the default, 4)");
+    args.addOption("trace-file", "",
+                   "trace to replay under --workload trace (one "
+                   "'cycle src dest' triple per line)");
+    args.addOption("workload-burstiness", "0",
+                   "peak/average factor B for the onoff / mmpp "
+                   "workloads (0 = keep the default)");
+    args.addOption("workload-burst-cycles", "0",
+                   "mean high-state duration for the onoff / mmpp "
+                   "workloads (0 = keep the default, 8)");
 
     // Fault plan and recovery (all default to off / bench default).
     args.addOption("fault-seed", "0",
@@ -262,6 +289,50 @@ applyCommonSimFlags(const ArgParser &args, SimCommonConfig &common,
             prefix.empty() ? default_prefix : prefix;
     }
 
+    // Workload selection.  Parameter validation (peak rates, batch
+    // size, reply window, trace wellformedness) happens once, in
+    // makeInjectionProcess, when the simulator is built.
+    if (args.wasSet("workload"))
+        common.workload.kind = workloadOption(args, "workload");
+    if (args.wasSet("batch")) {
+        const std::int64_t batch = args.getInt("batch");
+        if (batch < 0)
+            damq_fatal("--batch wants a positive packet count (or 0 "
+                       "to keep the default), got ", batch);
+        if (batch != 0) {
+            common.workload.batchPackets =
+                static_cast<std::uint64_t>(batch);
+        }
+    }
+    if (args.wasSet("reply-window")) {
+        const std::int64_t window = args.getInt("reply-window");
+        if (window < 0 || window > 1 << 20)
+            damq_fatal("--reply-window wants an integer in [1, 2^20] "
+                       "(or 0 to keep the default), got ", window);
+        if (window != 0) {
+            common.workload.replyWindow =
+                static_cast<std::uint32_t>(window);
+        }
+    }
+    if (args.wasSet("trace-file"))
+        common.workload.traceFile = args.getString("trace-file");
+    if (args.wasSet("workload-burstiness")) {
+        const double b = args.getDouble("workload-burstiness");
+        if (b != 0.0)
+            common.workload.burstiness = b;
+    }
+    if (args.wasSet("workload-burst-cycles")) {
+        const std::int64_t cycles =
+            args.getInt("workload-burst-cycles");
+        if (cycles < 0)
+            damq_fatal("--workload-burst-cycles wants a positive "
+                       "cycle count (or 0 to keep the default), "
+                       "got ", cycles);
+        if (cycles != 0)
+            common.workload.meanBurstCycles =
+                static_cast<Cycle>(cycles);
+    }
+
     // Fault plan.  Rates use -1 as "keep the bench default" so an
     // explicit 0 can switch a bench's default faults off.
     if (args.getInt("fault-seed") != 0) {
@@ -324,12 +395,6 @@ addSwitchingFlags(ArgParser &args,
     args.addOption("flits-per-packet", "0",
                    "packet length in flits under wormhole/vct "
                    "switching (0 = keep the bench default)");
-    // Historical spellings, kept so published command lines keep
-    // running; each warns once when used.
-    args.addOption("mode", "",
-                   "deprecated alias for --switching");
-    args.addOption("protocol", "",
-                   "deprecated alias for --flow-control");
 }
 
 void
@@ -337,31 +402,10 @@ applySwitchingFlags(const ArgParser &args, Switching &switching,
                     FlowControl &protocol,
                     std::uint32_t &flits_per_packet)
 {
-    // Each deprecation warning fires once per process: sweeps apply
-    // the same parsed ArgParser to every task, and repeating the
-    // warning per task would bury real diagnostics.
-    if (args.wasSet("switching")) {
+    if (args.wasSet("switching"))
         switching = switchingOption(args, "switching");
-    } else if (args.wasSet("mode")) {
-        static bool warned_mode = false;
-        if (!warned_mode) {
-            warned_mode = true;
-            std::cerr << "warning: --mode is deprecated; use "
-                         "--switching\n";
-        }
-        switching = switchingOption(args, "mode");
-    }
-    if (args.wasSet("flow-control")) {
+    if (args.wasSet("flow-control"))
         protocol = flowControlOption(args, "flow-control");
-    } else if (args.wasSet("protocol")) {
-        static bool warned_protocol = false;
-        if (!warned_protocol) {
-            warned_protocol = true;
-            std::cerr << "warning: --protocol is deprecated; use "
-                         "--flow-control\n";
-        }
-        protocol = flowControlOption(args, "protocol");
-    }
     if (args.wasSet("flits-per-packet")) {
         const std::int64_t flits = args.getInt("flits-per-packet");
         if (flits < 0 || flits > 4096)

@@ -50,6 +50,11 @@ namespace damq {
  *   --trace-events N   trace event cap (default one million)
  *   --telemetry-out P  output file prefix for telemetry files
  *
+ * the workload surface (--workload geometric|onoff|mmpp|batch|
+ * reqreply|trace, --batch, --reply-window, --trace-file,
+ * --workload-burstiness, --workload-burst-cycles — see
+ * network/core/workload.hh),
+ *
  * plus the fault plan (--fault-seed, --packet-drop-rate,
  * --bit-flip-rate, --link-down-rate, --link-down-cycles,
  * --link-down-fraction, --router-down-rate, --router-down-cycles)
@@ -85,9 +90,9 @@ void applyCommonSimFlags(const ArgParser &args,
  *   --flits-per-packet N packet length in flits for the flit-level
  *                        modes (0 = keep the bench default)
  *
- * plus the deprecated spellings `--mode` (alias of --switching) and
- * `--protocol` (alias of --flow-control), kept so existing scripts
- * run unchanged; using one prints a deprecation warning to stderr.
+ * The once-deprecated `--mode` / `--protocol` aliases were removed
+ * after two releases of warnings; the parser now rejects them like
+ * any unknown option.
  *
  * @p switching_default and @p flow_control_default are the bench's
  * own defaults, echoed in `--help`.
@@ -98,9 +103,7 @@ void addSwitchingFlags(ArgParser &args,
 
 /**
  * Copy the switching surface the user explicitly set from @p args
- * into the given fields; options left unset change nothing.  The
- * deprecated aliases apply only when the canonical flag was not
- * given, and warn on stderr when they do.
+ * into the given fields; options left unset change nothing.
  */
 void applySwitchingFlags(const ArgParser &args, Switching &switching,
                          FlowControl &protocol,
@@ -151,6 +154,7 @@ extern const char kSwitchingChoices[];     ///< packet-sync|...|wormhole|vct
 extern const char kSwitchingModeChoices[]; ///< cut-through|store-and-forward
 extern const char kVcPolicyChoices[];      ///< dateline|none
 extern const char kRecoveryPolicyChoices[]; ///< none|retransmit|retransmit+reroute
+extern const char kWorkloadChoices[];      ///< geometric|onoff|mmpp|batch|reqreply|trace
 
 /**
  * Parse option @p name as a buffer type via
@@ -197,6 +201,10 @@ VcPolicy vcPolicyOption(const ArgParser &args,
 /** Parse option @p name as a recovery policy (or exit(1)). */
 RecoveryPolicy recoveryPolicyOption(const ArgParser &args,
                                     const std::string &name);
+
+/** Parse option @p name as a workload kind (or exit(1)). */
+core::WorkloadKind workloadOption(const ArgParser &args,
+                                  const std::string &name);
 
 } // namespace damq
 

@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "common/string_util.hh"
 #include "queueing/buffer_model.hh"
+#include "runner/bench_output.hh"
 #include "runner/network_sweep.hh"
 #include "stats/text_table.hh"
 #include "switchsim/arbiter.hh"
@@ -58,8 +59,8 @@ runTable4(SweepRunner &runner, const Table4Options &options)
              atLoad(cfg, 1.0)});
     }
 
-    const std::vector<NetworkResult> results =
-        runNetworkSweep(runner, tasks);
+    data.results = runNetworkSweep(runner, tasks);
+    const std::vector<NetworkResult> &results = data.results;
 
     std::size_t next = 0;
     for (const BufferType type : options.types) {
@@ -122,6 +123,9 @@ writeNetworkConfigJson(JsonWriter &json, const NetworkConfig &config)
     json.field("measureCycles",
                static_cast<std::uint64_t>(config.common.measureCycles));
     json.endObject();
+    writeWorkloadJson(json, config.common.workload,
+                      config.trafficClasses, config.burstiness,
+                      config.meanBurstCycles);
 }
 
 void
@@ -137,6 +141,7 @@ writeTable4Json(JsonWriter &json, const Table4Data &data)
 
     json.key("rows");
     json.beginArray();
+    std::size_t at = 0;
     for (const Table4Row &row : data.rows) {
         json.beginObject();
         json.field("buffer", bufferTypeName(row.type));
@@ -148,6 +153,22 @@ writeTable4Json(JsonWriter &json, const Table4Data &data)
         json.field("saturatedLatencyClocks",
                    row.saturatedLatencyClocks);
         json.field("saturationThroughput", row.saturationThroughput);
+        // End-to-end tail per measured point, in row order:
+        // one entry per load, then the saturation point.
+        json.key("e2eLatency");
+        json.beginArray();
+        for (std::size_t l = 0; l <= data.options.loads.size();
+             ++l) {
+            const NetworkResult &r = data.results[at++];
+            json.beginObject();
+            json.field("offeredLoad",
+                       l < data.options.loads.size()
+                           ? data.options.loads[l]
+                           : 1.0);
+            writeE2eLatencyJson(json, r);
+            json.endObject();
+        }
+        json.endArray();
         json.endObject();
     }
     json.endArray();

@@ -61,6 +61,10 @@ struct Table4Data
     Table4Options options;
     std::vector<Table4Row> rows;
 
+    /** Raw sweep results, in task order (|loads|+1 per type) — the
+     *  JSON writer reads the end-to-end tails from them. */
+    std::vector<NetworkResult> results;
+
     /** Task labels, in sweep order (for the perf sidecar). */
     std::vector<std::string> taskLabels;
 

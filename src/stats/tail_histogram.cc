@@ -1,0 +1,120 @@
+#include "stats/tail_histogram.hh"
+
+#include <cmath>
+
+namespace damq {
+
+namespace {
+
+/** 64 log-linear sub-buckets per octave above the exact range. */
+constexpr std::uint32_t kSubBits = 6;
+constexpr std::uint64_t kSubBuckets = 1ULL << kSubBits;
+
+/** Highest octave a 64-bit value can land in (msb 63). */
+constexpr std::uint32_t kOctaves = 64 - kSubBits;
+
+/** Fixed table size: exact range + kOctaves octaves of 64. */
+constexpr std::uint32_t kNumBuckets =
+    static_cast<std::uint32_t>((kOctaves + 1) * kSubBuckets);
+
+std::uint32_t
+msbIndex(std::uint64_t value)
+{
+    std::uint32_t msb = 0;
+    while (value >>= 1)
+        ++msb;
+    return msb;
+}
+
+} // namespace
+
+TailHistogram::TailHistogram() : counts(kNumBuckets, 0) {}
+
+std::uint32_t
+TailHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::uint32_t>(value);
+    const std::uint32_t msb = msbIndex(value);
+    const std::uint32_t octave = msb - kSubBits + 1;
+    const std::uint32_t shift = msb - kSubBits;
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (value >> shift) & (kSubBuckets - 1));
+    return (octave << kSubBits) + sub;
+}
+
+double
+TailHistogram::bucketLowerEdge(std::uint32_t index)
+{
+    if (index < kSubBuckets)
+        return static_cast<double>(index);
+    const std::uint32_t octave = index >> kSubBits;
+    const std::uint32_t sub = index & (kSubBuckets - 1);
+    return std::ldexp(static_cast<double>(kSubBuckets + sub),
+                      static_cast<int>(octave) - 1);
+}
+
+double
+TailHistogram::bucketWidth(std::uint32_t index)
+{
+    if (index < kSubBuckets)
+        return 1.0;
+    return std::ldexp(1.0, static_cast<int>(index >> kSubBits) - 1);
+}
+
+void
+TailHistogram::add(double value)
+{
+    if (value < 0.0)
+        value = 0.0;
+    ++counts[bucketIndex(static_cast<std::uint64_t>(value))];
+    ++total;
+    if (value > maxValue)
+        maxValue = value;
+}
+
+double
+TailHistogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double target = q * static_cast<double>(total - 1);
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t i = 0; i < kNumBuckets; ++i) {
+        if (counts[i] == 0)
+            continue;
+        const std::uint64_t before = cumulative;
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) > target) {
+            const double frac =
+                (target - static_cast<double>(before)) /
+                static_cast<double>(counts[i]);
+            return bucketLowerEdge(i) + frac * bucketWidth(i);
+        }
+    }
+    return maxValue;
+}
+
+void
+TailHistogram::merge(const TailHistogram &other)
+{
+    for (std::uint32_t i = 0; i < kNumBuckets; ++i)
+        counts[i] += other.counts[i];
+    total += other.total;
+    if (other.maxValue > maxValue)
+        maxValue = other.maxValue;
+}
+
+void
+TailHistogram::reset()
+{
+    counts.assign(kNumBuckets, 0);
+    total = 0;
+    maxValue = 0.0;
+}
+
+} // namespace damq

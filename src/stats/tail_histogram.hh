@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Log-bucketed latency histogram for tail percentiles (p50 / p99 /
+ * p999), HDR-histogram style: values below 64 get exact unit-width
+ * buckets, larger values get 64 log-linear sub-buckets per octave
+ * (<= ~1.6% relative bucket width), so the quantile error stays
+ * bounded across the full 64-bit range with a small fixed table.
+ *
+ * Deterministic (no sampling, unlike a reservoir) and mergeable, so
+ * every shard-identity guarantee that holds for the Welford stats
+ * holds for the tail percentiles too.
+ */
+
+#ifndef DAMQ_STATS_TAIL_HISTOGRAM_HH
+#define DAMQ_STATS_TAIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace damq {
+
+/** Fixed-size log-bucketed histogram with bounded relative error. */
+class TailHistogram
+{
+  public:
+    TailHistogram();
+
+    /** Record one sample (negative values clamp to 0). */
+    void add(double value);
+
+    /**
+     * Quantile estimate for q in [0, 1]: the lower edge of the
+     * bucket holding the q-th ranked sample, linearly interpolated
+     * across the bucket.  0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Samples recorded. */
+    std::uint64_t count() const { return total; }
+
+    /** Largest sample recorded (exact, not bucketed). */
+    double max() const { return maxValue; }
+
+    /** Fold @p other into this histogram. */
+    void merge(const TailHistogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+  private:
+    static std::uint32_t bucketIndex(std::uint64_t value);
+    static double bucketLowerEdge(std::uint32_t index);
+    static double bucketWidth(std::uint32_t index);
+
+    std::vector<std::uint64_t> counts;
+    std::uint64_t total = 0;
+    double maxValue = 0.0;
+};
+
+} // namespace damq
+
+#endif // DAMQ_STATS_TAIL_HISTOGRAM_HH

@@ -591,37 +591,5 @@ TEST(BufferPolicyFlags, EveryOptionApplies)
     EXPECT_EQ(classes, 4u);
 }
 
-TEST(DeprecatedAliasWarnings, FireExactlyOncePerProcess)
-{
-    // Sweeps apply the same parsed flags to dozens of tasks; the
-    // deprecation nag must not repeat per call.  stdout must stay
-    // untouched so the identity baselines remain byte-clean when a
-    // published command line still uses the aliases.
-    ArgParser args("t", "t");
-    addSwitchingFlags(args, "packet-sync", "blocking");
-    parseArgs(args, {"--mode", "vct", "--protocol", "credit"});
-    Switching switching = Switching::PacketSync;
-    FlowControl protocol = FlowControl::Blocking;
-    std::uint32_t flits = 4;
-    testing::internal::CaptureStdout();
-    testing::internal::CaptureStderr();
-    applySwitchingFlags(args, switching, protocol, flits);
-    applySwitchingFlags(args, switching, protocol, flits);
-    const std::string out = testing::internal::GetCapturedStdout();
-    const std::string err = testing::internal::GetCapturedStderr();
-    EXPECT_EQ(switching, Switching::VirtualCutThrough);
-    EXPECT_EQ(protocol, FlowControl::Credit);
-    EXPECT_TRUE(out.empty()) << out;
-    EXPECT_EQ(err.find("--mode is deprecated"),
-              err.rfind("--mode is deprecated"))
-        << err;
-    EXPECT_EQ(err.find("--protocol is deprecated"),
-              err.rfind("--protocol is deprecated"))
-        << err;
-    EXPECT_NE(err.find("--mode is deprecated"), std::string::npos);
-    EXPECT_NE(err.find("--protocol is deprecated"),
-              std::string::npos);
-}
-
 } // namespace
 } // namespace damq

@@ -124,7 +124,7 @@ TEST(ErrorPaths, ExcessiveBurstinessIsFatal)
     cfg.offeredLoad = 0.6;
     cfg.burstiness = 2.0; // peak 1.2 > 1
     EXPECT_EXIT(NetworkSimulator sim(cfg), ExitWithError(1),
-                "must not exceed 1");
+                "exceeds 1 packet/source/cycle");
 }
 
 TEST(ErrorPaths, UnprogrammedCircuitPanics)

@@ -459,40 +459,25 @@ TEST(SwitchingFlagsTest, CanonicalFlagsSetEveryField)
     EXPECT_EQ(flits, 6u);
 }
 
-TEST(SwitchingFlagsTest, DeprecatedAliasesApplyAndWarn)
+TEST(SwitchingFlagsDeathTest, RemovedModeAliasIsRejected)
 {
-    ArgParser args("t", "t");
-    addSwitchingFlags(args, "packet-sync", "blocking");
-    parseArgs(args, {"--mode", "wormhole", "--protocol", "credit"});
-    Switching switching = Switching::PacketSync;
-    FlowControl protocol = FlowControl::Blocking;
-    std::uint32_t flits = 4;
-    testing::internal::CaptureStderr();
-    applySwitchingFlags(args, switching, protocol, flits);
-    const std::string warnings =
-        testing::internal::GetCapturedStderr();
-    EXPECT_EQ(switching, Switching::Wormhole);
-    EXPECT_EQ(protocol, FlowControl::Credit);
-    EXPECT_NE(warnings.find("--mode is deprecated"),
-              std::string::npos);
-    EXPECT_NE(warnings.find("--protocol is deprecated"),
-              std::string::npos);
-}
-
-TEST(SwitchingFlagsTest, CanonicalFlagShadowsItsAlias)
-{
-    ArgParser args("t", "t");
-    addSwitchingFlags(args, "packet-sync", "blocking");
-    parseArgs(args, {"--switching", "wormhole", "--mode", "vct"});
-    Switching switching = Switching::PacketSync;
-    FlowControl protocol = FlowControl::Blocking;
-    std::uint32_t flits = 4;
-    testing::internal::CaptureStderr();
-    applySwitchingFlags(args, switching, protocol, flits);
-    const std::string warnings =
-        testing::internal::GetCapturedStderr();
-    EXPECT_EQ(switching, Switching::Wormhole);
-    EXPECT_TRUE(warnings.empty()) << warnings;
+    // The --mode / --protocol aliases are gone: the parser treats
+    // them like any other unknown option and exits with usage.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_EXIT(
+        {
+            ArgParser args("t", "t");
+            addSwitchingFlags(args, "packet-sync", "blocking");
+            parseArgs(args, {"--mode", "wormhole"});
+        },
+        testing::ExitedWithCode(1), "unknown option '--mode'");
+    EXPECT_EXIT(
+        {
+            ArgParser args("t", "t");
+            addSwitchingFlags(args, "packet-sync", "blocking");
+            parseArgs(args, {"--protocol", "credit"});
+        },
+        testing::ExitedWithCode(1), "unknown option '--protocol'");
 }
 
 TEST(SwitchingFlagsDeathTest, BadSwitchingValueExitsWithUsage)
